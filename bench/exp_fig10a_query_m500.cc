@@ -1,0 +1,9 @@
+// Figure 10(a): the Figure 9(f) comparison repeated with |M| = 500.
+#define UXM_BENCH_NO_MAIN
+#include "exp_fig9f_query.cc"  // reuse RunQueryComparison
+
+int main() {
+  uxm::bench::PrintHeader("exp_fig10a_query_m500",
+                          "Figure 10(a): Tq per query, |M|=500");
+  return uxm::bench::RunQueryComparison(500);
+}

@@ -1,0 +1,22 @@
+// Figure 9(d): block-tree construction time Tc per dataset, |M| ∈ {100,200}.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace uxm;
+  using namespace uxm::bench;
+  PrintHeader("exp_fig9d_construction", "Figure 9(d): Tc per dataset");
+  std::printf("%-4s %14s %14s\n", "ID", "Tc(|M|=100) s", "Tc(|M|=200) s");
+  for (int i = 0; i < 10; ++i) {
+    const char* id = AllDatasetSpecs()[static_cast<size_t>(i)].id;
+    double tc[2] = {0, 0};
+    int mi = 0;
+    for (int m : {100, 200}) {
+      Env env = MakeEnv(id, m);
+      tc[mi++] = AvgSeconds([&] { BuildTree(env, kDefaultTau); }, 3, 0.05);
+    }
+    std::printf("%-4s %14.4f %14.4f\n", id, tc[0], tc[1]);
+  }
+  std::printf("\npaper: a few seconds at most per dataset; grows with |M| "
+              "and schema size.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 9(e): construction time Tc vs MAX_B (saturates once MAX_B
+// exceeds the number of constructible blocks).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace uxm;
+  using namespace uxm::bench;
+  PrintHeader("exp_fig9e_maxb", "Figure 9(e): Tc vs MAX_B");
+  Env env = MakeEnv("D7", kDefaultM);
+  std::printf("%8s %12s %10s\n", "MAX_B", "Tc (s)", "blocks");
+  for (int max_b : {20, 60, 100, 160, 200, 260, 300}) {
+    const double tc =
+        AvgSeconds([&] { BuildTree(env, kDefaultTau, max_b); }, 3, 0.05);
+    const auto built = BuildTree(env, kDefaultTau, max_b);
+    std::printf("%8d %12.5f %10d\n", max_b, tc, built.tree.TotalBlocks());
+  }
+  std::printf("\npaper: Tc increases with MAX_B, flat beyond ~180 (all "
+              "constructible blocks found).\n");
+  return 0;
+}

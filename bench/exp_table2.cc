@@ -1,0 +1,26 @@
+// Table II: the ten schema-matching datasets — schema sizes, matcher
+// option, capacity (number of correspondences), and the mapping o-ratio
+// (§VI-B.1, which the paper reports in the same table).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace uxm;
+  using namespace uxm::bench;
+  PrintHeader("exp_table2", "Table II + §VI-B.1 (mapping overlap)");
+  std::printf("%-4s %-8s %5s %-8s %5s %-4s %5s %8s\n", "ID", "S", "|S|", "T",
+              "|T|", "opt", "Cap.", "o-ratio");
+  for (int i = 0; i < 10; ++i) {
+    Env env = MakeEnv(AllDatasetSpecs()[static_cast<size_t>(i)].id, kDefaultM);
+    const Dataset& d = env.dataset;
+    // Exact all-pairs o-ratio for small |M| is fine at |M|=100.
+    const double o_ratio = env.mappings.AverageOverlapRatio(0);
+    std::printf("%-4s %-8s %5d %-8s %5d %-4s %5d %8.2f\n", d.id.c_str(),
+                d.source->schema_name().c_str(), d.source->size(),
+                d.target->schema_name().c_str(), d.target->size(),
+                d.option == MatcherStrategy::kContext ? "c" : "f",
+                d.matching.size(), o_ratio);
+  }
+  std::printf(
+      "\npaper: capacities 21..619, o-ratios 0.53..0.91 (high overlap).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Google-benchmark microbenchmarks for the library's primitives.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "query/structural_join.h"
+
+namespace uxm {
+namespace {
+
+void BM_NameSimilarity(benchmark::State& state) {
+  const Thesaurus t = Thesaurus::CommerceDefault();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NameSimilarity("BuyerPartNumber", "BUYER_PART_ID", t));
+  }
+}
+BENCHMARK(BM_NameSimilarity);
+
+void BM_TokenizeName(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizeName("RequestedDeliveryDate"));
+  }
+}
+BENCHMARK(BM_TokenizeName);
+
+void BM_MatcherSmall(benchmark::State& state) {
+  auto a = GetStandardSchema(StandardId::kExcel);
+  auto b = GetStandardSchema(StandardId::kNoris);
+  ComposedMatcher matcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(*a, *b));
+  }
+}
+BENCHMARK(BM_MatcherSmall);
+
+void BM_AssignmentSolve(benchmark::State& state) {
+  auto dataset = LoadDataset("D7");
+  const auto problem =
+      AssignmentProblem::FromMatching(dataset->matching, true);
+  AssignmentSolver solver(problem);
+  AssignmentConstraints cons;
+  cons.fixed_rows.assign(static_cast<size_t>(problem.num_rows), 0);
+  for (auto _ : state) {
+    AssignmentState st = solver.MakeInitialState();
+    benchmark::DoNotOptimize(solver.Solve(&st, cons));
+  }
+}
+BENCHMARK(BM_AssignmentSolve);
+
+void BM_TopHPartition(benchmark::State& state) {
+  auto dataset = LoadDataset("D7");
+  TopHOptions opts;
+  opts.h = static_cast<int>(state.range(0));
+  TopHGenerator gen(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate(dataset->matching));
+  }
+}
+BENCHMARK(BM_TopHPartition)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_BlockTreeBuild(benchmark::State& state) {
+  bench::Env env = bench::MakeEnv("D7", static_cast<int>(state.range(0)));
+  BlockTreeBuilder builder(BlockTreeOptions{0.2, 500, 500});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.Build(env.mappings));
+  }
+}
+BENCHMARK(BM_BlockTreeBuild)->Arg(100)->Arg(200);
+
+void BM_StackJoin(benchmark::State& state) {
+  bench::Env env = bench::MakeEnv("D7", 10, /*with_doc=*/true);
+  const Document& doc = env.annotated->doc();
+  std::vector<DocNodeId> anc;
+  std::vector<DocNodeId> desc;
+  for (DocNodeId i = 0; i < doc.size(); ++i) {
+    if (doc.node(i).level <= 2) anc.push_back(i);
+    if (doc.node(i).children.empty()) desc.push_back(i);
+  }
+  auto by_start = [&](DocNodeId a, DocNodeId b) {
+    return doc.node(a).start < doc.node(b).start;
+  };
+  std::sort(anc.begin(), anc.end(), by_start);
+  std::sort(desc.begin(), desc.end(), by_start);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StackJoin(doc, anc, desc, false));
+  }
+}
+BENCHMARK(BM_StackJoin);
+
+void BM_PtqBlockTree(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
+  static auto built = bench::BuildTree(env, 0.2);
+  PtqEvaluator eval(&env.mappings, env.annotated.get());
+  auto q = TwigQuery::Parse(
+      TableIIIQueries()[static_cast<size_t>(state.range(0))]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluateWithBlockTree(*q, built.tree));
+  }
+}
+BENCHMARK(BM_PtqBlockTree)->Arg(0)->Arg(4)->Arg(9);
+
+void BM_XmlParse(benchmark::State& state) {
+  bench::Env env = bench::MakeEnv("D7", 10, /*with_doc=*/true);
+  const std::string xml = WriteXml(*env.doc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseXml(xml));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+}  // namespace
+}  // namespace uxm
+
+BENCHMARK_MAIN();

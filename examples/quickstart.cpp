@@ -1,0 +1,78 @@
+// Quickstart: match two schemas, generate probabilistic mappings, build
+// the block tree, and run probabilistic twig queries — all through the
+// UncertainMatchingSystem facade.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/uxm.h"
+
+using namespace uxm;
+
+int main() {
+  // 1. Take two heterogeneous purchase-order schemas (the paper's D7
+  //    pair: a big XCBL-like source, an Apertum-like target).
+  auto source = GetStandardSchema(StandardId::kXcbl);
+  auto target = GetStandardSchema(StandardId::kApertum);
+  std::printf("source %s: %d elements, target %s: %d elements\n",
+              source->schema_name().c_str(), source->size(),
+              target->schema_name().c_str(), target->size());
+
+  // 2. Prepare the system: match, derive the top-100 possible mappings,
+  //    build the block tree.
+  SystemOptions options;
+  options.top_h.h = 100;
+  options.block_tree.tau = 0.2;
+  UncertainMatchingSystem system(options);
+  if (Status s = system.Prepare(source.get(), target.get()); !s.ok()) {
+    std::fprintf(stderr, "Prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("matching capacity: %d correspondences\n",
+              system.matching().size());
+  std::printf("possible mappings: %d (o-ratio %.2f)\n",
+              system.mappings().size(),
+              system.mappings().AverageOverlapRatio(2000));
+  std::printf("block tree: %d c-blocks, compression %.1f%%\n",
+              system.block_tree().TotalBlocks(),
+              100.0 * system.block_tree_build().CompressionRatio(
+                          system.mappings().NaiveStorageBytes()));
+
+  // 3. Attach a document conforming to the source schema (stands in for
+  //    the paper's Order.xml with 3473 nodes).
+  Document doc = GenerateDocument(
+      *source, DocGenOptions{.seed = 7, .target_nodes = 3473});
+  if (Status s = system.AttachDocument(&doc); !s.ok()) {
+    std::fprintf(stderr, "AttachDocument failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("document: %d nodes\n\n", doc.size());
+
+  // 4. Ask a probabilistic twig query on the *target* schema: "email of
+  //    the delivery contact". Every possible mapping contributes its own
+  //    answer with the mapping's probability.
+  const std::string query = "Order/DeliverTo/Contact/EMail";
+  auto result = system.Query(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "Query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PTQ %s\n", query.c_str());
+  for (const MappingAnswer& group : result->CollapseByMatches()) {
+    std::printf("  p=%.3f ->", group.probability);
+    if (group.matches.empty()) {
+      std::printf(" (no match)");
+    }
+    for (DocNodeId n : group.matches) {
+      std::printf(" \"%s\"", doc.text(n).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 5. Same query, but only the 5 most probable mappings (top-k PTQ).
+  auto topk = system.QueryTopK(query, 5);
+  std::printf("\ntop-5 PTQ returned answers for %zu mappings\n",
+              topk->answers.size());
+  return 0;
+}

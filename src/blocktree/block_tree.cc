@@ -1,0 +1,289 @@
+#include "blocktree/block_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace uxm {
+
+BlockTree::BlockTree(const Schema* target) : target_(target) {
+  blocks_.resize(static_cast<size_t>(target->size()));
+}
+
+SchemaNodeId BlockTree::FindNodeByPath(const std::string& path) const {
+  auto it = hash_.find(path);
+  if (it == hash_.end()) return kInvalidSchemaNode;
+  return it->second;
+}
+
+int BlockTree::TotalBlocks() const {
+  int n = 0;
+  for (const auto& list : blocks_) n += static_cast<int>(list.size());
+  return n;
+}
+
+std::vector<int> BlockTree::BlockSizes() const {
+  std::vector<int> out;
+  for (const auto& list : blocks_) {
+    for (const CBlock& b : list) out.push_back(b.size());
+  }
+  return out;
+}
+
+size_t BlockTree::StorageBytes() const {
+  size_t bytes = 0;
+  for (const auto& list : blocks_) {
+    for (const CBlock& b : list) {
+      bytes += sizeof(SchemaNodeId);                         // anchor
+      bytes += b.corrs.size() * (2 * sizeof(SchemaNodeId));  // b.C
+      bytes += b.mappings.size() * sizeof(MappingId);        // b.M
+    }
+  }
+  // Tree skeleton: one pointer-sized slot per target node (the structure
+  // itself is shared with the target schema).
+  bytes += blocks_.size() * sizeof(void*);
+  for (const auto& [path, node] : hash_) {
+    bytes += path.size() + sizeof(SchemaNodeId);
+  }
+  return bytes;
+}
+
+void BlockTree::Attach(CBlock block) {
+  UXM_CHECK(block.anchor >= 0 &&
+            block.anchor < static_cast<SchemaNodeId>(blocks_.size()));
+  blocks_[static_cast<size_t>(block.anchor)].push_back(std::move(block));
+}
+
+void BlockTree::InsertHashEntry(SchemaNodeId t) {
+  hash_.emplace(target_->path(t), t);
+}
+
+size_t BlockTreeBuildResult::CompressedBytes() const {
+  size_t bytes = tree.StorageBytes();
+  for (size_t i = 0; i < residual_corrs.size(); ++i) {
+    bytes += sizeof(double);  // probability
+    bytes += static_cast<size_t>(residual_corrs[i]) * 2 * sizeof(SchemaNodeId);
+    bytes += mapping_blocks[i].size() * sizeof(void*);  // block pointers
+  }
+  return bytes;
+}
+
+double BlockTreeBuildResult::CompressionRatio(size_t naive_bytes) const {
+  if (naive_bytes == 0) return 0.0;
+  const double ratio = 1.0 - static_cast<double>(CompressedBytes()) /
+                                 static_cast<double>(naive_bytes);
+  return ratio;
+}
+
+struct BlockTreeBuilder::BuildCtx {
+  const PossibleMappingSet* mappings = nullptr;
+  const Schema* target = nullptr;
+  BlockTree* tree = nullptr;
+  int count = 0;          // global c-block count (vs MAX_B)
+  int min_support = 0;    // ceil-like threshold τ·|M| as a comparison value
+  double tau_times_m = 0.0;
+
+  bool SupportOk(size_t n) const {
+    return static_cast<double>(n) + 1e-9 >= tau_times_m;
+  }
+};
+
+Result<BlockTreeBuildResult> BlockTreeBuilder::Build(
+    const PossibleMappingSet& mappings) const {
+  if (options_.tau <= 0.0 || options_.tau > 1.0) {
+    return Status::InvalidArgument("tau must be in (0, 1]");
+  }
+  if (options_.max_blocks <= 0 || options_.max_failures <= 0) {
+    return Status::InvalidArgument("MAX_B and MAX_F must be positive");
+  }
+  if (mappings.empty()) {
+    return Status::InvalidArgument("mapping set is empty");
+  }
+  const Schema& target = mappings.target();
+
+  BlockTreeBuildResult result;
+  result.tree = BlockTree(&target);
+
+  BuildCtx ctx;
+  ctx.mappings = &mappings;
+  ctx.target = &target;
+  ctx.tree = &result.tree;
+  ctx.tau_times_m = options_.tau * static_cast<double>(mappings.size());
+
+  ConstructCBlocks(target.root(), &ctx);
+
+  // Step 5 of Algorithm 1: remove_duplicate_corr — compute, per mapping,
+  // a maximal non-overlapping block cover chosen in pre-order (so a block
+  // anchored at an ancestor wins over blocks in its subtree).
+  const int m = mappings.size();
+  result.mapping_blocks.assign(static_cast<size_t>(m), {});
+  result.residual_corrs.assign(static_cast<size_t>(m), 0);
+  // covered_until[mapping] tracks, during the pre-order sweep, the
+  // pre-order rank below which the mapping is already covered.
+  std::vector<int> covered_until(static_cast<size_t>(m), -1);
+  for (SchemaNodeId t : target.SubtreeNodes(target.root())) {  // pre-order
+    const auto& blocks = result.tree.BlocksAt(t);
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+      const CBlock& b = blocks[bi];
+      // Subtree of t spans pre-order ranks [rank(t), rank(t)+size).
+      const int lo = target.pre_order_rank(t);
+      const int hi = lo + target.subtree_size(t) - 1;
+      for (MappingId mid : b.mappings) {
+        if (covered_until[static_cast<size_t>(mid)] >= lo) continue;  // overlap
+        result.mapping_blocks[static_cast<size_t>(mid)].emplace_back(
+            t, static_cast<int>(bi));
+        covered_until[static_cast<size_t>(mid)] = hi;
+      }
+    }
+  }
+  // Residuals: correspondences not covered by the chosen blocks.
+  for (MappingId mid = 0; mid < m; ++mid) {
+    int covered = 0;
+    for (const auto& [anchor, bi] : result.mapping_blocks[static_cast<size_t>(mid)]) {
+      covered += target.subtree_size(anchor);
+    }
+    result.residual_corrs[static_cast<size_t>(mid)] =
+        mappings.mapping(mid).CorrespondenceCount() - covered;
+    UXM_CHECK(result.residual_corrs[static_cast<size_t>(mid)] >= 0);
+  }
+  return result;
+}
+
+int BlockTreeBuilder::ConstructCBlocks(SchemaNodeId t, BuildCtx* ctx) const {
+  const Schema& target = *ctx->target;
+  const SchemaNode& node = target.node(t);
+  if (node.children.empty()) {
+    // CASE 1: leaf — init_block directly.
+    std::vector<CBlock> blocks = InitBlocks(t, ctx);
+    int made = 0;
+    for (CBlock& b : blocks) {
+      if (ctx->count >= options_.max_blocks) break;
+      ctx->tree->Attach(std::move(b));
+      ++ctx->count;
+      ++made;
+    }
+    if (made > 0) ctx->tree->InsertHashEntry(t);
+    return made;
+  }
+  // CASE 2: non-leaf — recurse; Lemma 2 prune if any child made none.
+  bool all_children_have_blocks = true;
+  for (SchemaNodeId c : node.children) {
+    if (ConstructCBlocks(c, ctx) == 0) all_children_have_blocks = false;
+  }
+  if (!all_children_have_blocks) return 0;
+  std::vector<CBlock> own = InitBlocks(t, ctx);
+  if (own.empty()) return 0;
+  const int made = GenNonLeaf(t, std::move(own), ctx);
+  if (made > 0) ctx->tree->InsertHashEntry(t);
+  return made;
+}
+
+std::vector<CBlock> BlockTreeBuilder::InitBlocks(SchemaNodeId t,
+                                                 BuildCtx* ctx) const {
+  // Group mappings by the source element they match to t.
+  const PossibleMappingSet& mappings = *ctx->mappings;
+  std::vector<std::pair<SchemaNodeId, MappingId>> pairs;
+  for (MappingId mid = 0; mid < mappings.size(); ++mid) {
+    const SchemaNodeId s = mappings.mapping(mid).SourceFor(t);
+    if (s != kInvalidSchemaNode) pairs.emplace_back(s, mid);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<CBlock> out;
+  size_t i = 0;
+  while (i < pairs.size()) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+    if (ctx->SupportOk(j - i)) {
+      CBlock b;
+      b.anchor = t;
+      b.corrs.push_back(BlockCorr{pairs[i].first, t});
+      b.mappings.reserve(j - i);
+      for (size_t k = i; k < j; ++k) b.mappings.push_back(pairs[k].second);
+      std::sort(b.mappings.begin(), b.mappings.end());
+      out.push_back(std::move(b));
+    }
+    i = j;
+  }
+  return out;
+}
+
+namespace {
+
+/// Sorted-vector intersection of mapping id lists.
+std::vector<MappingId> Intersect(const std::vector<MappingId>& a,
+                                 const std::vector<MappingId>& b) {
+  std::vector<MappingId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+int BlockTreeBuilder::GenNonLeaf(SchemaNodeId t, std::vector<CBlock> own,
+                                 BuildCtx* ctx) const {
+  const Schema& target = *ctx->target;
+  const SchemaNode& node = target.node(t);
+  const size_t fanout = node.children.size();
+
+  int count_new = 0;
+  int num_trial = 0;
+  bool stop = false;
+
+  // Enumerate (own block) x (tuple of one c-block per child) — the
+  // odometer realizes the tuple loop of Algorithm 2, line 9.
+  for (const CBlock& b : own) {
+    if (stop) break;
+    std::vector<size_t> odo(fanout, 0);
+    for (;;) {
+      // Compute M' = b.M ∩ (∩_k child_block_k.M), bailing early on empty.
+      std::vector<MappingId> m_prime = b.mappings;
+      bool viable = true;
+      for (size_t k = 0; k < fanout && viable; ++k) {
+        const auto& child_blocks =
+            ctx->tree->BlocksAt(node.children[k]);
+        m_prime = Intersect(m_prime, child_blocks[odo[k]].mappings);
+        if (m_prime.empty()) viable = false;
+      }
+      if (viable && ctx->SupportOk(m_prime.size()) &&
+          ctx->count < options_.max_blocks) {
+        CBlock new_b;
+        new_b.anchor = t;
+        new_b.mappings = std::move(m_prime);
+        new_b.corrs = b.corrs;
+        for (size_t k = 0; k < fanout; ++k) {
+          const CBlock& cb = ctx->tree->BlocksAt(node.children[k])[odo[k]];
+          new_b.corrs.insert(new_b.corrs.end(), cb.corrs.begin(),
+                             cb.corrs.end());
+        }
+        std::sort(new_b.corrs.begin(), new_b.corrs.end(),
+                  [](const BlockCorr& x, const BlockCorr& y) {
+                    return x.target < y.target;
+                  });
+        ctx->tree->Attach(std::move(new_b));
+        ++count_new;
+        ++ctx->count;
+      } else {
+        ++num_trial;
+      }
+      if (ctx->count >= options_.max_blocks ||
+          num_trial >= options_.max_failures) {
+        stop = true;
+        break;
+      }
+      // Advance the odometer.
+      size_t k = 0;
+      while (k < fanout) {
+        ++odo[k];
+        if (odo[k] < ctx->tree->BlocksAt(node.children[k]).size()) break;
+        odo[k] = 0;
+        ++k;
+      }
+      if (k == fanout) break;  // exhausted all tuples for this own-block
+    }
+  }
+  return count_new;
+}
+
+}  // namespace uxm

@@ -1,0 +1,142 @@
+// The block tree (§III): a compact representation of a set of possible
+// mappings. A c-block (Definition 2) is anchored at a target element b.a,
+// carries one correspondence for *every* element of the subtree rooted at
+// b.a, and is shared by at least τ·|M| mappings. The block tree X mirrors
+// the target schema's structure, each node holding a list of the c-blocks
+// anchored there; the companion hash table H maps target root-paths to
+// tree nodes that own at least one c-block (Figure 5).
+#ifndef UXM_BLOCKTREE_BLOCK_TREE_H_
+#define UXM_BLOCKTREE_BLOCK_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/possible_mapping.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief A correspondence inside a block: (source element, target element).
+struct BlockCorr {
+  SchemaNodeId source = kInvalidSchemaNode;
+  SchemaNodeId target = kInvalidSchemaNode;
+
+  bool operator==(const BlockCorr& o) const {
+    return source == o.source && target == o.target;
+  }
+};
+
+/// \brief A constrained block (c-block).
+struct CBlock {
+  SchemaNodeId anchor = kInvalidSchemaNode;  ///< b.a
+  /// b.C — exactly subtree_size(anchor) correspondences, one per target
+  /// element of the anchored subtree, sorted by target id.
+  std::vector<BlockCorr> corrs;
+  /// b.M — ids of the mappings sharing b.C, sorted ascending.
+  std::vector<MappingId> mappings;
+
+  int size() const { return static_cast<int>(corrs.size()); }
+};
+
+/// \brief The block tree plus its hash table.
+class BlockTree {
+ public:
+  BlockTree() = default;
+  explicit BlockTree(const Schema* target);
+
+  const Schema& target() const { return *target_; }
+
+  /// c-blocks anchored at target element `t` (possibly empty).
+  const std::vector<CBlock>& BlocksAt(SchemaNodeId t) const {
+    return blocks_[static_cast<size_t>(t)];
+  }
+
+  /// Looks up the paper's hash table H by target root-path
+  /// (e.g. "ORDER.IP"). Returns the anchored node id, or
+  /// kInvalidSchemaNode if that node owns no c-block.
+  SchemaNodeId FindNodeByPath(const std::string& path) const;
+
+  /// Convenience: H lookup for a target element id (true iff the element
+  /// owns at least one c-block — i.e. its path is a key of H).
+  bool HasBlocksAt(SchemaNodeId t) const {
+    return t >= 0 && t < static_cast<SchemaNodeId>(blocks_.size()) &&
+           !blocks_[static_cast<size_t>(t)].empty();
+  }
+
+  /// Total number of c-blocks in the tree.
+  int TotalBlocks() const;
+
+  /// Sizes (in correspondences) of every c-block; used for Figure 9(c).
+  std::vector<int> BlockSizes() const;
+
+  /// Estimated bytes to store the tree: per block |C| id pairs + |M| ids
+  /// + anchor, per tree node a child-list overhead, plus the hash table.
+  size_t StorageBytes() const;
+
+  // --- Builder-facing mutation (used by BlockTreeBuilder) ---
+  void Attach(CBlock block);
+  void InsertHashEntry(SchemaNodeId t);
+
+ private:
+  const Schema* target_ = nullptr;
+  std::vector<std::vector<CBlock>> blocks_;  ///< indexed by target node id
+  std::unordered_map<std::string, SchemaNodeId> hash_;  ///< H
+};
+
+/// \brief Parameters of Algorithm 1 / 2.
+struct BlockTreeOptions {
+  double tau = 0.2;       ///< Confidence threshold τ.
+  int max_blocks = 500;   ///< MAX_B (global cap on c-blocks).
+  int max_failures = 500; ///< MAX_F (per-node cap on failed attempts).
+};
+
+/// \brief Result of building a block tree: the tree plus the mapping-
+/// compression accounting of remove_duplicate_corr (Step 5).
+struct BlockTreeBuildResult {
+  BlockTree tree;
+  /// For each mapping: ids of the blocks it is compressed into (maximal
+  /// non-overlapping cover, chosen root-down) as (anchor, index) pairs.
+  std::vector<std::vector<std::pair<SchemaNodeId, int>>> mapping_blocks;
+  /// For each mapping: number of correspondences NOT covered by any of
+  /// its blocks (stored inline after compression).
+  std::vector<int> residual_corrs;
+
+  /// Bytes to store the compressed representation: block tree + hash +
+  /// per-mapping residual correspondences and block references.
+  size_t CompressedBytes() const;
+
+  /// The paper's compression ratio: 1 - CompressedBytes/naive_bytes.
+  double CompressionRatio(size_t naive_bytes) const;
+};
+
+/// \brief Builds block trees (Algorithm 1, construct_block_tree).
+class BlockTreeBuilder {
+ public:
+  explicit BlockTreeBuilder(BlockTreeOptions options = {})
+      : options_(options) {}
+
+  /// Runs Algorithm 1 on the mapping set. The mapping set must outlive
+  /// any query evaluation that uses the returned tree.
+  Result<BlockTreeBuildResult> Build(const PossibleMappingSet& mappings) const;
+
+  const BlockTreeOptions& options() const { return options_; }
+
+ private:
+  struct BuildCtx;
+
+  /// construct_c_block: post-order recursion; returns #blocks made at t.
+  int ConstructCBlocks(SchemaNodeId t, BuildCtx* ctx) const;
+  /// init_block: groups mappings by their correspondence at t.
+  std::vector<CBlock> InitBlocks(SchemaNodeId t, BuildCtx* ctx) const;
+  /// gen_non_leaf: Algorithm 2.
+  int GenNonLeaf(SchemaNodeId t, std::vector<CBlock> own, BuildCtx* ctx) const;
+
+  BlockTreeOptions options_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_BLOCKTREE_BLOCK_TREE_H_

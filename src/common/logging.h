@@ -1,0 +1,85 @@
+// Minimal leveled logging. Benchmarks and examples log at INFO; the library
+// itself only logs at WARNING or above so it is quiet when embedded.
+#ifndef UXM_COMMON_LOGGING_H_
+#define UXM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace uxm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum level that is actually printed.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace uxm
+
+#define UXM_LOG(level)                                                   \
+  (static_cast<int>(::uxm::LogLevel::k##level) <                          \
+   static_cast<int>(::uxm::GetLogLevel()))                                \
+      ? (void)0                                                           \
+      : (void)::uxm::internal::LogMessage(::uxm::LogLevel::k##level,      \
+                                          __FILE__, __LINE__)             \
+            .stream()
+
+#define UXM_LOG_DEBUG(msg)                                               \
+  do {                                                                   \
+    if (static_cast<int>(::uxm::GetLogLevel()) <=                        \
+        static_cast<int>(::uxm::LogLevel::kDebug)) {                     \
+      ::uxm::internal::LogMessage(::uxm::LogLevel::kDebug, __FILE__,     \
+                                  __LINE__)                              \
+              .stream()                                                  \
+          << msg;                                                        \
+    }                                                                    \
+  } while (0)
+
+#define UXM_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::uxm::internal::LogMessage(::uxm::LogLevel::kFatal, __FILE__,     \
+                                  __LINE__)                              \
+              .stream()                                                  \
+          << "Check failed: " #cond;                                     \
+    }                                                                    \
+  } while (0)
+
+#define UXM_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::uxm::internal::LogMessage(::uxm::LogLevel::kFatal, __FILE__,     \
+                                  __LINE__)                              \
+              .stream()                                                  \
+          << "Check failed: " #cond << " — " << msg;                     \
+    }                                                                    \
+  } while (0)
+
+#endif  // UXM_COMMON_LOGGING_H_

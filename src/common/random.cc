@@ -1,0 +1,96 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace uxm {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  have_gauss_ = false;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+double Rng::Gaussian(double mean, double stddev) {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return mean + stddev * gauss_cache_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  gauss_cache_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF by rejection on the harmonic approximation; adequate for
+  // workload generation (not a hot path).
+  const double t = (std::pow(static_cast<double>(n), 1.0 - s) - s) / (1.0 - s);
+  for (;;) {
+    const double u = NextDouble() * t;
+    const double x =
+        (u <= 1.0) ? u : std::pow(u * (1.0 - s) + s, 1.0 / (1.0 - s));
+    const uint64_t k = static_cast<uint64_t>(x);
+    if (k >= n) continue;
+    const double ratio = std::pow(static_cast<double>(k + 1), -s);
+    const double bound = (k == 0) ? 1.0 : std::pow(static_cast<double>(k), -s);
+    if (NextDouble() * bound <= ratio) return k;
+  }
+}
+
+}  // namespace uxm

@@ -1,0 +1,106 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace uxm {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (delims.find(c) != std::string_view::npos) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> TokenizeName(std::string_view name) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      tokens.push_back(ToLower(cur));
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '_' || c == '-' || c == '.' || c == ' ' || c == '/') {
+      flush();
+      continue;
+    }
+    if (std::isdigit(uc)) {
+      // Digit runs become their own token.
+      if (!cur.empty() && !std::isdigit(static_cast<unsigned char>(cur.back()))) flush();
+      cur.push_back(c);
+      continue;
+    }
+    if (std::isupper(uc)) {
+      // A new uppercase letter starts a token, except inside an acronym run
+      // ("POLine" -> {po, line}): an upper followed by a lower ends the run.
+      const bool prev_upper =
+          !cur.empty() && std::isupper(static_cast<unsigned char>(cur.back()));
+      const bool next_lower =
+          i + 1 < name.size() && std::islower(static_cast<unsigned char>(name[i + 1]));
+      if (!cur.empty() && (!prev_upper || next_lower)) flush();
+      cur.push_back(c);
+      continue;
+    }
+    if (!cur.empty() && std::isdigit(static_cast<unsigned char>(cur.back()))) flush();
+    cur.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return std::string(buf);
+}
+
+}  // namespace uxm

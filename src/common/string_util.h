@@ -1,0 +1,46 @@
+// String helpers used across the library: tokenization of schema element
+// names (CamelCase / snake_case / UPPER_SNAKE), case folding, joining,
+// trimming, and numeric formatting for benchmark tables.
+#ifndef UXM_COMMON_STRING_UTIL_H_
+#define UXM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uxm {
+
+/// Returns `s` lower-cased (ASCII only; schema names are ASCII).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` upper-cased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, std::string_view delims);
+
+/// Splits an element name into lower-cased word tokens.
+///
+/// Handles CamelCase ("BuyerPartID" -> {buyer, part, id}), snake_case,
+/// UPPER_SNAKE ("CONTACT_NAME" -> {contact, name}), digits, and common
+/// separators ('-', '.', ' ').
+std::vector<std::string> TokenizeName(std::string_view name);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with `digits` decimal places (for report tables).
+std::string FormatDouble(double v, int digits);
+
+}  // namespace uxm
+
+#endif  // UXM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the benchmark harness.
+#ifndef UXM_COMMON_TIMER_H_
+#define UXM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace uxm {
+
+/// \brief Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_COMMON_TIMER_H_

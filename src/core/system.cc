@@ -1,0 +1,74 @@
+#include "core/system.h"
+
+namespace uxm {
+
+Status UncertainMatchingSystem::Prepare(const Schema* source,
+                                        const Schema* target) {
+  if (source == nullptr || target == nullptr) {
+    return Status::InvalidArgument("schemas must be non-null");
+  }
+  ComposedMatcher matcher(options_.matcher);
+  UXM_ASSIGN_OR_RETURN(matching_, matcher.Match(*source, *target));
+  return BuildDownstream();
+}
+
+Status UncertainMatchingSystem::PrepareFromMatching(SchemaMatching matching) {
+  if (matching.empty()) {
+    return Status::InvalidArgument("matching has no correspondences");
+  }
+  matching_ = std::move(matching);
+  return BuildDownstream();
+}
+
+Status UncertainMatchingSystem::BuildDownstream() {
+  TopHGenerator generator(options_.top_h);
+  UXM_ASSIGN_OR_RETURN(mappings_, generator.Generate(matching_));
+  BlockTreeBuilder builder(options_.block_tree);
+  UXM_ASSIGN_OR_RETURN(build_, builder.Build(mappings_));
+  prepared_ = true;
+  return Status::OK();
+}
+
+Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
+  if (!prepared_) return Status::Internal("call Prepare before AttachDocument");
+  UXM_ASSIGN_OR_RETURN(
+      AnnotatedDocument ad,
+      AnnotatedDocument::Bind(doc, matching_.source_ptr()));
+  annotated_ = std::make_unique<AnnotatedDocument>(std::move(ad));
+  return Status::OK();
+}
+
+Result<PtqResult> UncertainMatchingSystem::Query(
+    const std::string& twig) const {
+  if (annotated_ == nullptr) {
+    return Status::Internal("no document attached");
+  }
+  UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
+  PtqEvaluator eval(&mappings_, annotated_.get());
+  return eval.EvaluateWithBlockTree(q, build_.tree, options_.ptq);
+}
+
+Result<PtqResult> UncertainMatchingSystem::QueryTopK(const std::string& twig,
+                                                     int k) const {
+  if (annotated_ == nullptr) {
+    return Status::Internal("no document attached");
+  }
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
+  PtqOptions opts = options_.ptq;
+  opts.top_k = k;
+  PtqEvaluator eval(&mappings_, annotated_.get());
+  return eval.EvaluateWithBlockTree(q, build_.tree, opts);
+}
+
+Result<PtqResult> UncertainMatchingSystem::QueryBasic(
+    const std::string& twig) const {
+  if (annotated_ == nullptr) {
+    return Status::Internal("no document attached");
+  }
+  UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
+  PtqEvaluator eval(&mappings_, annotated_.get());
+  return eval.EvaluateBasic(q, options_.ptq);
+}
+
+}  // namespace uxm

@@ -1,0 +1,88 @@
+// High-level facade tying the pipeline together:
+//
+//   schemas --ComposedMatcher--> SchemaMatching
+//           --TopHGenerator-->   PossibleMappingSet (top-h, probabilities)
+//           --BlockTreeBuilder-> BlockTree
+//           --PtqEvaluator-->    PTQ / top-k PTQ answers
+//
+// UncertainMatchingSystem owns every intermediate product so callers can
+// go from two schemas + a document to probabilistic query answers in a
+// few lines (see examples/quickstart.cpp).
+#ifndef UXM_CORE_SYSTEM_H_
+#define UXM_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "blocktree/block_tree.h"
+#include "common/status.h"
+#include "mapping/top_h.h"
+#include "matching/matcher.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+
+namespace uxm {
+
+/// \brief End-to-end configuration.
+struct SystemOptions {
+  MatcherOptions matcher;
+  TopHOptions top_h;
+  BlockTreeOptions block_tree;
+  PtqOptions ptq;
+};
+
+/// \brief One-stop pipeline object.
+///
+/// Usage:
+///   UncertainMatchingSystem sys(options);
+///   UXM_RETURN_NOT_OK(sys.Prepare(&source, &target));
+///   UXM_RETURN_NOT_OK(sys.AttachDocument(&doc));
+///   auto result = sys.Query("Order/DeliverTo/Contact/EMail");
+class UncertainMatchingSystem {
+ public:
+  explicit UncertainMatchingSystem(SystemOptions options = {})
+      : options_(options) {}
+
+  /// Matches the schemas, generates the top-h mappings and builds the
+  /// block tree. Schemas must be finalized and outlive this object.
+  Status Prepare(const Schema* source, const Schema* target);
+
+  /// Uses an externally produced matching instead of running the matcher
+  /// (e.g. scores imported from a real COMA++ run).
+  Status PrepareFromMatching(SchemaMatching matching);
+
+  /// Binds the document the queries will run against. The document must
+  /// conform to the source schema and outlive this object.
+  Status AttachDocument(const Document* doc);
+
+  /// Evaluates a PTQ (block-tree accelerated). Requires Prepare +
+  /// AttachDocument.
+  Result<PtqResult> Query(const std::string& twig) const;
+
+  /// Evaluates a top-k PTQ (§IV-C).
+  Result<PtqResult> QueryTopK(const std::string& twig, int k) const;
+
+  /// Evaluates with Algorithm 3 instead (for comparison/testing).
+  Result<PtqResult> QueryBasic(const std::string& twig) const;
+
+  // Accessors for the intermediate products.
+  const SchemaMatching& matching() const { return matching_; }
+  const PossibleMappingSet& mappings() const { return mappings_; }
+  const BlockTree& block_tree() const { return build_.tree; }
+  const BlockTreeBuildResult& block_tree_build() const { return build_; }
+  bool prepared() const { return prepared_; }
+
+ private:
+  Status BuildDownstream();
+
+  SystemOptions options_;
+  SchemaMatching matching_;
+  PossibleMappingSet mappings_;
+  BlockTreeBuildResult build_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+  bool prepared_ = false;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_CORE_SYSTEM_H_

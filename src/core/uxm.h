@@ -1,0 +1,33 @@
+// Umbrella header: include this to use the whole library.
+#ifndef UXM_CORE_UXM_H_
+#define UXM_CORE_UXM_H_
+
+#include "blocktree/block_tree.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/system.h"
+#include "mapping/assignment.h"
+#include "mapping/murty.h"
+#include "mapping/partition.h"
+#include "mapping/possible_mapping.h"
+#include "mapping/top_h.h"
+#include "matching/matcher.h"
+#include "matching/matching.h"
+#include "matching/similarity.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+#include "query/structural_join.h"
+#include "query/twig_matcher.h"
+#include "query/twig_query.h"
+#include "workload/datasets.h"
+#include "workload/document_generator.h"
+#include "workload/schema_zoo.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+#include "xml/schema_parser.h"
+#include "xml/xml_parser.h"
+
+#endif  // UXM_CORE_UXM_H_

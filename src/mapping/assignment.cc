@@ -1,0 +1,192 @@
+#include "mapping/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace uxm {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+size_t AssignmentProblem::EdgeCount() const {
+  size_t n = 0;
+  for (const auto& row : adj) n += row.size();
+  return n;
+}
+
+double AssignmentProblem::WeightOf(int32_t row, int32_t col) const {
+  for (const Edge& e : adj[static_cast<size_t>(row)]) {
+    if (e.col == col) return e.weight;
+  }
+  return -kInf;
+}
+
+AssignmentProblem AssignmentProblem::FromMatching(
+    const SchemaMatching& matching, bool include_all_elements) {
+  AssignmentProblem p;
+  const Schema& source = matching.source();
+  const Schema& target = matching.target();
+
+  // Decide which elements participate.
+  std::vector<SchemaNodeId> sources;
+  std::vector<SchemaNodeId> targets;
+  if (include_all_elements) {
+    sources.resize(static_cast<size_t>(source.size()));
+    for (int i = 0; i < source.size(); ++i) sources[static_cast<size_t>(i)] = i;
+    targets.resize(static_cast<size_t>(target.size()));
+    for (int i = 0; i < target.size(); ++i) targets[static_cast<size_t>(i)] = i;
+  } else {
+    sources = matching.MatchedSources();
+    targets = matching.MatchedTargets();
+  }
+
+  p.num_rows = static_cast<int>(sources.size());
+  p.num_real_cols = static_cast<int>(targets.size());
+  p.row_source = sources;
+  p.col_target = targets;
+  p.adj.resize(static_cast<size_t>(p.num_rows));
+
+  // Dense id -> local index maps.
+  std::vector<int32_t> row_of(static_cast<size_t>(source.size()), -1);
+  std::vector<int32_t> col_of(static_cast<size_t>(target.size()), -1);
+  for (int32_t r = 0; r < p.num_rows; ++r) {
+    row_of[static_cast<size_t>(sources[static_cast<size_t>(r)])] = r;
+  }
+  for (int32_t c = 0; c < p.num_real_cols; ++c) {
+    col_of[static_cast<size_t>(targets[static_cast<size_t>(c)])] = c;
+  }
+
+  for (const Correspondence& corr : matching.correspondences()) {
+    const int32_t r = row_of[static_cast<size_t>(corr.source)];
+    const int32_t c = col_of[static_cast<size_t>(corr.target)];
+    if (r < 0 || c < 0) continue;
+    p.adj[static_cast<size_t>(r)].push_back({c, corr.score});
+  }
+  // Private null edge per row ("image" of Figure 7), weight 0.
+  for (int32_t r = 0; r < p.num_rows; ++r) {
+    p.adj[static_cast<size_t>(r)].push_back({p.NullCol(r), 0.0});
+  }
+  return p;
+}
+
+double AssignmentState::TotalWeight(const AssignmentProblem& problem) const {
+  double total = 0.0;
+  for (int32_t r = 0; r < problem.num_rows; ++r) {
+    const int32_t c = row_match[static_cast<size_t>(r)];
+    if (c < 0 || problem.IsNullCol(c)) continue;
+    total += problem.WeightOf(r, c);
+  }
+  return total;
+}
+
+AssignmentState AssignmentSolver::MakeInitialState() const {
+  AssignmentState st;
+  st.row_match.assign(static_cast<size_t>(problem_.num_rows), -1);
+  st.col_match.assign(static_cast<size_t>(problem_.num_cols()), -1);
+  st.u.assign(static_cast<size_t>(problem_.num_rows), 0.0);
+  st.v.assign(static_cast<size_t>(problem_.num_cols()), 0.0);
+  // Feasible potentials for cost = -weight: u[r] = min_c cost(r,c), v = 0,
+  // so reduced cost = -w - u[r] >= 0.
+  for (int32_t r = 0; r < problem_.num_rows; ++r) {
+    double min_cost = kInf;
+    for (const auto& e : problem_.adj[static_cast<size_t>(r)]) {
+      min_cost = std::min(min_cost, -e.weight);
+    }
+    st.u[static_cast<size_t>(r)] = (min_cost == kInf) ? 0.0 : min_cost;
+  }
+  return st;
+}
+
+bool AssignmentSolver::Solve(AssignmentState* state,
+                             const AssignmentConstraints& constraints) const {
+  for (int32_t r = 0; r < problem_.num_rows; ++r) {
+    if (!constraints.fixed_rows.empty() &&
+        constraints.fixed_rows[static_cast<size_t>(r)]) {
+      continue;
+    }
+    if (state->row_match[static_cast<size_t>(r)] >= 0) continue;
+    if (!AugmentRow(r, state, constraints)) return false;
+  }
+  return true;
+}
+
+bool AssignmentSolver::AugmentRow(
+    int32_t start_row, AssignmentState* state,
+    const AssignmentConstraints& constraints) const {
+  const int num_cols = problem_.num_cols();
+  UXM_CHECK(state->row_match[static_cast<size_t>(start_row)] < 0);
+
+  // Dijkstra over columns on reduced costs rc(r,c) = -w(r,c) - u[r] - v[c].
+  std::vector<double> dist(static_cast<size_t>(num_cols), kInf);
+  std::vector<int32_t> pred_row(static_cast<size_t>(num_cols), -1);
+  std::vector<uint8_t> done(static_cast<size_t>(num_cols), 0);
+  using HeapItem = std::pair<double, int32_t>;  // (dist, col)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  auto relax_row = [&](int32_t row, double base) {
+    for (const auto& e : problem_.adj[static_cast<size_t>(row)]) {
+      if (done[static_cast<size_t>(e.col)]) continue;
+      if (constraints.IsExcluded(row, e.col, num_cols)) continue;
+      const double rc = -e.weight - state->u[static_cast<size_t>(row)] -
+                        state->v[static_cast<size_t>(e.col)];
+      const double nd = base + rc;
+      if (nd < dist[static_cast<size_t>(e.col)] - 1e-15) {
+        dist[static_cast<size_t>(e.col)] = nd;
+        pred_row[static_cast<size_t>(e.col)] = row;
+        heap.push({nd, e.col});
+      }
+    }
+  };
+  relax_row(start_row, 0.0);
+
+  int32_t free_col = -1;
+  double free_dist = kInf;
+  std::vector<int32_t> visited_cols;
+  while (!heap.empty()) {
+    const auto [d, col] = heap.top();
+    heap.pop();
+    if (done[static_cast<size_t>(col)]) continue;
+    done[static_cast<size_t>(col)] = 1;
+    const int32_t owner = state->col_match[static_cast<size_t>(col)];
+    if (owner < 0) {
+      free_col = col;
+      free_dist = d;
+      break;
+    }
+    visited_cols.push_back(col);
+    const bool owner_fixed = !constraints.fixed_rows.empty() &&
+                             constraints.fixed_rows[static_cast<size_t>(owner)];
+    if (owner_fixed) continue;  // cannot reroute a fixed row
+    relax_row(owner, d);
+  }
+  if (free_col < 0) return false;
+
+  // Dual update keeping feasibility and tightness of matched edges.
+  state->u[static_cast<size_t>(start_row)] += free_dist;
+  for (int32_t col : visited_cols) {
+    const double dc = dist[static_cast<size_t>(col)];
+    if (dc >= free_dist) continue;
+    state->v[static_cast<size_t>(col)] += dc - free_dist;
+    const int32_t owner = state->col_match[static_cast<size_t>(col)];
+    if (owner >= 0) state->u[static_cast<size_t>(owner)] += free_dist - dc;
+  }
+
+  // Flip the matching along the augmenting path.
+  int32_t col = free_col;
+  while (col >= 0) {
+    const int32_t row = pred_row[static_cast<size_t>(col)];
+    const int32_t next_col = state->row_match[static_cast<size_t>(row)];
+    state->row_match[static_cast<size_t>(row)] = col;
+    state->col_match[static_cast<size_t>(col)] = row;
+    if (row == start_row) break;
+    col = next_col;
+  }
+  return true;
+}
+
+}  // namespace uxm

@@ -1,0 +1,124 @@
+// Sparse max-weight assignment machinery underlying top-h mapping
+// generation (§V). The bipartite of Figure 7 is modeled with one row per
+// source element and one column per target element, plus a *private null
+// column* per row playing the role of the paper's "image" element: a row
+// assigned to its null column is unmatched. Every solution of the
+// assignment problem is therefore exactly one possible mapping.
+//
+// The solver is a successive-shortest-path (Jonker-Volgenant style)
+// algorithm over the sparse edge list, with dual potentials maintained so
+// that a single row can be re-augmented in O(E log V) after an edge is
+// removed — the partial-resolve trick of Pascoal's Murty variant [13].
+#ifndef UXM_MAPPING_ASSIGNMENT_H_
+#define UXM_MAPPING_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "matching/matching.h"
+
+namespace uxm {
+
+/// \brief Sparse assignment problem: maximize total weight, every row
+/// assigned to a distinct column (its private null column at worst).
+struct AssignmentProblem {
+  struct Edge {
+    int32_t col = 0;       ///< Column id (real or null).
+    double weight = 0.0;   ///< Edge weight; null edges weigh 0.
+  };
+
+  int num_rows = 0;
+  int num_real_cols = 0;
+  /// Per-row adjacency; includes the row's null edge. Columns are
+  /// [0, num_real_cols) for real targets, num_real_cols + r for row r's
+  /// null column.
+  std::vector<std::vector<Edge>> adj;
+
+  /// Provenance: row r represents source element row_source[r]; real
+  /// column c represents target element col_target[c].
+  std::vector<SchemaNodeId> row_source;
+  std::vector<SchemaNodeId> col_target;
+
+  int num_cols() const { return num_real_cols + num_rows; }
+  int32_t NullCol(int32_t row) const { return num_real_cols + row; }
+  bool IsNullCol(int32_t col) const { return col >= num_real_cols; }
+
+  /// Total number of edges, including null edges.
+  size_t EdgeCount() const;
+
+  /// Weight of edge (row, col); 0 for null columns; -inf if absent.
+  double WeightOf(int32_t row, int32_t col) const;
+
+  /// \brief Builds the problem from a schema matching.
+  ///
+  /// With `include_all_elements` every element of S becomes a row and
+  /// every element of T a column — the paper's full bipartite of
+  /// size |S.N| + |T.N| used by the murty baseline. Otherwise only
+  /// elements incident to at least one correspondence are included
+  /// (used inside partitions).
+  static AssignmentProblem FromMatching(const SchemaMatching& matching,
+                                        bool include_all_elements);
+};
+
+/// \brief Constraints imposed on a (sub)problem during Murty ranking.
+struct AssignmentConstraints {
+  /// Rows whose assignment is frozen; augmenting paths may not reroute
+  /// through them. Size num_rows, value 1 = fixed.
+  std::vector<uint8_t> fixed_rows;
+  /// Forbidden edges, encoded row * num_cols + col.
+  std::unordered_set<int64_t> excluded;
+  /// One extra forbidden edge checked separately (the edge being excluded
+  /// while expanding a Murty node), or -1.
+  int64_t extra_excluded = -1;
+
+  bool IsExcluded(int32_t row, int32_t col, int num_cols) const {
+    const int64_t key = static_cast<int64_t>(row) * num_cols + col;
+    return key == extra_excluded || excluded.count(key) > 0;
+  }
+};
+
+/// \brief Mutable solver state: a matching plus feasible dual potentials.
+///
+/// Invariants after a successful solve/augment: every edge has
+/// non-negative reduced cost, matched edges are tight, every non-fixed
+/// row is assigned.
+struct AssignmentState {
+  std::vector<int32_t> row_match;  ///< row -> col, or -1.
+  std::vector<int32_t> col_match;  ///< col -> row, or -1.
+  std::vector<double> u;           ///< Row potentials.
+  std::vector<double> v;           ///< Column potentials.
+
+  /// Total weight of the current matching (null edges contribute 0).
+  double TotalWeight(const AssignmentProblem& problem) const;
+};
+
+/// \brief Successive-shortest-path solver.
+class AssignmentSolver {
+ public:
+  explicit AssignmentSolver(const AssignmentProblem& problem)
+      : problem_(problem) {}
+
+  /// Initializes an empty state with feasible potentials.
+  AssignmentState MakeInitialState() const;
+
+  /// Solves the full problem (assign every row). Returns false if some
+  /// row cannot be assigned under `constraints`.
+  bool Solve(AssignmentState* state,
+             const AssignmentConstraints& constraints) const;
+
+  /// Augments exactly one unassigned row. Returns false if no augmenting
+  /// path exists (subproblem infeasible).
+  bool AugmentRow(int32_t row, AssignmentState* state,
+                  const AssignmentConstraints& constraints) const;
+
+  const AssignmentProblem& problem() const { return problem_; }
+
+ private:
+  const AssignmentProblem& problem_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_MAPPING_ASSIGNMENT_H_

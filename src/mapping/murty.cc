@@ -1,0 +1,147 @@
+#include "mapping/murty.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace uxm {
+
+namespace {
+
+/// A node of Murty's ranking tree: an evaluated subproblem. Constraints
+/// are the accumulated fixed rows + excluded edges; `state` holds its
+/// optimal matching and feasible duals, ready for child re-augmentation.
+struct RankNode {
+  AssignmentState state;
+  std::vector<uint8_t> fixed_rows;           // 1 = frozen in this subproblem
+  std::vector<std::pair<int32_t, int32_t>> excluded;  // accumulated
+  double value = 0.0;
+};
+
+using NodePtr = std::unique_ptr<RankNode>;
+
+}  // namespace
+
+Result<std::vector<RankedAssignment>> MurtyRanker::Rank(int h) const {
+  if (h <= 0) return Status::InvalidArgument("h must be positive");
+  std::vector<RankedAssignment> out;
+  if (problem_.num_rows == 0) {
+    // The empty problem has exactly one (empty) solution.
+    out.push_back(RankedAssignment{{}, 0.0});
+    return out;
+  }
+
+  const int num_cols = problem_.num_cols();
+
+  // Root: unconstrained optimum.
+  auto root = std::make_unique<RankNode>();
+  root->state = solver_.MakeInitialState();
+  root->fixed_rows.assign(static_cast<size_t>(problem_.num_rows), 0);
+  {
+    AssignmentConstraints cons;
+    cons.fixed_rows = root->fixed_rows;
+    if (!solver_.Solve(&root->state, cons)) {
+      return Status::Internal("root assignment infeasible");
+    }
+  }
+  root->value = root->state.TotalWeight(problem_);
+
+  // Open queue ordered by value descending; trimmed to the number of
+  // solutions still needed.
+  std::multimap<double, NodePtr, std::greater<>> open;
+  open.emplace(root->value, std::move(root));
+
+  while (static_cast<int>(out.size()) < h && !open.empty()) {
+    NodePtr node = std::move(open.begin()->second);
+    open.erase(open.begin());
+
+    // Emit this node's solution.
+    out.push_back(RankedAssignment{node->state.row_match, node->value});
+    const int needed = h - static_cast<int>(out.size());
+    if (needed == 0) break;
+
+    // Partition the remaining solution space of `node` over its non-fixed
+    // rows. Child j fixes rows r_1..r_{j-1} at the node's assignment and
+    // excludes (r_j, assignment(r_j)).
+    std::vector<int32_t> split_rows;
+    for (int32_t r = 0; r < problem_.num_rows; ++r) {
+      if (node->fixed_rows[static_cast<size_t>(r)]) continue;
+      // A row whose only edge is its null column admits no alternative.
+      if (problem_.adj[static_cast<size_t>(r)].size() <= 1) continue;
+      split_rows.push_back(r);
+    }
+    if (options_.order_children_by_weight) {
+      // Expand rows with heavier current assignments first: excluding a
+      // heavy edge usually costs more, so later (more constrained)
+      // children tend to be cheap to prove bad and are trimmed early.
+      std::stable_sort(split_rows.begin(), split_rows.end(),
+                       [&](int32_t a, int32_t b) {
+                         const int32_t ca =
+                             node->state.row_match[static_cast<size_t>(a)];
+                         const int32_t cb =
+                             node->state.row_match[static_cast<size_t>(b)];
+                         return problem_.WeightOf(a, ca) >
+                                problem_.WeightOf(b, cb);
+                       });
+    }
+
+    // Shared evaluation scaffolding for all children of this node.
+    AssignmentConstraints cons;
+    cons.fixed_rows = node->fixed_rows;
+    cons.excluded.reserve(node->excluded.size() + 1);
+    for (const auto& [er, ec] : node->excluded) {
+      cons.excluded.insert(static_cast<int64_t>(er) * num_cols + ec);
+    }
+
+    for (size_t j = 0; j < split_rows.size(); ++j) {
+      const int32_t row = split_rows[j];
+      const int32_t old_col = node->state.row_match[static_cast<size_t>(row)];
+      cons.extra_excluded = static_cast<int64_t>(row) * num_cols + old_col;
+
+      // Prune: with the queue full, a child can only matter if it could
+      // beat the worst queued value; its value is at most the parent's.
+      if (static_cast<int>(open.size()) >= needed &&
+          std::prev(open.end())->first >= node->value) {
+        break;
+      }
+
+      // Evaluate the child by a fresh sparse re-solve. A warm single-row
+      // re-augmentation from the parent's duals (Pascoal's trick) is only
+      // sound in a column-perfect formulation; here excluding (row, col)
+      // frees a real column, which can make the parent matching
+      // suboptimal for its cardinality. Each augmentation below only
+      // explores its connected component of the sparse bipartite, so this
+      // stays cheap — and is exactly where the partitioning strategy of
+      // §V-B earns its speedup over this baseline.
+      AssignmentState child_state = solver_.MakeInitialState();
+      for (int32_t fr = 0; fr < problem_.num_rows; ++fr) {
+        if (!cons.fixed_rows[static_cast<size_t>(fr)]) continue;
+        const int32_t fc = node->state.row_match[static_cast<size_t>(fr)];
+        child_state.row_match[static_cast<size_t>(fr)] = fc;
+        child_state.col_match[static_cast<size_t>(fc)] = fr;
+      }
+      const bool feasible = solver_.Solve(&child_state, cons);
+      if (feasible) {
+        auto child = std::make_unique<RankNode>();
+        child->value = child_state.TotalWeight(problem_);
+        child->state = std::move(child_state);
+        child->fixed_rows = cons.fixed_rows;
+        child->excluded = node->excluded;
+        child->excluded.emplace_back(row, old_col);
+        open.emplace(child->value, std::move(child));
+        // Trim the queue to what can still be emitted.
+        while (static_cast<int>(open.size()) > needed) {
+          open.erase(std::prev(open.end()));
+        }
+      }
+
+      // Subsequent children fix this row at its current assignment; the
+      // exclusion of (row, old_col) does not carry over.
+      cons.fixed_rows[static_cast<size_t>(row)] = 1;
+      cons.extra_excluded = -1;
+    }
+  }
+  return out;
+}
+
+}  // namespace uxm

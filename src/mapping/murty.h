@@ -1,0 +1,53 @@
+// Murty's ranking algorithm [12] with the lazy partial-resolve evaluation
+// of Pascoal et al. [13]: expanding a ranking node re-solves each child by
+// a single shortest augmenting path starting from the parent's matching
+// and dual potentials, instead of solving each subproblem from scratch.
+// The open queue is additionally trimmed to the number of solutions still
+// needed, bounding memory by O(h · n).
+#ifndef UXM_MAPPING_MURTY_H_
+#define UXM_MAPPING_MURTY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/assignment.h"
+
+namespace uxm {
+
+/// \brief One ranked assignment.
+struct RankedAssignment {
+  std::vector<int32_t> row_to_col;  ///< row -> column (real or null).
+  double value = 0.0;               ///< Total weight.
+};
+
+/// \brief Options for the ranking run.
+struct MurtyOptions {
+  /// Partition child subproblems in increasing order of the weight of the
+  /// excluded edge (a Pascoal-style ordering heuristic). When false,
+  /// children are expanded in row order, as in plain Murty.
+  bool order_children_by_weight = true;
+};
+
+/// \brief Enumerates the h best assignments of a problem in non-increasing
+/// order of total weight. Solutions are guaranteed distinct.
+class MurtyRanker {
+ public:
+  explicit MurtyRanker(const AssignmentProblem& problem,
+                       MurtyOptions options = {})
+      : problem_(problem), solver_(problem_), options_(options) {}
+
+  /// Returns up to `h` best assignments. Fewer are returned when the
+  /// solution space is smaller than `h`.
+  Result<std::vector<RankedAssignment>> Rank(int h) const;
+
+  const AssignmentProblem& problem() const { return problem_; }
+
+ private:
+  const AssignmentProblem& problem_;
+  AssignmentSolver solver_;
+  MurtyOptions options_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_MAPPING_MURTY_H_

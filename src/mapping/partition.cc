@@ -1,0 +1,76 @@
+#include "mapping/partition.h"
+
+#include <algorithm>
+#include <map>
+
+namespace uxm {
+
+int UnionFind::Find(int x) {
+  int root = x;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(x)] != root) {
+    const int next = parent_[static_cast<size_t>(x)];
+    parent_[static_cast<size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+int UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return ra;
+  if (rank_[static_cast<size_t>(ra)] < rank_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  if (rank_[static_cast<size_t>(ra)] == rank_[static_cast<size_t>(rb)]) {
+    ++rank_[static_cast<size_t>(ra)];
+  }
+  return ra;
+}
+
+std::vector<SchemaMatching> PartitionMatching(const SchemaMatching& matching) {
+  const int ns = matching.source().size();
+  const int nt = matching.target().size();
+  // Source element s -> node s; target element t -> node ns + t.
+  UnionFind uf(ns + nt);
+  for (const Correspondence& c : matching.correspondences()) {
+    uf.Union(c.source, ns + c.target);
+  }
+  // Group correspondences by component root; keyed map keeps ordering
+  // deterministic (smallest element id first).
+  std::map<int, SchemaMatching> by_root;
+  for (const Correspondence& c : matching.correspondences()) {
+    const int root = uf.Find(c.source);
+    auto it = by_root.find(root);
+    if (it == by_root.end()) {
+      it = by_root
+               .emplace(root, SchemaMatching(matching.source_ptr(),
+                                             matching.target_ptr()))
+               .first;
+    }
+    // Add cannot fail here: ids are valid and pairs unique in `matching`.
+    it->second.Add(c.source, c.target, c.score).ok();
+  }
+  std::vector<SchemaMatching> out;
+  out.reserve(by_root.size());
+  // Order by smallest source element id within each partition.
+  std::vector<std::pair<SchemaNodeId, int>> order;
+  for (auto& [root, sub] : by_root) {
+    SchemaNodeId min_src = sub.correspondences().front().source;
+    for (const Correspondence& c : sub.correspondences()) {
+      min_src = std::min(min_src, c.source);
+    }
+    order.emplace_back(min_src, root);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [min_src, root] : order) {
+    out.push_back(std::move(by_root.at(root)));
+  }
+  return out;
+}
+
+}  // namespace uxm

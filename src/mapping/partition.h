@@ -1,0 +1,41 @@
+// Schema-matching partitioning (§V-B, Definition 6): maximal connected
+// subgraphs of the correspondence bipartite. Implemented with a union-find
+// over source/target elements; partitions are returned as sub-matchings
+// that share the original schemas.
+#ifndef UXM_MAPPING_PARTITION_H_
+#define UXM_MAPPING_PARTITION_H_
+
+#include <vector>
+
+#include "matching/matching.h"
+
+namespace uxm {
+
+/// \brief Disjoint-set forest used by the partitioner (and tested on its
+/// own). Elements are dense ints.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)), rank_(static_cast<size_t>(n), 0) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+
+  int Find(int x);
+  /// Unites the sets of a and b; returns the new root.
+  int Union(int a, int b);
+  /// True if a and b are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+};
+
+/// Splits `matching` into its maximal connected partitions. Elements with
+/// no correspondence form no partition (they can only be unmatched, which
+/// contributes nothing to any mapping). Partitions are ordered by their
+/// smallest source element id, so the result is deterministic.
+std::vector<SchemaMatching> PartitionMatching(const SchemaMatching& matching);
+
+}  // namespace uxm
+
+#endif  // UXM_MAPPING_PARTITION_H_

@@ -1,0 +1,112 @@
+#include "mapping/possible_mapping.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace uxm {
+
+int PossibleMapping::CorrespondenceCount() const {
+  int n = 0;
+  for (SchemaNodeId s : target_to_source) {
+    if (s != kInvalidSchemaNode) ++n;
+  }
+  return n;
+}
+
+std::vector<SchemaNodeId> PossibleMapping::MatchedTargets() const {
+  std::vector<SchemaNodeId> out;
+  for (size_t t = 0; t < target_to_source.size(); ++t) {
+    if (target_to_source[t] != kInvalidSchemaNode) {
+      out.push_back(static_cast<SchemaNodeId>(t));
+    }
+  }
+  return out;
+}
+
+void PossibleMappingSet::NormalizeProbabilities() {
+  if (mappings_.empty()) return;
+  double total = 0.0;
+  for (const PossibleMapping& m : mappings_) total += m.score;
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(mappings_.size());
+    for (PossibleMapping& m : mappings_) m.probability = uniform;
+    return;
+  }
+  for (PossibleMapping& m : mappings_) m.probability = m.score / total;
+}
+
+double PossibleMappingSet::OverlapRatio(MappingId a, MappingId b) const {
+  const PossibleMapping& ma = mappings_[static_cast<size_t>(a)];
+  const PossibleMapping& mb = mappings_[static_cast<size_t>(b)];
+  int inter = 0;
+  int uni = 0;
+  const size_t n = ma.target_to_source.size();
+  for (size_t t = 0; t < n; ++t) {
+    const SchemaNodeId sa = ma.target_to_source[t];
+    const SchemaNodeId sb = mb.target_to_source[t];
+    const bool ha = sa != kInvalidSchemaNode;
+    const bool hb = sb != kInvalidSchemaNode;
+    if (ha && hb) {
+      if (sa == sb) {
+        ++inter;
+        ++uni;
+      } else {
+        uni += 2;
+      }
+    } else if (ha || hb) {
+      ++uni;
+    }
+  }
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double PossibleMappingSet::AverageOverlapRatio(int sample_pairs) const {
+  const int n = size();
+  if (n < 2) return 1.0;
+  const int64_t all_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  double sum = 0.0;
+  if (sample_pairs <= 0 || all_pairs <= sample_pairs) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        sum += OverlapRatio(i, j);
+      }
+    }
+    return sum / static_cast<double>(all_pairs);
+  }
+  Rng rng(0xa11ce);
+  for (int k = 0; k < sample_pairs; ++k) {
+    const int i = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)));
+    int j = static_cast<int>(rng.Uniform(static_cast<uint64_t>(n - 1)));
+    if (j >= i) ++j;
+    sum += OverlapRatio(i, j);
+  }
+  return sum / static_cast<double>(sample_pairs);
+}
+
+size_t PossibleMappingSet::NaiveStorageBytes() const {
+  size_t bytes = 0;
+  for (const PossibleMapping& m : mappings_) {
+    bytes += sizeof(double);  // probability/score
+    bytes += static_cast<size_t>(m.CorrespondenceCount()) *
+             (2 * sizeof(SchemaNodeId));
+  }
+  return bytes;
+}
+
+std::string PossibleMappingSet::MappingToString(MappingId id) const {
+  const PossibleMapping& m = mappings_[static_cast<size_t>(id)];
+  std::string out;
+  for (size_t t = 0; t < m.target_to_source.size(); ++t) {
+    const SchemaNodeId s = m.target_to_source[t];
+    if (s == kInvalidSchemaNode) continue;
+    out += source_->path(s);
+    out += " ~ ";
+    out += target_->path(static_cast<SchemaNodeId>(t));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace uxm

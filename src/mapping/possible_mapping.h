@@ -1,0 +1,104 @@
+// Possible mappings (the paper's m_i): each target element matches at most
+// one source element and vice versa. A PossibleMappingSet is the paper's M,
+// with probabilities p_i summing to 1.
+#ifndef UXM_MAPPING_POSSIBLE_MAPPING_H_
+#define UXM_MAPPING_POSSIBLE_MAPPING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "matching/matching.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// Index of a mapping within a PossibleMappingSet.
+using MappingId = int32_t;
+
+/// \brief One possible mapping between S and T.
+///
+/// Stored as a dense target-indexed vector: `target_to_source[t]` is the
+/// source element matched to target element `t`, or kInvalidSchemaNode if
+/// `t` is unmatched under this mapping. The inverse direction is derivable
+/// and kept implicit (mappings are 1:1 where defined).
+struct PossibleMapping {
+  std::vector<SchemaNodeId> target_to_source;
+  double score = 0.0;        ///< Sum of correspondence scores.
+  double probability = 0.0;  ///< Normalized over the containing set.
+
+  /// Source element for `target`, or kInvalidSchemaNode.
+  SchemaNodeId SourceFor(SchemaNodeId target) const {
+    return target_to_source[static_cast<size_t>(target)];
+  }
+
+  /// True if this mapping contains the correspondence (source, target).
+  bool Contains(SchemaNodeId source, SchemaNodeId target) const {
+    return SourceFor(target) == source;
+  }
+
+  /// Number of correspondences in the mapping.
+  int CorrespondenceCount() const;
+
+  /// Target ids that are matched, ascending.
+  std::vector<SchemaNodeId> MatchedTargets() const;
+
+  bool operator==(const PossibleMapping& o) const {
+    return target_to_source == o.target_to_source;
+  }
+};
+
+/// \brief The paper's M: a set of possible mappings plus the schemas they
+/// relate. Probabilities are normalized on construction.
+class PossibleMappingSet {
+ public:
+  PossibleMappingSet() = default;
+  PossibleMappingSet(const Schema* source, const Schema* target)
+      : source_(source), target_(target) {}
+
+  const Schema& source() const { return *source_; }
+  const Schema& target() const { return *target_; }
+
+  /// Appends a mapping (score must be set; probability computed later).
+  void Add(PossibleMapping mapping) { mappings_.push_back(std::move(mapping)); }
+
+  /// Recomputes probabilities p_i = score_i / sum(scores); uniform if all
+  /// scores are zero. No-op on an empty set.
+  void NormalizeProbabilities();
+
+  int size() const { return static_cast<int>(mappings_.size()); }
+  bool empty() const { return mappings_.empty(); }
+
+  const PossibleMapping& mapping(MappingId id) const {
+    return mappings_[static_cast<size_t>(id)];
+  }
+  const std::vector<PossibleMapping>& mappings() const { return mappings_; }
+  std::vector<PossibleMapping>* mutable_mappings() { return &mappings_; }
+
+  /// o-ratio of two mappings: |mi ∩ mj| / |mi ∪ mj| over correspondence
+  /// sets (1.0 if both are empty).
+  double OverlapRatio(MappingId a, MappingId b) const;
+
+  /// Average o-ratio over all unordered pairs (paper §VI-B.1). For sets
+  /// larger than `sample_pairs` pairs a deterministic subsample is used;
+  /// pass 0 to force the exact all-pairs average.
+  double AverageOverlapRatio(int sample_pairs = 0) const;
+
+  /// Bytes needed to store all mappings naively (each correspondence as a
+  /// pair of 4-byte ids plus an 8-byte score per mapping). Baseline for
+  /// the compression-ratio metric of Figure 9(a).
+  size_t NaiveStorageBytes() const;
+
+  /// Renders mapping `id` as "src ~ tgt" lines using schema paths.
+  std::string MappingToString(MappingId id) const;
+
+ private:
+  const Schema* source_ = nullptr;
+  const Schema* target_ = nullptr;
+  std::vector<PossibleMapping> mappings_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_MAPPING_POSSIBLE_MAPPING_H_

@@ -1,0 +1,212 @@
+#include "mapping/top_h.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "mapping/partition.h"
+
+namespace uxm {
+
+namespace {
+
+/// Converts a ranked assignment over `problem` into a PossibleMapping on
+/// the full schemas.
+PossibleMapping ToMapping(const AssignmentProblem& problem,
+                          const RankedAssignment& ranked, int target_size) {
+  PossibleMapping m;
+  m.target_to_source.assign(static_cast<size_t>(target_size),
+                            kInvalidSchemaNode);
+  m.score = ranked.value;
+  for (int32_t r = 0; r < problem.num_rows; ++r) {
+    const int32_t c = ranked.row_to_col[static_cast<size_t>(r)];
+    if (c < 0 || problem.IsNullCol(c)) continue;
+    const SchemaNodeId tgt = problem.col_target[static_cast<size_t>(c)];
+    m.target_to_source[static_cast<size_t>(tgt)] =
+        problem.row_source[static_cast<size_t>(r)];
+  }
+  return m;
+}
+
+/// Lazy top-h merge of two sorted-descending lists of values: returns up
+/// to h (i, j) index pairs with the largest sums, sorted descending.
+std::vector<std::pair<int, int>> MergeTwo(const std::vector<double>& a,
+                                          const std::vector<double>& b,
+                                          int h) {
+  std::vector<std::pair<int, int>> out;
+  if (a.empty() || b.empty()) return out;
+  using Item = std::pair<double, std::pair<int, int>>;
+  std::priority_queue<Item> heap;
+  std::set<std::pair<int, int>> seen;
+  heap.push({a[0] + b[0], {0, 0}});
+  seen.insert({0, 0});
+  while (!heap.empty() && static_cast<int>(out.size()) < h) {
+    const auto [sum, ij] = heap.top();
+    heap.pop();
+    out.push_back(ij);
+    const auto [i, j] = ij;
+    if (i + 1 < static_cast<int>(a.size()) && seen.insert({i + 1, j}).second) {
+      heap.push({a[static_cast<size_t>(i) + 1] + b[static_cast<size_t>(j)],
+                 {i + 1, j}});
+    }
+    if (j + 1 < static_cast<int>(b.size()) && seen.insert({i, j + 1}).second) {
+      heap.push({a[static_cast<size_t>(i)] + b[static_cast<size_t>(j) + 1],
+                 {i, j + 1}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> TopHCombinations(
+    const std::vector<std::vector<double>>& lists, int h) {
+  std::vector<std::vector<int>> out;
+  if (h <= 0) return out;
+  for (const auto& list : lists) {
+    if (list.empty()) return out;  // no combination exists
+  }
+  if (lists.empty()) {
+    out.push_back({});
+    return out;
+  }
+  // Fold left: maintain the top-h prefix combinations and their sums.
+  // prefix[k] = (sum, chain index into previous prefix, index into list).
+  struct Entry {
+    double sum;
+    int prev;   // index into previous round's entries (-1 for the first)
+    int choice;
+  };
+  std::vector<std::vector<Entry>> rounds;
+  {
+    std::vector<Entry> first;
+    const int take = std::min<int>(h, static_cast<int>(lists[0].size()));
+    first.reserve(static_cast<size_t>(take));
+    for (int i = 0; i < take; ++i) {
+      first.push_back({lists[0][static_cast<size_t>(i)], -1, i});
+    }
+    rounds.push_back(std::move(first));
+  }
+  for (size_t l = 1; l < lists.size(); ++l) {
+    std::vector<double> prefix_sums;
+    prefix_sums.reserve(rounds.back().size());
+    for (const Entry& e : rounds.back()) prefix_sums.push_back(e.sum);
+    const auto pairs = MergeTwo(prefix_sums, lists[l], h);
+    std::vector<Entry> next;
+    next.reserve(pairs.size());
+    for (const auto& [i, j] : pairs) {
+      next.push_back({prefix_sums[static_cast<size_t>(i)] +
+                          lists[l][static_cast<size_t>(j)],
+                      i, j});
+    }
+    rounds.push_back(std::move(next));
+  }
+  // Reconstruct index tuples by walking the chains backwards.
+  const auto& last = rounds.back();
+  out.reserve(last.size());
+  for (size_t k = 0; k < last.size(); ++k) {
+    std::vector<int> tuple(lists.size());
+    int idx = static_cast<int>(k);
+    for (size_t l = lists.size(); l-- > 0;) {
+      const Entry& e = rounds[l][static_cast<size_t>(idx)];
+      tuple[l] = e.choice;
+      idx = e.prev;
+    }
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+Result<PossibleMappingSet> TopHGenerator::Generate(
+    const SchemaMatching& matching) const {
+  if (options_.h <= 0) return Status::InvalidArgument("h must be positive");
+  last_partition_count_ = 0;
+  if (options_.strategy == TopHStrategy::kMurty) {
+    return GenerateMurty(matching);
+  }
+  return GeneratePartitioned(matching);
+}
+
+Result<PossibleMappingSet> TopHGenerator::GenerateMurty(
+    const SchemaMatching& matching) const {
+  const AssignmentProblem problem = AssignmentProblem::FromMatching(
+      matching, options_.full_bipartite_for_murty);
+  MurtyRanker ranker(problem, options_.murty);
+  UXM_ASSIGN_OR_RETURN(std::vector<RankedAssignment> ranked,
+                       ranker.Rank(options_.h));
+  PossibleMappingSet set(matching.source_ptr(), matching.target_ptr());
+  for (const RankedAssignment& ra : ranked) {
+    set.Add(ToMapping(problem, ra, matching.target().size()));
+  }
+  set.NormalizeProbabilities();
+  return set;
+}
+
+Result<PossibleMappingSet> TopHGenerator::GeneratePartitioned(
+    const SchemaMatching& matching) const {
+  PossibleMappingSet set(matching.source_ptr(), matching.target_ptr());
+  const std::vector<SchemaMatching> parts = PartitionMatching(matching);
+  last_partition_count_ = static_cast<int>(parts.size());
+  if (parts.empty()) {
+    // No correspondences at all: the only mapping is the empty one.
+    PossibleMapping empty;
+    empty.target_to_source.assign(
+        static_cast<size_t>(matching.target().size()), kInvalidSchemaNode);
+    set.Add(std::move(empty));
+    set.NormalizeProbabilities();
+    return set;
+  }
+
+  // Rank each partition independently (bipartite restricted to the
+  // partition's matched elements only — this is where the speedup lives).
+  std::vector<AssignmentProblem> problems;
+  std::vector<std::vector<RankedAssignment>> rankings;
+  problems.reserve(parts.size());
+  rankings.reserve(parts.size());
+  for (const SchemaMatching& part : parts) {
+    problems.push_back(AssignmentProblem::FromMatching(
+        part, /*include_all_elements=*/false));
+    MurtyRanker ranker(problems.back(), options_.murty);
+    UXM_ASSIGN_OR_RETURN(std::vector<RankedAssignment> ranked,
+                         ranker.Rank(options_.h));
+    rankings.push_back(std::move(ranked));
+  }
+
+  // Merge: global top-h over sums of per-partition values (Algorithm 5).
+  std::vector<std::vector<double>> value_lists;
+  value_lists.reserve(rankings.size());
+  for (const auto& ranked : rankings) {
+    std::vector<double> values;
+    values.reserve(ranked.size());
+    for (const RankedAssignment& ra : ranked) values.push_back(ra.value);
+    value_lists.push_back(std::move(values));
+  }
+  const std::vector<std::vector<int>> combos =
+      TopHCombinations(value_lists, options_.h);
+
+  const int nt = matching.target().size();
+  for (const auto& combo : combos) {
+    PossibleMapping m;
+    m.target_to_source.assign(static_cast<size_t>(nt), kInvalidSchemaNode);
+    double score = 0.0;
+    for (size_t p = 0; p < combo.size(); ++p) {
+      const RankedAssignment& ra =
+          rankings[p][static_cast<size_t>(combo[p])];
+      score += ra.value;
+      const AssignmentProblem& problem = problems[p];
+      for (int32_t r = 0; r < problem.num_rows; ++r) {
+        const int32_t c = ra.row_to_col[static_cast<size_t>(r)];
+        if (c < 0 || problem.IsNullCol(c)) continue;
+        const SchemaNodeId tgt = problem.col_target[static_cast<size_t>(c)];
+        m.target_to_source[static_cast<size_t>(tgt)] =
+            problem.row_source[static_cast<size_t>(r)];
+      }
+    }
+    m.score = score;
+    set.Add(std::move(m));
+  }
+  set.NormalizeProbabilities();
+  return set;
+}
+
+}  // namespace uxm

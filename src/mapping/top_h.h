@@ -1,0 +1,67 @@
+// Top-h possible-mapping generation (§V, Algorithm 5). Two strategies:
+//  - kMurty: rank the full bipartite directly (the paper's baseline);
+//  - kPartition: split the matching into connected partitions, rank each
+//    independently, then lazily merge the per-partition rankings into the
+//    global top-h (the paper's divide-and-conquer contribution).
+#ifndef UXM_MAPPING_TOP_H_H_
+#define UXM_MAPPING_TOP_H_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mapping/murty.h"
+#include "mapping/possible_mapping.h"
+#include "matching/matching.h"
+
+namespace uxm {
+
+/// Generation strategy (Figure 10(e)/(f) compares the two).
+enum class TopHStrategy {
+  kMurty,      ///< Rank the whole bipartite (baseline).
+  kPartition,  ///< Partition, rank per partition, merge (§V-B).
+};
+
+/// \brief Options for top-h mapping generation.
+struct TopHOptions {
+  int h = 100;
+  TopHStrategy strategy = TopHStrategy::kPartition;
+  /// For the murty baseline: include every schema element in the bipartite
+  /// (the paper's |S.N|+|T.N| construction). Partitioning always works on
+  /// matched elements only, which is where its advantage comes from.
+  bool full_bipartite_for_murty = true;
+  MurtyOptions murty;
+};
+
+/// \brief Merges per-partition rankings into a global top-h (the merge
+/// step of Algorithm 5). Exposed for testing: given l lists of values
+/// sorted non-increasing, returns up to h index tuples whose sums are the
+/// h largest, ordered non-increasing. Each returned tuple has one index
+/// per input list.
+std::vector<std::vector<int>> TopHCombinations(
+    const std::vector<std::vector<double>>& lists, int h);
+
+/// \brief Generates the top-h possible mappings of a schema matching,
+/// probabilities normalized over the returned set.
+class TopHGenerator {
+ public:
+  explicit TopHGenerator(TopHOptions options = {}) : options_(options) {}
+
+  Result<PossibleMappingSet> Generate(const SchemaMatching& matching) const;
+
+  /// Number of partitions used by the last Generate() call with the
+  /// kPartition strategy (reported in §VI-B.7).
+  int last_partition_count() const { return last_partition_count_; }
+
+ private:
+  Result<PossibleMappingSet> GenerateMurty(
+      const SchemaMatching& matching) const;
+  Result<PossibleMappingSet> GeneratePartitioned(
+      const SchemaMatching& matching) const;
+
+  TopHOptions options_;
+  mutable int last_partition_count_ = 0;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_MAPPING_TOP_H_H_

@@ -1,0 +1,181 @@
+#include "matching/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace uxm {
+
+namespace {
+
+/// Appends canonicalized tokens of `name` to `out`.
+void AppendTokens(std::string_view name, const Thesaurus& thesaurus,
+                  std::vector<std::string>* out) {
+  for (const std::string& tok : TokenizeName(name)) {
+    out->push_back(thesaurus.Canonical(tok));
+  }
+}
+
+}  // namespace
+
+std::vector<ComposedMatcher::Features> ComposedMatcher::ComputeFeatures(
+    const Schema& schema) const {
+  std::vector<Features> feats(static_cast<size_t>(schema.size()));
+  for (const SchemaNode& node : schema.nodes()) {
+    Features& f = feats[static_cast<size_t>(node.id)];
+    f.lower_name = ToLower(node.name);
+    AppendTokens(node.name, thesaurus_, &f.name_tokens);
+    for (SchemaNodeId c : node.children) {
+      AppendTokens(schema.name(c), thesaurus_, &f.child_tokens);
+    }
+  }
+  // Path tokens: parent's path tokens + own name tokens (root downward).
+  for (const SchemaNode& node : schema.nodes()) {  // ids are topological
+    Features& f = feats[static_cast<size_t>(node.id)];
+    if (node.parent != kInvalidSchemaNode) {
+      const Features& pf = feats[static_cast<size_t>(node.parent)];
+      f.path_tokens = pf.path_tokens;
+    }
+    for (const std::string& tok : f.name_tokens) f.path_tokens.push_back(tok);
+  }
+  // Leaf tokens: bottom-up accumulation in post-order.
+  for (SchemaNodeId id : schema.post_order()) {
+    const SchemaNode& node = schema.node(id);
+    Features& f = feats[static_cast<size_t>(id)];
+    if (node.children.empty()) {
+      f.leaf_tokens = f.name_tokens;
+    } else {
+      for (SchemaNodeId c : node.children) {
+        const Features& cf = feats[static_cast<size_t>(c)];
+        f.leaf_tokens.insert(f.leaf_tokens.end(), cf.leaf_tokens.begin(),
+                             cf.leaf_tokens.end());
+      }
+      // Bound feature size on big schemas; a sample of leaf names is enough
+      // for a similarity signal.
+      constexpr size_t kMaxLeafTokens = 48;
+      if (f.leaf_tokens.size() > kMaxLeafTokens) {
+        f.leaf_tokens.resize(kMaxLeafTokens);
+      }
+    }
+  }
+  return feats;
+}
+
+double ComposedMatcher::PairScore(const Schema& s, const Features& fs,
+                                  SchemaNodeId sid, const Schema& t,
+                                  const Features& ft, SchemaNodeId tid) const {
+  const double name =
+      0.6 * TokenSetSimilarity(fs.name_tokens, ft.name_tokens, thesaurus_) +
+      0.25 * TrigramSimilarity(fs.lower_name, ft.lower_name) +
+      0.15 * LevenshteinSimilarity(fs.lower_name, ft.lower_name);
+
+  double structure = 0.0;
+  if (options_.strategy == MatcherStrategy::kContext) {
+    // Context = root path agreement + descendant-content agreement + a
+    // mild relative-depth bonus.
+    const double path =
+        TokenSetSimilarity(fs.path_tokens, ft.path_tokens, thesaurus_);
+    const double leaves =
+        TokenSetSimilarity(fs.leaf_tokens, ft.leaf_tokens, thesaurus_);
+    const double ds = static_cast<double>(s.node(sid).depth) /
+                      std::max(1, s.Height());
+    const double dt = static_cast<double>(t.node(tid).depth) /
+                      std::max(1, t.Height());
+    structure = 0.5 * path + 0.35 * leaves +
+                0.15 * (1.0 - std::fabs(ds - dt));
+  } else {
+    const bool s_leaf = s.node(sid).children.empty();
+    const bool t_leaf = t.node(tid).children.empty();
+    if (s_leaf != t_leaf) {
+      structure = 0.25;  // leaf vs internal: weak structural agreement
+    } else if (s_leaf) {
+      // Two leaves: fragment similarity is parent-context similarity.
+      const SchemaNodeId sp = s.node(sid).parent;
+      const SchemaNodeId tp = t.node(tid).parent;
+      if (sp != kInvalidSchemaNode && tp != kInvalidSchemaNode) {
+        structure = NameSimilarity(s.name(sp), t.name(tp), thesaurus_);
+      } else {
+        structure = 0.5;
+      }
+    } else {
+      structure =
+          0.5 * TokenSetSimilarity(fs.child_tokens, ft.child_tokens,
+                                   thesaurus_) +
+          0.5 * TokenSetSimilarity(fs.leaf_tokens, ft.leaf_tokens, thesaurus_);
+    }
+  }
+  return options_.name_weight * name + (1.0 - options_.name_weight) * structure;
+}
+
+Result<SchemaMatching> ComposedMatcher::Match(const Schema& source,
+                                              const Schema& target) const {
+  if (!source.finalized() || !target.finalized()) {
+    return Status::InvalidArgument("schemas must be finalized before Match");
+  }
+  if (options_.name_weight < 0.0 || options_.name_weight > 1.0) {
+    return Status::InvalidArgument("name_weight must be in [0, 1]");
+  }
+  const std::vector<Features> fs = ComputeFeatures(source);
+  const std::vector<Features> ft = ComputeFeatures(target);
+
+  const int ns = source.size();
+  const int nt = target.size();
+  std::vector<double> best_for_source(static_cast<size_t>(ns), 0.0);
+  std::vector<double> best_for_target(static_cast<size_t>(nt), 0.0);
+
+  struct Cand {
+    SchemaNodeId s;
+    SchemaNodeId t;
+    double score;
+  };
+  std::vector<Cand> cands;
+  for (SchemaNodeId si = 0; si < ns; ++si) {
+    for (SchemaNodeId ti = 0; ti < nt; ++ti) {
+      const double score = PairScore(source, fs[static_cast<size_t>(si)], si,
+                                     target, ft[static_cast<size_t>(ti)], ti);
+      if (score < options_.threshold) continue;
+      cands.push_back({si, ti, score});
+      best_for_source[static_cast<size_t>(si)] =
+          std::max(best_for_source[static_cast<size_t>(si)], score);
+      best_for_target[static_cast<size_t>(ti)] =
+          std::max(best_for_target[static_cast<size_t>(ti)], score);
+    }
+  }
+
+  // Relative dominance filter, then per-target cap by descending score.
+  std::vector<Cand> kept;
+  for (const Cand& c : cands) {
+    const double bar =
+        options_.relative_factor *
+        std::min(best_for_source[static_cast<size_t>(c.s)],
+                 best_for_target[static_cast<size_t>(c.t)]);
+    if (c.score >= bar) kept.push_back(c);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Cand& a, const Cand& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.t != b.t) return a.t < b.t;
+    return a.s < b.s;
+  });
+
+  SchemaMatching matching(&source, &target);
+  std::vector<int> per_target(static_cast<size_t>(nt), 0);
+  std::vector<int> per_source(static_cast<size_t>(ns), 0);
+  for (const Cand& c : kept) {
+    if (options_.max_per_target > 0 &&
+        per_target[static_cast<size_t>(c.t)] >= options_.max_per_target) {
+      continue;
+    }
+    if (options_.max_per_source > 0 &&
+        per_source[static_cast<size_t>(c.s)] >= options_.max_per_source) {
+      continue;
+    }
+    const double clamped = std::min(1.0, c.score);
+    UXM_RETURN_NOT_OK(matching.Add(c.s, c.t, clamped));
+    ++per_target[static_cast<size_t>(c.t)];
+    ++per_source[static_cast<size_t>(c.s)];
+  }
+  return matching;
+}
+
+}  // namespace uxm

@@ -1,0 +1,81 @@
+#include "matching/matching.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace uxm {
+
+Status SchemaMatching::Add(SchemaNodeId source, SchemaNodeId target,
+                           double score) {
+  if (source_ == nullptr || target_ == nullptr) {
+    return Status::Internal("SchemaMatching has no schemas attached");
+  }
+  if (source < 0 || source >= source_->size()) {
+    return Status::InvalidArgument("source id out of range");
+  }
+  if (target < 0 || target >= target_->size()) {
+    return Status::InvalidArgument("target id out of range");
+  }
+  if (score <= 0.0 || score > 1.0) {
+    return Status::InvalidArgument("score must be in (0, 1]");
+  }
+  for (const Correspondence& c : corrs_) {
+    if (c.source == source && c.target == target) {
+      return Status::AlreadyExists("duplicate correspondence");
+    }
+  }
+  corrs_.push_back(Correspondence{source, target, score});
+  return Status::OK();
+}
+
+std::vector<Correspondence> SchemaMatching::ForTarget(
+    SchemaNodeId target) const {
+  std::vector<Correspondence> out;
+  for (const Correspondence& c : corrs_) {
+    if (c.target == target) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Correspondence> SchemaMatching::ForSource(
+    SchemaNodeId source) const {
+  std::vector<Correspondence> out;
+  for (const Correspondence& c : corrs_) {
+    if (c.source == source) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<SchemaNodeId> SchemaMatching::MatchedSources() const {
+  std::set<SchemaNodeId> s;
+  for (const Correspondence& c : corrs_) s.insert(c.source);
+  return std::vector<SchemaNodeId>(s.begin(), s.end());
+}
+
+std::vector<SchemaNodeId> SchemaMatching::MatchedTargets() const {
+  std::set<SchemaNodeId> s;
+  for (const Correspondence& c : corrs_) s.insert(c.target);
+  return std::vector<SchemaNodeId>(s.begin(), s.end());
+}
+
+std::string SchemaMatching::ToString() const {
+  std::vector<Correspondence> sorted = corrs_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Correspondence& a, const Correspondence& b) {
+              return a.score > b.score;
+            });
+  std::string out;
+  for (const Correspondence& c : sorted) {
+    out += source_->path(c.source);
+    out += " ~ ";
+    out += target_->path(c.target);
+    out += " (";
+    out += FormatDouble(c.score, 2);
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace uxm

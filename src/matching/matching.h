@@ -1,0 +1,73 @@
+// Core schema-matching types: Correspondence and SchemaMatching (the paper's
+// U). A matching is a set of scored edges between elements of a source
+// schema S and a target schema T.
+#ifndef UXM_MATCHING_MATCHING_H_
+#define UXM_MATCHING_MATCHING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief A scored edge (x, y) between a source and a target element.
+struct Correspondence {
+  SchemaNodeId source = kInvalidSchemaNode;  ///< Element of S.
+  SchemaNodeId target = kInvalidSchemaNode;  ///< Element of T.
+  double score = 0.0;                        ///< Similarity in (0, 1].
+
+  bool operator==(const Correspondence& o) const {
+    return source == o.source && target == o.target;
+  }
+};
+
+/// \brief A schema matching U between S and T (Table I).
+///
+/// Holds non-owning pointers to the two schemas, which must outlive the
+/// matching; all downstream structures (mappings, block trees) reference
+/// elements by their dense ids in these schemas.
+class SchemaMatching {
+ public:
+  SchemaMatching() = default;
+  SchemaMatching(const Schema* source, const Schema* target)
+      : source_(source), target_(target) {}
+
+  const Schema& source() const { return *source_; }
+  const Schema& target() const { return *target_; }
+  const Schema* source_ptr() const { return source_; }
+  const Schema* target_ptr() const { return target_; }
+
+  /// Adds a correspondence. Returns InvalidArgument on out-of-range ids,
+  /// non-positive score, or duplicate (source,target) pair.
+  Status Add(SchemaNodeId source, SchemaNodeId target, double score);
+
+  const std::vector<Correspondence>& correspondences() const { return corrs_; }
+
+  /// Capacity of the matching (paper Table II, "Cap."): number of edges.
+  int size() const { return static_cast<int>(corrs_.size()); }
+  bool empty() const { return corrs_.empty(); }
+
+  /// All correspondences incident to a given target element.
+  std::vector<Correspondence> ForTarget(SchemaNodeId target) const;
+
+  /// All correspondences incident to a given source element.
+  std::vector<Correspondence> ForSource(SchemaNodeId source) const;
+
+  /// Distinct source (resp. target) elements that appear in some edge.
+  std::vector<SchemaNodeId> MatchedSources() const;
+  std::vector<SchemaNodeId> MatchedTargets() const;
+
+  /// Renders edges as "SourcePath ~ TargetPath (score)" lines.
+  std::string ToString() const;
+
+ private:
+  const Schema* source_ = nullptr;
+  const Schema* target_ = nullptr;
+  std::vector<Correspondence> corrs_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_MATCHING_MATCHING_H_

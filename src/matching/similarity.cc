@@ -1,0 +1,168 @@
+#include "matching/similarity.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace uxm {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const int dist = LevenshteinDistance(a, b);
+  const double denom = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - static_cast<double>(dist) / denom;
+}
+
+double TrigramSimilarity(std::string_view a_raw, std::string_view b_raw) {
+  const std::string a = ToLower(a_raw);
+  const std::string b = ToLower(b_raw);
+  if (a.size() < 3 || b.size() < 3) {
+    if (a == b) return 1.0;
+    if (!a.empty() && !b.empty() &&
+        (a.find(b) != std::string::npos || b.find(a) != std::string::npos)) {
+      return 0.5;
+    }
+    return 0.0;
+  }
+  auto trigrams = [](const std::string& s) {
+    std::unordered_set<std::string> grams;
+    for (size_t i = 0; i + 3 <= s.size(); ++i) grams.insert(s.substr(i, 3));
+    return grams;
+  };
+  const auto ga = trigrams(a);
+  const auto gb = trigrams(b);
+  size_t common = 0;
+  for (const auto& g : ga) {
+    if (gb.count(g)) ++common;
+  }
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(ga.size() + gb.size());
+}
+
+void Thesaurus::AddSynonymGroup(const std::vector<std::string>& group) {
+  if (group.empty()) return;
+  // If any member already has a group, merge into that group id; otherwise
+  // allocate a fresh one. (Groups in practice are declared disjoint.)
+  int gid = -1;
+  for (const std::string& w : group) {
+    auto it = group_of_.find(ToLower(w));
+    if (it != group_of_.end()) {
+      gid = it->second;
+      break;
+    }
+  }
+  if (gid < 0) {
+    gid = static_cast<int>(representative_.size());
+    representative_.push_back(ToLower(group.front()));
+  }
+  for (const std::string& w : group) group_of_[ToLower(w)] = gid;
+}
+
+bool Thesaurus::AreSynonyms(std::string_view a, std::string_view b) const {
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  if (la == lb) return true;
+  auto ia = group_of_.find(la);
+  auto ib = group_of_.find(lb);
+  return ia != group_of_.end() && ib != group_of_.end() &&
+         ia->second == ib->second;
+}
+
+std::string Thesaurus::Canonical(std::string_view word) const {
+  const std::string lw = ToLower(word);
+  auto it = group_of_.find(lw);
+  if (it == group_of_.end()) return lw;
+  return representative_[static_cast<size_t>(it->second)];
+}
+
+Thesaurus Thesaurus::CommerceDefault() {
+  Thesaurus t;
+  t.AddSynonymGroup({"buyer", "purchaser", "customer"});
+  t.AddSynonymGroup({"supplier", "seller", "vendor"});
+  t.AddSynonymGroup({"order", "po", "purchaseorder"});
+  t.AddSynonymGroup({"item", "line", "article", "position", "detail"});
+  t.AddSynonymGroup({"price", "pricing", "amount", "cost"});
+  t.AddSynonymGroup({"quantity", "qty", "count"});
+  t.AddSynonymGroup({"id", "identifier", "number", "no", "num", "code"});
+  t.AddSynonymGroup({"name", "label", "title"});
+  t.AddSynonymGroup({"address", "addr", "location"});
+  t.AddSynonymGroup({"phone", "telephone", "tel"});
+  t.AddSynonymGroup({"email", "mail", "emailaddress"});
+  t.AddSynonymGroup({"zip", "postal", "postcode", "zipcode"});
+  t.AddSynonymGroup({"country", "nation"});
+  t.AddSynonymGroup({"city", "town"});
+  t.AddSynonymGroup({"street", "road"});
+  t.AddSynonymGroup({"contact", "person"});
+  t.AddSynonymGroup({"date", "time", "datetime"});
+  t.AddSynonymGroup({"delivery", "deliver", "shipping", "ship", "shipment",
+                     "shipto", "receiving", "dispatch"});
+  t.AddSynonymGroup({"invoice", "bill", "billing"});
+  t.AddSynonymGroup({"party", "partner", "organization", "org", "company"});
+  t.AddSynonymGroup({"currency", "curr"});
+  t.AddSynonymGroup({"tax", "vat", "duty"});
+  t.AddSynonymGroup({"total", "sum", "subtotal"});
+  t.AddSynonymGroup({"description", "desc", "remark", "note", "comment"});
+  t.AddSynonymGroup({"unit", "uom", "measure"});
+  t.AddSynonymGroup({"reference", "ref"});
+  t.AddSynonymGroup({"header", "head"});
+  t.AddSynonymGroup({"body", "content"});
+  t.AddSynonymGroup({"fax", "facsimile"});
+  t.AddSynonymGroup({"region", "state", "province"});
+  return t;
+}
+
+double TokenSetSimilarity(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b,
+                          const Thesaurus& thesaurus) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_set<std::string> ca;
+  std::unordered_set<std::string> cb;
+  for (const auto& w : a) ca.insert(thesaurus.Canonical(w));
+  for (const auto& w : b) cb.insert(thesaurus.Canonical(w));
+  size_t common = 0;
+  for (const auto& w : ca) {
+    if (cb.count(w)) ++common;
+  }
+  const size_t uni = ca.size() + cb.size() - common;
+  if (uni == 0) return 1.0;
+  // Blend Jaccard with the overlap coefficient so that containment
+  // ("POLine" ⊃ "Line") is rewarded: element names in B2B standards are
+  // frequently qualified supersets of each other.
+  const double jaccard =
+      static_cast<double>(common) / static_cast<double>(uni);
+  const double overlap = static_cast<double>(common) /
+                         static_cast<double>(std::min(ca.size(), cb.size()));
+  return 0.65 * jaccard + 0.35 * overlap;
+}
+
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const Thesaurus& thesaurus) {
+  const auto ta = TokenizeName(a);
+  const auto tb = TokenizeName(b);
+  const double token = TokenSetSimilarity(ta, tb, thesaurus);
+  const double tri = TrigramSimilarity(a, b);
+  const double lev = LevenshteinSimilarity(ToLower(a), ToLower(b));
+  return 0.55 * token + 0.25 * tri + 0.20 * lev;
+}
+
+}  // namespace uxm

@@ -1,0 +1,65 @@
+// String and token-set similarity measures used by the composite matcher:
+// normalized Levenshtein, character trigram Dice coefficient, token-set
+// Jaccard with synonym expansion. All return values in [0, 1].
+#ifndef UXM_MATCHING_SIMILARITY_H_
+#define UXM_MATCHING_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace uxm {
+
+/// Levenshtein edit distance between two strings.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - dist/max(|a|,|b|); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over character trigrams of the lower-cased inputs.
+/// Strings shorter than 3 characters fall back to exact-match/containment.
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Domain synonym table (the matcher's auxiliary information source,
+/// standing in for COMA++'s name thesaurus).
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  /// Declares that all words in `group` are mutual synonyms.
+  void AddSynonymGroup(const std::vector<std::string>& group);
+
+  /// True if `a` and `b` are equal or declared synonyms (case-insensitive).
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// Canonical representative of a word's synonym group (the word itself
+  /// if it has no group).
+  std::string Canonical(std::string_view word) const;
+
+  /// Builds the purchase-order/e-commerce thesaurus used by the standard
+  /// workload (buyer/purchaser, supplier/seller/vendor, ...).
+  static Thesaurus CommerceDefault();
+
+ private:
+  // word -> group id; groups are disjoint.
+  std::unordered_map<std::string, int> group_of_;
+  std::vector<std::string> representative_;
+};
+
+/// Jaccard similarity of two token multisets after canonicalizing each
+/// token through the thesaurus.
+double TokenSetSimilarity(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b,
+                          const Thesaurus& thesaurus);
+
+/// Composite name similarity of two element names: tokenizes both, then
+/// combines token-set similarity (weight 0.55), trigram similarity (0.25)
+/// and Levenshtein similarity (0.20) of the lower-cased raw names.
+double NameSimilarity(std::string_view a, std::string_view b,
+                      const Thesaurus& thesaurus);
+
+}  // namespace uxm
+
+#endif  // UXM_MATCHING_SIMILARITY_H_

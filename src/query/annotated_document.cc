@@ -1,0 +1,65 @@
+#include "query/annotated_document.h"
+
+#include <algorithm>
+
+namespace uxm {
+
+Result<AnnotatedDocument> AnnotatedDocument::Bind(const Document* doc,
+                                                  const Schema* schema) {
+  if (doc == nullptr || schema == nullptr) {
+    return Status::InvalidArgument("doc and schema must be non-null");
+  }
+  if (doc->empty() || schema->empty()) {
+    return Status::InvalidArgument("doc and schema must be non-empty");
+  }
+  if (doc->label(doc->root()) != schema->name(schema->root())) {
+    return Status::InvalidArgument(
+        "document root <" + doc->label(doc->root()) +
+        "> does not match schema root <" + schema->name(schema->root()) + ">");
+  }
+  AnnotatedDocument ad;
+  ad.doc_ = doc;
+  ad.schema_ = schema;
+  ad.node_element_.assign(static_cast<size_t>(doc->size()),
+                          kInvalidSchemaNode);
+  ad.instances_.resize(static_cast<size_t>(schema->size()));
+
+  ad.node_element_[0] = schema->root();
+  // Document ids are in pre-order, so parents are annotated before
+  // children; one linear pass suffices.
+  for (DocNodeId n = 1; n < doc->size(); ++n) {
+    const DocNodeId parent = doc->node(n).parent;
+    const SchemaNodeId pe = ad.node_element_[static_cast<size_t>(parent)];
+    if (pe == kInvalidSchemaNode) continue;
+    for (SchemaNodeId c : schema->node(pe).children) {
+      if (schema->name(c) == doc->label(n)) {
+        ad.node_element_[static_cast<size_t>(n)] = c;
+        break;
+      }
+    }
+  }
+  for (DocNodeId n = 0; n < doc->size(); ++n) {
+    const SchemaNodeId e = ad.node_element_[static_cast<size_t>(n)];
+    if (e != kInvalidSchemaNode) {
+      ad.instances_[static_cast<size_t>(e)].push_back(n);
+    }
+  }
+  // Instance lists are promised sorted by document order (region start);
+  // node ids follow creation order, which need not agree.
+  for (auto& list : ad.instances_) {
+    std::sort(list.begin(), list.end(), [&](DocNodeId a, DocNodeId b) {
+      return doc->node(a).start < doc->node(b).start;
+    });
+  }
+  return ad;
+}
+
+int AnnotatedDocument::UnboundCount() const {
+  int n = 0;
+  for (SchemaNodeId e : node_element_) {
+    if (e == kInvalidSchemaNode) ++n;
+  }
+  return n;
+}
+
+}  // namespace uxm

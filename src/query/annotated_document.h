@@ -1,0 +1,54 @@
+// A Document bound to the source schema it conforms to: every document
+// node is resolved to the schema element it instantiates, and per-element
+// instance lists (sorted in document order) support O(1) candidate lookup
+// during query rewriting. This is the "dS conforms to S" assumption of
+// §IV made operational.
+#ifndef UXM_QUERY_ANNOTATED_DOCUMENT_H_
+#define UXM_QUERY_ANNOTATED_DOCUMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief Document + schema binding.
+class AnnotatedDocument {
+ public:
+  /// Binds `doc` to `schema`. Nodes that do not fit the schema (label not
+  /// declared under the parent's element) are left unbound; they can never
+  /// answer a schema-level query. Fails if the root label does not match
+  /// the schema root. Both referents must outlive the annotation.
+  static Result<AnnotatedDocument> Bind(const Document* doc,
+                                        const Schema* schema);
+
+  const Document& doc() const { return *doc_; }
+  const Schema& schema() const { return *schema_; }
+
+  /// Schema element instantiated by a document node (kInvalidSchemaNode if
+  /// unbound).
+  SchemaNodeId ElementOf(DocNodeId n) const {
+    return node_element_[static_cast<size_t>(n)];
+  }
+
+  /// Document nodes instantiating schema element `e`, sorted by document
+  /// order (i.e. by region start).
+  const std::vector<DocNodeId>& InstancesOf(SchemaNodeId e) const {
+    return instances_[static_cast<size_t>(e)];
+  }
+
+  /// Number of document nodes left unbound (diagnostics).
+  int UnboundCount() const;
+
+ private:
+  const Document* doc_ = nullptr;
+  const Schema* schema_ = nullptr;
+  std::vector<SchemaNodeId> node_element_;       // per doc node
+  std::vector<std::vector<DocNodeId>> instances_;  // per schema element
+};
+
+}  // namespace uxm
+
+#endif  // UXM_QUERY_ANNOTATED_DOCUMENT_H_

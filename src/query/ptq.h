@@ -1,0 +1,128 @@
+// Probabilistic Twig Query evaluation (§IV). A PTQ is a twig pattern on
+// the target schema T, answered against a document conforming to the
+// source schema S, once per possible mapping:
+//
+//   R = { (R_i, p_i) : m_i relevant }        (Definition 4)
+//
+// Three evaluators are provided:
+//   - EvaluateBasic        — Algorithm 3 (query_basic): rewrite + match
+//     independently per mapping;
+//   - EvaluateWithBlockTree — Algorithm 4 (twig_query_tree): subqueries
+//     anchored at block-tree nodes are evaluated once per c-block and the
+//     result replicated to every mapping sharing the block; elsewhere the
+//     query is split and recombined with stack-based structural joins;
+//   - top-k PTQ            — §IV-C: restrict to the k most probable
+//     relevant mappings before evaluation.
+//
+// Query-to-schema resolution: a twig's labels may occur at several places
+// in T (e.g. ContactName in Figure 1), so the query is first *embedded*
+// into the target schema — every assignment of schema elements to query
+// nodes consistent with the labels and axes. Each embedding is rewritten
+// per mapping; answers are unioned. This mirrors the constraint-based
+// rewriting of [2] on our tree-shaped schemas.
+#ifndef UXM_QUERY_PTQ_H_
+#define UXM_QUERY_PTQ_H_
+
+#include <memory>
+#include <vector>
+
+#include "blocktree/block_tree.h"
+#include "common/status.h"
+#include "mapping/possible_mapping.h"
+#include "query/annotated_document.h"
+#include "query/twig_matcher.h"
+#include "query/twig_query.h"
+
+namespace uxm {
+
+/// \brief Answer for one mapping: (R_i, p_i).
+///
+/// R_i is reported under output-node semantics: the distinct document
+/// nodes that bind the query's distinguished node in some full match of
+/// the (rewritten) twig — exactly the intro example's answers, where
+/// //IP//ICN returns the ContactName instances "Cathy"/"Bob"/"Alice".
+struct MappingAnswer {
+  MappingId mapping = -1;
+  double probability = 0.0;
+  std::vector<DocNodeId> matches;  ///< R_i, sorted, distinct; may be empty.
+};
+
+/// \brief Full PTQ result.
+struct PtqResult {
+  std::vector<MappingAnswer> answers;
+
+  /// Groups answers with identical match sets and sums their
+  /// probabilities (the collapsed view of the intro example, where
+  /// {("Bob", .3), ("Alice", .2)} aggregates over mappings).
+  std::vector<MappingAnswer> CollapseByMatches() const;
+
+  /// Total probability mass of answers with at least one match.
+  double NonEmptyMass() const;
+};
+
+/// \brief Evaluation options.
+struct PtqOptions {
+  /// k > 0 enables top-k PTQ: only the k most probable relevant mappings
+  /// are evaluated (§IV-C). 0 evaluates all relevant mappings.
+  int top_k = 0;
+  /// Cap on schema embeddings considered per query (0 = unlimited).
+  size_t max_embeddings = 256;
+  TwigMatchOptions match;
+};
+
+/// \brief Embeds a twig query into a schema: every assignment of schema
+/// elements to query nodes consistent with labels and axes. Exposed for
+/// testing. `embedding[i]` is the schema element for query node i.
+std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
+    const TwigQuery& query, const Schema& schema, size_t max_embeddings);
+
+/// \brief PTQ evaluator over a fixed (mapping set, document) pair.
+class PtqEvaluator {
+ public:
+  /// `mappings` relates S and T; `doc` must be annotated against S.
+  PtqEvaluator(const PossibleMappingSet* mappings,
+               const AnnotatedDocument* doc)
+      : mappings_(mappings), doc_(doc) {}
+
+  /// Algorithm 3 (query_basic).
+  Result<PtqResult> EvaluateBasic(const TwigQuery& query,
+                                  const PtqOptions& options = {}) const;
+
+  /// Algorithm 4 (twig_query_tree). `tree` must be built from the same
+  /// mapping set. Produces exactly the same answers as EvaluateBasic.
+  Result<PtqResult> EvaluateWithBlockTree(const TwigQuery& query,
+                                          const BlockTree& tree,
+                                          const PtqOptions& options = {}) const;
+
+  /// filter_mappings (+ the top-k restriction of §IV-C): ids of mappings
+  /// that can possibly match the query, most probable first when top_k>0.
+  std::vector<MappingId> FilterMappings(
+      const TwigQuery& query,
+      const std::vector<std::vector<SchemaNodeId>>& embeddings,
+      int top_k) const;
+
+ private:
+  /// Rewrites one embedding through one mapping: binding[i] = source
+  /// element for query node i, or nullopt if some node is unmapped.
+  bool RewriteBinding(const std::vector<SchemaNodeId>& embedding,
+                      const PossibleMapping& m,
+                      std::vector<SchemaNodeId>* binding) const;
+
+  /// Recursive core of Algorithm 4 for one embedding: evaluates the
+  /// subquery rooted at `q_node` for every mapping in `active`, writing
+  /// per-mapping projected results into `out[mapping]`. Results are
+  /// shared_ptrs so a c-block's single evaluation is replicated to every
+  /// mapping in b.M at O(1) cost.
+  void EvalTreeRec(
+      const TwigQuery& query, const std::vector<SchemaNodeId>& embedding,
+      const BlockTree& tree, const TwigMatcher& matcher, int q_node,
+      const std::vector<MappingId>& active,
+      std::vector<std::shared_ptr<TwigMatcher::ProjectedMatches>>* out) const;
+
+  const PossibleMappingSet* mappings_;
+  const AnnotatedDocument* doc_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_QUERY_PTQ_H_

@@ -1,0 +1,48 @@
+#include "query/structural_join.h"
+
+namespace uxm {
+
+std::vector<JoinPair> StackJoin(const Document& doc,
+                                const std::vector<DocNodeId>& ancestors,
+                                const std::vector<DocNodeId>& descendants,
+                                bool parent_child) {
+  std::vector<JoinPair> out;
+  // Stack of ancestor-list indices whose regions nest (classic
+  // Stack-Tree-Desc). Invariant: regions of stacked nodes are nested,
+  // innermost on top.
+  std::vector<int32_t> stack;
+  size_t a = 0;
+  size_t d = 0;
+  while (d < descendants.size()) {
+    const DocNode& dn = doc.node(descendants[d]);
+    // Push all ancestors that start before this descendant.
+    while (a < ancestors.size() &&
+           doc.node(ancestors[a]).start < dn.start) {
+      // Pop ancestors that ended before this one starts.
+      while (!stack.empty() &&
+             doc.node(ancestors[static_cast<size_t>(stack.back())]).end <
+                 doc.node(ancestors[a]).start) {
+        stack.pop_back();
+      }
+      stack.push_back(static_cast<int32_t>(a));
+      ++a;
+    }
+    // Pop stack entries that ended before the descendant starts.
+    while (!stack.empty() &&
+           doc.node(ancestors[static_cast<size_t>(stack.back())]).end <
+               dn.start) {
+      stack.pop_back();
+    }
+    // Every remaining stacked ancestor contains dn.
+    for (int32_t idx : stack) {
+      const DocNodeId anc = ancestors[static_cast<size_t>(idx)];
+      if (anc == descendants[d]) continue;  // self is not an ancestor
+      if (parent_child && dn.parent != anc) continue;
+      out.push_back(JoinPair{idx, static_cast<int32_t>(d)});
+    }
+    ++d;
+  }
+  return out;
+}
+
+}  // namespace uxm

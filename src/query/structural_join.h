@@ -1,0 +1,34 @@
+// Stack-based binary structural join (Al-Khalifa et al., ICDE 2002,
+// Stack-Tree-Desc): joins a sorted list of potential ancestors with a
+// sorted list of potential descendants in one pass. Used by the query
+// decomposition step of Algorithm 4 (stack_join, line 16).
+#ifndef UXM_QUERY_STRUCTURAL_JOIN_H_
+#define UXM_QUERY_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace uxm {
+
+/// \brief One (ancestor, descendant) output pair of a structural join.
+struct JoinPair {
+  int32_t ancestor_index = 0;    ///< Index into the ancestor input list.
+  int32_t descendant_index = 0;  ///< Index into the descendant input list.
+};
+
+/// Joins `ancestors` x `descendants` under the ancestor-descendant (or,
+/// with `parent_child`, the parent-child) relationship.
+///
+/// Inputs are doc node ids sorted by document order (region start); both
+/// may contain duplicates. Output pairs are produced in descendant-major
+/// document order. Runs in O(|A| + |D| + |out|).
+std::vector<JoinPair> StackJoin(const Document& doc,
+                                const std::vector<DocNodeId>& ancestors,
+                                const std::vector<DocNodeId>& descendants,
+                                bool parent_child);
+
+}  // namespace uxm
+
+#endif  // UXM_QUERY_STRUCTURAL_JOIN_H_

@@ -1,0 +1,212 @@
+#include "query/twig_query.h"
+
+#include <cctype>
+
+namespace uxm {
+
+namespace {
+
+/// Recursive-descent parser for the twig syntax.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Status Run(TwigQuery* q) {
+    // Root axis.
+    bool absolute = true;
+    if (Lookahead("//")) {
+      absolute = false;
+      Advance(2);
+    } else if (Lookahead("/")) {
+      Advance(1);
+    }
+    q->set_absolute_root(absolute);
+    UXM_ASSIGN_OR_RETURN(
+        int last, ParseSpine(q, /*parent=*/-1,
+                             absolute ? Axis::kChild : Axis::kDescendant));
+    q->set_output_node(last);
+    if (!AtEnd()) return Error("trailing characters");
+    if (q->size() == 0) return Error("empty query");
+    return Status::OK();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  void Advance(size_t n) { pos_ += n; }
+  bool Lookahead(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("twig query at offset " + std::to_string(pos_) +
+                              ": " + msg);
+  }
+
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':';
+  }
+
+  Result<std::string> ParseLabel() {
+    const size_t begin = pos_;
+    while (!AtEnd() && IsLabelChar(Peek())) Advance(1);
+    if (pos_ == begin) return Error("expected element label");
+    return std::string(in_.substr(begin, pos_ - begin));
+  }
+
+  /// Parses: step (predicates)* (axis step (predicates)*)* — a downward
+  /// chain hanging under `parent` with first edge `first_axis`. Returns
+  /// the id of the last spine node.
+  Result<int> ParseSpine(TwigQuery* q, int parent, Axis first_axis) {
+    Axis axis = first_axis;
+    int cur = parent;
+    for (;;) {
+      UXM_ASSIGN_OR_RETURN(std::string label, ParseLabel());
+      TwigNode node;
+      node.label = std::move(label);
+      node.axis = axis;
+      node.parent = cur;
+      cur = q->AddNode(std::move(node));
+      // Predicates (may nest: Order[./DeliverTo[.//EMail]//Street]).
+      while (!AtEnd() && Peek() == '[') {
+        Advance(1);
+        UXM_RETURN_NOT_OK(ParsePredicate(q, cur));
+        if (AtEnd() || Peek() != ']') return Error("expected ']'");
+        Advance(1);
+      }
+      // Optional trailing equality on the step itself (//ICN="Bob").
+      if (!AtEnd() && Peek() == '=') {
+        Advance(1);
+        UXM_ASSIGN_OR_RETURN(std::string value, ParseQuotedValue());
+        q->SetValuePredicate(cur, value);
+      }
+      // Continue the spine?
+      if (Lookahead("//")) {
+        axis = Axis::kDescendant;
+        Advance(2);
+      } else if (Lookahead("/")) {
+        axis = Axis::kChild;
+        Advance(1);
+      } else {
+        return cur;
+      }
+    }
+  }
+
+  /// Parses the inside of '[...]': a relative twig branch (with nested
+  /// predicates allowed), optionally ending in ="value".
+  Status ParsePredicate(TwigQuery* q, int owner) {
+    Axis axis = Axis::kChild;
+    if (Lookahead(".//")) {
+      axis = Axis::kDescendant;
+      Advance(3);
+    } else if (Lookahead("./")) {
+      Advance(2);
+    } else if (Lookahead("//")) {
+      axis = Axis::kDescendant;
+      Advance(2);
+    } else if (Lookahead("/")) {
+      Advance(1);
+    } else if (Lookahead(".")) {
+      return Error("bare '.' predicate not supported");
+    }
+    UXM_ASSIGN_OR_RETURN(int last, ParseSpine(q, owner, axis));
+    (void)last;  // trailing ="v" is consumed by ParseSpine itself
+    return Status::OK();
+  }
+
+  Result<std::string> ParseQuotedValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted value after '='");
+    }
+    const char quote = Peek();
+    Advance(1);
+    const size_t begin = pos_;
+    while (!AtEnd() && Peek() != quote) Advance(1);
+    if (AtEnd()) return Error("unterminated value string");
+    std::string value(in_.substr(begin, pos_ - begin));
+    Advance(1);
+    return value;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TwigQuery> TwigQuery::Parse(std::string_view text) {
+  TwigQuery q;
+  Parser parser(text);
+  UXM_RETURN_NOT_OK(parser.Run(&q));
+  return q;
+}
+
+int TwigQuery::AddNode(TwigNode node) {
+  const int id = static_cast<int>(nodes_.size());
+  if (node.parent >= 0) {
+    nodes_[static_cast<size_t>(node.parent)].children.push_back(id);
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+std::vector<int> TwigQuery::SubtreeNodes(int i) const {
+  // Pre-order storage makes subtrees contiguous... except predicates may
+  // interleave spine continuation after branch nodes, so walk explicitly.
+  std::vector<int> out;
+  std::vector<int> stack{i};
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& ch = nodes_[static_cast<size_t>(cur)].children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+namespace {
+
+void RenderNode(const TwigQuery& q, int id, bool is_branch_head,
+                std::string* out) {
+  const TwigNode& n = q.node(id);
+  if (n.parent >= 0 || !is_branch_head) {
+    // handled by caller
+  }
+  *out += n.label;
+  if (n.value_eq.has_value() && n.children.empty()) {
+    *out += "=\"";
+    *out += *n.value_eq;
+    *out += '"';
+  }
+  // First child continues the "spine"; the rest become predicates. To keep
+  // rendering canonical we emit all children but the last as predicates.
+  const auto& ch = n.children;
+  for (size_t i = 0; i + 1 < ch.size(); ++i) {
+    const TwigNode& c = q.node(ch[i]);
+    *out += "[.";
+    *out += (c.axis == Axis::kDescendant) ? "//" : "/";
+    RenderNode(q, ch[i], true, out);
+    *out += ']';
+  }
+  if (!ch.empty()) {
+    const int last = ch.back();
+    const TwigNode& c = q.node(last);
+    *out += (c.axis == Axis::kDescendant) ? "//" : "/";
+    RenderNode(q, last, false, out);
+  }
+}
+
+}  // namespace
+
+std::string TwigQuery::ToString() const {
+  if (nodes_.empty()) return "";
+  std::string out;
+  if (!absolute_root_) out += "//";
+  RenderNode(*this, 0, false, &out);
+  return out;
+}
+
+}  // namespace uxm

@@ -1,0 +1,89 @@
+// Twig query model and parser (§IV-A). A twig pattern is a tree of labeled
+// nodes; each non-root node hangs off its parent by a '/' (parent-child)
+// or '//' (ancestor-descendant) edge, and a node may carry an equality
+// predicate on its text value.
+//
+// Accepted syntax (the queries of Table III):
+//   Order/DeliverTo/Address[./City][./Country]/Street
+//   //IP//ICN
+//   Order/POLine[./LineNo][.//UP]/Quantity
+//   Order[./Buyer/Contact]/POLine[.//BPID="X42"]/Quantity
+//
+// '[...]' opens a branch relative to the current node; './' means child,
+// './/' (or bare '//') means descendant. The step after the closing
+// bracket continues the spine below the same node.
+#ifndef UXM_QUERY_TWIG_QUERY_H_
+#define UXM_QUERY_TWIG_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uxm {
+
+/// Edge axis between a twig node and its parent.
+enum class Axis {
+  kChild,       ///< '/'
+  kDescendant,  ///< '//'
+};
+
+/// \brief One node of a twig pattern.
+struct TwigNode {
+  std::string label;
+  Axis axis = Axis::kChild;  ///< Edge from parent (root: see absolute_root).
+  std::optional<std::string> value_eq;  ///< [.../X="v"] predicate.
+  int parent = -1;
+  std::vector<int> children;
+};
+
+/// \brief A parsed twig pattern. Node 0 is the root; nodes are stored in
+/// pre-order, so any subtree is a contiguous id range.
+class TwigQuery {
+ public:
+  /// Parses the textual form. Fails with ParseError on bad syntax.
+  static Result<TwigQuery> Parse(std::string_view text);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const TwigNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  const std::vector<TwigNode>& nodes() const { return nodes_; }
+
+  /// True if the query began with a label (e.g. "Order/...") — the root
+  /// must then match the document/schema root. False for "//IP//ICN".
+  bool absolute_root() const { return absolute_root_; }
+
+  /// The query's output (distinguished) node: the last step of the main
+  /// spine, whose bindings form the query answer (XPath result-node
+  /// semantics; the intro example's "Cathy"/"Bob"/"Alice" are the values
+  /// of this node).
+  int output_node() const { return output_node_; }
+  void set_output_node(int v) { output_node_ = v; }
+
+  /// Number of edges |E| (= size() - 1).
+  int EdgeCount() const { return size() - 1; }
+
+  /// Node ids of the subtree rooted at `i`, pre-order (contiguous).
+  std::vector<int> SubtreeNodes(int i) const;
+
+  /// Serializes back to query syntax (canonical form).
+  std::string ToString() const;
+
+  // Construction API (used by the parser and by split_query).
+  int AddNode(TwigNode node);
+  void set_absolute_root(bool v) { absolute_root_ = v; }
+  /// Attaches a [.="v"]-style equality predicate to node `i`.
+  void SetValuePredicate(int i, std::string value) {
+    nodes_[static_cast<size_t>(i)].value_eq = std::move(value);
+  }
+
+ private:
+  std::vector<TwigNode> nodes_;
+  bool absolute_root_ = false;
+  int output_node_ = 0;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_QUERY_TWIG_QUERY_H_

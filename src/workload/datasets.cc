@@ -1,0 +1,76 @@
+#include "workload/datasets.h"
+
+namespace uxm {
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"D1", StandardId::kExcel, StandardId::kNoris,
+       MatcherStrategy::kFragment},
+      {"D2", StandardId::kExcel, StandardId::kParagon,
+       MatcherStrategy::kContext},
+      {"D3", StandardId::kExcel, StandardId::kParagon,
+       MatcherStrategy::kFragment},
+      {"D4", StandardId::kNoris, StandardId::kParagon,
+       MatcherStrategy::kContext},
+      {"D5", StandardId::kNoris, StandardId::kParagon,
+       MatcherStrategy::kFragment},
+      {"D6", StandardId::kOpenTrans, StandardId::kApertum,
+       MatcherStrategy::kContext},
+      {"D7", StandardId::kXcbl, StandardId::kApertum,
+       MatcherStrategy::kContext},
+      {"D8", StandardId::kXcbl, StandardId::kCidx,
+       MatcherStrategy::kContext},
+      {"D9", StandardId::kXcbl, StandardId::kOpenTrans,
+       MatcherStrategy::kContext},
+      {"D10", StandardId::kOpenTrans, StandardId::kXcbl,
+       MatcherStrategy::kContext},
+  };
+  return kSpecs;
+}
+
+Result<Dataset> LoadDataset(int index) {
+  if (index < 0 || index >= static_cast<int>(AllDatasetSpecs().size())) {
+    return Status::InvalidArgument("dataset index out of range");
+  }
+  const DatasetSpec& spec = AllDatasetSpecs()[static_cast<size_t>(index)];
+  Dataset d;
+  d.id = spec.id;
+  d.source = GetStandardSchema(spec.source);
+  d.target = GetStandardSchema(spec.target);
+  d.option = spec.option;
+
+  MatcherOptions opts;
+  opts.strategy = spec.option;
+  ComposedMatcher matcher(opts);
+  UXM_ASSIGN_OR_RETURN(d.matching, matcher.Match(*d.source, *d.target));
+  return d;
+}
+
+Result<Dataset> LoadDataset(const std::string& id) {
+  const auto& specs = AllDatasetSpecs();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (id == specs[i].id) return LoadDataset(static_cast<int>(i));
+  }
+  return Status::NotFound("unknown dataset id: " + id);
+}
+
+const std::vector<std::string>& TableIIIQueries() {
+  static const std::vector<std::string> kQueries = {
+      /*Q1*/ "Order/DeliverTo/Address[./City][./Country]/Street",
+      /*Q2*/ "Order/DeliverTo/Contact/EMail",
+      /*Q3*/ "Order/DeliverTo[./Address/City]/Contact/EMail",
+      /*Q4*/ "Order/POLine[./LineNo]//UnitPrice",
+      /*Q5*/ "Order/POLine[./LineNo][.//UnitPrice]/Quantity",
+      /*Q6*/ "Order/POLine[./BuyerPartID][./LineNo][.//UnitPrice]/Quantity",
+      /*Q7*/
+      "Order[./DeliverTo//Street]/POLine[.//BuyerPartID][.//UnitPrice]/"
+      "Quantity",
+      /*Q8*/
+      "Order[./DeliverTo[.//EMail]//Street]/POLine[.//UnitPrice]/Quantity",
+      /*Q9*/ "Order[./Buyer/Contact]/POLine[.//BuyerPartID]/Quantity",
+      /*Q10*/ "Order[./Buyer/Contact][./DeliverTo//City]//BuyerPartID",
+  };
+  return kQueries;
+}
+
+}  // namespace uxm

@@ -1,0 +1,55 @@
+// The ten schema-matching datasets of Table II (D1..D10) and the ten
+// Table III queries (Q1..Q10, posed on D7's target schema). Matchings are
+// produced by the composite matcher with the per-dataset option recorded
+// in the paper ('c' context / 'f' fragment).
+#ifndef UXM_WORKLOAD_DATASETS_H_
+#define UXM_WORKLOAD_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "matching/matcher.h"
+#include "matching/matching.h"
+#include "workload/schema_zoo.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief Static description of one Table II row.
+struct DatasetSpec {
+  const char* id;          ///< "D1".."D10"
+  StandardId source;
+  StandardId target;
+  MatcherStrategy option;  ///< 'c' or 'f' in the paper.
+};
+
+/// All ten specs, in paper order (index 0 = D1).
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// \brief A materialized dataset: schemas + matching. The schemas are
+/// owned via shared_ptr so the matching's internal pointers stay valid
+/// for the dataset's lifetime.
+struct Dataset {
+  std::string id;
+  std::shared_ptr<const Schema> source;
+  std::shared_ptr<const Schema> target;
+  SchemaMatching matching;
+  MatcherStrategy option = MatcherStrategy::kContext;
+};
+
+/// Materializes dataset `index` in [0, 10). Deterministic.
+Result<Dataset> LoadDataset(int index);
+
+/// Materializes a dataset by id ("D7").
+Result<Dataset> LoadDataset(const std::string& id);
+
+/// The ten PTQ strings of Table III, written against the Apertum-like
+/// target schema of D7 (BPID/UP abbreviations expanded to BuyerPartID /
+/// UnitPrice as footnote 3 of the paper defines).
+const std::vector<std::string>& TableIIIQueries();
+
+}  // namespace uxm
+
+#endif  // UXM_WORKLOAD_DATASETS_H_

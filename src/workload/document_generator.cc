@@ -1,0 +1,124 @@
+#include "workload/document_generator.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace uxm {
+
+namespace {
+
+const char* const kNames[] = {"Cathy", "Bob",   "Alice", "David",
+                              "Erin",  "Frank", "Grace", "Heidi"};
+const char* const kCities[] = {"Hong Kong", "Leipzig", "Boston",
+                               "Shenzhen",  "Toronto", "Zurich"};
+const char* const kCountries[] = {"CN", "DE", "US", "CA", "CH"};
+const char* const kStreets[] = {"Pokfulam Road", "Main Street",
+                                "Harbour View", "Elm Avenue"};
+
+/// Leaf value by vocabulary category of the element name.
+std::string LeafValue(const std::string& name, Rng* rng) {
+  const std::vector<std::string> toks = TokenizeName(name);
+  auto has = [&](const char* w) {
+    for (const auto& t : toks) {
+      if (t == w) return true;
+    }
+    return false;
+  };
+  auto pick = [&](auto& pool) {
+    return std::string(pool[rng->Index(std::size(pool))]);
+  };
+  if (has("name") || has("contact")) return pick(kNames);
+  if (has("city")) return pick(kCities);
+  if (has("country")) return pick(kCountries);
+  if (has("street")) return pick(kStreets);
+  if (has("email") || has("mail")) {
+    return ToLower(pick(kNames)) + "@example.com";
+  }
+  if (has("date")) {
+    return "2009-0" + std::to_string(1 + rng->Index(9)) + "-1" +
+           std::to_string(rng->Index(10));
+  }
+  if (has("quantity") || has("qty") || has("num") || has("number") ||
+      has("count") || has("lines") || has("no")) {
+    return std::to_string(1 + rng->Index(99));
+  }
+  if (has("price") || has("amount") || has("total") || has("tax")) {
+    return std::to_string(1 + rng->Index(999)) + "." +
+           std::to_string(rng->Index(10)) + "0";
+  }
+  if (has("currency")) return "USD";
+  // Generic code.
+  return "X" + std::to_string(1000 + rng->Index(9000));
+}
+
+/// One generation pass with a repetition scale factor.
+Document GenerateOnce(const Schema& schema, const DocGenOptions& options,
+                      double repeat_scale) {
+  Rng rng(options.seed);
+  Document doc;
+  const DocNodeId root = doc.AddRoot(schema.name(schema.root()));
+
+  struct Frame {
+    SchemaNodeId element;
+    DocNodeId node;
+  };
+  std::vector<Frame> stack{{schema.root(), root}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const SchemaNode& elem = schema.node(f.element);
+    if (elem.children.empty()) {
+      doc.SetText(f.node, LeafValue(elem.name, &rng));
+      continue;
+    }
+    for (SchemaNodeId c : elem.children) {
+      const SchemaNode& ce = schema.node(c);
+      if (ce.optional && !rng.Bernoulli(options.optional_prob)) continue;
+      int repeats = 1;
+      if (ce.repeatable) {
+        const double lo = options.min_repeat * repeat_scale;
+        const double hi = options.max_repeat * repeat_scale;
+        repeats = std::max(
+            1, static_cast<int>(std::lround(rng.UniformDouble(lo, hi))));
+      }
+      for (int k = 0; k < repeats; ++k) {
+        const DocNodeId child = doc.AddChild(f.node, ce.name);
+        stack.push_back({c, child});
+      }
+    }
+  }
+  doc.Finalize();
+  return doc;
+}
+
+}  // namespace
+
+Document GenerateDocument(const Schema& schema, const DocGenOptions& options) {
+  if (options.target_nodes <= 0) {
+    return GenerateOnce(schema, options, 1.0);
+  }
+  // Search the repetition scale whose size lands closest to the target.
+  Document best = GenerateOnce(schema, options, 1.0);
+  int best_err = std::abs(best.size() - options.target_nodes);
+  double scale = 1.0;
+  for (int iter = 0; iter < 24 && best_err > options.target_nodes / 100;
+       ++iter) {
+    const double grow =
+        best.size() < options.target_nodes ? 1.5 : 1.0 / 1.5;
+    scale *= grow;
+    Document cand = GenerateOnce(schema, options, scale);
+    const int err = std::abs(cand.size() - options.target_nodes);
+    if (err < best_err) {
+      best = std::move(cand);
+      best_err = err;
+    }
+  }
+  return best;
+}
+
+}  // namespace uxm

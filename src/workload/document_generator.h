@@ -1,0 +1,34 @@
+// Schema-conforming document generation. Stands in for the paper's
+// Order.xml (an XCBL sample with 3473 nodes): repeatable elements are
+// instantiated several times, optional elements are sampled, and leaves
+// get values from small domain pools so equality predicates can hit.
+#ifndef UXM_WORKLOAD_DOCUMENT_GENERATOR_H_
+#define UXM_WORKLOAD_DOCUMENT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief Generation knobs.
+struct DocGenOptions {
+  uint64_t seed = 42;
+  /// Repetition range for repeatable elements.
+  int min_repeat = 1;
+  int max_repeat = 3;
+  /// Probability an optional element is present.
+  double optional_prob = 0.8;
+  /// If > 0, the generator searches for a repetition scale whose output
+  /// size is closest to this node count (the paper's document has 3473).
+  int target_nodes = 0;
+};
+
+/// Generates a document conforming to `schema`.
+Document GenerateDocument(const Schema& schema, const DocGenOptions& options = {});
+
+}  // namespace uxm
+
+#endif  // UXM_WORKLOAD_DOCUMENT_GENERATOR_H_

@@ -1,0 +1,635 @@
+#include "workload/schema_zoo.h"
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace uxm {
+
+const char* StandardName(StandardId id) {
+  switch (id) {
+    case StandardId::kExcel:
+      return "Excel";
+    case StandardId::kNoris:
+      return "Noris";
+    case StandardId::kParagon:
+      return "Paragon";
+    case StandardId::kApertum:
+      return "Apertum";
+    case StandardId::kOpenTrans:
+      return "OT";
+    case StandardId::kXcbl:
+      return "XCBL";
+    case StandardId::kCidx:
+      return "CIDX";
+  }
+  return "?";
+}
+
+int StandardSize(StandardId id) {
+  switch (id) {
+    case StandardId::kExcel:
+      return 48;
+    case StandardId::kNoris:
+      return 66;
+    case StandardId::kParagon:
+      return 69;
+    case StandardId::kApertum:
+      return 166;
+    case StandardId::kOpenTrans:
+      return 247;
+    case StandardId::kXcbl:
+      return 1076;
+    case StandardId::kCidx:
+      return 39;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Naming convention of a standard.
+enum class NameStyle {
+  kCamel,       ///< BuyerParty
+  kUpperSnake,  ///< BUYER_PARTY (OpenTrans)
+  kLowerCamel,  ///< buyerParty
+};
+
+std::string Render(const std::vector<std::string>& tokens, NameStyle style) {
+  std::string out;
+  switch (style) {
+    case NameStyle::kCamel:
+    case NameStyle::kLowerCamel:
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        std::string t = tokens[i];
+        if (!(style == NameStyle::kLowerCamel && i == 0) && !t.empty()) {
+          t[0] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(t[0])));
+        }
+        out += t;
+      }
+      break;
+    case NameStyle::kUpperSnake:
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (i > 0) out += '_';
+        out += ToUpper(tokens[i]);
+      }
+      break;
+  }
+  return out;
+}
+
+/// Incremental schema builder with a naming style and a padding facility
+/// that grows the tree to an exact element count.
+class Zoo {
+ public:
+  Zoo(std::string root_name, NameStyle style, uint64_t seed)
+      : style_(style), rng_(seed) {
+    schema_ = std::make_shared<Schema>();
+    root_ = schema_->AddRoot(root_name);
+  }
+
+  NameStyle style() const { return style_; }
+  SchemaNodeId root() const { return root_; }
+  int size() const { return schema_->size(); }
+
+  SchemaNodeId Add(SchemaNodeId parent, const std::vector<std::string>& tokens,
+                   bool repeatable = false, bool optional = false) {
+    return schema_->AddChild(parent, Render(tokens, style_), repeatable,
+                             optional);
+  }
+
+  /// Adds a literal-named child (exact query-relevant names).
+  SchemaNodeId AddRaw(SchemaNodeId parent, const std::string& name,
+                      bool repeatable = false, bool optional = false) {
+    return schema_->AddChild(parent, name, repeatable, optional);
+  }
+
+  // --- Reusable concept subtrees -------------------------------------
+
+  /// Address group: street, city, postal code, country (+region when
+  /// `wide`). Token spellings vary by `variant` to mimic real standards.
+  SchemaNodeId Address(SchemaNodeId parent, int variant, bool wide) {
+    const SchemaNodeId a =
+        Add(parent, variant == 0 ? std::vector<std::string>{"address"}
+                                 : std::vector<std::string>{"name", "address"});
+    Add(a, {"street"});
+    Add(a, {"city"});
+    Add(a, variant == 0 ? std::vector<std::string>{"postal", "code"}
+                        : std::vector<std::string>{"zip", "code"});
+    Add(a, {"country"});
+    if (wide) Add(a, {"region"});
+    return a;
+  }
+
+  /// Contact group: name, phone, email (+fax when `wide`).
+  SchemaNodeId Contact(SchemaNodeId parent, int variant, bool wide) {
+    const SchemaNodeId c = Add(parent, {"contact"});
+    Add(c, {"contact", "name"});
+    Add(c, variant == 0 ? std::vector<std::string>{"phone"}
+                        : std::vector<std::string>{"telephone"});
+    Add(c, variant == 0 ? std::vector<std::string>{"e", "mail"}
+                        : std::vector<std::string>{"email"});
+    if (wide) Add(c, {"fax"});
+    return c;
+  }
+
+  /// Party group with a role prefix (buyer/seller/...).
+  SchemaNodeId Party(SchemaNodeId parent, const std::string& role,
+                     int variant, bool wide) {
+    const SchemaNodeId p = Add(parent, {role, "party"});
+    Add(p, {"party", "name"});
+    Add(p, {"party", "id"});
+    Address(p, variant, wide);
+    Contact(p, variant, wide);
+    return p;
+  }
+
+  /// Line-item group.
+  SchemaNodeId Item(SchemaNodeId parent, int variant, bool wide) {
+    const SchemaNodeId it = Add(
+        parent,
+        variant == 0 ? std::vector<std::string>{"item", "detail"}
+                     : std::vector<std::string>{"order", "item"},
+        /*repeatable=*/true);
+    Add(it, {"line", "item", "num"});
+    Add(it, {"buyer", "part", "number"});
+    Add(it, {"item", "description"});
+    Add(it, {"quantity"});
+    Add(it, {"unit", "of", "measure"});
+    const SchemaNodeId price = Add(it, {"price"});
+    Add(price, {"unit", "price"});
+    Add(price, {"currency"});
+    if (wide) {
+      Add(it, {"requested", "delivery", "date"});
+      Add(it, {"tax", "amount"});
+    }
+    return it;
+  }
+
+  /// Grows the schema to exactly `target` elements by appending extension
+  /// groups built from the shared business vocabulary. Deterministic.
+  void PadTo(int target) {
+    UXM_CHECK_MSG(size() <= target, "core larger than target size");
+    static const std::vector<std::vector<std::string>> kGroups = {
+        {"payment", "terms"},   {"shipping", "instructions"},
+        {"tax", "details"},     {"allowance", "or", "charge"},
+        {"reference", "data"},  {"transport", "info"},
+        {"attachment", "list"}, {"schedule", "detail"},
+        {"hazard", "info"},     {"customs", "declaration"},
+        {"financing", "terms"}, {"quality", "spec"},
+        {"packaging", "info"},  {"warranty", "terms"},
+        {"insurance", "info"},  {"routing", "detail"},
+        {"approval", "chain"},  {"audit", "trail"},
+        {"dimension", "spec"},  {"material", "spec"},
+    };
+    static const std::vector<std::vector<std::string>> kLeaves = {
+        {"code"},        {"type"},          {"value"},
+        {"status"},      {"category"},      {"priority"},
+        {"start", "date"}, {"end", "date"}, {"created", "by"},
+        {"modified", "date"}, {"version"},  {"language"},
+        {"percent"},     {"rate"},          {"basis"},
+        {"method"},      {"location"},      {"mode"},
+        {"weight"},      {"volume"},        {"length"},
+        {"width"},       {"height"},        {"account"},
+        {"department"},  {"cost", "center"}, {"project", "code"},
+        {"batch", "num"}, {"serial", "num"}, {"revision"},
+    };
+    SchemaNodeId ext = root_;
+    if (target - size() > 2) {
+      ext = Add(root_, {"additional", "info"});
+    }
+    SchemaNodeId group = kInvalidSchemaNode;
+    int group_idx = 0;
+    int in_group = 0;
+    while (size() < target) {
+      const int remaining = target - size();
+      if (group == kInvalidSchemaNode || in_group >= 8) {
+        if (remaining >= 2) {
+          // Start a new group (costs 1 node, leaving >=1 for a leaf).
+          const auto& gtoks = kGroups[static_cast<size_t>(group_idx) %
+                                      kGroups.size()];
+          std::vector<std::string> named = gtoks;
+          if (group_idx >= static_cast<int>(kGroups.size())) {
+            named.push_back(std::to_string(
+                group_idx / static_cast<int>(kGroups.size()) + 1));
+          }
+          group = Add(ext, named, /*repeatable=*/false, /*optional=*/true);
+          ++group_idx;
+          in_group = 0;
+          continue;
+        }
+        group = ext;  // only one slot left: hang a leaf off the container
+      }
+      const auto& ltoks =
+          kLeaves[static_cast<size_t>(rng_.Uniform(kLeaves.size()))];
+      std::vector<std::string> named = ltoks;
+      // Occasionally qualify the leaf to diversify vocabulary.
+      if (rng_.Bernoulli(0.25)) {
+        named.insert(named.begin(), rng_.Bernoulli(0.5) ? "internal" : "ext");
+      }
+      Add(group, named, /*repeatable=*/false, /*optional=*/true);
+      ++in_group;
+    }
+  }
+
+  std::shared_ptr<const Schema> Finish(std::string schema_name) {
+    schema_->set_schema_name(std::move(schema_name));
+    schema_->Finalize();
+    return schema_;
+  }
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  SchemaNodeId root_;
+  NameStyle style_;
+  Rng rng_;
+};
+
+// ---------------------------------------------------------------------
+// The seven standards.
+// ---------------------------------------------------------------------
+
+/// Apertum-like target schema (166): carries the exact element names used
+/// by the Table III queries (Order, DeliverTo, Address, City, Country,
+/// Street, Contact, EMail, POLine, LineNo, BuyerPartID, UnitPrice,
+/// Quantity, Buyer).
+std::shared_ptr<const Schema> BuildApertum() {
+  Zoo z("Order", NameStyle::kCamel, /*seed=*/1004);
+  const SchemaNodeId root = z.root();
+
+  const SchemaNodeId header = z.AddRaw(root, "OrderHeader");
+  z.AddRaw(header, "OrderID");
+  z.AddRaw(header, "OrderDate");
+  z.AddRaw(header, "Currency");
+  z.AddRaw(header, "Language");
+
+  const SchemaNodeId buyer = z.AddRaw(root, "Buyer");
+  z.AddRaw(buyer, "PartyName");
+  z.AddRaw(buyer, "PartyID");
+  {
+    const SchemaNodeId addr = z.AddRaw(buyer, "Address");
+    z.AddRaw(addr, "Street");
+    z.AddRaw(addr, "City");
+    z.AddRaw(addr, "PostalCode");
+    z.AddRaw(addr, "Country");
+  }
+  {
+    const SchemaNodeId c = z.AddRaw(buyer, "Contact");
+    z.AddRaw(c, "ContactName");
+    z.AddRaw(c, "Phone");
+    z.AddRaw(c, "EMail");
+    z.AddRaw(c, "Fax");
+  }
+
+  const SchemaNodeId supplier = z.AddRaw(root, "Supplier");
+  z.AddRaw(supplier, "PartyName");
+  z.AddRaw(supplier, "PartyID");
+  {
+    const SchemaNodeId addr = z.AddRaw(supplier, "Address");
+    z.AddRaw(addr, "Street");
+    z.AddRaw(addr, "City");
+    z.AddRaw(addr, "PostalCode");
+    z.AddRaw(addr, "Country");
+  }
+  {
+    const SchemaNodeId c = z.AddRaw(supplier, "Contact");
+    z.AddRaw(c, "ContactName");
+    z.AddRaw(c, "Phone");
+    z.AddRaw(c, "EMail");
+  }
+
+  const SchemaNodeId deliver = z.AddRaw(root, "DeliverTo");
+  {
+    const SchemaNodeId addr = z.AddRaw(deliver, "Address");
+    z.AddRaw(addr, "Street");
+    z.AddRaw(addr, "City");
+    z.AddRaw(addr, "PostalCode");
+    z.AddRaw(addr, "Country");
+    z.AddRaw(addr, "Region");
+  }
+  {
+    const SchemaNodeId c = z.AddRaw(deliver, "Contact");
+    z.AddRaw(c, "ContactName");
+    z.AddRaw(c, "Phone");
+    z.AddRaw(c, "EMail");
+    z.AddRaw(c, "Fax");
+  }
+  z.AddRaw(deliver, "DeliveryDate");
+
+  const SchemaNodeId invoice = z.AddRaw(root, "InvoiceTo");
+  z.AddRaw(invoice, "PartyName");
+  {
+    const SchemaNodeId c = z.AddRaw(invoice, "Contact");
+    z.AddRaw(c, "ContactName");
+    z.AddRaw(c, "EMail");
+  }
+
+  const SchemaNodeId line = z.AddRaw(root, "POLine", /*repeatable=*/true);
+  z.AddRaw(line, "LineNo");
+  z.AddRaw(line, "BuyerPartID");
+  z.AddRaw(line, "SupplierPartID", false, /*optional=*/true);
+  z.AddRaw(line, "ItemDescription");
+  z.AddRaw(line, "Quantity");
+  z.AddRaw(line, "UnitOfMeasure");
+  {
+    const SchemaNodeId price = z.AddRaw(line, "Price");
+    z.AddRaw(price, "UnitPrice");
+    z.AddRaw(price, "Currency");
+  }
+  z.AddRaw(line, "RequestedDate", false, /*optional=*/true);
+
+  const SchemaNodeId summary = z.AddRaw(root, "OrderSummary");
+  z.AddRaw(summary, "TotalAmount");
+  z.AddRaw(summary, "TaxAmount");
+  z.AddRaw(summary, "LineItemCount");
+
+  z.PadTo(StandardSize(StandardId::kApertum));
+  return z.Finish("Apertum");
+}
+
+/// OpenTrans-like (247, UPPER_SNAKE). Contains the Figure 1 names
+/// (SUPPLIER_PARTY, INVOICE_PARTY, CONTACT_NAME).
+std::shared_ptr<const Schema> BuildOpenTrans() {
+  Zoo z("ORDER", NameStyle::kUpperSnake, /*seed=*/1005);
+  const SchemaNodeId root = z.root();
+
+  const SchemaNodeId header = z.Add(root, {"order", "header"});
+  const SchemaNodeId info = z.Add(header, {"order", "info"});
+  z.Add(info, {"order", "id"});
+  z.Add(info, {"order", "date"});
+  z.Add(info, {"currency"});
+  z.Add(info, {"language"});
+
+  auto party = [&](const std::string& role) {
+    const SchemaNodeId p = z.Add(header, {role, "party"});
+    z.Add(p, {"party", "name"});
+    z.Add(p, {"party", "id"});
+    const SchemaNodeId a = z.Add(p, {"address"});
+    z.Add(a, {"street"});
+    z.Add(a, {"city"});
+    z.Add(a, {"zip", "code"});
+    z.Add(a, {"country"});
+    const SchemaNodeId c = z.Add(p, {"order", "contact"});
+    z.Add(c, {"contact", "name"});
+    z.Add(c, {"phone"});
+    z.Add(c, {"email"});
+    return p;
+  };
+  party("buyer");
+  party("supplier");
+  party("invoice");
+  party("delivery");
+
+  const SchemaNodeId items = z.Add(root, {"order", "item", "list"});
+  const SchemaNodeId item =
+      z.Add(items, {"order", "item"}, /*repeatable=*/true);
+  z.Add(item, {"line", "item", "id"});
+  const SchemaNodeId art = z.Add(item, {"article", "id"});
+  z.Add(art, {"buyer", "aid"});
+  z.Add(art, {"supplier", "aid"});
+  z.Add(art, {"description", "short"});
+  z.Add(item, {"quantity"});
+  z.Add(item, {"order", "unit"});
+  const SchemaNodeId price = z.Add(item, {"article", "price"});
+  z.Add(price, {"price", "amount"});
+  z.Add(price, {"price", "currency"});
+  z.Add(price, {"tax"});
+  const SchemaNodeId delivery = z.Add(item, {"delivery", "date"});
+  z.Add(delivery, {"delivery", "start", "date"});
+  z.Add(delivery, {"delivery", "end", "date"});
+
+  const SchemaNodeId summary = z.Add(root, {"order", "summary"});
+  z.Add(summary, {"total", "item", "num"});
+  z.Add(summary, {"total", "amount"});
+
+  z.PadTo(StandardSize(StandardId::kOpenTrans));
+  return z.Finish("OT");
+}
+
+/// XCBL-like (1076): the big source standard; document Order.xml conforms
+/// to it. Carries XCBL-flavored counterparts of everything the Apertum
+/// queries need.
+std::shared_ptr<const Schema> BuildXcbl() {
+  Zoo z("Order", NameStyle::kCamel, /*seed=*/1006);
+  const SchemaNodeId root = z.root();
+
+  const SchemaNodeId header = z.AddRaw(root, "OrderHeader");
+  z.AddRaw(header, "OrderNumber");
+  z.AddRaw(header, "OrderIssueDate");
+  z.AddRaw(header, "OrderCurrency");
+  z.AddRaw(header, "OrderLanguage");
+  z.AddRaw(header, "OrderType");
+
+  const SchemaNodeId parties = z.AddRaw(header, "OrderParty");
+  auto xparty = [&](const std::string& name) {
+    const SchemaNodeId p = z.AddRaw(parties, name);
+    const SchemaNodeId core = z.AddRaw(p, "PartyCoreData");
+    z.AddRaw(core, "PartyName");
+    z.AddRaw(core, "PartyIdentifier");
+    const SchemaNodeId a = z.AddRaw(core, "NameAddress");
+    z.AddRaw(a, "Street");
+    z.AddRaw(a, "City");
+    z.AddRaw(a, "PostalCode");
+    z.AddRaw(a, "Country");
+    z.AddRaw(a, "Region");
+    const SchemaNodeId c = z.AddRaw(p, "OrderContact");
+    z.AddRaw(c, "ContactName");
+    z.AddRaw(c, "Phone");
+    z.AddRaw(c, "EMail");
+    z.AddRaw(c, "Fax");
+    return p;
+  };
+  xparty("BuyerParty");
+  xparty("SellerParty");
+  xparty("ShipToParty");
+  xparty("BillToParty");
+
+  const SchemaNodeId detail = z.AddRaw(root, "OrderDetail");
+  const SchemaNodeId item_list = z.AddRaw(detail, "ListOfItemDetail");
+  const SchemaNodeId item =
+      z.AddRaw(item_list, "ItemDetail", /*repeatable=*/true);
+  const SchemaNodeId base = z.AddRaw(item, "BaseItemDetail");
+  z.AddRaw(base, "LineItemNum");
+  const SchemaNodeId ident = z.AddRaw(base, "ItemIdentifiers");
+  z.AddRaw(ident, "BuyerPartNumber");
+  z.AddRaw(ident, "SellerPartNumber");
+  z.AddRaw(ident, "ItemDescription");
+  z.AddRaw(base, "Quantity");
+  z.AddRaw(base, "UnitOfMeasure");
+  const SchemaNodeId pricing = z.AddRaw(item, "PricingDetail");
+  z.AddRaw(pricing, "UnitPrice");
+  z.AddRaw(pricing, "PriceCurrency");
+  z.AddRaw(pricing, "TaxAmount");
+  const SchemaNodeId idelivery = z.AddRaw(item, "DeliveryDetail");
+  z.AddRaw(idelivery, "RequestedDeliveryDate");
+  z.AddRaw(idelivery, "ShipToLocation");
+
+  const SchemaNodeId summary = z.AddRaw(root, "OrderSummary");
+  z.AddRaw(summary, "NumberOfLines");
+  z.AddRaw(summary, "TotalAmount");
+  z.AddRaw(summary, "TotalTax");
+
+  z.PadTo(StandardSize(StandardId::kXcbl));
+  return z.Finish("XCBL");
+}
+
+/// CIDX-like (39): small chemical-industry PO.
+std::shared_ptr<const Schema> BuildCidx() {
+  Zoo z("Order", NameStyle::kCamel, /*seed=*/1007);
+  const SchemaNodeId root = z.root();
+  const SchemaNodeId header = z.Add(root, {"order", "create"});
+  z.Add(header, {"order", "number"});
+  z.Add(header, {"issue", "date"});
+  const SchemaNodeId buyer = z.Add(header, {"buyer"});
+  z.Add(buyer, {"name"});
+  z.Add(buyer, {"identifier"});
+  const SchemaNodeId c = z.Add(buyer, {"contact"});
+  z.Add(c, {"contact", "name"});
+  z.Add(c, {"email"});
+  const SchemaNodeId seller = z.Add(header, {"seller"});
+  z.Add(seller, {"name"});
+  z.Add(seller, {"identifier"});
+  const SchemaNodeId ship = z.Add(header, {"ship", "to"});
+  z.Add(ship, {"street"});
+  z.Add(ship, {"city"});
+  z.Add(ship, {"country"});
+  const SchemaNodeId item = z.Add(root, {"order", "line"}, true);
+  z.Add(item, {"line", "number"});
+  z.Add(item, {"product", "identifier"});
+  z.Add(item, {"quantity"});
+  z.Add(item, {"unit", "price"});
+  z.PadTo(StandardSize(StandardId::kCidx));
+  return z.Finish("CIDX");
+}
+
+/// Excel-like (48): a compact PO workbook export.
+std::shared_ptr<const Schema> BuildExcel() {
+  Zoo z("PurchaseOrder", NameStyle::kCamel, /*seed=*/1001);
+  const SchemaNodeId root = z.root();
+  z.Add(root, {"order", "number"});
+  z.Add(root, {"order", "date"});
+  const SchemaNodeId buyer = z.Add(root, {"customer"});
+  z.Add(buyer, {"customer", "name"});
+  z.Add(buyer, {"customer", "id"});
+  z.Address(buyer, /*variant=*/0, /*wide=*/false);
+  z.Contact(buyer, /*variant=*/1, /*wide=*/false);
+  const SchemaNodeId vendor = z.Add(root, {"vendor"});
+  z.Add(vendor, {"vendor", "name"});
+  z.Add(vendor, {"vendor", "id"});
+  z.Address(vendor, /*variant=*/0, /*wide=*/false);
+  const SchemaNodeId item = z.Add(root, {"line"}, /*repeatable=*/true);
+  z.Add(item, {"line", "no"});
+  z.Add(item, {"part", "number"});
+  z.Add(item, {"description"});
+  z.Add(item, {"qty"});
+  z.Add(item, {"unit", "price"});
+  z.Add(item, {"amount"});
+  z.Add(root, {"subtotal"});
+  z.Add(root, {"tax"});
+  z.Add(root, {"total"});
+  z.PadTo(StandardSize(StandardId::kExcel));
+  return z.Finish("Excel");
+}
+
+/// Noris-like (66).
+std::shared_ptr<const Schema> BuildNoris() {
+  Zoo z("Order", NameStyle::kCamel, /*seed=*/1002);
+  const SchemaNodeId root = z.root();
+  const SchemaNodeId head = z.Add(root, {"order", "head"});
+  z.Add(head, {"order", "id"});
+  z.Add(head, {"order", "date"});
+  z.Add(head, {"currency"});
+  z.Party(head, "purchaser", /*variant=*/1, /*wide=*/false);
+  z.Party(head, "vendor", /*variant=*/1, /*wide=*/false);
+  const SchemaNodeId ship = z.Add(head, {"delivery", "address"});
+  z.Add(ship, {"street"});
+  z.Add(ship, {"city"});
+  z.Add(ship, {"zip", "code"});
+  z.Add(ship, {"country"});
+  const SchemaNodeId body = z.Add(root, {"order", "body"});
+  const SchemaNodeId item =
+      z.Add(body, {"position"}, /*repeatable=*/true);
+  z.Add(item, {"position", "no"});
+  z.Add(item, {"article", "number"});
+  z.Add(item, {"article", "description"});
+  z.Add(item, {"quantity"});
+  z.Add(item, {"price"});
+  const SchemaNodeId foot = z.Add(root, {"order", "foot"});
+  z.Add(foot, {"total", "price"});
+  z.Add(foot, {"tax", "amount"});
+  z.PadTo(StandardSize(StandardId::kNoris));
+  return z.Finish("Noris");
+}
+
+/// Paragon-like (69).
+std::shared_ptr<const Schema> BuildParagon() {
+  Zoo z("Order", NameStyle::kCamel, /*seed=*/1003);
+  const SchemaNodeId root = z.root();
+  const SchemaNodeId head = z.Add(root, {"header"});
+  z.Add(head, {"po", "number"});
+  z.Add(head, {"po", "date"});
+  z.Add(head, {"currency", "code"});
+  z.Party(head, "buyer", /*variant=*/0, /*wide=*/true);
+  z.Party(head, "seller", /*variant=*/0, /*wide=*/false);
+  const SchemaNodeId ship = z.Add(head, {"ship", "to"});
+  z.Address(ship, /*variant=*/0, /*wide=*/true);
+  z.Contact(ship, /*variant=*/0, /*wide=*/false);
+  const SchemaNodeId items = z.Add(root, {"detail"});
+  z.Item(items, /*variant=*/0, /*wide=*/false);
+  const SchemaNodeId tail = z.Add(root, {"trailer"});
+  z.Add(tail, {"total", "amount"});
+  z.Add(tail, {"total", "lines"});
+  z.PadTo(StandardSize(StandardId::kParagon));
+  return z.Finish("Paragon");
+}
+
+}  // namespace
+
+std::shared_ptr<const Schema> BuildStandardSchema(StandardId id) {
+  std::shared_ptr<const Schema> s;
+  switch (id) {
+    case StandardId::kExcel:
+      s = BuildExcel();
+      break;
+    case StandardId::kNoris:
+      s = BuildNoris();
+      break;
+    case StandardId::kParagon:
+      s = BuildParagon();
+      break;
+    case StandardId::kApertum:
+      s = BuildApertum();
+      break;
+    case StandardId::kOpenTrans:
+      s = BuildOpenTrans();
+      break;
+    case StandardId::kXcbl:
+      s = BuildXcbl();
+      break;
+    case StandardId::kCidx:
+      s = BuildCidx();
+      break;
+  }
+  UXM_CHECK_MSG(s->size() == StandardSize(id),
+                "standard " << StandardName(id) << " built with " << s->size()
+                            << " elements, expected " << StandardSize(id));
+  return s;
+}
+
+std::shared_ptr<const Schema> GetStandardSchema(StandardId id) {
+  static std::mutex mu;
+  static std::map<StandardId, std::shared_ptr<const Schema>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(id);
+  if (it != cache.end()) return it->second;
+  auto s = BuildStandardSchema(id);
+  cache.emplace(id, s);
+  return s;
+}
+
+}  // namespace uxm

@@ -1,0 +1,43 @@
+// The seven e-commerce schema standards of Table II, rebuilt synthetically
+// (see DESIGN.md §2 for the substitution rationale). Each generator emits
+// a deterministic schema tree with exactly the element count the paper
+// reports, a standard-specific naming convention, and a purchase-order
+// core whose vocabulary overlaps across standards the way the real
+// XCBL / OpenTrans / Apertum / CIDX / Excel / Noris / Paragon schemas do.
+#ifndef UXM_WORKLOAD_SCHEMA_ZOO_H_
+#define UXM_WORKLOAD_SCHEMA_ZOO_H_
+
+#include <memory>
+#include <string>
+
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// The standards of Table II.
+enum class StandardId {
+  kExcel,      ///<   48 elements
+  kNoris,      ///<   66 elements
+  kParagon,    ///<   69 elements
+  kApertum,    ///<  166 elements (target of D6/D7; Table III queries)
+  kOpenTrans,  ///<  247 elements (the "OT" standard; Figure 1 names)
+  kXcbl,       ///< 1076 elements (source document Order.xml)
+  kCidx,       ///<   39 elements
+};
+
+/// Human-readable standard name ("XCBL", "OT", ...).
+const char* StandardName(StandardId id);
+
+/// Element count of the standard (Table II's |S| / |T| columns).
+int StandardSize(StandardId id);
+
+/// Builds the schema for a standard. Deterministic. The returned schema
+/// is finalized and has exactly StandardSize(id) elements.
+std::shared_ptr<const Schema> BuildStandardSchema(StandardId id);
+
+/// Process-wide cache: builds each standard at most once.
+std::shared_ptr<const Schema> GetStandardSchema(StandardId id);
+
+}  // namespace uxm
+
+#endif  // UXM_WORKLOAD_SCHEMA_ZOO_H_

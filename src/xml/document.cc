@@ -1,0 +1,97 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace uxm {
+
+DocNodeId Document::AddRoot(std::string_view label) {
+  UXM_CHECK_MSG(nodes_.empty(), "AddRoot called twice");
+  DocNode n;
+  n.id = 0;
+  n.label = std::string(label);
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+DocNodeId Document::AddChild(DocNodeId parent, std::string_view label,
+                             std::string_view text) {
+  UXM_CHECK_MSG(!finalized_, "AddChild after Finalize");
+  UXM_CHECK(parent >= 0 && parent < size());
+  DocNode n;
+  n.id = static_cast<DocNodeId>(nodes_.size());
+  n.label = std::string(label);
+  n.text = std::string(text);
+  n.parent = parent;
+  nodes_[static_cast<size_t>(parent)].children.push_back(n.id);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+void Document::SetText(DocNodeId id, std::string_view text) {
+  nodes_[static_cast<size_t>(id)].text = std::string(text);
+}
+
+void Document::Finalize() {
+  UXM_CHECK_MSG(!nodes_.empty(), "Finalize on empty document");
+  // Iterative DFS assigning (start, end, level).
+  struct Frame {
+    DocNodeId id;
+    size_t child_idx;
+  };
+  std::vector<Frame> stack;
+  int32_t counter = 0;
+  nodes_[0].start = counter++;
+  nodes_[0].level = 0;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    DocNode& cur = nodes_[static_cast<size_t>(f.id)];
+    if (f.child_idx < cur.children.size()) {
+      const DocNodeId c = cur.children[f.child_idx++];
+      DocNode& child = nodes_[static_cast<size_t>(c)];
+      child.start = counter++;
+      child.level = cur.level + 1;
+      stack.push_back({c, 0});
+    } else {
+      cur.end = counter++;
+      stack.pop_back();
+    }
+  }
+  label_index_.clear();
+  for (const DocNode& n : nodes_) label_index_[n.label].push_back(n.id);
+  // Node ids follow creation order, which need not be document order;
+  // index lists are promised sorted by region start.
+  for (auto& [label, ids] : label_index_) {
+    std::sort(ids.begin(), ids.end(), [&](DocNodeId a, DocNodeId b) {
+      return nodes_[static_cast<size_t>(a)].start <
+             nodes_[static_cast<size_t>(b)].start;
+    });
+  }
+  finalized_ = true;
+}
+
+const std::vector<DocNodeId>& Document::NodesWithLabel(
+    std::string_view label) const {
+  static const std::vector<DocNodeId> kEmpty;
+  auto it = label_index_.find(std::string(label));
+  if (it == label_index_.end()) return kEmpty;
+  return it->second;
+}
+
+std::vector<std::string> Document::Labels() const {
+  std::vector<std::string> out;
+  out.reserve(label_index_.size());
+  for (const auto& [label, ids] : label_index_) out.push_back(label);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int Document::Height() const {
+  int h = 0;
+  for (const DocNode& n : nodes_) h = std::max(h, static_cast<int>(n.level));
+  return h;
+}
+
+}  // namespace uxm

@@ -1,0 +1,91 @@
+// XML document model. Nodes carry the (start, end, level) region encoding
+// used by stack-based structural joins (Al-Khalifa et al., ICDE 2002):
+// `a` is an ancestor of `d` iff a.start < d.start && d.end < a.end.
+#ifndef UXM_XML_DOCUMENT_H_
+#define UXM_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uxm {
+
+/// Dense id of a node inside one Document; ids are assigned in document
+/// (pre-) order, so id order == start order.
+using DocNodeId = int32_t;
+inline constexpr DocNodeId kInvalidDocNode = -1;
+
+/// \brief One element node of a parsed document.
+struct DocNode {
+  DocNodeId id = kInvalidDocNode;
+  std::string label;   ///< Element tag.
+  std::string text;    ///< Concatenated direct text content (trimmed).
+  DocNodeId parent = kInvalidDocNode;
+  std::vector<DocNodeId> children;
+  int32_t start = 0;   ///< Region encoding: left endpoint.
+  int32_t end = 0;     ///< Region encoding: right endpoint.
+  int32_t level = 0;   ///< Depth; root is level 0.
+};
+
+/// \brief An ordered tree of element nodes with a label index.
+class Document {
+ public:
+  Document() = default;
+
+  /// Creates the root node. Must be called exactly once, first.
+  DocNodeId AddRoot(std::string_view label);
+
+  /// Appends a child under `parent`.
+  DocNodeId AddChild(DocNodeId parent, std::string_view label,
+                     std::string_view text = {});
+
+  /// Sets text content on an existing node.
+  void SetText(DocNodeId id, std::string_view text);
+
+  /// Computes region encoding and the label index. Call once after building.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  DocNodeId root() const { return nodes_.empty() ? kInvalidDocNode : 0; }
+
+  const DocNode& node(DocNodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  const std::vector<DocNode>& nodes() const { return nodes_; }
+  const std::string& label(DocNodeId id) const { return node(id).label; }
+  const std::string& text(DocNodeId id) const { return node(id).text; }
+
+  /// True if `anc` is a proper ancestor of `desc` (O(1) via regions).
+  bool IsAncestor(DocNodeId anc, DocNodeId desc) const {
+    const DocNode& a = node(anc);
+    const DocNode& d = node(desc);
+    return a.start < d.start && d.end < a.end;
+  }
+
+  /// True if `p` is the parent of `c` (O(1)).
+  bool IsParent(DocNodeId p, DocNodeId c) const { return node(c).parent == p; }
+
+  /// All node ids with the given label, sorted by document order.
+  /// Returns an empty list for unknown labels.
+  const std::vector<DocNodeId>& NodesWithLabel(std::string_view label) const;
+
+  /// Distinct labels present in the document.
+  std::vector<std::string> Labels() const;
+
+  /// Maximum node depth.
+  int Height() const;
+
+ private:
+  std::vector<DocNode> nodes_;
+  std::unordered_map<std::string, std::vector<DocNodeId>> label_index_;
+  bool finalized_ = false;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_XML_DOCUMENT_H_

@@ -1,0 +1,45 @@
+// Schema readers: (1) a compact indented-outline text format used by tests
+// and examples, and (2) a pragmatic subset of XML Schema (XSD) sufficient
+// for purchase-order style schemas (xs:element, xs:complexType,
+// xs:sequence/choice/all, named top-level types, element refs,
+// minOccurs/maxOccurs).
+#ifndef UXM_XML_SCHEMA_PARSER_H_
+#define UXM_XML_SCHEMA_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// Parses the compact outline format:
+///
+///   Order
+///     DeliverTo*        <- '*' marks repeatable (maxOccurs > 1)
+///       Address?        <- '?' marks optional  (minOccurs = 0)
+///         City
+///
+/// Indentation must be a multiple of `indent_width` spaces; each level
+/// deeper than its parent by exactly one step. Blank lines and lines
+/// starting with '#' are ignored.
+Result<Schema> ParseSchemaOutline(std::string_view text, int indent_width = 2);
+
+/// Serializes a schema to the outline format (inverse of the above).
+std::string WriteSchemaOutline(const Schema& schema, int indent_width = 2);
+
+/// Parses an XSD-subset document into a Schema.
+///
+/// The root element of the schema tree is the first top-level xs:element.
+/// Recursion in type definitions is cut off at `max_depth` (real B2B
+/// schemas such as XCBL are recursive; the paper treats schemas as finite
+/// trees, so recursive expansions are truncated the same way COMA++ does).
+struct XsdParseOptions {
+  int max_depth = 16;
+};
+Result<Schema> ParseXsd(std::string_view xsd_text,
+                        const XsdParseOptions& options = {});
+
+}  // namespace uxm
+
+#endif  // UXM_XML_SCHEMA_PARSER_H_

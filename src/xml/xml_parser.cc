@@ -1,0 +1,341 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace uxm {
+
+namespace {
+
+/// Recursive-descent XML reader over a string_view.
+class Reader {
+ public:
+  Reader(std::string_view input, const XmlParseOptions& options)
+      : in_(input), options_(options) {}
+
+  Status Parse(Document* doc) {
+    SkipProlog();
+    if (AtEnd()) return Error("document has no root element");
+    UXM_RETURN_NOT_OK(ParseElement(doc, kInvalidDocNode, 0));
+    SkipMisc();
+    if (!AtEnd()) return Error("content after root element");
+    if (doc->empty()) return Error("document has no root element");
+    return Status::OK();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char Get() { return in_[pos_++]; }
+  bool Lookahead(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void Advance(size_t n) { pos_ += n; }
+
+  Status Error(const std::string& msg) const {
+    // Compute 1-based line number for the message.
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++line;
+    }
+    return Status::ParseError("XML line " + std::to_string(line) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Get();
+  }
+
+  /// Skips the XML declaration, comments, PIs and whitespace before root.
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<?")) {
+        SkipUntil("?>");
+      } else if (Lookahead("<!--")) {
+        SkipUntil("-->");
+      } else if (Lookahead("<!DOCTYPE")) {
+        // Skip a simple DOCTYPE without internal subset.
+        SkipUntil(">");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        SkipUntil("-->");
+      } else if (Lookahead("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    const size_t found = in_.find(terminator, pos_);
+    pos_ = (found == std::string_view::npos) ? in_.size()
+                                             : found + terminator.size();
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    const size_t begin = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Get();
+    std::string name(in_.substr(begin, pos_ - begin));
+    if (options_.strip_namespace_prefix) {
+      const size_t colon = name.rfind(':');
+      if (colon != std::string::npos) name = name.substr(colon + 1);
+    }
+    return name;
+  }
+
+  /// Parses attributes up to '>' or '/>'. Values are validated, then
+  /// discarded (element-only data model).
+  Status SkipAttributes() {
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') return Status::OK();
+      UXM_ASSIGN_OR_RETURN(std::string name, ParseName());
+      (void)name;
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("attribute without '='");
+      Get();
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("attribute value must be quoted");
+      }
+      const char quote = Get();
+      const size_t close = in_.find(quote, pos_);
+      if (close == std::string_view::npos) {
+        return Error("unterminated attribute value");
+      }
+      pos_ = close + 1;
+    }
+  }
+
+  /// Decodes entities/char-refs in a raw text slice.
+  Result<std::string> DecodeText(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Error("unterminated entity");
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        try {
+          code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
+                     ? std::stol(std::string(ent.substr(2)), nullptr, 16)
+                     : std::stol(std::string(ent.substr(1)), nullptr, 10);
+        } catch (...) {
+          return Error("bad character reference &" + std::string(ent) + ";");
+        }
+        if (code <= 0 || code > 0x10FFFF) {
+          return Error("character reference out of range");
+        }
+        // Encode as UTF-8.
+        const unsigned long cp = static_cast<unsigned long>(code);
+        if (cp < 0x80) {
+          out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Status ParseElement(Document* doc, DocNodeId parent, int depth) {
+    if (depth > options_.max_depth) return Error("nesting too deep");
+    if (AtEnd() || Get() != '<') return Error("expected '<'");
+    UXM_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    UXM_RETURN_NOT_OK(SkipAttributes());
+
+    const DocNodeId self = (parent == kInvalidDocNode)
+                               ? doc->AddRoot(tag)
+                               : doc->AddChild(parent, tag);
+
+    if (Lookahead("/>")) {
+      Advance(2);
+      return Status::OK();
+    }
+    if (AtEnd() || Get() != '>') return Error("malformed start tag <" + tag);
+
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + tag + ">");
+      if (Lookahead("<!--")) {
+        SkipUntil("-->");
+        continue;
+      }
+      if (Lookahead("<![CDATA[")) {
+        Advance(9);
+        const size_t close = in_.find("]]>", pos_);
+        if (close == std::string_view::npos) return Error("unterminated CDATA");
+        text.append(in_.substr(pos_, close - pos_));
+        pos_ = close + 3;
+        continue;
+      }
+      if (Lookahead("<?")) {
+        SkipUntil("?>");
+        continue;
+      }
+      if (Lookahead("</")) {
+        Advance(2);
+        UXM_ASSIGN_OR_RETURN(std::string close_tag, ParseName());
+        SkipWhitespace();
+        if (AtEnd() || Get() != '>') return Error("malformed end tag");
+        if (close_tag != tag) {
+          return Error("mismatched tags <" + tag + ">...</" + close_tag + ">");
+        }
+        break;
+      }
+      if (Peek() == '<') {
+        UXM_RETURN_NOT_OK(ParseElement(doc, self, depth + 1));
+        continue;
+      }
+      // Text run.
+      const size_t begin = pos_;
+      while (!AtEnd() && Peek() != '<') Get();
+      UXM_ASSIGN_OR_RETURN(std::string decoded,
+                           DecodeText(in_.substr(begin, pos_ - begin)));
+      text += decoded;
+    }
+    std::string_view final_text =
+        options_.trim_text ? Trim(text) : std::string_view(text);
+    if (!final_text.empty()) doc->SetText(self, final_text);
+    return Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  const XmlParseOptions& options_;
+};
+
+void EscapeInto(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void WriteNode(const Document& doc, DocNodeId id,
+               const XmlWriteOptions& options, int depth, std::string* out) {
+  const DocNode& n = doc.node(id);
+  if (options.pretty) out->append(static_cast<size_t>(depth * options.indent_width), ' ');
+  *out += '<';
+  *out += n.label;
+  if (n.children.empty() && n.text.empty()) {
+    *out += "/>";
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (n.children.empty()) {
+    EscapeInto(n.text, out);
+  } else {
+    if (options.pretty) *out += '\n';
+    for (DocNodeId c : n.children) {
+      WriteNode(doc, c, options, depth + 1, out);
+    }
+    if (!n.text.empty()) {
+      if (options.pretty) {
+        out->append(static_cast<size_t>((depth + 1) * options.indent_width), ' ');
+      }
+      EscapeInto(n.text, out);
+      if (options.pretty) *out += '\n';
+    }
+    if (options.pretty) out->append(static_cast<size_t>(depth * options.indent_width), ' ');
+  }
+  *out += "</";
+  *out += n.label;
+  *out += '>';
+  if (options.pretty) *out += '\n';
+}
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input,
+                          const XmlParseOptions& options) {
+  Document doc;
+  Reader reader(input, options);
+  UXM_RETURN_NOT_OK(reader.Parse(&doc));
+  doc.Finalize();
+  return doc;
+}
+
+Result<Document> ParseXmlFile(const std::string& path,
+                              const XmlParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseXml(ss.str(), options);
+}
+
+std::string WriteXml(const Document& doc, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += '\n';
+  }
+  if (!doc.empty()) WriteNode(doc, doc.root(), options, 0, &out);
+  return out;
+}
+
+}  // namespace uxm

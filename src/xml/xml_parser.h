@@ -1,0 +1,50 @@
+// From-scratch, non-validating XML parser producing Document trees.
+//
+// Supported: element trees, text content, attributes (accepted and
+// skipped — the paper's data model is element-only), XML declaration,
+// comments, CDATA sections, the five predefined entities, and numeric
+// character references. Not supported (rejected with ParseError):
+// DOCTYPE internal subsets, processing of external entities.
+#ifndef UXM_XML_XML_PARSER_H_
+#define UXM_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace uxm {
+
+/// \brief Options controlling XML parsing.
+struct XmlParseOptions {
+  /// Strip namespace prefixes from tags ("po:Order" -> "Order"). Schema
+  /// matching in the paper operates on local names.
+  bool strip_namespace_prefix = true;
+  /// Trim surrounding whitespace from text content.
+  bool trim_text = true;
+  /// Maximum element nesting depth accepted (guards against bombs).
+  int max_depth = 512;
+};
+
+/// Parses an XML byte string into a finalized Document.
+Result<Document> ParseXml(std::string_view input,
+                          const XmlParseOptions& options = {});
+
+/// Reads and parses an XML file.
+Result<Document> ParseXmlFile(const std::string& path,
+                              const XmlParseOptions& options = {});
+
+/// \brief Options controlling XML serialization.
+struct XmlWriteOptions {
+  bool pretty = true;   ///< Indent children; false emits one line.
+  int indent_width = 2;
+  bool declaration = true;  ///< Emit <?xml version="1.0"?>.
+};
+
+/// Serializes a Document back to XML text (inverse of ParseXml, modulo
+/// attributes and formatting).
+std::string WriteXml(const Document& doc, const XmlWriteOptions& options = {});
+
+}  // namespace uxm
+
+#endif  // UXM_XML_XML_PARSER_H_

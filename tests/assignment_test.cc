@@ -1,0 +1,229 @@
+// Assignment solver tests: hand assertions on small problems plus
+// randomized comparison against brute-force enumeration, and dual
+// feasibility/tightness invariants.
+#include "mapping/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uxm {
+namespace {
+
+/// Builds a problem with `rows` rows, `cols` real columns and the given
+/// dense weight matrix; entries < 0 mean "no edge".
+AssignmentProblem MakeProblem(int rows, int cols,
+                              const std::vector<std::vector<double>>& w) {
+  AssignmentProblem p;
+  p.num_rows = rows;
+  p.num_real_cols = cols;
+  p.adj.resize(static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (w[static_cast<size_t>(r)][static_cast<size_t>(c)] >= 0) {
+        p.adj[static_cast<size_t>(r)].push_back(
+            {c, w[static_cast<size_t>(r)][static_cast<size_t>(c)]});
+      }
+    }
+    p.adj[static_cast<size_t>(r)].push_back({p.NullCol(r), 0.0});
+    p.row_source.push_back(r);
+  }
+  for (int c = 0; c < cols; ++c) p.col_target.push_back(c);
+  return p;
+}
+
+/// Brute-force best assignment value (rows pick distinct real cols or
+/// nothing).
+double BruteBest(const AssignmentProblem& p) {
+  std::vector<int32_t> choice(static_cast<size_t>(p.num_rows), -1);
+  double best = 0.0;
+  std::vector<uint8_t> used(static_cast<size_t>(p.num_real_cols), 0);
+  std::function<void(int, double)> rec = [&](int r, double acc) {
+    if (r == p.num_rows) {
+      best = std::max(best, acc);
+      return;
+    }
+    rec(r + 1, acc);  // row unmatched
+    for (const auto& e : p.adj[static_cast<size_t>(r)]) {
+      if (e.col >= p.num_real_cols) continue;
+      if (used[static_cast<size_t>(e.col)]) continue;
+      used[static_cast<size_t>(e.col)] = 1;
+      rec(r + 1, acc + e.weight);
+      used[static_cast<size_t>(e.col)] = 0;
+    }
+  };
+  rec(0, 0.0);
+  (void)choice;
+  return best;
+}
+
+double SolveValue(const AssignmentProblem& p) {
+  AssignmentSolver solver(p);
+  AssignmentState st = solver.MakeInitialState();
+  AssignmentConstraints cons;
+  cons.fixed_rows.assign(static_cast<size_t>(p.num_rows), 0);
+  EXPECT_TRUE(solver.Solve(&st, cons));
+  return st.TotalWeight(p);
+}
+
+TEST(AssignmentTest, SingleEdge) {
+  const auto p = MakeProblem(1, 1, {{0.7}});
+  EXPECT_DOUBLE_EQ(SolveValue(p), 0.7);
+}
+
+TEST(AssignmentTest, PrefersHeavierConflictResolution) {
+  // Both rows want column 0 (weights 0.9 / 0.8); row 1 falls back to
+  // column 1 (0.5): optimum 0.9 + 0.5.
+  const auto p = MakeProblem(2, 2, {{0.9, -1}, {0.8, 0.5}});
+  EXPECT_DOUBLE_EQ(SolveValue(p), 1.4);
+}
+
+TEST(AssignmentTest, ReroutingThroughChain) {
+  // Optimal requires r1 on c0 (0.9), r0 rerouted to c1 (0.8), r2 unmatched.
+  const auto p =
+      MakeProblem(3, 3, {{0.9, 0.8, -1}, {0.9, -1, 0.2}, {0.6, -1, -1}});
+  EXPECT_NEAR(SolveValue(p), 0.9 + 0.8 + 0.0, 1e-12);
+}
+
+TEST(AssignmentTest, NullAssignmentWhenNoEdges) {
+  const auto p = MakeProblem(2, 2, {{-1, -1}, {-1, -1}});
+  EXPECT_DOUBLE_EQ(SolveValue(p), 0.0);
+}
+
+TEST(AssignmentTest, ExcludedEdgeIsAvoided) {
+  auto p = MakeProblem(1, 2, {{0.9, 0.4}});
+  AssignmentSolver solver(p);
+  AssignmentState st = solver.MakeInitialState();
+  AssignmentConstraints cons;
+  cons.fixed_rows.assign(1, 0);
+  cons.excluded.insert(0 * p.num_cols() + 0);
+  ASSERT_TRUE(solver.Solve(&st, cons));
+  EXPECT_DOUBLE_EQ(st.TotalWeight(p), 0.4);
+}
+
+TEST(AssignmentTest, ExcludingAllEdgesFallsBackToNull) {
+  auto p = MakeProblem(1, 1, {{0.9}});
+  AssignmentSolver solver(p);
+  AssignmentState st = solver.MakeInitialState();
+  AssignmentConstraints cons;
+  cons.fixed_rows.assign(1, 0);
+  cons.excluded.insert(0);
+  ASSERT_TRUE(solver.Solve(&st, cons));
+  EXPECT_DOUBLE_EQ(st.TotalWeight(p), 0.0);
+}
+
+TEST(AssignmentTest, ExcludedNullEdgeMakesIsolatedRowInfeasible) {
+  auto p = MakeProblem(1, 1, {{-1.0}});
+  AssignmentSolver solver(p);
+  AssignmentState st = solver.MakeInitialState();
+  AssignmentConstraints cons;
+  cons.fixed_rows.assign(1, 0);
+  cons.excluded.insert(0 * p.num_cols() + p.NullCol(0));
+  EXPECT_FALSE(solver.Solve(&st, cons));
+}
+
+TEST(AssignmentTest, FixedRowKeepsItsColumn) {
+  auto p = MakeProblem(2, 1, {{0.9}, {0.8}});
+  AssignmentSolver solver(p);
+  AssignmentState st = solver.MakeInitialState();
+  AssignmentConstraints cons;
+  cons.fixed_rows.assign(2, 0);
+  // Assign row 0 first, then freeze it; row 1 may not steal column 0.
+  ASSERT_TRUE(solver.AugmentRow(0, &st, cons));
+  ASSERT_EQ(st.row_match[0], 0);
+  cons.fixed_rows[0] = 1;
+  ASSERT_TRUE(solver.AugmentRow(1, &st, cons));
+  EXPECT_EQ(st.row_match[0], 0);
+  EXPECT_EQ(st.row_match[1], p.NullCol(1));
+}
+
+/// Randomized comparison against brute force + invariant checks.
+class AssignmentRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(AssignmentRandomTest, MatchesBruteForceAndKeepsInvariants) {
+  const auto [rows, cols, density] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 7919 + cols * 104729) +
+          static_cast<uint64_t>(density * 1000));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::vector<double>> w(
+        static_cast<size_t>(rows),
+        std::vector<double>(static_cast<size_t>(cols), -1.0));
+    for (auto& row : w) {
+      for (auto& x : row) {
+        if (rng.Bernoulli(density)) {
+          x = 0.05 + 0.95 * rng.NextDouble();
+        }
+      }
+    }
+    const auto p = MakeProblem(rows, cols, w);
+    AssignmentSolver solver(p);
+    AssignmentState st = solver.MakeInitialState();
+    AssignmentConstraints cons;
+    cons.fixed_rows.assign(static_cast<size_t>(rows), 0);
+    ASSERT_TRUE(solver.Solve(&st, cons));
+    EXPECT_NEAR(st.TotalWeight(p), BruteBest(p), 1e-9);
+
+    // Invariants: reduced costs >= 0 on all edges; matched edges tight.
+    for (int r = 0; r < rows; ++r) {
+      for (const auto& e : p.adj[static_cast<size_t>(r)]) {
+        const double rc = -e.weight - st.u[static_cast<size_t>(r)] -
+                          st.v[static_cast<size_t>(e.col)];
+        EXPECT_GE(rc, -1e-9);
+        if (st.row_match[static_cast<size_t>(r)] == e.col) {
+          EXPECT_NEAR(rc, 0.0, 1e-9);
+        }
+      }
+    }
+    // Matching consistency.
+    std::vector<int> col_seen(static_cast<size_t>(p.num_cols()), 0);
+    for (int r = 0; r < rows; ++r) {
+      const int32_t c = st.row_match[static_cast<size_t>(r)];
+      ASSERT_GE(c, 0);
+      EXPECT_EQ(st.col_match[static_cast<size_t>(c)], r);
+      EXPECT_EQ(col_seen[static_cast<size_t>(c)]++, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AssignmentRandomTest,
+    ::testing::Values(std::make_tuple(3, 3, 0.5), std::make_tuple(4, 3, 0.7),
+                      std::make_tuple(3, 5, 0.4), std::make_tuple(5, 5, 0.3),
+                      std::make_tuple(6, 4, 0.6), std::make_tuple(5, 6, 0.8),
+                      std::make_tuple(7, 7, 0.25),
+                      std::make_tuple(2, 8, 0.9)));
+
+TEST(AssignmentProblemTest, FromMatchingBuildsImagesAndEdges) {
+  auto source = std::make_shared<Schema>();
+  const SchemaNodeId sr = source->AddRoot("S");
+  const SchemaNodeId s1 = source->AddChild(sr, "A");
+  const SchemaNodeId s2 = source->AddChild(sr, "B");
+  source->Finalize();
+  auto target = std::make_shared<Schema>();
+  const SchemaNodeId tr = target->AddRoot("T");
+  const SchemaNodeId t1 = target->AddChild(tr, "A");
+  target->Finalize();
+  SchemaMatching matching(source.get(), target.get());
+  ASSERT_TRUE(matching.Add(s1, t1, 0.9).ok());
+  ASSERT_TRUE(matching.Add(s2, t1, 0.8).ok());
+
+  const auto sparse = AssignmentProblem::FromMatching(matching, false);
+  EXPECT_EQ(sparse.num_rows, 2);       // only matched sources
+  EXPECT_EQ(sparse.num_real_cols, 1);  // only matched targets
+  EXPECT_EQ(sparse.EdgeCount(), 4u);   // 2 corr + 2 null
+
+  const auto full = AssignmentProblem::FromMatching(matching, true);
+  EXPECT_EQ(full.num_rows, source->size());
+  EXPECT_EQ(full.num_real_cols, target->size());
+  // Paper: bipartite size |S.N| + |T.N|.
+  EXPECT_EQ(full.num_rows + full.num_real_cols,
+            source->size() + target->size());
+}
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,257 @@
+// Block tree construction tests, anchored on the paper's running example
+// (Figures 3-5) plus property tests on generated datasets.
+#include "blocktree/block_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mapping/top_h.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace uxm {
+namespace {
+
+using testutil::MakePaperExample;
+using testutil::PaperExample;
+
+BlockTreeBuildResult BuildExampleTree(const PaperExample& ex, double tau) {
+  BlockTreeBuilder builder(BlockTreeOptions{tau, 500, 500});
+  auto result = builder.Build(ex.mappings);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).ValueOrDie();
+}
+
+/// Finds a block at `anchor` whose correspondence set equals `corrs`
+/// (pairs of (source, target)); returns its mapping ids or empty.
+std::vector<MappingId> FindBlock(
+    const BlockTree& tree, SchemaNodeId anchor,
+    std::vector<std::pair<SchemaNodeId, SchemaNodeId>> corrs) {
+  std::sort(corrs.begin(), corrs.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const CBlock& b : tree.BlocksAt(anchor)) {
+    if (b.corrs.size() != corrs.size()) continue;
+    bool same = true;
+    for (size_t i = 0; i < corrs.size(); ++i) {
+      if (b.corrs[i].source != corrs[i].first ||
+          b.corrs[i].target != corrs[i].second) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return b.mappings;
+  }
+  return {};
+}
+
+TEST(BlockTreeTest, PaperExampleLeafBlocksAtIcn) {
+  // Figure 4(a)/5: at ICN, {(BCN,ICN): m1,m2} and {(RCN,ICN): m3,m4};
+  // (OCN,ICN) is supported only by m5 < tau*|M| = 2, so no block.
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 0.4);
+  const auto& blocks = result.tree.BlocksAt(ex.t_icn);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(FindBlock(result.tree, ex.t_icn, {{ex.s_bcn, ex.t_icn}}),
+            (std::vector<MappingId>{0, 1}));
+  EXPECT_EQ(FindBlock(result.tree, ex.t_icn, {{ex.s_rcn, ex.t_icn}}),
+            (std::vector<MappingId>{2, 3}));
+}
+
+TEST(BlockTreeTest, PaperExampleLeafBlocksAtScn) {
+  // Figure 5: at SCN, {(OCN,SCN): m2,m3} and {(BCN,SCN): m4,m5}.
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 0.4);
+  const auto& blocks = result.tree.BlocksAt(ex.t_scn);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(FindBlock(result.tree, ex.t_scn, {{ex.s_ocn, ex.t_scn}}),
+            (std::vector<MappingId>{1, 2}));
+  EXPECT_EQ(FindBlock(result.tree, ex.t_scn, {{ex.s_bcn, ex.t_scn}}),
+            (std::vector<MappingId>{3, 4}));
+}
+
+TEST(BlockTreeTest, PaperExampleNonLeafBlockAtIp) {
+  // Figure 4(b)/5: b5 = {(BP,IP), (BCN,ICN)} shared by m1, m2.
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 0.4);
+  const auto& blocks = result.tree.BlocksAt(ex.t_ip);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(FindBlock(result.tree, ex.t_ip,
+                      {{ex.s_bp, ex.t_ip}, {ex.s_bcn, ex.t_icn}}),
+            (std::vector<MappingId>{0, 1}));
+}
+
+TEST(BlockTreeTest, PaperExampleOrderAndSpHaveNoBlocks) {
+  // SP's child SCN has blocks but SP itself has support-1 correspondence
+  // only (BP~SP in m3); ORDER is pruned via Lemma 2 (its child SP made 0
+  // blocks) even though (Order,ORDER) is shared by all five mappings.
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 0.4);
+  EXPECT_TRUE(result.tree.BlocksAt(ex.t_sp).empty());
+  EXPECT_TRUE(result.tree.BlocksAt(ex.t_order).empty());
+  EXPECT_EQ(result.tree.TotalBlocks(), 5);
+}
+
+TEST(BlockTreeTest, HashTableHoldsExactlyBlockOwningNodes) {
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 0.4);
+  const Schema& t = *ex.target;
+  EXPECT_EQ(result.tree.FindNodeByPath(t.path(ex.t_icn)), ex.t_icn);
+  EXPECT_EQ(result.tree.FindNodeByPath(t.path(ex.t_scn)), ex.t_scn);
+  EXPECT_EQ(result.tree.FindNodeByPath(t.path(ex.t_ip)), ex.t_ip);
+  EXPECT_EQ(result.tree.FindNodeByPath(t.path(ex.t_order)),
+            kInvalidSchemaNode);
+  EXPECT_EQ(result.tree.FindNodeByPath(t.path(ex.t_sp)), kInvalidSchemaNode);
+  EXPECT_EQ(result.tree.FindNodeByPath("NO.SUCH.PATH"), kInvalidSchemaNode);
+}
+
+TEST(BlockTreeTest, LowerTauAdmitsMoreBlocks) {
+  const PaperExample ex = MakePaperExample();
+  const auto strict = BuildExampleTree(ex, 0.4);
+  const auto loose = BuildExampleTree(ex, 0.15);  // support >= 0.75 -> 1
+  EXPECT_GT(loose.tree.TotalBlocks(), strict.tree.TotalBlocks());
+  // With support 1 allowed, (OCN,ICN):m5 becomes a block too.
+  EXPECT_EQ(loose.tree.BlocksAt(ex.t_icn).size(), 3u);
+  // ORDER becomes eligible once SP has a block.
+  EXPECT_FALSE(loose.tree.BlocksAt(ex.t_order).empty());
+}
+
+TEST(BlockTreeTest, TauOneRequiresUnanimousSupport) {
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 1.0);
+  // No single correspondence is shared by all five mappings except
+  // (Order, ORDER), which is not a leaf-level anchor with full subtree
+  // coverage; so no blocks anywhere.
+  EXPECT_EQ(result.tree.TotalBlocks(), 0);
+}
+
+TEST(BlockTreeTest, MaxBlocksCapsGlobalCount) {
+  const PaperExample ex = MakePaperExample();
+  BlockTreeBuilder builder(BlockTreeOptions{0.15, 2, 500});
+  auto result = builder.Build(ex.mappings);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->tree.TotalBlocks(), 2);
+}
+
+TEST(BlockTreeTest, InvalidOptionsRejected) {
+  const PaperExample ex = MakePaperExample();
+  EXPECT_FALSE(BlockTreeBuilder(BlockTreeOptions{0.0, 10, 10})
+                   .Build(ex.mappings)
+                   .ok());
+  EXPECT_FALSE(BlockTreeBuilder(BlockTreeOptions{1.5, 10, 10})
+                   .Build(ex.mappings)
+                   .ok());
+  EXPECT_FALSE(BlockTreeBuilder(BlockTreeOptions{0.4, 0, 10})
+                   .Build(ex.mappings)
+                   .ok());
+  EXPECT_FALSE(BlockTreeBuilder(BlockTreeOptions{0.4, 10, 0})
+                   .Build(ex.mappings)
+                   .ok());
+  PossibleMappingSet empty(ex.source.get(), ex.target.get());
+  EXPECT_FALSE(BlockTreeBuilder().Build(empty).ok());
+}
+
+TEST(BlockTreeTest, MappingCompressionAccountingIsConsistent) {
+  const PaperExample ex = MakePaperExample();
+  const auto result = BuildExampleTree(ex, 0.4);
+  ASSERT_EQ(result.residual_corrs.size(), 5u);
+  // m1 = {Order~ORDER, BP~IP, BCN~ICN, RCN~SCN}: block b5 covers BP~IP and
+  // BCN~ICN; Order and SCN corrs remain -> residual 2.
+  EXPECT_EQ(result.residual_corrs[0], 2);
+  // Every mapping: residual + covered == correspondence count.
+  for (MappingId i = 0; i < 5; ++i) {
+    int covered = 0;
+    for (const auto& [anchor, bi] : result.mapping_blocks[static_cast<size_t>(i)]) {
+      covered += ex.target->subtree_size(anchor);
+    }
+    EXPECT_EQ(covered + result.residual_corrs[static_cast<size_t>(i)],
+              ex.mappings.mapping(i).CorrespondenceCount());
+  }
+  EXPECT_GT(result.CompressedBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests on real datasets: every built block satisfies the
+// c-block definition, and blocks chosen for compression never overlap.
+// ---------------------------------------------------------------------
+
+class BlockTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockTreePropertyTest, CBlockDefinitionHolds) {
+  auto dataset = LoadDataset(GetParam());
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  TopHGenerator gen(TopHOptions{.h = 60});
+  auto mappings = gen.Generate(dataset->matching);
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+
+  const double tau = 0.2;
+  BlockTreeBuilder builder(BlockTreeOptions{tau, 500, 500});
+  auto result = builder.Build(*mappings);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const Schema& target = *dataset->target;
+  for (SchemaNodeId t = 0; t < target.size(); ++t) {
+    for (const CBlock& b : result->tree.BlocksAt(t)) {
+      EXPECT_EQ(b.anchor, t);
+      // |b.C| equals the subtree size of the anchor, with one
+      // correspondence for every subtree element (Definition 2).
+      ASSERT_EQ(b.size(), target.subtree_size(t));
+      std::set<SchemaNodeId> covered;
+      for (const BlockCorr& c : b.corrs) {
+        EXPECT_TRUE(target.IsAncestorOrSelf(t, c.target));
+        covered.insert(c.target);
+      }
+      EXPECT_EQ(static_cast<int>(covered.size()), target.subtree_size(t));
+      // Support: |b.M| >= tau * |M|.
+      EXPECT_GE(static_cast<double>(b.mappings.size()) + 1e-9,
+                tau * mappings->size());
+      // Sharing: every mapping in b.M contains every corr of b.C.
+      for (MappingId mid : b.mappings) {
+        for (const BlockCorr& c : b.corrs) {
+          EXPECT_EQ(mappings->mapping(mid).SourceFor(c.target), c.source)
+              << "dataset " << dataset->id << " anchor "
+              << target.path(t);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BlockTreePropertyTest, CompressionCoverIsDisjointAndSound) {
+  auto dataset = LoadDataset(GetParam());
+  ASSERT_TRUE(dataset.ok());
+  TopHGenerator gen(TopHOptions{.h = 60});
+  auto mappings = gen.Generate(dataset->matching);
+  ASSERT_TRUE(mappings.ok());
+  BlockTreeBuilder builder(BlockTreeOptions{0.2, 500, 500});
+  auto result = builder.Build(*mappings);
+  ASSERT_TRUE(result.ok());
+
+  const Schema& target = *dataset->target;
+  for (MappingId mid = 0; mid < mappings->size(); ++mid) {
+    std::set<SchemaNodeId> covered;
+    for (const auto& [anchor, bi] :
+         result->mapping_blocks[static_cast<size_t>(mid)]) {
+      // The referenced block must list this mapping.
+      const CBlock& b =
+          result->tree.BlocksAt(anchor)[static_cast<size_t>(bi)];
+      EXPECT_TRUE(std::binary_search(b.mappings.begin(), b.mappings.end(),
+                                     mid));
+      for (SchemaNodeId e : target.SubtreeNodes(anchor)) {
+        EXPECT_TRUE(covered.insert(e).second)
+            << "overlapping cover at " << target.path(e);
+      }
+    }
+    EXPECT_GE(result->residual_corrs[static_cast<size_t>(mid)], 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, BlockTreePropertyTest,
+                         ::testing::Values(0, 3, 5, 6, 7),
+                         [](const auto& info) {
+                           return "D" + std::to_string(info.param + 1);
+                         });
+
+}  // namespace
+}  // namespace uxm

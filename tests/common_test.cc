@@ -1,0 +1,134 @@
+// Status/Result and RNG tests.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace uxm {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad tau");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad tau");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad tau");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  UXM_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+TEST(RngTest, DeterministicStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).NextU64(), c.NextU64());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Uniform(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(19);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Zipf(100, 1.1);
+    EXPECT_LT(v, 100u);
+    if (v < 10) ++low;
+  }
+  EXPECT_GT(low, 1000);  // heavy head
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+}  // namespace
+}  // namespace uxm

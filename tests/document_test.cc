@@ -1,0 +1,66 @@
+// Document model tests: region encoding, label index, ancestor checks.
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+namespace uxm {
+namespace {
+
+Document MakeSample() {
+  Document d;
+  const auto r = d.AddRoot("a");
+  const auto b = d.AddChild(r, "b");
+  d.AddChild(b, "c", "x");
+  d.AddChild(b, "c", "y");
+  d.AddChild(r, "b");
+  d.Finalize();
+  return d;
+}
+
+TEST(DocumentTest, RegionEncodingNests) {
+  const Document d = MakeSample();
+  // Root region spans everything.
+  EXPECT_EQ(d.node(0).start, 0);
+  EXPECT_EQ(d.node(0).end, d.size() * 2 - 1);
+  for (const DocNode& n : d.nodes()) {
+    EXPECT_LT(n.start, n.end);
+    if (n.parent != kInvalidDocNode) {
+      EXPECT_GT(n.start, d.node(n.parent).start);
+      EXPECT_LT(n.end, d.node(n.parent).end);
+      EXPECT_EQ(n.level, d.node(n.parent).level + 1);
+    }
+  }
+}
+
+TEST(DocumentTest, AncestorChecks) {
+  const Document d = MakeSample();
+  EXPECT_TRUE(d.IsAncestor(0, 2));
+  EXPECT_TRUE(d.IsAncestor(1, 3));
+  EXPECT_FALSE(d.IsAncestor(1, 4));
+  EXPECT_FALSE(d.IsAncestor(2, 1));
+  EXPECT_FALSE(d.IsAncestor(2, 2));  // not a proper ancestor of itself
+  EXPECT_TRUE(d.IsParent(1, 2));
+  EXPECT_FALSE(d.IsParent(0, 2));
+}
+
+TEST(DocumentTest, LabelIndexSortedByDocumentOrder) {
+  const Document d = MakeSample();
+  const auto& bs = d.NodesWithLabel("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_LT(d.node(bs[0]).start, d.node(bs[1]).start);
+  EXPECT_EQ(d.NodesWithLabel("c").size(), 2u);
+  EXPECT_TRUE(d.NodesWithLabel("zzz").empty());
+}
+
+TEST(DocumentTest, TextAndLabels) {
+  const Document d = MakeSample();
+  EXPECT_EQ(d.text(2), "x");
+  EXPECT_EQ(d.text(3), "y");
+  EXPECT_EQ(d.label(0), "a");
+  const auto labels = d.Labels();
+  EXPECT_EQ(labels, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(d.Height(), 2);
+}
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,142 @@
+// SchemaMatching container + ComposedMatcher behaviour tests.
+#include "matching/matcher.h"
+#include "matching/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/schema_zoo.h"
+
+namespace uxm {
+namespace {
+
+class MatchingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = testutil::MakeSchema({{-1, "S"}, {0, "A"}, {0, "B"}});
+    target_ = testutil::MakeSchema({{-1, "T"}, {0, "X"}, {0, "Y"}});
+  }
+  std::shared_ptr<Schema> source_;
+  std::shared_ptr<Schema> target_;
+};
+
+TEST_F(MatchingFixture, AddValidation) {
+  SchemaMatching m(source_.get(), target_.get());
+  EXPECT_TRUE(m.Add(1, 1, 0.9).ok());
+  EXPECT_TRUE(m.Add(1, 1, 0.8).code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(m.Add(99, 1, 0.9).IsInvalidArgument());
+  EXPECT_TRUE(m.Add(1, 99, 0.9).IsInvalidArgument());
+  EXPECT_TRUE(m.Add(1, 2, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(m.Add(1, 2, 1.5).IsInvalidArgument());
+  EXPECT_TRUE(m.Add(1, 2, -0.1).IsInvalidArgument());
+  EXPECT_EQ(m.size(), 1);
+}
+
+TEST_F(MatchingFixture, LookupsByEndpoint) {
+  SchemaMatching m(source_.get(), target_.get());
+  ASSERT_TRUE(m.Add(1, 1, 0.9).ok());
+  ASSERT_TRUE(m.Add(1, 2, 0.7).ok());
+  ASSERT_TRUE(m.Add(2, 1, 0.6).ok());
+  EXPECT_EQ(m.ForSource(1).size(), 2u);
+  EXPECT_EQ(m.ForTarget(1).size(), 2u);
+  EXPECT_EQ(m.ForTarget(2).size(), 1u);
+  EXPECT_TRUE(m.ForTarget(0).empty());
+  EXPECT_EQ(m.MatchedSources(), (std::vector<SchemaNodeId>{1, 2}));
+  EXPECT_EQ(m.MatchedTargets(), (std::vector<SchemaNodeId>{1, 2}));
+}
+
+TEST(MatcherTest, IdenticalSchemasMatchStrongly) {
+  auto schema = testutil::MakeSchema({{-1, "Order"},
+                                      {0, "Buyer"},
+                                      {1, "Name"},
+                                      {1, "City"},
+                                      {0, "Quantity"}});
+  ComposedMatcher matcher;
+  auto m = matcher.Match(*schema, *schema);
+  ASSERT_TRUE(m.ok()) << m.status();
+  // Every element should match itself.
+  for (SchemaNodeId i = 0; i < schema->size(); ++i) {
+    bool self = false;
+    for (const Correspondence& c : m->ForTarget(i)) {
+      if (c.source == i) {
+        EXPECT_NEAR(c.score, 1.0, 1e-6);
+        self = true;
+      }
+    }
+    EXPECT_TRUE(self) << "no self-correspondence for " << schema->path(i);
+  }
+}
+
+TEST(MatcherTest, DeterministicAcrossRuns) {
+  auto a = GetStandardSchema(StandardId::kExcel);
+  auto b = GetStandardSchema(StandardId::kNoris);
+  ComposedMatcher matcher;
+  auto m1 = matcher.Match(*a, *b);
+  auto m2 = matcher.Match(*a, *b);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_EQ(m1->size(), m2->size());
+  for (int i = 0; i < m1->size(); ++i) {
+    EXPECT_EQ(m1->correspondences()[static_cast<size_t>(i)].source,
+              m2->correspondences()[static_cast<size_t>(i)].source);
+    EXPECT_EQ(m1->correspondences()[static_cast<size_t>(i)].target,
+              m2->correspondences()[static_cast<size_t>(i)].target);
+  }
+}
+
+TEST(MatcherTest, PerEndpointCapsRespected) {
+  auto a = GetStandardSchema(StandardId::kXcbl);
+  auto b = GetStandardSchema(StandardId::kApertum);
+  MatcherOptions opts;
+  opts.max_per_target = 2;
+  opts.max_per_source = 3;
+  ComposedMatcher matcher(opts);
+  auto m = matcher.Match(*a, *b);
+  ASSERT_TRUE(m.ok());
+  for (SchemaNodeId t : m->MatchedTargets()) {
+    EXPECT_LE(m->ForTarget(t).size(), 2u);
+  }
+  for (SchemaNodeId s : m->MatchedSources()) {
+    EXPECT_LE(m->ForSource(s).size(), 3u);
+  }
+}
+
+TEST(MatcherTest, StrategiesProduceDifferentMatchings) {
+  auto a = GetStandardSchema(StandardId::kExcel);
+  auto b = GetStandardSchema(StandardId::kParagon);
+  MatcherOptions ctx;
+  ctx.strategy = MatcherStrategy::kContext;
+  MatcherOptions frag;
+  frag.strategy = MatcherStrategy::kFragment;
+  auto mc = ComposedMatcher(ctx).Match(*a, *b);
+  auto mf = ComposedMatcher(frag).Match(*a, *b);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE(mf.ok());
+  // The paper's D2 vs D3 rows differ; so should ours.
+  EXPECT_NE(mc->ToString(), mf->ToString());
+}
+
+TEST(MatcherTest, ScoresWithinUnitInterval) {
+  auto a = GetStandardSchema(StandardId::kNoris);
+  auto b = GetStandardSchema(StandardId::kParagon);
+  auto m = ComposedMatcher().Match(*a, *b);
+  ASSERT_TRUE(m.ok());
+  ASSERT_GT(m->size(), 0);
+  for (const Correspondence& c : m->correspondences()) {
+    EXPECT_GT(c.score, 0.0);
+    EXPECT_LE(c.score, 1.0);
+  }
+}
+
+TEST(MatcherTest, RejectsUnfinalizedSchemas) {
+  Schema s;
+  s.AddRoot("A");
+  Schema t;
+  t.AddRoot("B");
+  ComposedMatcher matcher;
+  EXPECT_FALSE(matcher.Match(s, t).ok());
+}
+
+}  // namespace
+}  // namespace uxm

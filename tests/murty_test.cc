@@ -1,0 +1,165 @@
+// Murty ranking tests: exact comparison against brute-force enumeration
+// of all partial matchings, distinctness, ordering, and edge cases.
+#include "mapping/murty.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uxm {
+namespace {
+
+AssignmentProblem MakeProblem(int rows, int cols,
+                              const std::vector<std::vector<double>>& w) {
+  AssignmentProblem p;
+  p.num_rows = rows;
+  p.num_real_cols = cols;
+  p.adj.resize(static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (w[static_cast<size_t>(r)][static_cast<size_t>(c)] >= 0) {
+        p.adj[static_cast<size_t>(r)].push_back(
+            {c, w[static_cast<size_t>(r)][static_cast<size_t>(c)]});
+      }
+    }
+    p.adj[static_cast<size_t>(r)].push_back({p.NullCol(r), 0.0});
+    p.row_source.push_back(r);
+  }
+  for (int c = 0; c < cols; ++c) p.col_target.push_back(c);
+  return p;
+}
+
+/// Enumerates the values of ALL distinct partial matchings, sorted
+/// non-increasing.
+std::vector<double> BruteAllValues(const AssignmentProblem& p) {
+  std::vector<double> values;
+  std::vector<uint8_t> used(static_cast<size_t>(p.num_real_cols), 0);
+  std::function<void(int, double)> rec = [&](int r, double acc) {
+    if (r == p.num_rows) {
+      values.push_back(acc);
+      return;
+    }
+    rec(r + 1, acc);
+    for (const auto& e : p.adj[static_cast<size_t>(r)]) {
+      if (e.col >= p.num_real_cols) continue;
+      if (used[static_cast<size_t>(e.col)]) continue;
+      used[static_cast<size_t>(e.col)] = 1;
+      rec(r + 1, acc + e.weight);
+      used[static_cast<size_t>(e.col)] = 0;
+    }
+  };
+  rec(0, 0.0);
+  std::sort(values.begin(), values.end(), std::greater<>());
+  return values;
+}
+
+TEST(MurtyTest, RanksTinyProblemExactly) {
+  // Two rows, one column, weights 0.9 / 0.6. Solutions: {r0->c0}=0.9,
+  // {r1->c0}=0.6, {}=0.
+  const auto p = MakeProblem(2, 1, {{0.9}, {0.6}});
+  MurtyRanker ranker(p);
+  auto ranked = ranker.Rank(10);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 3u);
+  EXPECT_DOUBLE_EQ((*ranked)[0].value, 0.9);
+  EXPECT_DOUBLE_EQ((*ranked)[1].value, 0.6);
+  EXPECT_DOUBLE_EQ((*ranked)[2].value, 0.0);
+}
+
+TEST(MurtyTest, SolutionsAreDistinct) {
+  const auto p = MakeProblem(3, 3,
+                             {{0.9, 0.8, 0.7}, {0.6, 0.5, 0.4}, {0.3, 0.2, 0.1}});
+  MurtyRanker ranker(p);
+  auto ranked = ranker.Rank(40);
+  ASSERT_TRUE(ranked.ok());
+  std::set<std::vector<int32_t>> seen;
+  for (const auto& ra : *ranked) {
+    EXPECT_TRUE(seen.insert(ra.row_to_col).second) << "duplicate solution";
+  }
+}
+
+TEST(MurtyTest, ValuesNonIncreasing) {
+  const auto p = MakeProblem(3, 3,
+                             {{0.9, -1, 0.7}, {-1, 0.5, 0.4}, {0.3, 0.2, -1}});
+  MurtyRanker ranker(p);
+  auto ranked = ranker.Rank(50);
+  ASSERT_TRUE(ranked.ok());
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].value, (*ranked)[i].value - 1e-12);
+  }
+}
+
+TEST(MurtyTest, EmptyProblemHasOneSolution) {
+  AssignmentProblem p;
+  MurtyRanker ranker(p);
+  auto ranked = ranker.Rank(5);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 1u);
+  EXPECT_DOUBLE_EQ((*ranked)[0].value, 0.0);
+}
+
+TEST(MurtyTest, RejectsNonPositiveH) {
+  const auto p = MakeProblem(1, 1, {{0.9}});
+  MurtyRanker ranker(p);
+  EXPECT_FALSE(ranker.Rank(0).ok());
+  EXPECT_FALSE(ranker.Rank(-3).ok());
+}
+
+TEST(MurtyTest, HLargerThanSolutionSpaceReturnsAll) {
+  const auto p = MakeProblem(2, 1, {{0.9}, {0.6}});
+  MurtyRanker ranker(p);
+  auto ranked = ranker.Rank(1000);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 3u);
+}
+
+/// Randomized exact comparison with brute force, both child orderings.
+class MurtyRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double, bool>> {};
+
+TEST_P(MurtyRandomTest, TopValuesMatchBruteForce) {
+  const auto [rows, cols, density, order_children] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 31 + cols * 17) +
+          (order_children ? 5 : 0) + static_cast<uint64_t>(density * 100));
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::vector<double>> w(
+        static_cast<size_t>(rows),
+        std::vector<double>(static_cast<size_t>(cols), -1.0));
+    for (auto& row : w) {
+      for (auto& x : row) {
+        if (rng.Bernoulli(density)) x = 0.05 + 0.95 * rng.NextDouble();
+      }
+    }
+    const auto p = MakeProblem(rows, cols, w);
+    const std::vector<double> all = BruteAllValues(p);
+    const int h = std::min<int>(12, static_cast<int>(all.size()));
+    MurtyOptions opts;
+    opts.order_children_by_weight = order_children;
+    MurtyRanker ranker(p, opts);
+    auto ranked = ranker.Rank(h);
+    ASSERT_TRUE(ranked.ok());
+    ASSERT_EQ(static_cast<int>(ranked->size()), h);
+    for (int i = 0; i < h; ++i) {
+      EXPECT_NEAR((*ranked)[static_cast<size_t>(i)].value,
+                  all[static_cast<size_t>(i)], 1e-9)
+          << "rank " << i << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MurtyRandomTest,
+    ::testing::Values(std::make_tuple(3, 3, 0.8, true),
+                      std::make_tuple(3, 3, 0.8, false),
+                      std::make_tuple(4, 3, 0.5, true),
+                      std::make_tuple(4, 4, 0.4, false),
+                      std::make_tuple(2, 5, 0.9, true),
+                      std::make_tuple(5, 2, 0.6, false),
+                      std::make_tuple(4, 4, 1.0, true)));
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,85 @@
+// PossibleMapping / PossibleMappingSet tests: o-ratio, normalization,
+// storage accounting.
+#include "mapping/possible_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace uxm {
+namespace {
+
+using testutil::MakeMapping;
+using testutil::MakePaperExample;
+
+TEST(PossibleMappingTest, BasicsAndCounting) {
+  const auto m = MakeMapping(5, {{1, 2}, {3, 4}});
+  EXPECT_EQ(m.CorrespondenceCount(), 2);
+  EXPECT_EQ(m.SourceFor(1), 2);
+  EXPECT_EQ(m.SourceFor(0), kInvalidSchemaNode);
+  EXPECT_TRUE(m.Contains(2, 1));
+  EXPECT_FALSE(m.Contains(2, 3));
+  EXPECT_EQ(m.MatchedTargets(), (std::vector<SchemaNodeId>{1, 3}));
+}
+
+TEST(PossibleMappingSetTest, NormalizeProbabilities) {
+  auto ex = MakePaperExample();
+  PossibleMappingSet set(ex.source.get(), ex.target.get());
+  set.Add(MakeMapping(5, {{0, 0}}, 3.0));
+  set.Add(MakeMapping(5, {{1, 1}}, 1.0));
+  set.NormalizeProbabilities();
+  EXPECT_NEAR(set.mapping(0).probability, 0.75, 1e-12);
+  EXPECT_NEAR(set.mapping(1).probability, 0.25, 1e-12);
+}
+
+TEST(PossibleMappingSetTest, ZeroScoresNormalizeUniformly) {
+  auto ex = MakePaperExample();
+  PossibleMappingSet set(ex.source.get(), ex.target.get());
+  set.Add(MakeMapping(5, {}, 0.0));
+  set.Add(MakeMapping(5, {{1, 1}}, 0.0));
+  set.NormalizeProbabilities();
+  EXPECT_NEAR(set.mapping(0).probability, 0.5, 1e-12);
+  EXPECT_NEAR(set.mapping(1).probability, 0.5, 1e-12);
+}
+
+TEST(PossibleMappingSetTest, OverlapRatio) {
+  auto ex = MakePaperExample();
+  PossibleMappingSet set(ex.source.get(), ex.target.get());
+  set.Add(MakeMapping(5, {{0, 0}, {1, 1}, {2, 2}}));   // m0
+  set.Add(MakeMapping(5, {{0, 0}, {1, 1}, {2, 3}}));   // m1: 2 shared
+  set.Add(MakeMapping(5, {{3, 7}}));                   // m2: disjoint
+  set.Add(MakeMapping(5, {}));                         // m3: empty
+  // |m0 ∩ m1| = 2, |m0 ∪ m1| = 4.
+  EXPECT_NEAR(set.OverlapRatio(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(set.OverlapRatio(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(set.OverlapRatio(3, 3), 1.0, 1e-12);  // both empty
+  EXPECT_NEAR(set.OverlapRatio(0, 0), 1.0, 1e-12);
+}
+
+TEST(PossibleMappingSetTest, AverageOverlapRatioPaperExample) {
+  const auto ex = MakePaperExample();
+  const double exact = ex.mappings.AverageOverlapRatio(0);
+  EXPECT_GT(exact, 0.0);
+  EXPECT_LT(exact, 1.0);
+  // Sampling approximation is within a loose band of the exact value.
+  const double sampled = ex.mappings.AverageOverlapRatio(5000);
+  EXPECT_NEAR(sampled, exact, 0.15);
+}
+
+TEST(PossibleMappingSetTest, NaiveStorageBytes) {
+  auto ex = MakePaperExample();
+  PossibleMappingSet set(ex.source.get(), ex.target.get());
+  set.Add(MakeMapping(5, {{0, 0}, {1, 1}}));
+  // 8 bytes (prob) + 2 corrs * 8 bytes.
+  EXPECT_EQ(set.NaiveStorageBytes(), 8u + 16u);
+}
+
+TEST(PossibleMappingSetTest, MappingToString) {
+  const auto ex = MakePaperExample();
+  const std::string s = ex.mappings.MappingToString(0);
+  EXPECT_NE(s.find("Order ~ ORDER"), std::string::npos);
+  EXPECT_NE(s.find("Order.BP.BOC.BCN ~ ORDER.IP.ICN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uxm

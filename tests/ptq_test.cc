@@ -1,0 +1,264 @@
+// PTQ evaluation tests: the paper's introduction example end-to-end, the
+// basic ≡ block-tree equivalence property on real datasets, top-k
+// semantics, and embedding/rewriting edge cases.
+#include "query/ptq.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "blocktree/block_tree.h"
+#include "mapping/top_h.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/document_generator.h"
+
+namespace uxm {
+namespace {
+
+using testutil::MakePaperExample;
+using testutil::PaperExample;
+
+class PaperPtqTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = MakePaperExample();
+    auto ad = AnnotatedDocument::Bind(ex_.doc.get(), ex_.source.get());
+    ASSERT_TRUE(ad.ok()) << ad.status();
+    annotated_ = std::make_unique<AnnotatedDocument>(std::move(ad).ValueOrDie());
+    BlockTreeBuilder builder(BlockTreeOptions{0.4, 500, 500});
+    auto built = builder.Build(ex_.mappings);
+    ASSERT_TRUE(built.ok());
+    built_ = std::move(built).ValueOrDie();
+  }
+
+  /// Maps answer text values to aggregated probability.
+  std::map<std::string, double> ValueDistribution(const PtqResult& r) {
+    std::map<std::string, double> dist;
+    for (const MappingAnswer& a : r.answers) {
+      if (a.matches.empty()) {
+        dist["<empty>"] += a.probability;
+        continue;
+      }
+      for (DocNodeId n : a.matches) {
+        dist[ex_.doc->text(n)] += a.probability;
+      }
+    }
+    return dist;
+  }
+
+  PaperExample ex_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+  BlockTreeBuildResult built_;
+};
+
+TEST_F(PaperPtqTest, IntroExampleQuery) {
+  // Q = //IP//ICN over the five mappings of Figure 3 (uniform p=0.2).
+  // m1, m2: ICN ~ BCN under BP ~ IP -> "Cathy" (mass 0.4)
+  // m3: IP ~ SSP but RCN is not under SSP -> empty (mass 0.2)
+  // m4: ICN ~ RCN -> "Bob" (0.2); m5: ICN ~ OCN -> "Alice" (0.2)
+  auto q = TwigQuery::Parse("//IP//ICN");
+  ASSERT_TRUE(q.ok()) << q.status();
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  auto r = eval.EvaluateBasic(*q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->answers.size(), 5u);  // all mappings map IP and ICN
+  const auto dist = ValueDistribution(*r);
+  EXPECT_NEAR(dist.at("Cathy"), 0.4, 1e-9);
+  EXPECT_NEAR(dist.at("Bob"), 0.2, 1e-9);
+  EXPECT_NEAR(dist.at("Alice"), 0.2, 1e-9);
+  EXPECT_NEAR(dist.at("<empty>"), 0.2, 1e-9);
+  EXPECT_NEAR(r->NonEmptyMass(), 0.8, 1e-9);
+}
+
+TEST_F(PaperPtqTest, BlockTreeAgreesOnIntroExample) {
+  auto q = TwigQuery::Parse("//IP//ICN");
+  ASSERT_TRUE(q.ok());
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  auto basic = eval.EvaluateBasic(*q);
+  auto tree = eval.EvaluateWithBlockTree(*q, built_.tree);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(basic->answers.size(), tree->answers.size());
+  for (size_t i = 0; i < basic->answers.size(); ++i) {
+    EXPECT_EQ(basic->answers[i].mapping, tree->answers[i].mapping);
+    EXPECT_EQ(basic->answers[i].matches, tree->answers[i].matches);
+  }
+}
+
+TEST_F(PaperPtqTest, FilterMappingsDropsIrrelevant) {
+  // //SP//SCN: only m3 maps SP (BP~SP); every mapping maps SCN. So
+  // relevance requires SP mapped -> only m3 (index 2).
+  auto q = TwigQuery::Parse("//SP//SCN");
+  ASSERT_TRUE(q.ok());
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  const auto embeddings = EmbedQueryInSchema(*q, *ex_.target, 0);
+  const auto relevant = eval.FilterMappings(*q, embeddings, 0);
+  EXPECT_EQ(relevant, (std::vector<MappingId>{2}));
+}
+
+TEST_F(PaperPtqTest, TopKRestrictsToMostProbable) {
+  // Give the mappings distinct probabilities.
+  auto* ms = ex_.mappings.mutable_mappings();
+  (*ms)[0].score = 5;
+  (*ms)[1].score = 4;
+  (*ms)[2].score = 3;
+  (*ms)[3].score = 2;
+  (*ms)[4].score = 1;
+  ex_.mappings.NormalizeProbabilities();
+  auto q = TwigQuery::Parse("//IP//ICN");
+  ASSERT_TRUE(q.ok());
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  PtqOptions opts;
+  opts.top_k = 2;
+  auto r = eval.EvaluateWithBlockTree(*q, built_.tree, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->answers.size(), 2u);
+  EXPECT_EQ(r->answers[0].mapping, 0);
+  EXPECT_EQ(r->answers[1].mapping, 1);
+  // And the top-k answers agree with the full PTQ's answers for those
+  // mappings (§IV-C's correctness argument).
+  auto full = eval.EvaluateBasic(*q);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(r->answers[0].matches, full->answers[0].matches);
+  EXPECT_EQ(r->answers[1].matches, full->answers[1].matches);
+}
+
+TEST_F(PaperPtqTest, ValuePredicateFiltersAnswers) {
+  auto q = TwigQuery::Parse("//IP//ICN=\"Bob\"");
+  ASSERT_TRUE(q.ok());
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  auto r = eval.EvaluateBasic(*q);
+  ASSERT_TRUE(r.ok());
+  const auto dist = ValueDistribution(*r);
+  EXPECT_EQ(dist.count("Cathy"), 0u);
+  EXPECT_NEAR(dist.at("Bob"), 0.2, 1e-9);
+  // m1/m2/m3/m5 yield empty answers (their ICN value is not Bob).
+  EXPECT_NEAR(dist.at("<empty>"), 0.8, 1e-9);
+}
+
+TEST_F(PaperPtqTest, AbsoluteRootQueryRequiresRootLabel) {
+  auto q = TwigQuery::Parse("ORDER//ICN");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->absolute_root());
+  const auto embeddings = EmbedQueryInSchema(*q, *ex_.target, 0);
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(embeddings[0][0], ex_.t_order);
+
+  auto q2 = TwigQuery::Parse("IP//ICN");  // absolute but root is not IP
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(EmbedQueryInSchema(*q2, *ex_.target, 0).empty());
+}
+
+TEST_F(PaperPtqTest, EmbeddingAmbiguousLabels) {
+  // Source-side sanity: embedding //ICN finds exactly the one ICN.
+  auto q = TwigQuery::Parse("//ICN");
+  ASSERT_TRUE(q.ok());
+  const auto embeddings = EmbedQueryInSchema(*q, *ex_.target, 0);
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(embeddings[0][0], ex_.t_icn);
+}
+
+TEST_F(PaperPtqTest, CollapseByMatchesAggregatesProbability) {
+  auto q = TwigQuery::Parse("//IP//ICN");
+  ASSERT_TRUE(q.ok());
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  auto r = eval.EvaluateBasic(*q);
+  ASSERT_TRUE(r.ok());
+  const auto collapsed = r->CollapseByMatches();
+  // Cathy (m1+m2 = 0.4), Bob, Alice, empty -> 4 groups.
+  ASSERT_EQ(collapsed.size(), 4u);
+  EXPECT_NEAR(collapsed[0].probability, 0.4, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// The paper's correctness claim (§IV-B): query answers do not depend on
+// the number of c-blocks. Verified per dataset x query on D7.
+// ---------------------------------------------------------------------
+
+struct EquivalenceCase {
+  int query_index;
+  double tau;
+  int max_blocks;
+};
+
+class PtqEquivalenceTest : public ::testing::TestWithParam<EquivalenceCase> {
+ protected:
+  static void SetUpTestSuite() {
+    auto dataset = LoadDataset("D7");
+    ASSERT_TRUE(dataset.ok());
+    dataset_ = new Dataset(std::move(dataset).ValueOrDie());
+    TopHGenerator gen(TopHOptions{.h = 50});
+    auto mappings = gen.Generate(dataset_->matching);
+    ASSERT_TRUE(mappings.ok());
+    mappings_ = new PossibleMappingSet(std::move(mappings).ValueOrDie());
+    doc_ = new Document(GenerateDocument(
+        *dataset_->source, DocGenOptions{.seed = 11, .target_nodes = 3473}));
+    auto ad = AnnotatedDocument::Bind(doc_, dataset_->source.get());
+    ASSERT_TRUE(ad.ok());
+    annotated_ = new AnnotatedDocument(std::move(ad).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete annotated_;
+    delete doc_;
+    delete mappings_;
+    delete dataset_;
+    annotated_ = nullptr;
+    doc_ = nullptr;
+    mappings_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static PossibleMappingSet* mappings_;
+  static Document* doc_;
+  static AnnotatedDocument* annotated_;
+};
+
+Dataset* PtqEquivalenceTest::dataset_ = nullptr;
+PossibleMappingSet* PtqEquivalenceTest::mappings_ = nullptr;
+Document* PtqEquivalenceTest::doc_ = nullptr;
+AnnotatedDocument* PtqEquivalenceTest::annotated_ = nullptr;
+
+TEST_P(PtqEquivalenceTest, BasicEqualsBlockTree) {
+  const EquivalenceCase& c = GetParam();
+  auto q = TwigQuery::Parse(TableIIIQueries()[static_cast<size_t>(c.query_index)]);
+  ASSERT_TRUE(q.ok()) << q.status();
+  BlockTreeBuilder builder(
+      BlockTreeOptions{c.tau, c.max_blocks, 500});
+  auto built = builder.Build(*mappings_);
+  ASSERT_TRUE(built.ok());
+
+  PtqEvaluator eval(mappings_, annotated_);
+  auto basic = eval.EvaluateBasic(*q);
+  auto tree = eval.EvaluateWithBlockTree(*q, built->tree);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(basic->answers.size(), tree->answers.size());
+  for (size_t i = 0; i < basic->answers.size(); ++i) {
+    EXPECT_EQ(basic->answers[i].mapping, tree->answers[i].mapping);
+    EXPECT_EQ(basic->answers[i].matches, tree->answers[i].matches)
+        << "query Q" << c.query_index + 1 << " mapping "
+        << basic->answers[i].mapping;
+  }
+}
+
+std::vector<EquivalenceCase> MakeEquivalenceCases() {
+  std::vector<EquivalenceCase> cases;
+  for (int qi = 0; qi < 10; ++qi) {
+    cases.push_back({qi, 0.2, 500});
+  }
+  // Fewer blocks must not change answers (paper: "query correctness will
+  // not be affected by using fewer c-blocks").
+  cases.push_back({3, 0.2, 5});
+  cases.push_back({6, 0.5, 500});
+  cases.push_back({9, 0.05, 500});
+  cases.push_back({9, 0.9, 2});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(QueriesAndConfigs, PtqEquivalenceTest,
+                         ::testing::ValuesIn(MakeEquivalenceCases()));
+
+}  // namespace
+}  // namespace uxm

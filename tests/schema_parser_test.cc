@@ -1,0 +1,145 @@
+// Outline and XSD-subset schema reader tests.
+#include "xml/schema_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace uxm {
+namespace {
+
+TEST(SchemaOutlineTest, ParsesIndentedTree) {
+  const char* text =
+      "Order\n"
+      "  Header\n"
+      "    OrderID\n"
+      "  Line*\n"
+      "    Qty\n"
+      "    Note?\n";
+  auto s = ParseSchemaOutline(text);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 6);
+  EXPECT_EQ(s->name(s->root()), "Order");
+  const SchemaNodeId line = s->FindByPath("Order.Line");
+  ASSERT_NE(line, kInvalidSchemaNode);
+  EXPECT_TRUE(s->node(line).repeatable);
+  const SchemaNodeId note = s->FindByPath("Order.Line.Note");
+  ASSERT_NE(note, kInvalidSchemaNode);
+  EXPECT_TRUE(s->node(note).optional);
+}
+
+TEST(SchemaOutlineTest, CommentsAndBlankLinesIgnored) {
+  auto s = ParseSchemaOutline("# comment\nRoot\n\n  Child\n# more\n");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2);
+}
+
+TEST(SchemaOutlineTest, RoundTrip) {
+  const char* text =
+      "Order\n"
+      "  Line*\n"
+      "    Qty\n"
+      "  Note?\n";
+  auto s = ParseSchemaOutline(text);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(WriteSchemaOutline(*s), text);
+}
+
+TEST(SchemaOutlineTest, Rejections) {
+  EXPECT_FALSE(ParseSchemaOutline("").ok());               // no root
+  EXPECT_FALSE(ParseSchemaOutline("  Indented\n").ok());   // root indented
+  EXPECT_FALSE(ParseSchemaOutline("A\nB\n").ok());         // two roots
+  EXPECT_FALSE(ParseSchemaOutline("A\n    Jump\n").ok());  // level jump
+  EXPECT_FALSE(ParseSchemaOutline("A\n B\n", 2).ok());     // odd indent
+  EXPECT_FALSE(ParseSchemaOutline("A\n  *\n").ok());       // empty name
+  EXPECT_FALSE(ParseSchemaOutline("A", 0).ok());           // bad indent opt
+}
+
+TEST(XsdTest, ParsesInlineComplexTypes) {
+  const char* xsd = R"(
+<xs:schema>
+  <xs:element><name>Order</name>
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element><name>OrderID</name></xs:element>
+        <xs:element><name>Line</name><maxOccurs>unbounded</maxOccurs>
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element><name>Qty</name></xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)";
+  auto s = ParseXsd(xsd);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 4);
+  const SchemaNodeId line = s->FindByPath("Order.Line");
+  ASSERT_NE(line, kInvalidSchemaNode);
+  EXPECT_TRUE(s->node(line).repeatable);
+  EXPECT_NE(s->FindByPath("Order.Line.Qty"), kInvalidSchemaNode);
+}
+
+TEST(XsdTest, ResolvesNamedTypesAndRefs) {
+  const char* xsd = R"(
+<xs:schema>
+  <xs:element><name>Order</name>
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element><name>Buyer</name><type>PartyType</type></xs:element>
+        <xs:element><ref>Address</ref></xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:complexType><name>PartyType</name>
+    <xs:sequence>
+      <xs:element><name>PartyName</name></xs:element>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element><name>Address</name>
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element><name>City</name></xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)";
+  auto s = ParseXsd(xsd);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_NE(s->FindByPath("Order.Buyer.PartyName"), kInvalidSchemaNode);
+  EXPECT_NE(s->FindByPath("Order.Address.City"), kInvalidSchemaNode);
+}
+
+TEST(XsdTest, RecursiveTypesTruncatedAtMaxDepth) {
+  const char* xsd = R"(
+<xs:schema>
+  <xs:element><name>Part</name><type>PartType</type></xs:element>
+  <xs:complexType><name>PartType</name>
+    <xs:sequence>
+      <xs:element><name>SubPart</name><type>PartType</type></xs:element>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>)";
+  XsdParseOptions opts;
+  opts.max_depth = 4;
+  auto s = ParseXsd(xsd, opts);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->size(), 5);  // Part + 4 nested SubParts
+}
+
+TEST(XsdTest, Rejections) {
+  EXPECT_FALSE(ParseXsd("<notschema/>").ok());
+  EXPECT_FALSE(ParseXsd("<xs:schema/>").ok());  // no top-level element
+  EXPECT_FALSE(ParseXsd(R"(
+<xs:schema>
+  <xs:element><name>A</name>
+    <xs:complexType><xs:sequence>
+      <xs:element><ref>Missing</ref></xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>)")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace uxm

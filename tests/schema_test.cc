@@ -1,0 +1,117 @@
+// Schema tree model tests.
+#include "xml/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace uxm {
+namespace {
+
+Schema MakeSample() {
+  // A
+  // ├─ B
+  // │  ├─ D
+  // │  └─ E
+  // └─ C
+  Schema s("sample");
+  const auto a = s.AddRoot("A");
+  const auto b = s.AddChild(a, "B");
+  s.AddChild(b, "D");
+  s.AddChild(b, "E");
+  s.AddChild(a, "C");
+  s.Finalize();
+  return s;
+}
+
+TEST(SchemaTest, BasicShape) {
+  const Schema s = MakeSample();
+  EXPECT_EQ(s.size(), 5);
+  EXPECT_EQ(s.root(), 0);
+  EXPECT_EQ(s.name(0), "A");
+  EXPECT_EQ(s.node(0).children.size(), 2u);
+  EXPECT_EQ(s.node(1).parent, 0);
+  EXPECT_EQ(s.node(1).depth, 1);
+  EXPECT_EQ(s.Height(), 2);
+}
+
+TEST(SchemaTest, PathsAndLookup) {
+  const Schema s = MakeSample();
+  EXPECT_EQ(s.path(0), "A");
+  EXPECT_EQ(s.path(2), "A.B.D");
+  EXPECT_EQ(s.FindByPath("A.B.E"), 3);
+  EXPECT_EQ(s.FindByPath("A.X"), kInvalidSchemaNode);
+  EXPECT_EQ(s.FindByName("D").size(), 1u);
+  EXPECT_TRUE(s.FindByName("Z").empty());
+}
+
+TEST(SchemaTest, SubtreeSizesAndNodes) {
+  const Schema s = MakeSample();
+  EXPECT_EQ(s.subtree_size(0), 5);
+  EXPECT_EQ(s.subtree_size(1), 3);
+  EXPECT_EQ(s.subtree_size(4), 1);
+  const auto sub = s.SubtreeNodes(1);
+  EXPECT_EQ(sub, (std::vector<SchemaNodeId>{1, 2, 3}));
+}
+
+TEST(SchemaTest, AncestorRelation) {
+  const Schema s = MakeSample();
+  EXPECT_TRUE(s.IsAncestorOrSelf(0, 3));
+  EXPECT_TRUE(s.IsAncestorOrSelf(1, 1));
+  EXPECT_FALSE(s.IsAncestorOrSelf(1, 4));
+  EXPECT_FALSE(s.IsAncestorOrSelf(3, 1));
+}
+
+TEST(SchemaTest, PostOrderVisitsChildrenBeforeParents) {
+  const Schema s = MakeSample();
+  const auto& post = s.post_order();
+  ASSERT_EQ(post.size(), 5u);
+  EXPECT_EQ(post.back(), 0);  // root last
+  std::vector<int> pos(5);
+  for (int i = 0; i < 5; ++i) pos[static_cast<size_t>(post[static_cast<size_t>(i)])] = i;
+  for (const SchemaNode& n : s.nodes()) {
+    for (SchemaNodeId c : n.children) {
+      EXPECT_LT(pos[static_cast<size_t>(c)], pos[static_cast<size_t>(n.id)]);
+    }
+  }
+}
+
+TEST(SchemaTest, PreOrderRanksAreDfsOrder) {
+  const Schema s = MakeSample();
+  EXPECT_EQ(s.pre_order_rank(0), 0);
+  EXPECT_EQ(s.pre_order_rank(1), 1);
+  EXPECT_EQ(s.pre_order_rank(2), 2);
+  EXPECT_EQ(s.pre_order_rank(3), 3);
+  EXPECT_EQ(s.pre_order_rank(4), 4);
+}
+
+TEST(SchemaTest, LeavesAndDuplicateNames) {
+  Schema s;
+  const auto r = s.AddRoot("R");
+  const auto x = s.AddChild(r, "Contact");
+  s.AddChild(x, "Name");
+  const auto y = s.AddChild(r, "Contact");
+  s.AddChild(y, "Name");
+  s.Finalize();
+  EXPECT_EQ(s.Leaves().size(), 2u);
+  EXPECT_EQ(s.FindByName("Contact").size(), 2u);
+  EXPECT_EQ(s.FindByName("Name").size(), 2u);
+  // Paths disambiguate? Duplicate sibling paths collapse to the first.
+  EXPECT_NE(s.FindByPath("R.Contact"), kInvalidSchemaNode);
+}
+
+TEST(SchemaTest, OutlineRendering) {
+  const Schema s = MakeSample();
+  EXPECT_EQ(s.ToOutline(), "A\n  B\n    D\n    E\n  C\n");
+}
+
+TEST(SchemaTest, PaperExampleShape) {
+  const auto ex = testutil::MakePaperExample();
+  EXPECT_EQ(ex.source->size(), 9);
+  EXPECT_EQ(ex.target->size(), 5);
+  EXPECT_EQ(ex.target->path(ex.t_icn), "ORDER.IP.ICN");
+  EXPECT_EQ(ex.target->subtree_size(ex.t_ip), 2);
+}
+
+}  // namespace
+}  // namespace uxm

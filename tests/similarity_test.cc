@@ -1,0 +1,127 @@
+// Similarity measure tests: metric properties, known values, thesaurus.
+#include "matching/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace uxm {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "ab"), 2);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("order", "order"), 0);
+  EXPECT_EQ(LevenshteinDistance("order", "ordre"), 2);
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-12);
+}
+
+class LevenshteinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LevenshteinPropertyTest, MetricProperties) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto random_str = [&]() {
+    std::string s;
+    const int n = static_cast<int>(rng.Uniform(10));
+    for (int i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(4)));
+    }
+    return s;
+  };
+  for (int t = 0; t < 50; ++t) {
+    const std::string a = random_str();
+    const std::string b = random_str();
+    const std::string c = random_str();
+    const int dab = LevenshteinDistance(a, b);
+    EXPECT_EQ(dab, LevenshteinDistance(b, a));          // symmetry
+    EXPECT_EQ(LevenshteinDistance(a, a), 0);            // identity
+    EXPECT_LE(dab, static_cast<int>(std::max(a.size(), b.size())));
+    EXPECT_LE(LevenshteinDistance(a, c),
+              dab + LevenshteinDistance(b, c));         // triangle
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinPropertyTest,
+                         ::testing::Range(1, 5));
+
+TEST(TrigramTest, Basics) {
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("order", "order"), 1.0);
+  EXPECT_GT(TrigramSimilarity("ordernumber", "ordernum"), 0.5);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("abc", "xyz"), 0.0);
+  // Short-string fallback.
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("id", "id"), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("id", "identifier"), 0.5);  // containment
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("id", "po"), 0.0);
+  // Case-insensitive.
+  EXPECT_DOUBLE_EQ(TrigramSimilarity("OrderID", "orderid"), 1.0);
+}
+
+TEST(ThesaurusTest, SynonymGroups) {
+  Thesaurus t;
+  t.AddSynonymGroup({"buyer", "purchaser"});
+  EXPECT_TRUE(t.AreSynonyms("buyer", "purchaser"));
+  EXPECT_TRUE(t.AreSynonyms("Buyer", "PURCHASER"));  // case-insensitive
+  EXPECT_TRUE(t.AreSynonyms("buyer", "buyer"));
+  EXPECT_FALSE(t.AreSynonyms("buyer", "seller"));
+  EXPECT_EQ(t.Canonical("purchaser"), "buyer");
+  EXPECT_EQ(t.Canonical("unknownword"), "unknownword");
+}
+
+TEST(ThesaurusTest, GroupMerging) {
+  Thesaurus t;
+  t.AddSynonymGroup({"a", "b"});
+  t.AddSynonymGroup({"b", "c"});  // merges into the a/b group
+  EXPECT_TRUE(t.AreSynonyms("a", "c"));
+}
+
+TEST(ThesaurusTest, CommerceDefaultsCoverPaperVocabulary) {
+  const Thesaurus t = Thesaurus::CommerceDefault();
+  EXPECT_TRUE(t.AreSynonyms("buyer", "customer"));
+  EXPECT_TRUE(t.AreSynonyms("supplier", "vendor"));
+  EXPECT_TRUE(t.AreSynonyms("deliver", "ship"));
+  EXPECT_TRUE(t.AreSynonyms("quantity", "qty"));
+  EXPECT_TRUE(t.AreSynonyms("line", "item"));
+  EXPECT_TRUE(t.AreSynonyms("price", "pricing"));
+  EXPECT_FALSE(t.AreSynonyms("buyer", "supplier"));
+}
+
+TEST(TokenSetTest, JaccardAndContainment) {
+  const Thesaurus t = Thesaurus::CommerceDefault();
+  EXPECT_DOUBLE_EQ(TokenSetSimilarity({}, {}, t), 1.0);
+  EXPECT_DOUBLE_EQ(TokenSetSimilarity({"a"}, {}, t), 0.0);
+  EXPECT_DOUBLE_EQ(TokenSetSimilarity({"order"}, {"order"}, t), 1.0);
+  // Synonyms canonicalize to the same token.
+  EXPECT_DOUBLE_EQ(TokenSetSimilarity({"buyer"}, {"purchaser"}, t), 1.0);
+  // Containment gets the overlap-coefficient boost: J=1/2, ov=1.
+  const double contained = TokenSetSimilarity({"order", "item"}, {"item"}, t);
+  EXPECT_NEAR(contained, 0.65 * 0.5 + 0.35 * 1.0, 1e-12);
+  // Disjoint.
+  EXPECT_DOUBLE_EQ(TokenSetSimilarity({"city"}, {"country"}, t), 0.0);
+}
+
+TEST(NameSimilarityTest, RankingMakesSense) {
+  const Thesaurus t = Thesaurus::CommerceDefault();
+  const double exact = NameSimilarity("ContactName", "ContactName", t);
+  const double synonym = NameSimilarity("ContactName", "CONTACT_NAME", t);
+  const double related = NameSimilarity("BuyerParty", "Customer", t);
+  const double unrelated = NameSimilarity("TaxAmount", "Street", t);
+  EXPECT_NEAR(exact, 1.0, 1e-9);
+  EXPECT_GT(synonym, 0.8);
+  EXPECT_GT(related, 0.3);
+  EXPECT_LT(unrelated, 0.25);
+  EXPECT_GT(exact, synonym);
+  EXPECT_GT(synonym, related);
+  EXPECT_GT(related, unrelated);
+}
+
+}  // namespace
+}  // namespace uxm

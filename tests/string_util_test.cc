@@ -1,0 +1,73 @@
+// String utility tests, centered on element-name tokenization.
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace uxm {
+namespace {
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("BuyerParty"), "buyerparty");
+  EXPECT_EQ(ToUpper("abc_X"), "ABC_X");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a.b.c", "."), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a..b", "."), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(Split("", ".").empty());
+  EXPECT_EQ(Split("a-b_c", "-_"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Join({}, "."), "");
+  EXPECT_EQ(Join({"x"}, "."), "x");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n"), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("OrderID", "Order"));
+  EXPECT_FALSE(StartsWith("Order", "OrderID"));
+  EXPECT_TRUE(EndsWith("OrderID", "ID"));
+  EXPECT_FALSE(EndsWith("ID", "OrderID"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 2), "0.12");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+struct TokenCase {
+  const char* input;
+  std::vector<std::string> expected;
+};
+
+class TokenizeTest : public ::testing::TestWithParam<TokenCase> {};
+
+TEST_P(TokenizeTest, SplitsNamesIntoWords) {
+  const TokenCase& c = GetParam();
+  EXPECT_EQ(TokenizeName(c.input), c.expected) << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TokenizeTest,
+    ::testing::Values(
+        TokenCase{"BuyerPartID", {"buyer", "part", "id"}},
+        TokenCase{"CONTACT_NAME", {"contact", "name"}},
+        TokenCase{"snake_case_name", {"snake", "case", "name"}},
+        TokenCase{"POLine", {"po", "line"}},  // acronym run then word
+        TokenCase{"UnitOfMeasure", {"unit", "of", "measure"}},
+        TokenCase{"EMail", {"e", "mail"}},
+        TokenCase{"price2value", {"price", "2", "value"}},
+        TokenCase{"Address-Line.1", {"address", "line", "1"}},
+        TokenCase{"lowercase", {"lowercase"}},
+        TokenCase{"XCBL", {"xcbl"}},
+        TokenCase{"", {}}));
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,123 @@
+// Stack-based structural join vs brute-force nested loops on random trees.
+#include "query/structural_join.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace uxm {
+namespace {
+
+Document RandomDocument(Rng* rng, int nodes) {
+  Document d;
+  d.AddRoot("r");
+  const char* labels[] = {"a", "b", "c"};
+  for (int i = 1; i < nodes; ++i) {
+    const DocNodeId parent =
+        static_cast<DocNodeId>(rng->Uniform(static_cast<uint64_t>(i)));
+    d.AddChild(parent, labels[rng->Index(3)]);
+  }
+  d.Finalize();
+  return d;
+}
+
+std::vector<JoinPair> BruteJoin(const Document& doc,
+                                const std::vector<DocNodeId>& anc,
+                                const std::vector<DocNodeId>& desc,
+                                bool parent_child) {
+  std::vector<JoinPair> out;
+  for (size_t di = 0; di < desc.size(); ++di) {
+    for (size_t ai = 0; ai < anc.size(); ++ai) {
+      const bool rel = parent_child
+                           ? doc.IsParent(anc[ai], desc[di])
+                           : doc.IsAncestor(anc[ai], desc[di]);
+      if (rel) {
+        out.push_back(
+            {static_cast<int32_t>(ai), static_cast<int32_t>(di)});
+      }
+    }
+  }
+  return out;
+}
+
+bool SamePairs(std::vector<JoinPair> a, std::vector<JoinPair> b) {
+  auto key = [](const JoinPair& p) {
+    return std::pair<int32_t, int32_t>(p.descendant_index, p.ancestor_index);
+  };
+  auto cmp = [&](const JoinPair& x, const JoinPair& y) {
+    return key(x) < key(y);
+  };
+  std::sort(a.begin(), a.end(), cmp);
+  std::sort(b.begin(), b.end(), cmp);
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (key(a[i]) != key(b[i])) return false;
+  }
+  return true;
+}
+
+TEST(StructuralJoinTest, SimpleChain) {
+  Document d;
+  const auto r = d.AddRoot("a");
+  const auto m = d.AddChild(r, "b");
+  const auto l = d.AddChild(m, "c");
+  d.Finalize();
+  auto pairs = StackJoin(d, {r, m}, {l}, /*parent_child=*/false);
+  EXPECT_EQ(pairs.size(), 2u);
+  pairs = StackJoin(d, {r, m}, {l}, /*parent_child=*/true);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].ancestor_index, 1);
+}
+
+TEST(StructuralJoinTest, NoPairsWhenDisjoint) {
+  Document d;
+  const auto r = d.AddRoot("a");
+  const auto x = d.AddChild(r, "b");
+  const auto y = d.AddChild(r, "b");
+  d.Finalize();
+  EXPECT_TRUE(StackJoin(d, {x}, {y}, false).empty());
+}
+
+TEST(StructuralJoinTest, SelfIsNotAncestor) {
+  Document d;
+  const auto r = d.AddRoot("a");
+  d.AddChild(r, "b");
+  d.Finalize();
+  EXPECT_TRUE(StackJoin(d, {r}, {r}, false).empty());
+}
+
+class StructuralJoinRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuralJoinRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7771);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5 + static_cast<int>(rng.Uniform(60));
+    const Document doc = RandomDocument(&rng, n);
+    // Random sorted node subsets as ancestor/descendant lists.
+    std::vector<DocNodeId> anc;
+    std::vector<DocNodeId> desc;
+    for (DocNodeId i = 0; i < doc.size(); ++i) {
+      if (rng.Bernoulli(0.4)) anc.push_back(i);
+      if (rng.Bernoulli(0.4)) desc.push_back(i);
+    }
+    // StackJoin inputs must be sorted by document order (region start).
+    auto by_start = [&](DocNodeId a, DocNodeId b) {
+      return doc.node(a).start < doc.node(b).start;
+    };
+    std::sort(anc.begin(), anc.end(), by_start);
+    std::sort(desc.begin(), desc.end(), by_start);
+    for (const bool pc : {false, true}) {
+      EXPECT_TRUE(SamePairs(StackJoin(doc, anc, desc, pc),
+                            BruteJoin(doc, anc, desc, pc)))
+          << "n=" << n << " pc=" << pc << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralJoinRandomTest,
+                         ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,61 @@
+// Shared fixtures: the running example of the paper (Figures 1-3) and
+// small helpers for building schemas/mappings by hand in tests.
+#ifndef UXM_TESTS_TEST_UTIL_H_
+#define UXM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapping/possible_mapping.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+
+namespace uxm {
+namespace testutil {
+
+/// The paper's running example (Figures 1-3).
+///
+/// Source (Figure 1(a)):            Target (Figure 1(b)):
+///   Order                            ORDER
+///     BP                               IP
+///       BOC                              ICN
+///         BCN                          SP
+///       ROC                              SCN
+///         RCN
+///       OOC
+///         OCN
+///     SSP
+struct PaperExample {
+  std::shared_ptr<Schema> source;
+  std::shared_ptr<Schema> target;
+  /// The five possible mappings of Figure 3, uniform probability.
+  PossibleMappingSet mappings;
+  /// The source document of Figure 2 (Cathy / Bob / Alice).
+  std::shared_ptr<Document> doc;
+
+  // Element ids for convenient assertions.
+  SchemaNodeId s_order, s_bp, s_boc, s_bcn, s_roc, s_rcn, s_ooc, s_ocn, s_ssp;
+  SchemaNodeId t_order, t_ip, t_icn, t_sp, t_scn;
+};
+
+/// Builds the running example. Each mapping gets score 1 (=> uniform
+/// probabilities after normalization).
+PaperExample MakePaperExample();
+
+/// Builds a finalized schema from (parent_index, name) pairs; entry 0 must
+/// have parent -1 (root).
+std::shared_ptr<Schema> MakeSchema(
+    const std::vector<std::pair<int, std::string>>& nodes);
+
+/// Builds a mapping over `target_size` with the given (target, source)
+/// pairs and score.
+PossibleMapping MakeMapping(
+    int target_size,
+    const std::vector<std::pair<SchemaNodeId, SchemaNodeId>>& target_source,
+    double score = 1.0);
+
+}  // namespace testutil
+}  // namespace uxm
+
+#endif  // UXM_TESTS_TEST_UTIL_H_

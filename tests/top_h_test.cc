@@ -1,0 +1,240 @@
+// Top-h mapping generation: the divide-and-conquer path must agree with
+// the plain Murty path; TopHCombinations is checked against brute force.
+#include "mapping/top_h.h"
+
+#include <algorithm>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapping/partition.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace uxm {
+namespace {
+
+TEST(TopHCombinationsTest, SingleList) {
+  auto combos = TopHCombinations({{5.0, 3.0, 1.0}}, 2);
+  ASSERT_EQ(combos.size(), 2u);
+  EXPECT_EQ(combos[0], (std::vector<int>{0}));
+  EXPECT_EQ(combos[1], (std::vector<int>{1}));
+}
+
+TEST(TopHCombinationsTest, TwoLists) {
+  // Sums: 0+0=9, 0+1=8, 1+0=7, 1+1=6.
+  auto combos = TopHCombinations({{5.0, 3.0}, {4.0, 3.0}}, 3);
+  ASSERT_EQ(combos.size(), 3u);
+  EXPECT_EQ(combos[0], (std::vector<int>{0, 0}));
+  EXPECT_EQ(combos[1], (std::vector<int>{0, 1}));
+  EXPECT_EQ(combos[2], (std::vector<int>{1, 0}));
+}
+
+TEST(TopHCombinationsTest, EmptyListYieldsNothing) {
+  EXPECT_TRUE(TopHCombinations({{1.0}, {}}, 3).empty());
+  EXPECT_TRUE(TopHCombinations({{}}, 3).empty());
+}
+
+TEST(TopHCombinationsTest, NoListsYieldsEmptyTuple) {
+  auto combos = TopHCombinations({}, 3);
+  ASSERT_EQ(combos.size(), 1u);
+  EXPECT_TRUE(combos[0].empty());
+}
+
+class TopHCombinationsRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopHCombinationsRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const int l = 1 + static_cast<int>(rng.Uniform(4));
+    std::vector<std::vector<double>> lists(static_cast<size_t>(l));
+    for (auto& list : lists) {
+      const int n = 1 + static_cast<int>(rng.Uniform(5));
+      for (int i = 0; i < n; ++i) list.push_back(rng.NextDouble() * 10);
+      std::sort(list.begin(), list.end(), std::greater<>());
+    }
+    // Brute force all sums.
+    std::vector<double> sums;
+    std::function<void(size_t, double)> rec = [&](size_t i, double acc) {
+      if (i == lists.size()) {
+        sums.push_back(acc);
+        return;
+      }
+      for (double v : lists[i]) rec(i + 1, acc + v);
+    };
+    rec(0, 0.0);
+    std::sort(sums.begin(), sums.end(), std::greater<>());
+
+    const int h = 1 + static_cast<int>(rng.Uniform(8));
+    const auto combos = TopHCombinations(lists, h);
+    const size_t expect = std::min<size_t>(sums.size(), static_cast<size_t>(h));
+    ASSERT_EQ(combos.size(), expect);
+    for (size_t k = 0; k < combos.size(); ++k) {
+      double sum = 0;
+      for (size_t i = 0; i < lists.size(); ++i) {
+        sum += lists[i][static_cast<size_t>(combos[k][i])];
+      }
+      EXPECT_NEAR(sum, sums[k], 1e-9) << "rank " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopHCombinationsRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+
+TEST(PartitionTest, UnionFindBasics) {
+  UnionFind uf(5);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Connected(3, 4));
+  EXPECT_FALSE(uf.Connected(1, 3));
+  uf.Union(1, 3);
+  EXPECT_TRUE(uf.Connected(0, 4));
+}
+
+TEST(PartitionTest, PartitionsAreDisjointConnectedAndMaximal) {
+  // Figure 7/8: s1-t1, s1-t2, s3-t2 | s2-t3, s4-t3.
+  auto source = testutil::MakeSchema(
+      {{-1, "S"}, {0, "s1"}, {0, "s2"}, {0, "s3"}, {0, "s4"}});
+  auto target =
+      testutil::MakeSchema({{-1, "T"}, {0, "t1"}, {0, "t2"}, {0, "t3"}});
+  SchemaMatching u(source.get(), target.get());
+  ASSERT_TRUE(u.Add(1, 1, 0.9).ok());  // s1 ~ t1
+  ASSERT_TRUE(u.Add(1, 2, 0.8).ok());  // s1 ~ t2
+  ASSERT_TRUE(u.Add(3, 2, 0.7).ok());  // s3 ~ t2
+  ASSERT_TRUE(u.Add(2, 3, 0.6).ok());  // s2 ~ t3
+  ASSERT_TRUE(u.Add(4, 3, 0.5).ok());  // s4 ~ t3
+
+  const auto parts = PartitionMatching(u);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size(), 3);  // the s1/s3/t1/t2 component
+  EXPECT_EQ(parts[1].size(), 2);  // the s2/s4/t3 component
+  // Disjoint: no element appears in two partitions.
+  auto src0 = parts[0].MatchedSources();
+  auto src1 = parts[1].MatchedSources();
+  for (SchemaNodeId s : src0) {
+    EXPECT_EQ(std::count(src1.begin(), src1.end(), s), 0);
+  }
+  // Total correspondences preserved.
+  EXPECT_EQ(parts[0].size() + parts[1].size(), u.size());
+}
+
+TEST(PartitionTest, EmptyMatchingHasNoPartitions) {
+  auto source = testutil::MakeSchema({{-1, "S"}});
+  auto target = testutil::MakeSchema({{-1, "T"}});
+  SchemaMatching u(source.get(), target.get());
+  EXPECT_TRUE(PartitionMatching(u).empty());
+}
+
+// ---------------------------------------------------------------------
+
+/// The headline §V property: partition+merge yields exactly the same
+/// mapping scores as ranking the whole bipartite.
+class StrategyEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyEquivalenceTest, PartitionEqualsMurty) {
+  auto dataset = LoadDataset(GetParam());
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  const int h = 40;
+
+  TopHOptions murty_opts;
+  murty_opts.h = h;
+  murty_opts.strategy = TopHStrategy::kMurty;
+  murty_opts.full_bipartite_for_murty = false;  // same bipartite content
+  auto by_murty = TopHGenerator(murty_opts).Generate(dataset->matching);
+  ASSERT_TRUE(by_murty.ok()) << by_murty.status();
+
+  TopHOptions part_opts;
+  part_opts.h = h;
+  part_opts.strategy = TopHStrategy::kPartition;
+  auto by_partition = TopHGenerator(part_opts).Generate(dataset->matching);
+  ASSERT_TRUE(by_partition.ok()) << by_partition.status();
+
+  ASSERT_EQ(by_murty->size(), by_partition->size());
+  for (int i = 0; i < by_murty->size(); ++i) {
+    EXPECT_NEAR(by_murty->mapping(i).score, by_partition->mapping(i).score,
+                1e-9)
+        << "rank " << i << " on " << dataset->id;
+  }
+  // Distinctness within each set.
+  for (int i = 0; i < by_partition->size(); ++i) {
+    for (int j = i + 1; j < by_partition->size(); ++j) {
+      EXPECT_FALSE(by_partition->mapping(i) == by_partition->mapping(j))
+          << "duplicate mappings " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, StrategyEquivalenceTest,
+                         ::testing::Values(0, 1, 2, 3, 4),
+                         [](const auto& info) {
+                           return "D" + std::to_string(info.param + 1);
+                         });
+
+TEST(TopHGeneratorTest, ProbabilitiesNormalizedAndOrdered) {
+  auto dataset = LoadDataset(0);
+  ASSERT_TRUE(dataset.ok());
+  auto set = TopHGenerator(TopHOptions{.h = 25}).Generate(dataset->matching);
+  ASSERT_TRUE(set.ok());
+  double total = 0.0;
+  for (int i = 0; i < set->size(); ++i) {
+    total += set->mapping(i).probability;
+    if (i > 0) {
+      EXPECT_GE(set->mapping(i - 1).score, set->mapping(i).score - 1e-12);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TopHGeneratorTest, FullBipartiteMurtyAgreesOnValues) {
+  auto dataset = LoadDataset(1);
+  ASSERT_TRUE(dataset.ok());
+  TopHOptions full;
+  full.h = 15;
+  full.strategy = TopHStrategy::kMurty;
+  full.full_bipartite_for_murty = true;
+  auto a = TopHGenerator(full).Generate(dataset->matching);
+  ASSERT_TRUE(a.ok());
+  TopHOptions part;
+  part.h = 15;
+  part.strategy = TopHStrategy::kPartition;
+  auto b = TopHGenerator(part).Generate(dataset->matching);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (int i = 0; i < a->size(); ++i) {
+    EXPECT_NEAR(a->mapping(i).score, b->mapping(i).score, 1e-9);
+  }
+}
+
+TEST(TopHGeneratorTest, RejectsNonPositiveH) {
+  auto dataset = LoadDataset(0);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_FALSE(TopHGenerator(TopHOptions{.h = 0}).Generate(dataset->matching).ok());
+}
+
+TEST(TopHGeneratorTest, PaperExampleScoresAreMappingScoreSums) {
+  // On the running example's matching-equivalent: scores must equal the
+  // sum of correspondence scores of each mapping.
+  auto ex = testutil::MakePaperExample();
+  SchemaMatching u(ex.source.get(), ex.target.get());
+  ASSERT_TRUE(u.Add(ex.s_order, ex.t_order, 1.0).ok());
+  ASSERT_TRUE(u.Add(ex.s_bcn, ex.t_icn, 0.84).ok());
+  ASSERT_TRUE(u.Add(ex.s_rcn, ex.t_icn, 0.84).ok());
+  ASSERT_TRUE(u.Add(ex.s_ocn, ex.t_icn, 0.83).ok());
+  ASSERT_TRUE(u.Add(ex.s_bp, ex.t_ip, 0.75).ok());
+  auto set = TopHGenerator(TopHOptions{.h = 3}).Generate(u);
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set->size(), 3);
+  // Best: Order~ORDER + BCN or RCN ~ICN + BP~IP = 1.0+0.84+0.75.
+  EXPECT_NEAR(set->mapping(0).score, 2.59, 1e-9);
+  EXPECT_NEAR(set->mapping(1).score, 2.59, 1e-9);
+  EXPECT_NEAR(set->mapping(2).score, 2.58, 1e-9);
+}
+
+}  // namespace
+}  // namespace uxm

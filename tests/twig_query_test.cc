@@ -1,0 +1,140 @@
+// Twig parser tests, including every Table III query.
+#include "query/twig_query.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/datasets.h"
+
+namespace uxm {
+namespace {
+
+TEST(TwigQueryTest, SimplePath) {
+  auto q = TwigQuery::Parse("Order/DeliverTo/Contact/EMail");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->size(), 4);
+  EXPECT_TRUE(q->absolute_root());
+  EXPECT_EQ(q->node(0).label, "Order");
+  EXPECT_EQ(q->node(3).label, "EMail");
+  EXPECT_EQ(q->node(3).axis, Axis::kChild);
+  EXPECT_EQ(q->output_node(), 3);
+  EXPECT_EQ(q->EdgeCount(), 3);
+}
+
+TEST(TwigQueryTest, DescendantAxis) {
+  auto q = TwigQuery::Parse("//IP//ICN");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->absolute_root());
+  EXPECT_EQ(q->size(), 2);
+  EXPECT_EQ(q->node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(q->output_node(), 1);
+}
+
+TEST(TwigQueryTest, PredicatesBecomeBranches) {
+  auto q = TwigQuery::Parse("Address[./City][./Country]/Street");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 4);
+  const TwigNode& root = q->node(0);
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(q->node(root.children[0]).label, "City");
+  EXPECT_EQ(q->node(root.children[1]).label, "Country");
+  EXPECT_EQ(q->node(root.children[2]).label, "Street");
+  // Output is the spine continuation, not a predicate branch.
+  EXPECT_EQ(q->node(q->output_node()).label, "Street");
+}
+
+TEST(TwigQueryTest, DescendantPredicate) {
+  auto q = TwigQuery::Parse("POLine[.//UP]/Quantity");
+  ASSERT_TRUE(q.ok());
+  const TwigNode& up = q->node(1);
+  EXPECT_EQ(up.label, "UP");
+  EXPECT_EQ(up.axis, Axis::kDescendant);
+}
+
+TEST(TwigQueryTest, NestedPredicates) {
+  auto q = TwigQuery::Parse("Order[./DeliverTo[.//EMail]//Street]/POLine");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 5);
+  // DeliverTo has two children: EMail (nested predicate) and Street.
+  int deliver = -1;
+  for (int i = 0; i < q->size(); ++i) {
+    if (q->node(i).label == "DeliverTo") deliver = i;
+  }
+  ASSERT_GE(deliver, 0);
+  ASSERT_EQ(q->node(deliver).children.size(), 2u);
+  EXPECT_EQ(q->node(q->node(deliver).children[0]).label, "EMail");
+  EXPECT_EQ(q->node(q->node(deliver).children[1]).label, "Street");
+  EXPECT_EQ(q->node(q->output_node()).label, "POLine");
+}
+
+TEST(TwigQueryTest, ValuePredicate) {
+  auto q = TwigQuery::Parse("Order[./Buyer/Contact=\"Alice\"]/POLine");
+  ASSERT_TRUE(q.ok());
+  int contact = -1;
+  for (int i = 0; i < q->size(); ++i) {
+    if (q->node(i).label == "Contact") contact = i;
+  }
+  ASSERT_GE(contact, 0);
+  ASSERT_TRUE(q->node(contact).value_eq.has_value());
+  EXPECT_EQ(*q->node(contact).value_eq, "Alice");
+}
+
+TEST(TwigQueryTest, SingleQuotesAccepted) {
+  auto q = TwigQuery::Parse("X[./Y='v']/Z");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q->node(1).value_eq, "v");
+}
+
+TEST(TwigQueryTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(TwigQuery::Parse("").ok());
+  EXPECT_FALSE(TwigQuery::Parse("/").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A[").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A[./B").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A]").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A//").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A[./B=\"x]").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A B").ok());
+  EXPECT_FALSE(TwigQuery::Parse("A[.]").ok());
+}
+
+TEST(TwigQueryTest, SubtreeNodesCoversBranchAndSpine) {
+  auto q = TwigQuery::Parse("A[./B/C]/D[./E]");
+  ASSERT_TRUE(q.ok());
+  const auto all = q->SubtreeNodes(0);
+  EXPECT_EQ(all.size(), 5u);
+  // Subtree of D = {D, E}.
+  int d = -1;
+  for (int i = 0; i < q->size(); ++i) {
+    if (q->node(i).label == "D") d = i;
+  }
+  EXPECT_EQ(q->SubtreeNodes(d).size(), 2u);
+}
+
+class TableIIIParseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableIIIParseTest, ParsesAndRoundTrips) {
+  const std::string& text =
+      TableIIIQueries()[static_cast<size_t>(GetParam())];
+  auto q = TwigQuery::Parse(text);
+  ASSERT_TRUE(q.ok()) << text << ": " << q.status();
+  EXPECT_GE(q->size(), 2);
+  EXPECT_TRUE(q->absolute_root());
+  EXPECT_EQ(q->node(0).label, "Order");
+  // The canonical rendering must re-parse to an identical tree.
+  const std::string rendered = q->ToString();
+  auto q2 = TwigQuery::Parse(rendered);
+  ASSERT_TRUE(q2.ok()) << rendered << ": " << q2.status();
+  ASSERT_EQ(q->size(), q2->size());
+  for (int i = 0; i < q->size(); ++i) {
+    EXPECT_EQ(q->node(i).label, q2->node(i).label);
+    EXPECT_EQ(q->node(i).axis, q2->node(i).axis);
+    EXPECT_EQ(q->node(i).parent, q2->node(i).parent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TableIIIParseTest, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param + 1);
+                         });
+
+}  // namespace
+}  // namespace uxm

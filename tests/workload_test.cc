@@ -1,0 +1,132 @@
+// Workload tests: exact standard sizes, document conformance, dataset
+// materialization, query parsing against the actual D7 target schema.
+#include "workload/datasets.h"
+#include "workload/document_generator.h"
+#include "workload/schema_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+
+namespace uxm {
+namespace {
+
+class StandardSizeTest : public ::testing::TestWithParam<StandardId> {};
+
+TEST_P(StandardSizeTest, ElementCountMatchesTableII) {
+  auto schema = GetStandardSchema(GetParam());
+  EXPECT_EQ(schema->size(), StandardSize(GetParam()));
+  EXPECT_TRUE(schema->finalized());
+  EXPECT_GE(schema->Height(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStandards, StandardSizeTest,
+    ::testing::Values(StandardId::kExcel, StandardId::kNoris,
+                      StandardId::kParagon, StandardId::kApertum,
+                      StandardId::kOpenTrans, StandardId::kXcbl,
+                      StandardId::kCidx),
+    [](const auto& info) { return StandardName(info.param); });
+
+TEST(SchemaZooTest, ApertumCarriesTableIIIQueryPaths) {
+  auto t = GetStandardSchema(StandardId::kApertum);
+  for (const char* path :
+       {"Order.DeliverTo.Address.Street", "Order.DeliverTo.Address.City",
+        "Order.DeliverTo.Address.Country", "Order.DeliverTo.Contact.EMail",
+        "Order.POLine.LineNo", "Order.POLine.BuyerPartID",
+        "Order.POLine.Quantity", "Order.POLine.Price.UnitPrice",
+        "Order.Buyer.Contact"}) {
+    EXPECT_NE(t->FindByPath(path), kInvalidSchemaNode) << path;
+  }
+}
+
+TEST(SchemaZooTest, OpenTransCarriesFigure1Names) {
+  auto t = GetStandardSchema(StandardId::kOpenTrans);
+  EXPECT_FALSE(t->FindByName("SUPPLIER_PARTY").empty());
+  EXPECT_FALSE(t->FindByName("INVOICE_PARTY").empty());
+  EXPECT_FALSE(t->FindByName("CONTACT_NAME").empty());
+}
+
+TEST(SchemaZooTest, CachedInstancesAreShared) {
+  auto a = GetStandardSchema(StandardId::kCidx);
+  auto b = GetStandardSchema(StandardId::kCidx);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(DocumentGeneratorTest, ConformsToSchema) {
+  auto schema = GetStandardSchema(StandardId::kXcbl);
+  const Document doc = GenerateDocument(*schema, DocGenOptions{.seed = 3});
+  auto ad = AnnotatedDocument::Bind(&doc, schema.get());
+  ASSERT_TRUE(ad.ok()) << ad.status();
+  EXPECT_EQ(ad->UnboundCount(), 0);
+}
+
+TEST(DocumentGeneratorTest, DeterministicForSameSeed) {
+  auto schema = GetStandardSchema(StandardId::kCidx);
+  const Document a = GenerateDocument(*schema, DocGenOptions{.seed = 5});
+  const Document b = GenerateDocument(*schema, DocGenOptions{.seed = 5});
+  ASSERT_EQ(a.size(), b.size());
+  for (DocNodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_EQ(a.text(i), b.text(i));
+  }
+  const Document c = GenerateDocument(*schema, DocGenOptions{.seed = 6});
+  bool differs = c.size() != a.size();
+  for (DocNodeId i = 0; !differs && i < a.size(); ++i) {
+    differs = a.text(i) != c.text(i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DocumentGeneratorTest, TargetNodeCountApproached) {
+  auto schema = GetStandardSchema(StandardId::kXcbl);
+  const Document doc = GenerateDocument(
+      *schema, DocGenOptions{.seed = 7, .target_nodes = 3473});
+  // Paper's Order.xml has 3473 nodes; accept a 25% band.
+  EXPECT_GT(doc.size(), 3473 * 3 / 4);
+  EXPECT_LT(doc.size(), 3473 * 5 / 4);
+}
+
+TEST(DocumentGeneratorTest, LeafValuesNonEmpty) {
+  auto schema = GetStandardSchema(StandardId::kCidx);
+  const Document doc = GenerateDocument(*schema, DocGenOptions{.seed = 9});
+  for (const DocNode& n : doc.nodes()) {
+    if (n.children.empty()) {
+      EXPECT_FALSE(n.text.empty()) << n.label;
+    }
+  }
+}
+
+TEST(DatasetTest, AllTenLoadWithNonEmptyMatchings) {
+  ASSERT_EQ(AllDatasetSpecs().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto d = LoadDataset(i);
+    ASSERT_TRUE(d.ok()) << i << ": " << d.status();
+    EXPECT_EQ(d->id, AllDatasetSpecs()[static_cast<size_t>(i)].id);
+    EXPECT_GT(d->matching.size(), 0) << d->id;
+    EXPECT_EQ(d->matching.source_ptr(), d->source.get());
+  }
+}
+
+TEST(DatasetTest, LoadByIdAndErrors) {
+  EXPECT_TRUE(LoadDataset("D7").ok());
+  EXPECT_TRUE(LoadDataset("D11").status().IsNotFound());
+  EXPECT_FALSE(LoadDataset(-1).ok());
+  EXPECT_FALSE(LoadDataset(10).ok());
+}
+
+TEST(DatasetTest, QueriesEmbedIntoD7Target) {
+  auto d = LoadDataset("D7");
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(TableIIIQueries().size(), 10u);
+  for (const std::string& text : TableIIIQueries()) {
+    auto q = TwigQuery::Parse(text);
+    ASSERT_TRUE(q.ok()) << text;
+    const auto embeddings = EmbedQueryInSchema(*q, *d->target, 0);
+    EXPECT_FALSE(embeddings.empty()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,145 @@
+// XML parser/writer tests: round-trips, entities, CDATA, comments,
+// namespaces, and a parameterized rejection suite.
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace uxm {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = ParseXml("<a/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->size(), 1);
+  EXPECT_EQ(doc->label(0), "a");
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = ParseXml("<order><name>Cathy</name><qty>3</qty></order>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 3);
+  EXPECT_EQ(doc->label(0), "order");
+  EXPECT_EQ(doc->text(1), "Cathy");
+  EXPECT_EQ(doc->text(2), "3");
+  EXPECT_EQ(doc->node(0).children.size(), 2u);
+}
+
+TEST(XmlParserTest, DeclarationCommentsAndDoctype) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE order>\n<!-- header -->\n"
+      "<order><!-- inner --><x>1</x></order>\n<!-- trailing -->");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->size(), 2);
+}
+
+TEST(XmlParserTest, AttributesAcceptedAndSkipped) {
+  auto doc = ParseXml("<a id=\"1\" lang='en'><b key=\"v\"/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->size(), 2);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto doc = ParseXml("<a>x &lt;&gt;&amp;&quot;&apos; y</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(0), "x <>&\"' y");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  auto doc = ParseXml("<a>&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(0), "AB");
+  auto utf8 = ParseXml("<a>&#x20AC;</a>");  // euro sign
+  ASSERT_TRUE(utf8.ok());
+  EXPECT_EQ(utf8->text(0), "\xE2\x82\xAC");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  auto doc = ParseXml("<a><![CDATA[1 < 2 & 3 > 2]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(0), "1 < 2 & 3 > 2");
+}
+
+TEST(XmlParserTest, NamespacePrefixStripping) {
+  auto doc = ParseXml("<po:Order xmlns:po=\"urn:x\"><po:Line/></po:Order>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->label(0), "Order");
+  EXPECT_EQ(doc->label(1), "Line");
+
+  XmlParseOptions keep;
+  keep.strip_namespace_prefix = false;
+  auto doc2 = ParseXml("<po:Order><po:Line/></po:Order>", keep);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2->label(0), "po:Order");
+}
+
+TEST(XmlParserTest, TextTrimming) {
+  auto doc = ParseXml("<a>\n   hello   \n</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text(0), "hello");
+  XmlParseOptions keep;
+  keep.trim_text = false;
+  auto doc2 = ParseXml("<a> hi </a>", keep);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2->text(0), " hi ");
+}
+
+TEST(XmlParserTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 40; ++i) deep += "</a>";
+  XmlParseOptions opts;
+  opts.max_depth = 10;
+  EXPECT_FALSE(ParseXml(deep, opts).ok());
+  opts.max_depth = 100;
+  EXPECT_TRUE(ParseXml(deep, opts).ok());
+}
+
+TEST(XmlParserTest, WriterRoundTrip) {
+  const char* input =
+      "<order><party><name>Smith &amp; Co</name></party><qty>3</qty></order>";
+  auto doc = ParseXml(input);
+  ASSERT_TRUE(doc.ok());
+  const std::string out = WriteXml(*doc);
+  auto doc2 = ParseXml(out);
+  ASSERT_TRUE(doc2.ok()) << out;
+  ASSERT_EQ(doc->size(), doc2->size());
+  for (DocNodeId i = 0; i < doc->size(); ++i) {
+    EXPECT_EQ(doc->label(i), doc2->label(i));
+    EXPECT_EQ(doc->text(i), doc2->text(i));
+    EXPECT_EQ(doc->node(i).parent, doc2->node(i).parent);
+  }
+}
+
+TEST(XmlParserTest, CompactWriterHasNoNewlines) {
+  auto doc = ParseXml("<a><b>x</b></a>");
+  ASSERT_TRUE(doc.ok());
+  XmlWriteOptions opts;
+  opts.pretty = false;
+  opts.declaration = false;
+  EXPECT_EQ(WriteXml(*doc, opts), "<a><b>x</b></a>");
+}
+
+TEST(XmlParserTest, FileNotFound) {
+  EXPECT_TRUE(ParseXmlFile("/nonexistent/file.xml").status().IsNotFound());
+}
+
+class XmlRejectionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRejectionTest, RejectsMalformedInput) {
+  const auto result = ParseXml(GetParam());
+  EXPECT_FALSE(result.ok()) << "accepted: " << GetParam();
+  EXPECT_TRUE(result.status().IsParseError() ||
+              result.status().IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, XmlRejectionTest,
+    ::testing::Values("", "   ", "<a>", "</a>", "<a></b>", "<a><b></a></b>",
+                      "<a>&unknown;</a>", "<a>&#xZZ;</a>", "<a attr></a>",
+                      "<a attr=value></a>", "<a 'x'/>", "text only",
+                      "<a/><b/>", "<a><![CDATA[x</a>", "<a>&lt</a>",
+                      "<1tag/>", "<a b=\"unterminated></a>"));
+
+}  // namespace
+}  // namespace uxm
