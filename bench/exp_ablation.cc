@@ -59,6 +59,7 @@ int main() {
       }
       sink = hits;
     });
+    (void)sink;
     std::printf("structural join: stack=%.4fms naive=%.4fms (%.1fx)\n",
                 t_stack * 1e3, t_naive * 1e3, t_naive / t_stack);
   }

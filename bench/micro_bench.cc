@@ -1,7 +1,14 @@
 // Google-benchmark microbenchmarks for the library's primitives.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
+#include "exec/batch_executor.h"
+#include "exec/thread_pool.h"
 #include "query/structural_join.h"
 
 namespace uxm {
@@ -98,6 +105,50 @@ void BM_PtqBlockTree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PtqBlockTree)->Arg(0)->Arg(4)->Arg(9);
+
+// Batch PTQ throughput vs worker count: all ten Table III queries,
+// repeated, fanned over the executor's pool. items_per_second is the
+// headline number; on a multi-core host it should scale near-linearly
+// until the core count, with answers identical at every width (see
+// executor_test.cc for the equality check).
+void BM_BatchPtq(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
+  static auto built = bench::BuildTree(env, 0.2);
+  BatchExecutorOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  BatchQueryExecutor exec(&env.mappings, &built.tree, opts);
+  std::vector<BatchQueryItem> batch;
+  constexpr int kCopies = 4;
+  for (int c = 0; c < kCopies; ++c) {
+    for (const std::string& q : TableIIIQueries()) {
+      batch.push_back(BatchQueryItem{env.annotated.get(), q, 0});
+    }
+  }
+  for (auto _ : state) {
+    auto results = exec.Run(batch);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+  state.counters["threads"] = opts.num_threads;
+}
+BENCHMARK(BM_BatchPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Pool overhead floor: how fast the pool can push trivial tasks through
+// ParallelFor. Keeps scheduling regressions visible independently of
+// query cost.
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(1024, [&sum](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_XmlParse(benchmark::State& state) {
   bench::Env env = bench::MakeEnv("D7", 10, /*with_doc=*/true);

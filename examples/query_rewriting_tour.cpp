@@ -40,7 +40,9 @@ int main(int argc, char** argv) {
 
   // 2. Generate the possible mappings and show how the first embedding
   //    rewrites under the two most probable ones.
-  TopHGenerator gen(TopHOptions{.h = 100});
+  TopHOptions th;
+  th.h = 100;
+  TopHGenerator gen(th);
   auto mappings = gen.Generate(dataset->matching);
   std::printf("\n|M| = %d mappings; rewriting embedding #1:\n",
               mappings->size());

@@ -1,5 +1,10 @@
 #include "core/system.h"
 
+#include <unordered_map>
+#include <utility>
+
+#include "exec/thread_pool.h"
+
 namespace uxm {
 
 Status UncertainMatchingSystem::Prepare(const Schema* source,
@@ -69,6 +74,84 @@ Result<PtqResult> UncertainMatchingSystem::QueryBasic(
   UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
   PtqEvaluator eval(&mappings_, annotated_.get());
   return eval.EvaluateBasic(q, options_.ptq);
+}
+
+Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
+    const std::vector<BatchQueryRequest>& requests,
+    const BatchRunOptions& run) const {
+  if (!prepared_) return Status::Internal("call Prepare before RunBatch");
+
+  // Annotate each distinct external document exactly once; requests with
+  // doc == nullptr reuse the AttachDocument annotation. A document that
+  // fails to bind fails only its own requests' answer slots, which are
+  // compacted out of the executor batch so no worker time (or report
+  // accounting) is spent on them.
+  std::unordered_map<const Document*, Result<AnnotatedDocument>> annotations;
+  std::vector<BatchQueryItem> items;
+  std::vector<size_t> item_slot;  // executor index -> request index
+  std::vector<std::pair<size_t, Status>> prefailed;  // (slot, why)
+  items.reserve(requests.size());
+  item_slot.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const BatchQueryRequest& req = requests[i];
+    const AnnotatedDocument* ad = nullptr;
+    if (req.doc == nullptr) {
+      if (annotated_ == nullptr) {
+        return Status::Internal(
+            "request targets the attached document but none is attached");
+      }
+      ad = annotated_.get();
+    } else {
+      auto it = annotations.find(req.doc);
+      if (it == annotations.end()) {
+        it = annotations
+                 .emplace(req.doc, AnnotatedDocument::Bind(
+                                       req.doc, matching_.source_ptr()))
+                 .first;
+      }
+      if (!it->second.ok()) {
+        prefailed.emplace_back(i, it->second.status());
+        continue;
+      }
+      ad = &it->second.value();
+    }
+    items.push_back(BatchQueryItem{ad, req.twig, req.top_k});
+    item_slot.push_back(i);
+  }
+
+  BatchQueryResponse response;
+  std::vector<Result<PtqResult>> compact =
+      Executor(run)->Run(items, &response.report);
+  response.answers.assign(
+      requests.size(),
+      Result<PtqResult>(Status::Internal("item not executed")));
+  for (size_t k = 0; k < compact.size(); ++k) {
+    response.answers[item_slot[k]] = std::move(compact[k]);
+  }
+  for (const auto& [slot, status] : prefailed) {
+    response.answers[slot] = status;
+  }
+  return response;
+}
+
+std::shared_ptr<BatchQueryExecutor> UncertainMatchingSystem::Executor(
+    const BatchRunOptions& run) const {
+  const int want_threads =
+      run.num_threads > 0 ? run.num_threads : ThreadPool::DefaultThreadCount();
+  std::shared_ptr<BatchQueryExecutor> stale;  // destroyed outside the lock
+  std::lock_guard<std::mutex> lock(executor_mu_);
+  if (executor_ == nullptr || executor_->num_threads() != want_threads ||
+      executor_use_block_tree_ != run.use_block_tree) {
+    stale = std::move(executor_);
+    BatchExecutorOptions exec_opts;
+    exec_opts.num_threads = want_threads;
+    exec_opts.use_block_tree = run.use_block_tree;
+    exec_opts.ptq = options_.ptq;
+    executor_ = std::make_shared<BatchQueryExecutor>(&mappings_, &build_.tree,
+                                                     exec_opts);
+    executor_use_block_tree_ = run.use_block_tree;
+  }
+  return executor_;
 }
 
 }  // namespace uxm

@@ -12,10 +12,13 @@
 #define UXM_CORE_SYSTEM_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "blocktree/block_tree.h"
 #include "common/status.h"
+#include "exec/batch_executor.h"
 #include "mapping/top_h.h"
 #include "matching/matcher.h"
 #include "query/annotated_document.h"
@@ -29,6 +32,28 @@ struct SystemOptions {
   TopHOptions top_h;
   BlockTreeOptions block_tree;
   PtqOptions ptq;
+};
+
+/// \brief One query of a batch: a twig, optionally against its own
+/// document. `doc == nullptr` targets the document bound with
+/// AttachDocument; a non-null `doc` must conform to the source schema
+/// and is annotated once per RunBatch call (shared across its items).
+struct BatchQueryRequest {
+  const Document* doc = nullptr;
+  std::string twig;
+  int top_k = 0;  ///< per-request top-k PTQ; 0 = SystemOptions::ptq.
+};
+
+/// \brief Knobs for one RunBatch call.
+struct BatchRunOptions {
+  int num_threads = 0;       ///< 0 = all hardware threads.
+  bool use_block_tree = true;  ///< Algorithm 4 (true) vs Algorithm 3.
+};
+
+/// \brief Batch answers, in request order, plus execution statistics.
+struct BatchQueryResponse {
+  std::vector<Result<PtqResult>> answers;
+  BatchRunReport report;
 };
 
 /// \brief One-stop pipeline object.
@@ -65,6 +90,17 @@ class UncertainMatchingSystem {
   /// Evaluates with Algorithm 3 instead (for comparison/testing).
   Result<PtqResult> QueryBasic(const std::string& twig) const;
 
+  /// Evaluates a whole batch of PTQs in parallel on a fixed-size thread
+  /// pool (exec/batch_executor.h). The prepared mapping set and block
+  /// tree are shared read-only across workers; answers come back in
+  /// request order and are identical for any thread count. Requires
+  /// Prepare; requires AttachDocument only if some request's doc is
+  /// null. Per-request failures (e.g. twig parse errors) error only
+  /// their own answer slot.
+  Result<BatchQueryResponse> RunBatch(
+      const std::vector<BatchQueryRequest>& requests,
+      const BatchRunOptions& run = {}) const;
+
   // Accessors for the intermediate products.
   const SchemaMatching& matching() const { return matching_; }
   const PossibleMappingSet& mappings() const { return mappings_; }
@@ -75,12 +111,24 @@ class UncertainMatchingSystem {
  private:
   Status BuildDownstream();
 
+  /// Returns the cached batch executor, (re)building it when `run` asks
+  /// for a different thread count or evaluation algorithm. The pool is
+  /// reused across RunBatch calls so the per-call cost is queries, not
+  /// thread creation. Shared ownership keeps an executor alive for any
+  /// RunBatch still using it when a rebuild swaps the cache.
+  std::shared_ptr<BatchQueryExecutor> Executor(const BatchRunOptions& run)
+      const;
+
   SystemOptions options_;
   SchemaMatching matching_;
   PossibleMappingSet mappings_;
   BlockTreeBuildResult build_;
   std::unique_ptr<AnnotatedDocument> annotated_;
   bool prepared_ = false;
+
+  mutable std::mutex executor_mu_;
+  mutable std::shared_ptr<BatchQueryExecutor> executor_;
+  mutable bool executor_use_block_tree_ = true;
 };
 
 }  // namespace uxm

@@ -1,0 +1,130 @@
+#include "exec/batch_executor.h"
+
+#include <atomic>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "query/twig_query.h"
+
+namespace uxm {
+
+namespace {
+
+/// Per-worker scratch: parsed queries are cached by text so a batch that
+/// repeats the same twig over many documents parses it once per thread,
+/// and the evaluator is reused across the worker's items. Nothing in
+/// here is shared, so no locks are taken on the query hot path.
+struct WorkerScratch {
+  std::unordered_map<std::string, Result<TwigQuery>> parsed;
+  int items = 0;
+  int cache_hits = 0;
+
+  const Result<TwigQuery>& Parse(const std::string& twig) {
+    auto it = parsed.find(twig);
+    if (it != parsed.end()) {
+      ++cache_hits;
+      return it->second;
+    }
+    return parsed.emplace(twig, TwigQuery::Parse(twig)).first->second;
+  }
+};
+
+}  // namespace
+
+BatchQueryExecutor::BatchQueryExecutor(const PossibleMappingSet* mappings,
+                                       const BlockTree* tree,
+                                       BatchExecutorOptions options)
+    : mappings_(mappings),
+      tree_(tree),
+      options_(std::move(options)),
+      pool_(std::make_unique<ThreadPool>(
+          options_.num_threads > 0 ? options_.num_threads
+                                   : ThreadPool::DefaultThreadCount())) {}
+
+BatchQueryExecutor::~BatchQueryExecutor() = default;
+
+int BatchQueryExecutor::num_threads() const { return pool_->num_threads(); }
+
+std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
+    const std::vector<BatchQueryItem>& batch, BatchRunReport* report) const {
+  const size_t n = batch.size();
+  std::vector<Result<PtqResult>> results(
+      n, Result<PtqResult>(Status::Internal("item not executed")));
+  if (report != nullptr) {
+    *report = BatchRunReport{};
+    report->num_threads = pool_->num_threads();
+    report->items_per_thread.assign(
+        static_cast<size_t>(pool_->num_threads()), 0);
+  }
+  if (mappings_ == nullptr) {
+    results.assign(n, Result<PtqResult>(
+                          Status::InvalidArgument("null mapping set")));
+    return results;
+  }
+  if (options_.use_block_tree && tree_ == nullptr) {
+    results.assign(
+        n, Result<PtqResult>(Status::InvalidArgument(
+               "use_block_tree requires a block tree; pass one or disable")));
+    return results;
+  }
+
+  // One long-lived claim loop per worker slot (not one task per item):
+  // each slot owns its scratch for the whole run, and the atomic cursor
+  // gives dynamic balancing without any queue contention per item.
+  const int slots = pool_->num_threads();
+  std::vector<WorkerScratch> scratch(static_cast<size_t>(slots));
+  std::atomic<size_t> cursor{0};
+
+  auto run_slot = [&](size_t slot) {
+    WorkerScratch& ws = scratch[slot];
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      const BatchQueryItem& item = batch[i];
+      ++ws.items;
+      // The whole item is inside the try so any throw — parse, evaluate,
+      // even bad_alloc on a result assignment — fails only this slot and
+      // never escapes the Result-returning API.
+      try {
+        if (item.doc == nullptr) {
+          results[i] = Status::InvalidArgument("item has a null document");
+          continue;
+        }
+        const Result<TwigQuery>& query = ws.Parse(item.twig);
+        if (!query.ok()) {
+          results[i] = query.status();
+          continue;
+        }
+        PtqOptions opts = options_.ptq;
+        if (item.top_k > 0) opts.top_k = item.top_k;
+        PtqEvaluator eval(mappings_, item.doc);
+        results[i] = options_.use_block_tree
+                         ? eval.EvaluateWithBlockTree(*query, *tree_, opts)
+                         : eval.EvaluateBasic(*query, opts);
+      } catch (const std::exception& e) {
+        results[i] = Status::Internal(std::string("evaluation threw: ") +
+                                      e.what());
+      } catch (...) {
+        results[i] = Status::Internal("evaluation threw a non-std exception");
+      }
+    }
+  };
+
+  // ParallelFor(slots) runs each slot's claim loop on its own thread
+  // (the calling thread doubles as one of them).
+  pool_->ParallelFor(static_cast<size_t>(slots), run_slot);
+
+  if (report != nullptr) {
+    report->items_per_thread.clear();
+    report->query_cache_hits = 0;
+    for (const WorkerScratch& ws : scratch) {
+      report->items_per_thread.push_back(ws.items);
+      report->query_cache_hits += ws.cache_hits;
+    }
+  }
+  return results;
+}
+
+}  // namespace uxm

@@ -1,0 +1,97 @@
+// Parallel batch PTQ execution. A batch is a list of {annotated document,
+// twig text} pairs evaluated against ONE prepared (mapping set, block
+// tree) pair — the shape of a production query front-end, where the
+// integration system is prepared once and then serves many queries over
+// many documents.
+//
+// Concurrency model: the PossibleMappingSet and BlockTree are immutable
+// after Prepare and are shared read-only by every worker. Each worker
+// thread owns a scratch context (parsed-query cache + per-thread
+// counters); items are claimed off an atomic cursor for dynamic load
+// balancing, and every answer is written to its input slot, so results
+// are always in input order and bit-identical regardless of thread count.
+#ifndef UXM_EXEC_BATCH_EXECUTOR_H_
+#define UXM_EXEC_BATCH_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocktree/block_tree.h"
+#include "common/status.h"
+#include "mapping/possible_mapping.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+
+namespace uxm {
+
+class ThreadPool;
+
+/// \brief One unit of batch work: a twig query against a document.
+struct BatchQueryItem {
+  const AnnotatedDocument* doc = nullptr;  ///< must outlive the Run call
+  std::string twig;                        ///< target-schema twig text
+  /// Per-item top-k override; 0 inherits the executor's PtqOptions.
+  int top_k = 0;
+};
+
+/// \brief Executor configuration.
+struct BatchExecutorOptions {
+  /// Worker threads; 0 = ThreadPool::DefaultThreadCount().
+  int num_threads = 0;
+  /// Evaluate with Algorithm 4 (block tree) or Algorithm 3 (basic).
+  bool use_block_tree = true;
+  /// Base evaluation options applied to every item.
+  PtqOptions ptq;
+};
+
+/// \brief Per-run execution statistics.
+struct BatchRunReport {
+  int num_threads = 0;
+  /// Items evaluated by each worker (size == num_threads). Sums to the
+  /// batch size; the spread shows load-balancing quality.
+  std::vector<int> items_per_thread;
+  /// Parsed-query cache hits summed over all workers.
+  int query_cache_hits = 0;
+};
+
+/// \brief Fans a batch of PTQs out across a fixed thread pool.
+///
+/// Run keeps all per-run state (cursor, scratch, result slots) on its own
+/// stack, so concurrent Run calls on one executor are safe — they simply
+/// share the pool's workers. No fairness is promised, though: the pool's
+/// queue is FIFO, so a small Run issued while a large one occupies every
+/// worker completes its items on the calling thread but still waits for
+/// the earlier batch before returning. Latency-sensitive callers should
+/// use their own executor. The referenced mapping set / block tree must
+/// outlive the executor and stay unmodified while Run is in flight.
+class BatchQueryExecutor {
+ public:
+  /// `tree` may be null iff options.use_block_tree is false.
+  BatchQueryExecutor(const PossibleMappingSet* mappings,
+                     const BlockTree* tree,
+                     BatchExecutorOptions options = {});
+  ~BatchQueryExecutor();
+
+  BatchQueryExecutor(const BatchQueryExecutor&) = delete;
+  BatchQueryExecutor& operator=(const BatchQueryExecutor&) = delete;
+
+  /// Evaluates every item and returns the answers in input order: slot i
+  /// of the returned vector is item i's result. Per-item failures (parse
+  /// errors, null documents) error only their own slot. When `report` is
+  /// non-null it receives this run's statistics.
+  std::vector<Result<PtqResult>> Run(const std::vector<BatchQueryItem>& batch,
+                                     BatchRunReport* report = nullptr) const;
+
+  int num_threads() const;
+
+ private:
+  const PossibleMappingSet* mappings_;
+  const BlockTree* tree_;
+  BatchExecutorOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_EXEC_BATCH_EXECUTOR_H_

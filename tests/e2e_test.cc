@@ -14,7 +14,9 @@ TEST(EndToEndTest, XmlRoundTripPreservesPtqAnswers) {
   // PTQ returns identical answers on both copies.
   auto dataset = LoadDataset("D7");
   ASSERT_TRUE(dataset.ok());
-  TopHGenerator gen(TopHOptions{.h = 30});
+  TopHOptions th;
+  th.h = 30;
+  TopHGenerator gen(th);
   auto mappings = gen.Generate(dataset->matching);
   ASSERT_TRUE(mappings.ok());
 
@@ -100,7 +102,9 @@ TEST(EndToEndTest, TopKPtqIsPrefixOfFullPtqByProbability) {
   // (ties broken arbitrarily, so compare probability multisets).
   auto dataset = LoadDataset("D6");
   ASSERT_TRUE(dataset.ok());
-  TopHGenerator gen(TopHOptions{.h = 40});
+  TopHOptions th;
+  th.h = 40;
+  TopHGenerator gen(th);
   auto mappings = gen.Generate(dataset->matching);
   ASSERT_TRUE(mappings.ok());
   Document doc = GenerateDocument(*dataset->source,
@@ -141,7 +145,9 @@ TEST(EndToEndTest, BlockTreeCountMonotoneInSupportOnDatasets) {
   // Support threshold up => never more blocks (with an uncapped budget).
   auto dataset = LoadDataset("D8");
   ASSERT_TRUE(dataset.ok());
-  TopHGenerator gen(TopHOptions{.h = 50});
+  TopHOptions th;
+  th.h = 50;
+  TopHGenerator gen(th);
   auto mappings = gen.Generate(dataset->matching);
   ASSERT_TRUE(mappings.ok());
   int prev = INT32_MAX;

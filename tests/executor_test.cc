@@ -1,0 +1,411 @@
+// ThreadPool lifecycle/exception safety and BatchQueryExecutor /
+// UncertainMatchingSystem::RunBatch determinism: the batch path must
+// return exactly the single-query answers, in input order, for any
+// thread count.
+#include "exec/batch_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/system.h"
+#include "exec/thread_pool.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/document_generator.h"
+
+namespace uxm {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i]() { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, TaskExceptionReachesFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // Workers must still be alive and accepting work afterwards.
+  auto good = pool.Submit([]() { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran]() { ++ran; });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 50);
+  pool.Shutdown();  // second call is a no-op
+  // Submitting after shutdown yields an invalid future, not a crash.
+  auto f = pool.Submit([]() { return 1; });
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutShutdownCall) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) pool.Submit([&ran]() { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool is still usable after a throwing ParallelFor.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&ran](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// ------------------------------------------------------------ executor
+
+class BatchExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = testutil::MakePaperExample();
+    auto ad = AnnotatedDocument::Bind(ex_.doc.get(), ex_.source.get());
+    ASSERT_TRUE(ad.ok()) << ad.status();
+    annotated_ = std::make_unique<AnnotatedDocument>(std::move(ad).ValueOrDie());
+    BlockTreeBuilder builder(BlockTreeOptions{0.2, 500, 500});
+    auto built = builder.Build(ex_.mappings);
+    ASSERT_TRUE(built.ok()) << built.status();
+    built_ = std::make_unique<BlockTreeBuildResult>(std::move(built).ValueOrDie());
+  }
+
+  std::vector<BatchQueryItem> MakeBatch(int copies) const {
+    const std::vector<std::string> twigs = {"ORDER/IP/ICN", "ORDER/SP/SCN",
+                                            "//ICN", "//SCN", "ORDER//ICN"};
+    std::vector<BatchQueryItem> batch;
+    for (int c = 0; c < copies; ++c) {
+      for (const std::string& t : twigs) {
+        batch.push_back(BatchQueryItem{annotated_.get(), t, 0});
+      }
+    }
+    return batch;
+  }
+
+  static void ExpectSameAnswers(const std::vector<Result<PtqResult>>& a,
+                                const std::vector<Result<PtqResult>>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].ok(), b[i].ok()) << "item " << i;
+      if (!a[i].ok()) continue;
+      ASSERT_EQ(a[i]->answers.size(), b[i]->answers.size()) << "item " << i;
+      for (size_t j = 0; j < a[i]->answers.size(); ++j) {
+        EXPECT_EQ(a[i]->answers[j].mapping, b[i]->answers[j].mapping);
+        EXPECT_DOUBLE_EQ(a[i]->answers[j].probability,
+                         b[i]->answers[j].probability);
+        EXPECT_EQ(a[i]->answers[j].matches, b[i]->answers[j].matches);
+      }
+    }
+  }
+
+  testutil::PaperExample ex_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+  std::unique_ptr<BlockTreeBuildResult> built_;
+};
+
+TEST_F(BatchExecutorTest, OneThreadMatchesSequentialEvaluation) {
+  BatchExecutorOptions opts;
+  opts.num_threads = 1;
+  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  const auto batch = MakeBatch(1);
+  const auto results = exec.Run(batch);
+  ASSERT_EQ(results.size(), batch.size());
+
+  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status();
+    auto q = TwigQuery::Parse(batch[i].twig);
+    ASSERT_TRUE(q.ok());
+    auto expect = eval.EvaluateWithBlockTree(*q, built_->tree);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_EQ(results[i]->answers.size(), expect->answers.size());
+    for (size_t j = 0; j < expect->answers.size(); ++j) {
+      EXPECT_EQ(results[i]->answers[j].matches, expect->answers[j].matches);
+    }
+  }
+}
+
+TEST_F(BatchExecutorTest, DeterministicAcrossThreadCounts) {
+  BatchExecutorOptions one;
+  one.num_threads = 1;
+  BatchQueryExecutor exec1(&ex_.mappings, &built_->tree, one);
+  const auto batch = MakeBatch(8);
+  const auto base = exec1.Run(batch);
+
+  for (int threads : {2, 4, 8}) {
+    BatchExecutorOptions opts;
+    opts.num_threads = threads;
+    BatchQueryExecutor execN(&ex_.mappings, &built_->tree, opts);
+    BatchRunReport report;
+    const auto results = execN.Run(batch, &report);
+    ExpectSameAnswers(base, results);
+    EXPECT_EQ(report.num_threads, threads);
+    int total = 0;
+    for (int c : report.items_per_thread) total += c;
+    EXPECT_EQ(total, static_cast<int>(batch.size()));
+  }
+}
+
+TEST_F(BatchExecutorTest, PerItemErrorsDoNotPoisonTheBatch) {
+  BatchExecutorOptions opts;
+  opts.num_threads = 4;
+  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  std::vector<BatchQueryItem> batch = MakeBatch(1);
+  batch.insert(batch.begin() + 2,
+               BatchQueryItem{annotated_.get(), "ORDER//", 0});  // bad twig
+  batch.insert(batch.begin() + 4, BatchQueryItem{nullptr, "//ICN", 0});
+  const auto results = exec.Run(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_FALSE(results[4].ok());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 2 || i == 4) continue;
+    EXPECT_TRUE(results[i].ok()) << "item " << i << ": "
+                                 << results[i].status();
+  }
+}
+
+TEST_F(BatchExecutorTest, CachesRepeatedQueriesPerThread) {
+  BatchExecutorOptions opts;
+  opts.num_threads = 2;
+  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  const auto batch = MakeBatch(10);  // 5 distinct twigs x 10 copies
+  BatchRunReport report;
+  const auto results = exec.Run(batch, &report);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  // 50 items, at most 5 distinct parses per thread slot.
+  EXPECT_GE(report.query_cache_hits,
+            static_cast<int>(batch.size()) - 5 * report.num_threads);
+}
+
+TEST_F(BatchExecutorTest, BasicEvaluatorPathMatchesBlockTreePath) {
+  BatchExecutorOptions tree_opts;
+  tree_opts.num_threads = 2;
+  BatchQueryExecutor tree_exec(&ex_.mappings, &built_->tree, tree_opts);
+  BatchExecutorOptions basic_opts;
+  basic_opts.num_threads = 2;
+  basic_opts.use_block_tree = false;
+  BatchQueryExecutor basic_exec(&ex_.mappings, nullptr, basic_opts);
+  const auto batch = MakeBatch(2);
+  ExpectSameAnswers(tree_exec.Run(batch), basic_exec.Run(batch));
+}
+
+// ------------------------------------------------------------ facade
+
+class RunBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = LoadDataset("D7");
+    ASSERT_TRUE(d.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(d).ValueOrDie());
+    doc_ = std::make_unique<Document>(GenerateDocument(
+        *dataset_->source, DocGenOptions{.seed = 42, .target_nodes = 600}));
+    SystemOptions opts;
+    opts.top_h.h = 30;
+    sys_ = std::make_unique<UncertainMatchingSystem>(opts);
+    ASSERT_TRUE(
+        sys_->Prepare(dataset_->source.get(), dataset_->target.get()).ok());
+    ASSERT_TRUE(sys_->AttachDocument(doc_.get()).ok());
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<UncertainMatchingSystem> sys_;
+};
+
+TEST_F(RunBatchTest, MatchesSingleQueryAnswersInInputOrder) {
+  std::vector<BatchQueryRequest> requests;
+  for (const std::string& q : TableIIIQueries()) {
+    requests.push_back(BatchQueryRequest{nullptr, q, 0});
+  }
+  BatchRunOptions run;
+  run.num_threads = 4;
+  auto response = sys_->RunBatch(requests, run);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->answers.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto single = sys_->Query(requests[i].twig);
+    ASSERT_TRUE(single.ok());
+    ASSERT_TRUE(response->answers[i].ok()) << response->answers[i].status();
+    ASSERT_EQ(response->answers[i]->answers.size(), single->answers.size())
+        << "query " << i;
+    for (size_t j = 0; j < single->answers.size(); ++j) {
+      EXPECT_EQ(response->answers[i]->answers[j].mapping,
+                single->answers[j].mapping);
+      EXPECT_EQ(response->answers[i]->answers[j].matches,
+                single->answers[j].matches);
+    }
+  }
+}
+
+TEST_F(RunBatchTest, SameAnswersForOneAndManyThreads) {
+  std::vector<BatchQueryRequest> requests;
+  for (int copy = 0; copy < 4; ++copy) {
+    for (const std::string& q : TableIIIQueries()) {
+      requests.push_back(BatchQueryRequest{nullptr, q, 0});
+    }
+  }
+  BatchRunOptions one;
+  one.num_threads = 1;
+  auto base = sys_->RunBatch(requests, one);
+  ASSERT_TRUE(base.ok());
+  BatchRunOptions many;
+  many.num_threads = 8;
+  auto wide = sys_->RunBatch(requests, many);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_EQ(base->answers.size(), wide->answers.size());
+  for (size_t i = 0; i < base->answers.size(); ++i) {
+    ASSERT_TRUE(base->answers[i].ok());
+    ASSERT_TRUE(wide->answers[i].ok());
+    ASSERT_EQ(base->answers[i]->answers.size(),
+              wide->answers[i]->answers.size());
+    for (size_t j = 0; j < base->answers[i]->answers.size(); ++j) {
+      EXPECT_EQ(base->answers[i]->answers[j].mapping,
+                wide->answers[i]->answers[j].mapping);
+      EXPECT_DOUBLE_EQ(base->answers[i]->answers[j].probability,
+                       wide->answers[i]->answers[j].probability);
+      EXPECT_EQ(base->answers[i]->answers[j].matches,
+                wide->answers[i]->answers[j].matches);
+    }
+  }
+}
+
+TEST_F(RunBatchTest, PerRequestDocumentsAndTopK) {
+  Document other = GenerateDocument(
+      *dataset_->source, DocGenOptions{.seed = 99, .target_nodes = 400});
+  const std::string q = TableIIIQueries()[0];
+  std::vector<BatchQueryRequest> requests = {
+      BatchQueryRequest{nullptr, q, 0},
+      BatchQueryRequest{&other, q, 0},
+      BatchQueryRequest{nullptr, q, 5},
+  };
+  auto response = sys_->RunBatch(requests);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->answers.size(), 3u);
+  for (const auto& a : response->answers) ASSERT_TRUE(a.ok()) << a.status();
+  // Request 2 is top-5 restricted.
+  EXPECT_LE(response->answers[2]->answers.size(), 5u);
+  auto topk = sys_->QueryTopK(q, 5);
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(response->answers[2]->answers.size(), topk->answers.size());
+}
+
+TEST_F(RunBatchTest, ConcurrentCallsWithDifferentThreadCounts) {
+  // Two callers racing with different widths force the facade to swap
+  // its cached executor while the other side may still be running on
+  // it; shared ownership must keep every in-flight run valid.
+  std::vector<BatchQueryRequest> requests;
+  for (const std::string& q : TableIIIQueries()) {
+    requests.push_back(BatchQueryRequest{nullptr, q, 0});
+  }
+  auto expected = sys_->RunBatch(requests, BatchRunOptions{1, true});
+  ASSERT_TRUE(expected.ok());
+  auto call = [&](int threads) {
+    BatchRunOptions run;
+    run.num_threads = threads;
+    for (int i = 0; i < 3; ++i) {
+      auto r = sys_->RunBatch(requests, run);
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) return;
+      for (size_t s = 0; s < requests.size(); ++s) {
+        EXPECT_TRUE(r->answers[s].ok());
+        EXPECT_EQ(r->answers[s]->answers.size(),
+                  expected->answers[s]->answers.size());
+      }
+    }
+  };
+  std::thread t1(call, 2);
+  std::thread t2(call, 3);
+  t1.join();
+  t2.join();
+}
+
+TEST_F(RunBatchTest, NonConformingDocumentFailsOnlyItsOwnSlots) {
+  Document bad;
+  bad.AddRoot("NotTheSourceRoot");
+  bad.Finalize();
+  const std::string q = TableIIIQueries()[0];
+  std::vector<BatchQueryRequest> requests = {
+      BatchQueryRequest{nullptr, q, 0},
+      BatchQueryRequest{&bad, q, 0},
+      BatchQueryRequest{nullptr, q, 0},
+  };
+  auto response = sys_->RunBatch(requests);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->answers.size(), 3u);
+  EXPECT_TRUE(response->answers[0].ok());
+  EXPECT_FALSE(response->answers[1].ok());
+  EXPECT_TRUE(response->answers[2].ok());
+}
+
+TEST_F(RunBatchTest, RequiresPrepare) {
+  UncertainMatchingSystem unprepared;
+  auto r = unprepared.RunBatch({BatchQueryRequest{nullptr, "//A", 0}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RunBatchTest, RequiresAttachedDocumentForNullDocRequests) {
+  SystemOptions opts;
+  opts.top_h.h = 10;
+  UncertainMatchingSystem sys(opts);
+  ASSERT_TRUE(
+      sys.Prepare(dataset_->source.get(), dataset_->target.get()).ok());
+  auto r = sys.RunBatch({BatchQueryRequest{nullptr, "//A", 0}});
+  EXPECT_FALSE(r.ok());
+  // But explicit-document requests work without AttachDocument.
+  auto r2 = sys.RunBatch(
+      {BatchQueryRequest{doc_.get(), TableIIIQueries()[0], 0}});
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_TRUE(r2->answers[0].ok());
+}
+
+}  // namespace
+}  // namespace uxm
