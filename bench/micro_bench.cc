@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/query_compiler.h"
+#include "cache/result_cache.h"
 #include "exec/batch_executor.h"
 #include "exec/thread_pool.h"
 #include "query/structural_join.h"
@@ -133,6 +135,76 @@ void BM_BatchPtq(benchmark::State& state) {
   state.counters["threads"] = opts.num_threads;
 }
 BENCHMARK(BM_BatchPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// The same repeated-twig workload as BM_BatchPtq but with the sharded
+// result cache bound: after the first (warmup) run every item is a cache
+// hit — a hash probe plus a PtqResult copy instead of a full evaluation.
+// items_per_second versus BM_BatchPtq at the same thread count is the
+// headline serving-path win (CI enforces >= 5x via
+// tools/check_bench_regression.py).
+void BM_CachedPtq(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
+  static auto built = bench::BuildTree(env, 0.2);
+  BatchExecutorOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  BatchQueryExecutor exec(&env.mappings, &built.tree, opts);
+  ResultCache cache;
+  BatchCacheContext ctx{&cache, /*epoch=*/1};
+  std::vector<BatchQueryItem> batch;
+  constexpr int kCopies = 4;
+  for (int c = 0; c < kCopies; ++c) {
+    for (const std::string& q : TableIIIQueries()) {
+      batch.push_back(BatchQueryItem{env.annotated.get(), q, 0});
+    }
+  }
+  {
+    auto warm = exec.Run(batch, nullptr, &ctx);  // populate the cache
+    benchmark::DoNotOptimize(warm);
+  }
+  BatchRunReport report;
+  for (auto _ : state) {
+    auto results = exec.Run(batch, &report, &ctx);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+  state.counters["threads"] = opts.num_threads;
+  state.counters["hit_rate"] =
+      report.result_cache_hits + report.result_cache_misses > 0
+          ? static_cast<double>(report.result_cache_hits) /
+                (report.result_cache_hits + report.result_cache_misses)
+          : 0.0;
+}
+BENCHMARK(BM_CachedPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Query compilation: cold (parse + schema embedding + mapping filtering,
+// fresh compiler every iteration) vs hot (served from the shared cache).
+// The gap is what every request used to pay before it could evaluate.
+void BM_QueryCompile(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
+  const bool hot = state.range(0) != 0;
+  const std::vector<std::string> queries = TableIIIQueries();
+  QueryCompiler shared(&env.mappings);
+  for (const std::string& q : queries) {
+    benchmark::DoNotOptimize(shared.Compile(q));
+  }
+  for (auto _ : state) {
+    if (hot) {
+      for (const std::string& q : queries) {
+        benchmark::DoNotOptimize(shared.Compile(q));
+      }
+    } else {
+      QueryCompiler cold(&env.mappings);
+      for (const std::string& q : queries) {
+        benchmark::DoNotOptimize(cold.Compile(q));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+  state.SetLabel(hot ? "hot" : "cold");
+}
+BENCHMARK(BM_QueryCompile)->Arg(0)->Arg(1);
 
 // Pool overhead floor: how fast the pool can push trivial tasks through
 // ParallelFor. Keeps scheduling regressions visible independently of

@@ -1,0 +1,45 @@
+#include "cache/cached_eval.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace uxm {
+
+Result<PtqResult> EvaluateThroughCaches(
+    const PossibleMappingSet& mappings, const BlockTree* tree,
+    const AnnotatedDocument& doc, QueryCompiler& compiler,
+    ResultCache* cache, uint64_t epoch, const std::string& twig,
+    const PtqOptions& options, CachedEvalCounters* counters) {
+  if (counters != nullptr) *counters = CachedEvalCounters{};
+  const bool use_block_tree = tree != nullptr;
+  ResultCacheKey key;
+  if (cache != nullptr) {
+    key = ResultCacheKey{twig, &doc.doc(), epoch, options.top_k,
+                         use_block_tree};
+    if (auto hit = cache->Lookup(key)) {
+      if (counters != nullptr) counters->result_hit = true;
+      return *hit;
+    }
+    if (counters != nullptr) counters->result_miss = true;
+  }
+  bool compile_hit = false;
+  auto compiled = compiler.Compile(twig, &compile_hit);
+  if (counters != nullptr) counters->compile_hit = compile_hit;
+  if (!compiled.ok()) return compiled.status();
+  const CompiledQuery& cq = **compiled;
+  const std::vector<MappingId> relevant = cq.RelevantForTopK(options.top_k);
+  PtqEvaluator eval(&mappings, &doc);
+  Result<PtqResult> answer =
+      use_block_tree
+          ? eval.EvaluateTreePrepared(cq.query, cq.embeddings, relevant,
+                                      cq.truncated_embeddings, *tree, options)
+          : eval.EvaluateBasicPrepared(cq.query, cq.embeddings, relevant,
+                                       cq.truncated_embeddings, options);
+  if (answer.ok() && cache != nullptr) {
+    cache->Insert(key, std::make_shared<const PtqResult>(answer.value()));
+  }
+  return answer;
+}
+
+}  // namespace uxm

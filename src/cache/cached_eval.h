@@ -1,0 +1,41 @@
+// The one evaluate-through-the-caches protocol shared by every query
+// path: build the cache key, probe the result cache, compile, evaluate,
+// insert. Single-shot Query and the batch executor workers both write
+// into the same shared ResultCache, so the key schema and insert rules
+// must live in exactly one place — here.
+#ifndef UXM_CACHE_CACHED_EVAL_H_
+#define UXM_CACHE_CACHED_EVAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "blocktree/block_tree.h"
+#include "cache/query_compiler.h"
+#include "cache/result_cache.h"
+#include "common/status.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+
+namespace uxm {
+
+/// \brief What one EvaluateThroughCaches call hit (for report tallies).
+struct CachedEvalCounters {
+  bool compile_hit = false;
+  bool result_hit = false;
+  bool result_miss = false;  ///< looked up but absent (false if no cache)
+};
+
+/// Evaluates `twig` against `doc` through the compiled-query cache and
+/// (when `cache` is non-null) the result cache, keyed under `epoch`.
+/// `tree == nullptr` selects Algorithm 3, otherwise Algorithm 4.
+/// `options.top_k` must already be the effective per-request value —
+/// it is part of the cache key.
+Result<PtqResult> EvaluateThroughCaches(
+    const PossibleMappingSet& mappings, const BlockTree* tree,
+    const AnnotatedDocument& doc, QueryCompiler& compiler,
+    ResultCache* cache, uint64_t epoch, const std::string& twig,
+    const PtqOptions& options, CachedEvalCounters* counters = nullptr);
+
+}  // namespace uxm
+
+#endif  // UXM_CACHE_CACHED_EVAL_H_

@@ -1,0 +1,100 @@
+#include "cache/query_compiler.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "query/ptq.h"
+
+namespace uxm {
+
+std::vector<MappingId> CompiledQuery::RelevantForTopK(int top_k) const {
+  if (top_k <= 0 || static_cast<size_t>(top_k) >= relevant.size()) {
+    return relevant;
+  }
+  std::vector<MappingId> out(by_probability.begin(),
+                             by_probability.begin() + top_k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+QueryCompiler::QueryCompiler(const PossibleMappingSet* mappings,
+                             size_t max_embeddings, size_t max_entries)
+    : mappings_(mappings),
+      max_embeddings_(max_embeddings),
+      max_entries_(max_entries) {}
+
+Result<std::shared_ptr<const CompiledQuery>> QueryCompiler::Compile(
+    const std::string& twig, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(twig);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      if (!it->second.status.ok()) return it->second.status;
+      return it->second.compiled;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CacheValue value = CompileUncached(twig);
+  if (!value.status.ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Generational bound: past max_entries distinct twigs, start over
+  // rather than grow without limit (hot twigs re-cache immediately).
+  if (max_entries_ > 0 && cache_.size() >= max_entries_ &&
+      cache_.find(twig) == cache_.end()) {
+    cache_.clear();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A racing compiler may have published first; its value is equivalent,
+  // so whichever landed is the one every caller sees.
+  auto it = cache_.emplace(twig, std::move(value)).first;
+  if (!it->second.status.ok()) return it->second.status;
+  return it->second.compiled;
+}
+
+QueryCompiler::CacheValue QueryCompiler::CompileUncached(
+    const std::string& twig) const {
+  if (mappings_ == nullptr) {
+    return CacheValue{Status::InvalidArgument("null mapping set"), nullptr};
+  }
+  Result<TwigQuery> parsed = TwigQuery::Parse(twig);
+  if (!parsed.ok()) return CacheValue{parsed.status(), nullptr};
+  auto compiled = std::make_shared<CompiledQuery>();
+  compiled->query = std::move(parsed).ValueOrDie();
+  // EmbedQueryInSchema logs the truncation warning (once per compilation
+  // here, since the result is cached).
+  compiled->embeddings =
+      EmbedQueryInSchema(compiled->query, mappings_->target(), max_embeddings_,
+                         &compiled->truncated_embeddings);
+  compiled->relevant =
+      FilterRelevantMappings(*mappings_, compiled->embeddings, 0);
+  compiled->by_probability = compiled->relevant;
+  std::stable_sort(compiled->by_probability.begin(),
+                   compiled->by_probability.end(),
+                   [this](MappingId a, MappingId b) {
+                     return mappings_->mapping(a).probability >
+                            mappings_->mapping(b).probability;
+                   });
+  return CacheValue{Status::OK(), std::move(compiled)};
+}
+
+void QueryCompiler::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+QueryCompilerStats QueryCompiler::Stats() const {
+  QueryCompilerStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats.entries = cache_.size();
+  return stats;
+}
+
+}  // namespace uxm

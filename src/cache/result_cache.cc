@@ -1,0 +1,125 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace uxm {
+
+size_t ApproxPtqResultBytes(const PtqResult& result) {
+  size_t bytes = sizeof(PtqResult) +
+                 result.answers.capacity() * sizeof(MappingAnswer);
+  for (const MappingAnswer& a : result.answers) {
+    bytes += a.matches.capacity() * sizeof(DocNodeId);
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Boost-style hash combiner.
+inline size_t Combine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Per-entry overhead beyond the PtqResult itself: the key string, the
+/// list node and one hash-map slot (rough, but it keeps zillions of tiny
+/// entries from reading as free).
+size_t EntryOverheadBytes(const ResultCacheKey& key) {
+  return key.twig.size() + sizeof(ResultCacheKey) + 6 * sizeof(void*);
+}
+
+}  // namespace
+
+size_t ResultCache::KeyHash::operator()(const ResultCacheKey& k) const {
+  size_t h = std::hash<std::string>()(k.twig);
+  h = Combine(h, std::hash<const void*>()(k.doc));
+  h = Combine(h, std::hash<uint64_t>()(k.epoch));
+  h = Combine(h, std::hash<int>()(k.top_k));
+  h = Combine(h, std::hash<bool>()(k.block_tree));
+  return h;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options) {
+  const int shards = std::max(1, options.num_shards);
+  shard_budget_ = options.max_bytes / static_cast<size_t>(shards);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const ResultCacheKey& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+std::shared_ptr<const PtqResult> ResultCache::Lookup(
+    const ResultCacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key,
+                         std::shared_ptr<const PtqResult> value) {
+  if (value == nullptr) return;
+  const size_t bytes = ApproxPtqResultBytes(*value) + EntryOverheadBytes(key);
+  if (bytes > shard_budget_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.bytes += bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.insertions;
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.map.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->map.size();
+    stats.bytes_in_use += shard->bytes;
+  }
+  return stats;
+}
+
+}  // namespace uxm

@@ -1,0 +1,129 @@
+// Sharded LRU cache of full PTQ answers. Production twig workloads are
+// heavily skewed — the same few twigs hit the same attached document over
+// and over — so after the block tree has amortized evaluation across
+// mappings and the QueryCompiler has amortized compilation across
+// requests, the remaining repeated cost is the evaluation itself. This
+// cache removes it: a hit is a hash probe plus a PtqResult copy.
+//
+// Keying and invalidation: entries are keyed on (twig text, document
+// identity, epoch, top-k, algorithm). The epoch is bumped by the facade
+// on every Prepare/AttachDocument *before* the new state is published, so
+// an evaluation that raced the swap inserts under the old epoch and can
+// never satisfy a lookup issued after it — stale answers are structurally
+// unreachable, and Clear() merely reclaims their memory.
+//
+// Concurrency: N shards, each a mutex + intrusive LRU list; a key touches
+// exactly one shard, so concurrent workers on distinct keys rarely
+// contend. The byte budget is split evenly across shards and enforced by
+// LRU eviction at insert time.
+#ifndef UXM_CACHE_RESULT_CACHE_H_
+#define UXM_CACHE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/ptq.h"
+
+namespace uxm {
+
+/// \brief Identity of one cacheable evaluation.
+///
+/// `doc` is pointer identity: callers must not mutate or reuse the
+/// storage of a document while its answers may be cached (the facade
+/// clears the cache on Prepare/AttachDocument; for external per-request
+/// documents, call UncertainMatchingSystem::InvalidateResultCache after
+/// freeing one).
+struct ResultCacheKey {
+  std::string twig;
+  const void* doc = nullptr;
+  uint64_t epoch = 0;
+  int top_k = 0;          ///< Effective top-k (0 = all relevant mappings).
+  bool block_tree = true;  ///< Algorithm 4 vs Algorithm 3.
+
+  bool operator==(const ResultCacheKey& o) const {
+    return doc == o.doc && epoch == o.epoch && top_k == o.top_k &&
+           block_tree == o.block_tree && twig == o.twig;
+  }
+};
+
+struct ResultCacheOptions {
+  size_t max_bytes = size_t{64} << 20;  ///< Total budget over all shards.
+  int num_shards = 16;                  ///< Clamped to >= 1.
+};
+
+/// \brief Aggregated cache counters. hits/misses/... are cumulative since
+/// construction; entries/bytes_in_use are the current footprint.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;      ///< Entries dropped to fit the byte budget.
+  uint64_t invalidations = 0;  ///< Clear() calls.
+  size_t entries = 0;
+  size_t bytes_in_use = 0;  ///< Approximate (see ApproxPtqResultBytes).
+};
+
+/// Approximate heap footprint of a PtqResult (the byte-budget unit).
+size_t ApproxPtqResultBytes(const PtqResult& result);
+
+/// \brief Mutex-striped, byte-budgeted LRU cache of PtqResults.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached answer (refreshing its LRU position) or nullptr.
+  std::shared_ptr<const PtqResult> Lookup(const ResultCacheKey& key);
+
+  /// Inserts or replaces `key`'s entry, then evicts LRU entries until the
+  /// shard fits its budget. A single result larger than a whole shard's
+  /// budget is not cached (it would only thrash the shard).
+  void Insert(const ResultCacheKey& key,
+              std::shared_ptr<const PtqResult> value);
+
+  /// Drops every entry in every shard (invalidation).
+  void Clear();
+
+  ResultCacheStats Stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& k) const;
+  };
+  struct Entry {
+    ResultCacheKey key;
+    std::shared_ptr<const PtqResult> value;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<ResultCacheKey, std::list<Entry>::iterator, KeyHash>
+        map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const ResultCacheKey& key);
+
+  size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace uxm
+
+#endif  // UXM_CACHE_RESULT_CACHE_H_

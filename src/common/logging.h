@@ -40,6 +40,13 @@ class NullStream {
   }
 };
 
+/// glog-style voidifier: `&` binds looser than `<<`, so the whole
+/// streamed expression folds to void inside the ternary below.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 }  // namespace uxm
 
@@ -47,9 +54,10 @@ class NullStream {
   (static_cast<int>(::uxm::LogLevel::k##level) <                          \
    static_cast<int>(::uxm::GetLogLevel()))                                \
       ? (void)0                                                           \
-      : (void)::uxm::internal::LogMessage(::uxm::LogLevel::k##level,      \
-                                          __FILE__, __LINE__)             \
-            .stream()
+      : ::uxm::internal::LogMessageVoidify() &                            \
+            ::uxm::internal::LogMessage(::uxm::LogLevel::k##level,        \
+                                        __FILE__, __LINE__)               \
+                .stream()
 
 #define UXM_LOG_DEBUG(msg)                                               \
   do {                                                                   \

@@ -3,9 +3,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cache/cached_eval.h"
 #include "exec/thread_pool.h"
 
 namespace uxm {
+
+UncertainMatchingSystem::UncertainMatchingSystem(SystemOptions options)
+    : options_(std::move(options)),
+      result_cache_(std::make_shared<ResultCache>(ResultCacheOptions{
+          options_.cache.max_result_bytes, options_.cache.result_shards})) {}
 
 Status UncertainMatchingSystem::Prepare(const Schema* source,
                                         const Schema* target) {
@@ -13,73 +19,178 @@ Status UncertainMatchingSystem::Prepare(const Schema* source,
     return Status::InvalidArgument("schemas must be non-null");
   }
   ComposedMatcher matcher(options_.matcher);
-  UXM_ASSIGN_OR_RETURN(matching_, matcher.Match(*source, *target));
-  return BuildDownstream();
+  SchemaMatching matching;
+  UXM_ASSIGN_OR_RETURN(matching, matcher.Match(*source, *target));
+  return PrepareFromMatching(std::move(matching));
 }
 
 Status UncertainMatchingSystem::PrepareFromMatching(SchemaMatching matching) {
   if (matching.empty()) {
     return Status::InvalidArgument("matching has no correspondences");
   }
-  matching_ = std::move(matching);
-  return BuildDownstream();
+  // Build the whole state off to the side; nothing the running queries
+  // can see changes until InstallState publishes the finished product.
+  auto state = std::make_shared<PreparedState>();
+  state->matching = std::move(matching);
+  TopHGenerator generator(options_.top_h);
+  UXM_ASSIGN_OR_RETURN(state->mappings, generator.Generate(state->matching));
+  BlockTreeBuilder builder(options_.block_tree);
+  UXM_ASSIGN_OR_RETURN(state->build, builder.Build(state->mappings));
+  state->compiler = std::make_shared<QueryCompiler>(
+      &state->mappings, options_.ptq.max_embeddings);
+  InstallState(std::move(state));
+  return Status::OK();
 }
 
-Status UncertainMatchingSystem::BuildDownstream() {
-  TopHGenerator generator(options_.top_h);
-  UXM_ASSIGN_OR_RETURN(mappings_, generator.Generate(matching_));
-  BlockTreeBuilder builder(options_.block_tree);
-  UXM_ASSIGN_OR_RETURN(build_, builder.Build(mappings_));
-  prepared_ = true;
-  return Status::OK();
+void UncertainMatchingSystem::InstallState(
+    std::shared_ptr<const PreparedState> state) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++epoch_;  // before the swap: in-flight inserts keyed on the old
+               // epoch become unreachable the moment we publish
+    // A document annotated against a different source schema cannot be
+    // queried through the new state; one bound to the same schema stays.
+    if (annotated_ != nullptr &&
+        &annotated_->schema() != state->matching.source_ptr()) {
+      annotated_ = nullptr;
+    }
+    executor_ = nullptr;  // points into the old state's products
+    executor_state_ = nullptr;
+    state_ = std::move(state);
+  }
+  prepared_.store(true, std::memory_order_release);
+  result_cache_->Clear();
 }
 
 Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
-  if (!prepared_) return Status::Internal("call Prepare before AttachDocument");
+  std::shared_ptr<const PreparedState> state;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state = state_;
+  }
+  if (state == nullptr) {
+    return Status::Internal("call Prepare before AttachDocument");
+  }
   UXM_ASSIGN_OR_RETURN(
       AnnotatedDocument ad,
-      AnnotatedDocument::Bind(doc, matching_.source_ptr()));
-  annotated_ = std::make_unique<AnnotatedDocument>(std::move(ad));
+      AnnotatedDocument::Bind(doc, state->matching.source_ptr()));
+  auto annotated = std::make_shared<const AnnotatedDocument>(std::move(ad));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    // The binding above ran outside the lock; a concurrent Prepare may
+    // have swapped in a state with a different source schema, and a
+    // document bound against the old one must not be installed.
+    if (state_ == nullptr ||
+        state_->matching.source_ptr() != &annotated->schema()) {
+      return Status::Internal(
+          "a concurrent Prepare changed the source schema during "
+          "AttachDocument; re-attach against the new schemas");
+    }
+    ++epoch_;
+    annotated_ = std::move(annotated);
+  }
+  result_cache_->Clear();
   return Status::OK();
+}
+
+UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
+    const BatchRunOptions* run) const {
+  Session session;
+  int want_threads = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    session.state = state_;
+    session.annotated = annotated_;
+    session.epoch = epoch_;
+    if (run != nullptr && state_ != nullptr) {
+      want_threads = run->num_threads > 0 ? run->num_threads
+                                          : ThreadPool::DefaultThreadCount();
+      if (executor_ != nullptr && executor_state_ == state_ &&
+          executor_->num_threads() == want_threads &&
+          executor_use_block_tree_ == run->use_block_tree) {
+        session.executor = executor_;
+      }
+    }
+  }
+  if (run == nullptr || session.state == nullptr ||
+      session.executor != nullptr) {
+    return session;
+  }
+  // Build the executor outside the lock: spawning a thread pool takes
+  // milliseconds, and every concurrent Query would otherwise stall on
+  // state_mu_ for the duration.
+  BatchExecutorOptions exec_opts;
+  exec_opts.num_threads = want_threads;
+  exec_opts.use_block_tree = run->use_block_tree;
+  exec_opts.ptq = options_.ptq;
+  exec_opts.compiler = session.state->compiler;
+  auto fresh = std::make_shared<BatchQueryExecutor>(
+      &session.state->mappings, &session.state->build.tree, exec_opts);
+  std::shared_ptr<BatchQueryExecutor> stale;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (executor_ != nullptr && executor_state_ == session.state &&
+        executor_->num_threads() == want_threads &&
+        executor_use_block_tree_ == run->use_block_tree) {
+      // A racing Snapshot built an equivalent executor first; share it
+      // and let ours die (its pool joins idle workers, nothing ran).
+      session.executor = executor_;
+    } else if (state_ == session.state) {
+      stale = std::move(executor_);
+      executor_ = fresh;
+      executor_state_ = session.state;
+      executor_use_block_tree_ = run->use_block_tree;
+      session.executor = std::move(fresh);
+    } else {
+      // The prepared state moved on while we built; run on our private
+      // executor (it points into session.state, which we keep alive) but
+      // do not cache it for others.
+      session.executor = std::move(fresh);
+    }
+  }
+  return session;
+}
+
+Result<PtqResult> UncertainMatchingSystem::CachedQuery(
+    const std::string& twig, int top_k, bool use_block_tree) const {
+  const Session session = Snapshot(nullptr);
+  if (session.annotated == nullptr) {
+    return Status::Internal("no document attached");
+  }
+  PtqOptions opts = options_.ptq;
+  if (top_k > 0) opts.top_k = top_k;
+  ResultCache* cache =
+      options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
+  return EvaluateThroughCaches(
+      session.state->mappings,
+      use_block_tree ? &session.state->build.tree : nullptr,
+      *session.annotated, *session.state->compiler, cache, session.epoch,
+      twig, opts);
 }
 
 Result<PtqResult> UncertainMatchingSystem::Query(
     const std::string& twig) const {
-  if (annotated_ == nullptr) {
-    return Status::Internal("no document attached");
-  }
-  UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
-  PtqEvaluator eval(&mappings_, annotated_.get());
-  return eval.EvaluateWithBlockTree(q, build_.tree, options_.ptq);
+  return CachedQuery(twig, 0, /*use_block_tree=*/true);
 }
 
 Result<PtqResult> UncertainMatchingSystem::QueryTopK(const std::string& twig,
                                                      int k) const {
-  if (annotated_ == nullptr) {
-    return Status::Internal("no document attached");
-  }
   if (k <= 0) return Status::InvalidArgument("k must be positive");
-  UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
-  PtqOptions opts = options_.ptq;
-  opts.top_k = k;
-  PtqEvaluator eval(&mappings_, annotated_.get());
-  return eval.EvaluateWithBlockTree(q, build_.tree, opts);
+  return CachedQuery(twig, k, /*use_block_tree=*/true);
 }
 
 Result<PtqResult> UncertainMatchingSystem::QueryBasic(
     const std::string& twig) const {
-  if (annotated_ == nullptr) {
-    return Status::Internal("no document attached");
-  }
-  UXM_ASSIGN_OR_RETURN(TwigQuery q, TwigQuery::Parse(twig));
-  PtqEvaluator eval(&mappings_, annotated_.get());
-  return eval.EvaluateBasic(q, options_.ptq);
+  return CachedQuery(twig, 0, /*use_block_tree=*/false);
 }
 
 Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
     const std::vector<BatchQueryRequest>& requests,
     const BatchRunOptions& run) const {
-  if (!prepared_) return Status::Internal("call Prepare before RunBatch");
+  const Session session = Snapshot(&run);
+  if (session.state == nullptr) {
+    return Status::Internal("call Prepare before RunBatch");
+  }
 
   // Annotate each distinct external document exactly once; requests with
   // doc == nullptr reuse the AttachDocument annotation. A document that
@@ -96,17 +207,18 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
     const BatchQueryRequest& req = requests[i];
     const AnnotatedDocument* ad = nullptr;
     if (req.doc == nullptr) {
-      if (annotated_ == nullptr) {
+      if (session.annotated == nullptr) {
         return Status::Internal(
             "request targets the attached document but none is attached");
       }
-      ad = annotated_.get();
+      ad = session.annotated.get();
     } else {
       auto it = annotations.find(req.doc);
       if (it == annotations.end()) {
         it = annotations
-                 .emplace(req.doc, AnnotatedDocument::Bind(
-                                       req.doc, matching_.source_ptr()))
+                 .emplace(req.doc,
+                          AnnotatedDocument::Bind(
+                              req.doc, session.state->matching.source_ptr()))
                  .first;
       }
       if (!it->second.ok()) {
@@ -119,9 +231,14 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
     item_slot.push_back(i);
   }
 
+  BatchCacheContext cache_ctx;
+  cache_ctx.results =
+      options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
+  cache_ctx.epoch = session.epoch;
+
   BatchQueryResponse response;
   std::vector<Result<PtqResult>> compact =
-      Executor(run)->Run(items, &response.report);
+      session.executor->Run(items, &response.report, &cache_ctx);
   response.answers.assign(
       requests.size(),
       Result<PtqResult>(Status::Internal("item not executed")));
@@ -134,24 +251,50 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
   return response;
 }
 
-std::shared_ptr<BatchQueryExecutor> UncertainMatchingSystem::Executor(
-    const BatchRunOptions& run) const {
-  const int want_threads =
-      run.num_threads > 0 ? run.num_threads : ThreadPool::DefaultThreadCount();
-  std::shared_ptr<BatchQueryExecutor> stale;  // destroyed outside the lock
-  std::lock_guard<std::mutex> lock(executor_mu_);
-  if (executor_ == nullptr || executor_->num_threads() != want_threads ||
-      executor_use_block_tree_ != run.use_block_tree) {
-    stale = std::move(executor_);
-    BatchExecutorOptions exec_opts;
-    exec_opts.num_threads = want_threads;
-    exec_opts.use_block_tree = run.use_block_tree;
-    exec_opts.ptq = options_.ptq;
-    executor_ = std::make_shared<BatchQueryExecutor>(&mappings_, &build_.tree,
-                                                     exec_opts);
-    executor_use_block_tree_ = run.use_block_tree;
+void UncertainMatchingSystem::InvalidateResultCache() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++epoch_;  // in-flight runs insert under the old epoch, never served
   }
-  return executor_;
+  result_cache_->Clear();
+}
+
+ResultCacheStats UncertainMatchingSystem::result_cache_stats() const {
+  return result_cache_->Stats();
+}
+
+QueryCompilerStats UncertainMatchingSystem::compiler_stats() const {
+  std::shared_ptr<const PreparedState> state;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state = state_;
+  }
+  return state != nullptr ? state->compiler->Stats() : QueryCompilerStats{};
+}
+
+const UncertainMatchingSystem::PreparedState&
+UncertainMatchingSystem::CurrentState() const {
+  // Unprepared systems see an empty (but valid) state, matching the old
+  // default-constructed-member behavior of the accessors.
+  static const PreparedState* const kEmpty = new PreparedState();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_ != nullptr ? *state_ : *kEmpty;
+}
+
+const SchemaMatching& UncertainMatchingSystem::matching() const {
+  return CurrentState().matching;
+}
+
+const PossibleMappingSet& UncertainMatchingSystem::mappings() const {
+  return CurrentState().mappings;
+}
+
+const BlockTree& UncertainMatchingSystem::block_tree() const {
+  return CurrentState().build.tree;
+}
+
+const BlockTreeBuildResult& UncertainMatchingSystem::block_tree_build() const {
+  return CurrentState().build;
 }
 
 }  // namespace uxm

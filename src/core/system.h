@@ -8,15 +8,36 @@
 // UncertainMatchingSystem owns every intermediate product so callers can
 // go from two schemas + a document to probabilistic query answers in a
 // few lines (see examples/quickstart.cpp).
+//
+// Hot-traffic serving: every query path goes through two shared caches —
+// a QueryCompiler (parse + schema embedding + mapping filtering hoisted
+// out of the request path, computed once per distinct twig) and an
+// optional sharded LRU ResultCache of whole PTQ answers keyed on
+// (twig, document, top-k, algorithm). Both are invalidated whenever
+// Prepare or AttachDocument changes what answers would be computed.
+//
+// Concurrency: the prepared products (matching, mappings, block tree,
+// compiler) live in one immutable state object published by shared_ptr
+// swap, and the attached document likewise, so Query/QueryTopK/RunBatch
+// may run concurrently with Prepare/AttachDocument: in-flight calls keep
+// the state they started with alive and finish against it, while an
+// epoch counter bumped before every swap guarantees their late cache
+// inserts can never be served to callers that arrived after the swap.
+// (The by-reference accessors matching()/mappings()/block_tree() are the
+// exception: the refs they return are invalidated by a later Prepare.)
 #ifndef UXM_CORE_SYSTEM_H_
 #define UXM_CORE_SYSTEM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "blocktree/block_tree.h"
+#include "cache/query_compiler.h"
+#include "cache/result_cache.h"
 #include "common/status.h"
 #include "exec/batch_executor.h"
 #include "mapping/top_h.h"
@@ -26,12 +47,26 @@
 
 namespace uxm {
 
+/// \brief Caching knobs (see src/cache/).
+struct CacheOptions {
+  /// Master switch for the PTQ result cache. The compiled-query cache is
+  /// always on — it holds no answers and its memory is bounded by its
+  /// own generational entry cap (see cache/query_compiler.h).
+  bool enable_result_cache = true;
+  /// Byte budget for cached answers, split evenly across shards; least
+  /// recently used entries are evicted beyond it.
+  size_t max_result_bytes = size_t{64} << 20;
+  /// Mutex stripes of the result cache (clamped to >= 1).
+  int result_shards = 16;
+};
+
 /// \brief End-to-end configuration.
 struct SystemOptions {
   MatcherOptions matcher;
   TopHOptions top_h;
   BlockTreeOptions block_tree;
   PtqOptions ptq;
+  CacheOptions cache;
 };
 
 /// \brief One query of a batch: a twig, optionally against its own
@@ -50,7 +85,8 @@ struct BatchRunOptions {
   bool use_block_tree = true;  ///< Algorithm 4 (true) vs Algorithm 3.
 };
 
-/// \brief Batch answers, in request order, plus execution statistics.
+/// \brief Batch answers, in request order, plus execution statistics
+/// (including compiled-query and result-cache hit counts).
 struct BatchQueryResponse {
   std::vector<Result<PtqResult>> answers;
   BatchRunReport report;
@@ -65,11 +101,11 @@ struct BatchQueryResponse {
 ///   auto result = sys.Query("Order/DeliverTo/Contact/EMail");
 class UncertainMatchingSystem {
  public:
-  explicit UncertainMatchingSystem(SystemOptions options = {})
-      : options_(options) {}
+  explicit UncertainMatchingSystem(SystemOptions options = {});
 
   /// Matches the schemas, generates the top-h mappings and builds the
   /// block tree. Schemas must be finalized and outlive this object.
+  /// Invalidates every cached answer and compilation.
   Status Prepare(const Schema* source, const Schema* target);
 
   /// Uses an externally produced matching instead of running the matcher
@@ -77,57 +113,100 @@ class UncertainMatchingSystem {
   Status PrepareFromMatching(SchemaMatching matching);
 
   /// Binds the document the queries will run against. The document must
-  /// conform to the source schema and outlive this object.
+  /// conform to the source schema and outlive this object. Invalidates
+  /// every cached answer.
   Status AttachDocument(const Document* doc);
 
-  /// Evaluates a PTQ (block-tree accelerated). Requires Prepare +
+  /// Evaluates a PTQ (block-tree accelerated, cached). Requires Prepare +
   /// AttachDocument.
   Result<PtqResult> Query(const std::string& twig) const;
 
   /// Evaluates a top-k PTQ (§IV-C).
   Result<PtqResult> QueryTopK(const std::string& twig, int k) const;
 
-  /// Evaluates with Algorithm 3 instead (for comparison/testing).
+  /// Evaluates with Algorithm 3 instead (for comparison/testing). Cached
+  /// under its own key, never mixed with block-tree answers.
   Result<PtqResult> QueryBasic(const std::string& twig) const;
 
   /// Evaluates a whole batch of PTQs in parallel on a fixed-size thread
   /// pool (exec/batch_executor.h). The prepared mapping set and block
   /// tree are shared read-only across workers; answers come back in
-  /// request order and are identical for any thread count. Requires
-  /// Prepare; requires AttachDocument only if some request's doc is
-  /// null. Per-request failures (e.g. twig parse errors) error only
-  /// their own answer slot.
+  /// request order and are identical for any thread count or cache
+  /// state. Requires Prepare; requires AttachDocument only if some
+  /// request's doc is null. Per-request failures (e.g. twig parse
+  /// errors) error only their own answer slot.
   Result<BatchQueryResponse> RunBatch(
       const std::vector<BatchQueryRequest>& requests,
       const BatchRunOptions& run = {}) const;
 
-  // Accessors for the intermediate products.
-  const SchemaMatching& matching() const { return matching_; }
-  const PossibleMappingSet& mappings() const { return mappings_; }
-  const BlockTree& block_tree() const { return build_.tree; }
-  const BlockTreeBuildResult& block_tree_build() const { return build_; }
-  bool prepared() const { return prepared_; }
+  /// Drops every cached PTQ answer. Needed only when an external
+  /// per-request document's storage is mutated or freed (answers are
+  /// keyed on document pointer identity); Prepare/AttachDocument
+  /// invalidate automatically.
+  void InvalidateResultCache();
+
+  /// Cumulative result-cache counters (hits/misses/evictions/bytes).
+  ResultCacheStats result_cache_stats() const;
+
+  /// Cumulative compiled-query cache counters.
+  QueryCompilerStats compiler_stats() const;
+
+  // Accessors for the intermediate products. The returned references are
+  // invalidated by a subsequent Prepare/PrepareFromMatching.
+  const SchemaMatching& matching() const;
+  const PossibleMappingSet& mappings() const;
+  const BlockTree& block_tree() const;
+  const BlockTreeBuildResult& block_tree_build() const;
+  bool prepared() const { return prepared_.load(std::memory_order_acquire); }
 
  private:
-  Status BuildDownstream();
+  /// Everything derived from one Prepare call. Immutable once published;
+  /// queries hold it by shared_ptr so a concurrent re-Prepare never pulls
+  /// products out from under an in-flight evaluation.
+  struct PreparedState {
+    SchemaMatching matching;
+    PossibleMappingSet mappings;
+    BlockTreeBuildResult build;
+    std::shared_ptr<QueryCompiler> compiler;  ///< internally synchronized
+  };
 
-  /// Returns the cached batch executor, (re)building it when `run` asks
-  /// for a different thread count or evaluation algorithm. The pool is
-  /// reused across RunBatch calls so the per-call cost is queries, not
-  /// thread creation. Shared ownership keeps an executor alive for any
-  /// RunBatch still using it when a rebuild swaps the cache.
-  std::shared_ptr<BatchQueryExecutor> Executor(const BatchRunOptions& run)
-      const;
+  /// A consistent view for one call: state, document, and epoch captured
+  /// under one lock acquisition (plus the executor for batch calls).
+  struct Session {
+    std::shared_ptr<const PreparedState> state;
+    std::shared_ptr<const AnnotatedDocument> annotated;
+    uint64_t epoch = 0;
+    std::shared_ptr<BatchQueryExecutor> executor;
+  };
+
+  /// Captures the current session; with a non-null `run` it also returns
+  /// the cached batch executor, (re)building it when the prepared state,
+  /// thread count, or algorithm changed. The pool is reused across
+  /// RunBatch calls so the per-call cost is queries, not thread creation;
+  /// shared ownership keeps a swapped-out executor (and the state it
+  /// points into) alive for any RunBatch still using it.
+  Session Snapshot(const BatchRunOptions* run) const;
+
+  /// Publishes a freshly built state (under the lock) and invalidates.
+  void InstallState(std::shared_ptr<const PreparedState> state);
+
+  /// Shared compile → result-cache lookup → evaluate → insert path behind
+  /// Query/QueryTopK/QueryBasic.
+  Result<PtqResult> CachedQuery(const std::string& twig, int top_k,
+                                bool use_block_tree) const;
+
+  const PreparedState& CurrentState() const;
 
   SystemOptions options_;
-  SchemaMatching matching_;
-  PossibleMappingSet mappings_;
-  BlockTreeBuildResult build_;
-  std::unique_ptr<AnnotatedDocument> annotated_;
-  bool prepared_ = false;
+  std::shared_ptr<ResultCache> result_cache_;
+  std::atomic<bool> prepared_{false};
 
-  mutable std::mutex executor_mu_;
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const PreparedState> state_;          // null until Prepare
+  std::shared_ptr<const AnnotatedDocument> annotated_;  // null until Attach
+  uint64_t epoch_ = 0;  ///< bumped before every state/document swap
   mutable std::shared_ptr<BatchQueryExecutor> executor_;
+  mutable std::shared_ptr<const PreparedState> executor_state_;
   mutable bool executor_use_block_tree_ = true;
 };
 

@@ -2,33 +2,23 @@
 
 #include <atomic>
 #include <exception>
-#include <unordered_map>
 #include <utility>
 
+#include "cache/cached_eval.h"
 #include "exec/thread_pool.h"
-#include "query/twig_query.h"
 
 namespace uxm {
 
 namespace {
 
-/// Per-worker scratch: parsed queries are cached by text so a batch that
-/// repeats the same twig over many documents parses it once per thread,
-/// and the evaluator is reused across the worker's items. Nothing in
-/// here is shared, so no locks are taken on the query hot path.
+/// Per-worker counters. Compilation and result caching are shared (the
+/// QueryCompiler/ResultCache are internally synchronized); only the tallies
+/// stay thread-local so the query hot path takes no extra locks.
 struct WorkerScratch {
-  std::unordered_map<std::string, Result<TwigQuery>> parsed;
   int items = 0;
-  int cache_hits = 0;
-
-  const Result<TwigQuery>& Parse(const std::string& twig) {
-    auto it = parsed.find(twig);
-    if (it != parsed.end()) {
-      ++cache_hits;
-      return it->second;
-    }
-    return parsed.emplace(twig, TwigQuery::Parse(twig)).first->second;
-  }
+  int compile_hits = 0;
+  int result_hits = 0;
+  int result_misses = 0;
 };
 
 }  // namespace
@@ -39,6 +29,10 @@ BatchQueryExecutor::BatchQueryExecutor(const PossibleMappingSet* mappings,
     : mappings_(mappings),
       tree_(tree),
       options_(std::move(options)),
+      compiler_(options_.compiler != nullptr
+                    ? options_.compiler
+                    : std::make_shared<QueryCompiler>(
+                          mappings, options_.ptq.max_embeddings)),
       pool_(std::make_unique<ThreadPool>(
           options_.num_threads > 0 ? options_.num_threads
                                    : ThreadPool::DefaultThreadCount())) {}
@@ -48,7 +42,8 @@ BatchQueryExecutor::~BatchQueryExecutor() = default;
 int BatchQueryExecutor::num_threads() const { return pool_->num_threads(); }
 
 std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
-    const std::vector<BatchQueryItem>& batch, BatchRunReport* report) const {
+    const std::vector<BatchQueryItem>& batch, BatchRunReport* report,
+    const BatchCacheContext* cache) const {
   const size_t n = batch.size();
   std::vector<Result<PtqResult>> results(
       n, Result<PtqResult>(Status::Internal("item not executed")));
@@ -70,8 +65,11 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
     return results;
   }
 
+  ResultCache* result_cache = cache != nullptr ? cache->results : nullptr;
+  const uint64_t epoch = cache != nullptr ? cache->epoch : 0;
+
   // One long-lived claim loop per worker slot (not one task per item):
-  // each slot owns its scratch for the whole run, and the atomic cursor
+  // each slot owns its counters for the whole run, and the atomic cursor
   // gives dynamic balancing without any queue contention per item.
   const int slots = pool_->num_threads();
   std::vector<WorkerScratch> scratch(static_cast<size_t>(slots));
@@ -84,7 +82,7 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
       if (i >= n) return;
       const BatchQueryItem& item = batch[i];
       ++ws.items;
-      // The whole item is inside the try so any throw — parse, evaluate,
+      // The whole item is inside the try so any throw — compile, evaluate,
       // even bad_alloc on a result assignment — fails only this slot and
       // never escapes the Result-returning API.
       try {
@@ -92,17 +90,15 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
           results[i] = Status::InvalidArgument("item has a null document");
           continue;
         }
-        const Result<TwigQuery>& query = ws.Parse(item.twig);
-        if (!query.ok()) {
-          results[i] = query.status();
-          continue;
-        }
         PtqOptions opts = options_.ptq;
         if (item.top_k > 0) opts.top_k = item.top_k;
-        PtqEvaluator eval(mappings_, item.doc);
-        results[i] = options_.use_block_tree
-                         ? eval.EvaluateWithBlockTree(*query, *tree_, opts)
-                         : eval.EvaluateBasic(*query, opts);
+        CachedEvalCounters counters;
+        results[i] = EvaluateThroughCaches(
+            *mappings_, options_.use_block_tree ? tree_ : nullptr, *item.doc,
+            *compiler_, result_cache, epoch, item.twig, opts, &counters);
+        ws.compile_hits += counters.compile_hit ? 1 : 0;
+        ws.result_hits += counters.result_hit ? 1 : 0;
+        ws.result_misses += counters.result_miss ? 1 : 0;
       } catch (const std::exception& e) {
         results[i] = Status::Internal(std::string("evaluation threw: ") +
                                       e.what());
@@ -118,10 +114,15 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
 
   if (report != nullptr) {
     report->items_per_thread.clear();
-    report->query_cache_hits = 0;
     for (const WorkerScratch& ws : scratch) {
       report->items_per_thread.push_back(ws.items);
-      report->query_cache_hits += ws.cache_hits;
+      report->query_cache_hits += ws.compile_hits;
+      report->result_cache_hits += ws.result_hits;
+      report->result_cache_misses += ws.result_misses;
+    }
+    report->compiler = compiler_->Stats();
+    if (result_cache != nullptr) {
+      report->result_cache = result_cache->Stats();
     }
   }
   return results;

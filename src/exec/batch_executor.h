@@ -5,19 +5,24 @@
 // many documents.
 //
 // Concurrency model: the PossibleMappingSet and BlockTree are immutable
-// after Prepare and are shared read-only by every worker. Each worker
-// thread owns a scratch context (parsed-query cache + per-thread
-// counters); items are claimed off an atomic cursor for dynamic load
-// balancing, and every answer is written to its input slot, so results
-// are always in input order and bit-identical regardless of thread count.
+// after Prepare and are shared read-only by every worker, as are the two
+// caches: a QueryCompiler (parse + schema embedding + mapping filtering
+// computed once per distinct twig, shared across threads AND requests)
+// and an optional sharded ResultCache of whole PTQ answers. Items are
+// claimed off an atomic cursor for dynamic load balancing, and every
+// answer is written to its input slot, so results are always in input
+// order and bit-identical regardless of thread count or cache state.
 #ifndef UXM_EXEC_BATCH_EXECUTOR_H_
 #define UXM_EXEC_BATCH_EXECUTOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "blocktree/block_tree.h"
+#include "cache/query_compiler.h"
+#include "cache/result_cache.h"
 #include "common/status.h"
 #include "mapping/possible_mapping.h"
 #include "query/annotated_document.h"
@@ -43,6 +48,19 @@ struct BatchExecutorOptions {
   bool use_block_tree = true;
   /// Base evaluation options applied to every item.
   PtqOptions ptq;
+  /// Compiled-query cache; nullptr makes the executor create its own over
+  /// its mapping set. Inject a shared one (as the facade does) so
+  /// single-shot Query calls and batches reuse each other's compilations.
+  std::shared_ptr<QueryCompiler> compiler;
+};
+
+/// \brief Per-Run result-cache binding. The epoch is whatever counter the
+/// owner bumps on Prepare/AttachDocument: entries are keyed under it, so
+/// a run that raced an invalidation inserts under the stale epoch and can
+/// never satisfy lookups issued after the swap.
+struct BatchCacheContext {
+  ResultCache* results = nullptr;
+  uint64_t epoch = 0;
 };
 
 /// \brief Per-run execution statistics.
@@ -51,8 +69,16 @@ struct BatchRunReport {
   /// Items evaluated by each worker (size == num_threads). Sums to the
   /// batch size; the spread shows load-balancing quality.
   std::vector<int> items_per_thread;
-  /// Parsed-query cache hits summed over all workers.
+  /// Compiled-query cache hits over this run's items (a hit skips parse,
+  /// schema embedding, and mapping filtering).
   int query_cache_hits = 0;
+  /// Result-cache hits/misses over this run's items (both 0 when Run had
+  /// no cache bound). A hit skips evaluation entirely.
+  int result_cache_hits = 0;
+  int result_cache_misses = 0;
+  /// Cumulative cache state sampled at the end of the run.
+  QueryCompilerStats compiler;
+  ResultCacheStats result_cache;
 };
 
 /// \brief Fans a batch of PTQs out across a fixed thread pool.
@@ -79,16 +105,24 @@ class BatchQueryExecutor {
   /// Evaluates every item and returns the answers in input order: slot i
   /// of the returned vector is item i's result. Per-item failures (parse
   /// errors, null documents) error only their own slot. When `report` is
-  /// non-null it receives this run's statistics.
-  std::vector<Result<PtqResult>> Run(const std::vector<BatchQueryItem>& batch,
-                                     BatchRunReport* report = nullptr) const;
+  /// non-null it receives this run's statistics. When `cache` binds a
+  /// ResultCache, hits skip evaluation and successful answers are
+  /// inserted keyed under cache->epoch.
+  std::vector<Result<PtqResult>> Run(
+      const std::vector<BatchQueryItem>& batch,
+      BatchRunReport* report = nullptr,
+      const BatchCacheContext* cache = nullptr) const;
 
   int num_threads() const;
+
+  /// The compiled-query cache this executor evaluates through.
+  QueryCompiler* compiler() const { return compiler_.get(); }
 
  private:
   const PossibleMappingSet* mappings_;
   const BlockTree* tree_;
   BatchExecutorOptions options_;
+  std::shared_ptr<QueryCompiler> compiler_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "query/structural_join.h"
 
 namespace uxm {
@@ -38,7 +39,14 @@ double PtqResult::NonEmptyMass() const {
 }
 
 std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
-    const TwigQuery& query, const Schema& schema, size_t max_embeddings) {
+    const TwigQuery& query, const Schema& schema, size_t max_embeddings,
+    bool* truncated) {
+  // Enumerate one embedding beyond the cap when the caller wants to know
+  // whether the cap actually bit; the extra is dropped before returning.
+  const size_t limit = (truncated != nullptr && max_embeddings > 0)
+                           ? max_embeddings + 1
+                           : max_embeddings;
+  if (truncated != nullptr) *truncated = false;
   std::vector<std::vector<SchemaNodeId>> out;
   if (query.size() == 0) return out;
 
@@ -91,10 +99,18 @@ std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
     embedding[static_cast<size_t>(qi)] = f.cands[f.next++];
     if (depth + 1 == pre.size()) {
       out.push_back(embedding);
-      if (max_embeddings > 0 && out.size() >= max_embeddings) break;
+      if (limit > 0 && out.size() >= limit) break;
       continue;
     }
     stack.push_back({candidates_for(pre[depth + 1]), 0});
+  }
+  if (truncated != nullptr && max_embeddings > 0 &&
+      out.size() > max_embeddings) {
+    *truncated = true;
+    out.resize(max_embeddings);
+    UXM_LOG(Warning) << "query '" << query.ToString()
+                     << "' embeddings truncated at " << max_embeddings
+                     << "; its answers may be incomplete";
   }
   return out;
 }
@@ -112,14 +128,12 @@ bool PtqEvaluator::RewriteBinding(const std::vector<SchemaNodeId>& embedding,
   return true;
 }
 
-std::vector<MappingId> PtqEvaluator::FilterMappings(
-    const TwigQuery& query,
-    const std::vector<std::vector<SchemaNodeId>>& embeddings,
-    int top_k) const {
-  (void)query;
+std::vector<MappingId> FilterRelevantMappings(
+    const PossibleMappingSet& mappings,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings, int top_k) {
   std::vector<MappingId> relevant;
-  for (MappingId mid = 0; mid < mappings_->size(); ++mid) {
-    const PossibleMapping& m = mappings_->mapping(mid);
+  for (MappingId mid = 0; mid < mappings.size(); ++mid) {
+    const PossibleMapping& m = mappings.mapping(mid);
     bool ok = false;
     for (const auto& emb : embeddings) {
       bool all = true;
@@ -140,8 +154,8 @@ std::vector<MappingId> PtqEvaluator::FilterMappings(
     // §IV-C: keep only the k most probable relevant mappings.
     std::stable_sort(relevant.begin(), relevant.end(),
                      [&](MappingId a, MappingId b) {
-                       return mappings_->mapping(a).probability >
-                              mappings_->mapping(b).probability;
+                       return mappings.mapping(a).probability >
+                              mappings.mapping(b).probability;
                      });
     if (static_cast<int>(relevant.size()) > top_k) {
       relevant.resize(static_cast<size_t>(top_k));
@@ -149,6 +163,14 @@ std::vector<MappingId> PtqEvaluator::FilterMappings(
     std::sort(relevant.begin(), relevant.end());
   }
   return relevant;
+}
+
+std::vector<MappingId> PtqEvaluator::FilterMappings(
+    const TwigQuery& query,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings,
+    int top_k) const {
+  (void)query;
+  return FilterRelevantMappings(*mappings_, embeddings, top_k);
 }
 
 namespace {
@@ -168,14 +190,24 @@ std::vector<DocNodeId> OutputsOf(const TwigMatcher::ProjectedMatches& pm) {
 Result<PtqResult> PtqEvaluator::EvaluateBasic(const TwigQuery& query,
                                               const PtqOptions& options) const {
   if (query.size() == 0) return Status::InvalidArgument("empty query");
-  const Schema& target = mappings_->target();
-  const auto embeddings =
-      EmbedQueryInSchema(query, target, options.max_embeddings);
+  bool truncated = false;
+  const auto embeddings = EmbedQueryInSchema(
+      query, mappings_->target(), options.max_embeddings, &truncated);
   const std::vector<MappingId> relevant =
-      FilterMappings(query, embeddings, options.top_k);
+      FilterRelevantMappings(*mappings_, embeddings, options.top_k);
+  return EvaluateBasicPrepared(query, embeddings, relevant, truncated,
+                               options);
+}
 
+Result<PtqResult> PtqEvaluator::EvaluateBasicPrepared(
+    const TwigQuery& query,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings,
+    const std::vector<MappingId>& relevant, bool truncated,
+    const PtqOptions& options) const {
+  if (query.size() == 0) return Status::InvalidArgument("empty query");
   TwigMatcher matcher(doc_, options.match);
   PtqResult result;
+  result.truncated_embeddings = truncated;
   std::vector<SchemaNodeId> binding;
   for (MappingId mid : relevant) {
     const PossibleMapping& m = mappings_->mapping(mid);
@@ -371,12 +403,21 @@ Result<PtqResult> PtqEvaluator::EvaluateWithBlockTree(
     const TwigQuery& query, const BlockTree& tree,
     const PtqOptions& options) const {
   if (query.size() == 0) return Status::InvalidArgument("empty query");
-  const Schema& target = mappings_->target();
-  const auto embeddings =
-      EmbedQueryInSchema(query, target, options.max_embeddings);
+  bool truncated = false;
+  const auto embeddings = EmbedQueryInSchema(
+      query, mappings_->target(), options.max_embeddings, &truncated);
   const std::vector<MappingId> relevant =
-      FilterMappings(query, embeddings, options.top_k);
+      FilterRelevantMappings(*mappings_, embeddings, options.top_k);
+  return EvaluateTreePrepared(query, embeddings, relevant, truncated, tree,
+                              options);
+}
 
+Result<PtqResult> PtqEvaluator::EvaluateTreePrepared(
+    const TwigQuery& query,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings,
+    const std::vector<MappingId>& relevant, bool truncated,
+    const BlockTree& tree, const PtqOptions& options) const {
+  if (query.size() == 0) return Status::InvalidArgument("empty query");
   TwigMatcher matcher(doc_, options.match);
   std::vector<std::vector<DocNodeId>> acc(
       static_cast<size_t>(mappings_->size()));
@@ -392,6 +433,7 @@ Result<PtqResult> PtqEvaluator::EvaluateWithBlockTree(
     }
   }
   PtqResult result;
+  result.truncated_embeddings = truncated;
   for (MappingId mid : relevant) {
     auto& dst = acc[static_cast<size_t>(mid)];
     std::sort(dst.begin(), dst.end());

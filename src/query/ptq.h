@@ -51,6 +51,11 @@ struct MappingAnswer {
 struct PtqResult {
   std::vector<MappingAnswer> answers;
 
+  /// True if the PtqOptions::max_embeddings cap cut the schema-embedding
+  /// enumeration short, i.e. the answers may be incomplete. Capped answers
+  /// were previously indistinguishable from complete ones.
+  bool truncated_embeddings = false;
+
   /// Groups answers with identical match sets and sums their
   /// probabilities (the collapsed view of the intro example, where
   /// {("Bob", .3), ("Alice", .2)} aggregates over mappings).
@@ -73,8 +78,20 @@ struct PtqOptions {
 /// \brief Embeds a twig query into a schema: every assignment of schema
 /// elements to query nodes consistent with labels and axes. Exposed for
 /// testing. `embedding[i]` is the schema element for query node i.
+/// When `truncated` is non-null it is set to whether the max_embeddings
+/// cap cut the enumeration short (one extra embedding is probed to tell),
+/// and a warning is logged when it did.
 std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
-    const TwigQuery& query, const Schema& schema, size_t max_embeddings);
+    const TwigQuery& query, const Schema& schema, size_t max_embeddings,
+    bool* truncated = nullptr);
+
+/// \brief filter_mappings (+ the §IV-C top-k restriction): ids of the
+/// mappings under which some embedding is fully mapped, ascending.
+/// top_k > 0 keeps only the k most probable of them (stable order), still
+/// returned ascending by id.
+std::vector<MappingId> FilterRelevantMappings(
+    const PossibleMappingSet& mappings,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings, int top_k);
 
 /// \brief PTQ evaluator over a fixed (mapping set, document) pair.
 class PtqEvaluator {
@@ -94,8 +111,26 @@ class PtqEvaluator {
                                           const BlockTree& tree,
                                           const PtqOptions& options = {}) const;
 
-  /// filter_mappings (+ the top-k restriction of §IV-C): ids of mappings
-  /// that can possibly match the query, most probable first when top_k>0.
+  /// Algorithm 3 with precompiled inputs: `embeddings` and `relevant` as
+  /// produced by EmbedQueryInSchema / FilterRelevantMappings (or a
+  /// cache/query_compiler.h CompiledQuery), so nothing is re-derived per
+  /// call. `truncated` is carried into the result's truncated_embeddings.
+  Result<PtqResult> EvaluateBasicPrepared(
+      const TwigQuery& query,
+      const std::vector<std::vector<SchemaNodeId>>& embeddings,
+      const std::vector<MappingId>& relevant, bool truncated,
+      const PtqOptions& options = {}) const;
+
+  /// Algorithm 4 with precompiled inputs (see EvaluateBasicPrepared).
+  Result<PtqResult> EvaluateTreePrepared(
+      const TwigQuery& query,
+      const std::vector<std::vector<SchemaNodeId>>& embeddings,
+      const std::vector<MappingId>& relevant, bool truncated,
+      const BlockTree& tree, const PtqOptions& options = {}) const;
+
+  /// filter_mappings (+ the top-k restriction of §IV-C): delegates to
+  /// FilterRelevantMappings — ids ascending, restricted to the k most
+  /// probable when top_k > 0.
   std::vector<MappingId> FilterMappings(
       const TwigQuery& query,
       const std::vector<std::vector<SchemaNodeId>>& embeddings,

@@ -1,0 +1,399 @@
+// Query compilation + result caching: CompiledQuery must reproduce the
+// uncompiled parse/embed/filter pipeline exactly, the sharded LRU must
+// honor its byte budget and stats, and the facade must (a) serve repeated
+// queries from cache, (b) never serve a stale answer after
+// Prepare/AttachDocument, and (c) report cache statistics through
+// BatchRunReport.
+#include "cache/query_compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "core/system.h"
+#include "query/ptq.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "workload/document_generator.h"
+
+namespace uxm {
+namespace {
+
+// ------------------------------------------------------------ compiler
+
+class QueryCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = testutil::MakePaperExample(); }
+
+  testutil::PaperExample ex_;
+};
+
+TEST_F(QueryCompilerTest, CompilationMatchesUncompiledPipeline) {
+  QueryCompiler compiler(&ex_.mappings);
+  const std::string twig = "//IP//ICN";
+  auto compiled = compiler.Compile(twig);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  const CompiledQuery& cq = **compiled;
+
+  auto parsed = TwigQuery::Parse(twig);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(cq.query.ToString(), parsed->ToString());
+  EXPECT_EQ(cq.embeddings, EmbedQueryInSchema(*parsed, *ex_.target, 256));
+  EXPECT_FALSE(cq.truncated_embeddings);
+  EXPECT_EQ(cq.relevant,
+            FilterRelevantMappings(ex_.mappings, cq.embeddings, 0));
+}
+
+TEST_F(QueryCompilerTest, RelevantForTopKMatchesFilterMappings) {
+  // Distinct probabilities so top-k order is meaningful.
+  auto* ms = ex_.mappings.mutable_mappings();
+  for (size_t i = 0; i < ms->size(); ++i) {
+    (*ms)[i].score = static_cast<double>(ms->size() - i);
+  }
+  ex_.mappings.NormalizeProbabilities();
+  QueryCompiler compiler(&ex_.mappings);
+  auto compiled = compiler.Compile("//IP//ICN");
+  ASSERT_TRUE(compiled.ok());
+  const CompiledQuery& cq = **compiled;
+  for (int k = 0; k <= ex_.mappings.size() + 1; ++k) {
+    EXPECT_EQ(cq.RelevantForTopK(k),
+              FilterRelevantMappings(ex_.mappings, cq.embeddings, k))
+        << "k=" << k;
+  }
+}
+
+TEST_F(QueryCompilerTest, SecondCompileHitsCache) {
+  QueryCompiler compiler(&ex_.mappings);
+  bool hit = true;
+  auto first = compiler.Compile("//ICN", &hit);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(hit);
+  auto second = compiler.Compile("//ICN", &hit);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.value().get(), second.value().get());  // shared, not rebuilt
+  const QueryCompilerStats stats = compiler.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(QueryCompilerTest, ParseFailuresAreCachedNegatively) {
+  QueryCompiler compiler(&ex_.mappings);
+  bool hit = false;
+  auto bad = compiler.Compile("ORDER//", &hit);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(hit);
+  auto again = compiler.Compile("ORDER//", &hit);
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(hit);  // no second parse
+  EXPECT_EQ(bad.status(), again.status());
+  const QueryCompilerStats stats = compiler.Stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(QueryCompilerTest, EntryCapFlushesGenerationally) {
+  QueryCompiler compiler(&ex_.mappings, 256, /*max_entries=*/3);
+  // Distinct (failing) twigs are cached too, so unique-twig spray is the
+  // worst case; the map must never exceed the cap.
+  for (int i = 0; i < 10; ++i) {
+    compiler.Compile("//ICN[" + std::to_string(i));  // parse error, cached
+    EXPECT_LE(compiler.Stats().entries, 3u);
+  }
+  EXPECT_GE(compiler.Stats().flushes, 2u);
+  // A hot twig still caches right after a flush.
+  ASSERT_TRUE(compiler.Compile("//ICN").ok());
+  bool hit = false;
+  ASSERT_TRUE(compiler.Compile("//ICN", &hit).ok());
+  EXPECT_TRUE(hit);
+}
+
+TEST_F(QueryCompilerTest, ClearDropsEntriesKeepsCounters) {
+  QueryCompiler compiler(&ex_.mappings);
+  ASSERT_TRUE(compiler.Compile("//ICN").ok());
+  compiler.Clear();
+  EXPECT_EQ(compiler.Stats().entries, 0u);
+  EXPECT_EQ(compiler.Stats().misses, 1u);
+  bool hit = true;
+  ASSERT_TRUE(compiler.Compile("//ICN", &hit).ok());
+  EXPECT_FALSE(hit);  // recompiled after Clear
+}
+
+// -------------------------------------------------------- result cache
+
+PtqResult MakeResult(int num_answers, int matches_per_answer) {
+  PtqResult r;
+  for (int i = 0; i < num_answers; ++i) {
+    MappingAnswer a;
+    a.mapping = i;
+    a.probability = 1.0 / num_answers;
+    for (int j = 0; j < matches_per_answer; ++j) {
+      a.matches.push_back(j);
+    }
+    r.answers.push_back(std::move(a));
+  }
+  return r;
+}
+
+TEST(ResultCacheTest, RoundTripAndStats) {
+  ResultCache cache;
+  const ResultCacheKey key{"//A", nullptr, 1, 0, true};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, std::make_shared<const PtqResult>(MakeResult(3, 2)));
+  auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->answers.size(), 3u);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes_in_use, 0u);
+}
+
+TEST(ResultCacheTest, DistinctKeyDimensionsDoNotCollide) {
+  ResultCache cache;
+  const int docs[2] = {0, 0};
+  const ResultCacheKey base{"//A", &docs[0], 1, 0, true};
+  cache.Insert(base, std::make_shared<const PtqResult>(MakeResult(1, 1)));
+  ResultCacheKey other = base;
+  other.twig = "//B";
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  other = base;
+  other.doc = &docs[1];
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  other = base;
+  other.epoch = 2;
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  other = base;
+  other.top_k = 5;
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  other = base;
+  other.block_tree = false;
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  EXPECT_NE(cache.Lookup(base), nullptr);
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Large results so the per-entry bookkeeping overhead is noise: a
+  // budget of 3.5x one result holds exactly three entries.
+  const PtqResult sample = MakeResult(64, 64);
+  ResultCacheOptions opts;
+  opts.num_shards = 1;  // one shard so the LRU order is global
+  opts.max_bytes = ApproxPtqResultBytes(sample) * 7 / 2;
+  ResultCache cache(opts);
+  auto key = [](int i) {
+    return ResultCacheKey{"q" + std::to_string(i), nullptr, 1, 0, true};
+  };
+  for (int i = 0; i < 3; ++i) {
+    cache.Insert(key(i), std::make_shared<const PtqResult>(sample));
+  }
+  ASSERT_EQ(cache.Stats().entries, 3u);
+  EXPECT_NE(cache.Lookup(key(0)), nullptr);  // refresh 0: 1 is now LRU
+  cache.Insert(key(3), std::make_shared<const PtqResult>(sample));
+  EXPECT_GE(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(key(1)), nullptr);  // the LRU victim
+  EXPECT_NE(cache.Lookup(key(0)), nullptr);
+  EXPECT_NE(cache.Lookup(key(3)), nullptr);
+  EXPECT_LE(cache.Stats().bytes_in_use, opts.max_bytes);
+}
+
+TEST(ResultCacheTest, OversizedEntriesAreNotCached) {
+  ResultCacheOptions opts;
+  opts.num_shards = 1;
+  opts.max_bytes = 64;  // smaller than any real result
+  ResultCache cache(opts);
+  const ResultCacheKey key{"//A", nullptr, 1, 0, true};
+  cache.Insert(key, std::make_shared<const PtqResult>(MakeResult(64, 64)));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+}
+
+TEST(ResultCacheTest, ClearInvalidatesEverything) {
+  ResultCache cache;
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert(ResultCacheKey{"q" + std::to_string(i), nullptr, 1, 0, true},
+                 std::make_shared<const PtqResult>(MakeResult(2, 2)));
+  }
+  cache.Clear();
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(cache.Lookup(ResultCacheKey{"q1", nullptr, 1, 0, true}), nullptr);
+}
+
+// ------------------------------------------------------------- facade
+
+class SystemCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto d = LoadDataset("D7");
+    ASSERT_TRUE(d.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(d).ValueOrDie());
+    doc_ = std::make_unique<Document>(GenerateDocument(
+        *dataset_->source, DocGenOptions{.seed = 42, .target_nodes = 300}));
+    doc2_ = std::make_unique<Document>(GenerateDocument(
+        *dataset_->source, DocGenOptions{.seed = 99, .target_nodes = 300}));
+  }
+
+  SystemOptions Options(bool cache_enabled) const {
+    SystemOptions opts;
+    opts.top_h.h = 12;
+    opts.cache.enable_result_cache = cache_enabled;
+    return opts;
+  }
+
+  std::unique_ptr<UncertainMatchingSystem> MakeSystem(bool cache_enabled) {
+    auto sys = std::make_unique<UncertainMatchingSystem>(
+        Options(cache_enabled));
+    EXPECT_TRUE(
+        sys->Prepare(dataset_->source.get(), dataset_->target.get()).ok());
+    EXPECT_TRUE(sys->AttachDocument(doc_.get()).ok());
+    return sys;
+  }
+
+  static void ExpectSameResult(const Result<PtqResult>& a,
+                               const Result<PtqResult>& b) {
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->answers.size(), b->answers.size());
+    for (size_t i = 0; i < a->answers.size(); ++i) {
+      EXPECT_EQ(a->answers[i].mapping, b->answers[i].mapping);
+      EXPECT_DOUBLE_EQ(a->answers[i].probability, b->answers[i].probability);
+      EXPECT_EQ(a->answers[i].matches, b->answers[i].matches);
+    }
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<Document> doc_;
+  std::unique_ptr<Document> doc2_;
+};
+
+TEST_F(SystemCacheTest, RepeatedQueryIsServedFromCache) {
+  auto sys = MakeSystem(true);
+  const std::string q = TableIIIQueries()[0];
+  auto first = sys->Query(q);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(sys->result_cache_stats().hits, 0u);
+  auto second = sys->Query(q);
+  ExpectSameResult(first, second);
+  const ResultCacheStats stats = sys->result_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST_F(SystemCacheTest, CachedAnswersEqualUncachedOnes) {
+  auto cached = MakeSystem(true);
+  auto uncached = MakeSystem(false);
+  for (const std::string& q : TableIIIQueries()) {
+    for (int round = 0; round < 2; ++round) {
+      ExpectSameResult(uncached->Query(q), cached->Query(q));
+      ExpectSameResult(uncached->QueryTopK(q, 3), cached->QueryTopK(q, 3));
+      ExpectSameResult(uncached->QueryBasic(q), cached->QueryBasic(q));
+    }
+  }
+  EXPECT_GT(cached->result_cache_stats().hits, 0u);
+  EXPECT_EQ(uncached->result_cache_stats().insertions, 0u);
+}
+
+TEST_F(SystemCacheTest, DisabledCacheNeverStoresAnything) {
+  auto sys = MakeSystem(false);
+  const std::string q = TableIIIQueries()[0];
+  ASSERT_TRUE(sys->Query(q).ok());
+  ASSERT_TRUE(sys->Query(q).ok());
+  const ResultCacheStats stats = sys->result_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  // The compiled-query cache still works — it holds no answers.
+  EXPECT_GT(sys->compiler_stats().hits, 0u);
+}
+
+TEST_F(SystemCacheTest, AttachDocumentInvalidatesCachedAnswers) {
+  auto sys = MakeSystem(true);
+  auto fresh = MakeSystem(false);  // oracle, never caches
+  const std::string q = TableIIIQueries()[0];
+  auto on_doc1 = sys->Query(q);
+  ASSERT_TRUE(on_doc1.ok());
+  ASSERT_TRUE(sys->AttachDocument(doc2_.get()).ok());
+  ASSERT_TRUE(fresh->AttachDocument(doc2_.get()).ok());
+  auto on_doc2 = sys->Query(q);
+  ExpectSameResult(fresh->Query(q), on_doc2);
+  EXPECT_GE(sys->result_cache_stats().invalidations, 1u);
+  // The doc1 entry must not have been served for doc2.
+  EXPECT_EQ(sys->result_cache_stats().hits, 0u);
+}
+
+TEST_F(SystemCacheTest, PrepareInvalidatesCachedAnswersAndCompiler) {
+  auto sys = MakeSystem(true);
+  const std::string q = TableIIIQueries()[0];
+  ASSERT_TRUE(sys->Query(q).ok());
+  ASSERT_TRUE(
+      sys->Prepare(dataset_->source.get(), dataset_->target.get()).ok());
+  // Same source schema: the attached document survives re-Prepare...
+  auto after = sys->Query(q);
+  ASSERT_TRUE(after.ok()) << after.status();
+  // ...but the answer was recomputed, not served from the old epoch.
+  EXPECT_EQ(sys->result_cache_stats().hits, 0u);
+  // The compiler was rebuilt with the new mapping set.
+  EXPECT_EQ(sys->compiler_stats().hits, 0u);
+}
+
+TEST_F(SystemCacheTest, InvalidateResultCacheDropsEntries) {
+  auto sys = MakeSystem(true);
+  const std::string q = TableIIIQueries()[0];
+  ASSERT_TRUE(sys->Query(q).ok());
+  EXPECT_EQ(sys->result_cache_stats().entries, 1u);
+  sys->InvalidateResultCache();
+  EXPECT_EQ(sys->result_cache_stats().entries, 0u);
+  ASSERT_TRUE(sys->Query(q).ok());
+  EXPECT_EQ(sys->result_cache_stats().hits, 0u);  // recomputed
+}
+
+TEST_F(SystemCacheTest, RunBatchReportsCacheStatistics) {
+  auto sys = MakeSystem(true);
+  std::vector<BatchQueryRequest> requests;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (const std::string& q : TableIIIQueries()) {
+      requests.push_back(BatchQueryRequest{nullptr, q, 0});
+    }
+  }
+  BatchRunOptions run;
+  run.num_threads = 2;
+  auto cold = sys->RunBatch(requests, run);
+  ASSERT_TRUE(cold.ok());
+  // 30 items over 10 distinct twigs: at least 20 repeats hit the result
+  // cache even within the first batch.
+  EXPECT_GE(cold->report.result_cache_hits, 10);
+  EXPECT_EQ(cold->report.result_cache_hits + cold->report.result_cache_misses,
+            static_cast<int>(requests.size()));
+  auto warm = sys->RunBatch(requests, run);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->report.result_cache_hits,
+            static_cast<int>(requests.size()));
+  EXPECT_EQ(warm->report.result_cache_misses, 0);
+  EXPECT_GT(warm->report.result_cache.hits, 0u);
+  EXPECT_GT(warm->report.compiler.misses, 0u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResult(cold->answers[i], warm->answers[i]);
+  }
+}
+
+TEST_F(SystemCacheTest, SingleQueryAndBatchShareTheCache) {
+  auto sys = MakeSystem(true);
+  const std::string q = TableIIIQueries()[0];
+  ASSERT_TRUE(sys->Query(q).ok());  // populates (twig, attached doc, 0, tree)
+  auto response = sys->RunBatch({BatchQueryRequest{nullptr, q, 0}});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->report.result_cache_hits, 1);
+  ExpectSameResult(sys->Query(q), response->answers[0]);
+}
+
+}  // namespace
+}  // namespace uxm

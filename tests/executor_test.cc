@@ -213,7 +213,7 @@ TEST_F(BatchExecutorTest, PerItemErrorsDoNotPoisonTheBatch) {
   }
 }
 
-TEST_F(BatchExecutorTest, CachesRepeatedQueriesPerThread) {
+TEST_F(BatchExecutorTest, CachesRepeatedQueriesAcrossThreads) {
   BatchExecutorOptions opts;
   opts.num_threads = 2;
   BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
@@ -221,9 +221,41 @@ TEST_F(BatchExecutorTest, CachesRepeatedQueriesPerThread) {
   BatchRunReport report;
   const auto results = exec.Run(batch, &report);
   for (const auto& r : results) EXPECT_TRUE(r.ok());
-  // 50 items, at most 5 distinct parses per thread slot.
+  // 50 items over 5 distinct twigs through the shared QueryCompiler: at
+  // most 5 compilations per worker even if every first sight races.
   EXPECT_GE(report.query_cache_hits,
             static_cast<int>(batch.size()) - 5 * report.num_threads);
+  EXPECT_GE(report.compiler.misses, 5u);
+  // No result cache was bound, so those counters must stay zero.
+  EXPECT_EQ(report.result_cache_hits, 0);
+  EXPECT_EQ(report.result_cache_misses, 0);
+}
+
+TEST_F(BatchExecutorTest, ResultCacheShortCircuitsRepeatedRuns) {
+  BatchExecutorOptions opts;
+  opts.num_threads = 2;
+  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  ResultCache cache;
+  BatchCacheContext ctx{&cache, /*epoch=*/7};
+  const auto batch = MakeBatch(2);
+  BatchRunReport cold;
+  const auto first = exec.Run(batch, &cold, &ctx);
+  // 10 items over 5 distinct (twig, doc) keys: the repeats hit even cold.
+  EXPECT_EQ(cold.result_cache_hits + cold.result_cache_misses,
+            static_cast<int>(batch.size()));
+  BatchRunReport warm;
+  const auto second = exec.Run(batch, &warm, &ctx);
+  EXPECT_EQ(warm.result_cache_hits, static_cast<int>(batch.size()));
+  EXPECT_EQ(warm.result_cache_misses, 0);
+  ExpectSameAnswers(first, second);
+  // A different epoch sees none of those entries: each of the 5 distinct
+  // keys must miss (and be re-evaluated) at least once, where the warm
+  // same-epoch run had no misses at all.
+  BatchCacheContext other{&cache, /*epoch=*/8};
+  BatchRunReport fresh;
+  const auto third = exec.Run(batch, &fresh, &other);
+  EXPECT_GE(fresh.result_cache_misses, 5);
+  ExpectSameAnswers(first, third);
 }
 
 TEST_F(BatchExecutorTest, BasicEvaluatorPathMatchesBlockTreePath) {

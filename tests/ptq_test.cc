@@ -172,6 +172,83 @@ TEST_F(PaperPtqTest, CollapseByMatchesAggregatesProbability) {
 }
 
 // ---------------------------------------------------------------------
+// max_embeddings used to truncate silently; capped answers must now be
+// distinguishable from complete ones via PtqResult::truncated_embeddings.
+// ---------------------------------------------------------------------
+
+class TruncatedEmbeddingsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The target holds two X leaves, so //X has two schema embeddings —
+    // enough for a max_embeddings=1 cap to bite.
+    source_ = testutil::MakeSchema(
+        {{-1, "O"}, {0, "P"}, {1, "PX"}, {0, "Q"}, {3, "QX"}});
+    target_ = testutil::MakeSchema(
+        {{-1, "ORDER"}, {0, "A"}, {1, "X"}, {0, "B"}, {3, "X"}});
+    mappings_ = PossibleMappingSet(source_.get(), target_.get());
+    mappings_.Add(
+        testutil::MakeMapping(5, {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+    mappings_.Add(
+        testutil::MakeMapping(5, {{0, 0}, {1, 3}, {2, 4}, {3, 1}, {4, 2}}));
+    mappings_.NormalizeProbabilities();
+    DocNodeId r = doc_.AddRoot("O");
+    DocNodeId p = doc_.AddChild(r, "P");
+    doc_.AddChild(p, "PX", "px");
+    DocNodeId q = doc_.AddChild(r, "Q");
+    doc_.AddChild(q, "QX", "qx");
+    doc_.Finalize();
+    auto ad = AnnotatedDocument::Bind(&doc_, source_.get());
+    ASSERT_TRUE(ad.ok()) << ad.status();
+    annotated_ =
+        std::make_unique<AnnotatedDocument>(std::move(ad).ValueOrDie());
+  }
+
+  std::shared_ptr<Schema> source_;
+  std::shared_ptr<Schema> target_;
+  PossibleMappingSet mappings_;
+  Document doc_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+};
+
+TEST_F(TruncatedEmbeddingsTest, EmbedReportsTruncation) {
+  auto q = TwigQuery::Parse("//X");
+  ASSERT_TRUE(q.ok());
+  bool truncated = false;
+  auto all = EmbedQueryInSchema(*q, *target_, 0, &truncated);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_FALSE(truncated);
+  auto exact = EmbedQueryInSchema(*q, *target_, 2, &truncated);
+  EXPECT_EQ(exact.size(), 2u);
+  EXPECT_FALSE(truncated);  // cap equals the count: nothing was cut
+  auto capped = EmbedQueryInSchema(*q, *target_, 1, &truncated);
+  EXPECT_EQ(capped.size(), 1u);
+  EXPECT_TRUE(truncated);
+}
+
+TEST_F(TruncatedEmbeddingsTest, FlagSurfacesThroughBothEvaluators) {
+  auto q = TwigQuery::Parse("//X");
+  ASSERT_TRUE(q.ok());
+  PtqEvaluator eval(&mappings_, annotated_.get());
+  BlockTreeBuilder builder(BlockTreeOptions{0.2, 500, 500});
+  auto built = builder.Build(mappings_);
+  ASSERT_TRUE(built.ok());
+
+  PtqOptions capped;
+  capped.max_embeddings = 1;
+  auto basic = eval.EvaluateBasic(*q, capped);
+  ASSERT_TRUE(basic.ok());
+  EXPECT_TRUE(basic->truncated_embeddings);
+  auto tree = eval.EvaluateWithBlockTree(*q, built->tree, capped);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->truncated_embeddings);
+
+  PtqOptions roomy;  // default 256 embeddings
+  auto complete = eval.EvaluateBasic(*q, roomy);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_FALSE(complete->truncated_embeddings);
+}
+
+// ---------------------------------------------------------------------
 // The paper's correctness claim (§IV-B): query answers do not depend on
 // the number of c-blocks. Verified per dataset x query on D7.
 // ---------------------------------------------------------------------

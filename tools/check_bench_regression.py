@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate gross perf regressions in the PTQ serving benchmarks.
+
+Compares a google-benchmark JSON run against the checked-in baseline
+(BENCH_baseline.json) with a deliberately generous threshold — CI runners
+vary a lot, so only order-of-magnitude rot should fail — and additionally
+checks the machine-independent invariant that the cached batch path beats
+the uncached one by a healthy factor *within the same run*.
+
+Usage:
+  tools/check_bench_regression.py CURRENT.json [BASELINE.json]
+      [--threshold X]    fail if a benchmark is more than X times slower
+                         than the baseline (default 5.0)
+  [--min-speedup X]  fail if BM_CachedPtq is not at least X times
+                         faster than BM_BatchPtq at the same thread count
+                         (default 5.0)
+
+Updating the baseline (after an intentional perf change, Release build):
+  ./build/micro_bench --benchmark_filter='BM_BatchPtq|BM_CachedPtq' \
+      --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Only these families gate CI; everything else in the JSON is informational.
+GATED = re.compile(r"^BM_(BatchPtq|CachedPtq)\b")
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?", default="BENCH_baseline.json")
+    parser.add_argument("--threshold", type=float, default=5.0)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = []
+
+    gated = sorted(n for n in current if GATED.match(n))
+    if not gated:
+        failures.append("no BM_BatchPtq/BM_CachedPtq results in %s"
+                        % args.current)
+
+    for name in gated:
+        base = baseline.get(name)
+        if base is None:
+            print("NOTE  %-40s not in baseline (new benchmark?)" % name)
+            continue
+        ratio = current[name] / base
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print("%-5s %-40s %12.0f ns vs baseline %12.0f ns  (%.2fx)"
+              % (verdict, name, current[name], base, ratio))
+        if ratio > args.threshold:
+            failures.append("%s is %.2fx slower than baseline (limit %.1fx)"
+                            % (name, ratio, args.threshold))
+
+    # Same-run invariant: caching must actually pay.
+    for name, time_ns in sorted(current.items()):
+        m = re.match(r"^BM_BatchPtq/(\d+)(/real_time)?$", name)
+        if not m:
+            continue
+        cached_name = "BM_CachedPtq/%s%s" % (m.group(1), m.group(2) or "")
+        cached = current.get(cached_name)
+        if cached is None:
+            continue
+        speedup = time_ns / cached
+        verdict = "FAIL" if speedup < args.min_speedup else "ok"
+        print("%-5s cached speedup at %s threads: %.2fx (need >= %.1fx)"
+              % (verdict, m.group(1), speedup, args.min_speedup))
+        if speedup < args.min_speedup:
+            failures.append(
+                "%s is only %.2fx faster than %s (need >= %.1fx)"
+                % (cached_name, speedup, name, args.min_speedup))
+
+    if failures:
+        print("\nBenchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+    print("\nBenchmark regression check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
