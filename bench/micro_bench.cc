@@ -3,15 +3,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "cache/query_compiler.h"
 #include "cache/result_cache.h"
+#include "core/system.h"
 #include "exec/batch_executor.h"
 #include "exec/thread_pool.h"
 #include "query/structural_join.h"
+#include "workload/corpus_generator.h"
 
 namespace uxm {
 namespace {
@@ -176,6 +180,74 @@ void BM_CachedPtq(benchmark::State& state) {
           : 0.0;
 }
 BENCHMARK(BM_CachedPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Cross-document serving: all ten Table III queries fanned across an
+// N-document corpus through the facade (QueryCorpus path), with warm
+// caches — after the warmup run every (twig, document) evaluation is a
+// result-cache hit, so this measures the corpus overhead itself: snapshot
+// capture, fan-out, cache probes, and the k-way top-k merge. Gated
+// against BENCH_baseline.json like the batch benchmarks.
+void BM_CorpusPtq(benchmark::State& state) {
+  constexpr int kMaxDocs = 8;
+  static const CorpusScenario* scenario = [] {
+    CorpusGenOptions gen;
+    gen.num_documents = kMaxDocs;
+    gen.min_target_nodes = 150;
+    gen.max_target_nodes = 300;
+    gen.clone_probability = 0.25;
+    auto made = MakeCorpusScenario("D7", gen);
+    if (!made.ok()) {
+      std::fprintf(stderr, "corpus scenario failed: %s\n",
+                   made.status().ToString().c_str());
+      std::abort();
+    }
+    return new CorpusScenario(std::move(made).ValueOrDie());
+  }();
+  static UncertainMatchingSystem* sys = [] {
+    SystemOptions options;
+    options.top_h.h = 100;
+    auto* s = new UncertainMatchingSystem(options);
+    if (!s->Prepare(scenario->dataset.source.get(),
+                    scenario->dataset.target.get())
+             .ok()) {
+      std::abort();
+    }
+    for (size_t i = 0; i < scenario->documents.size(); ++i) {
+      if (!s->AddDocument(scenario->names[i], scenario->documents[i].get())
+               .ok()) {
+        std::abort();
+      }
+    }
+    return s;
+  }();
+
+  const int num_docs = static_cast<int>(state.range(0));
+  CorpusQueryOptions opts;
+  opts.top_k = 10;
+  opts.documents.assign(scenario->names.begin(),
+                        scenario->names.begin() + num_docs);
+  const std::vector<std::string>& twigs = TableIIIQueries();
+  BatchRunOptions run;
+  run.num_threads = 0;  // all hardware threads
+  {
+    auto warm = sys->RunCorpusBatch(twigs, opts, run);  // populate caches
+    benchmark::DoNotOptimize(warm);
+  }
+  int hits = 0;
+  int misses = 0;
+  for (auto _ : state) {
+    auto response = sys->RunCorpusBatch(twigs, opts, run);
+    benchmark::DoNotOptimize(response);
+    hits = response->report.result_cache_hits;
+    misses = response->report.result_cache_misses;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(twigs.size()) * num_docs);
+  state.counters["docs"] = num_docs;
+  state.counters["hit_rate"] =
+      hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
+}
+BENCHMARK(BM_CorpusPtq)->Arg(4)->Arg(8)->UseRealTime();
 
 // Query compilation: cold (parse + schema embedding + mapping filtering,
 // fresh compiler every iteration) vs hot (served from the shared cache).

@@ -162,6 +162,89 @@ int main() {
       }
     }
   }
+  // 8. Corpus serving: register three generated documents (the corpus
+  //    scenario uses the same D7 schema pair the system was prepared
+  //    with) and ask which documents — and which answers within them —
+  //    are the top-5 most probable matches for a twig. Every answer
+  //    carries its document's name as provenance.
+  CorpusGenOptions corpus_gen;
+  corpus_gen.num_documents = 3;
+  corpus_gen.min_target_nodes = 200;
+  corpus_gen.max_target_nodes = 400;
+  corpus_gen.clone_probability = 0.34;
+  auto scenario = MakeCorpusScenario("D7", corpus_gen);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "corpus scenario failed: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  // Brute-force expectation first: attach each document in turn and run
+  // the plain single-document Query, then merge per-document answers the
+  // way the corpus engine claims to.
+  std::vector<std::vector<CorpusAnswer>> per_document;
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    if (Status s = system.AttachDocument(scenario->documents[i].get());
+        !s.ok()) {
+      std::fprintf(stderr, "attach %s failed: %s\n",
+                   scenario->names[i].c_str(), s.ToString().c_str());
+      return 1;
+    }
+    auto r = system.Query(query);
+    if (!r.ok()) {
+      std::fprintf(stderr, "per-document query failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    per_document.push_back(CollapseForCorpus(scenario->names[i], *r));
+  }
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    if (Status s = system.AddDocument(scenario->names[i],
+                                      scenario->documents[i].get());
+        !s.ok()) {
+      std::fprintf(stderr, "AddDocument failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  CorpusQueryOptions corpus_opts;
+  corpus_opts.top_k = 5;
+  auto corpus = system.QueryCorpus(query, corpus_opts);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "QueryCorpus failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncorpus PTQ %s over %zu documents, top-%d:\n", query.c_str(),
+              system.corpus_size(), corpus_opts.top_k);
+  for (const CorpusAnswer& a : corpus->answers) {
+    std::printf("  [%s] p=%.3f ->", a.document.c_str(), a.probability);
+    for (size_t i = 0; i < scenario->documents.size(); ++i) {
+      if (scenario->names[i] != a.document) continue;
+      for (DocNodeId n : a.matches) {
+        std::printf(" \"%s\"", scenario->documents[i]->text(n).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  // The merged top-k must equal the brute-force merge of the per-document
+  // single-shot answers, bit for bit — CI runs this binary.
+  const std::vector<CorpusAnswer> expected =
+      MergeTopK(per_document, corpus_opts.top_k);
+  if (corpus->answers.size() != expected.size()) {
+    std::fprintf(stderr, "corpus top-k diverged: %zu vs %zu answers\n",
+                 corpus->answers.size(), expected.size());
+    return 1;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (corpus->answers[i].document != expected[i].document ||
+        corpus->answers[i].probability != expected[i].probability ||
+        corpus->answers[i].matches != expected[i].matches) {
+      std::fprintf(stderr, "corpus top-k diverged at answer %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("corpus top-%d equals the brute-force merge of per-document "
+              "queries\n", corpus_opts.top_k);
+
   const ResultCacheStats cache_stats = system.result_cache_stats();
   const QueryCompilerStats compile_stats = system.compiler_stats();
   std::printf(

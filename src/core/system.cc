@@ -48,6 +48,7 @@ void UncertainMatchingSystem::InstallState(
     std::lock_guard<std::mutex> lock(state_mu_);
     ++epoch_;  // before the swap: in-flight inserts keyed on the old
                // epoch become unreachable the moment we publish
+    doc_epoch_ = epoch_;
     // A document annotated against a different source schema cannot be
     // queried through the new state; one bound to the same schema stays.
     if (annotated_ != nullptr &&
@@ -56,6 +57,11 @@ void UncertainMatchingSystem::InstallState(
     }
     executor_ = nullptr;  // points into the old state's products
     executor_state_ = nullptr;
+    // Corpus documents annotated against a different source schema can no
+    // longer be queried and are dropped; survivors are re-stamped with
+    // the new epoch so answers cached under the old state are
+    // unreachable.
+    store_.Rebind(state->matching.source_ptr(), epoch_);
     state_ = std::move(state);
   }
   prepared_.store(true, std::memory_order_release);
@@ -87,10 +93,84 @@ Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
           "AttachDocument; re-attach against the new schemas");
     }
     ++epoch_;
+    doc_epoch_ = epoch_;
     annotated_ = std::move(annotated);
   }
   result_cache_->Clear();
   return Status::OK();
+}
+
+Status UncertainMatchingSystem::AddDocument(const std::string& name,
+                                            const Document* doc) {
+  std::shared_ptr<const PreparedState> state;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state = state_;
+  }
+  if (state == nullptr) {
+    return Status::Internal("call Prepare before AddDocument");
+  }
+  // Annotation is the expensive part; do it outside the lock, then
+  // re-validate the schema under it (same protocol as AttachDocument).
+  UXM_ASSIGN_OR_RETURN(
+      AnnotatedDocument ad,
+      AnnotatedDocument::Bind(doc, state->matching.source_ptr()));
+  auto annotated = std::make_shared<const AnnotatedDocument>(std::move(ad));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (state_ == nullptr ||
+      state_->matching.source_ptr() != &annotated->schema()) {
+    return Status::Internal(
+        "a concurrent Prepare changed the source schema during AddDocument; "
+        "re-add against the new schemas");
+  }
+  CorpusDocument entry;
+  entry.name = name;
+  entry.doc = doc;
+  entry.annotated = std::move(annotated);
+  entry.epoch = epoch_ + 1;
+  UXM_RETURN_NOT_OK(store_.Add(std::move(entry)));
+  // Advance the shared counter only after the store accepted the entry —
+  // and leave doc_epoch_ alone: registering a corpus document must not
+  // invalidate the attached document's (or external batch documents')
+  // cached answers.
+  ++epoch_;
+  return Status::OK();
+}
+
+Status UncertainMatchingSystem::RemoveDocument(const std::string& name) {
+  // No epoch bump: the removed document's cached answers are unreachable
+  // (no snapshot lists it any more), and a future re-registration gets a
+  // fresh epoch from AddDocument.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return store_.Remove(name);
+}
+
+size_t UncertainMatchingSystem::corpus_size() const { return store_.size(); }
+
+std::vector<std::string> UncertainMatchingSystem::CorpusDocumentNames() const {
+  return store_.Names();
+}
+
+Result<CorpusQueryResult> UncertainMatchingSystem::QueryCorpus(
+    const std::string& twig, const CorpusQueryOptions& options) const {
+  UXM_ASSIGN_OR_RETURN(CorpusBatchResponse response,
+                       RunCorpusBatch({twig}, options));
+  return std::move(response.answers[0]);
+}
+
+Result<CorpusBatchResponse> UncertainMatchingSystem::RunCorpusBatch(
+    const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
+    const BatchRunOptions& run) const {
+  const Session session = Snapshot(&run);
+  if (session.state == nullptr) {
+    return Status::Internal("call Prepare before RunCorpusBatch");
+  }
+  BatchCacheContext cache_ctx;
+  cache_ctx.results =
+      options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
+  cache_ctx.epoch = session.epoch;  // items carry per-document epochs
+  CorpusExecutor corpus_exec(session.executor.get());
+  return corpus_exec.Run(*session.corpus, twigs, options, &cache_ctx);
 }
 
 UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
@@ -101,7 +181,8 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
     std::lock_guard<std::mutex> lock(state_mu_);
     session.state = state_;
     session.annotated = annotated_;
-    session.epoch = epoch_;
+    session.corpus = store_.Snapshot();
+    session.epoch = doc_epoch_;
     if (run != nullptr && state_ != nullptr) {
       want_threads = run->num_threads > 0 ? run->num_threads
                                           : ThreadPool::DefaultThreadCount();
@@ -255,6 +336,13 @@ void UncertainMatchingSystem::InvalidateResultCache() {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++epoch_;  // in-flight runs insert under the old epoch, never served
+    doc_epoch_ = epoch_;
+    // Re-stamp corpus registrations too, so an in-flight corpus run's
+    // late insert (keyed under a pre-bump per-document epoch) can never
+    // satisfy a lookup issued after this call.
+    if (state_ != nullptr) {
+      store_.Rebind(state_->matching.source_ptr(), epoch_);
+    }
   }
   result_cache_->Clear();
 }

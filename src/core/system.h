@@ -16,12 +16,20 @@
 // (twig, document, top-k, algorithm). Both are invalidated whenever
 // Prepare or AttachDocument changes what answers would be computed.
 //
+// Corpus serving: beyond the single AttachDocument slot, the facade
+// holds a DocumentStore of named documents (each annotated once at
+// AddDocument time and stamped with its own epoch) and fans twigs across
+// all — or a named subset of — them with QueryCorpus/RunCorpusBatch,
+// k-way-merging the per-document answers into a global top-k ranked by
+// answer probability with per-document provenance (see src/corpus/).
+//
 // Concurrency: the prepared products (matching, mappings, block tree,
 // compiler) live in one immutable state object published by shared_ptr
-// swap, and the attached document likewise, so Query/QueryTopK/RunBatch
-// may run concurrently with Prepare/AttachDocument: in-flight calls keep
-// the state they started with alive and finish against it, while an
-// epoch counter bumped before every swap guarantees their late cache
+// swap, and the attached document and the corpus registry likewise, so
+// Query/QueryTopK/RunBatch/QueryCorpus may run concurrently with
+// Prepare/AttachDocument/AddDocument/RemoveDocument: in-flight calls
+// keep the snapshot they started with alive and finish against it, while
+// an epoch counter bumped before every swap guarantees their late cache
 // inserts can never be served to callers that arrived after the swap.
 // (The by-reference accessors matching()/mappings()/block_tree() are the
 // exception: the refs they return are invalidated by a later Prepare.)
@@ -39,6 +47,8 @@
 #include "cache/query_compiler.h"
 #include "cache/result_cache.h"
 #include "common/status.h"
+#include "corpus/corpus_executor.h"
+#include "corpus/document_store.h"
 #include "exec/batch_executor.h"
 #include "mapping/top_h.h"
 #include "matching/matcher.h"
@@ -139,10 +149,45 @@ class UncertainMatchingSystem {
       const std::vector<BatchQueryRequest>& requests,
       const BatchRunOptions& run = {}) const;
 
+  /// Registers `doc` in the corpus under `name`. The document must
+  /// conform to the source schema and outlive its registration (it is
+  /// annotated once, here). Every registration gets a fresh epoch, so
+  /// answers cached for a prior registration of the same document are
+  /// never served. AlreadyExists if the name is taken; requires Prepare.
+  Status AddDocument(const std::string& name, const Document* doc);
+
+  /// Unregisters `name`. Corpus queries snapshotting after this returns
+  /// can never see the document; in-flight queries that already hold it
+  /// finish against their snapshot (the annotation stays alive until
+  /// they do). NotFound if absent.
+  Status RemoveDocument(const std::string& name);
+
+  /// Evaluates one twig against the whole corpus (or the
+  /// options.documents subset) and returns the global top-k answers
+  /// ranked by probability, each tagged with its document (see
+  /// corpus/corpus_executor.h for the merge semantics). Requires Prepare;
+  /// an empty corpus yields an empty answer list.
+  Result<CorpusQueryResult> QueryCorpus(
+      const std::string& twig, const CorpusQueryOptions& options = {}) const;
+
+  /// Evaluates a batch of twigs against the corpus in parallel on the
+  /// same thread pool RunBatch uses; per-twig failures error only their
+  /// own slot. Every (twig, document) evaluation goes through the shared
+  /// caches, keyed under the document's registration epoch.
+  Result<CorpusBatchResponse> RunCorpusBatch(
+      const std::vector<std::string>& twigs,
+      const CorpusQueryOptions& options = {},
+      const BatchRunOptions& run = {}) const;
+
+  /// Number of registered corpus documents / their names (sorted).
+  size_t corpus_size() const;
+  std::vector<std::string> CorpusDocumentNames() const;
+
   /// Drops every cached PTQ answer. Needed only when an external
   /// per-request document's storage is mutated or freed (answers are
   /// keyed on document pointer identity); Prepare/AttachDocument
-  /// invalidate automatically.
+  /// invalidate automatically. Corpus registrations are re-stamped with
+  /// a fresh epoch so in-flight corpus inserts cannot resurface.
   void InvalidateResultCache();
 
   /// Cumulative result-cache counters (hits/misses/evictions/bytes).
@@ -170,11 +215,15 @@ class UncertainMatchingSystem {
     std::shared_ptr<QueryCompiler> compiler;  ///< internally synchronized
   };
 
-  /// A consistent view for one call: state, document, and epoch captured
-  /// under one lock acquisition (plus the executor for batch calls).
+  /// A consistent view for one call: state, document, corpus, and epoch
+  /// captured under one lock acquisition (plus the executor for batch
+  /// calls). Corpus mutations and state installs are serialized by the
+  /// same lock, so the captured corpus is always annotated against the
+  /// captured state's source schema.
   struct Session {
     std::shared_ptr<const PreparedState> state;
     std::shared_ptr<const AnnotatedDocument> annotated;
+    std::shared_ptr<const CorpusSnapshot> corpus;
     uint64_t epoch = 0;
     std::shared_ptr<BatchQueryExecutor> executor;
   };
@@ -204,7 +253,18 @@ class UncertainMatchingSystem {
   mutable std::mutex state_mu_;
   std::shared_ptr<const PreparedState> state_;          // null until Prepare
   std::shared_ptr<const AnnotatedDocument> annotated_;  // null until Attach
-  uint64_t epoch_ = 0;  ///< bumped before every state/document swap
+  /// Named corpus documents. Internally synchronized, but every mutation
+  /// additionally happens under state_mu_ so registration epochs and
+  /// schema checks stay atomic with Prepare/AttachDocument.
+  DocumentStore store_;
+  /// One monotone counter hands out every epoch value, so no two cache
+  /// stamps ever collide: epoch_ advances on every swap AND every corpus
+  /// registration. The single-document session epoch (doc_epoch_, used
+  /// for Query/RunBatch keys) only follows it on Prepare/AttachDocument/
+  /// InvalidateResultCache — growing the corpus must not flush the hot
+  /// attached-document cache.
+  uint64_t epoch_ = 0;
+  uint64_t doc_epoch_ = 0;
   mutable std::shared_ptr<BatchQueryExecutor> executor_;
   mutable std::shared_ptr<const PreparedState> executor_state_;
   mutable bool executor_use_block_tree_ = true;

@@ -1,0 +1,146 @@
+#include "corpus/corpus_executor.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace uxm {
+
+namespace {
+
+/// Global answer order: probability descending, then document name, then
+/// match list (both ascending) so equal-probability answers have one
+/// canonical ranking.
+bool AnswerBefore(const CorpusAnswer& a, const CorpusAnswer& b) {
+  if (a.probability != b.probability) return a.probability > b.probability;
+  if (a.document != b.document) return a.document < b.document;
+  return a.matches < b.matches;
+}
+
+}  // namespace
+
+std::vector<CorpusAnswer> CollapseForCorpus(const std::string& name,
+                                            const PtqResult& result) {
+  // One grouping definition in the codebase: CollapseByMatches does the
+  // per-match-set probability aggregation; here we only drop empty match
+  // sets, tag the document, and impose the canonical total order (the
+  // collapse's probability-only sort leaves ties unordered).
+  std::vector<CorpusAnswer> out;
+  for (MappingAnswer& a : result.CollapseByMatches()) {
+    if (a.matches.empty()) continue;
+    out.push_back(CorpusAnswer{name, a.probability, std::move(a.matches)});
+  }
+  std::sort(out.begin(), out.end(), AnswerBefore);
+  return out;
+}
+
+std::vector<CorpusAnswer> MergeTopK(
+    const std::vector<std::vector<CorpusAnswer>>& per_document, int k) {
+  // Each input list is already sorted by AnswerBefore (restricted to one
+  // document), so a heap over list heads yields the global order.
+  struct Head {
+    size_t list;
+    size_t pos;
+  };
+  auto worse = [&](const Head& x, const Head& y) {
+    return AnswerBefore(per_document[y.list][y.pos],
+                        per_document[x.list][x.pos]);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(worse)> heap(worse);
+  size_t total = 0;
+  for (size_t l = 0; l < per_document.size(); ++l) {
+    total += per_document[l].size();
+    if (!per_document[l].empty()) heap.push(Head{l, 0});
+  }
+  const size_t want = k > 0 ? std::min<size_t>(static_cast<size_t>(k), total)
+                            : total;
+  std::vector<CorpusAnswer> merged;
+  merged.reserve(want);
+  while (!heap.empty() && merged.size() < want) {
+    const Head head = heap.top();
+    heap.pop();
+    merged.push_back(per_document[head.list][head.pos]);
+    if (head.pos + 1 < per_document[head.list].size()) {
+      heap.push(Head{head.list, head.pos + 1});
+    }
+  }
+  return merged;
+}
+
+Result<CorpusBatchResponse> CorpusExecutor::Run(
+    const CorpusSnapshot& corpus, const std::vector<std::string>& twigs,
+    const CorpusQueryOptions& options, const BatchCacheContext* cache) const {
+  if (executor_ == nullptr) {
+    return Status::Internal("corpus executor has no batch executor");
+  }
+  // Resolve the document subset. The snapshot is name-sorted, so the
+  // fan-out (and the merge tie order) is independent of filter order.
+  std::vector<const CorpusDocument*> selected;
+  if (options.documents.empty()) {
+    selected.reserve(corpus.size());
+    for (const CorpusDocument& entry : corpus) selected.push_back(&entry);
+  } else {
+    for (const std::string& name : options.documents) {
+      const auto it = std::lower_bound(
+          corpus.begin(), corpus.end(), name,
+          [](const CorpusDocument& e, const std::string& n) {
+            return e.name < n;
+          });
+      if (it == corpus.end() || it->name != name) {
+        return Status::NotFound("no corpus document named '" + name + "'");
+      }
+      if (std::find(selected.begin(), selected.end(), &*it) ==
+          selected.end()) {
+        selected.push_back(&*it);
+      }
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const CorpusDocument* a, const CorpusDocument* b) {
+                return a->name < b->name;
+              });
+  }
+
+  const size_t num_docs = selected.size();
+  std::vector<BatchQueryItem> items;
+  items.reserve(twigs.size() * num_docs);
+  for (const std::string& twig : twigs) {
+    for (const CorpusDocument* entry : selected) {
+      BatchQueryItem item;
+      item.doc = entry->annotated.get();
+      item.twig = twig;
+      item.epoch = entry->epoch;
+      items.push_back(std::move(item));
+    }
+  }
+
+  CorpusBatchResponse response;
+  const std::vector<Result<PtqResult>> evaluated =
+      executor_->Run(items, &response.report, cache);
+
+  response.answers.reserve(twigs.size());
+  for (size_t q = 0; q < twigs.size(); ++q) {
+    Status failed = Status::OK();
+    CorpusQueryResult merged;
+    merged.documents_evaluated = static_cast<int>(num_docs);
+    std::vector<std::vector<CorpusAnswer>> per_document;
+    per_document.reserve(num_docs);
+    for (size_t d = 0; d < num_docs; ++d) {
+      const Result<PtqResult>& r = evaluated[q * num_docs + d];
+      if (!r.ok()) {
+        failed = r.status();
+        break;
+      }
+      merged.truncated_embeddings |= r->truncated_embeddings;
+      per_document.push_back(CollapseForCorpus(selected[d]->name, *r));
+    }
+    if (!failed.ok()) {
+      response.answers.push_back(std::move(failed));
+      continue;
+    }
+    merged.answers = MergeTopK(per_document, options.top_k);
+    response.answers.push_back(std::move(merged));
+  }
+  return response;
+}
+
+}  // namespace uxm

@@ -1,0 +1,106 @@
+// Cross-document top-k PTQ execution. A corpus query fans one twig (or a
+// batch of twigs) across every document of a CorpusSnapshot on the shared
+// BatchQueryExecutor thread pool, evaluates each (twig, document) pair
+// through the compiled-query and result caches — keys carry the per-
+// document epoch, so the sharded ResultCache shards naturally per
+// document — and k-way-merges the per-document PtqResults into one global
+// answer list ranked by answer probability, every answer tagged with the
+// document it came from.
+//
+// Merge semantics: each document's PtqResult is first collapsed by match
+// set via PtqResult::CollapseByMatches (answers over different mappings
+// that bind the same document nodes aggregate their probabilities),
+// empty match sets are dropped (an answer with no witness nodes is not a
+// match of that document) and ties get a canonical order, and the
+// per-document lists — sorted by descending probability — are merged
+// with a heap into the global top-k.
+// Ties break deterministically on (document name, match list), so the
+// result is identical for any thread count or cache state.
+#ifndef UXM_CORPUS_CORPUS_EXECUTOR_H_
+#define UXM_CORPUS_CORPUS_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/document_store.h"
+#include "exec/batch_executor.h"
+#include "query/ptq.h"
+
+namespace uxm {
+
+/// \brief One merged corpus answer: a set of witness nodes in one
+/// document, with the total probability mass of the mappings that
+/// produced it.
+struct CorpusAnswer {
+  std::string document;  ///< provenance: DocumentStore name
+  double probability = 0.0;
+  std::vector<DocNodeId> matches;  ///< non-empty, sorted, distinct
+};
+
+/// \brief Knobs for one corpus query / batch.
+struct CorpusQueryOptions {
+  /// Global answer budget after the merge; 0 keeps every non-empty
+  /// answer of every document.
+  int top_k = 10;
+  /// Restrict the fan-out to these document names (empty = whole
+  /// corpus). Unknown names fail the call with NotFound.
+  std::vector<std::string> documents;
+};
+
+/// \brief Merged answers for one twig over the corpus.
+struct CorpusQueryResult {
+  /// Descending by probability; ties by (document name, matches).
+  std::vector<CorpusAnswer> answers;
+  int documents_evaluated = 0;
+  /// True if any contributing evaluation hit the max_embeddings cap.
+  bool truncated_embeddings = false;
+};
+
+/// \brief Batch answers, one slot per input twig (input order), plus the
+/// underlying executor's run statistics.
+struct CorpusBatchResponse {
+  std::vector<Result<CorpusQueryResult>> answers;
+  BatchRunReport report;
+};
+
+/// Collapses one document's PtqResult into per-match-set corpus answers
+/// tagged `name`, dropping empty match sets, sorted descending by
+/// (probability, then ascending matches). Exposed for testing.
+std::vector<CorpusAnswer> CollapseForCorpus(const std::string& name,
+                                            const PtqResult& result);
+
+/// K-way-merges per-document answer lists (each sorted the way
+/// CollapseForCorpus sorts) into the global top-k. `k <= 0` keeps all.
+/// Exposed for testing: the facade acceptance property is that this over
+/// per-document Query results equals QueryCorpus.
+std::vector<CorpusAnswer> MergeTopK(
+    const std::vector<std::vector<CorpusAnswer>>& per_document, int k);
+
+/// \brief Fans twigs across a corpus on a BatchQueryExecutor.
+///
+/// The executor is borrowed, not owned: the facade hands in the same
+/// cached BatchQueryExecutor its RunBatch path uses, so corpus and
+/// single-document traffic share one thread pool and one set of caches.
+class CorpusExecutor {
+ public:
+  explicit CorpusExecutor(const BatchQueryExecutor* executor)
+      : executor_(executor) {}
+
+  /// Evaluates every twig against every corpus document (or the
+  /// options.documents subset) and merges per twig. Per-twig failures
+  /// (e.g. parse errors) error only their own answer slot; the twig's
+  /// first failing (twig, document) status is reported. When `cache` is
+  /// non-null, each item is cached under its document's epoch.
+  Result<CorpusBatchResponse> Run(const CorpusSnapshot& corpus,
+                                  const std::vector<std::string>& twigs,
+                                  const CorpusQueryOptions& options,
+                                  const BatchCacheContext* cache) const;
+
+ private:
+  const BatchQueryExecutor* executor_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_CORPUS_CORPUS_EXECUTOR_H_

@@ -95,7 +95,8 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
         CachedEvalCounters counters;
         results[i] = EvaluateThroughCaches(
             *mappings_, options_.use_block_tree ? tree_ : nullptr, *item.doc,
-            *compiler_, result_cache, epoch, item.twig, opts, &counters);
+            *compiler_, result_cache, item.epoch != 0 ? item.epoch : epoch,
+            item.twig, opts, &counters);
         ws.compile_hits += counters.compile_hit ? 1 : 0;
         ws.result_hits += counters.result_hit ? 1 : 0;
         ws.result_misses += counters.result_miss ? 1 : 0;

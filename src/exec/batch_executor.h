@@ -38,6 +38,11 @@ struct BatchQueryItem {
   std::string twig;                        ///< target-schema twig text
   /// Per-item top-k override; 0 inherits the executor's PtqOptions.
   int top_k = 0;
+  /// Per-item result-cache epoch override; 0 inherits the run's
+  /// BatchCacheContext epoch. Corpus runs set it so every document's
+  /// answers are keyed under that document's own registration epoch
+  /// (facade epochs start at 1, so 0 is never a real epoch).
+  uint64_t epoch = 0;
 };
 
 /// \brief Executor configuration.

@@ -169,33 +169,49 @@ std::vector<int> TwigQuery::SubtreeNodes(int i) const {
 
 namespace {
 
-void RenderNode(const TwigQuery& q, int id, bool is_branch_head,
-                std::string* out) {
+/// Renders the subtree at `id`. `on_output_path[n]` marks the chain from
+/// the root to the output node: along it the last child continues the
+/// main spine, and the spine must STOP at the output node itself — its
+/// children all render as bracket predicates, because "A[./B]" and "A/B"
+/// build the same tree but answer with different nodes (reparsing the
+/// latter would silently move the output node to B). Off the output path
+/// the spine/predicate split carries no meaning, and the last child
+/// renders as a spine step for compactness.
+void RenderNode(const TwigQuery& q, int id,
+                const std::vector<char>& on_output_path, std::string* out) {
   const TwigNode& n = q.node(id);
-  if (n.parent >= 0 || !is_branch_head) {
-    // handled by caller
-  }
   *out += n.label;
-  if (n.value_eq.has_value() && n.children.empty()) {
-    *out += "=\"";
-    *out += *n.value_eq;
-    *out += '"';
-  }
-  // First child continues the "spine"; the rest become predicates. To keep
-  // rendering canonical we emit all children but the last as predicates.
   const auto& ch = n.children;
-  for (size_t i = 0; i + 1 < ch.size(); ++i) {
+  const bool continue_spine =
+      !ch.empty() &&
+      (!on_output_path[static_cast<size_t>(id)] ||
+       (id != q.output_node() &&
+        on_output_path[static_cast<size_t>(ch.back())]));
+  // The grammar puts a node's '="v"' after its bracket predicates and
+  // before the spine continuation, so render in exactly that order (a
+  // value predicate on an inner node used to be silently dropped here).
+  const size_t num_preds = continue_spine ? ch.size() - 1 : ch.size();
+  for (size_t i = 0; i < num_preds; ++i) {
     const TwigNode& c = q.node(ch[i]);
     *out += "[.";
     *out += (c.axis == Axis::kDescendant) ? "//" : "/";
-    RenderNode(q, ch[i], true, out);
+    RenderNode(q, ch[i], on_output_path, out);
     *out += ']';
   }
-  if (!ch.empty()) {
+  if (n.value_eq.has_value()) {
+    // The grammar has no escapes; fall back to single quotes when the
+    // value itself contains a double quote.
+    const char quote = n.value_eq->find('"') == std::string::npos ? '"' : '\'';
+    *out += '=';
+    *out += quote;
+    *out += *n.value_eq;
+    *out += quote;
+  }
+  if (continue_spine) {
     const int last = ch.back();
     const TwigNode& c = q.node(last);
     *out += (c.axis == Axis::kDescendant) ? "//" : "/";
-    RenderNode(q, last, false, out);
+    RenderNode(q, last, on_output_path, out);
   }
 }
 
@@ -203,9 +219,14 @@ void RenderNode(const TwigQuery& q, int id, bool is_branch_head,
 
 std::string TwigQuery::ToString() const {
   if (nodes_.empty()) return "";
+  std::vector<char> on_output_path(nodes_.size(), 0);
+  for (int n = output_node_; n >= 0;
+       n = nodes_[static_cast<size_t>(n)].parent) {
+    on_output_path[static_cast<size_t>(n)] = 1;
+  }
   std::string out;
   if (!absolute_root_) out += "//";
-  RenderNode(*this, 0, false, &out);
+  RenderNode(*this, 0, on_output_path, &out);
   return out;
 }
 

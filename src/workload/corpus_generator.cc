@@ -1,0 +1,55 @@
+#include "workload/corpus_generator.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/random.h"
+#include "workload/document_generator.h"
+
+namespace uxm {
+
+Result<CorpusScenario> MakeCorpusScenario(const std::string& dataset_id,
+                                          const CorpusGenOptions& options) {
+  if (options.num_documents <= 0) {
+    return Status::InvalidArgument("num_documents must be positive");
+  }
+  if (options.min_target_nodes <= 0 ||
+      options.max_target_nodes < options.min_target_nodes) {
+    return Status::InvalidArgument(
+        "need 0 < min_target_nodes <= max_target_nodes");
+  }
+  if (options.clone_probability < 0.0 || options.clone_probability > 1.0) {
+    return Status::InvalidArgument("clone_probability must be in [0, 1]");
+  }
+  CorpusScenario scenario;
+  UXM_ASSIGN_OR_RETURN(scenario.dataset, LoadDataset(dataset_id));
+
+  Rng rng(options.seed);
+  std::vector<DocGenOptions> gen_opts;  // remembered so clones can reuse
+  gen_opts.reserve(static_cast<size_t>(options.num_documents));
+  for (int i = 0; i < options.num_documents; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "doc-%02d", i);
+    scenario.names.emplace_back(name);
+
+    int clone_of = -1;
+    if (i > 0 && rng.Bernoulli(options.clone_probability)) {
+      clone_of = static_cast<int>(rng.Uniform(static_cast<uint64_t>(i)));
+    }
+    DocGenOptions doc_opts;
+    if (clone_of >= 0) {
+      doc_opts = gen_opts[static_cast<size_t>(clone_of)];
+    } else {
+      doc_opts.seed = rng.NextU64();
+      doc_opts.target_nodes = static_cast<int>(rng.UniformInt(
+          options.min_target_nodes, options.max_target_nodes));
+    }
+    gen_opts.push_back(doc_opts);
+    scenario.clone_of.push_back(clone_of);
+    scenario.documents.push_back(std::make_shared<const Document>(
+        GenerateDocument(*scenario.dataset.source, doc_opts)));
+  }
+  return scenario;
+}
+
+}  // namespace uxm

@@ -1,0 +1,58 @@
+// Corpus scenario generation: N named documents conforming to one
+// schema-zoo dataset's source schema, with controlled content overlap, so
+// corpus benchmarks (BM_CorpusPtq), the corpus unit tests, and the
+// quickstart demo all draw from one deterministic scenario source instead
+// of each rolling its own documents.
+#ifndef UXM_WORKLOAD_CORPUS_GENERATOR_H_
+#define UXM_WORKLOAD_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/datasets.h"
+#include "xml/document.h"
+
+namespace uxm {
+
+/// \brief Generation knobs for a whole corpus.
+struct CorpusGenOptions {
+  uint64_t seed = 2026;
+  int num_documents = 3;
+  /// Per-document size range: each document's target node count is drawn
+  /// uniformly from [min_target_nodes, max_target_nodes].
+  int min_target_nodes = 150;
+  int max_target_nodes = 400;
+  /// Controlled overlap: the probability that a document (beyond the
+  /// first) is generated as a content clone of a uniformly chosen earlier
+  /// document — same generator seed and size, distinct Document object.
+  /// Clones make distinct documents share answer sets, which exercises
+  /// cross-document ties in the top-k merge and repeated answer content
+  /// in the caches. 0 = all documents independent, 1 = all clones of the
+  /// first.
+  double clone_probability = 0.25;
+};
+
+/// \brief A ready-to-serve corpus scenario: the dataset (schemas +
+/// matching) plus N named generated documents, in registration order.
+/// Documents are owned via shared_ptr so a scenario can be copied around
+/// tests/benchmarks while registrations keep raw pointers into it.
+struct CorpusScenario {
+  Dataset dataset;
+  std::vector<std::string> names;  ///< "doc-00", "doc-01", ...
+  std::vector<std::shared_ptr<const Document>> documents;
+  /// clone_of[i] is the index this document was cloned from, or -1 if it
+  /// was generated independently (diagnostics / test assertions).
+  std::vector<int> clone_of;
+};
+
+/// Materializes a corpus over dataset `dataset_id` ("D1".."D10").
+/// Deterministic in (dataset_id, options).
+Result<CorpusScenario> MakeCorpusScenario(const std::string& dataset_id,
+                                          const CorpusGenOptions& options = {});
+
+}  // namespace uxm
+
+#endif  // UXM_WORKLOAD_CORPUS_GENERATOR_H_

@@ -1,5 +1,6 @@
 #include "workload/document_generator.h"
 
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -56,10 +57,18 @@ std::string LeafValue(const std::string& name, Rng* rng) {
   return "X" + std::to_string(1000 + rng->Index(9000));
 }
 
-/// One generation pass with a repetition scale factor.
+/// One generation pass with a repetition scale factor. `max_nodes > 0`
+/// truncates the pass once the document reaches that many nodes (the
+/// incompleteness is reported through `truncated`): with nested
+/// repeatable elements the output grows *exponentially* in the schema
+/// depth times the scale, so an uncapped pass during the target-size
+/// search below can jump from a handful of nodes to billions within one
+/// 1.5x scale step (found by the randomized differential tests).
 Document GenerateOnce(const Schema& schema, const DocGenOptions& options,
-                      double repeat_scale) {
+                      double repeat_scale, int max_nodes,
+                      bool* truncated = nullptr) {
   Rng rng(options.seed);
+  if (truncated != nullptr) *truncated = false;
   Document doc;
   const DocNodeId root = doc.AddRoot(schema.name(schema.root()));
 
@@ -69,6 +78,10 @@ Document GenerateOnce(const Schema& schema, const DocGenOptions& options,
   };
   std::vector<Frame> stack{{schema.root(), root}};
   while (!stack.empty()) {
+    if (max_nodes > 0 && doc.size() >= max_nodes) {
+      if (truncated != nullptr) *truncated = true;
+      break;
+    }
     const Frame f = stack.back();
     stack.pop_back();
     const SchemaNode& elem = schema.node(f.element);
@@ -100,10 +113,24 @@ Document GenerateOnce(const Schema& schema, const DocGenOptions& options,
 
 Document GenerateDocument(const Schema& schema, const DocGenOptions& options) {
   if (options.target_nodes <= 0) {
-    return GenerateOnce(schema, options, 1.0);
+    return GenerateOnce(schema, options, 1.0, /*max_nodes=*/0);
   }
   // Search the repetition scale whose size lands closest to the target.
-  Document best = GenerateOnce(schema, options, 1.0);
+  // Candidates are capped well above the target: a pass that large has
+  // already lost and must not be allowed to keep allocating. Truncated
+  // candidates never become the result — the returned document is always
+  // structurally complete, merely off-target. When even the base pass
+  // truncates, fall back to scale 0: every repetition clamps to one
+  // instance, so the pass is complete and bounded by the schema size
+  // (never by the exponential repeat growth the cap guards against).
+  const int cap = options.target_nodes > INT_MAX / 8 - 64
+                      ? INT_MAX
+                      : options.target_nodes * 8 + 64;
+  bool truncated = false;
+  Document best = GenerateOnce(schema, options, 1.0, cap, &truncated);
+  if (truncated) {
+    best = GenerateOnce(schema, options, 0.0, /*max_nodes=*/0);
+  }
   int best_err = std::abs(best.size() - options.target_nodes);
   double scale = 1.0;
   for (int iter = 0; iter < 24 && best_err > options.target_nodes / 100;
@@ -111,9 +138,9 @@ Document GenerateDocument(const Schema& schema, const DocGenOptions& options) {
     const double grow =
         best.size() < options.target_nodes ? 1.5 : 1.0 / 1.5;
     scale *= grow;
-    Document cand = GenerateOnce(schema, options, scale);
+    Document cand = GenerateOnce(schema, options, scale, cap, &truncated);
     const int err = std::abs(cand.size() - options.target_nodes);
-    if (err < best_err) {
+    if (!truncated && err < best_err) {
       best = std::move(cand);
       best_err = err;
     }

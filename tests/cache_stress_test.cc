@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/system.h"
+#include "corpus/corpus_executor.h"
 #include "workload/datasets.h"
 #include "workload/document_generator.h"
 
@@ -203,6 +204,114 @@ TEST_F(CacheStressTest, RunBatchRacesPrepare) {
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(SameAnswers(*r, expected_[0][q]));
   }
+}
+
+/// Exact equality of merged corpus answer lists (order, provenance,
+/// probability, matches). A torn, stale, or mis-merged result differs
+/// somewhere.
+bool SameCorpusAnswers(const std::vector<CorpusAnswer>& got,
+                       const std::vector<CorpusAnswer>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].document != want[i].document) return false;
+    if (got[i].probability != want[i].probability) return false;
+    if (got[i].matches != want[i].matches) return false;
+  }
+  return true;
+}
+
+// Corpus-epoch invalidation under concurrency: RemoveDocument racing
+// RunCorpusBatch must never serve answers from the removed document — a
+// corpus query snapshotting after Remove returns sees exactly the
+// remaining documents, a racing one sees exactly one of the two corpus
+// states (never a mix, never stale content), and re-adding the document
+// (fresh epoch) serves exactly its oracle answers again.
+TEST_F(CacheStressTest, RemoveDocumentNeverServesRemovedAnswers) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(
+      sys.Prepare(dataset_->source.get(), dataset_->target.get()).ok());
+  ASSERT_TRUE(sys.AddDocument("a", doc1_.get()).ok());
+  ASSERT_TRUE(sys.AddDocument("b", doc2_.get()).ok());
+
+  // Oracle corpus answers for the two reachable corpus states, derived
+  // from the uncached per-document oracle results of the fixture.
+  std::vector<std::vector<CorpusAnswer>> full;    // corpus {a, b}
+  std::vector<std::vector<CorpusAnswer>> only_a;  // corpus {a}
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    const auto a = CollapseForCorpus("a", expected_[0][q]);
+    const auto b = CollapseForCorpus("b", expected_[1][q]);
+    full.push_back(MergeTopK({a, b}, 0));
+    only_a.push_back(MergeTopK({a}, 0));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  CorpusQueryOptions all;
+  all.top_k = 0;
+  // One thread width everywhere: the facade caches a single executor
+  // keyed on it, and mixed widths would make every interleaved call
+  // rebuild the pool instead of exercising the snapshot races.
+  const BatchRunOptions two_threads{2, true};
+
+  // The mutator is the only thread changing corpus membership, so the
+  // query it issues right after Remove/Add returns must answer exactly
+  // for the corpus state it just installed — any answer from the removed
+  // document would be a stale serve.
+  std::thread mutator([&]() {
+    auto query_one = [&](const std::string& twig) {
+      return sys.RunCorpusBatch({twig}, all, two_threads);
+    };
+    for (int flip = 0; flip < 12; ++flip) {
+      if (!sys.RemoveDocument("b").ok()) {
+        ++failures;
+        continue;
+      }
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        auto r = query_one(queries_[q]);
+        if (!r.ok() || !r->answers[0].ok() ||
+            !SameCorpusAnswers(r->answers[0]->answers, only_a[q])) {
+          ++failures;
+        }
+      }
+      if (!sys.AddDocument("b", doc2_.get()).ok()) {
+        ++failures;
+        continue;
+      }
+      for (size_t q = 0; q < queries_.size(); ++q) {
+        auto r = query_one(queries_[q]);
+        if (!r.ok() || !r->answers[0].ok() ||
+            !SameCorpusAnswers(r->answers[0]->answers, full[q])) {
+          ++failures;
+        }
+      }
+    }
+    done.store(true);
+  });
+
+  // Hammer threads race the mutator: whichever snapshot a batch catches,
+  // every answer list must be exactly one corpus state's oracle merge.
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 3; ++t) {
+    hammers.emplace_back([&]() {
+      while (!done.load()) {
+        auto response = sys.RunCorpusBatch(queries_, all, two_threads);
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        for (size_t q = 0; q < queries_.size(); ++q) {
+          const auto& r = response->answers[q];
+          if (!r.ok() || (!SameCorpusAnswers(r->answers, full[q]) &&
+                          !SameCorpusAnswers(r->answers, only_a[q]))) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  mutator.join();
+  for (auto& h : hammers) h.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST_F(CacheStressTest, ManyThreadsShareOneCacheCoherently) {

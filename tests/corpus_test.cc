@@ -1,0 +1,422 @@
+// Corpus subsystem tests: DocumentStore registration semantics, the
+// cross-document top-k merge, and the facade corpus API — including the
+// acceptance property that QueryCorpus over N generated documents equals
+// the brute-force merge of per-document Query results.
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "corpus/corpus_executor.h"
+#include "corpus/document_store.h"
+#include "test_util.h"
+#include "workload/corpus_generator.h"
+#include "workload/datasets.h"
+
+namespace uxm {
+namespace {
+
+using testutil::MakePaperExample;
+using testutil::PaperExample;
+
+// ---------------------------------------------------------------- store
+
+class DocumentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    example_ = MakePaperExample();
+    auto bound =
+        AnnotatedDocument::Bind(example_.doc.get(), example_.source.get());
+    ASSERT_TRUE(bound.ok());
+    annotated_ = std::make_shared<const AnnotatedDocument>(
+        std::move(bound).ValueOrDie());
+  }
+
+  CorpusDocument Entry(const std::string& name, uint64_t epoch = 1) const {
+    return CorpusDocument{name, example_.doc.get(), annotated_, epoch};
+  }
+
+  PaperExample example_;
+  std::shared_ptr<const AnnotatedDocument> annotated_;
+};
+
+TEST_F(DocumentStoreTest, AddRemoveAndNames) {
+  DocumentStore store;
+  EXPECT_EQ(store.size(), 0u);
+  ASSERT_TRUE(store.Add(Entry("b")).ok());
+  ASSERT_TRUE(store.Add(Entry("a")).ok());
+  EXPECT_EQ(store.size(), 2u);
+  // Names (and snapshots) are sorted regardless of insertion order.
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(store.Remove("b").ok());
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(store.Remove("b").IsNotFound());
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(DocumentStoreTest, RejectsDuplicatesAndBadEntries) {
+  DocumentStore store;
+  ASSERT_TRUE(store.Add(Entry("a")).ok());
+  EXPECT_EQ(store.Add(Entry("a")).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(store.Add(Entry("")).IsInvalidArgument());
+  CorpusDocument no_annotation = Entry("c");
+  no_annotation.annotated = nullptr;
+  EXPECT_TRUE(store.Add(std::move(no_annotation)).IsInvalidArgument());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(DocumentStoreTest, SnapshotsAreImmutableViews) {
+  DocumentStore store;
+  ASSERT_TRUE(store.Add(Entry("a")).ok());
+  auto before = store.Snapshot();
+  ASSERT_TRUE(store.Add(Entry("b")).ok());
+  ASSERT_TRUE(store.Remove("a").ok());
+  // The earlier snapshot still sees exactly the corpus of its instant.
+  ASSERT_EQ(before->size(), 1u);
+  EXPECT_EQ((*before)[0].name, "a");
+  auto after = store.Snapshot();
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_EQ((*after)[0].name, "b");
+}
+
+TEST_F(DocumentStoreTest, RebindDropsForeignSchemasAndRestamps) {
+  DocumentStore store;
+  ASSERT_TRUE(store.Add(Entry("a", 5)).ok());
+  ASSERT_TRUE(store.Add(Entry("b", 5)).ok());
+  // Same schema: everything survives with the new epoch.
+  EXPECT_EQ(store.Rebind(example_.source.get(), 9), 0);
+  for (const CorpusDocument& e : *store.Snapshot()) {
+    EXPECT_EQ(e.epoch, 9u);
+  }
+  // Different schema: everything is dropped.
+  EXPECT_EQ(store.Rebind(example_.target.get(), 10), 2);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------- merge
+
+PtqResult MakeResult(
+    const std::vector<std::pair<double, std::vector<DocNodeId>>>& answers) {
+  PtqResult r;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    r.answers.push_back(MappingAnswer{static_cast<MappingId>(i),
+                                      answers[i].first, answers[i].second});
+  }
+  return r;
+}
+
+TEST(CollapseForCorpusTest, AggregatesDropsEmptyAndSorts) {
+  const PtqResult r = MakeResult(
+      {{0.3, {1, 2}}, {0.2, {}}, {0.25, {7}}, {0.15, {1, 2}}, {0.1, {}}});
+  const std::vector<CorpusAnswer> collapsed = CollapseForCorpus("d", r);
+  ASSERT_EQ(collapsed.size(), 2u);
+  EXPECT_EQ(collapsed[0].document, "d");
+  EXPECT_NEAR(collapsed[0].probability, 0.45, 1e-12);  // 0.3 + 0.15
+  EXPECT_EQ(collapsed[0].matches, (std::vector<DocNodeId>{1, 2}));
+  EXPECT_NEAR(collapsed[1].probability, 0.25, 1e-12);
+  EXPECT_EQ(collapsed[1].matches, (std::vector<DocNodeId>{7}));
+}
+
+TEST(MergeTopKTest, MergesAcrossDocumentsWithDeterministicTies) {
+  const std::vector<CorpusAnswer> doc_a = {
+      {"a", 0.5, {1}}, {"a", 0.2, {2}}, {"a", 0.2, {3}}};
+  const std::vector<CorpusAnswer> doc_b = {{"b", 0.5, {9}}, {"b", 0.3, {8}}};
+  const auto merged = MergeTopK({doc_a, doc_b}, 0);
+  ASSERT_EQ(merged.size(), 5u);
+  // 0.5 tie: document "a" before "b"; 0.2 tie: matches {2} before {3}.
+  EXPECT_EQ(merged[0].document, "a");
+  EXPECT_EQ(merged[1].document, "b");
+  EXPECT_EQ(merged[2].document, "b");  // 0.3
+  EXPECT_EQ(merged[3].matches, (std::vector<DocNodeId>{2}));
+  EXPECT_EQ(merged[4].matches, (std::vector<DocNodeId>{3}));
+  // k truncates.
+  EXPECT_EQ(MergeTopK({doc_a, doc_b}, 2).size(), 2u);
+  EXPECT_EQ(MergeTopK({doc_a, doc_b}, 100).size(), 5u);
+  EXPECT_TRUE(MergeTopK({}, 3).empty());
+}
+
+// ---------------------------------------------------------------- facade
+
+class CorpusSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CorpusGenOptions gen;
+    gen.num_documents = 4;
+    gen.min_target_nodes = 150;
+    gen.max_target_nodes = 300;
+    gen.clone_probability = 0.5;  // force cross-document answer overlap
+    auto scenario = MakeCorpusScenario("D7", gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ =
+        std::make_unique<CorpusScenario>(std::move(scenario).ValueOrDie());
+  }
+
+  static SystemOptions Options() {
+    SystemOptions opts;
+    opts.top_h.h = 25;
+    return opts;
+  }
+
+  /// Registers every scenario document on `sys`.
+  void AddAll(UncertainMatchingSystem* sys) const {
+    for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+      ASSERT_TRUE(
+          sys->AddDocument(scenario_->names[i], scenario_->documents[i].get())
+              .ok());
+    }
+  }
+
+  /// Brute-force expectation: per-document single-shot Query on a fresh
+  /// uncached system, collapsed and merged exactly like the corpus path
+  /// claims to. The per-twig per-document collapses are memoized — the
+  /// oracle system is prepared once and the answers are deterministic.
+  std::vector<CorpusAnswer> BruteMerge(const std::string& twig, int k) {
+    auto it = brute_collapsed_.find(twig);
+    if (it == brute_collapsed_.end()) {
+      if (oracle_ == nullptr) {
+        SystemOptions opts = Options();
+        opts.cache.enable_result_cache = false;
+        oracle_ = std::make_unique<UncertainMatchingSystem>(opts);
+        EXPECT_TRUE(oracle_
+                        ->Prepare(scenario_->dataset.source.get(),
+                                  scenario_->dataset.target.get())
+                        .ok());
+      }
+      std::vector<std::vector<CorpusAnswer>> per_document;
+      for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+        EXPECT_TRUE(
+            oracle_->AttachDocument(scenario_->documents[i].get()).ok());
+        auto r = oracle_->Query(twig);
+        EXPECT_TRUE(r.ok()) << r.status();
+        per_document.push_back(CollapseForCorpus(scenario_->names[i], *r));
+      }
+      it = brute_collapsed_.emplace(twig, std::move(per_document)).first;
+    }
+    return MergeTopK(it->second, k);
+  }
+
+  static void ExpectSameAnswers(const std::vector<CorpusAnswer>& got,
+                                const std::vector<CorpusAnswer>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].document, want[i].document) << "answer " << i;
+      EXPECT_DOUBLE_EQ(got[i].probability, want[i].probability)
+          << "answer " << i;
+      EXPECT_EQ(got[i].matches, want[i].matches) << "answer " << i;
+    }
+  }
+
+  std::unique_ptr<CorpusScenario> scenario_;
+  std::unique_ptr<UncertainMatchingSystem> oracle_;
+  std::map<std::string, std::vector<std::vector<CorpusAnswer>>>
+      brute_collapsed_;
+};
+
+TEST_F(CorpusSystemTest, RequiresPrepare) {
+  UncertainMatchingSystem sys(Options());
+  EXPECT_FALSE(
+      sys.AddDocument("a", scenario_->documents[0].get()).ok());
+  EXPECT_FALSE(sys.QueryCorpus("Order").ok());
+}
+
+TEST_F(CorpusSystemTest, EmptyCorpusAnswersNothing) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  auto r = sys.QueryCorpus(TableIIIQueries()[0]);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->answers.empty());
+  EXPECT_EQ(r->documents_evaluated, 0);
+}
+
+// The acceptance property: the corpus top-k over N generated documents
+// equals the brute-force merge of per-document single-shot Query results,
+// for every Table III query, with and without the k cut.
+TEST_F(CorpusSystemTest, QueryCorpusEqualsBruteForceMergeOfSingleQueries) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  AddAll(&sys);
+  ASSERT_EQ(sys.corpus_size(), scenario_->documents.size());
+  for (const std::string& twig : TableIIIQueries()) {
+    for (const int k : {0, 1, 3}) {
+      CorpusQueryOptions opts;
+      opts.top_k = k;
+      auto got = sys.QueryCorpus(twig, opts);
+      ASSERT_TRUE(got.ok()) << twig << ": " << got.status();
+      EXPECT_EQ(got->documents_evaluated,
+                static_cast<int>(scenario_->documents.size()));
+      ExpectSameAnswers(got->answers, BruteMerge(twig, k));
+    }
+  }
+}
+
+TEST_F(CorpusSystemTest, SingleDocumentCorpusMatchesSingleShotQuery) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  ASSERT_TRUE(
+      sys.AddDocument("only", scenario_->documents[0].get()).ok());
+  ASSERT_TRUE(sys.AttachDocument(scenario_->documents[0].get()).ok());
+  for (const std::string& twig : TableIIIQueries()) {
+    auto single = sys.Query(twig);
+    ASSERT_TRUE(single.ok()) << single.status();
+    CorpusQueryOptions opts;
+    opts.top_k = 0;
+    auto corpus = sys.QueryCorpus(twig, opts);
+    ASSERT_TRUE(corpus.ok()) << corpus.status();
+    ExpectSameAnswers(corpus->answers, CollapseForCorpus("only", *single));
+  }
+}
+
+TEST_F(CorpusSystemTest, DocumentFilterRestrictsAndValidates) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  AddAll(&sys);
+  const std::string twig = TableIIIQueries()[0];
+  CorpusQueryOptions subset;
+  subset.top_k = 0;
+  subset.documents = {scenario_->names[2], scenario_->names[0],
+                      scenario_->names[2]};  // unordered, duplicated
+  auto got = sys.QueryCorpus(twig, subset);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->documents_evaluated, 2);
+  for (const CorpusAnswer& a : got->answers) {
+    EXPECT_TRUE(a.document == scenario_->names[0] ||
+                a.document == scenario_->names[2]);
+  }
+  CorpusQueryOptions unknown;
+  unknown.documents = {"no-such-doc"};
+  EXPECT_TRUE(sys.QueryCorpus(twig, unknown).status().IsNotFound());
+}
+
+TEST_F(CorpusSystemTest, RemoveDocumentExcludesItFromLaterQueries) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  AddAll(&sys);
+  const std::string twig = TableIIIQueries()[0];
+  CorpusQueryOptions opts;
+  opts.top_k = 0;
+  ASSERT_TRUE(sys.QueryCorpus(twig, opts).ok());  // warm the cache
+  ASSERT_TRUE(sys.RemoveDocument(scenario_->names[1]).ok());
+  EXPECT_TRUE(sys.RemoveDocument(scenario_->names[1]).IsNotFound());
+  auto after = sys.QueryCorpus(twig, opts);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->documents_evaluated,
+            static_cast<int>(scenario_->documents.size()) - 1);
+  for (const CorpusAnswer& a : after->answers) {
+    EXPECT_NE(a.document, scenario_->names[1]);
+  }
+  // Re-adding under the same name serves again — with correct answers.
+  ASSERT_TRUE(
+      sys.AddDocument(scenario_->names[1], scenario_->documents[1].get())
+          .ok());
+  auto readded = sys.QueryCorpus(twig, opts);
+  ASSERT_TRUE(readded.ok());
+  ExpectSameAnswers(readded->answers, BruteMerge(twig, 0));
+}
+
+TEST_F(CorpusSystemTest, RepeatedCorpusQueriesHitTheResultCache) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  AddAll(&sys);
+  const std::vector<std::string> twigs = {TableIIIQueries()[0],
+                                          TableIIIQueries()[4]};
+  auto cold = sys.RunCorpusBatch(twigs);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->report.result_cache_hits, 0);
+  auto warm = sys.RunCorpusBatch(twigs);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->report.result_cache_hits,
+            static_cast<int>(twigs.size() * scenario_->documents.size()));
+  for (size_t q = 0; q < twigs.size(); ++q) {
+    ASSERT_TRUE(cold->answers[q].ok());
+    ASSERT_TRUE(warm->answers[q].ok());
+    ExpectSameAnswers(warm->answers[q]->answers, cold->answers[q]->answers);
+  }
+}
+
+TEST_F(CorpusSystemTest, CorpusMembershipChangesKeepSingleDocCacheWarm) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  ASSERT_TRUE(sys.AttachDocument(scenario_->documents[0].get()).ok());
+  const std::string twig = TableIIIQueries()[0];
+  ASSERT_TRUE(sys.Query(twig).ok());  // warm the attached-document entry
+  ASSERT_TRUE(sys.Query(twig).ok());
+  const uint64_t hits_before = sys.result_cache_stats().hits;
+  EXPECT_GT(hits_before, 0u);
+  // Growing or shrinking the corpus must not perturb the attached
+  // document's cache keys: the same query stays a hit.
+  ASSERT_TRUE(
+      sys.AddDocument("x", scenario_->documents[1].get()).ok());
+  ASSERT_TRUE(sys.Query(twig).ok());
+  EXPECT_EQ(sys.result_cache_stats().hits, hits_before + 1);
+  ASSERT_TRUE(sys.RemoveDocument("x").ok());
+  ASSERT_TRUE(sys.Query(twig).ok());
+  EXPECT_EQ(sys.result_cache_stats().hits, hits_before + 2);
+}
+
+TEST_F(CorpusSystemTest, PerTwigFailuresErrorOnlyTheirSlot) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  AddAll(&sys);
+  auto response = sys.RunCorpusBatch(
+      {TableIIIQueries()[0], "[[[not a twig", TableIIIQueries()[1]});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->answers.size(), 3u);
+  EXPECT_TRUE(response->answers[0].ok());
+  EXPECT_TRUE(response->answers[1].status().IsParseError());
+  EXPECT_TRUE(response->answers[2].ok());
+}
+
+TEST_F(CorpusSystemTest, RePrepareDropsForeignCorpusAndKeepsCompatible) {
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  AddAll(&sys);
+  const std::string twig = TableIIIQueries()[0];
+  CorpusQueryOptions opts;
+  opts.top_k = 0;
+  ASSERT_TRUE(sys.QueryCorpus(twig, opts).ok());  // warm caches
+
+  // Re-preparing from the same schemas keeps the corpus (same source
+  // schema) and must keep answering exactly — the fresh epoch stamps make
+  // every pre-swap cache entry unreachable rather than stale.
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  EXPECT_EQ(sys.corpus_size(), scenario_->documents.size());
+  auto again = sys.QueryCorpus(twig, opts);
+  ASSERT_TRUE(again.ok());
+  ExpectSameAnswers(again->answers, BruteMerge(twig, 0));
+
+  // Preparing against a different source schema orphans every
+  // registration.
+  auto other = LoadDataset("D1");
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(
+      sys.Prepare(other->source.get(), other->target.get()).ok());
+  EXPECT_EQ(sys.corpus_size(), 0u);
+}
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,211 @@
+// Fuzz-style twig parser tests: (1) randomly generated valid twigs must
+// survive print -> reparse unchanged (structure and canonical text), and
+// (2) random byte garbage and randomly mutated twigs must always come
+// back as a Status — never a crash, hang, or non-ParseError failure.
+// Runs under ASan/UBSan in CI like the rest of the suite, so "never
+// crashes" includes "never reads out of bounds".
+//
+// These tests found (and now pin) two ToString bugs: a value predicate on
+// a node with children was silently dropped, and a value containing '"'
+// was re-quoted unparseably.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/twig_query.h"
+#include "workload/datasets.h"
+
+namespace uxm {
+namespace {
+
+// ------------------------------------------------- valid twig generator
+
+const char* const kLabels[] = {"Order", "IP",  "ICN",   "DeliverTo",
+                               "a",     "B1",  "c_d",   "e-f",
+                               "ns:el", "X9z", "Street"};
+
+/// Emits a random value literal and its quoted form. Values may contain
+/// one quote character but never both (the grammar has no escapes, so a
+/// both-quotes value is unrepresentable).
+std::string RandomQuotedValue(Rng* rng) {
+  static const char* const kValues[] = {"",       "Bob",     "X42",
+                                        "a b c",  "100.50",  "it's",
+                                        "say \"hi\""};
+  const std::string value(kValues[rng->Index(std::size(kValues))]);
+  const char quote = value.find('"') == std::string::npos ? '"' : '\'';
+  return std::string(1, '=') + quote + value + quote;
+}
+
+/// Appends a random spine — step (predicates)* (="v")? (axis step ...)* —
+/// to `out`. `depth` bounds predicate nesting.
+void AppendSpine(Rng* rng, int depth, std::string* out) {
+  const int steps = 1 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < steps; ++i) {
+    if (i > 0) *out += rng->Bernoulli(0.5) ? "//" : "/";
+    *out += kLabels[rng->Index(std::size(kLabels))];
+    if (depth < 2) {
+      while (rng->Bernoulli(0.3)) {
+        *out += rng->Bernoulli(0.5) ? "[./" : "[.//";
+        AppendSpine(rng, depth + 1, out);
+        *out += ']';
+      }
+    }
+    // The '="v"' slot sits between the predicates and the spine
+    // continuation — including on inner nodes (the case ToString used to
+    // drop).
+    if (rng->Bernoulli(0.25)) *out += RandomQuotedValue(rng);
+  }
+}
+
+std::string RandomTwigText(Rng* rng) {
+  std::string out;
+  if (rng->Bernoulli(0.5)) out += "//";
+  AppendSpine(rng, 0, &out);
+  return out;
+}
+
+/// Full structural equality, including the derived output node.
+void ExpectSameQuery(const TwigQuery& a, const TwigQuery& b,
+                     const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  EXPECT_EQ(a.absolute_root(), b.absolute_root()) << context;
+  EXPECT_EQ(a.output_node(), b.output_node()) << context;
+  for (int i = 0; i < a.size(); ++i) {
+    const TwigNode& x = a.node(i);
+    const TwigNode& y = b.node(i);
+    EXPECT_EQ(x.label, y.label) << context << " node " << i;
+    EXPECT_EQ(x.axis, y.axis) << context << " node " << i;
+    EXPECT_EQ(x.value_eq, y.value_eq) << context << " node " << i;
+    EXPECT_EQ(x.parent, y.parent) << context << " node " << i;
+    EXPECT_EQ(x.children, y.children) << context << " node " << i;
+  }
+}
+
+TEST(TwigRoundTripTest, RandomValidTwigsSurvivePrintReparse) {
+  Rng rng(42);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const std::string text = RandomTwigText(&rng);
+    auto parsed = TwigQuery::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << "generated twig rejected: " << text << ": "
+                             << parsed.status();
+    const std::string canonical = parsed->ToString();
+    auto reparsed = TwigQuery::Parse(canonical);
+    ASSERT_TRUE(reparsed.ok())
+        << "canonical form rejected: " << canonical << " (from " << text
+        << "): " << reparsed.status();
+    ExpectSameQuery(*parsed, *reparsed, text + " -> " + canonical);
+    // Canonicalization is a fixed point: printing the reparse changes
+    // nothing.
+    EXPECT_EQ(reparsed->ToString(), canonical) << "from " << text;
+  }
+}
+
+TEST(TwigRoundTripTest, TableIIIQueriesSurvivePrintReparse) {
+  for (const std::string& text : TableIIIQueries()) {
+    auto parsed = TwigQuery::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    auto reparsed = TwigQuery::Parse(parsed->ToString());
+    ASSERT_TRUE(reparsed.ok()) << parsed->ToString();
+    ExpectSameQuery(*parsed, *reparsed, text);
+  }
+}
+
+// Regression pins for the ToString bugs the random round-trip found.
+TEST(TwigRoundTripTest, ValuePredicateOnInnerNodeIsPreserved) {
+  auto parsed = TwigQuery::Parse("A=\"v\"/B");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "A=\"v\"/B");
+  ASSERT_TRUE(parsed->node(0).value_eq.has_value());
+  auto reparsed = TwigQuery::Parse(parsed->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_TRUE(reparsed->node(0).value_eq.has_value());
+  EXPECT_EQ(*reparsed->node(0).value_eq, "v");
+}
+
+TEST(TwigRoundTripTest, DoubleQuoteValuesReQuoteWithSingleQuotes) {
+  auto parsed = TwigQuery::Parse("//A='say \"hi\"'");
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = TwigQuery::Parse(parsed->ToString());
+  ASSERT_TRUE(reparsed.ok()) << parsed->ToString();
+  ASSERT_TRUE(reparsed->node(0).value_eq.has_value());
+  EXPECT_EQ(*reparsed->node(0).value_eq, "say \"hi\"");
+}
+
+// ------------------------------------------------------------- garbage
+
+TEST(TwigFuzzTest, LabelFreeGarbageAlwaysReturnsParseError) {
+  // No byte of this alphabet can start a label, and every valid twig
+  // contains at least one label — so whatever sequence the fuzzer
+  // assembles, the parser must reject it (and must not crash or hang
+  // doing so).
+  const std::string alphabet = "[]/=.\"'\\ \t\n)(*&^%$#@!~`?,;|{}";
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t len = rng.Uniform(48);
+    std::string garbage;
+    for (size_t i = 0; i < len; ++i) {
+      garbage += alphabet[rng.Index(alphabet.size())];
+    }
+    auto parsed = TwigQuery::Parse(garbage);
+    EXPECT_FALSE(parsed.ok()) << "accepted garbage: " << garbage;
+    EXPECT_TRUE(parsed.status().IsParseError())
+        << garbage << ": " << parsed.status();
+  }
+}
+
+TEST(TwigFuzzTest, ArbitraryBytesNeverCrashAndAcceptedInputsRoundTrip) {
+  Rng rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t len = rng.Uniform(64);
+    std::string bytes;
+    for (size_t i = 0; i < len; ++i) {
+      bytes += static_cast<char>(rng.Uniform(256));
+    }
+    auto parsed = TwigQuery::Parse(bytes);  // must return, never crash
+    if (parsed.ok()) {
+      // Anything the parser accepts must be printable and reparseable.
+      auto reparsed = TwigQuery::Parse(parsed->ToString());
+      EXPECT_TRUE(reparsed.ok()) << parsed->ToString();
+    } else {
+      EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+    }
+  }
+}
+
+TEST(TwigFuzzTest, MutatedValidTwigsNeverCrash) {
+  Rng rng(23);
+  std::vector<std::string> seeds = TableIIIQueries();
+  for (int extra = 0; extra < 50; ++extra) {
+    seeds.push_back(RandomTwigText(&rng));
+  }
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string text = seeds[rng.Index(seeds.size())];
+    const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const size_t pos = rng.Index(text.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // replace a byte
+          text[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // delete a byte
+          text.erase(pos, 1);
+          break;
+        default:  // insert a byte
+          text.insert(pos, 1, static_cast<char>(rng.Uniform(256)));
+          break;
+      }
+    }
+    auto parsed = TwigQuery::Parse(text);  // must return, never crash
+    if (parsed.ok()) {
+      auto reparsed = TwigQuery::Parse(parsed->ToString());
+      EXPECT_TRUE(reparsed.ok()) << parsed->ToString();
+    } else {
+      EXPECT_TRUE(parsed.status().IsParseError()) << parsed.status();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uxm

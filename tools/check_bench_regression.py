@@ -16,7 +16,7 @@ Usage:
                          (default 5.0)
 
 Updating the baseline (after an intentional perf change, Release build):
-  ./build/micro_bench --benchmark_filter='BM_BatchPtq|BM_CachedPtq' \
+  ./build/micro_bench --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq' \
       --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
 """
 
@@ -26,7 +26,7 @@ import re
 import sys
 
 # Only these families gate CI; everything else in the JSON is informational.
-GATED = re.compile(r"^BM_(BatchPtq|CachedPtq)\b")
+GATED = re.compile(r"^BM_(BatchPtq|CachedPtq|CorpusPtq)\b")
 
 
 def load(path):
@@ -54,8 +54,8 @@ def main():
 
     gated = sorted(n for n in current if GATED.match(n))
     if not gated:
-        failures.append("no BM_BatchPtq/BM_CachedPtq results in %s"
-                        % args.current)
+        failures.append("no BM_BatchPtq/BM_CachedPtq/BM_CorpusPtq results "
+                        "in %s" % args.current)
 
     for name in gated:
         base = baseline.get(name)
