@@ -39,6 +39,19 @@ BlockTreeBuildResult BuildTree(const Env& env, double tau, int max_blocks,
   return std::move(result).ValueOrDie();
 }
 
+std::shared_ptr<const PreparedSchemaPair> MakePair(const Env& env,
+                                                   double tau) {
+  // The pair owns copies of the matching and mapping set; the tree is
+  // built over the copy so every id stays consistent inside the pair.
+  PossibleMappingSet mappings = env.mappings;
+  BlockTreeBuilder builder(BlockTreeOptions{tau, kDefaultMaxB, kDefaultMaxF});
+  auto built = builder.Build(mappings);
+  UXM_CHECK_MSG(built.ok(), built.status().ToString());
+  return MakePreparedSchemaPairFromProducts(env.dataset.matching,
+                                            std::move(mappings),
+                                            std::move(built).ValueOrDie());
+}
+
 double AvgSeconds(const std::function<void()>& fn, int min_reps,
                   double min_total_s) {
   // Warm-up run (excluded).

@@ -40,6 +40,12 @@ BlockTreeBuildResult BuildTree(const Env& env, double tau,
                                int max_blocks = kDefaultMaxB,
                                int max_failures = kDefaultMaxF);
 
+/// Assembles a PreparedSchemaPair over the environment's mapping set
+/// (block tree built with `tau`), for driving the plan/driver/executor
+/// layers directly. The env must outlive the returned pair.
+std::shared_ptr<const PreparedSchemaPair> MakePair(const Env& env,
+                                                   double tau = kDefaultTau);
+
 /// Average wall-clock seconds of `fn` over enough repetitions to
 /// accumulate at least `min_total_s` (and at least `min_reps` runs).
 double AvgSeconds(const std::function<void()>& fn, int min_reps = 5,

@@ -14,6 +14,8 @@
 #include "core/system.h"
 #include "exec/batch_executor.h"
 #include "exec/thread_pool.h"
+#include "plan/driver.h"
+#include "query/ptq.h"
 #include "query/structural_join.h"
 #include "workload/corpus_generator.h"
 
@@ -119,19 +121,22 @@ BENCHMARK(BM_PtqBlockTree)->Arg(0)->Arg(4)->Arg(9);
 // executor_test.cc for the equality check).
 void BM_BatchPtq(benchmark::State& state) {
   static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
-  static auto built = bench::BuildTree(env, 0.2);
+  static auto pair = bench::MakePair(env, 0.2);
   BatchExecutorOptions opts;
   opts.num_threads = static_cast<int>(state.range(0));
-  BatchQueryExecutor exec(&env.mappings, &built.tree, opts);
+  BatchQueryExecutor exec(opts);
   std::vector<BatchQueryItem> batch;
   constexpr int kCopies = 4;
   for (int c = 0; c < kCopies; ++c) {
     for (const std::string& q : TableIIIQueries()) {
-      batch.push_back(BatchQueryItem{env.annotated.get(), q, 0});
+      BatchQueryItem item;
+      item.doc = env.annotated.get();
+      item.twig = q;
+      batch.push_back(std::move(item));
     }
   }
   for (auto _ : state) {
-    auto results = exec.Run(batch);
+    auto results = exec.Run(batch, pair);
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -148,26 +153,29 @@ BENCHMARK(BM_BatchPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 // tools/check_bench_regression.py).
 void BM_CachedPtq(benchmark::State& state) {
   static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
-  static auto built = bench::BuildTree(env, 0.2);
+  static auto pair = bench::MakePair(env, 0.2);
   BatchExecutorOptions opts;
   opts.num_threads = static_cast<int>(state.range(0));
-  BatchQueryExecutor exec(&env.mappings, &built.tree, opts);
+  BatchQueryExecutor exec(opts);
   ResultCache cache;
   BatchCacheContext ctx{&cache, /*epoch=*/1};
   std::vector<BatchQueryItem> batch;
   constexpr int kCopies = 4;
   for (int c = 0; c < kCopies; ++c) {
     for (const std::string& q : TableIIIQueries()) {
-      batch.push_back(BatchQueryItem{env.annotated.get(), q, 0});
+      BatchQueryItem item;
+      item.doc = env.annotated.get();
+      item.twig = q;
+      batch.push_back(std::move(item));
     }
   }
   {
-    auto warm = exec.Run(batch, nullptr, &ctx);  // populate the cache
+    auto warm = exec.Run(batch, pair, nullptr, &ctx);  // populate the cache
     benchmark::DoNotOptimize(warm);
   }
   BatchRunReport report;
   for (auto _ : state) {
-    auto results = exec.Run(batch, &report, &ctx);
+    auto results = exec.Run(batch, pair, &report, &ctx);
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -249,9 +257,125 @@ void BM_CorpusPtq(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusPtq)->Arg(4)->Arg(8)->UseRealTime();
 
-// Query compilation: cold (parse + schema embedding + mapping filtering,
-// fresh compiler every iteration) vs hot (served from the shared cache).
-// The gap is what every request used to pay before it could evaluate.
+// Early-termination top-k (§IV-C): the same cold-plan top-5 workload
+// through the ExecutionDriver, which walks the descending-probability
+// work units and stops at the 5th relevant mapping — versus the eager
+// protocol (BM_UnprunedTopK) that runs the full |M|-mapping relevance
+// scan before cutting to 5. 500 mappings, plan cache flushed every
+// iteration so the selection work is actually measured; answers are
+// differential-tested identical (tests/differential_test.cc). Gated
+// against BENCH_baseline.json.
+void BM_PrunedTopK(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 500, /*with_doc=*/true);
+  static auto pair = bench::MakePair(env, 0.2);
+  const std::vector<std::string>& twigs = TableIIIQueries();
+  int pruned = 0;
+  for (auto _ : state) {
+    pair->compiler->Clear();  // cold plans: selection happens per twig
+    for (const std::string& twig : twigs) {
+      DriverRequest request;
+      request.pair = pair.get();
+      request.doc = env.annotated.get();
+      request.twig = &twig;
+      request.options.top_k = 5;
+      DriverCounters counters;
+      auto result = ExecutionDriver::Execute(request, &counters);
+      benchmark::DoNotOptimize(result);
+      pruned = counters.select.skipped;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(twigs.size()));
+  state.counters["mappings_pruned"] = pruned;
+}
+BENCHMARK(BM_PrunedTopK)->UseRealTime();
+
+// The eager baseline for BM_PrunedTopK: identical evaluation, but the
+// mapping selection runs FilterRelevantMappings over all 500 mappings
+// (the pre-driver protocol) instead of terminating early.
+void BM_UnprunedTopK(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 500, /*with_doc=*/true);
+  static auto pair = bench::MakePair(env, 0.2);
+  const std::vector<std::string>& twigs = TableIIIQueries();
+  PtqEvaluator eval(&pair->mappings, env.annotated.get());
+  PtqOptions opts;
+  opts.top_k = 5;
+  for (auto _ : state) {
+    for (const std::string& twig : twigs) {
+      auto q = TwigQuery::Parse(twig);
+      auto embeddings = EmbedQueryInSchema(*q, pair->mappings.target(),
+                                           opts.max_embeddings);
+      const std::vector<MappingId> relevant =
+          FilterRelevantMappings(pair->mappings, embeddings, opts.top_k);
+      auto result = eval.EvaluateTreePrepared(*q, embeddings, relevant,
+                                              false, pair->tree(), opts);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(twigs.size()));
+}
+BENCHMARK(BM_UnprunedTopK)->UseRealTime();
+
+// Heterogeneous corpus serving: two prepared schema pairs (D7 and D1),
+// two documents each, all ten Table III twigs fanned across the whole
+// corpus with warm caches — the cost of the multi-pair fan-out, cache
+// probes and k-way merge. Gated against BENCH_baseline.json.
+void BM_MultiSchemaCorpus(benchmark::State& state) {
+  static UncertainMatchingSystem* sys = [] {
+    SystemOptions options;
+    options.top_h.h = 100;
+    auto* s = new UncertainMatchingSystem(options);
+    for (const char* dataset_id : {"D7", "D1"}) {
+      CorpusGenOptions gen;
+      gen.num_documents = 2;
+      gen.min_target_nodes = 150;
+      gen.max_target_nodes = 300;
+      auto made = MakeCorpusScenario(dataset_id, gen);
+      if (!made.ok()) std::abort();
+      auto* scenario = new CorpusScenario(std::move(made).ValueOrDie());
+      if (!s->Prepare(scenario->dataset.source.get(),
+                      scenario->dataset.target.get())
+               .ok()) {
+        std::abort();
+      }
+      for (size_t i = 0; i < scenario->documents.size(); ++i) {
+        if (!s->AddDocument(std::string(dataset_id) + "-" +
+                                scenario->names[i],
+                            scenario->documents[i].get())
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    return s;
+  }();
+  const std::vector<std::string>& twigs = TableIIIQueries();
+  CorpusQueryOptions opts;
+  opts.top_k = 10;
+  BatchRunOptions run;
+  {
+    auto warm = sys->RunCorpusBatch(twigs, opts, run);  // populate caches
+    benchmark::DoNotOptimize(warm);
+  }
+  int hits = 0;
+  int misses = 0;
+  for (auto _ : state) {
+    auto response = sys->RunCorpusBatch(twigs, opts, run);
+    benchmark::DoNotOptimize(response);
+    hits = response->report.result_cache_hits;
+    misses = response->report.result_cache_misses;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(twigs.size()) * 4);
+  state.counters["hit_rate"] =
+      hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
+}
+BENCHMARK(BM_MultiSchemaCorpus)->UseRealTime();
+
+// Query compilation: cold (parse + schema embedding, fresh compiler
+// every iteration) vs hot (served from the shared cache). The gap is
+// what every request used to pay before it could evaluate.
 void BM_QueryCompile(benchmark::State& state) {
   static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
   const bool hot = state.range(0) != 0;

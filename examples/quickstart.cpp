@@ -29,15 +29,18 @@ int main() {
     std::fprintf(stderr, "Prepare failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  // The prepared products come back as an immutable snapshot that stays
+  // valid even if another thread re-Prepares concurrently.
+  auto pair = system.prepared_pair();
   std::printf("matching capacity: %d correspondences\n",
-              system.matching().size());
+              pair->matching.size());
   std::printf("possible mappings: %d (o-ratio %.2f)\n",
-              system.mappings().size(),
-              system.mappings().AverageOverlapRatio(2000));
+              pair->mappings.size(),
+              pair->mappings.AverageOverlapRatio(2000));
   std::printf("block tree: %d c-blocks, compression %.1f%%\n",
-              system.block_tree().TotalBlocks(),
-              100.0 * system.block_tree_build().CompressionRatio(
-                          system.mappings().NaiveStorageBytes()));
+              pair->tree().TotalBlocks(),
+              100.0 * pair->build.CompressionRatio(
+                          pair->mappings.NaiveStorageBytes()));
 
   // 3. Attach a document conforming to the source schema (stands in for
   //    the paper's Order.xml with 3473 nodes).
@@ -244,6 +247,89 @@ int main() {
   }
   std::printf("corpus top-%d equals the brute-force merge of per-document "
               "queries\n", corpus_opts.top_k);
+
+  // 9. Heterogeneous corpus: register a SECOND schema pair (D1's
+  //    Excel-like source against its Noris-like target) and add a
+  //    document that conforms to it. The same corpus now spans two
+  //    prepared pairs; one QueryCorpus fans the twig across all
+  //    documents, each evaluated under its own pair, and the merged
+  //    top-k must equal the brute-force per-pair merge.
+  auto src2 = GetStandardSchema(StandardId::kExcel);
+  auto tgt2 = GetStandardSchema(StandardId::kNoris);
+  if (Status s = system.Prepare(src2.get(), tgt2.get()); !s.ok()) {
+    std::fprintf(stderr, "second Prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Document doc2 = GenerateDocument(
+      *src2, DocGenOptions{.seed = 11, .target_nodes = 200});
+  if (Status s = system.AddDocument("excel-doc", &doc2); !s.ok()) {
+    std::fprintf(stderr, "heterogeneous AddDocument failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nheterogeneous corpus: %zu documents across %zu schema "
+              "pairs\n", system.corpus_size(), system.pair_count());
+  // Oracle: the D7 documents' collapses from step 8 (still valid — their
+  // pair is untouched by the second Prepare) plus a fresh single-pair
+  // query of the new document. Checked for the D7 twig AND a twig that
+  // only the second pair's target schema can answer.
+  {
+    UncertainMatchingSystem oracle1;
+    UncertainMatchingSystem oracle2;
+    if (!oracle1.Prepare(source.get(), target.get()).ok() ||
+        !oracle2.Prepare(src2.get(), tgt2.get()).ok() ||
+        !oracle2.AttachDocument(&doc2).ok()) {
+      std::fprintf(stderr, "oracle setup failed\n");
+      return 1;
+    }
+    const std::string noris_twig = "//" + tgt2->name(1);
+    for (const std::string& twig : {query, noris_twig}) {
+      std::vector<std::vector<CorpusAnswer>> mixed_expected;
+      for (size_t i = 0; i < scenario->documents.size(); ++i) {
+        if (!oracle1.AttachDocument(scenario->documents[i].get()).ok()) {
+          std::fprintf(stderr, "oracle attach failed\n");
+          return 1;
+        }
+        auto r1 = oracle1.Query(twig);
+        if (!r1.ok()) {
+          std::fprintf(stderr, "oracle query failed: %s\n",
+                       r1.status().ToString().c_str());
+          return 1;
+        }
+        mixed_expected.push_back(
+            CollapseForCorpus(scenario->names[i], *r1));
+      }
+      auto r2 = oracle2.Query(twig);
+      if (!r2.ok()) {
+        std::fprintf(stderr, "oracle query failed: %s\n",
+                     r2.status().ToString().c_str());
+        return 1;
+      }
+      mixed_expected.push_back(CollapseForCorpus("excel-doc", *r2));
+      const std::vector<CorpusAnswer> want =
+          MergeTopK(mixed_expected, corpus_opts.top_k);
+      auto mixed = system.QueryCorpus(twig, corpus_opts);
+      if (!mixed.ok()) {
+        std::fprintf(stderr, "heterogeneous QueryCorpus failed: %s\n",
+                     mixed.status().ToString().c_str());
+        return 1;
+      }
+      bool same = mixed->answers.size() == want.size();
+      for (size_t i = 0; same && i < want.size(); ++i) {
+        same = mixed->answers[i].document == want[i].document &&
+               mixed->answers[i].probability == want[i].probability &&
+               mixed->answers[i].matches == want[i].matches;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "heterogeneous top-k diverged on twig %s\n",
+                     twig.c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("heterogeneous top-%d equals the brute-force per-pair merge\n",
+              corpus_opts.top_k);
 
   const ResultCacheStats cache_stats = system.result_cache_stats();
   const QueryCompilerStats compile_stats = system.compiler_stats();

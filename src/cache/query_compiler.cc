@@ -1,6 +1,5 @@
 #include "cache/query_compiler.h"
 
-#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -8,23 +7,20 @@
 
 namespace uxm {
 
-std::vector<MappingId> CompiledQuery::RelevantForTopK(int top_k) const {
-  if (top_k <= 0 || static_cast<size_t>(top_k) >= relevant.size()) {
-    return relevant;
-  }
-  std::vector<MappingId> out(by_probability.begin(),
-                             by_probability.begin() + top_k);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 QueryCompiler::QueryCompiler(const PossibleMappingSet* mappings,
-                             size_t max_embeddings, size_t max_entries)
+                             size_t max_embeddings, size_t max_entries,
+                             std::shared_ptr<const MappingOrder> order)
     : mappings_(mappings),
       max_embeddings_(max_embeddings),
-      max_entries_(max_entries) {}
+      max_entries_(max_entries),
+      order_(std::move(order)) {
+  if (order_ == nullptr && mappings_ != nullptr) {
+    order_ = std::make_shared<const MappingOrder>(
+        MappingOrder::Build(*mappings_));
+  }
+}
 
-Result<std::shared_ptr<const CompiledQuery>> QueryCompiler::Compile(
+Result<std::shared_ptr<const QueryPlan>> QueryCompiler::Compile(
     const std::string& twig, bool* cache_hit) {
   if (cache_hit != nullptr) *cache_hit = false;
   {
@@ -34,7 +30,7 @@ Result<std::shared_ptr<const CompiledQuery>> QueryCompiler::Compile(
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (cache_hit != nullptr) *cache_hit = true;
       if (!it->second.status.ok()) return it->second.status;
-      return it->second.compiled;
+      return it->second.plan;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +48,7 @@ Result<std::shared_ptr<const CompiledQuery>> QueryCompiler::Compile(
   // so whichever landed is the one every caller sees.
   auto it = cache_.emplace(twig, std::move(value)).first;
   if (!it->second.status.ok()) return it->second.status;
-  return it->second.compiled;
+  return it->second.plan;
 }
 
 QueryCompiler::CacheValue QueryCompiler::CompileUncached(
@@ -62,23 +58,14 @@ QueryCompiler::CacheValue QueryCompiler::CompileUncached(
   }
   Result<TwigQuery> parsed = TwigQuery::Parse(twig);
   if (!parsed.ok()) return CacheValue{parsed.status(), nullptr};
-  auto compiled = std::make_shared<CompiledQuery>();
-  compiled->query = std::move(parsed).ValueOrDie();
-  // EmbedQueryInSchema logs the truncation warning (once per compilation
-  // here, since the result is cached).
-  compiled->embeddings =
-      EmbedQueryInSchema(compiled->query, mappings_->target(), max_embeddings_,
-                         &compiled->truncated_embeddings);
-  compiled->relevant =
-      FilterRelevantMappings(*mappings_, compiled->embeddings, 0);
-  compiled->by_probability = compiled->relevant;
-  std::stable_sort(compiled->by_probability.begin(),
-                   compiled->by_probability.end(),
-                   [this](MappingId a, MappingId b) {
-                     return mappings_->mapping(a).probability >
-                            mappings_->mapping(b).probability;
-                   });
-  return CacheValue{Status::OK(), std::move(compiled)};
+  TwigQuery query = std::move(parsed).ValueOrDie();
+  // EmbedQueryInSchema logs the (rate-limited) truncation warning.
+  bool truncated = false;
+  std::vector<std::vector<SchemaNodeId>> embeddings = EmbedQueryInSchema(
+      query, mappings_->target(), max_embeddings_, &truncated);
+  auto plan = std::make_shared<const QueryPlan>(
+      mappings_, order_, std::move(query), std::move(embeddings), truncated);
+  return CacheValue{Status::OK(), std::move(plan)};
 }
 
 void QueryCompiler::Clear() {

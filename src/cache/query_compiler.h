@@ -1,12 +1,13 @@
-// Compiled twig queries. Parsing a twig, embedding it into the target
-// schema, and filtering the relevant mappings depend only on (twig text,
-// target schema, mapping set) — all fixed after Prepare — yet the system
-// used to redo them on every request (once per worker thread in the batch
-// executor). A CompiledQuery hoists that work out of the hot path and the
-// QueryCompiler shares it across threads and requests, extending the
-// paper's c-block idea (one evaluation shared by every mapping in b.M,
-// §III–IV) to sharing across requests: skewed production workloads repeat
-// the same twigs, so the second request for a twig pays only a hash probe.
+// Compiled twig-query plans. Parsing a twig, embedding it into the
+// target schema, and (lazily) filtering the relevant mappings depend only
+// on (twig text, target schema, mapping set) — all fixed once a schema
+// pair is prepared — yet the system used to redo them on every request
+// (once per worker thread in the batch executor). The QueryCompiler
+// caches one QueryPlan per distinct twig and shares it across threads and
+// requests, extending the paper's c-block idea (one evaluation shared by
+// every mapping in b.M, §III–IV) to sharing across requests: skewed
+// production workloads repeat the same twigs, so the second request for a
+// twig pays only a hash probe.
 #ifndef UXM_CACHE_QUERY_COMPILER_H_
 #define UXM_CACHE_QUERY_COMPILER_H_
 
@@ -16,38 +17,12 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "common/status.h"
 #include "mapping/possible_mapping.h"
-#include "query/twig_query.h"
+#include "plan/query_plan.h"
 
 namespace uxm {
-
-/// \brief A twig query with everything derivable from (twig text, target
-/// schema, mapping set) precomputed: the parse tree, the schema
-/// embeddings, and the relevant-mapping filter. Immutable once built and
-/// handed out by shared_ptr<const>, so workers read it without locks.
-struct CompiledQuery {
-  TwigQuery query;
-  /// Schema embeddings (EmbedQueryInSchema), capped at the compiler's
-  /// max_embeddings.
-  std::vector<std::vector<SchemaNodeId>> embeddings;
-  /// True if the max_embeddings cap cut the embedding enumeration short;
-  /// propagated into PtqResult::truncated_embeddings of every answer
-  /// produced from this compilation.
-  bool truncated_embeddings = false;
-  /// filter_mappings with no top-k restriction: every mapping under which
-  /// some embedding is fully mapped. Ascending id.
-  std::vector<MappingId> relevant;
-  /// The same ids ordered most-probable-first (stable), i.e. the §IV-C
-  /// top-k candidate order.
-  std::vector<MappingId> by_probability;
-
-  /// Relevant ids under a top-k restriction, ascending id; k <= 0 returns
-  /// all. Produces exactly FilterRelevantMappings(mappings, embeddings, k).
-  std::vector<MappingId> RelevantForTopK(int top_k) const;
-};
 
 /// \brief Cumulative compiler counters (monotonic since construction).
 struct QueryCompilerStats {
@@ -56,10 +31,10 @@ struct QueryCompilerStats {
   uint64_t failures = 0;  ///< Parse errors; cached negatively, so a twig
                           ///< fails at most one full parse.
   uint64_t flushes = 0;   ///< Generational evictions at max_entries.
-  size_t entries = 0;     ///< Cached compilations (incl. negative ones).
+  size_t entries = 0;     ///< Cached plans (incl. negative ones).
 };
 
-/// \brief Thread-safe compilation cache keyed on twig text.
+/// \brief Thread-safe plan cache keyed on twig text.
 ///
 /// Lookups take a shared lock; a miss compiles outside any lock (two
 /// threads racing on the same new twig may both compile; the first insert
@@ -69,37 +44,44 @@ struct QueryCompilerStats {
 /// twigs flushes the whole generation (a skewed workload instantly
 /// re-caches its hot set; an adversarial spray of unique twigs cannot
 /// grow the map past the cap). The mapping set must outlive the compiler
-/// and stay unchanged; the facade rebuilds the compiler on every Prepare.
+/// and stay unchanged; prepared pairs rebuild their compiler on every
+/// (re-)preparation.
 class QueryCompiler {
  public:
   /// `max_embeddings` caps EmbedQueryInSchema per query (0 = unlimited),
   /// normally SystemOptions::ptq.max_embeddings. `max_entries` bounds the
-  /// number of cached twigs (0 = unbounded).
+  /// number of cached twigs (0 = unbounded). `order` is the pair's shared
+  /// descending-probability work-unit order; when null the compiler
+  /// builds (and owns) its own over `mappings`.
   explicit QueryCompiler(const PossibleMappingSet* mappings,
                          size_t max_embeddings = 256,
-                         size_t max_entries = 4096);
+                         size_t max_entries = 4096,
+                         std::shared_ptr<const MappingOrder> order = nullptr);
 
   QueryCompiler(const QueryCompiler&) = delete;
   QueryCompiler& operator=(const QueryCompiler&) = delete;
 
-  /// Returns the compiled form of `twig`, compiling on first sight.
-  /// `cache_hit` (optional) reports whether this call was served from
-  /// cache. Parse errors return the cached failure status.
-  Result<std::shared_ptr<const CompiledQuery>> Compile(
-      const std::string& twig, bool* cache_hit = nullptr);
+  /// Returns the plan for `twig`, compiling on first sight. `cache_hit`
+  /// (optional) reports whether this call was served from cache. Parse
+  /// errors return the cached failure status.
+  Result<std::shared_ptr<const QueryPlan>> Compile(const std::string& twig,
+                                                   bool* cache_hit = nullptr);
 
-  /// Drops every cached compilation (counters are kept).
+  /// Drops every cached plan (counters are kept).
   void Clear();
 
   QueryCompilerStats Stats() const;
 
   size_t max_embeddings() const { return max_embeddings_; }
 
+  /// The shared work-unit order plans of this compiler select from.
+  const std::shared_ptr<const MappingOrder>& order() const { return order_; }
+
  private:
-  /// A cached outcome: either a compilation or the parse failure.
+  /// A cached outcome: either a plan or the parse failure.
   struct CacheValue {
     Status status;
-    std::shared_ptr<const CompiledQuery> compiled;
+    std::shared_ptr<const QueryPlan> plan;
   };
 
   CacheValue CompileUncached(const std::string& twig) const;
@@ -107,6 +89,7 @@ class QueryCompiler {
   const PossibleMappingSet* mappings_;
   const size_t max_embeddings_;
   const size_t max_entries_;
+  std::shared_ptr<const MappingOrder> order_;
 
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, CacheValue> cache_;

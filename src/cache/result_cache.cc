@@ -37,6 +37,7 @@ size_t ResultCache::KeyHash::operator()(const ResultCacheKey& k) const {
   h = Combine(h, std::hash<uint64_t>()(k.epoch));
   h = Combine(h, std::hash<int>()(k.top_k));
   h = Combine(h, std::hash<bool>()(k.block_tree));
+  h = Combine(h, std::hash<uint64_t>()(k.pair));
   return h;
 }
 

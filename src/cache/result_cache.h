@@ -6,11 +6,14 @@
 // cache removes it: a hit is a hash probe plus a PtqResult copy.
 //
 // Keying and invalidation: entries are keyed on (twig text, document
-// identity, epoch, top-k, algorithm). The epoch is bumped by the facade
-// on every Prepare/AttachDocument *before* the new state is published, so
-// an evaluation that raced the swap inserts under the old epoch and can
-// never satisfy a lookup issued after it — stale answers are structurally
-// unreachable, and Clear() merely reclaims their memory.
+// identity, epoch, top-k, algorithm, prepared-pair id). The epoch is
+// bumped by the facade on every Prepare/AttachDocument *before* the new
+// state is published, so an evaluation that raced the swap inserts under
+// the old epoch and can never satisfy a lookup issued after it; the pair
+// id changes with every (re-)preparation of a schema pair and keeps
+// answers of different pairs apart even when they share a document.
+// Stale answers are structurally unreachable, and Clear() merely
+// reclaims their memory.
 //
 // Concurrency: N shards, each a mutex + intrusive LRU list; a key touches
 // exactly one shard, so concurrent workers on distinct keys rarely
@@ -45,10 +48,14 @@ struct ResultCacheKey {
   uint64_t epoch = 0;
   int top_k = 0;          ///< Effective top-k (0 = all relevant mappings).
   bool block_tree = true;  ///< Algorithm 4 vs Algorithm 3.
+  /// PreparedSchemaPair::pair_id the answer was computed under. A
+  /// re-prepared pair gets a fresh id, and one document registered under
+  /// two pairs yields two distinct keys even at equal epochs.
+  uint64_t pair = 0;
 
   bool operator==(const ResultCacheKey& o) const {
     return doc == o.doc && epoch == o.epoch && top_k == o.top_k &&
-           block_tree == o.block_tree && twig == o.twig;
+           block_tree == o.block_tree && pair == o.pair && twig == o.twig;
   }
 };
 

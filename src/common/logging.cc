@@ -1,6 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
+#include <unordered_set>
 
 namespace uxm {
 
@@ -27,6 +29,18 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+bool LogFirstSighting(const std::string& key) {
+  constexpr size_t kLogOnceMaxKeys = 4096;
+  static std::mutex mu;
+  static std::unordered_set<std::string>* seen =
+      new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (seen->size() >= kLogOnceMaxKeys && seen->count(key) == 0) {
+    seen->clear();  // generational reset; see header
+  }
+  return seen->insert(key).second;
+}
 
 namespace internal {
 

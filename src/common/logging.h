@@ -18,6 +18,15 @@ void SetLogLevel(LogLevel level);
 /// Returns the current global minimum level.
 LogLevel GetLogLevel();
 
+/// Rate limiter for repetitive warnings: returns true the FIRST time a
+/// given key is seen process-wide, false afterwards — so a warning about
+/// one twig fires once per distinct twig, not once per evaluation (a
+/// capped twig in a 10k-item batch must not flood stderr). The seen-set
+/// is bounded: past `kLogOnceMaxKeys` distinct keys it resets
+/// generationally, so an adversarial spray of unique keys cannot grow it
+/// without limit (hot keys re-suppress after one extra line).
+bool LogFirstSighting(const std::string& key);
+
 namespace internal {
 
 class LogMessage {

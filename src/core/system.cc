@@ -3,8 +3,8 @@
 #include <unordered_map>
 #include <utility>
 
-#include "cache/cached_eval.h"
 #include "exec/thread_pool.h"
+#include "plan/driver.h"
 
 namespace uxm {
 
@@ -25,69 +25,60 @@ Status UncertainMatchingSystem::Prepare(const Schema* source,
 }
 
 Status UncertainMatchingSystem::PrepareFromMatching(SchemaMatching matching) {
-  if (matching.empty()) {
-    return Status::InvalidArgument("matching has no correspondences");
-  }
-  // Build the whole state off to the side; nothing the running queries
-  // can see changes until InstallState publishes the finished product.
-  auto state = std::make_shared<PreparedState>();
-  state->matching = std::move(matching);
-  TopHGenerator generator(options_.top_h);
-  UXM_ASSIGN_OR_RETURN(state->mappings, generator.Generate(state->matching));
-  BlockTreeBuilder builder(options_.block_tree);
-  UXM_ASSIGN_OR_RETURN(state->build, builder.Build(state->mappings));
-  state->compiler = std::make_shared<QueryCompiler>(
-      &state->mappings, options_.ptq.max_embeddings);
-  InstallState(std::move(state));
+  // Build the whole pair off to the side; nothing the running queries can
+  // see changes until InstallPair publishes the finished product.
+  PairBuildOptions build;
+  build.top_h = options_.top_h;
+  build.block_tree = options_.block_tree;
+  build.max_embeddings = options_.ptq.max_embeddings;
+  std::shared_ptr<const PreparedSchemaPair> pair;
+  UXM_ASSIGN_OR_RETURN(pair,
+                       BuildPreparedSchemaPair(std::move(matching), build));
+  InstallPair(std::move(pair));
   return Status::OK();
 }
 
-void UncertainMatchingSystem::InstallState(
-    std::shared_ptr<const PreparedState> state) {
+void UncertainMatchingSystem::InstallPair(
+    std::shared_ptr<const PreparedSchemaPair> pair) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++epoch_;  // before the swap: in-flight inserts keyed on the old
                // epoch become unreachable the moment we publish
     doc_epoch_ = epoch_;
     // A document annotated against a different source schema cannot be
-    // queried through the new state; one bound to the same schema stays.
+    // queried through the new default pair; one bound to the same schema
+    // stays.
     if (annotated_ != nullptr &&
-        &annotated_->schema() != state->matching.source_ptr()) {
+        &annotated_->schema() != pair->source()) {
       annotated_ = nullptr;
     }
-    executor_ = nullptr;  // points into the old state's products
-    executor_state_ = nullptr;
-    // Corpus documents annotated against a different source schema can no
-    // longer be queried and are dropped; survivors are re-stamped with
-    // the new epoch so answers cached under the old state are
-    // unreachable.
-    store_.Rebind(state->matching.source_ptr(), epoch_);
-    state_ = std::move(state);
+    // Corpus documents of the replaced incarnation re-bind to the new
+    // pair and are re-stamped with the new epoch, so answers cached under
+    // the old preparation are unreachable. Documents registered under
+    // OTHER pairs are untouched — their pairs stay registered.
+    registry_.Install(pair);
+    store_.RebindPair(pair, epoch_);
+    default_pair_ = std::move(pair);
   }
   prepared_.store(true, std::memory_order_release);
   result_cache_->Clear();
 }
 
 Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
-  std::shared_ptr<const PreparedState> state;
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    state = state_;
-  }
-  if (state == nullptr) {
+  std::shared_ptr<const PreparedSchemaPair> pair = prepared_pair();
+  if (pair == nullptr) {
     return Status::Internal("call Prepare before AttachDocument");
   }
-  UXM_ASSIGN_OR_RETURN(
-      AnnotatedDocument ad,
-      AnnotatedDocument::Bind(doc, state->matching.source_ptr()));
+  UXM_ASSIGN_OR_RETURN(AnnotatedDocument ad,
+                       AnnotatedDocument::Bind(doc, pair->source()));
   auto annotated = std::make_shared<const AnnotatedDocument>(std::move(ad));
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     // The binding above ran outside the lock; a concurrent Prepare may
-    // have swapped in a state with a different source schema, and a
-    // document bound against the old one must not be installed.
-    if (state_ == nullptr ||
-        state_->matching.source_ptr() != &annotated->schema()) {
+    // have swapped in a default pair with a different source schema, and
+    // a document bound against the old one must not be installed.
+    if (default_pair_ == nullptr ||
+        default_pair_->source() != &annotated->schema()) {
       return Status::Internal(
           "a concurrent Prepare changed the source schema during "
           "AttachDocument; re-attach against the new schemas");
@@ -102,32 +93,44 @@ Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
 
 Status UncertainMatchingSystem::AddDocument(const std::string& name,
                                             const Document* doc) {
-  std::shared_ptr<const PreparedState> state;
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    state = state_;
-  }
-  if (state == nullptr) {
+  std::shared_ptr<const PreparedSchemaPair> pair = prepared_pair();
+  if (pair == nullptr) {
     return Status::Internal("call Prepare before AddDocument");
   }
+  return AddDocument(name, doc, pair->source(), pair->target());
+}
+
+Status UncertainMatchingSystem::AddDocument(const std::string& name,
+                                            const Document* doc,
+                                            const Schema* source,
+                                            const Schema* target) {
+  std::shared_ptr<const PreparedSchemaPair> pair =
+      registry_.Find(source, target);
+  if (pair == nullptr) {
+    return Status::NotFound(
+        "no prepared pair for these schemas; call Prepare(source, target) "
+        "before AddDocument");
+  }
   // Annotation is the expensive part; do it outside the lock, then
-  // re-validate the schema under it (same protocol as AttachDocument).
-  UXM_ASSIGN_OR_RETURN(
-      AnnotatedDocument ad,
-      AnnotatedDocument::Bind(doc, state->matching.source_ptr()));
+  // re-validate under it (same protocol as AttachDocument).
+  UXM_ASSIGN_OR_RETURN(AnnotatedDocument ad,
+                       AnnotatedDocument::Bind(doc, pair->source()));
   auto annotated = std::make_shared<const AnnotatedDocument>(std::move(ad));
   std::lock_guard<std::mutex> lock(state_mu_);
-  if (state_ == nullptr ||
-      state_->matching.source_ptr() != &annotated->schema()) {
+  // The pair we bound against must still be the installed incarnation
+  // for its key — a racing re-Prepare swaps in a new one whose epochs
+  // this registration would dodge.
+  if (registry_.Find(pair->source(), pair->target()) != pair) {
     return Status::Internal(
-        "a concurrent Prepare changed the source schema during AddDocument; "
-        "re-add against the new schemas");
+        "a concurrent Prepare replaced the schema pair during AddDocument; "
+        "re-add against the new preparation");
   }
   CorpusDocument entry;
   entry.name = name;
   entry.doc = doc;
   entry.annotated = std::move(annotated);
   entry.epoch = epoch_ + 1;
+  entry.pair = std::move(pair);
   UXM_RETURN_NOT_OK(store_.Add(std::move(entry)));
   // Advance the shared counter only after the store accepted the entry —
   // and leave doc_epoch_ alone: registering a corpus document must not
@@ -162,7 +165,7 @@ Result<CorpusBatchResponse> UncertainMatchingSystem::RunCorpusBatch(
     const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
     const BatchRunOptions& run) const {
   const Session session = Snapshot(&run);
-  if (session.state == nullptr) {
+  if (session.pair == nullptr) {
     return Status::Internal("call Prepare before RunCorpusBatch");
   }
   BatchCacheContext cache_ctx;
@@ -179,53 +182,46 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
   int want_threads = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    session.state = state_;
+    session.pair = default_pair_;
     session.annotated = annotated_;
     session.corpus = store_.Snapshot();
     session.epoch = doc_epoch_;
-    if (run != nullptr && state_ != nullptr) {
+    if (run != nullptr && default_pair_ != nullptr) {
       want_threads = run->num_threads > 0 ? run->num_threads
                                           : ThreadPool::DefaultThreadCount();
-      if (executor_ != nullptr && executor_state_ == state_ &&
+      if (executor_ != nullptr &&
           executor_->num_threads() == want_threads &&
           executor_use_block_tree_ == run->use_block_tree) {
         session.executor = executor_;
       }
     }
   }
-  if (run == nullptr || session.state == nullptr ||
+  if (run == nullptr || session.pair == nullptr ||
       session.executor != nullptr) {
     return session;
   }
   // Build the executor outside the lock: spawning a thread pool takes
   // milliseconds, and every concurrent Query would otherwise stall on
-  // state_mu_ for the duration.
+  // state_mu_ for the duration. The executor holds no pair state (items
+  // carry their pair), so it is keyed only on (threads, algorithm) and
+  // survives re-preparation.
   BatchExecutorOptions exec_opts;
   exec_opts.num_threads = want_threads;
   exec_opts.use_block_tree = run->use_block_tree;
   exec_opts.ptq = options_.ptq;
-  exec_opts.compiler = session.state->compiler;
-  auto fresh = std::make_shared<BatchQueryExecutor>(
-      &session.state->mappings, &session.state->build.tree, exec_opts);
+  auto fresh = std::make_shared<BatchQueryExecutor>(exec_opts);
   std::shared_ptr<BatchQueryExecutor> stale;  // destroyed outside the lock
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    if (executor_ != nullptr && executor_state_ == session.state &&
-        executor_->num_threads() == want_threads &&
+    if (executor_ != nullptr && executor_->num_threads() == want_threads &&
         executor_use_block_tree_ == run->use_block_tree) {
       // A racing Snapshot built an equivalent executor first; share it
       // and let ours die (its pool joins idle workers, nothing ran).
       session.executor = executor_;
-    } else if (state_ == session.state) {
+    } else {
       stale = std::move(executor_);
       executor_ = fresh;
-      executor_state_ = session.state;
       executor_use_block_tree_ = run->use_block_tree;
-      session.executor = std::move(fresh);
-    } else {
-      // The prepared state moved on while we built; run on our private
-      // executor (it points into session.state, which we keep alive) but
-      // do not cache it for others.
       session.executor = std::move(fresh);
     }
   }
@@ -235,18 +231,23 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
 Result<PtqResult> UncertainMatchingSystem::CachedQuery(
     const std::string& twig, int top_k, bool use_block_tree) const {
   const Session session = Snapshot(nullptr);
+  if (session.pair == nullptr) {
+    return Status::Internal("call Prepare before Query");
+  }
   if (session.annotated == nullptr) {
     return Status::Internal("no document attached");
   }
-  PtqOptions opts = options_.ptq;
-  if (top_k > 0) opts.top_k = top_k;
-  ResultCache* cache =
+  DriverRequest request;
+  request.pair = session.pair.get();
+  request.doc = session.annotated.get();
+  request.twig = &twig;
+  request.options = options_.ptq;
+  if (top_k > 0) request.options.top_k = top_k;
+  request.use_block_tree = use_block_tree;
+  request.cache =
       options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
-  return EvaluateThroughCaches(
-      session.state->mappings,
-      use_block_tree ? &session.state->build.tree : nullptr,
-      *session.annotated, *session.state->compiler, cache, session.epoch,
-      twig, opts);
+  request.epoch = session.epoch;
+  return ExecutionDriver::Execute(request);
 }
 
 Result<PtqResult> UncertainMatchingSystem::Query(
@@ -269,7 +270,7 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
     const std::vector<BatchQueryRequest>& requests,
     const BatchRunOptions& run) const {
   const Session session = Snapshot(&run);
-  if (session.state == nullptr) {
+  if (session.pair == nullptr) {
     return Status::Internal("call Prepare before RunBatch");
   }
 
@@ -297,9 +298,8 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
       auto it = annotations.find(req.doc);
       if (it == annotations.end()) {
         it = annotations
-                 .emplace(req.doc,
-                          AnnotatedDocument::Bind(
-                              req.doc, session.state->matching.source_ptr()))
+                 .emplace(req.doc, AnnotatedDocument::Bind(
+                                       req.doc, session.pair->source()))
                  .first;
       }
       if (!it->second.ok()) {
@@ -308,7 +308,11 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
       }
       ad = &it->second.value();
     }
-    items.push_back(BatchQueryItem{ad, req.twig, req.top_k});
+    BatchQueryItem item;
+    item.doc = ad;
+    item.twig = req.twig;
+    item.top_k = req.top_k;
+    items.push_back(std::move(item));
     item_slot.push_back(i);
   }
 
@@ -319,7 +323,7 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
 
   BatchQueryResponse response;
   std::vector<Result<PtqResult>> compact =
-      session.executor->Run(items, &response.report, &cache_ctx);
+      session.executor->Run(items, session.pair, &response.report, &cache_ctx);
   response.answers.assign(
       requests.size(),
       Result<PtqResult>(Status::Internal("item not executed")));
@@ -337,12 +341,10 @@ void UncertainMatchingSystem::InvalidateResultCache() {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++epoch_;  // in-flight runs insert under the old epoch, never served
     doc_epoch_ = epoch_;
-    // Re-stamp corpus registrations too, so an in-flight corpus run's
-    // late insert (keyed under a pre-bump per-document epoch) can never
-    // satisfy a lookup issued after this call.
-    if (state_ != nullptr) {
-      store_.Rebind(state_->matching.source_ptr(), epoch_);
-    }
+    // Re-stamp every corpus registration too, so an in-flight corpus
+    // run's late insert (keyed under a pre-bump per-document epoch) can
+    // never satisfy a lookup issued after this call.
+    store_.Restamp(epoch_);
   }
   result_cache_->Clear();
 }
@@ -352,37 +354,22 @@ ResultCacheStats UncertainMatchingSystem::result_cache_stats() const {
 }
 
 QueryCompilerStats UncertainMatchingSystem::compiler_stats() const {
-  std::shared_ptr<const PreparedState> state;
-  {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    state = state_;
-  }
-  return state != nullptr ? state->compiler->Stats() : QueryCompilerStats{};
+  std::shared_ptr<const PreparedSchemaPair> pair = prepared_pair();
+  return pair != nullptr ? pair->compiler->Stats() : QueryCompilerStats{};
 }
 
-const UncertainMatchingSystem::PreparedState&
-UncertainMatchingSystem::CurrentState() const {
-  // Unprepared systems see an empty (but valid) state, matching the old
-  // default-constructed-member behavior of the accessors.
-  static const PreparedState* const kEmpty = new PreparedState();
+std::shared_ptr<const PreparedSchemaPair>
+UncertainMatchingSystem::prepared_pair() const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return state_ != nullptr ? *state_ : *kEmpty;
+  return default_pair_;
 }
 
-const SchemaMatching& UncertainMatchingSystem::matching() const {
-  return CurrentState().matching;
+std::shared_ptr<const PreparedSchemaPair>
+UncertainMatchingSystem::prepared_pair(const Schema* source,
+                                       const Schema* target) const {
+  return registry_.Find(source, target);
 }
 
-const PossibleMappingSet& UncertainMatchingSystem::mappings() const {
-  return CurrentState().mappings;
-}
-
-const BlockTree& UncertainMatchingSystem::block_tree() const {
-  return CurrentState().build.tree;
-}
-
-const BlockTreeBuildResult& UncertainMatchingSystem::block_tree_build() const {
-  return CurrentState().build;
-}
+size_t UncertainMatchingSystem::pair_count() const { return registry_.size(); }
 
 }  // namespace uxm

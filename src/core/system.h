@@ -1,38 +1,48 @@
-// High-level facade tying the pipeline together:
+// High-level facade over the layered plan/execute engine:
 //
-//   schemas --ComposedMatcher--> SchemaMatching
-//           --TopHGenerator-->   PossibleMappingSet (top-h, probabilities)
-//           --BlockTreeBuilder-> BlockTree
-//           --PtqEvaluator-->    PTQ / top-k PTQ answers
+//   preparation  — SchemaPairRegistry of immutable PreparedSchemaPairs
+//                  (matching + top-h mappings + block tree + plan
+//                  compiler + work-unit order), one per (source, target)
+//                  schema pair; Prepare registers a pair and makes it the
+//                  default (src/plan/prepared_pair.h)
+//   planning     — QueryPlans compiled once per (twig, pair) and cached
+//                  in the pair's QueryCompiler (src/plan/query_plan.h)
+//   execution    — ONE ExecutionDriver protocol behind every query path:
+//                  result-cache probe → plan → early-termination top-k
+//                  mapping selection → evaluate → insert
+//                  (src/plan/driver.h)
 //
-// UncertainMatchingSystem owns every intermediate product so callers can
+// UncertainMatchingSystem wires the three layers together so callers can
 // go from two schemas + a document to probabilistic query answers in a
 // few lines (see examples/quickstart.cpp).
 //
-// Hot-traffic serving: every query path goes through two shared caches —
-// a QueryCompiler (parse + schema embedding + mapping filtering hoisted
-// out of the request path, computed once per distinct twig) and an
-// optional sharded LRU ResultCache of whole PTQ answers keyed on
-// (twig, document, top-k, algorithm). Both are invalidated whenever
-// Prepare or AttachDocument changes what answers would be computed.
+// Hot-traffic serving: every query path goes through the pair's plan
+// cache (parse + schema embedding hoisted out of the request path,
+// computed once per distinct twig; per-mapping relevance memoized lazily
+// so top-k traffic never pays the full filter scan) and an optional
+// sharded LRU ResultCache of whole PTQ answers keyed on (twig, document,
+// epoch, top-k, algorithm, pair).
 //
-// Corpus serving: beyond the single AttachDocument slot, the facade
-// holds a DocumentStore of named documents (each annotated once at
-// AddDocument time and stamped with its own epoch) and fans twigs across
-// all — or a named subset of — them with QueryCorpus/RunCorpusBatch,
-// k-way-merging the per-document answers into a global top-k ranked by
-// answer probability with per-document provenance (see src/corpus/).
+// Corpus serving: beyond the single AttachDocument slot, the facade holds
+// a DocumentStore of named documents — each annotated once at AddDocument
+// time against ITS pair's source schema and stamped with its own epoch —
+// and fans twigs across all (or a named subset) of them with
+// QueryCorpus/RunCorpusBatch, k-way-merging the per-document answers into
+// a global top-k ranked by answer probability with per-document
+// provenance (see src/corpus/). A corpus may span several prepared pairs
+// (heterogeneous corpus): register extra pairs with Prepare and bind
+// documents to them with the four-argument AddDocument overload.
 //
-// Concurrency: the prepared products (matching, mappings, block tree,
-// compiler) live in one immutable state object published by shared_ptr
-// swap, and the attached document and the corpus registry likewise, so
-// Query/QueryTopK/RunBatch/QueryCorpus may run concurrently with
-// Prepare/AttachDocument/AddDocument/RemoveDocument: in-flight calls
-// keep the snapshot they started with alive and finish against it, while
-// an epoch counter bumped before every swap guarantees their late cache
-// inserts can never be served to callers that arrived after the swap.
-// (The by-reference accessors matching()/mappings()/block_tree() are the
-// exception: the refs they return are invalidated by a later Prepare.)
+// Concurrency: pairs, the attached document, and the corpus registry are
+// immutable objects published by shared_ptr swap, so Query/QueryTopK/
+// RunBatch/QueryCorpus may run concurrently with Prepare/AttachDocument/
+// AddDocument/RemoveDocument: in-flight calls keep the snapshot they
+// started with alive and finish against it, while an epoch counter bumped
+// before every swap (plus the fresh pair_id of every re-preparation)
+// guarantees their late cache inserts can never be served to callers that
+// arrived after the swap. All accessors hand out shared_ptr snapshots
+// that stay valid across later Prepare calls — no by-reference views of
+// mutable state are exposed.
 #ifndef UXM_CORE_SYSTEM_H_
 #define UXM_CORE_SYSTEM_H_
 
@@ -52,6 +62,7 @@
 #include "exec/batch_executor.h"
 #include "mapping/top_h.h"
 #include "matching/matcher.h"
+#include "plan/prepared_pair.h"
 #include "query/annotated_document.h"
 #include "query/ptq.h"
 
@@ -59,9 +70,9 @@ namespace uxm {
 
 /// \brief Caching knobs (see src/cache/).
 struct CacheOptions {
-  /// Master switch for the PTQ result cache. The compiled-query cache is
-  /// always on — it holds no answers and its memory is bounded by its
-  /// own generational entry cap (see cache/query_compiler.h).
+  /// Master switch for the PTQ result cache. The plan cache is always on
+  /// — it holds no answers and its memory is bounded by its own
+  /// generational entry cap (see cache/query_compiler.h).
   bool enable_result_cache = true;
   /// Byte budget for cached answers, split evenly across shards; least
   /// recently used entries are evicted beyond it.
@@ -81,8 +92,9 @@ struct SystemOptions {
 
 /// \brief One query of a batch: a twig, optionally against its own
 /// document. `doc == nullptr` targets the document bound with
-/// AttachDocument; a non-null `doc` must conform to the source schema
-/// and is annotated once per RunBatch call (shared across its items).
+/// AttachDocument; a non-null `doc` must conform to the default pair's
+/// source schema and is annotated once per RunBatch call (shared across
+/// its items).
 struct BatchQueryRequest {
   const Document* doc = nullptr;
   std::string twig;
@@ -96,7 +108,7 @@ struct BatchRunOptions {
 };
 
 /// \brief Batch answers, in request order, plus execution statistics
-/// (including compiled-query and result-cache hit counts).
+/// (including compiled-plan and result-cache hit counts).
 struct BatchQueryResponse {
   std::vector<Result<PtqResult>> answers;
   BatchRunReport report;
@@ -113,25 +125,33 @@ class UncertainMatchingSystem {
  public:
   explicit UncertainMatchingSystem(SystemOptions options = {});
 
-  /// Matches the schemas, generates the top-h mappings and builds the
-  /// block tree. Schemas must be finalized and outlive this object.
-  /// Invalidates every cached answer and compilation.
+  /// Matches the schemas, generates the top-h mappings, builds the block
+  /// tree and seeds the plan compiler, then REGISTERS the result as the
+  /// pair for (source, target) — replacing any earlier preparation of the
+  /// same two schemas — and makes it the default pair every single-
+  /// document call targets. Pairs for other schemas stay registered and
+  /// their corpus documents stay queryable. Schemas must be finalized and
+  /// outlive their registration. Invalidates every cached answer.
   Status Prepare(const Schema* source, const Schema* target);
 
   /// Uses an externally produced matching instead of running the matcher
   /// (e.g. scores imported from a real COMA++ run).
   Status PrepareFromMatching(SchemaMatching matching);
 
-  /// Binds the document the queries will run against. The document must
-  /// conform to the source schema and outlive this object. Invalidates
-  /// every cached answer.
+  /// Binds the document the single-document queries run against. The
+  /// document must conform to the default pair's source schema and
+  /// outlive this object. Invalidates every cached answer.
   Status AttachDocument(const Document* doc);
 
   /// Evaluates a PTQ (block-tree accelerated, cached). Requires Prepare +
   /// AttachDocument.
   Result<PtqResult> Query(const std::string& twig) const;
 
-  /// Evaluates a top-k PTQ (§IV-C).
+  /// Evaluates a top-k PTQ (§IV-C) with early-termination mapping
+  /// selection: work units are consumed most-probable-first and
+  /// enumeration stops as soon as the residual probability mass provably
+  /// cannot alter the top-k answer set. Exact — differential-tested equal
+  /// to the unpruned §IV-C restriction.
   Result<PtqResult> QueryTopK(const std::string& twig, int k) const;
 
   /// Evaluates with Algorithm 3 instead (for comparison/testing). Cached
@@ -139,9 +159,9 @@ class UncertainMatchingSystem {
   Result<PtqResult> QueryBasic(const std::string& twig) const;
 
   /// Evaluates a whole batch of PTQs in parallel on a fixed-size thread
-  /// pool (exec/batch_executor.h). The prepared mapping set and block
-  /// tree are shared read-only across workers; answers come back in
-  /// request order and are identical for any thread count or cache
+  /// pool (exec/batch_executor.h). Every item is evaluated through the
+  /// shared ExecutionDriver against the default pair; answers come back
+  /// in request order and are identical for any thread count or cache
   /// state. Requires Prepare; requires AttachDocument only if some
   /// request's doc is null. Per-request failures (e.g. twig parse
   /// errors) error only their own answer slot.
@@ -149,12 +169,20 @@ class UncertainMatchingSystem {
       const std::vector<BatchQueryRequest>& requests,
       const BatchRunOptions& run = {}) const;
 
-  /// Registers `doc` in the corpus under `name`. The document must
-  /// conform to the source schema and outlive its registration (it is
-  /// annotated once, here). Every registration gets a fresh epoch, so
-  /// answers cached for a prior registration of the same document are
-  /// never served. AlreadyExists if the name is taken; requires Prepare.
+  /// Registers `doc` in the corpus under `name`, bound to the DEFAULT
+  /// pair. The document must conform to that pair's source schema and
+  /// outlive its registration (it is annotated once, here). Every
+  /// registration gets a fresh epoch, so answers cached for a prior
+  /// registration of the same document are never served. AlreadyExists if
+  /// the name is taken; requires Prepare.
   Status AddDocument(const std::string& name, const Document* doc);
+
+  /// Heterogeneous-corpus registration: binds `doc` to the REGISTERED
+  /// pair for (source, target) instead of the default one. NotFound if no
+  /// such pair was Prepared. Corpus queries fan across all documents
+  /// regardless of pair, each evaluated under its own pair.
+  Status AddDocument(const std::string& name, const Document* doc,
+                     const Schema* source, const Schema* target);
 
   /// Unregisters `name`. Corpus queries snapshotting after this returns
   /// can never see the document; in-flight queries that already hold it
@@ -165,15 +193,16 @@ class UncertainMatchingSystem {
   /// Evaluates one twig against the whole corpus (or the
   /// options.documents subset) and returns the global top-k answers
   /// ranked by probability, each tagged with its document (see
-  /// corpus/corpus_executor.h for the merge semantics). Requires Prepare;
-  /// an empty corpus yields an empty answer list.
+  /// corpus/corpus_executor.h for the merge semantics). Documents
+  /// registered under different pairs are each evaluated under their own
+  /// pair. Requires Prepare; an empty corpus yields an empty answer list.
   Result<CorpusQueryResult> QueryCorpus(
       const std::string& twig, const CorpusQueryOptions& options = {}) const;
 
   /// Evaluates a batch of twigs against the corpus in parallel on the
   /// same thread pool RunBatch uses; per-twig failures error only their
   /// own slot. Every (twig, document) evaluation goes through the shared
-  /// caches, keyed under the document's registration epoch.
+  /// caches, keyed under the document's registration epoch and pair.
   Result<CorpusBatchResponse> RunCorpusBatch(
       const std::vector<std::string>& twigs,
       const CorpusQueryOptions& options = {},
@@ -193,35 +222,33 @@ class UncertainMatchingSystem {
   /// Cumulative result-cache counters (hits/misses/evictions/bytes).
   ResultCacheStats result_cache_stats() const;
 
-  /// Cumulative compiled-query cache counters.
+  /// Cumulative plan-compiler counters of the default pair.
   QueryCompilerStats compiler_stats() const;
 
-  // Accessors for the intermediate products. The returned references are
-  // invalidated by a subsequent Prepare/PrepareFromMatching.
-  const SchemaMatching& matching() const;
-  const PossibleMappingSet& mappings() const;
-  const BlockTree& block_tree() const;
-  const BlockTreeBuildResult& block_tree_build() const;
+  /// Snapshot of the default prepared pair (matching, mappings, block
+  /// tree, compiler), or null before the first Prepare. The returned
+  /// object is immutable and stays valid across any later Prepare — this
+  /// replaces the old by-reference matching()/mappings()/block_tree()
+  /// accessors, whose references a concurrent Prepare invalidated.
+  std::shared_ptr<const PreparedSchemaPair> prepared_pair() const;
+
+  /// Snapshot of the registered pair for (source, target), or null.
+  std::shared_ptr<const PreparedSchemaPair> prepared_pair(
+      const Schema* source, const Schema* target) const;
+
+  /// Number of registered schema pairs.
+  size_t pair_count() const;
+
   bool prepared() const { return prepared_.load(std::memory_order_acquire); }
 
  private:
-  /// Everything derived from one Prepare call. Immutable once published;
-  /// queries hold it by shared_ptr so a concurrent re-Prepare never pulls
-  /// products out from under an in-flight evaluation.
-  struct PreparedState {
-    SchemaMatching matching;
-    PossibleMappingSet mappings;
-    BlockTreeBuildResult build;
-    std::shared_ptr<QueryCompiler> compiler;  ///< internally synchronized
-  };
-
-  /// A consistent view for one call: state, document, corpus, and epoch
-  /// captured under one lock acquisition (plus the executor for batch
-  /// calls). Corpus mutations and state installs are serialized by the
-  /// same lock, so the captured corpus is always annotated against the
-  /// captured state's source schema.
+  /// A consistent view for one call: default pair, document, corpus, and
+  /// epoch captured under one lock acquisition (plus the executor for
+  /// batch calls). Corpus mutations and pair installs are serialized by
+  /// the same lock, so every captured corpus entry is annotated against
+  /// its captured pair's source schema.
   struct Session {
-    std::shared_ptr<const PreparedState> state;
+    std::shared_ptr<const PreparedSchemaPair> pair;
     std::shared_ptr<const AnnotatedDocument> annotated;
     std::shared_ptr<const CorpusSnapshot> corpus;
     uint64_t epoch = 0;
@@ -229,29 +256,34 @@ class UncertainMatchingSystem {
   };
 
   /// Captures the current session; with a non-null `run` it also returns
-  /// the cached batch executor, (re)building it when the prepared state,
-  /// thread count, or algorithm changed. The pool is reused across
-  /// RunBatch calls so the per-call cost is queries, not thread creation;
-  /// shared ownership keeps a swapped-out executor (and the state it
-  /// points into) alive for any RunBatch still using it.
+  /// the cached batch executor, (re)building it when the thread count or
+  /// algorithm changed. The pool is reused across RunBatch calls — and
+  /// across Prepare calls, since the executor holds no pair state — so
+  /// the per-call cost is queries, not thread creation; shared ownership
+  /// keeps a swapped-out executor alive for any RunBatch still using it.
   Session Snapshot(const BatchRunOptions* run) const;
 
-  /// Publishes a freshly built state (under the lock) and invalidates.
-  void InstallState(std::shared_ptr<const PreparedState> state);
+  /// Registers a freshly built pair (under the lock), makes it the
+  /// default, rebinds its corpus documents, and invalidates.
+  void InstallPair(std::shared_ptr<const PreparedSchemaPair> pair);
 
-  /// Shared compile → result-cache lookup → evaluate → insert path behind
-  /// Query/QueryTopK/QueryBasic.
+  /// Shared single-document path behind Query/QueryTopK/QueryBasic —
+  /// a thin adapter onto ExecutionDriver::Execute.
   Result<PtqResult> CachedQuery(const std::string& twig, int top_k,
                                 bool use_block_tree) const;
-
-  const PreparedState& CurrentState() const;
 
   SystemOptions options_;
   std::shared_ptr<ResultCache> result_cache_;
   std::atomic<bool> prepared_{false};
 
+  /// Every prepared pair, keyed by (source, target) identity. Internally
+  /// synchronized, but installs additionally happen under state_mu_ so
+  /// epoch stamping and corpus rebinding stay atomic.
+  SchemaPairRegistry registry_;
+
   mutable std::mutex state_mu_;
-  std::shared_ptr<const PreparedState> state_;          // null until Prepare
+  std::shared_ptr<const PreparedSchemaPair> default_pair_;  // null until
+                                                            // Prepare
   std::shared_ptr<const AnnotatedDocument> annotated_;  // null until Attach
   /// Named corpus documents. Internally synchronized, but every mutation
   /// additionally happens under state_mu_ so registration epochs and
@@ -265,8 +297,9 @@ class UncertainMatchingSystem {
   /// attached-document cache.
   uint64_t epoch_ = 0;
   uint64_t doc_epoch_ = 0;
+  /// Cached executor, keyed only on (thread count, algorithm): items
+  /// carry their pair, so the pool survives re-preparation.
   mutable std::shared_ptr<BatchQueryExecutor> executor_;
-  mutable std::shared_ptr<const PreparedState> executor_state_;
   mutable bool executor_use_block_tree_ = true;
 };
 

@@ -109,13 +109,14 @@ Result<CorpusBatchResponse> CorpusExecutor::Run(
       item.doc = entry->annotated.get();
       item.twig = twig;
       item.epoch = entry->epoch;
+      item.pair = entry->pair;  // evaluate under the document's own pair
       items.push_back(std::move(item));
     }
   }
 
   CorpusBatchResponse response;
   const std::vector<Result<PtqResult>> evaluated =
-      executor_->Run(items, &response.report, cache);
+      executor_->Run(items, /*default_pair=*/nullptr, &response.report, cache);
 
   response.answers.reserve(twigs.size());
   for (size_t q = 0; q < twigs.size(); ++q) {

@@ -1,11 +1,13 @@
 // Cross-document top-k PTQ execution. A corpus query fans one twig (or a
 // batch of twigs) across every document of a CorpusSnapshot on the shared
-// BatchQueryExecutor thread pool, evaluates each (twig, document) pair
-// through the compiled-query and result caches — keys carry the per-
-// document epoch, so the sharded ResultCache shards naturally per
-// document — and k-way-merges the per-document PtqResults into one global
-// answer list ranked by answer probability, every answer tagged with the
-// document it came from.
+// BatchQueryExecutor thread pool. Every item carries its document's
+// prepared pair, so one fan-out may span documents prepared under
+// DIFFERENT schema pairs (a heterogeneous corpus): each (twig, document)
+// evaluation compiles/plans the twig against that document's own pair and
+// goes through the shared result cache — keys carry the per-document
+// epoch and pair id — and the per-document PtqResults are k-way-merged
+// into one global answer list ranked by answer probability, every answer
+// tagged with the document it came from.
 //
 // Merge semantics: each document's PtqResult is first collapsed by match
 // set via PtqResult::CollapseByMatches (answers over different mappings

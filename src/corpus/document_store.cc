@@ -29,6 +29,10 @@ Status DocumentStore::Add(CorpusDocument entry) {
     return Status::InvalidArgument(
         "corpus document needs a document and its annotation");
   }
+  if (entry.pair == nullptr) {
+    return Status::InvalidArgument(
+        "corpus document needs the prepared pair it is queried under");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   for (const CorpusDocument& existing : *snapshot_) {
     if (existing.name == entry.name) {
@@ -61,22 +65,29 @@ Status DocumentStore::Remove(const std::string& name) {
   return Status::OK();
 }
 
-int DocumentStore::Rebind(const Schema* schema, uint64_t epoch) {
+int DocumentStore::RebindPair(
+    const std::shared_ptr<const PreparedSchemaPair>& pair, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  CorpusSnapshot next;
-  next.reserve(snapshot_->size());
-  int dropped = 0;
-  for (const CorpusDocument& existing : *snapshot_) {
-    if (&existing.annotated->schema() != schema) {
-      ++dropped;
+  CorpusSnapshot next = *snapshot_;
+  int rebound = 0;
+  for (CorpusDocument& entry : next) {
+    if (entry.pair->source() != pair->source() ||
+        entry.pair->target() != pair->target()) {
       continue;
     }
-    CorpusDocument entry = existing;
+    entry.pair = pair;
     entry.epoch = epoch;
-    next.push_back(std::move(entry));
+    ++rebound;
   }
   Publish(std::move(next));
-  return dropped;
+  return rebound;
+}
+
+void DocumentStore::Restamp(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CorpusSnapshot next = *snapshot_;
+  for (CorpusDocument& entry : next) entry.epoch = epoch;
+  Publish(std::move(next));
 }
 
 void DocumentStore::Clear() {

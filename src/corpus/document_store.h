@@ -3,8 +3,11 @@
 // *corpus* of named documents and asks which documents (and which answers
 // within them) best match a twig. The DocumentStore is the registry half
 // of that subsystem: it maps names to documents annotated once against
-// the prepared source schema, each stamped with the epoch under which its
-// cached answers are valid.
+// the source schema of THEIR prepared pair, each stamped with the epoch
+// under which its cached answers are valid. Because every entry carries
+// its own pair, one corpus may span documents prepared under different
+// (source, target) schema pairs — a heterogeneous corpus — and a corpus
+// query fans one twig across all of them.
 //
 // Concurrency: the registry is published as an immutable snapshot behind
 // a shared_ptr — Add/Remove/Rebind build a fresh sorted vector and swap
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "plan/prepared_pair.h"
 #include "query/annotated_document.h"
 #include "xml/document.h"
 #include "xml/schema.h"
@@ -36,13 +40,16 @@
 namespace uxm {
 
 /// \brief One registered corpus member: a named document annotated against
-/// the prepared source schema, plus the epoch its cached answers live
+/// its pair's source schema, plus the epoch its cached answers live
 /// under.
 struct CorpusDocument {
   std::string name;
   const Document* doc = nullptr;  ///< must outlive its registration
   std::shared_ptr<const AnnotatedDocument> annotated;
   uint64_t epoch = 0;  ///< result-cache epoch for this registration
+  /// The prepared pair this document is queried under; its source schema
+  /// is the one `annotated` is bound to.
+  std::shared_ptr<const PreparedSchemaPair> pair;
 };
 
 /// \brief An immutable view of the corpus at one instant, sorted by name.
@@ -61,7 +68,8 @@ class DocumentStore {
   DocumentStore& operator=(const DocumentStore&) = delete;
 
   /// Registers `entry` under its name. AlreadyExists if the name is
-  /// taken; InvalidArgument on an empty name or missing annotation.
+  /// taken; InvalidArgument on an empty name, missing annotation, or
+  /// missing pair.
   Status Add(CorpusDocument entry);
 
   /// Unregisters `name`. NotFound if absent. In-flight queries holding an
@@ -69,12 +77,18 @@ class DocumentStore {
   /// returns can never see the document.
   Status Remove(const std::string& name);
 
-  /// Reconciles the corpus with a newly prepared source schema: entries
-  /// annotated against a different schema are dropped (they can no longer
-  /// be queried), surviving entries are re-stamped with `epoch` so
-  /// answers cached under the previous prepared state become unreachable.
-  /// Returns the number of entries dropped.
-  int Rebind(const Schema* schema, uint64_t epoch);
+  /// Reconciles the corpus with a re-prepared pair: entries whose pair
+  /// relates the same (source, target) schemas are re-bound to the new
+  /// incarnation and re-stamped with `epoch` (their annotations stay
+  /// valid — they depend only on the source schema, which is identical by
+  /// key). Entries of other pairs are untouched. Returns the number of
+  /// entries re-bound.
+  int RebindPair(const std::shared_ptr<const PreparedSchemaPair>& pair,
+                 uint64_t epoch);
+
+  /// Re-stamps every entry with `epoch` (full corpus invalidation: any
+  /// in-flight insert keyed under a pre-bump epoch becomes unreachable).
+  void Restamp(uint64_t epoch);
 
   /// Drops every entry.
   void Clear();

@@ -4,35 +4,27 @@
 #include <exception>
 #include <utility>
 
-#include "cache/cached_eval.h"
 #include "exec/thread_pool.h"
 
 namespace uxm {
 
 namespace {
 
-/// Per-worker counters. Compilation and result caching are shared (the
-/// QueryCompiler/ResultCache are internally synchronized); only the tallies
-/// stay thread-local so the query hot path takes no extra locks.
+/// Per-worker counters. Plan compilation and result caching are shared
+/// (the QueryCompiler/ResultCache are internally synchronized); only the
+/// tallies stay thread-local so the query hot path takes no extra locks.
 struct WorkerScratch {
   int items = 0;
   int compile_hits = 0;
   int result_hits = 0;
   int result_misses = 0;
+  int mappings_pruned = 0;
 };
 
 }  // namespace
 
-BatchQueryExecutor::BatchQueryExecutor(const PossibleMappingSet* mappings,
-                                       const BlockTree* tree,
-                                       BatchExecutorOptions options)
-    : mappings_(mappings),
-      tree_(tree),
-      options_(std::move(options)),
-      compiler_(options_.compiler != nullptr
-                    ? options_.compiler
-                    : std::make_shared<QueryCompiler>(
-                          mappings, options_.ptq.max_embeddings)),
+BatchQueryExecutor::BatchQueryExecutor(BatchExecutorOptions options)
+    : options_(std::move(options)),
       pool_(std::make_unique<ThreadPool>(
           options_.num_threads > 0 ? options_.num_threads
                                    : ThreadPool::DefaultThreadCount())) {}
@@ -42,8 +34,9 @@ BatchQueryExecutor::~BatchQueryExecutor() = default;
 int BatchQueryExecutor::num_threads() const { return pool_->num_threads(); }
 
 std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
-    const std::vector<BatchQueryItem>& batch, BatchRunReport* report,
-    const BatchCacheContext* cache) const {
+    const std::vector<BatchQueryItem>& batch,
+    const std::shared_ptr<const PreparedSchemaPair>& default_pair,
+    BatchRunReport* report, const BatchCacheContext* cache) const {
   const size_t n = batch.size();
   std::vector<Result<PtqResult>> results(
       n, Result<PtqResult>(Status::Internal("item not executed")));
@@ -52,17 +45,6 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
     report->num_threads = pool_->num_threads();
     report->items_per_thread.assign(
         static_cast<size_t>(pool_->num_threads()), 0);
-  }
-  if (mappings_ == nullptr) {
-    results.assign(n, Result<PtqResult>(
-                          Status::InvalidArgument("null mapping set")));
-    return results;
-  }
-  if (options_.use_block_tree && tree_ == nullptr) {
-    results.assign(
-        n, Result<PtqResult>(Status::InvalidArgument(
-               "use_block_tree requires a block tree; pass one or disable")));
-    return results;
   }
 
   ResultCache* result_cache = cache != nullptr ? cache->results : nullptr;
@@ -86,20 +68,32 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
       // even bad_alloc on a result assignment — fails only this slot and
       // never escapes the Result-returning API.
       try {
+        const PreparedSchemaPair* pair =
+            item.pair != nullptr ? item.pair.get() : default_pair.get();
+        if (pair == nullptr) {
+          results[i] =
+              Status::InvalidArgument("item has no prepared schema pair");
+          continue;
+        }
         if (item.doc == nullptr) {
           results[i] = Status::InvalidArgument("item has a null document");
           continue;
         }
-        PtqOptions opts = options_.ptq;
-        if (item.top_k > 0) opts.top_k = item.top_k;
-        CachedEvalCounters counters;
-        results[i] = EvaluateThroughCaches(
-            *mappings_, options_.use_block_tree ? tree_ : nullptr, *item.doc,
-            *compiler_, result_cache, item.epoch != 0 ? item.epoch : epoch,
-            item.twig, opts, &counters);
+        DriverRequest request;
+        request.pair = pair;
+        request.doc = item.doc;
+        request.twig = &item.twig;
+        request.options = options_.ptq;
+        if (item.top_k > 0) request.options.top_k = item.top_k;
+        request.use_block_tree = options_.use_block_tree;
+        request.cache = result_cache;
+        request.epoch = item.epoch != 0 ? item.epoch : epoch;
+        DriverCounters counters;
+        results[i] = ExecutionDriver::Execute(request, &counters);
         ws.compile_hits += counters.compile_hit ? 1 : 0;
         ws.result_hits += counters.result_hit ? 1 : 0;
         ws.result_misses += counters.result_miss ? 1 : 0;
+        ws.mappings_pruned += counters.select.skipped;
       } catch (const std::exception& e) {
         results[i] = Status::Internal(std::string("evaluation threw: ") +
                                       e.what());
@@ -120,8 +114,18 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
       report->query_cache_hits += ws.compile_hits;
       report->result_cache_hits += ws.result_hits;
       report->result_cache_misses += ws.result_misses;
+      report->mappings_pruned += ws.mappings_pruned;
     }
-    report->compiler = compiler_->Stats();
+    // Sample compiler stats from the default pair, or — for pair-carried
+    // runs like corpus fan-outs — from the first item's pair, so corpus
+    // batch reports keep their compiler counters.
+    const PreparedSchemaPair* report_pair = default_pair.get();
+    for (size_t i = 0; report_pair == nullptr && i < n; ++i) {
+      report_pair = batch[i].pair.get();
+    }
+    if (report_pair != nullptr) {
+      report->compiler = report_pair->compiler->Stats();
+    }
     if (result_cache != nullptr) {
       report->result_cache = result_cache->Stats();
     }

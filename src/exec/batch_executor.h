@@ -1,17 +1,22 @@
 // Parallel batch PTQ execution. A batch is a list of {annotated document,
-// twig text} pairs evaluated against ONE prepared (mapping set, block
-// tree) pair — the shape of a production query front-end, where the
-// integration system is prepared once and then serves many queries over
-// many documents.
+// twig text} items — each bound to a prepared schema pair — fanned across
+// a fixed thread pool, the shape of a production query front-end: pairs
+// are prepared once and then serve many queries over many documents.
 //
-// Concurrency model: the PossibleMappingSet and BlockTree are immutable
-// after Prepare and are shared read-only by every worker, as are the two
-// caches: a QueryCompiler (parse + schema embedding + mapping filtering
-// computed once per distinct twig, shared across threads AND requests)
-// and an optional sharded ResultCache of whole PTQ answers. Items are
-// claimed off an atomic cursor for dynamic load balancing, and every
-// answer is written to its input slot, so results are always in input
-// order and bit-identical regardless of thread count or cache state.
+// The executor owns only the pool. Everything a worker needs to evaluate
+// an item travels WITH the item (its pair carries the mapping set, block
+// tree and plan compiler), so one executor serves heterogeneous batches
+// spanning several schema pairs, and a re-preparation never needs to
+// tear the pool down. Items whose pair is null inherit the Run call's
+// default pair.
+//
+// Concurrency model: every pair's products are immutable and shared
+// read-only by every worker; each item is evaluated through the one
+// ExecutionDriver protocol (plan cache, early-termination top-k, result
+// cache). Items are claimed off an atomic cursor for dynamic load
+// balancing, and every answer is written to its input slot, so results
+// are always in input order and bit-identical regardless of thread count
+// or cache state.
 #ifndef UXM_EXEC_BATCH_EXECUTOR_H_
 #define UXM_EXEC_BATCH_EXECUTOR_H_
 
@@ -20,11 +25,10 @@
 #include <string>
 #include <vector>
 
-#include "blocktree/block_tree.h"
-#include "cache/query_compiler.h"
 #include "cache/result_cache.h"
 #include "common/status.h"
-#include "mapping/possible_mapping.h"
+#include "plan/driver.h"
+#include "plan/prepared_pair.h"
 #include "query/annotated_document.h"
 #include "query/ptq.h"
 
@@ -43,6 +47,10 @@ struct BatchQueryItem {
   /// answers are keyed under that document's own registration epoch
   /// (facade epochs start at 1, so 0 is never a real epoch).
   uint64_t epoch = 0;
+  /// The pair to evaluate under; null inherits the Run call's default
+  /// pair. Corpus runs set it per document, which is what lets one batch
+  /// span documents prepared under different schema pairs.
+  std::shared_ptr<const PreparedSchemaPair> pair;
 };
 
 /// \brief Executor configuration.
@@ -53,10 +61,6 @@ struct BatchExecutorOptions {
   bool use_block_tree = true;
   /// Base evaluation options applied to every item.
   PtqOptions ptq;
-  /// Compiled-query cache; nullptr makes the executor create its own over
-  /// its mapping set. Inject a shared one (as the facade does) so
-  /// single-shot Query calls and batches reuse each other's compilations.
-  std::shared_ptr<QueryCompiler> compiler;
 };
 
 /// \brief Per-Run result-cache binding. The epoch is whatever counter the
@@ -74,14 +78,20 @@ struct BatchRunReport {
   /// Items evaluated by each worker (size == num_threads). Sums to the
   /// batch size; the spread shows load-balancing quality.
   std::vector<int> items_per_thread;
-  /// Compiled-query cache hits over this run's items (a hit skips parse,
-  /// schema embedding, and mapping filtering).
+  /// Compiled-plan cache hits over this run's items (a hit skips parse
+  /// and schema embedding).
   int query_cache_hits = 0;
   /// Result-cache hits/misses over this run's items (both 0 when Run had
   /// no cache bound). A hit skips evaluation entirely.
   int result_cache_hits = 0;
   int result_cache_misses = 0;
-  /// Cumulative cache state sampled at the end of the run.
+  /// Work units never consumed thanks to early-termination top-k, summed
+  /// over this run's items (0 for untruncated/top-k-less traffic).
+  int mappings_pruned = 0;
+  /// Cumulative cache state sampled at the end of the run: the default
+  /// pair's compiler, or the first item's pair when the run had no
+  /// default (e.g. corpus fan-outs). Zero-valued only for empty
+  /// pair-less runs.
   QueryCompilerStats compiler;
   ResultCacheStats result_cache;
 };
@@ -94,40 +104,32 @@ struct BatchRunReport {
 /// queue is FIFO, so a small Run issued while a large one occupies every
 /// worker completes its items on the calling thread but still waits for
 /// the earlier batch before returning. Latency-sensitive callers should
-/// use their own executor. The referenced mapping set / block tree must
-/// outlive the executor and stay unmodified while Run is in flight.
+/// use their own executor.
 class BatchQueryExecutor {
  public:
-  /// `tree` may be null iff options.use_block_tree is false.
-  BatchQueryExecutor(const PossibleMappingSet* mappings,
-                     const BlockTree* tree,
-                     BatchExecutorOptions options = {});
+  explicit BatchQueryExecutor(BatchExecutorOptions options = {});
   ~BatchQueryExecutor();
 
   BatchQueryExecutor(const BatchQueryExecutor&) = delete;
   BatchQueryExecutor& operator=(const BatchQueryExecutor&) = delete;
 
   /// Evaluates every item and returns the answers in input order: slot i
-  /// of the returned vector is item i's result. Per-item failures (parse
-  /// errors, null documents) error only their own slot. When `report` is
+  /// of the returned vector is item i's result. Items without their own
+  /// pair run under `default_pair` (an item with neither errors only its
+  /// own slot, as do parse errors and null documents). When `report` is
   /// non-null it receives this run's statistics. When `cache` binds a
   /// ResultCache, hits skip evaluation and successful answers are
-  /// inserted keyed under cache->epoch.
+  /// inserted keyed under the item's epoch (or cache->epoch).
   std::vector<Result<PtqResult>> Run(
       const std::vector<BatchQueryItem>& batch,
+      const std::shared_ptr<const PreparedSchemaPair>& default_pair,
       BatchRunReport* report = nullptr,
       const BatchCacheContext* cache = nullptr) const;
 
   int num_threads() const;
 
-  /// The compiled-query cache this executor evaluates through.
-  QueryCompiler* compiler() const { return compiler_.get(); }
-
  private:
-  const PossibleMappingSet* mappings_;
-  const BlockTree* tree_;
   BatchExecutorOptions options_;
-  std::shared_ptr<QueryCompiler> compiler_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

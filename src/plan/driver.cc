@@ -1,0 +1,57 @@
+#include "plan/driver.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace uxm {
+
+Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
+                                           DriverCounters* counters) {
+  if (counters != nullptr) *counters = DriverCounters{};
+  if (request.pair == nullptr) {
+    return Status::InvalidArgument("request has no prepared pair");
+  }
+  if (request.doc == nullptr) {
+    return Status::InvalidArgument("request has a null document");
+  }
+  if (request.twig == nullptr) {
+    return Status::InvalidArgument("request has no twig");
+  }
+  const PreparedSchemaPair& pair = *request.pair;
+  ResultCacheKey key;
+  if (request.cache != nullptr) {
+    key = ResultCacheKey{*request.twig,       &request.doc->doc(),
+                         request.epoch,       request.options.top_k,
+                         request.use_block_tree, pair.pair_id};
+    if (auto hit = request.cache->Lookup(key)) {
+      if (counters != nullptr) counters->result_hit = true;
+      return *hit;
+    }
+    if (counters != nullptr) counters->result_miss = true;
+  }
+  bool compile_hit = false;
+  auto compiled = pair.compiler->Compile(*request.twig, &compile_hit);
+  if (counters != nullptr) counters->compile_hit = compile_hit;
+  if (!compiled.ok()) return compiled.status();
+  const QueryPlan& plan = **compiled;
+  const std::vector<MappingId> selected = plan.SelectForTopK(
+      request.options.top_k,
+      counters != nullptr ? &counters->select : nullptr);
+  PtqEvaluator eval(&pair.mappings, request.doc);
+  Result<PtqResult> answer =
+      request.use_block_tree
+          ? eval.EvaluateTreePrepared(plan.query(), plan.embeddings(),
+                                      selected, plan.truncated_embeddings(),
+                                      pair.tree(), request.options)
+          : eval.EvaluateBasicPrepared(plan.query(), plan.embeddings(),
+                                       selected, plan.truncated_embeddings(),
+                                       request.options);
+  if (answer.ok() && request.cache != nullptr) {
+    request.cache->Insert(key,
+                          std::make_shared<const PtqResult>(answer.value()));
+  }
+  return answer;
+}
+
+}  // namespace uxm

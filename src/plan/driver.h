@@ -1,0 +1,65 @@
+// The execution driver — the ONE evaluate path behind Query, QueryTopK,
+// QueryBasic, RunBatch, QueryCorpus and RunCorpusBatch. It runs the full
+// plan/execute protocol for a single (twig, document, pair) request:
+//
+//   result-cache probe → compile (plan cache) → early-termination top-k
+//   mapping selection → prepared evaluation → result-cache insert
+//
+// The key schema and insert rules live only here, so single-shot queries,
+// batch workers and corpus fan-outs can never drift apart (they used to
+// be three separately-evolved copies of this protocol). Top-k requests
+// select mappings through QueryPlan::SelectForTopK, which consumes the
+// pair's descending-probability work units and stops as soon as the
+// residual mass provably cannot alter the top-k answer set — exact, not
+// approximate (differential-tested against the unpruned enumeration).
+#ifndef UXM_PLAN_DRIVER_H_
+#define UXM_PLAN_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cache/result_cache.h"
+#include "common/status.h"
+#include "plan/prepared_pair.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+
+namespace uxm {
+
+/// \brief One driver request: a twig against one document prepared under
+/// one schema pair. Pointers are borrowed and must outlive the call.
+struct DriverRequest {
+  const PreparedSchemaPair* pair = nullptr;  ///< required
+  const AnnotatedDocument* doc = nullptr;    ///< required, bound to
+                                             ///< pair->source()
+  const std::string* twig = nullptr;         ///< required
+  /// Effective evaluation options; options.top_k is part of the cache
+  /// key and drives the early-termination selection.
+  PtqOptions options;
+  bool use_block_tree = true;  ///< Algorithm 4 vs Algorithm 3.
+  ResultCache* cache = nullptr;  ///< null = no answer caching
+  uint64_t epoch = 0;            ///< result-cache epoch stamp
+};
+
+/// \brief What one Execute call did (for report tallies).
+struct DriverCounters {
+  bool compile_hit = false;
+  bool result_hit = false;
+  bool result_miss = false;  ///< looked up but absent (false if no cache)
+  /// Early-termination accounting of the mapping selection (zero on a
+  /// result-cache hit — nothing was selected).
+  PlanSelectStats select;
+};
+
+/// \brief Stateless driver; Execute is safe to call from any number of
+/// threads concurrently (all shared state lives in the pair's internally
+/// synchronized compiler/plans and the sharded result cache).
+class ExecutionDriver {
+ public:
+  static Result<PtqResult> Execute(const DriverRequest& request,
+                                   DriverCounters* counters = nullptr);
+};
+
+}  // namespace uxm
+
+#endif  // UXM_PLAN_DRIVER_H_

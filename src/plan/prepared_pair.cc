@@ -1,0 +1,93 @@
+#include "plan/prepared_pair.h"
+
+#include <atomic>
+#include <utility>
+
+namespace uxm {
+
+namespace {
+
+/// Pair ids are process-unique and never reused; 0 is reserved for
+/// "no pair" in cache keys.
+uint64_t NextPairId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::shared_ptr<const PreparedSchemaPair> Finish(
+    std::shared_ptr<PreparedSchemaPair> pair, size_t max_embeddings) {
+  pair->pair_id = NextPairId();
+  pair->order =
+      std::make_shared<const MappingOrder>(MappingOrder::Build(pair->mappings));
+  pair->compiler = std::make_shared<QueryCompiler>(
+      &pair->mappings, max_embeddings, /*max_entries=*/4096, pair->order);
+  return pair;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedSchemaPair>> BuildPreparedSchemaPair(
+    SchemaMatching matching, const PairBuildOptions& options) {
+  if (matching.empty()) {
+    return Status::InvalidArgument("matching has no correspondences");
+  }
+  auto pair = std::make_shared<PreparedSchemaPair>();
+  pair->matching = std::move(matching);
+  TopHGenerator generator(options.top_h);
+  UXM_ASSIGN_OR_RETURN(pair->mappings, generator.Generate(pair->matching));
+  BlockTreeBuilder builder(options.block_tree);
+  UXM_ASSIGN_OR_RETURN(pair->build, builder.Build(pair->mappings));
+  return Finish(std::move(pair), options.max_embeddings);
+}
+
+std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromProducts(
+    SchemaMatching matching, PossibleMappingSet mappings,
+    BlockTreeBuildResult build, size_t max_embeddings) {
+  auto pair = std::make_shared<PreparedSchemaPair>();
+  pair->matching = std::move(matching);
+  pair->mappings = std::move(mappings);
+  pair->build = std::move(build);
+  return Finish(std::move(pair), max_embeddings);
+}
+
+std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Install(
+    std::shared_ptr<const PreparedSchemaPair> pair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& existing : pairs_) {
+    if (existing->source() == pair->source() &&
+        existing->target() == pair->target()) {
+      std::shared_ptr<const PreparedSchemaPair> replaced = existing;
+      existing = std::move(pair);
+      return replaced;
+    }
+  }
+  pairs_.push_back(std::move(pair));
+  return nullptr;
+}
+
+std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Find(
+    const Schema* source, const Schema* target) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& pair : pairs_) {
+    if (pair->source() == source && pair->target() == target) return pair;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<const PreparedSchemaPair>> SchemaPairRegistry::All()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pairs_;
+}
+
+size_t SchemaPairRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pairs_.size();
+}
+
+void SchemaPairRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pairs_.clear();
+}
+
+}  // namespace uxm

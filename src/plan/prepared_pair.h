@@ -1,0 +1,112 @@
+// Prepared schema pairs and their registry — the preparation layer of
+// the plan/execute engine.
+//
+// The paper's whole economics rest on computing the schema-level products
+// once and amortizing them across many queries and documents: the
+// matching U, the top-h possible mappings M, the block tree X, plus (our
+// serving additions) the shared plan compiler and the descending-
+// probability work-unit order. A PreparedSchemaPair bundles exactly those
+// products for ONE (source, target) schema pair, immutable once built and
+// always handed around by shared_ptr<const> — in-flight queries keep the
+// pair they started with alive across any re-preparation.
+//
+// The SchemaPairRegistry holds one current pair per (source, target)
+// identity. Re-installing a pair for the same schemas replaces it (a new
+// pair_id makes old cached answers structurally unreachable); pairs for
+// other schemas are untouched, which is what lets one corpus span
+// documents prepared under different pairs (see corpus/document_store.h).
+#ifndef UXM_PLAN_PREPARED_PAIR_H_
+#define UXM_PLAN_PREPARED_PAIR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "blocktree/block_tree.h"
+#include "cache/query_compiler.h"
+#include "common/status.h"
+#include "mapping/possible_mapping.h"
+#include "mapping/top_h.h"
+#include "matching/matching.h"
+#include "plan/query_plan.h"
+
+namespace uxm {
+
+/// \brief Everything derived from preparing one (source, target) schema
+/// pair. Immutable once published; the compiler and the plans it caches
+/// are internally synchronized interior state.
+struct PreparedSchemaPair {
+  /// Process-unique identity of this preparation, baked into result-cache
+  /// keys: a re-prepared pair gets a fresh id, so answers computed under
+  /// the old incarnation can never satisfy new lookups (and two pairs
+  /// sharing a document never collide).
+  uint64_t pair_id = 0;
+  SchemaMatching matching;
+  PossibleMappingSet mappings;
+  BlockTreeBuildResult build;
+  /// Shared work-unit order (descending probability + residual bounds).
+  std::shared_ptr<const MappingOrder> order;
+  /// Plan cache over this pair's mappings; shared by every query path.
+  std::shared_ptr<QueryCompiler> compiler;
+
+  const Schema* source() const { return matching.source_ptr(); }
+  const Schema* target() const { return matching.target_ptr(); }
+  const BlockTree& tree() const { return build.tree; }
+};
+
+/// \brief Preparation knobs (the schema-level slice of SystemOptions).
+struct PairBuildOptions {
+  TopHOptions top_h;
+  BlockTreeOptions block_tree;
+  size_t max_embeddings = 256;
+};
+
+/// Builds a pair from a finalized matching: generates the top-h mappings,
+/// builds the block tree, derives the work-unit order, and seeds the plan
+/// compiler. The schemas referenced by `matching` must outlive the pair.
+Result<std::shared_ptr<const PreparedSchemaPair>> BuildPreparedSchemaPair(
+    SchemaMatching matching, const PairBuildOptions& options);
+
+/// Assembles a pair from already-built products (tests and benches that
+/// hand-craft mapping sets / trees). `build` must have been produced from
+/// a mapping set with the same contents as `mappings`.
+std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromProducts(
+    SchemaMatching matching, PossibleMappingSet mappings,
+    BlockTreeBuildResult build, size_t max_embeddings = 256);
+
+/// \brief Registry of the current pair per (source, target) identity.
+///
+/// Thread-safe; pairs are published by shared_ptr swap, so readers grab a
+/// snapshot and never block behind an install. The facade additionally
+/// serializes installs with its state lock so epoch stamping stays atomic
+/// with corpus rebinding.
+class SchemaPairRegistry {
+ public:
+  SchemaPairRegistry() = default;
+  SchemaPairRegistry(const SchemaPairRegistry&) = delete;
+  SchemaPairRegistry& operator=(const SchemaPairRegistry&) = delete;
+
+  /// Installs `pair`, replacing any pair for the same (source, target)
+  /// identity. Returns the replaced pair (null if this key is new).
+  std::shared_ptr<const PreparedSchemaPair> Install(
+      std::shared_ptr<const PreparedSchemaPair> pair);
+
+  /// The current pair for (source, target), or null.
+  std::shared_ptr<const PreparedSchemaPair> Find(const Schema* source,
+                                                 const Schema* target) const;
+
+  /// Snapshot of every registered pair (unspecified order).
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> All() const;
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_PLAN_PREPARED_PAIR_H_

@@ -1,0 +1,114 @@
+#include "plan/query_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "query/ptq.h"
+
+namespace uxm {
+
+MappingOrder MappingOrder::Build(const PossibleMappingSet& mappings) {
+  MappingOrder order;
+  const int n = mappings.size();
+  order.by_probability.resize(static_cast<size_t>(n));
+  for (MappingId mid = 0; mid < n; ++mid) {
+    order.by_probability[static_cast<size_t>(mid)] = mid;
+  }
+  // Stable over the ascending-id identity order, so equal probabilities
+  // rank by ascending id — the same tie-break FilterRelevantMappings
+  // produces (it shares this exact sort).
+  SortByProbabilityDescending(mappings, &order.by_probability);
+  order.residual_after.assign(static_cast<size_t>(n), 0.0);
+  double mass = 0.0;
+  for (int i = n - 1; i >= 0; --i) {
+    order.residual_after[static_cast<size_t>(i)] = mass;
+    mass += mappings.mapping(order.by_probability[static_cast<size_t>(i)])
+                .probability;
+  }
+  return order;
+}
+
+QueryPlan::QueryPlan(const PossibleMappingSet* mappings,
+                     std::shared_ptr<const MappingOrder> order,
+                     TwigQuery query,
+                     std::vector<std::vector<SchemaNodeId>> embeddings,
+                     bool truncated_embeddings)
+    : mappings_(mappings),
+      order_(std::move(order)),
+      query_(std::move(query)),
+      embeddings_(std::move(embeddings)),
+      truncated_embeddings_(truncated_embeddings) {
+  const size_t n = static_cast<size_t>(mappings_->size());
+  memo_ = std::make_unique<std::atomic<uint8_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    memo_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool QueryPlan::ComputeRelevance(MappingId mid) const {
+  relevance_checks_.fetch_add(1, std::memory_order_relaxed);
+  // Shared predicate: exact agreement with FilterRelevantMappings is
+  // what makes the early-terminated selection exact.
+  return IsMappingRelevant(mappings_->mapping(mid), embeddings_);
+}
+
+bool QueryPlan::IsRelevant(MappingId mid) const {
+  std::atomic<uint8_t>& slot = memo_[static_cast<size_t>(mid)];
+  const uint8_t cached = slot.load(std::memory_order_acquire);
+  if (cached != 0) return cached == 2;
+  const bool relevant = ComputeRelevance(mid);
+  slot.store(relevant ? 2 : 1, std::memory_order_release);
+  return relevant;
+}
+
+const std::vector<MappingId>& QueryPlan::AllRelevant() const {
+  std::call_once(all_relevant_once_, [this]() {
+    const int n = mappings_->size();
+    for (MappingId mid = 0; mid < n; ++mid) {
+      if (IsRelevant(mid)) all_relevant_.push_back(mid);
+    }
+  });
+  return all_relevant_;
+}
+
+std::vector<MappingId> QueryPlan::SelectForTopK(int top_k,
+                                                PlanSelectStats* stats) const {
+  if (stats != nullptr) *stats = PlanSelectStats{};
+  const int n = mappings_->size();
+  if (top_k <= 0) {
+    const std::vector<MappingId>& all = AllRelevant();
+    if (stats != nullptr) {
+      stats->selected = static_cast<int>(all.size());
+      stats->scanned = n;
+    }
+    return all;
+  }
+  // Consume work units most-probable-first; every unit left unconsumed
+  // when k relevant mappings are in hand has probability no larger than
+  // the last consumed unit's (and the whole tail at most residual_after
+  // mass), so it provably cannot belong to the top-k relevant set.
+  std::vector<MappingId> selected;
+  selected.reserve(static_cast<size_t>(top_k));
+  int scanned = 0;
+  double residual = 0.0;
+  for (size_t i = 0; i < order_->by_probability.size(); ++i) {
+    const MappingId mid = order_->by_probability[i];
+    ++scanned;
+    if (!IsRelevant(mid)) continue;
+    selected.push_back(mid);
+    if (static_cast<int>(selected.size()) == top_k) {
+      residual = order_->residual_after[i];
+      break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->selected = static_cast<int>(selected.size());
+    stats->scanned = scanned;
+    stats->skipped = n - scanned;
+    stats->residual_mass = residual;
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace uxm

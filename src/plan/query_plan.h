@@ -1,0 +1,123 @@
+// The planning layer: everything derivable from (twig text, prepared
+// schema pair) is compiled ONCE into a QueryPlan and shared across every
+// request and worker that asks the same twig of the same pair.
+//
+// A plan is deliberately lazier than the old CompiledQuery: parsing and
+// schema embedding still happen eagerly at compile time, but per-mapping
+// relevance (the paper's filter_mappings) is memoized on demand. That is
+// what makes early-termination top-k (§IV-C) a real latency win instead
+// of a post-hoc cut: the top-k answer set is exactly the first k relevant
+// mappings in descending-probability order, so a top-k request walks the
+// pair's shared MappingOrder, tests relevance lazily, and stops the
+// moment k relevant mappings are found — every remaining work unit has a
+// probability no larger than the last consumed one (the order's
+// residual_after[] is the proof: it bounds everything still unseen), so
+// none of them can displace a selected mapping. The enumeration is exact,
+// not approximate; tests/differential_test.cc sweeps pruned vs unpruned.
+#ifndef UXM_PLAN_QUERY_PLAN_H_
+#define UXM_PLAN_QUERY_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mapping/possible_mapping.h"
+#include "query/twig_query.h"
+
+namespace uxm {
+
+/// \brief The shared consumption order over one mapping set: work units
+/// in descending-probability order (stable — ties break by ascending
+/// mapping id, matching the stable sort in FilterRelevantMappings), each
+/// carrying the upper bound on what the remaining enumeration can still
+/// contribute. Built once per prepared pair and shared by every plan.
+struct MappingOrder {
+  /// by_probability[i] is the i-th most probable mapping id.
+  std::vector<MappingId> by_probability;
+  /// residual_after[i] = total probability mass of by_probability[i+1..):
+  /// once i work units are consumed, no unseen mapping has probability
+  /// above by_probability[i]'s and the whole tail holds at most
+  /// residual_after[i] mass.
+  std::vector<double> residual_after;
+
+  static MappingOrder Build(const PossibleMappingSet& mappings);
+};
+
+/// \brief What one top-k selection did (early-termination accounting).
+struct PlanSelectStats {
+  int selected = 0;       ///< Mappings chosen for evaluation.
+  int scanned = 0;        ///< Work units consumed before the stop.
+  int skipped = 0;        ///< Units never consumed (pure pruning win).
+  double residual_mass = 0.0;  ///< Probability mass provably prunable
+                               ///< at the stop point.
+};
+
+/// \brief A compiled (twig, pair) plan. Immutable to callers; the
+/// relevance memo inside is thread-safe interior state, so one plan is
+/// shared by every worker thread via shared_ptr<const QueryPlan>.
+class QueryPlan {
+ public:
+  /// `mappings` and `order` must describe the same pair and outlive the
+  /// plan (the QueryCompiler that builds plans owns/shares both).
+  QueryPlan(const PossibleMappingSet* mappings,
+            std::shared_ptr<const MappingOrder> order, TwigQuery query,
+            std::vector<std::vector<SchemaNodeId>> embeddings,
+            bool truncated_embeddings);
+
+  QueryPlan(const QueryPlan&) = delete;
+  QueryPlan& operator=(const QueryPlan&) = delete;
+
+  const TwigQuery& query() const { return query_; }
+  const std::vector<std::vector<SchemaNodeId>>& embeddings() const {
+    return embeddings_;
+  }
+  /// True if the max_embeddings cap cut the embedding enumeration short;
+  /// propagated into every PtqResult produced from this plan.
+  bool truncated_embeddings() const { return truncated_embeddings_; }
+  const MappingOrder& order() const { return *order_; }
+
+  /// Memoized per-mapping relevance: true iff some embedding is fully
+  /// mapped under mapping `mid`. First call per mapping computes; later
+  /// calls are one atomic load.
+  bool IsRelevant(MappingId mid) const;
+
+  /// Every relevant mapping id, ascending — the unpruned §IV answer set.
+  /// Computed (and memoized) on first use, so pure top-k traffic never
+  /// pays the full |M| relevance scan.
+  const std::vector<MappingId>& AllRelevant() const;
+
+  /// The §IV-C top-k restriction with early termination (see file
+  /// comment). Returns ascending ids, exactly equal to
+  /// FilterRelevantMappings(mappings, embeddings(), top_k); top_k <= 0
+  /// returns AllRelevant(). `stats` (optional) reports the work skipped.
+  std::vector<MappingId> SelectForTopK(int top_k,
+                                       PlanSelectStats* stats = nullptr) const;
+
+  /// Full relevance computations performed so far (test/bench probe:
+  /// early-terminated selections keep this below |M|).
+  uint64_t relevance_checks() const {
+    return relevance_checks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool ComputeRelevance(MappingId mid) const;
+
+  const PossibleMappingSet* mappings_;
+  std::shared_ptr<const MappingOrder> order_;
+  TwigQuery query_;
+  std::vector<std::vector<SchemaNodeId>> embeddings_;
+  bool truncated_embeddings_ = false;
+
+  /// Tri-state memo: 0 unknown, 1 irrelevant, 2 relevant. Races are
+  /// benign — every thread computes the same value.
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> memo_;
+  mutable std::atomic<uint64_t> relevance_checks_{0};
+  mutable std::once_flag all_relevant_once_;
+  mutable std::vector<MappingId> all_relevant_;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_PLAN_QUERY_PLAN_H_

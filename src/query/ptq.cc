@@ -108,9 +108,14 @@ std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
       out.size() > max_embeddings) {
     *truncated = true;
     out.resize(max_embeddings);
-    UXM_LOG(Warning) << "query '" << query.ToString()
-                     << "' embeddings truncated at " << max_embeddings
-                     << "; its answers may be incomplete";
+    // Once per distinct twig, not once per evaluation: a capped twig
+    // repeated across a large batch must not flood stderr. (Callers also
+    // see PtqResult::truncated_embeddings per answer.)
+    if (LogFirstSighting("truncated_embeddings:" + query.ToString())) {
+      UXM_LOG(Warning) << "query '" << query.ToString()
+                       << "' embeddings truncated at " << max_embeddings
+                       << "; its answers may be incomplete";
+    }
   }
   return out;
 }
@@ -128,35 +133,43 @@ bool PtqEvaluator::RewriteBinding(const std::vector<SchemaNodeId>& embedding,
   return true;
 }
 
+bool IsMappingRelevant(
+    const PossibleMapping& m,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings) {
+  for (const auto& emb : embeddings) {
+    bool all = true;
+    for (SchemaNodeId t : emb) {
+      if (t != kInvalidSchemaNode && m.SourceFor(t) == kInvalidSchemaNode) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+void SortByProbabilityDescending(const PossibleMappingSet& mappings,
+                                 std::vector<MappingId>* ids) {
+  std::stable_sort(ids->begin(), ids->end(),
+                   [&](MappingId a, MappingId b) {
+                     return mappings.mapping(a).probability >
+                            mappings.mapping(b).probability;
+                   });
+}
+
 std::vector<MappingId> FilterRelevantMappings(
     const PossibleMappingSet& mappings,
     const std::vector<std::vector<SchemaNodeId>>& embeddings, int top_k) {
   std::vector<MappingId> relevant;
   for (MappingId mid = 0; mid < mappings.size(); ++mid) {
-    const PossibleMapping& m = mappings.mapping(mid);
-    bool ok = false;
-    for (const auto& emb : embeddings) {
-      bool all = true;
-      for (SchemaNodeId t : emb) {
-        if (t != kInvalidSchemaNode && m.SourceFor(t) == kInvalidSchemaNode) {
-          all = false;
-          break;
-        }
-      }
-      if (all) {
-        ok = true;
-        break;
-      }
+    if (IsMappingRelevant(mappings.mapping(mid), embeddings)) {
+      relevant.push_back(mid);
     }
-    if (ok) relevant.push_back(mid);
   }
   if (top_k > 0) {
     // §IV-C: keep only the k most probable relevant mappings.
-    std::stable_sort(relevant.begin(), relevant.end(),
-                     [&](MappingId a, MappingId b) {
-                       return mappings.mapping(a).probability >
-                              mappings.mapping(b).probability;
-                     });
+    SortByProbabilityDescending(mappings, &relevant);
     if (static_cast<int>(relevant.size()) > top_k) {
       relevant.resize(static_cast<size_t>(top_k));
     }
@@ -237,9 +250,14 @@ void PtqEvaluator::EvalTreeRec(
   const SchemaNodeId t = embedding[static_cast<size_t>(q_node)];
   const std::vector<int> sub_nodes = query.SubtreeNodes(q_node);
 
-  // find_node(q.root, H): the paper's hash lookup by target path.
+  // find_node(q.root, H): the paper's hash lookup by target path. Two
+  // target nodes may share a label path (duplicate tags), in which case
+  // H resolves the path to ONE of them — whose c-blocks cover a
+  // different subtree than t's. Only take the block fast path when the
+  // hash resolves to this embedding's own node; otherwise fall through
+  // to direct per-mapping evaluation, which is always correct.
   const SchemaNodeId hashed = tree.FindNodeByPath(target.path(t));
-  if (hashed != kInvalidSchemaNode) {
+  if (hashed == t) {
     // query_subtree (Algorithm 4): evaluate the subquery once per c-block
     // and replicate the result to every mapping sharing the block.
     std::vector<uint8_t> assigned(static_cast<size_t>(mappings_->size()), 0);

@@ -85,6 +85,22 @@ std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
     const TwigQuery& query, const Schema& schema, size_t max_embeddings,
     bool* truncated = nullptr);
 
+/// \brief The per-mapping relevance predicate: true iff some embedding
+/// is fully mapped under `m`. The ONE definition shared by
+/// FilterRelevantMappings and the plan layer's lazy memo
+/// (plan/query_plan.h) — their exact agreement is what makes
+/// early-termination top-k exact.
+bool IsMappingRelevant(
+    const PossibleMapping& m,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings);
+
+/// \brief Stable-sorts `ids` most-probable-first; equal probabilities
+/// keep their prior order (so ascending-id input ties by ascending id).
+/// The ONE §IV-C ranking order, shared by FilterRelevantMappings and
+/// MappingOrder::Build.
+void SortByProbabilityDescending(const PossibleMappingSet& mappings,
+                                 std::vector<MappingId>* ids);
+
 /// \brief filter_mappings (+ the §IV-C top-k restriction): ids of the
 /// mappings under which some embedding is fully mapped, ascending.
 /// top_k > 0 keeps only the k most probable of them (stable order), still
@@ -113,8 +129,8 @@ class PtqEvaluator {
 
   /// Algorithm 3 with precompiled inputs: `embeddings` and `relevant` as
   /// produced by EmbedQueryInSchema / FilterRelevantMappings (or a
-  /// cache/query_compiler.h CompiledQuery), so nothing is re-derived per
-  /// call. `truncated` is carried into the result's truncated_embeddings.
+  /// plan/query_plan.h QueryPlan), so nothing is re-derived per call.
+  /// `truncated` is carried into the result's truncated_embeddings.
   Result<PtqResult> EvaluateBasicPrepared(
       const TwigQuery& query,
       const std::vector<std::vector<SchemaNodeId>>& embeddings,

@@ -1,8 +1,9 @@
-// Query compilation + result caching: CompiledQuery must reproduce the
-// uncompiled parse/embed/filter pipeline exactly, the sharded LRU must
-// honor its byte budget and stats, and the facade must (a) serve repeated
-// queries from cache, (b) never serve a stale answer after
-// Prepare/AttachDocument, and (c) report cache statistics through
+// Query compilation + result caching: a compiled QueryPlan must
+// reproduce the uncompiled parse/embed/filter pipeline exactly (including
+// the lazy-relevance top-k selection), the sharded LRU must honor its
+// byte budget and stats, and the facade must (a) serve repeated queries
+// from cache, (b) never serve a stale answer after Prepare/
+// AttachDocument, and (c) report cache statistics through
 // BatchRunReport.
 #include "cache/query_compiler.h"
 
@@ -36,18 +37,18 @@ TEST_F(QueryCompilerTest, CompilationMatchesUncompiledPipeline) {
   const std::string twig = "//IP//ICN";
   auto compiled = compiler.Compile(twig);
   ASSERT_TRUE(compiled.ok()) << compiled.status();
-  const CompiledQuery& cq = **compiled;
+  const QueryPlan& plan = **compiled;
 
   auto parsed = TwigQuery::Parse(twig);
   ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(cq.query.ToString(), parsed->ToString());
-  EXPECT_EQ(cq.embeddings, EmbedQueryInSchema(*parsed, *ex_.target, 256));
-  EXPECT_FALSE(cq.truncated_embeddings);
-  EXPECT_EQ(cq.relevant,
-            FilterRelevantMappings(ex_.mappings, cq.embeddings, 0));
+  EXPECT_EQ(plan.query().ToString(), parsed->ToString());
+  EXPECT_EQ(plan.embeddings(), EmbedQueryInSchema(*parsed, *ex_.target, 256));
+  EXPECT_FALSE(plan.truncated_embeddings());
+  EXPECT_EQ(plan.AllRelevant(),
+            FilterRelevantMappings(ex_.mappings, plan.embeddings(), 0));
 }
 
-TEST_F(QueryCompilerTest, RelevantForTopKMatchesFilterMappings) {
+TEST_F(QueryCompilerTest, SelectForTopKMatchesFilterMappings) {
   // Distinct probabilities so top-k order is meaningful.
   auto* ms = ex_.mappings.mutable_mappings();
   for (size_t i = 0; i < ms->size(); ++i) {
@@ -57,12 +58,40 @@ TEST_F(QueryCompilerTest, RelevantForTopKMatchesFilterMappings) {
   QueryCompiler compiler(&ex_.mappings);
   auto compiled = compiler.Compile("//IP//ICN");
   ASSERT_TRUE(compiled.ok());
-  const CompiledQuery& cq = **compiled;
+  const QueryPlan& plan = **compiled;
   for (int k = 0; k <= ex_.mappings.size() + 1; ++k) {
-    EXPECT_EQ(cq.RelevantForTopK(k),
-              FilterRelevantMappings(ex_.mappings, cq.embeddings, k))
+    EXPECT_EQ(plan.SelectForTopK(k),
+              FilterRelevantMappings(ex_.mappings, plan.embeddings(), k))
         << "k=" << k;
   }
+}
+
+TEST_F(QueryCompilerTest, TopKSelectionTerminatesEarly) {
+  // Probabilities descend with the mapping id, so the work-unit order is
+  // m0, m1, ... and a top-1 selection must stop after the first relevant
+  // unit — never touching the tail.
+  auto* ms = ex_.mappings.mutable_mappings();
+  for (size_t i = 0; i < ms->size(); ++i) {
+    (*ms)[i].score = static_cast<double>(ms->size() - i);
+  }
+  ex_.mappings.NormalizeProbabilities();
+  QueryCompiler compiler(&ex_.mappings);
+  auto compiled = compiler.Compile("//IP//ICN");  // every mapping relevant
+  ASSERT_TRUE(compiled.ok());
+  const QueryPlan& plan = **compiled;
+  PlanSelectStats stats;
+  const auto top1 = plan.SelectForTopK(1, &stats);
+  EXPECT_EQ(top1, (std::vector<MappingId>{0}));
+  EXPECT_EQ(stats.selected, 1);
+  EXPECT_EQ(stats.scanned, 1);
+  EXPECT_EQ(stats.skipped, ex_.mappings.size() - 1);
+  EXPECT_GT(stats.residual_mass, 0.0);
+  // Only the scanned prefix was ever relevance-checked.
+  EXPECT_EQ(plan.relevance_checks(), 1u);
+  // The unpruned path later computes the rest exactly once.
+  EXPECT_EQ(plan.AllRelevant().size(), 5u);
+  EXPECT_EQ(plan.relevance_checks(),
+            static_cast<uint64_t>(ex_.mappings.size()));
 }
 
 TEST_F(QueryCompilerTest, SecondCompileHitsCache) {
@@ -175,6 +204,9 @@ TEST(ResultCacheTest, DistinctKeyDimensionsDoNotCollide) {
   EXPECT_EQ(cache.Lookup(other), nullptr);
   other = base;
   other.block_tree = false;
+  EXPECT_EQ(cache.Lookup(other), nullptr);
+  other = base;
+  other.pair = 7;  // same doc + epoch under a different prepared pair
   EXPECT_EQ(cache.Lookup(other), nullptr);
   EXPECT_NE(cache.Lookup(base), nullptr);
 }

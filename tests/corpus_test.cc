@@ -16,6 +16,7 @@
 #include "test_util.h"
 #include "workload/corpus_generator.h"
 #include "workload/datasets.h"
+#include "workload/document_generator.h"
 
 namespace uxm {
 namespace {
@@ -34,14 +35,16 @@ class DocumentStoreTest : public ::testing::Test {
     ASSERT_TRUE(bound.ok());
     annotated_ = std::make_shared<const AnnotatedDocument>(
         std::move(bound).ValueOrDie());
+    pair_ = testutil::MakePaperPair(example_);
   }
 
   CorpusDocument Entry(const std::string& name, uint64_t epoch = 1) const {
-    return CorpusDocument{name, example_.doc.get(), annotated_, epoch};
+    return CorpusDocument{name, example_.doc.get(), annotated_, epoch, pair_};
   }
 
   PaperExample example_;
   std::shared_ptr<const AnnotatedDocument> annotated_;
+  std::shared_ptr<const PreparedSchemaPair> pair_;
 };
 
 TEST_F(DocumentStoreTest, AddRemoveAndNames) {
@@ -67,6 +70,9 @@ TEST_F(DocumentStoreTest, RejectsDuplicatesAndBadEntries) {
   CorpusDocument no_annotation = Entry("c");
   no_annotation.annotated = nullptr;
   EXPECT_TRUE(store.Add(std::move(no_annotation)).IsInvalidArgument());
+  CorpusDocument no_pair = Entry("d");
+  no_pair.pair = nullptr;
+  EXPECT_TRUE(store.Add(std::move(no_pair)).IsInvalidArgument());
   EXPECT_EQ(store.size(), 1u);
 }
 
@@ -84,18 +90,30 @@ TEST_F(DocumentStoreTest, SnapshotsAreImmutableViews) {
   EXPECT_EQ((*after)[0].name, "b");
 }
 
-TEST_F(DocumentStoreTest, RebindDropsForeignSchemasAndRestamps) {
+TEST_F(DocumentStoreTest, RebindPairSwapsIncarnationsAndRestamps) {
   DocumentStore store;
   ASSERT_TRUE(store.Add(Entry("a", 5)).ok());
   ASSERT_TRUE(store.Add(Entry("b", 5)).ok());
-  // Same schema: everything survives with the new epoch.
-  EXPECT_EQ(store.Rebind(example_.source.get(), 9), 0);
+  // A new incarnation of the same (source, target) pair: every entry of
+  // that pair re-binds to it with the new epoch.
+  auto reprepared = testutil::MakePaperPair(example_);
+  ASSERT_NE(reprepared->pair_id, pair_->pair_id);
+  EXPECT_EQ(store.RebindPair(reprepared, 9), 2);
+  for (const CorpusDocument& e : *store.Snapshot()) {
+    EXPECT_EQ(e.epoch, 9u);
+    EXPECT_EQ(e.pair.get(), reprepared.get());
+  }
+  // A pair over different schemas touches nothing.
+  PaperExample other = MakePaperExample();
+  EXPECT_EQ(store.RebindPair(testutil::MakePaperPair(other), 11), 0);
   for (const CorpusDocument& e : *store.Snapshot()) {
     EXPECT_EQ(e.epoch, 9u);
   }
-  // Different schema: everything is dropped.
-  EXPECT_EQ(store.Rebind(example_.target.get(), 10), 2);
-  EXPECT_EQ(store.size(), 0u);
+  // Restamp stamps every entry regardless of pair.
+  store.Restamp(12);
+  for (const CorpusDocument& e : *store.Snapshot()) {
+    EXPECT_EQ(e.epoch, 12u);
+  }
 }
 
 // ---------------------------------------------------------------- merge
@@ -343,6 +361,8 @@ TEST_F(CorpusSystemTest, RepeatedCorpusQueriesHitTheResultCache) {
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->report.result_cache_hits,
             static_cast<int>(twigs.size() * scenario_->documents.size()));
+  // Corpus runs report the (per-item) pair's compiler stats too.
+  EXPECT_GT(warm->report.compiler.entries, 0u);
   for (size_t q = 0; q < twigs.size(); ++q) {
     ASSERT_TRUE(cold->answers[q].ok());
     ASSERT_TRUE(warm->answers[q].ok());
@@ -387,7 +407,7 @@ TEST_F(CorpusSystemTest, PerTwigFailuresErrorOnlyTheirSlot) {
   EXPECT_TRUE(response->answers[2].ok());
 }
 
-TEST_F(CorpusSystemTest, RePrepareDropsForeignCorpusAndKeepsCompatible) {
+TEST_F(CorpusSystemTest, RePrepareRebindsItsPairAndKeepsOtherPairs) {
   UncertainMatchingSystem sys(Options());
   ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
                           scenario_->dataset.target.get())
@@ -398,24 +418,112 @@ TEST_F(CorpusSystemTest, RePrepareDropsForeignCorpusAndKeepsCompatible) {
   opts.top_k = 0;
   ASSERT_TRUE(sys.QueryCorpus(twig, opts).ok());  // warm caches
 
-  // Re-preparing from the same schemas keeps the corpus (same source
-  // schema) and must keep answering exactly — the fresh epoch stamps make
-  // every pre-swap cache entry unreachable rather than stale.
+  // Re-preparing from the same schemas re-binds the corpus to the new
+  // pair incarnation and must keep answering exactly — the fresh epoch
+  // stamps and pair id make every pre-swap cache entry unreachable
+  // rather than stale.
   ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
                           scenario_->dataset.target.get())
                   .ok());
+  EXPECT_EQ(sys.pair_count(), 1u);
   EXPECT_EQ(sys.corpus_size(), scenario_->documents.size());
   auto again = sys.QueryCorpus(twig, opts);
   ASSERT_TRUE(again.ok());
   ExpectSameAnswers(again->answers, BruteMerge(twig, 0));
 
-  // Preparing against a different source schema orphans every
-  // registration.
+  // Preparing a different schema pair REGISTERS a second pair: the
+  // existing registrations stay bound to theirs and keep answering
+  // (multi-schema corpus), while single-document calls now target the
+  // new default pair.
   auto other = LoadDataset("D1");
   ASSERT_TRUE(other.ok());
   ASSERT_TRUE(
       sys.Prepare(other->source.get(), other->target.get()).ok());
-  EXPECT_EQ(sys.corpus_size(), 0u);
+  EXPECT_EQ(sys.pair_count(), 2u);
+  EXPECT_EQ(sys.corpus_size(), scenario_->documents.size());
+  auto across = sys.QueryCorpus(twig, opts);
+  ASSERT_TRUE(across.ok());
+  ExpectSameAnswers(across->answers, BruteMerge(twig, 0));
+  // Both pairs stay addressable by their schema identities.
+  EXPECT_NE(sys.prepared_pair(scenario_->dataset.source.get(),
+                              scenario_->dataset.target.get()),
+            nullptr);
+  EXPECT_EQ(sys.prepared_pair(), sys.prepared_pair(other->source.get(),
+                                                   other->target.get()));
+}
+
+// The heterogeneous acceptance property: a corpus spanning TWO prepared
+// schema pairs answers exactly the brute-force merge of per-document
+// single-shot queries, each run on a single-pair oracle system prepared
+// for that document's own pair.
+TEST_F(CorpusSystemTest, MultiSchemaCorpusEqualsBruteForcePerPairMerge) {
+  auto other = LoadDataset("D1");
+  ASSERT_TRUE(other.ok());
+  Document other_doc = GenerateDocument(
+      *other->source, DocGenOptions{.seed = 5, .target_nodes = 120});
+
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  ASSERT_TRUE(sys.Prepare(other->source.get(), other->target.get()).ok());
+  EXPECT_EQ(sys.pair_count(), 2u);
+  // D7-sourced documents bind to the D7 pair via the explicit overload;
+  // the D1-sourced document joins the same corpus under the D1 pair.
+  for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+    ASSERT_TRUE(sys.AddDocument(scenario_->names[i],
+                                scenario_->documents[i].get(),
+                                scenario_->dataset.source.get(),
+                                scenario_->dataset.target.get())
+                    .ok());
+  }
+  ASSERT_TRUE(sys.AddDocument("zz-other", &other_doc).ok());  // default pair
+  ASSERT_EQ(sys.corpus_size(), scenario_->documents.size() + 1);
+  // A document that conforms to neither registered source is rejected.
+  EXPECT_FALSE(sys.AddDocument("bad", scenario_->documents[0].get()).ok());
+  EXPECT_TRUE(sys.AddDocument("bad", &other_doc,
+                              scenario_->dataset.source.get(),
+                              other->target.get())
+                  .IsNotFound());  // unregistered (source, target) combo
+
+  // Oracle: one single-pair system per pair, uncached.
+  SystemOptions oracle_opts = Options();
+  oracle_opts.cache.enable_result_cache = false;
+  UncertainMatchingSystem oracle_d1(oracle_opts);
+  ASSERT_TRUE(
+      oracle_d1.Prepare(other->source.get(), other->target.get()).ok());
+  ASSERT_TRUE(oracle_d1.AttachDocument(&other_doc).ok());
+
+  // Twigs over both target schemas: Table III (D7's target) plus probes
+  // of D1's target labels.
+  std::vector<std::string> twigs = {TableIIIQueries()[0],
+                                    TableIIIQueries()[4]};
+  for (SchemaNodeId t : {1, 3}) {
+    twigs.push_back("//" + other->target->name(
+                               static_cast<SchemaNodeId>(t)));
+  }
+  size_t nonempty = 0;
+  for (const std::string& twig : twigs) {
+    for (const int k : {0, 1, 5}) {
+      (void)BruteMerge(twig, 0);  // fill the D7 memo for this twig
+      std::vector<std::vector<CorpusAnswer>> per_document =
+          brute_collapsed_[twig];
+      auto r1 = oracle_d1.Query(twig);
+      ASSERT_TRUE(r1.ok()) << twig << ": " << r1.status();
+      per_document.push_back(CollapseForCorpus("zz-other", *r1));
+      const std::vector<CorpusAnswer> want = MergeTopK(per_document, k);
+      CorpusQueryOptions opts;
+      opts.top_k = k;
+      auto got = sys.QueryCorpus(twig, opts);
+      ASSERT_TRUE(got.ok()) << twig << ": " << got.status();
+      EXPECT_EQ(got->documents_evaluated,
+                static_cast<int>(scenario_->documents.size()) + 1);
+      ExpectSameAnswers(got->answers, want);
+      nonempty += want.size();
+    }
+  }
+  // The comparison must not be vacuous.
+  EXPECT_GT(nonempty, 0u);
 }
 
 }  // namespace

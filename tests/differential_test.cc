@@ -254,6 +254,147 @@ std::vector<std::string> SchemaTwigs(const Schema& schema, Rng* rng,
   return twigs;
 }
 
+// --------------------------------------- pruned top-k differential
+
+// QueryTopK routes through the ExecutionDriver's early-termination
+// selection (consume work units most-probable-first, stop once k
+// relevant mappings are in hand); the oracle is the evaluator's own
+// eager path, which embeds the twig and runs the full FilterRelevant-
+// Mappings scan before cutting to k. Across random schema pairs ×
+// generated documents × schema-derived twigs × k ∈ {1, 3, 10}, the two
+// must produce identical answer sets, mapping ids, probabilities and
+// match lists — §IV-C pruning is exact, not approximate.
+TEST(PrunedTopKDifferentialTest, PrunedEqualsUnprunedEnumeration) {
+  Rng rng(31);
+  constexpr int kTrials = 30;
+  int compared = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const RandomPair pair = MakeRandomPair(&rng, /*max_nodes=*/8,
+                                           /*max_edges=*/12);
+    DocGenOptions doc_opts;
+    doc_opts.seed = rng.NextU64();
+    doc_opts.target_nodes = 40;
+    const Document doc = GenerateDocument(*pair.source, doc_opts);
+
+    SystemOptions opts;
+    opts.top_h.h = 12;
+    UncertainMatchingSystem sys(opts);
+    ASSERT_TRUE(sys.PrepareFromMatching(pair.matching).ok())
+        << "trial " << trial;
+    ASSERT_TRUE(sys.AttachDocument(&doc).ok()) << "trial " << trial;
+    const auto prepared = sys.prepared_pair();
+    ASSERT_NE(prepared, nullptr);
+    auto ad = AnnotatedDocument::Bind(&doc, pair.source.get());
+    ASSERT_TRUE(ad.ok());
+    PtqEvaluator eval(&prepared->mappings, &*ad);
+
+    for (const std::string& twig : SchemaTwigs(*pair.target, &rng, 3)) {
+      auto parsed = TwigQuery::Parse(twig);
+      ASSERT_TRUE(parsed.ok()) << twig;
+      for (const int k : {1, 3, 10}) {
+        auto pruned = sys.QueryTopK(twig, k);
+        ASSERT_TRUE(pruned.ok()) << twig << ": " << pruned.status();
+        PtqOptions eval_opts;
+        eval_opts.top_k = k;
+        auto oracle = eval.EvaluateWithBlockTree(*parsed, prepared->tree(),
+                                                 eval_opts);
+        ASSERT_TRUE(oracle.ok()) << twig << ": " << oracle.status();
+        ASSERT_EQ(pruned->answers.size(), oracle->answers.size())
+            << twig << " k=" << k << " trial " << trial;
+        for (size_t i = 0; i < oracle->answers.size(); ++i) {
+          EXPECT_EQ(pruned->answers[i].mapping, oracle->answers[i].mapping)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_DOUBLE_EQ(pruned->answers[i].probability,
+                           oracle->answers[i].probability)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_EQ(pruned->answers[i].matches, oracle->answers[i].matches)
+              << twig << " k=" << k << " answer " << i;
+          compared += 1;
+        }
+      }
+    }
+  }
+  // The generator must produce real top-k answer sets, or the sweep is
+  // vacuous.
+  EXPECT_GT(compared, 100);
+}
+
+// ------------------------------------ multi-schema corpus differential
+
+// A corpus spanning two random schema pairs must answer exactly the
+// brute-force merge of per-document single-shot queries run on
+// single-pair oracle systems. The random schemas share their label
+// alphabets (S*/T*), so twigs regularly embed in BOTH targets and the
+// merge genuinely mixes answers across pairs.
+TEST(MultiSchemaCorpusDifferentialTest, HeterogeneousCorpusEqualsPerPairMerge) {
+  Rng rng(13);
+  constexpr int kTrials = 12;
+  int cross_pair_merges = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const RandomPair a = MakeRandomPair(&rng, /*max_nodes=*/8,
+                                        /*max_edges=*/12);
+    const RandomPair b = MakeRandomPair(&rng, /*max_nodes=*/8,
+                                        /*max_edges=*/12);
+    DocGenOptions gen;
+    gen.seed = rng.NextU64();
+    gen.target_nodes = 40;
+    const Document doc_a = GenerateDocument(*a.source, gen);
+    gen.seed = rng.NextU64();
+    const Document doc_b = GenerateDocument(*b.source, gen);
+
+    SystemOptions opts;
+    opts.top_h.h = 8;
+    UncertainMatchingSystem sys(opts);
+    ASSERT_TRUE(sys.PrepareFromMatching(a.matching).ok());
+    ASSERT_TRUE(sys.PrepareFromMatching(b.matching).ok());
+    ASSERT_EQ(sys.pair_count(), 2u);
+    ASSERT_TRUE(sys.AddDocument("a-doc", &doc_a, a.source.get(),
+                                a.target.get())
+                    .ok());
+    ASSERT_TRUE(sys.AddDocument("b-doc", &doc_b).ok());  // default = b
+
+    UncertainMatchingSystem oracle_a(opts);
+    ASSERT_TRUE(oracle_a.PrepareFromMatching(a.matching).ok());
+    ASSERT_TRUE(oracle_a.AttachDocument(&doc_a).ok());
+    UncertainMatchingSystem oracle_b(opts);
+    ASSERT_TRUE(oracle_b.PrepareFromMatching(b.matching).ok());
+    ASSERT_TRUE(oracle_b.AttachDocument(&doc_b).ok());
+
+    std::vector<std::string> twigs = SchemaTwigs(*a.target, &rng, 3);
+    for (std::string& t : SchemaTwigs(*b.target, &rng, 3)) {
+      twigs.push_back(std::move(t));
+    }
+    for (const std::string& twig : twigs) {
+      auto ra = oracle_a.Query(twig);
+      ASSERT_TRUE(ra.ok()) << twig << ": " << ra.status();
+      auto rb = oracle_b.Query(twig);
+      ASSERT_TRUE(rb.ok()) << twig << ": " << rb.status();
+      const std::vector<std::vector<CorpusAnswer>> per_document = {
+          CollapseForCorpus("a-doc", *ra), CollapseForCorpus("b-doc", *rb)};
+      if (!per_document[0].empty() && !per_document[1].empty()) {
+        ++cross_pair_merges;
+      }
+      for (const int k : {0, 2}) {
+        const std::vector<CorpusAnswer> want = MergeTopK(per_document, k);
+        CorpusQueryOptions corpus_opts;
+        corpus_opts.top_k = k;
+        auto got = sys.QueryCorpus(twig, corpus_opts);
+        ASSERT_TRUE(got.ok()) << twig << ": " << got.status();
+        ASSERT_EQ(got->answers.size(), want.size())
+            << twig << " k=" << k << " trial " << trial;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(got->answers[i].document, want[i].document);
+          EXPECT_DOUBLE_EQ(got->answers[i].probability,
+                           want[i].probability);
+          EXPECT_EQ(got->answers[i].matches, want[i].matches);
+        }
+      }
+    }
+  }
+  // At least some merges must actually mix answers from both pairs.
+  EXPECT_GT(cross_pair_merges, 3);
+}
+
 // Single-shot Query and QueryCorpus must agree answer-for-answer on a
 // one-document corpus, across random schema pairs, generated documents,
 // and schema-derived twigs — the corpus fan-out/merge must be a no-op

@@ -85,12 +85,14 @@ TEST(EndToEndTest, PipelineIsDeterministic) {
     auto source = GetStandardSchema(StandardId::kOpenTrans);
     auto target = GetStandardSchema(StandardId::kApertum);
     EXPECT_TRUE(sys.Prepare(source.get(), target.get()).ok());
+    auto pair = sys.prepared_pair();
+    EXPECT_NE(pair, nullptr);
     std::string fingerprint;
-    for (int i = 0; i < sys.mappings().size(); ++i) {
-      fingerprint += sys.mappings().MappingToString(i);
-      fingerprint += FormatDouble(sys.mappings().mapping(i).probability, 9);
+    for (int i = 0; i < pair->mappings.size(); ++i) {
+      fingerprint += pair->mappings.MappingToString(i);
+      fingerprint += FormatDouble(pair->mappings.mapping(i).probability, 9);
     }
-    fingerprint += std::to_string(sys.block_tree().TotalBlocks());
+    fingerprint += std::to_string(pair->tree().TotalBlocks());
     return fingerprint;
   };
   EXPECT_EQ(run(), run());

@@ -112,10 +112,17 @@ class BatchExecutorTest : public ::testing::Test {
     auto ad = AnnotatedDocument::Bind(ex_.doc.get(), ex_.source.get());
     ASSERT_TRUE(ad.ok()) << ad.status();
     annotated_ = std::make_unique<AnnotatedDocument>(std::move(ad).ValueOrDie());
-    BlockTreeBuilder builder(BlockTreeOptions{0.2, 500, 500});
-    auto built = builder.Build(ex_.mappings);
-    ASSERT_TRUE(built.ok()) << built.status();
-    built_ = std::make_unique<BlockTreeBuildResult>(std::move(built).ValueOrDie());
+    pair_ = testutil::MakePaperPair(ex_);
+    ASSERT_NE(pair_, nullptr);
+  }
+
+  static BatchQueryItem Item(const AnnotatedDocument* doc,
+                             const std::string& twig, int top_k = 0) {
+    BatchQueryItem item;
+    item.doc = doc;
+    item.twig = twig;
+    item.top_k = top_k;
+    return item;
   }
 
   std::vector<BatchQueryItem> MakeBatch(int copies) const {
@@ -124,7 +131,7 @@ class BatchExecutorTest : public ::testing::Test {
     std::vector<BatchQueryItem> batch;
     for (int c = 0; c < copies; ++c) {
       for (const std::string& t : twigs) {
-        batch.push_back(BatchQueryItem{annotated_.get(), t, 0});
+        batch.push_back(Item(annotated_.get(), t));
       }
     }
     return batch;
@@ -148,23 +155,23 @@ class BatchExecutorTest : public ::testing::Test {
 
   testutil::PaperExample ex_;
   std::unique_ptr<AnnotatedDocument> annotated_;
-  std::unique_ptr<BlockTreeBuildResult> built_;
+  std::shared_ptr<const PreparedSchemaPair> pair_;
 };
 
 TEST_F(BatchExecutorTest, OneThreadMatchesSequentialEvaluation) {
   BatchExecutorOptions opts;
   opts.num_threads = 1;
-  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  BatchQueryExecutor exec(opts);
   const auto batch = MakeBatch(1);
-  const auto results = exec.Run(batch);
+  const auto results = exec.Run(batch, pair_);
   ASSERT_EQ(results.size(), batch.size());
 
-  PtqEvaluator eval(&ex_.mappings, annotated_.get());
+  PtqEvaluator eval(&pair_->mappings, annotated_.get());
   for (size_t i = 0; i < batch.size(); ++i) {
     ASSERT_TRUE(results[i].ok()) << results[i].status();
     auto q = TwigQuery::Parse(batch[i].twig);
     ASSERT_TRUE(q.ok());
-    auto expect = eval.EvaluateWithBlockTree(*q, built_->tree);
+    auto expect = eval.EvaluateWithBlockTree(*q, pair_->tree());
     ASSERT_TRUE(expect.ok());
     ASSERT_EQ(results[i]->answers.size(), expect->answers.size());
     for (size_t j = 0; j < expect->answers.size(); ++j) {
@@ -176,16 +183,16 @@ TEST_F(BatchExecutorTest, OneThreadMatchesSequentialEvaluation) {
 TEST_F(BatchExecutorTest, DeterministicAcrossThreadCounts) {
   BatchExecutorOptions one;
   one.num_threads = 1;
-  BatchQueryExecutor exec1(&ex_.mappings, &built_->tree, one);
+  BatchQueryExecutor exec1(one);
   const auto batch = MakeBatch(8);
-  const auto base = exec1.Run(batch);
+  const auto base = exec1.Run(batch, pair_);
 
   for (int threads : {2, 4, 8}) {
     BatchExecutorOptions opts;
     opts.num_threads = threads;
-    BatchQueryExecutor execN(&ex_.mappings, &built_->tree, opts);
+    BatchQueryExecutor execN(opts);
     BatchRunReport report;
-    const auto results = execN.Run(batch, &report);
+    const auto results = execN.Run(batch, pair_, &report);
     ExpectSameAnswers(base, results);
     EXPECT_EQ(report.num_threads, threads);
     int total = 0;
@@ -197,12 +204,12 @@ TEST_F(BatchExecutorTest, DeterministicAcrossThreadCounts) {
 TEST_F(BatchExecutorTest, PerItemErrorsDoNotPoisonTheBatch) {
   BatchExecutorOptions opts;
   opts.num_threads = 4;
-  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  BatchQueryExecutor exec(opts);
   std::vector<BatchQueryItem> batch = MakeBatch(1);
   batch.insert(batch.begin() + 2,
-               BatchQueryItem{annotated_.get(), "ORDER//", 0});  // bad twig
-  batch.insert(batch.begin() + 4, BatchQueryItem{nullptr, "//ICN", 0});
-  const auto results = exec.Run(batch);
+               Item(annotated_.get(), "ORDER//"));  // bad twig
+  batch.insert(batch.begin() + 4, Item(nullptr, "//ICN"));
+  const auto results = exec.Run(batch, pair_);
   ASSERT_EQ(results.size(), batch.size());
   EXPECT_FALSE(results[2].ok());
   EXPECT_FALSE(results[4].ok());
@@ -216,10 +223,10 @@ TEST_F(BatchExecutorTest, PerItemErrorsDoNotPoisonTheBatch) {
 TEST_F(BatchExecutorTest, CachesRepeatedQueriesAcrossThreads) {
   BatchExecutorOptions opts;
   opts.num_threads = 2;
-  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  BatchQueryExecutor exec(opts);
   const auto batch = MakeBatch(10);  // 5 distinct twigs x 10 copies
   BatchRunReport report;
-  const auto results = exec.Run(batch, &report);
+  const auto results = exec.Run(batch, pair_, &report);
   for (const auto& r : results) EXPECT_TRUE(r.ok());
   // 50 items over 5 distinct twigs through the shared QueryCompiler: at
   // most 5 compilations per worker even if every first sight races.
@@ -234,17 +241,17 @@ TEST_F(BatchExecutorTest, CachesRepeatedQueriesAcrossThreads) {
 TEST_F(BatchExecutorTest, ResultCacheShortCircuitsRepeatedRuns) {
   BatchExecutorOptions opts;
   opts.num_threads = 2;
-  BatchQueryExecutor exec(&ex_.mappings, &built_->tree, opts);
+  BatchQueryExecutor exec(opts);
   ResultCache cache;
   BatchCacheContext ctx{&cache, /*epoch=*/7};
   const auto batch = MakeBatch(2);
   BatchRunReport cold;
-  const auto first = exec.Run(batch, &cold, &ctx);
+  const auto first = exec.Run(batch, pair_, &cold, &ctx);
   // 10 items over 5 distinct (twig, doc) keys: the repeats hit even cold.
   EXPECT_EQ(cold.result_cache_hits + cold.result_cache_misses,
             static_cast<int>(batch.size()));
   BatchRunReport warm;
-  const auto second = exec.Run(batch, &warm, &ctx);
+  const auto second = exec.Run(batch, pair_, &warm, &ctx);
   EXPECT_EQ(warm.result_cache_hits, static_cast<int>(batch.size()));
   EXPECT_EQ(warm.result_cache_misses, 0);
   ExpectSameAnswers(first, second);
@@ -253,7 +260,7 @@ TEST_F(BatchExecutorTest, ResultCacheShortCircuitsRepeatedRuns) {
   // same-epoch run had no misses at all.
   BatchCacheContext other{&cache, /*epoch=*/8};
   BatchRunReport fresh;
-  const auto third = exec.Run(batch, &fresh, &other);
+  const auto third = exec.Run(batch, pair_, &fresh, &other);
   EXPECT_GE(fresh.result_cache_misses, 5);
   ExpectSameAnswers(first, third);
 }
@@ -261,13 +268,47 @@ TEST_F(BatchExecutorTest, ResultCacheShortCircuitsRepeatedRuns) {
 TEST_F(BatchExecutorTest, BasicEvaluatorPathMatchesBlockTreePath) {
   BatchExecutorOptions tree_opts;
   tree_opts.num_threads = 2;
-  BatchQueryExecutor tree_exec(&ex_.mappings, &built_->tree, tree_opts);
+  BatchQueryExecutor tree_exec(tree_opts);
   BatchExecutorOptions basic_opts;
   basic_opts.num_threads = 2;
   basic_opts.use_block_tree = false;
-  BatchQueryExecutor basic_exec(&ex_.mappings, nullptr, basic_opts);
+  BatchQueryExecutor basic_exec(basic_opts);
   const auto batch = MakeBatch(2);
-  ExpectSameAnswers(tree_exec.Run(batch), basic_exec.Run(batch));
+  ExpectSameAnswers(tree_exec.Run(batch, pair_),
+                    basic_exec.Run(batch, pair_));
+}
+
+TEST_F(BatchExecutorTest, HeterogeneousItemsRunUnderTheirOwnPair) {
+  // A second pair over the same example but with only the two most
+  // probable mappings: items carrying it must answer exactly as a run
+  // whose default pair it is, inside one mixed batch.
+  testutil::PaperExample other = testutil::MakePaperExample();
+  auto* ms = other.mappings.mutable_mappings();
+  ms->resize(2);
+  other.mappings.NormalizeProbabilities();
+  auto other_pair = testutil::MakePaperPair(other);
+  auto other_ad = AnnotatedDocument::Bind(other.doc.get(), other.source.get());
+  ASSERT_TRUE(other_ad.ok());
+  const AnnotatedDocument other_annotated =
+      std::move(other_ad).ValueOrDie();
+
+  BatchExecutorOptions opts;
+  opts.num_threads = 2;
+  BatchQueryExecutor exec(opts);
+  std::vector<BatchQueryItem> mixed = MakeBatch(1);
+  BatchQueryItem foreign = Item(&other_annotated, "//ICN");
+  foreign.pair = other_pair;
+  mixed.push_back(foreign);
+
+  const auto results = exec.Run(mixed, pair_);
+  ASSERT_EQ(results.size(), mixed.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status();
+  // The foreign item saw other_pair's two mappings, not pair_'s five.
+  EXPECT_EQ(results.back()->answers.size(), 2u);
+  // An item with neither its own pair nor a default errors only itself.
+  const auto bare = exec.Run({Item(annotated_.get(), "//ICN")}, nullptr);
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_FALSE(bare[0].ok());
 }
 
 // ------------------------------------------------------------ facade

@@ -1,0 +1,200 @@
+// Plan-layer unit tests: the MappingOrder work units and their residual
+// bounds, QueryPlan's lazy relevance memo, the SchemaPairRegistry's
+// identity/replacement semantics, and the ExecutionDriver protocol
+// (caching, counters, early termination) outside the facade.
+#include "plan/query_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "plan/driver.h"
+#include "plan/prepared_pair.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+#include "tests/test_util.h"
+
+namespace uxm {
+namespace {
+
+using testutil::MakePaperExample;
+using testutil::MakePaperPair;
+using testutil::PaperExample;
+
+PaperExample WithDescendingProbabilities() {
+  PaperExample ex = MakePaperExample();
+  auto* ms = ex.mappings.mutable_mappings();
+  for (size_t i = 0; i < ms->size(); ++i) {
+    (*ms)[i].score = static_cast<double>(ms->size() - i);
+  }
+  ex.mappings.NormalizeProbabilities();
+  return ex;
+}
+
+// ---------------------------------------------------------------- order
+
+TEST(MappingOrderTest, SortsByProbabilityWithStableTies) {
+  PaperExample ex = MakePaperExample();
+  auto* ms = ex.mappings.mutable_mappings();
+  (*ms)[0].score = 1.0;
+  (*ms)[1].score = 3.0;
+  (*ms)[2].score = 2.0;
+  (*ms)[3].score = 3.0;  // ties with id 1: stable order keeps 1 first
+  (*ms)[4].score = 2.0;  // ties with id 2
+  ex.mappings.NormalizeProbabilities();
+  const MappingOrder order = MappingOrder::Build(ex.mappings);
+  EXPECT_EQ(order.by_probability,
+            (std::vector<MappingId>{1, 3, 2, 4, 0}));
+  // residual_after[i] is the mass of the tail beyond unit i.
+  ASSERT_EQ(order.residual_after.size(), 5u);
+  EXPECT_NEAR(order.residual_after[4], 0.0, 1e-12);
+  double tail = 0.0;
+  for (int i = 4; i >= 0; --i) {
+    EXPECT_NEAR(order.residual_after[static_cast<size_t>(i)], tail, 1e-12)
+        << "unit " << i;
+    tail += ex.mappings.mapping(order.by_probability[static_cast<size_t>(i)])
+                .probability;
+  }
+  EXPECT_NEAR(tail, 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(SchemaPairRegistryTest, KeysOnSchemaIdentityAndReplaces) {
+  PaperExample ex = MakePaperExample();
+  PaperExample other = MakePaperExample();  // distinct Schema objects
+  auto p1 = MakePaperPair(ex);
+  auto p2 = MakePaperPair(other);
+  EXPECT_NE(p1->pair_id, p2->pair_id);
+
+  SchemaPairRegistry registry;
+  EXPECT_EQ(registry.Install(p1), nullptr);
+  EXPECT_EQ(registry.Install(p2), nullptr);  // different schema identity
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Find(ex.source.get(), ex.target.get()), p1);
+  EXPECT_EQ(registry.Find(other.source.get(), other.target.get()), p2);
+  EXPECT_EQ(registry.Find(ex.source.get(), other.target.get()), nullptr);
+
+  // Re-preparing the same schemas replaces that entry only.
+  auto p1b = MakePaperPair(ex);
+  EXPECT_EQ(registry.Install(p1b), p1);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Find(ex.source.get(), ex.target.get()), p1b);
+  EXPECT_EQ(registry.Find(other.source.get(), other.target.get()), p2);
+  const auto all = registry.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_TRUE((all[0] == p1b && all[1] == p2) ||
+              (all[0] == p2 && all[1] == p1b));
+
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+// --------------------------------------------------------------- driver
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = WithDescendingProbabilities();
+    pair_ = MakePaperPair(ex_);
+    auto ad = AnnotatedDocument::Bind(ex_.doc.get(), ex_.source.get());
+    ASSERT_TRUE(ad.ok()) << ad.status();
+    annotated_ = std::make_unique<AnnotatedDocument>(
+        std::move(ad).ValueOrDie());
+  }
+
+  DriverRequest Request(const std::string& twig, int top_k = 0) const {
+    DriverRequest request;
+    request.pair = pair_.get();
+    request.doc = annotated_.get();
+    request.twig = &twig;
+    request.options.top_k = top_k;
+    return request;
+  }
+
+  PaperExample ex_;
+  std::shared_ptr<const PreparedSchemaPair> pair_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+};
+
+TEST_F(DriverTest, MatchesDirectEvaluation) {
+  const std::string twig = "ORDER/IP/ICN";
+  DriverCounters counters;
+  auto driven = ExecutionDriver::Execute(Request(twig), &counters);
+  ASSERT_TRUE(driven.ok()) << driven.status();
+  EXPECT_FALSE(counters.compile_hit);
+  EXPECT_FALSE(counters.result_hit);
+  EXPECT_FALSE(counters.result_miss);  // no cache bound
+
+  PtqEvaluator eval(&pair_->mappings, annotated_.get());
+  auto q = TwigQuery::Parse(twig);
+  ASSERT_TRUE(q.ok());
+  auto direct = eval.EvaluateWithBlockTree(*q, pair_->tree());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(driven->answers.size(), direct->answers.size());
+  for (size_t i = 0; i < direct->answers.size(); ++i) {
+    EXPECT_EQ(driven->answers[i].mapping, direct->answers[i].mapping);
+    EXPECT_DOUBLE_EQ(driven->answers[i].probability,
+                     direct->answers[i].probability);
+    EXPECT_EQ(driven->answers[i].matches, direct->answers[i].matches);
+  }
+  // The second execution reuses the cached plan.
+  auto again = ExecutionDriver::Execute(Request(twig), &counters);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(counters.compile_hit);
+}
+
+TEST_F(DriverTest, TopKTerminatesEarlyAndUsesTheCache) {
+  const std::string twig = "//ICN";  // every mapping relevant
+  ResultCache cache;
+  DriverRequest request = Request(twig, /*top_k=*/2);
+  request.cache = &cache;
+  request.epoch = 3;
+  DriverCounters counters;
+  auto first = ExecutionDriver::Execute(request, &counters);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(counters.result_miss);
+  EXPECT_EQ(counters.select.selected, 2);
+  EXPECT_EQ(counters.select.scanned, 2);  // probabilities descend by id
+  EXPECT_EQ(counters.select.skipped, ex_.mappings.size() - 2);
+  EXPECT_GT(counters.select.residual_mass, 0.0);
+  ASSERT_EQ(first->answers.size(), 2u);
+  EXPECT_EQ(first->answers[0].mapping, 0);
+  EXPECT_EQ(first->answers[1].mapping, 1);
+
+  auto second = ExecutionDriver::Execute(request, &counters);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(counters.result_hit);
+  EXPECT_EQ(counters.select.selected, 0);  // nothing re-selected on a hit
+
+  // A different pair id (fresh incarnation) can never see those entries.
+  auto repaired = MakePaperPair(ex_);
+  DriverRequest other = request;
+  other.pair = repaired.get();
+  DriverCounters miss;
+  auto third = ExecutionDriver::Execute(other, &miss);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(miss.result_hit);
+  EXPECT_TRUE(miss.result_miss);
+}
+
+TEST_F(DriverTest, ValidatesItsInputs) {
+  const std::string twig = "//ICN";
+  DriverRequest no_pair = Request(twig);
+  no_pair.pair = nullptr;
+  EXPECT_FALSE(ExecutionDriver::Execute(no_pair).ok());
+  DriverRequest no_doc = Request(twig);
+  no_doc.doc = nullptr;
+  EXPECT_FALSE(ExecutionDriver::Execute(no_doc).ok());
+  DriverRequest no_twig = Request(twig);
+  no_twig.twig = nullptr;
+  EXPECT_FALSE(ExecutionDriver::Execute(no_twig).ok());
+  const std::string bad = "ORDER//";
+  EXPECT_TRUE(ExecutionDriver::Execute(Request(bad)).status().IsParseError());
+}
+
+}  // namespace
+}  // namespace uxm

@@ -56,8 +56,15 @@ TEST_F(SystemTest, FullPipeline) {
   UncertainMatchingSystem sys(opts);
   ASSERT_TRUE(sys.Prepare(dataset_->source.get(), dataset_->target.get()).ok());
   EXPECT_TRUE(sys.prepared());
-  EXPECT_EQ(sys.mappings().size(), 50);
-  EXPECT_GT(sys.block_tree().TotalBlocks(), 0);
+  // Snapshot accessor: the pair handle is immutable and survives any
+  // later Prepare (the old by-reference accessors did not).
+  auto pair = sys.prepared_pair();
+  ASSERT_NE(pair, nullptr);
+  EXPECT_EQ(pair->mappings.size(), 50);
+  EXPECT_GT(pair->tree().TotalBlocks(), 0);
+  EXPECT_EQ(sys.prepared_pair(dataset_->source.get(), dataset_->target.get()),
+            pair);
+  EXPECT_EQ(sys.pair_count(), 1u);
   ASSERT_TRUE(sys.AttachDocument(doc_.get()).ok());
 
   auto r = sys.Query("Order/DeliverTo/Contact/EMail");

@@ -1,5 +1,10 @@
 #include "tests/test_util.h"
 
+#include <utility>
+
+#include "blocktree/block_tree.h"
+#include "common/logging.h"
+
 namespace uxm {
 namespace testutil {
 
@@ -95,6 +100,17 @@ PossibleMapping MakeMapping(
   }
   m.score = score;
   return m;
+}
+
+std::shared_ptr<const PreparedSchemaPair> MakePaperPair(
+    const PaperExample& ex, double tau) {
+  PossibleMappingSet mappings = ex.mappings;  // the pair owns its copy
+  BlockTreeBuilder builder(BlockTreeOptions{tau, 500, 500});
+  auto built = builder.Build(mappings);
+  UXM_CHECK_MSG(built.ok(), built.status().ToString());
+  return MakePreparedSchemaPairFromProducts(
+      SchemaMatching(ex.source.get(), ex.target.get()), std::move(mappings),
+      std::move(built).ValueOrDie());
 }
 
 }  // namespace testutil

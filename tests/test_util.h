@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mapping/possible_mapping.h"
+#include "plan/prepared_pair.h"
 #include "xml/document.h"
 #include "xml/schema.h"
 
@@ -54,6 +55,14 @@ PossibleMapping MakeMapping(
     int target_size,
     const std::vector<std::pair<SchemaNodeId, SchemaNodeId>>& target_source,
     double score = 1.0);
+
+/// A PreparedSchemaPair over the example's five mappings (block tree
+/// built with threshold `tau`), for driving the plan/driver/executor
+/// layers without the facade. The matching carries only the schema
+/// identities — tests that care about matching contents build their own.
+/// The example must outlive the returned pair.
+std::shared_ptr<const PreparedSchemaPair> MakePaperPair(
+    const PaperExample& ex, double tau = 0.2);
 
 }  // namespace testutil
 }  // namespace uxm

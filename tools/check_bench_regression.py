@@ -15,8 +15,15 @@ Usage:
                          faster than BM_BatchPtq at the same thread count
                          (default 5.0)
 
+A second same-run invariant guards the early-termination top-k engine:
+BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
+slower than BM_UnprunedTopK (eager full-relevance scan) beyond a noise
+margin — if pruning ever costs more than the work it skips, the plan
+layer has rotted.
+
 Updating the baseline (after an intentional perf change, Release build):
-  ./build/micro_bench --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq' \
+  ./build/micro_bench \
+      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus' \
       --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
 """
 
@@ -26,7 +33,12 @@ import re
 import sys
 
 # Only these families gate CI; everything else in the JSON is informational.
-GATED = re.compile(r"^BM_(BatchPtq|CachedPtq|CorpusPtq)\b")
+GATED = re.compile(
+    r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus)\b")
+
+# BM_PrunedTopK may be at most this many times slower than BM_UnprunedTopK
+# in the same run (it should be faster; the margin absorbs runner noise).
+PRUNED_MAX_RATIO = 1.5
 
 
 def load(path):
@@ -54,8 +66,9 @@ def main():
 
     gated = sorted(n for n in current if GATED.match(n))
     if not gated:
-        failures.append("no BM_BatchPtq/BM_CachedPtq/BM_CorpusPtq results "
-                        "in %s" % args.current)
+        failures.append("no gated benchmark results (BM_BatchPtq/"
+                        "BM_CachedPtq/BM_CorpusPtq/BM_PrunedTopK/"
+                        "BM_MultiSchemaCorpus) in %s" % args.current)
 
     for name in gated:
         base = baseline.get(name)
@@ -87,6 +100,23 @@ def main():
             failures.append(
                 "%s is only %.2fx faster than %s (need >= %.1fx)"
                 % (cached_name, speedup, name, args.min_speedup))
+
+    # Same-run invariant: early termination must not cost more than the
+    # full-relevance scan it replaces.
+    for suffix in ("/real_time", ""):
+        pruned = current.get("BM_PrunedTopK" + suffix)
+        unpruned = current.get("BM_UnprunedTopK" + suffix)
+        if pruned is None or unpruned is None:
+            continue
+        ratio = pruned / unpruned
+        verdict = "FAIL" if ratio > PRUNED_MAX_RATIO else "ok"
+        print("%-5s pruned/unpruned top-k ratio: %.2fx (limit %.1fx)"
+              % (verdict, ratio, PRUNED_MAX_RATIO))
+        if ratio > PRUNED_MAX_RATIO:
+            failures.append(
+                "BM_PrunedTopK is %.2fx the cost of BM_UnprunedTopK "
+                "(limit %.1fx)" % (ratio, PRUNED_MAX_RATIO))
+        break
 
     if failures:
         print("\nBenchmark regression check FAILED:", file=sys.stderr)
