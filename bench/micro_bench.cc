@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/embedding_cache.h"
 #include "cache/query_compiler.h"
 #include "cache/result_cache.h"
 #include "core/system.h"
@@ -372,6 +373,117 @@ void BM_MultiSchemaCorpus(benchmark::State& state) {
       hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
 }
 BENCHMARK(BM_MultiSchemaCorpus)->UseRealTime();
+
+// The bound-driven corpus engine on the 64-document skewed-probability
+// corpus (8 hot documents whose pair answers with probability ~1, 56
+// cold documents across 7 pairs whose answer upper bound is ~0.11): a
+// top-5 corpus query evaluates the hot documents, after which every
+// cold item's bound falls below the 5th answer and is pruned or aborted
+// unevaluated. BM_ExhaustiveCorpusTopK is the same query forced down
+// the evaluate-everything path — the same-run ratio is gated >= 2x by
+// tools/check_bench_regression.py, and the answers are bit-identical
+// (differential-tested). Caches are disabled so evaluation work, not
+// cache probes, is measured.
+UncertainMatchingSystem* SkewedCorpusSystem() {
+  static UncertainMatchingSystem* sys = [] {
+    auto made = MakeSkewedCorpusScenario({});
+    if (!made.ok()) {
+      std::fprintf(stderr, "skewed corpus scenario failed: %s\n",
+                   made.status().ToString().c_str());
+      std::abort();
+    }
+    auto* scenario = new SkewedCorpusScenario(std::move(made).ValueOrDie());
+    SystemOptions options;
+    options.top_h.h = 30;  // cover the cold pairs' 24-mapping spaces
+    options.cache.enable_result_cache = false;
+    auto* s = new UncertainMatchingSystem(options);
+    for (const SkewedPair& pair : scenario->pairs) {
+      if (!s->PrepareFromMatching(pair.matching).ok()) std::abort();
+    }
+    for (size_t i = 0; i < scenario->documents.size(); ++i) {
+      const SkewedPair& pair =
+          scenario->pairs[static_cast<size_t>(scenario->doc_pair[i])];
+      if (!s->AddDocument(scenario->names[i], scenario->documents[i].get(),
+                          pair.source.get(), scenario->target.get())
+               .ok()) {
+        std::abort();
+      }
+    }
+    return s;
+  }();
+  return sys;
+}
+
+void RunCorpusTopKBench(benchmark::State& state, bool bounded) {
+  UncertainMatchingSystem* sys = SkewedCorpusSystem();
+  CorpusQueryOptions opts;
+  opts.top_k = 5;
+  opts.bounded = bounded;
+  BatchRunOptions run;
+  int evaluated = 0;
+  int pruned = 0;
+  int aborted = 0;
+  for (auto _ : state) {
+    auto response = sys->RunCorpusBatch({"//PROBE"}, opts, run);
+    if (!response.ok() || !response->answers[0].ok()) std::abort();
+    benchmark::DoNotOptimize(response);
+    evaluated = response->corpus.items_evaluated;
+    pruned = response->corpus.items_pruned;
+    aborted = response->corpus.items_aborted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sys->corpus_size()));
+  state.counters["items_evaluated"] = evaluated;
+  state.counters["items_pruned"] = pruned;
+  state.counters["items_aborted"] = aborted;
+}
+
+void BM_BoundedCorpusTopK(benchmark::State& state) {
+  RunCorpusTopKBench(state, /*bounded=*/true);
+}
+BENCHMARK(BM_BoundedCorpusTopK)->UseRealTime();
+
+void BM_ExhaustiveCorpusTopK(benchmark::State& state) {
+  RunCorpusTopKBench(state, /*bounded=*/false);
+}
+BENCHMARK(BM_ExhaustiveCorpusTopK)->UseRealTime();
+
+// Cross-pair embedding sharing: four compilers (four pairs' plan caches)
+// over one target schema, plan caches cold every iteration — the twig
+// re-plans everywhere, but with the shared EmbeddingCache the schema
+// embedding enumeration runs once per twig instead of once per pair.
+// Gated against BENCH_baseline.json.
+void BM_SharedEmbeddingCorpus(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
+  const std::vector<std::string>& twigs = TableIIIQueries();
+  constexpr int kPairs = 4;
+  auto shared_embeddings = std::make_shared<EmbeddingCache>();
+  {
+    // Warm the embedding cache once; iterations then measure the steady
+    // state where only plan assembly is per-pair work.
+    QueryCompiler warm(&env.mappings, 256, 4096, nullptr, shared_embeddings);
+    for (const std::string& q : twigs) {
+      benchmark::DoNotOptimize(warm.Compile(q));
+    }
+  }
+  for (auto _ : state) {
+    for (int p = 0; p < kPairs; ++p) {
+      QueryCompiler compiler(&env.mappings, 256, 4096, nullptr,
+                             shared_embeddings);
+      for (const std::string& q : twigs) {
+        benchmark::DoNotOptimize(compiler.Compile(q));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(twigs.size()) * kPairs);
+  const EmbeddingCacheStats stats = shared_embeddings->Stats();
+  state.counters["embed_hit_rate"] =
+      stats.hits + stats.misses > 0
+          ? static_cast<double>(stats.hits) / (stats.hits + stats.misses)
+          : 0.0;
+}
+BENCHMARK(BM_SharedEmbeddingCorpus)->UseRealTime();
 
 // Query compilation: cold (parse + schema embedding, fresh compiler
 // every iteration) vs hot (served from the shared cache). The gap is

@@ -1,0 +1,73 @@
+#include "cache/embedding_cache.h"
+
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "query/ptq.h"
+
+namespace uxm {
+
+size_t EmbeddingCache::KeyHash::operator()(const Key& k) const {
+  size_t h = std::hash<std::string>()(k.twig);
+  h ^= std::hash<const void*>()(k.target) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  h ^= std::hash<uint64_t>()(k.target_uid) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  h ^= std::hash<size_t>()(k.max_embeddings) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  return h;
+}
+
+std::shared_ptr<const QueryEmbeddings> EmbeddingCache::GetOrCompute(
+    const std::string& twig, const Schema* target, size_t max_embeddings,
+    const TwigQuery& query) {
+  const Key key{target, target->uid(), max_embeddings, twig};
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto computed = std::make_shared<QueryEmbeddings>();
+  // EmbedQueryInSchema logs the (rate-limited) truncation warning.
+  computed->assignments = EmbedQueryInSchema(query, *target, max_embeddings,
+                                             &computed->truncated);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (max_entries_ > 0 && cache_.size() >= max_entries_ &&
+      cache_.find(key) == cache_.end()) {
+    cache_.clear();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A racing thread may have published an identical value first; keep
+  // whichever landed so every caller shares one object.
+  auto it = cache_.emplace(key, std::move(computed)).first;
+  return it->second;
+}
+
+void EmbeddingCache::EraseTarget(const Schema* target) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    it = it->first.target == target ? cache_.erase(it) : std::next(it);
+  }
+}
+
+void EmbeddingCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+EmbeddingCacheStats EmbeddingCache::Stats() const {
+  EmbeddingCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats.entries = cache_.size();
+  return stats;
+}
+
+}  // namespace uxm

@@ -1,0 +1,105 @@
+// Cross-pair twig-embedding cache. Embedding a twig into a schema
+// (EmbedQueryInSchema) depends only on (twig text, target schema,
+// max_embeddings cap) — NOT on the mapping set — yet each pair's
+// QueryCompiler used to recompute it: N prepared pairs over one target
+// schema paid the embedding enumeration N times per distinct twig. This
+// cache hoists that work to the SchemaPairRegistry level: every pair's
+// compiler consults the registry-wide cache first, so a multi-tenant
+// server with many source schemas mapped onto one canonical target
+// schema embeds each twig exactly once.
+//
+// Keying and invalidation: keys carry the target schema's pointer
+// identity AND its process-unique Schema::uid, plus the cap. Schemas
+// are finalized and immutable for the lifetime of their registrations,
+// so entries never go stale; when the last pair over a target schema is
+// removed from the registry, its entries are swept with EraseTarget.
+// The uid is the pointer-reuse guard: a compiler still held by an
+// in-flight query may re-insert entries for a removed target AFTER the
+// sweep, and a later schema allocated at the same address must never
+// hit them — its uid differs, so the stale entries are unreachable and
+// age out with the generation. Memory is bounded the same way the plan
+// cache is: past max_entries distinct keys the whole generation is
+// flushed (hot twigs re-cache immediately).
+#ifndef UXM_CACHE_EMBEDDING_CACHE_H_
+#define UXM_CACHE_EMBEDDING_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "plan/query_plan.h"
+#include "query/twig_query.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief Cumulative embedding-cache counters.
+struct EmbeddingCacheStats {
+  uint64_t hits = 0;    ///< Embeddings served from cache.
+  uint64_t misses = 0;  ///< Full EmbedQueryInSchema enumerations.
+  uint64_t flushes = 0; ///< Generational evictions at max_entries.
+  size_t entries = 0;   ///< Cached embedding sets.
+};
+
+/// \brief Thread-safe (twig, target schema, cap) -> QueryEmbeddings map.
+///
+/// Same concurrency protocol as the QueryCompiler: shared-lock lookups,
+/// misses compute outside any lock (two racing threads may both embed;
+/// the first publish wins and both results are identical), publication
+/// under an exclusive lock.
+class EmbeddingCache {
+ public:
+  /// `max_entries` bounds the number of cached keys (0 = unbounded).
+  explicit EmbeddingCache(size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  EmbeddingCache(const EmbeddingCache&) = delete;
+  EmbeddingCache& operator=(const EmbeddingCache&) = delete;
+
+  /// Returns the embeddings of `query` (already parsed from `twig`) in
+  /// `*target` under cap `max_embeddings`, computing and caching on
+  /// first sight. Never null.
+  std::shared_ptr<const QueryEmbeddings> GetOrCompute(
+      const std::string& twig, const Schema* target, size_t max_embeddings,
+      const TwigQuery& query);
+
+  /// Drops every entry keyed on `target` (the last pair over that schema
+  /// was removed; the pointer may be reused by an unrelated schema).
+  void EraseTarget(const Schema* target);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  EmbeddingCacheStats Stats() const;
+
+ private:
+  struct Key {
+    const Schema* target = nullptr;
+    uint64_t target_uid = 0;  ///< Schema::uid — pointer-reuse guard.
+    size_t max_embeddings = 0;
+    std::string twig;
+
+    bool operator==(const Key& o) const {
+      return target == o.target && target_uid == o.target_uid &&
+             max_embeddings == o.max_embeddings && twig == o.twig;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  const size_t max_entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const QueryEmbeddings>, KeyHash>
+      cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> flushes_{0};
+};
+
+}  // namespace uxm
+
+#endif  // UXM_CACHE_EMBEDDING_CACHE_H_

@@ -9,11 +9,13 @@ namespace uxm {
 
 QueryCompiler::QueryCompiler(const PossibleMappingSet* mappings,
                              size_t max_embeddings, size_t max_entries,
-                             std::shared_ptr<const MappingOrder> order)
+                             std::shared_ptr<const MappingOrder> order,
+                             std::shared_ptr<EmbeddingCache> embeddings)
     : mappings_(mappings),
       max_embeddings_(max_embeddings),
       max_entries_(max_entries),
-      order_(std::move(order)) {
+      order_(std::move(order)),
+      embeddings_(std::move(embeddings)) {
   if (order_ == nullptr && mappings_ != nullptr) {
     order_ = std::make_shared<const MappingOrder>(
         MappingOrder::Build(*mappings_));
@@ -59,12 +61,22 @@ QueryCompiler::CacheValue QueryCompiler::CompileUncached(
   Result<TwigQuery> parsed = TwigQuery::Parse(twig);
   if (!parsed.ok()) return CacheValue{parsed.status(), nullptr};
   TwigQuery query = std::move(parsed).ValueOrDie();
-  // EmbedQueryInSchema logs the (rate-limited) truncation warning.
-  bool truncated = false;
-  std::vector<std::vector<SchemaNodeId>> embeddings = EmbedQueryInSchema(
-      query, mappings_->target(), max_embeddings_, &truncated);
+  // Embeddings depend only on (twig, target schema, cap): pairs sharing
+  // a target schema share them through the registry-wide cache. Without
+  // one, compute (and own) them here.
+  std::shared_ptr<const QueryEmbeddings> embeddings;
+  if (embeddings_ != nullptr) {
+    embeddings = embeddings_->GetOrCompute(twig, &mappings_->target(),
+                                           max_embeddings_, query);
+  } else {
+    auto computed = std::make_shared<QueryEmbeddings>();
+    // EmbedQueryInSchema logs the (rate-limited) truncation warning.
+    computed->assignments = EmbedQueryInSchema(
+        query, mappings_->target(), max_embeddings_, &computed->truncated);
+    embeddings = std::move(computed);
+  }
   auto plan = std::make_shared<const QueryPlan>(
-      mappings_, order_, std::move(query), std::move(embeddings), truncated);
+      mappings_, order_, std::move(query), std::move(embeddings));
   return CacheValue{Status::OK(), std::move(plan)};
 }
 

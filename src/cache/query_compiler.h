@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "cache/embedding_cache.h"
 #include "common/status.h"
 #include "mapping/possible_mapping.h"
 #include "plan/query_plan.h"
@@ -52,11 +53,14 @@ class QueryCompiler {
   /// normally SystemOptions::ptq.max_embeddings. `max_entries` bounds the
   /// number of cached twigs (0 = unbounded). `order` is the pair's shared
   /// descending-probability work-unit order; when null the compiler
-  /// builds (and owns) its own over `mappings`.
+  /// builds (and owns) its own over `mappings`. `embeddings` is the
+  /// registry-wide cross-pair embedding cache; when null the compiler
+  /// embeds twigs itself (nothing is shared across pairs).
   explicit QueryCompiler(const PossibleMappingSet* mappings,
                          size_t max_embeddings = 256,
                          size_t max_entries = 4096,
-                         std::shared_ptr<const MappingOrder> order = nullptr);
+                         std::shared_ptr<const MappingOrder> order = nullptr,
+                         std::shared_ptr<EmbeddingCache> embeddings = nullptr);
 
   QueryCompiler(const QueryCompiler&) = delete;
   QueryCompiler& operator=(const QueryCompiler&) = delete;
@@ -90,6 +94,7 @@ class QueryCompiler {
   const size_t max_embeddings_;
   const size_t max_entries_;
   std::shared_ptr<const MappingOrder> order_;
+  std::shared_ptr<EmbeddingCache> embeddings_;
 
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, CacheValue> cache_;

@@ -98,6 +98,26 @@ void ResultCache::Insert(const ResultCacheKey& key,
   }
 }
 
+size_t ResultCache::ErasePair(uint64_t pair) {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.pair != pair) {
+        ++it;
+        continue;
+      }
+      shard->bytes -= it->bytes;
+      shard->map.erase(it->key);
+      it = shard->lru.erase(it);
+      ++dropped;
+    }
+  }
+  pair_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  swept_entries_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -111,6 +131,8 @@ void ResultCache::Clear() {
 ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.pair_sweeps = pair_sweeps_.load(std::memory_order_relaxed);
+  stats.swept_entries = swept_entries_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.hits += shard->hits;

@@ -39,9 +39,10 @@ namespace uxm {
 ///
 /// `doc` is pointer identity: callers must not mutate or reuse the
 /// storage of a document while its answers may be cached (the facade
-/// clears the cache on Prepare/AttachDocument; for external per-request
-/// documents, call UncertainMatchingSystem::InvalidateResultCache after
-/// freeing one).
+/// bumps the epoch on Prepare/AttachDocument — and sweeps the replaced
+/// pair's entries / clears respectively — so its own documents are
+/// safe; for external per-request documents, call
+/// UncertainMatchingSystem::InvalidateResultCache after freeing one).
 struct ResultCacheKey {
   std::string twig;
   const void* doc = nullptr;
@@ -72,6 +73,8 @@ struct ResultCacheStats {
   uint64_t insertions = 0;
   uint64_t evictions = 0;      ///< Entries dropped to fit the byte budget.
   uint64_t invalidations = 0;  ///< Clear() calls.
+  uint64_t pair_sweeps = 0;    ///< ErasePair() calls.
+  uint64_t swept_entries = 0;  ///< Entries dropped by ErasePair() sweeps.
   size_t entries = 0;
   size_t bytes_in_use = 0;  ///< Approximate (see ApproxPtqResultBytes).
 };
@@ -98,6 +101,11 @@ class ResultCache {
 
   /// Drops every entry in every shard (invalidation).
   void Clear();
+
+  /// Drops only the entries computed under prepared-pair id `pair`
+  /// (re-preparing or removing ONE schema pair must not cost other
+  /// pairs their hot answers). Returns the number of entries dropped.
+  size_t ErasePair(uint64_t pair);
 
   ResultCacheStats Stats() const;
 
@@ -129,6 +137,8 @@ class ResultCache {
   size_t shard_budget_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> pair_sweeps_{0};
+  std::atomic<uint64_t> swept_entries_{0};
 };
 
 }  // namespace uxm

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

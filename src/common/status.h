@@ -22,6 +22,7 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kNotImplemented,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -59,6 +60,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +74,7 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

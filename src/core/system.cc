@@ -31,6 +31,9 @@ Status UncertainMatchingSystem::PrepareFromMatching(SchemaMatching matching) {
   build.top_h = options_.top_h;
   build.block_tree = options_.block_tree;
   build.max_embeddings = options_.ptq.max_embeddings;
+  // All pairs share the registry-wide embedding cache: twigs are
+  // embedded once per target schema, not once per pair.
+  build.embedding_cache = registry_.embedding_cache();
   std::shared_ptr<const PreparedSchemaPair> pair;
   UXM_ASSIGN_OR_RETURN(pair,
                        BuildPreparedSchemaPair(std::move(matching), build));
@@ -40,6 +43,7 @@ Status UncertainMatchingSystem::PrepareFromMatching(SchemaMatching matching) {
 
 void UncertainMatchingSystem::InstallPair(
     std::shared_ptr<const PreparedSchemaPair> pair) {
+  std::shared_ptr<const PreparedSchemaPair> replaced;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++epoch_;  // before the swap: in-flight inserts keyed on the old
@@ -56,12 +60,48 @@ void UncertainMatchingSystem::InstallPair(
     // pair and are re-stamped with the new epoch, so answers cached under
     // the old preparation are unreachable. Documents registered under
     // OTHER pairs are untouched — their pairs stay registered.
-    registry_.Install(pair);
+    replaced = registry_.Install(pair);
     store_.RebindPair(pair, epoch_);
     default_pair_ = std::move(pair);
   }
   prepared_.store(true, std::memory_order_release);
-  result_cache_->Clear();
+  // Reclaim only the replaced incarnation's entries: answers of other
+  // pairs are still reachable (their epochs and pair ids are untouched)
+  // and stay hot across this pair's re-preparation. The epoch/doc_epoch
+  // bump above already made every entry of THIS pair's documents
+  // unreachable, so the sweep is memory hygiene, not correctness.
+  if (replaced != nullptr) {
+    result_cache_->ErasePair(replaced->pair_id);
+  }
+}
+
+Status UncertainMatchingSystem::RemovePair(const Schema* source,
+                                           const Schema* target) {
+  std::shared_ptr<const PreparedSchemaPair> removed;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    removed = registry_.Remove(source, target);
+    if (removed == nullptr) {
+      return Status::NotFound(
+          "no prepared pair for these schemas is registered");
+    }
+    // Its corpus documents can no longer be evaluated (their pair is
+    // gone); in-flight corpus queries hold an older snapshot and finish.
+    store_.RemovePairDocuments(source, target);
+    if (default_pair_ == removed) {
+      // No default pair any more: single-document traffic must Prepare
+      // again. The attached document was bound to this pair's source.
+      default_pair_ = nullptr;
+      annotated_ = nullptr;
+      prepared_.store(false, std::memory_order_release);
+    }
+  }
+  // Memory hygiene, same as re-Prepare: the pair id can never be issued
+  // again, so its entries are unreachable to every future lookup. A late
+  // insert from an in-flight query lands unreachable too and ages out by
+  // LRU.
+  result_cache_->ErasePair(removed->pair_id);
+  return Status::OK();
 }
 
 Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
@@ -165,7 +205,10 @@ Result<CorpusBatchResponse> UncertainMatchingSystem::RunCorpusBatch(
     const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
     const BatchRunOptions& run) const {
   const Session session = Snapshot(&run);
-  if (session.pair == nullptr) {
+  // Corpus items carry their own pair, so the corpus stays queryable as
+  // long as ANY pair is registered — removing the default pair must not
+  // take other pairs' documents offline.
+  if (session.pair == nullptr && !session.has_pairs) {
     return Status::Internal("call Prepare before RunCorpusBatch");
   }
   BatchCacheContext cache_ctx;
@@ -186,7 +229,10 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
     session.annotated = annotated_;
     session.corpus = store_.Snapshot();
     session.epoch = doc_epoch_;
-    if (run != nullptr && default_pair_ != nullptr) {
+    session.has_pairs = registry_.size() > 0;
+    // Corpus runs need the executor even without a default pair (their
+    // items carry their own pair), so gate on any registered pair.
+    if (run != nullptr && session.has_pairs) {
       want_threads = run->num_threads > 0 ? run->num_threads
                                           : ThreadPool::DefaultThreadCount();
       if (executor_ != nullptr &&
@@ -196,8 +242,7 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
       }
     }
   }
-  if (run == nullptr || session.pair == nullptr ||
-      session.executor != nullptr) {
+  if (want_threads == 0 || session.executor != nullptr) {
     return session;
   }
   // Build the executor outside the lock: spawning a thread pool takes
@@ -356,6 +401,10 @@ ResultCacheStats UncertainMatchingSystem::result_cache_stats() const {
 QueryCompilerStats UncertainMatchingSystem::compiler_stats() const {
   std::shared_ptr<const PreparedSchemaPair> pair = prepared_pair();
   return pair != nullptr ? pair->compiler->Stats() : QueryCompilerStats{};
+}
+
+EmbeddingCacheStats UncertainMatchingSystem::embedding_cache_stats() const {
+  return registry_.embedding_cache()->Stats();
 }
 
 std::shared_ptr<const PreparedSchemaPair>

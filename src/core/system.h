@@ -31,7 +31,13 @@
 // a global top-k ranked by answer probability with per-document
 // provenance (see src/corpus/). A corpus may span several prepared pairs
 // (heterogeneous corpus): register extra pairs with Prepare and bind
-// documents to them with the four-argument AddDocument overload.
+// documents to them with the four-argument AddDocument overload;
+// RemovePair unregisters one again. Top-k corpus queries run through the
+// bound-driven scheduler (corpus/corpus_executor.h): items are
+// dispatched best-bound-first and skipped or aborted — exactly — once
+// the k-th answer provably beats them, and twig embeddings are shared
+// across pairs with a common target schema via the registry-wide
+// EmbeddingCache.
 //
 // Concurrency: pairs, the attached document, and the corpus registry are
 // immutable objects published by shared_ptr swap, so Query/QueryTopK/
@@ -129,14 +135,27 @@ class UncertainMatchingSystem {
   /// tree and seeds the plan compiler, then REGISTERS the result as the
   /// pair for (source, target) — replacing any earlier preparation of the
   /// same two schemas — and makes it the default pair every single-
-  /// document call targets. Pairs for other schemas stay registered and
-  /// their corpus documents stay queryable. Schemas must be finalized and
-  /// outlive their registration. Invalidates every cached answer.
+  /// document call targets. Pairs for other schemas stay registered,
+  /// their corpus documents stay queryable, and their cached answers
+  /// stay hot — only the replaced pair's cache entries are swept (the
+  /// epoch bump makes this pair's stale answers unreachable regardless).
+  /// Schemas must be finalized and outlive their registration.
   Status Prepare(const Schema* source, const Schema* target);
 
   /// Uses an externally produced matching instead of running the matcher
   /// (e.g. scores imported from a real COMA++ run).
   Status PrepareFromMatching(SchemaMatching matching);
+
+  /// Unregisters the prepared pair for (source, target): its corpus
+  /// documents are dropped, its cached answers swept, and — when it was
+  /// the default pair — single-document traffic reverts to unprepared
+  /// (Query/RunBatch error until a re-Prepare elects a new default).
+  /// Other pairs stay registered, and their corpus documents remain
+  /// fully queryable through QueryCorpus/RunCorpusBatch, which need no
+  /// default pair. In-flight queries that captured the pair finish
+  /// against it. NotFound if no such pair is registered. The registry
+  /// no longer grows monotonically.
+  Status RemovePair(const Schema* source, const Schema* target);
 
   /// Binds the document the single-document queries run against. The
   /// document must conform to the default pair's source schema and
@@ -225,6 +244,11 @@ class UncertainMatchingSystem {
   /// Cumulative plan-compiler counters of the default pair.
   QueryCompilerStats compiler_stats() const;
 
+  /// Cumulative counters of the registry-wide cross-pair embedding
+  /// cache (twigs embedded once per target schema, shared by every pair
+  /// over it).
+  EmbeddingCacheStats embedding_cache_stats() const;
+
   /// Snapshot of the default prepared pair (matching, mappings, block
   /// tree, compiler), or null before the first Prepare. The returned
   /// object is immutable and stays valid across any later Prepare — this
@@ -253,6 +277,9 @@ class UncertainMatchingSystem {
     std::shared_ptr<const CorpusSnapshot> corpus;
     uint64_t epoch = 0;
     std::shared_ptr<BatchQueryExecutor> executor;
+    /// Any pair registered at capture time (corpus queries only need
+    /// this — their items carry their own pair, not the default).
+    bool has_pairs = false;
   };
 
   /// Captures the current session; with a non-null `run` it also returns

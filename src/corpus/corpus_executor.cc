@@ -1,8 +1,16 @@
 #include "corpus/corpus_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+#include <numeric>
 #include <queue>
+#include <unordered_map>
 #include <utility>
+
+#include "plan/driver.h"
 
 namespace uxm {
 
@@ -16,6 +24,113 @@ bool AnswerBefore(const CorpusAnswer& a, const CorpusAnswer& b) {
   if (a.document != b.document) return a.document < b.document;
   return a.matches < b.matches;
 }
+
+/// Smallest wave: below this the per-dispatch pool overhead dominates
+/// any pruning win. The effective wave is max(threads, kMinWaveItems) so
+/// every worker has an item even on wide pools.
+constexpr size_t kMinWaveItems = 8;
+
+/// The k best answers seen so far for one twig. With AnswerBefore as the
+/// priority_queue "less", top() is the element that ranks before nothing
+/// else — the current k-th best — whose probability is the pruning
+/// threshold once k answers are in hand.
+class TopKTracker {
+ public:
+  explicit TopKTracker(int k) : k_(k) {}
+
+  void Push(const CorpusAnswer& answer) {
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push(answer);
+    } else if (AnswerBefore(answer, heap_.top())) {
+      heap_.pop();
+      heap_.push(answer);
+    }
+  }
+
+  bool full() const { return static_cast<int>(heap_.size()) >= k_; }
+  double kth_probability() const { return heap_.top().probability; }
+
+ private:
+  struct WorseLast {
+    bool operator()(const CorpusAnswer& a, const CorpusAnswer& b) const {
+      return AnswerBefore(a, b);
+    }
+  };
+  int k_;
+  std::priority_queue<CorpusAnswer, std::vector<CorpusAnswer>, WorseLast>
+      heap_;
+};
+
+/// Monotone max on the shared threshold (raised by workers as answers
+/// land; read by the driver's cancellation checks and the scheduler).
+void RaiseThreshold(std::atomic<double>* threshold, double value) {
+  double current = threshold->load(std::memory_order_relaxed);
+  while (value > current &&
+         !threshold->compare_exchange_weak(current, value,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+/// Folds one wave's executor report into the run-wide totals. The
+/// cumulative compiler/result-cache snapshots take the latest sample
+/// (they are already cumulative), everything else sums.
+void AccumulateReport(const BatchRunReport& wave, BatchRunReport* total) {
+  total->num_threads = wave.num_threads;
+  if (total->items_per_thread.size() != wave.items_per_thread.size()) {
+    total->items_per_thread.assign(wave.items_per_thread.size(), 0);
+  }
+  for (size_t i = 0; i < wave.items_per_thread.size(); ++i) {
+    total->items_per_thread[i] += wave.items_per_thread[i];
+  }
+  total->query_cache_hits += wave.query_cache_hits;
+  total->result_cache_hits += wave.result_cache_hits;
+  total->result_cache_misses += wave.result_cache_misses;
+  total->mappings_pruned += wave.mappings_pruned;
+  total->items_aborted += wave.items_aborted;
+  total->compiler = wave.compiler;
+  total->result_cache = wave.result_cache;
+}
+
+#ifndef NDEBUG
+/// Debug-build exactness certificate: evaluate every document the
+/// scheduler skipped (no caches, no cancellation), merge over ALL
+/// documents, and require the result to be identical to what the bounded
+/// run returned. Pruning must never be observable in the answers.
+void CertifyBoundedTopK(const std::vector<const CorpusDocument*>& docs,
+                        const std::string& twig, int merge_k,
+                        const BatchExecutorOptions& exec_options,
+                        std::vector<std::vector<CorpusAnswer>> collapsed,
+                        const std::vector<char>& have,
+                        const std::vector<CorpusAnswer>& got) {
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (have[d]) continue;
+    DriverRequest request;
+    request.pair = docs[d]->pair.get();
+    request.doc = docs[d]->annotated.get();
+    request.twig = &twig;
+    request.options = exec_options.ptq;
+    request.use_block_tree = exec_options.use_block_tree;
+    auto result = ExecutionDriver::Execute(request);
+    assert(result.ok() && "certificate evaluation of a pruned item failed");
+    collapsed[d] = CollapseForCorpus(docs[d]->name, *result);
+  }
+  const std::vector<CorpusAnswer> want = MergeTopK(collapsed, merge_k);
+  bool equal = want.size() == got.size();
+  for (size_t i = 0; equal && i < want.size(); ++i) {
+    equal = want[i].document == got[i].document &&
+            want[i].probability == got[i].probability &&
+            want[i].matches == got[i].matches;
+  }
+  if (!equal) {
+    std::fprintf(stderr,
+                 "bounded corpus top-k certificate FAILED for twig '%s': "
+                 "bounded run returned %zu answers, exhaustive merge %zu\n",
+                 twig.c_str(), got.size(), want.size());
+  }
+  assert(equal && "bound-driven pruning changed the corpus top-k");
+}
+#endif  // NDEBUG
 
 }  // namespace
 
@@ -99,7 +214,18 @@ Result<CorpusBatchResponse> CorpusExecutor::Run(
                 return a->name < b->name;
               });
   }
+  // Bounding needs a finite answer budget to beat: with top_k <= 0 every
+  // answer is part of the result and nothing can ever be pruned.
+  if (options.bounded && options.top_k > 0) {
+    return RunBounded(selected, twigs, options, cache);
+  }
+  return RunExhaustive(selected, twigs, options, cache);
+}
 
+Result<CorpusBatchResponse> CorpusExecutor::RunExhaustive(
+    const std::vector<const CorpusDocument*>& selected,
+    const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
+    const BatchCacheContext* cache) const {
   const size_t num_docs = selected.size();
   std::vector<BatchQueryItem> items;
   items.reserve(twigs.size() * num_docs);
@@ -117,6 +243,9 @@ Result<CorpusBatchResponse> CorpusExecutor::Run(
   CorpusBatchResponse response;
   const std::vector<Result<PtqResult>> evaluated =
       executor_->Run(items, /*default_pair=*/nullptr, &response.report, cache);
+  response.corpus.items_total = static_cast<int>(items.size());
+  response.corpus.items_evaluated = static_cast<int>(items.size());
+  response.corpus.dispatches = items.empty() ? 0 : 1;
 
   response.answers.reserve(twigs.size());
   for (size_t q = 0; q < twigs.size(); ++q) {
@@ -139,6 +268,159 @@ Result<CorpusBatchResponse> CorpusExecutor::Run(
       continue;
     }
     merged.answers = MergeTopK(per_document, options.top_k);
+    response.answers.push_back(std::move(merged));
+  }
+  return response;
+}
+
+Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
+    const std::vector<const CorpusDocument*>& selected,
+    const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
+    const BatchCacheContext* cache) const {
+  const size_t num_docs = selected.size();
+  const BatchExecutorOptions& exec_options = executor_->options();
+  // Corpus items carry no per-item top_k, so every evaluation runs under
+  // the executor's base PtqOptions — the k the per-item bound must match.
+  const int item_k = exec_options.ptq.top_k;
+  const size_t wave_size =
+      std::max<size_t>(static_cast<size_t>(executor_->num_threads()),
+                       kMinWaveItems);
+
+  CorpusBatchResponse response;
+  response.report.num_threads = executor_->num_threads();
+  response.report.items_per_thread.assign(
+      static_cast<size_t>(executor_->num_threads()), 0);
+  response.answers.reserve(twigs.size());
+
+  for (const std::string& twig : twigs) {
+    response.corpus.items_total += static_cast<int>(num_docs);
+
+    // ---- bound phase: one compile + AnswerUpperBound per distinct pair,
+    // shared by all of its documents (schema-level work, document-free).
+    std::unordered_map<uint64_t, double> pair_bound;
+    std::vector<double> bounds(num_docs, 0.0);
+    Status failed = Status::OK();
+    for (size_t d = 0; d < num_docs && failed.ok(); ++d) {
+      const PreparedSchemaPair& pair = *selected[d]->pair;
+      auto it = pair_bound.find(pair.pair_id);
+      if (it == pair_bound.end()) {
+        auto compiled = pair.compiler->Compile(twig);
+        if (!compiled.ok()) {
+          // A compile failure (parse error) is the first failing
+          // (twig, document) status in name order — document d.
+          failed = compiled.status();
+          break;
+        }
+        it = pair_bound.emplace(pair.pair_id,
+                                (*compiled)->AnswerUpperBound(item_k)).first;
+      }
+      bounds[d] = it->second;
+    }
+    if (!failed.ok()) {
+      response.answers.push_back(std::move(failed));
+      continue;
+    }
+
+    // ---- schedule phase: highest bound first; name order breaks ties
+    // (selected is name-sorted, stable_sort keeps it).
+    std::vector<size_t> order(num_docs);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&bounds](size_t a, size_t b) {
+                       return bounds[a] > bounds[b];
+                     });
+
+    std::mutex mu;
+    TopKTracker tracker(options.top_k);
+    std::atomic<double> threshold{-1.0};  // answers have probability >= 0
+    std::vector<std::vector<CorpusAnswer>> collapsed(num_docs);
+    std::vector<char> have(num_docs, 0);  // collapsed[d] is populated
+
+    CorpusQueryResult merged;
+    merged.documents_evaluated = static_cast<int>(num_docs);
+    size_t failed_doc = num_docs;  // min index with a non-cancel failure
+
+    size_t pos = 0;
+    while (pos < num_docs && failed.ok()) {
+      // Stop dispatching: with items sorted descending, once the best
+      // remaining bound cannot beat the k-th answer, none can.
+      const double current = threshold.load(std::memory_order_acquire);
+      std::vector<BatchQueryItem> items;
+      std::vector<size_t> item_doc;  // wave index -> selected index
+      while (pos < num_docs && items.size() < wave_size) {
+        const size_t d = order[pos];
+        if (tracker.full() && bounds[d] + kAnswerBoundSlack < current) {
+          // Everything from here on is provably outside the top-k.
+          merged.documents_pruned +=
+              static_cast<int>(num_docs - pos);
+          pos = num_docs;
+          break;
+        }
+        BatchQueryItem item;
+        item.doc = selected[d]->annotated.get();
+        item.twig = twig;
+        item.epoch = selected[d]->epoch;
+        item.pair = selected[d]->pair;
+        item.priority = bounds[d];
+        items.push_back(std::move(item));
+        item_doc.push_back(d);
+        ++pos;
+      }
+      if (items.empty()) break;
+
+      // Workers fold each finished item into the tracker immediately, so
+      // the threshold rises mid-wave and later items of this very wave
+      // can abort at the driver's cancellation checks.
+      BatchRunControl control;
+      control.cancel_threshold = &threshold;
+      control.on_item_done = [&](size_t i, const Result<PtqResult>& r) {
+        if (!r.ok()) return;
+        std::vector<CorpusAnswer> answers =
+            CollapseForCorpus(selected[item_doc[i]]->name, *r);
+        std::lock_guard<std::mutex> lock(mu);
+        for (const CorpusAnswer& a : answers) tracker.Push(a);
+        if (tracker.full()) {
+          RaiseThreshold(&threshold, tracker.kth_probability());
+        }
+        collapsed[item_doc[i]] = std::move(answers);
+        have[item_doc[i]] = 1;
+      };
+
+      BatchRunReport wave_report;
+      const std::vector<Result<PtqResult>> results =
+          executor_->Run(items, /*default_pair=*/nullptr, &wave_report, cache,
+                         &control);
+      AccumulateReport(wave_report, &response.report);
+      ++response.corpus.dispatches;
+
+      for (size_t i = 0; i < results.size(); ++i) {
+        const Result<PtqResult>& r = results[i];
+        if (r.ok()) {
+          merged.truncated_embeddings |= r->truncated_embeddings;
+          ++response.corpus.items_evaluated;
+        } else if (r.status().IsCancelled()) {
+          ++merged.documents_aborted;
+        } else if (item_doc[i] < failed_doc) {
+          failed_doc = item_doc[i];
+          failed = r.status();
+        }
+      }
+    }
+
+    if (!failed.ok()) {
+      response.answers.push_back(std::move(failed));
+      continue;
+    }
+    response.corpus.items_pruned += merged.documents_pruned;
+    response.corpus.items_aborted += merged.documents_aborted;
+    // Skipped documents left empty lists in `collapsed`; MergeTopK
+    // ignores empty lists, and their absence is exactly what the bounds
+    // proved sound.
+    merged.answers = MergeTopK(collapsed, options.top_k);
+#ifndef NDEBUG
+    CertifyBoundedTopK(selected, twig, options.top_k, exec_options,
+                       std::move(collapsed), have, merged.answers);
+#endif
     response.answers.push_back(std::move(merged));
   }
   return response;

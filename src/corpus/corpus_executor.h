@@ -9,6 +9,29 @@
 // into one global answer list ranked by answer probability, every answer
 // tagged with the document it came from.
 //
+// Bound-driven scheduling (Threshold Algorithm over §IV-C bounds): when a
+// global top-k budget is set, the executor does NOT evaluate every
+// (twig, document) item. Each item's pair yields a cheap document-
+// independent upper bound on any answer it can produce
+// (QueryPlan::AnswerUpperBound — the mass of the mappings its selection
+// may consume, derived from the pair's shared descending-probability
+// work-unit order). Items are dispatched in descending-bound waves while
+// a tracker keeps the k best answers found so far; the k-th best
+// probability is published as a shared atomic threshold that (a) stops
+// dispatching — once the best remaining bound falls below it, every
+// remaining item is pruned unevaluated — and (b) aborts already-
+// dispatched items in flight (the ExecutionDriver rechecks the threshold
+// before its expensive phases and returns Status::Cancelled). This is
+// EXACT, not approximate: an item is only skipped when every answer it
+// could produce provably ranks below the current k-th best (strict
+// inequality with kAnswerBoundSlack guarding float noise), so the merged
+// top-k is bit-identical to the exhaustive fan-out — debug builds
+// re-evaluate every skipped item and certify it, and
+// tests/differential_test.cc sweeps bounded vs brute force. Within one
+// pair the bound equals the twig's relevant mass, which no answer can
+// exceed, so homogeneous corpora never prune; the win is heterogeneous
+// corpora where most pairs' bounds are dominated by a few hot pairs.
+//
 // Merge semantics: each document's PtqResult is first collapsed by match
 // set via PtqResult::CollapseByMatches (answers over different mappings
 // that bind the same document nodes aggregate their probabilities),
@@ -17,7 +40,8 @@
 // per-document lists — sorted by descending probability — are merged
 // with a heap into the global top-k.
 // Ties break deterministically on (document name, match list), so the
-// result is identical for any thread count or cache state.
+// result is identical for any thread count, cache state, or pruning
+// schedule.
 #ifndef UXM_CORPUS_CORPUS_EXECUTOR_H_
 #define UXM_CORPUS_CORPUS_EXECUTOR_H_
 
@@ -48,22 +72,50 @@ struct CorpusQueryOptions {
   /// Restrict the fan-out to these document names (empty = whole
   /// corpus). Unknown names fail the call with NotFound.
   std::vector<std::string> documents;
+  /// Use the bound-driven scheduler when top_k > 0 (see file comment).
+  /// false forces the exhaustive evaluate-everything fan-out — the
+  /// oracle the differential tests and the BM_BoundedCorpusTopK /
+  /// BM_ExhaustiveCorpusTopK benchmark pair compare against. The
+  /// ANSWERS are identical either way; only the work differs — which
+  /// also means an evaluation failure inside a document the scheduler
+  /// skipped is never observed (see CorpusExecutor::Run).
+  bool bounded = true;
 };
 
 /// \brief Merged answers for one twig over the corpus.
 struct CorpusQueryResult {
   /// Descending by probability; ties by (document name, matches).
   std::vector<CorpusAnswer> answers;
+  /// Documents the fan-out considered (the corpus or the
+  /// options.documents subset) — pruned/aborted ones included: pruning
+  /// is exact, so a skipped document still "participated" in the answer.
   int documents_evaluated = 0;
+  /// Of those, documents never dispatched because their answer upper
+  /// bound fell below the k-th best answer (bound-driven pruning), and
+  /// documents aborted in flight by the shared threshold.
+  int documents_pruned = 0;
+  int documents_aborted = 0;
   /// True if any contributing evaluation hit the max_embeddings cap.
   bool truncated_embeddings = false;
 };
 
+/// \brief Bound-driven scheduling statistics for one corpus run, summed
+/// over every twig of the batch. items are (twig, document) units.
+struct CorpusRunReport {
+  int items_total = 0;      ///< twig x document units considered
+  int items_evaluated = 0;  ///< dispatched and evaluated (or cache hits)
+  int items_pruned = 0;     ///< never dispatched (bound below threshold)
+  int items_aborted = 0;    ///< cancelled in flight by the threshold
+  int dispatches = 0;       ///< executor waves issued
+};
+
 /// \brief Batch answers, one slot per input twig (input order), plus the
-/// underlying executor's run statistics.
+/// underlying executor's run statistics and the scheduler's pruning
+/// accounting.
 struct CorpusBatchResponse {
   std::vector<Result<CorpusQueryResult>> answers;
   BatchRunReport report;
+  CorpusRunReport corpus;
 };
 
 /// Collapses one document's PtqResult into per-match-set corpus answers
@@ -89,17 +141,38 @@ class CorpusExecutor {
   explicit CorpusExecutor(const BatchQueryExecutor* executor)
       : executor_(executor) {}
 
-  /// Evaluates every twig against every corpus document (or the
-  /// options.documents subset) and merges per twig. Per-twig failures
-  /// (e.g. parse errors) error only their own answer slot; the twig's
-  /// first failing (twig, document) status is reported. When `cache` is
-  /// non-null, each item is cached under its document's epoch.
+  /// Evaluates every twig against the corpus (or the options.documents
+  /// subset) — through the bound-driven scheduler when options.bounded
+  /// and options.top_k > 0, exhaustively otherwise — and merges per
+  /// twig. Per-twig failures (e.g. parse errors) error only their own
+  /// answer slot. Compile failures are detected before any dispatch and
+  /// fail the twig either way; EVALUATION failures are reported only
+  /// for items that actually evaluated — a document the bounded
+  /// scheduler pruned or aborted never ran, so a failure it would have
+  /// produced under the exhaustive path is legitimately never observed
+  /// (the answer-equality guarantee is unaffected: a skipped item
+  /// provably contributes no top-k answer). When `cache` is non-null,
+  /// each item is cached under its document's epoch.
   Result<CorpusBatchResponse> Run(const CorpusSnapshot& corpus,
                                   const std::vector<std::string>& twigs,
                                   const CorpusQueryOptions& options,
                                   const BatchCacheContext* cache) const;
 
  private:
+  /// The pre-PR-5 evaluate-everything path: one executor dispatch over
+  /// all twig x document items, then per-twig collapse + merge.
+  Result<CorpusBatchResponse> RunExhaustive(
+      const std::vector<const CorpusDocument*>& selected,
+      const std::vector<std::string>& twigs,
+      const CorpusQueryOptions& options, const BatchCacheContext* cache) const;
+
+  /// The Threshold-Algorithm scheduler (see file comment), one twig at a
+  /// time: bound -> sort -> dispatch waves -> prune/abort -> merge.
+  Result<CorpusBatchResponse> RunBounded(
+      const std::vector<const CorpusDocument*>& selected,
+      const std::vector<std::string>& twigs,
+      const CorpusQueryOptions& options, const BatchCacheContext* cache) const;
+
   const BatchQueryExecutor* executor_;
 };
 

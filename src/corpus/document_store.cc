@@ -83,6 +83,24 @@ int DocumentStore::RebindPair(
   return rebound;
 }
 
+int DocumentStore::RemovePairDocuments(const Schema* source,
+                                       const Schema* target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CorpusSnapshot next;
+  next.reserve(snapshot_->size());
+  int dropped = 0;
+  for (const CorpusDocument& existing : *snapshot_) {
+    if (existing.pair->source() == source &&
+        existing.pair->target() == target) {
+      ++dropped;
+    } else {
+      next.push_back(existing);
+    }
+  }
+  if (dropped > 0) Publish(std::move(next));
+  return dropped;
+}
+
 void DocumentStore::Restamp(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   CorpusSnapshot next = *snapshot_;

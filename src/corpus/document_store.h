@@ -86,6 +86,12 @@ class DocumentStore {
   int RebindPair(const std::shared_ptr<const PreparedSchemaPair>& pair,
                  uint64_t epoch);
 
+  /// Drops every entry registered under the pair for (source, target) —
+  /// the corpus half of unregistering a schema pair. In-flight queries
+  /// holding an older snapshot finish against it. Returns the number of
+  /// entries dropped.
+  int RemovePairDocuments(const Schema* source, const Schema* target);
+
   /// Re-stamps every entry with `epoch` (full corpus invalidation: any
   /// in-flight insert keyed under a pre-bump epoch becomes unreachable).
   void Restamp(uint64_t epoch);

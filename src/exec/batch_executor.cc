@@ -19,6 +19,7 @@ struct WorkerScratch {
   int result_hits = 0;
   int result_misses = 0;
   int mappings_pruned = 0;
+  int aborted = 0;
 };
 
 }  // namespace
@@ -36,7 +37,8 @@ int BatchQueryExecutor::num_threads() const { return pool_->num_threads(); }
 std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
     const std::vector<BatchQueryItem>& batch,
     const std::shared_ptr<const PreparedSchemaPair>& default_pair,
-    BatchRunReport* report, const BatchCacheContext* cache) const {
+    BatchRunReport* report, const BatchCacheContext* cache,
+    const BatchRunControl* control) const {
   const size_t n = batch.size();
   std::vector<Result<PtqResult>> results(
       n, Result<PtqResult>(Status::Internal("item not executed")));
@@ -88,12 +90,20 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
         request.use_block_tree = options_.use_block_tree;
         request.cache = result_cache;
         request.epoch = item.epoch != 0 ? item.epoch : epoch;
+        if (control != nullptr) {
+          request.upper_bound = item.priority;
+          request.cancel_threshold = control->cancel_threshold;
+        }
         DriverCounters counters;
         results[i] = ExecutionDriver::Execute(request, &counters);
         ws.compile_hits += counters.compile_hit ? 1 : 0;
         ws.result_hits += counters.result_hit ? 1 : 0;
         ws.result_misses += counters.result_miss ? 1 : 0;
         ws.mappings_pruned += counters.select.skipped;
+        ws.aborted += counters.cancelled ? 1 : 0;
+        if (control != nullptr && control->on_item_done) {
+          control->on_item_done(i, results[i]);
+        }
       } catch (const std::exception& e) {
         results[i] = Status::Internal(std::string("evaluation threw: ") +
                                       e.what());
@@ -115,6 +125,7 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
       report->result_cache_hits += ws.result_hits;
       report->result_cache_misses += ws.result_misses;
       report->mappings_pruned += ws.mappings_pruned;
+      report->items_aborted += ws.aborted;
     }
     // Sample compiler stats from the default pair, or — for pair-carried
     // runs like corpus fan-outs — from the first item's pair, so corpus

@@ -20,7 +20,9 @@
 #ifndef UXM_EXEC_BATCH_EXECUTOR_H_
 #define UXM_EXEC_BATCH_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +53,29 @@ struct BatchQueryItem {
   /// pair. Corpus runs set it per document, which is what lets one batch
   /// span documents prepared under different schema pairs.
   std::shared_ptr<const PreparedSchemaPair> pair;
+  /// Upper bound on the probability of any answer this item can produce
+  /// (see QueryPlan::AnswerUpperBound) — the item's dispatch priority.
+  /// Workers claim items in index order, so a caller encodes priority by
+  /// sorting the batch descending on this field (the corpus scheduler
+  /// does); with a BatchRunControl threshold bound, it is also the bound
+  /// the driver cancels against. Ignored without a control.
+  double priority = 0.0;
+};
+
+/// \brief Optional per-Run hooks for bound-driven scheduling (the corpus
+/// Threshold-Algorithm driver). Both fields are optional.
+struct BatchRunControl {
+  /// Shared, monotonically rising answer-probability threshold: items
+  /// whose priority (upper bound) falls below it abort with
+  /// Status::Cancelled instead of evaluating (see plan/driver.h).
+  const std::atomic<double>* cancel_threshold = nullptr;
+  /// Called once per completed item, ON THE WORKER THREAD that ran it,
+  /// with the item's batch index and its result — before Run returns.
+  /// The corpus scheduler uses it to fold finished answers into its
+  /// global top-k and raise the threshold mid-run, which is what lets
+  /// later items of the same dispatch abort in flight. Must be
+  /// thread-safe; must not call back into this executor.
+  std::function<void(size_t, const Result<PtqResult>&)> on_item_done;
 };
 
 /// \brief Executor configuration.
@@ -88,6 +113,9 @@ struct BatchRunReport {
   /// Work units never consumed thanks to early-termination top-k, summed
   /// over this run's items (0 for untruncated/top-k-less traffic).
   int mappings_pruned = 0;
+  /// Items aborted in flight by a BatchRunControl cancel threshold
+  /// (their result slots hold Status::Cancelled).
+  int items_aborted = 0;
   /// Cumulative cache state sampled at the end of the run: the default
   /// pair's compiler, or the first item's pair when the run had no
   /// default (e.g. corpus fan-outs). Zero-valued only for empty
@@ -120,13 +148,20 @@ class BatchQueryExecutor {
   /// non-null it receives this run's statistics. When `cache` binds a
   /// ResultCache, hits skip evaluation and successful answers are
   /// inserted keyed under the item's epoch (or cache->epoch).
+  /// `control` (optional) threads the corpus scheduler's cancel
+  /// threshold and completion hook through the run (see BatchRunControl).
   std::vector<Result<PtqResult>> Run(
       const std::vector<BatchQueryItem>& batch,
       const std::shared_ptr<const PreparedSchemaPair>& default_pair,
       BatchRunReport* report = nullptr,
-      const BatchCacheContext* cache = nullptr) const;
+      const BatchCacheContext* cache = nullptr,
+      const BatchRunControl* control = nullptr) const;
 
   int num_threads() const;
+
+  /// The configuration this executor was built with (the corpus
+  /// scheduler derives per-item bounds from options().ptq.top_k).
+  const BatchExecutorOptions& options() const { return options_; }
 
  private:
   BatchExecutorOptions options_;

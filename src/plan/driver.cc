@@ -6,6 +6,23 @@
 
 namespace uxm {
 
+namespace {
+
+/// True when the shared threshold proves this request's answers can no
+/// longer reach the global top-k (see DriverRequest::cancel_threshold).
+bool ShouldCancel(const DriverRequest& request) {
+  return request.cancel_threshold != nullptr &&
+         request.cancel_threshold->load(std::memory_order_relaxed) >
+             request.upper_bound + kAnswerBoundSlack;
+}
+
+Status CancelledStatus() {
+  return Status::Cancelled(
+      "answer upper bound fell below the corpus top-k threshold");
+}
+
+}  // namespace
+
 Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
                                            DriverCounters* counters) {
   if (counters != nullptr) *counters = DriverCounters{};
@@ -30,6 +47,12 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
     }
     if (counters != nullptr) counters->result_miss = true;
   }
+  // Past the (free) cache probe, this request is about to do real work;
+  // abort if the scheduler's threshold already proves it pointless.
+  if (ShouldCancel(request)) {
+    if (counters != nullptr) counters->cancelled = true;
+    return CancelledStatus();
+  }
   bool compile_hit = false;
   auto compiled = pair.compiler->Compile(*request.twig, &compile_hit);
   if (counters != nullptr) counters->compile_hit = compile_hit;
@@ -38,6 +61,13 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
   const std::vector<MappingId> selected = plan.SelectForTopK(
       request.options.top_k,
       counters != nullptr ? &counters->select : nullptr);
+  // Re-check between selection and evaluation: the threshold may have
+  // risen while this worker compiled/selected, and evaluation is the
+  // expensive phase worth aborting.
+  if (ShouldCancel(request)) {
+    if (counters != nullptr) counters->cancelled = true;
+    return CancelledStatus();
+  }
   PtqEvaluator eval(&pair.mappings, request.doc);
   Result<PtqResult> answer =
       request.use_block_tree

@@ -15,6 +15,7 @@
 #ifndef UXM_PLAN_DRIVER_H_
 #define UXM_PLAN_DRIVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -39,6 +40,19 @@ struct DriverRequest {
   bool use_block_tree = true;  ///< Algorithm 4 vs Algorithm 3.
   ResultCache* cache = nullptr;  ///< null = no answer caching
   uint64_t epoch = 0;            ///< result-cache epoch stamp
+
+  /// Cooperative bound-driven cancellation (the corpus scheduler's
+  /// Threshold-Algorithm): `upper_bound` is a proven upper bound on the
+  /// probability of any answer this request can produce (normally
+  /// QueryPlan::AnswerUpperBound), and `cancel_threshold` — shared,
+  /// monotonically raised by the scheduler as better answers land — is
+  /// the current k-th best answer probability. Whenever threshold >
+  /// upper_bound + kAnswerBoundSlack, no answer of this request can
+  /// enter the global top-k, so Execute aborts with Status::Cancelled
+  /// (checked on entry after the result-cache probe, and again between
+  /// mapping selection and evaluation). Null threshold = never cancel.
+  double upper_bound = 0.0;
+  const std::atomic<double>* cancel_threshold = nullptr;
 };
 
 /// \brief What one Execute call did (for report tallies).
@@ -46,6 +60,7 @@ struct DriverCounters {
   bool compile_hit = false;
   bool result_hit = false;
   bool result_miss = false;  ///< looked up but absent (false if no cache)
+  bool cancelled = false;    ///< aborted by the shared cancel threshold
   /// Early-termination accounting of the mapping selection (zero on a
   /// result-cache hit — nothing was selected).
   PlanSelectStats select;

@@ -15,12 +15,14 @@ uint64_t NextPairId() {
 }
 
 std::shared_ptr<const PreparedSchemaPair> Finish(
-    std::shared_ptr<PreparedSchemaPair> pair, size_t max_embeddings) {
+    std::shared_ptr<PreparedSchemaPair> pair, size_t max_embeddings,
+    std::shared_ptr<EmbeddingCache> embedding_cache) {
   pair->pair_id = NextPairId();
   pair->order =
       std::make_shared<const MappingOrder>(MappingOrder::Build(pair->mappings));
   pair->compiler = std::make_shared<QueryCompiler>(
-      &pair->mappings, max_embeddings, /*max_entries=*/4096, pair->order);
+      &pair->mappings, max_embeddings, /*max_entries=*/4096, pair->order,
+      std::move(embedding_cache));
   return pair;
 }
 
@@ -37,17 +39,19 @@ Result<std::shared_ptr<const PreparedSchemaPair>> BuildPreparedSchemaPair(
   UXM_ASSIGN_OR_RETURN(pair->mappings, generator.Generate(pair->matching));
   BlockTreeBuilder builder(options.block_tree);
   UXM_ASSIGN_OR_RETURN(pair->build, builder.Build(pair->mappings));
-  return Finish(std::move(pair), options.max_embeddings);
+  return Finish(std::move(pair), options.max_embeddings,
+                options.embedding_cache);
 }
 
 std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromProducts(
     SchemaMatching matching, PossibleMappingSet mappings,
-    BlockTreeBuildResult build, size_t max_embeddings) {
+    BlockTreeBuildResult build, size_t max_embeddings,
+    std::shared_ptr<EmbeddingCache> embedding_cache) {
   auto pair = std::make_shared<PreparedSchemaPair>();
   pair->matching = std::move(matching);
   pair->mappings = std::move(mappings);
   pair->build = std::move(build);
-  return Finish(std::move(pair), max_embeddings);
+  return Finish(std::move(pair), max_embeddings, std::move(embedding_cache));
 }
 
 std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Install(
@@ -74,6 +78,26 @@ std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Find(
   return nullptr;
 }
 
+std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Remove(
+    const Schema* source, const Schema* target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pairs_.begin(); it != pairs_.end(); ++it) {
+    if ((*it)->source() != source || (*it)->target() != target) continue;
+    std::shared_ptr<const PreparedSchemaPair> removed = std::move(*it);
+    pairs_.erase(it);
+    bool target_still_used = false;
+    for (const auto& pair : pairs_) {
+      if (pair->target() == target) {
+        target_still_used = true;
+        break;
+      }
+    }
+    if (!target_still_used) embeddings_->EraseTarget(target);
+    return removed;
+  }
+  return nullptr;
+}
+
 std::vector<std::shared_ptr<const PreparedSchemaPair>> SchemaPairRegistry::All()
     const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -88,6 +112,7 @@ size_t SchemaPairRegistry::size() const {
 void SchemaPairRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   pairs_.clear();
+  embeddings_->Clear();
 }
 
 }  // namespace uxm

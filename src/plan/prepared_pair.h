@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "blocktree/block_tree.h"
+#include "cache/embedding_cache.h"
 #include "cache/query_compiler.h"
 #include "common/status.h"
 #include "mapping/possible_mapping.h"
@@ -60,6 +61,9 @@ struct PairBuildOptions {
   TopHOptions top_h;
   BlockTreeOptions block_tree;
   size_t max_embeddings = 256;
+  /// Cross-pair embedding cache the pair's compiler consults (normally
+  /// the registry's; null = the compiler embeds privately).
+  std::shared_ptr<EmbeddingCache> embedding_cache;
 };
 
 /// Builds a pair from a finalized matching: generates the top-h mappings,
@@ -73,7 +77,8 @@ Result<std::shared_ptr<const PreparedSchemaPair>> BuildPreparedSchemaPair(
 /// a mapping set with the same contents as `mappings`.
 std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromProducts(
     SchemaMatching matching, PossibleMappingSet mappings,
-    BlockTreeBuildResult build, size_t max_embeddings = 256);
+    BlockTreeBuildResult build, size_t max_embeddings = 256,
+    std::shared_ptr<EmbeddingCache> embedding_cache = nullptr);
 
 /// \brief Registry of the current pair per (source, target) identity.
 ///
@@ -96,15 +101,35 @@ class SchemaPairRegistry {
   std::shared_ptr<const PreparedSchemaPair> Find(const Schema* source,
                                                  const Schema* target) const;
 
+  /// Unregisters the pair for (source, target) and returns it (null if
+  /// no such pair). When the removed pair was the last one over its
+  /// target schema, that schema's entries are swept from the shared
+  /// embedding cache (the Schema pointer may later be reused). In-flight
+  /// queries holding the pair's shared_ptr finish against it unharmed —
+  /// the registry no longer grows monotonically, it just stops handing
+  /// the pair out.
+  std::shared_ptr<const PreparedSchemaPair> Remove(const Schema* source,
+                                                   const Schema* target);
+
   /// Snapshot of every registered pair (unspecified order).
   std::vector<std::shared_ptr<const PreparedSchemaPair>> All() const;
 
   size_t size() const;
   void Clear();
 
+  /// The registry-wide cross-pair embedding cache. Pairs built for this
+  /// registry should be given this cache (PairBuildOptions), so every
+  /// pair over one target schema shares one embedding enumeration per
+  /// twig. Never null.
+  const std::shared_ptr<EmbeddingCache>& embedding_cache() const {
+    return embeddings_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs_;
+  std::shared_ptr<EmbeddingCache> embeddings_ =
+      std::make_shared<EmbeddingCache>();
 };
 
 }  // namespace uxm

@@ -31,13 +31,11 @@ MappingOrder MappingOrder::Build(const PossibleMappingSet& mappings) {
 QueryPlan::QueryPlan(const PossibleMappingSet* mappings,
                      std::shared_ptr<const MappingOrder> order,
                      TwigQuery query,
-                     std::vector<std::vector<SchemaNodeId>> embeddings,
-                     bool truncated_embeddings)
+                     std::shared_ptr<const QueryEmbeddings> embeddings)
     : mappings_(mappings),
       order_(std::move(order)),
       query_(std::move(query)),
-      embeddings_(std::move(embeddings)),
-      truncated_embeddings_(truncated_embeddings) {
+      embeddings_(std::move(embeddings)) {
   const size_t n = static_cast<size_t>(mappings_->size());
   memo_ = std::make_unique<std::atomic<uint8_t>[]>(n);
   for (size_t i = 0; i < n; ++i) {
@@ -49,7 +47,7 @@ bool QueryPlan::ComputeRelevance(MappingId mid) const {
   relevance_checks_.fetch_add(1, std::memory_order_relaxed);
   // Shared predicate: exact agreement with FilterRelevantMappings is
   // what makes the early-terminated selection exact.
-  return IsMappingRelevant(mappings_->mapping(mid), embeddings_);
+  return IsMappingRelevant(mappings_->mapping(mid), embeddings_->assignments);
 }
 
 bool QueryPlan::IsRelevant(MappingId mid) const {
@@ -109,6 +107,34 @@ std::vector<MappingId> QueryPlan::SelectForTopK(int top_k,
   }
   std::sort(selected.begin(), selected.end());
   return selected;
+}
+
+double QueryPlan::AnswerUpperBound(int top_k) const {
+  // An answer's probability is a sum of probabilities of selected
+  // relevant mappings, so the mass of the whole selection bounds any
+  // single answer. For top_k <= 0 that is the full relevant mass; for
+  // top_k > 0 the mass of the k most probable relevant mappings — found
+  // by walking the shared work-unit order exactly as SelectForTopK does
+  // (the relevance memo makes repeated bound computations one atomic
+  // load per unit). A twig with no embeddings has no relevant mappings
+  // and bound 0: it cannot answer anything for any document of the pair.
+  if (embeddings_->assignments.empty()) return 0.0;
+  if (top_k <= 0) {
+    double mass = 0.0;
+    for (const MappingId mid : AllRelevant()) {
+      mass += mappings_->mapping(mid).probability;
+    }
+    return mass;
+  }
+  double mass = 0.0;
+  int found = 0;
+  for (size_t i = 0; i < order_->by_probability.size(); ++i) {
+    const MappingId mid = order_->by_probability[i];
+    if (!IsRelevant(mid)) continue;
+    mass += mappings_->mapping(mid).probability;
+    if (++found == top_k) break;
+  }
+  return mass;
 }
 
 }  // namespace uxm

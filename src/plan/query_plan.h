@@ -28,6 +28,25 @@
 
 namespace uxm {
 
+/// \brief The schema embeddings of one twig: every assignment of target
+/// elements to query nodes (EmbedQueryInSchema), plus whether the
+/// max_embeddings cap truncated the enumeration. Embeddings depend only
+/// on (twig text, target schema, cap) — NOT on the mapping set — so one
+/// QueryEmbeddings is shared by every plan compiled for any pair over the
+/// same target schema (see cache/embedding_cache.h).
+struct QueryEmbeddings {
+  std::vector<std::vector<SchemaNodeId>> assignments;
+  bool truncated = false;
+};
+
+/// Absolute slack added to every answer upper bound before it is used to
+/// prune or cancel work: a collapsed answer's probability and the bound
+/// are floating-point sums of the same mapping probabilities in different
+/// orders, so they may disagree by rounding noise (~1e-16 per term). The
+/// slack is many orders of magnitude above that noise and many below any
+/// real probability gap, keeping bound-driven pruning exact.
+inline constexpr double kAnswerBoundSlack = 1e-9;
+
 /// \brief The shared consumption order over one mapping set: work units
 /// in descending-probability order (stable — ties break by ascending
 /// mapping id, matching the stable sort in FilterRelevantMappings), each
@@ -61,21 +80,22 @@ class QueryPlan {
  public:
   /// `mappings` and `order` must describe the same pair and outlive the
   /// plan (the QueryCompiler that builds plans owns/shares both).
+  /// `embeddings` is shared, not copied — pairs over one target schema
+  /// hand the same QueryEmbeddings to all their plans.
   QueryPlan(const PossibleMappingSet* mappings,
             std::shared_ptr<const MappingOrder> order, TwigQuery query,
-            std::vector<std::vector<SchemaNodeId>> embeddings,
-            bool truncated_embeddings);
+            std::shared_ptr<const QueryEmbeddings> embeddings);
 
   QueryPlan(const QueryPlan&) = delete;
   QueryPlan& operator=(const QueryPlan&) = delete;
 
   const TwigQuery& query() const { return query_; }
   const std::vector<std::vector<SchemaNodeId>>& embeddings() const {
-    return embeddings_;
+    return embeddings_->assignments;
   }
   /// True if the max_embeddings cap cut the embedding enumeration short;
   /// propagated into every PtqResult produced from this plan.
-  bool truncated_embeddings() const { return truncated_embeddings_; }
+  bool truncated_embeddings() const { return embeddings_->truncated; }
   const MappingOrder& order() const { return *order_; }
 
   /// Memoized per-mapping relevance: true iff some embedding is fully
@@ -95,6 +115,23 @@ class QueryPlan {
   std::vector<MappingId> SelectForTopK(int top_k,
                                        PlanSelectStats* stats = nullptr) const;
 
+  /// \brief Upper bound on the probability of ANY single answer an
+  /// evaluation of this plan with `top_k` can produce (§IV-C bounds
+  /// lifted to the answer level).
+  ///
+  /// A collapsed answer aggregates the probabilities of the selected
+  /// relevant mappings sharing one match set, so it is bounded by the
+  /// total mass of the selection itself: for top_k <= 0 that is the full
+  /// relevant mass, for top_k > 0 the mass of the k most probable
+  /// relevant mappings. Both are computed from the pair's shared
+  /// MappingOrder prefix (walking units most-probable-first and summing
+  /// the relevant ones), reusing the same lazy relevance memo the
+  /// selection uses — schema-level work, independent of any document,
+  /// which is what makes the bound cheap for a corpus: N documents under
+  /// one pair share one bound computation. Callers comparing answers
+  /// against the bound must allow kAnswerBoundSlack for float noise.
+  double AnswerUpperBound(int top_k) const;
+
   /// Full relevance computations performed so far (test/bench probe:
   /// early-terminated selections keep this below |M|).
   uint64_t relevance_checks() const {
@@ -107,8 +144,7 @@ class QueryPlan {
   const PossibleMappingSet* mappings_;
   std::shared_ptr<const MappingOrder> order_;
   TwigQuery query_;
-  std::vector<std::vector<SchemaNodeId>> embeddings_;
-  bool truncated_embeddings_ = false;
+  std::shared_ptr<const QueryEmbeddings> embeddings_;
 
   /// Tri-state memo: 0 unknown, 1 irrelevant, 2 relevant. Races are
   /// benign — every thread computes the same value.

@@ -52,4 +52,99 @@ Result<CorpusScenario> MakeCorpusScenario(const std::string& dataset_id,
   return scenario;
 }
 
+Result<SkewedCorpusScenario> MakeSkewedCorpusScenario(
+    const SkewedCorpusOptions& options) {
+  if (options.hot_documents <= 0 || options.cold_pairs < 0 ||
+      options.cold_documents_per_pair < 0 || options.doc_target_nodes <= 0) {
+    return Status::InvalidArgument("skewed corpus options must be positive");
+  }
+  SkewedCorpusScenario scenario;
+
+  // The shared target schema: one root with the probe element, a "big"
+  // element the cold matchings prefer over the probe, and three filler
+  // elements that inflate the cold pairs' mapping spaces.
+  scenario.target = std::make_shared<Schema>("skew-target");
+  const SchemaNodeId t_root = scenario.target->AddRoot("Catalog");
+  const SchemaNodeId t_big =
+      scenario.target->AddChild(t_root, "BIG", false, false);
+  const SchemaNodeId t_probe =
+      scenario.target->AddChild(t_root, "PROBE", true, false);
+  const SchemaNodeId t_f1 =
+      scenario.target->AddChild(t_root, "F1", false, false);
+  const SchemaNodeId t_f2 =
+      scenario.target->AddChild(t_root, "F2", false, false);
+  const SchemaNodeId t_f3 =
+      scenario.target->AddChild(t_root, "F3", false, false);
+  scenario.target->Finalize();
+  scenario.probe_twig = "//PROBE";
+
+  // Hot pair: its only scored correspondence maps the probe, so the
+  // probe twig's relevant mass is the whole distribution (~1.0) and hot
+  // documents answer with probability ~1.
+  {
+    SkewedPair hot;
+    hot.source = std::make_shared<Schema>("skew-hot");
+    const SchemaNodeId root = hot.source->AddRoot("HotDoc");
+    const SchemaNodeId item =
+        hot.source->AddChild(root, "item", /*repeatable=*/true, false);
+    hot.source->Finalize();
+    hot.matching = SchemaMatching(hot.source.get(), scenario.target.get());
+    UXM_RETURN_NOT_OK(hot.matching.Add(item, t_probe, 1.0));
+    scenario.pairs.push_back(std::move(hot));
+  }
+
+  // Cold pairs: the probe is only reachable by sacrificing the dominant
+  // (a -> BIG, 1.0) correspondence for (a -> PROBE, 0.01), and three free
+  // correspondences pad the space to 3 x 2^3 = 24 mappings. Of the 24,
+  // the 8 relevant ones (those mapping PROBE) carry ~0.11 of the mass —
+  // every cold answer is bounded by that, far below the hot answers.
+  for (int p = 0; p < options.cold_pairs; ++p) {
+    SkewedPair cold;
+    cold.source =
+        std::make_shared<Schema>("skew-cold-" + std::to_string(p));
+    const SchemaNodeId root = cold.source->AddRoot("ColdDoc");
+    const SchemaNodeId a =
+        cold.source->AddChild(root, "a", /*repeatable=*/true, false);
+    const SchemaNodeId s1 = cold.source->AddChild(root, "s1", false, false);
+    const SchemaNodeId s2 = cold.source->AddChild(root, "s2", false, false);
+    const SchemaNodeId s3 = cold.source->AddChild(root, "s3", false, false);
+    cold.source->Finalize();
+    cold.matching = SchemaMatching(cold.source.get(), scenario.target.get());
+    UXM_RETURN_NOT_OK(cold.matching.Add(a, t_big, 1.0));
+    UXM_RETURN_NOT_OK(cold.matching.Add(a, t_probe, 0.01));
+    UXM_RETURN_NOT_OK(cold.matching.Add(s1, t_f1, 0.1));
+    UXM_RETURN_NOT_OK(cold.matching.Add(s2, t_f2, 0.1));
+    UXM_RETURN_NOT_OK(cold.matching.Add(s3, t_f3, 0.1));
+    scenario.pairs.push_back(std::move(cold));
+  }
+
+  // Documents: hot ones first in registration order. Name order is
+  // irrelevant to the scheduler (it sorts by bound; names only break
+  // ties among equal bounds).
+  Rng rng(options.seed);
+  auto add_doc = [&](const std::string& name, int pair_index) {
+    DocGenOptions gen;
+    gen.seed = rng.NextU64();
+    gen.target_nodes = options.doc_target_nodes;
+    scenario.names.push_back(name);
+    scenario.doc_pair.push_back(pair_index);
+    scenario.documents.push_back(std::make_shared<const Document>(
+        GenerateDocument(*scenario.pairs[static_cast<size_t>(pair_index)]
+                              .source,
+                         gen)));
+  };
+  char name[48];
+  for (int i = 0; i < options.hot_documents; ++i) {
+    std::snprintf(name, sizeof(name), "hot-%02d", i);
+    add_doc(name, 0);
+  }
+  for (int p = 0; p < options.cold_pairs; ++p) {
+    for (int i = 0; i < options.cold_documents_per_pair; ++i) {
+      std::snprintf(name, sizeof(name), "cold-%02d-%02d", p, i);
+      add_doc(name, 1 + p);
+    }
+  }
+  return scenario;
+}
+
 }  // namespace uxm

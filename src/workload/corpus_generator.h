@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "matching/matching.h"
 #include "workload/datasets.h"
 #include "xml/document.h"
+#include "xml/schema.h"
 
 namespace uxm {
 
@@ -52,6 +54,47 @@ struct CorpusScenario {
 /// Deterministic in (dataset_id, options).
 Result<CorpusScenario> MakeCorpusScenario(const std::string& dataset_id,
                                           const CorpusGenOptions& options = {});
+
+/// \brief Knobs for the skewed multi-pair corpus (bound-driven pruning
+/// scenarios; see MakeSkewedCorpusScenario).
+struct SkewedCorpusOptions {
+  uint64_t seed = 7;
+  int hot_documents = 8;
+  int cold_pairs = 7;
+  int cold_documents_per_pair = 8;
+  /// Approximate generated-document size (see DocGenOptions).
+  int doc_target_nodes = 160;
+};
+
+/// \brief One source schema + its matching onto the scenario's shared
+/// target schema.
+struct SkewedPair {
+  std::shared_ptr<Schema> source;
+  SchemaMatching matching;
+};
+
+/// \brief A corpus engineered so answer-level bounds MUST prune: every
+/// pair maps a distinct source schema onto ONE shared target schema
+/// (which also exercises the cross-pair embedding cache), and the
+/// probe twig's relevant probability mass is skewed — ~1.0 under the
+/// hot pair (pairs[0]), ~0.11 under every cold pair — so once top-k
+/// answers from hot documents are in hand, every cold (twig, document)
+/// item's upper bound provably falls below the k-th answer and the
+/// bounded corpus scheduler skips it. Prepare the pairs with
+/// top_h.h >= 24 so the cold solution space (24 mappings) is fully
+/// enumerated; the analytic masses above then hold exactly.
+struct SkewedCorpusScenario {
+  std::shared_ptr<Schema> target;  ///< shared by every pair
+  std::vector<SkewedPair> pairs;   ///< pairs[0] is the hot pair
+  std::vector<std::string> names;  ///< per document, registration order
+  std::vector<std::shared_ptr<const Document>> documents;
+  std::vector<int> doc_pair;       ///< documents[i] belongs to pairs[..]
+  std::string probe_twig;          ///< the skewed query ("//PROBE")
+};
+
+/// Builds the scenario above. Deterministic in `options`.
+Result<SkewedCorpusScenario> MakeSkewedCorpusScenario(
+    const SkewedCorpusOptions& options = {});
 
 }  // namespace uxm
 

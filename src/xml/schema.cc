@@ -1,11 +1,17 @@
 #include "xml/schema.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "common/logging.h"
 
 namespace uxm {
+
+uint64_t Schema::NextSchemaUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 SchemaNodeId Schema::AddRoot(std::string_view name) {
   UXM_CHECK_MSG(nodes_.empty(), "AddRoot called twice");

@@ -41,6 +41,13 @@ class Schema {
   Schema() = default;
   explicit Schema(std::string schema_name) : schema_name_(std::move(schema_name)) {}
 
+  /// Process-unique id of this Schema object, assigned at construction
+  /// and never reused (copies keep the original's uid but live at a
+  /// different address — consumers key on the (pointer, uid) pair).
+  /// Lets caches keyed on schema identity survive pointer reuse: a
+  /// freed schema's address may be re-allocated, its uid cannot.
+  uint64_t uid() const { return uid_; }
+
   /// Creates the root element. Must be called exactly once, first.
   SchemaNodeId AddRoot(std::string_view name);
 
@@ -109,6 +116,9 @@ class Schema {
   std::string ToOutline() const;
 
  private:
+  static uint64_t NextSchemaUid();
+
+  uint64_t uid_ = NextSchemaUid();
   std::string schema_name_;
   std::vector<SchemaNode> nodes_;
   std::vector<std::string> paths_;

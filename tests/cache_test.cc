@@ -17,6 +17,7 @@
 #include "core/system.h"
 #include "query/ptq.h"
 #include "tests/test_util.h"
+#include "workload/corpus_generator.h"
 #include "workload/datasets.h"
 #include "workload/document_generator.h"
 
@@ -246,6 +247,30 @@ TEST(ResultCacheTest, OversizedEntriesAreNotCached) {
   EXPECT_EQ(cache.Lookup(key), nullptr);
 }
 
+TEST(ResultCacheTest, ErasePairSweepsOnlyThatPair) {
+  ResultCache cache;
+  auto key = [](int i, uint64_t pair) {
+    ResultCacheKey k{"q" + std::to_string(i), nullptr, 1, 0, true};
+    k.pair = pair;
+    return k;
+  };
+  for (int i = 0; i < 6; ++i) {
+    cache.Insert(key(i, i % 2 == 0 ? 7 : 9),
+                 std::make_shared<const PtqResult>(MakeResult(2, 2)));
+  }
+  ASSERT_EQ(cache.Stats().entries, 6u);
+  EXPECT_EQ(cache.ErasePair(7), 3u);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.pair_sweeps, 1u);
+  EXPECT_EQ(stats.swept_entries, 3u);
+  EXPECT_EQ(stats.invalidations, 0u);  // a sweep is not a Clear
+  // Pair-9 entries survive and still hit; pair-7 ones are gone.
+  EXPECT_EQ(cache.Lookup(key(0, 7)), nullptr);
+  EXPECT_NE(cache.Lookup(key(1, 9)), nullptr);
+  EXPECT_EQ(cache.ErasePair(12345), 0u);  // unknown pair: no-op
+}
+
 TEST(ResultCacheTest, ClearInvalidatesEverything) {
   ResultCache cache;
   for (int i = 0; i < 10; ++i) {
@@ -425,6 +450,102 @@ TEST_F(SystemCacheTest, SingleQueryAndBatchShareTheCache) {
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->report.result_cache_hits, 1);
   ExpectSameResult(sys->Query(q), response->answers[0]);
+}
+
+// Re-Preparing ONE pair must sweep only that pair's cached answers:
+// other pairs' corpus documents keep their hot entries (the hit-
+// retention half of the per-pair invalidation deferral).
+TEST(PairSweepRetentionTest, RePrepareKeepsOtherPairsHotAnswers) {
+  auto d7 = LoadDataset("D7");
+  auto d1 = LoadDataset("D1");
+  ASSERT_TRUE(d7.ok());
+  ASSERT_TRUE(d1.ok());
+  const Document doc7 = GenerateDocument(
+      *d7->source, DocGenOptions{.seed = 3, .target_nodes = 120});
+  const Document doc1 = GenerateDocument(
+      *d1->source, DocGenOptions{.seed = 4, .target_nodes = 120});
+
+  SystemOptions opts;
+  opts.top_h.h = 12;
+  UncertainMatchingSystem sys(opts);
+  ASSERT_TRUE(sys.Prepare(d7->source.get(), d7->target.get()).ok());
+  ASSERT_TRUE(sys.Prepare(d1->source.get(), d1->target.get()).ok());
+  ASSERT_TRUE(sys.AddDocument("a7", &doc7, d7->source.get(),
+                              d7->target.get())
+                  .ok());
+  ASSERT_TRUE(sys.AddDocument("b1", &doc1, d1->source.get(),
+                              d1->target.get())
+                  .ok());
+
+  const std::string twig = TableIIIQueries()[0];
+  CorpusQueryOptions all;
+  all.top_k = 0;
+  ASSERT_TRUE(sys.QueryCorpus(twig, all).ok());  // cold: both inserted
+  ASSERT_TRUE(sys.QueryCorpus(twig, all).ok());  // warm: both hit
+  const ResultCacheStats before = sys.result_cache_stats();
+  EXPECT_EQ(before.hits, 2u);
+  EXPECT_EQ(before.entries, 2u);
+
+  // Re-Prepare the D7 pair: its entry is swept, D1's is retained.
+  ASSERT_TRUE(sys.Prepare(d7->source.get(), d7->target.get()).ok());
+  const ResultCacheStats after = sys.result_cache_stats();
+  EXPECT_EQ(after.entries, 1u);
+  EXPECT_GE(after.pair_sweeps, 1u);
+  EXPECT_EQ(after.invalidations, before.invalidations);  // no full Clear
+
+  // The D1 document still answers from cache...
+  CorpusQueryOptions only_d1 = all;
+  only_d1.documents = {"b1"};
+  ASSERT_TRUE(sys.QueryCorpus(twig, only_d1).ok());
+  EXPECT_EQ(sys.result_cache_stats().hits, before.hits + 1);
+  // ...while the re-prepared D7 document recomputes (miss), then hits.
+  CorpusQueryOptions only_d7 = all;
+  only_d7.documents = {"a7"};
+  ASSERT_TRUE(sys.QueryCorpus(twig, only_d7).ok());
+  EXPECT_EQ(sys.result_cache_stats().hits, before.hits + 1);
+  ASSERT_TRUE(sys.QueryCorpus(twig, only_d7).ok());
+  EXPECT_EQ(sys.result_cache_stats().hits, before.hits + 2);
+}
+
+// N pairs over ONE target schema pay each twig's embedding enumeration
+// once: the registry-wide EmbeddingCache is consulted by every pair's
+// compiler, and the plans share the embedding object itself.
+TEST(SharedEmbeddingCacheTest, PairsOverOneTargetShareEmbeddings) {
+  SkewedCorpusOptions gen;
+  gen.hot_documents = 1;
+  gen.cold_pairs = 1;
+  gen.cold_documents_per_pair = 0;
+  gen.doc_target_nodes = 40;
+  auto scenario = MakeSkewedCorpusScenario(gen);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+
+  SystemOptions opts;
+  opts.top_h.h = 30;
+  UncertainMatchingSystem sys(opts);
+  for (const SkewedPair& pair : scenario->pairs) {
+    ASSERT_TRUE(sys.PrepareFromMatching(pair.matching).ok());
+  }
+  ASSERT_EQ(sys.pair_count(), 2u);
+  EXPECT_EQ(sys.embedding_cache_stats().misses, 0u);
+
+  auto hot = sys.prepared_pair(scenario->pairs[0].source.get(),
+                               scenario->target.get());
+  auto cold = sys.prepared_pair(scenario->pairs[1].source.get(),
+                                scenario->target.get());
+  ASSERT_NE(hot, nullptr);
+  ASSERT_NE(cold, nullptr);
+  auto hot_plan = hot->compiler->Compile(scenario->probe_twig);
+  ASSERT_TRUE(hot_plan.ok());
+  EXPECT_EQ(sys.embedding_cache_stats().misses, 1u);
+  EXPECT_EQ(sys.embedding_cache_stats().hits, 0u);
+  auto cold_plan = cold->compiler->Compile(scenario->probe_twig);
+  ASSERT_TRUE(cold_plan.ok());
+  const EmbeddingCacheStats stats = sys.embedding_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);  // embedded once, not once per pair
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // Not just equal — the SAME embedding storage.
+  EXPECT_EQ(&(*hot_plan)->embeddings(), &(*cold_plan)->embeddings());
 }
 
 }  // namespace

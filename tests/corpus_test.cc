@@ -526,5 +526,218 @@ TEST_F(CorpusSystemTest, MultiSchemaCorpusEqualsBruteForcePerPairMerge) {
   EXPECT_GT(nonempty, 0u);
 }
 
+// ------------------------------------------------- bounded scheduling
+
+// The deterministic bound-driven pruning scenario: a skewed multi-pair
+// corpus where hot documents answer with probability ~1 and every cold
+// pair's answer upper bound is ~0.11. With a single worker the claim
+// order is the bound order, so the scheduler's accounting is exact: the
+// hot documents evaluate, the cold documents of the first wave abort in
+// flight once the threshold rises, and the rest are pruned undispatched
+// — while the answers stay bit-identical to the exhaustive fan-out.
+TEST(BoundedCorpusTest, SkewedCorpusPrunesAbortsAndMatchesExhaustive) {
+  SkewedCorpusOptions gen;
+  gen.hot_documents = 2;
+  gen.cold_pairs = 2;
+  gen.cold_documents_per_pair = 5;
+  gen.doc_target_nodes = 60;
+  auto scenario = MakeSkewedCorpusScenario(gen);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+
+  SystemOptions opts;
+  opts.top_h.h = 30;  // cover the cold pairs' 24-mapping spaces
+  opts.cache.enable_result_cache = false;  // measure scheduling, not hits
+  UncertainMatchingSystem sys(opts);
+  for (const SkewedPair& pair : scenario->pairs) {
+    ASSERT_TRUE(sys.PrepareFromMatching(pair.matching).ok());
+  }
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    const SkewedPair& pair =
+        scenario->pairs[static_cast<size_t>(scenario->doc_pair[i])];
+    ASSERT_TRUE(sys.AddDocument(scenario->names[i],
+                                scenario->documents[i].get(),
+                                pair.source.get(), scenario->target.get())
+                    .ok());
+  }
+  ASSERT_EQ(sys.corpus_size(), 12u);
+
+  BatchRunOptions run;
+  run.num_threads = 1;  // sequential claims => deterministic accounting
+  CorpusQueryOptions bounded;
+  bounded.top_k = 1;
+  auto b = sys.RunCorpusBatch({scenario->probe_twig}, bounded, run);
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_TRUE(b->answers[0].ok()) << b->answers[0].status();
+
+  // Wave 1 holds 8 items (2 hot + 6 cold, bound-descending). The first
+  // hot document fills the top-1 and raises the threshold to ~1.0; the
+  // second hot document ties the bound and still evaluates; the 6 cold
+  // items abort at the driver's cancellation check; the remaining 4
+  // cold items never dispatch.
+  EXPECT_EQ(b->corpus.items_total, 12);
+  EXPECT_EQ(b->corpus.items_evaluated, 2);
+  EXPECT_EQ(b->corpus.items_aborted, 6);
+  EXPECT_EQ(b->corpus.items_pruned, 4);
+  EXPECT_EQ(b->report.items_aborted, 6);  // executor saw the aborts too
+  const CorpusQueryResult& result = *b->answers[0];
+  EXPECT_EQ(result.documents_evaluated, 12);
+  EXPECT_EQ(result.documents_aborted, 6);
+  EXPECT_EQ(result.documents_pruned, 4);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0].document, "hot-00");
+  EXPECT_NEAR(result.answers[0].probability, 1.0, 1e-9);
+
+  // Exhaustive oracle: identical answers, zero skipping.
+  CorpusQueryOptions exhaustive = bounded;
+  exhaustive.bounded = false;
+  auto e = sys.RunCorpusBatch({scenario->probe_twig}, exhaustive, run);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->answers[0].ok());
+  EXPECT_EQ(e->corpus.items_evaluated, 12);
+  EXPECT_EQ(e->corpus.items_pruned, 0);
+  ASSERT_EQ(e->answers[0]->answers.size(), result.answers.size());
+  for (size_t i = 0; i < result.answers.size(); ++i) {
+    EXPECT_EQ(e->answers[0]->answers[i].document,
+              result.answers[i].document);
+    EXPECT_DOUBLE_EQ(e->answers[0]->answers[i].probability,
+                     result.answers[i].probability);
+    EXPECT_EQ(e->answers[0]->answers[i].matches, result.answers[i].matches);
+  }
+
+  // A larger k that cold answers CAN reach must evaluate them: with
+  // k = 3 only 2 answers have probability ~1, so the third-best comes
+  // from a cold document and nothing may be pruned prematurely.
+  CorpusQueryOptions k3 = bounded;
+  k3.top_k = 3;
+  auto b3 = sys.RunCorpusBatch({scenario->probe_twig}, k3, run);
+  auto e3 = sys.RunCorpusBatch({scenario->probe_twig},
+                               [&] {
+                                 CorpusQueryOptions o = k3;
+                                 o.bounded = false;
+                                 return o;
+                               }(),
+                               run);
+  ASSERT_TRUE(b3.ok());
+  ASSERT_TRUE(e3.ok());
+  ASSERT_TRUE(b3->answers[0].ok());
+  ASSERT_TRUE(e3->answers[0].ok());
+  ASSERT_EQ(b3->answers[0]->answers.size(), e3->answers[0]->answers.size());
+  for (size_t i = 0; i < b3->answers[0]->answers.size(); ++i) {
+    EXPECT_EQ(b3->answers[0]->answers[i].document,
+              e3->answers[0]->answers[i].document);
+    EXPECT_DOUBLE_EQ(b3->answers[0]->answers[i].probability,
+                     e3->answers[0]->answers[i].probability);
+    EXPECT_EQ(b3->answers[0]->answers[i].matches,
+              e3->answers[0]->answers[i].matches);
+  }
+}
+
+// Parse errors surface identically through the bounded scheduler (the
+// compile happens in its bound phase, before any dispatch).
+TEST(BoundedCorpusTest, ParseErrorsFailOnlyTheirSlot) {
+  SkewedCorpusOptions gen;
+  gen.hot_documents = 1;
+  gen.cold_pairs = 1;
+  gen.cold_documents_per_pair = 1;
+  gen.doc_target_nodes = 40;
+  auto scenario = MakeSkewedCorpusScenario(gen);
+  ASSERT_TRUE(scenario.ok());
+  SystemOptions opts;
+  opts.top_h.h = 30;
+  UncertainMatchingSystem sys(opts);
+  for (const SkewedPair& pair : scenario->pairs) {
+    ASSERT_TRUE(sys.PrepareFromMatching(pair.matching).ok());
+  }
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    const SkewedPair& pair =
+        scenario->pairs[static_cast<size_t>(scenario->doc_pair[i])];
+    ASSERT_TRUE(sys.AddDocument(scenario->names[i],
+                                scenario->documents[i].get(),
+                                pair.source.get(), scenario->target.get())
+                    .ok());
+  }
+  CorpusQueryOptions k1;
+  k1.top_k = 1;  // bounded path
+  auto response = sys.RunCorpusBatch(
+      {scenario->probe_twig, "[[[not a twig", scenario->probe_twig}, k1);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->answers.size(), 3u);
+  EXPECT_TRUE(response->answers[0].ok());
+  EXPECT_TRUE(response->answers[1].status().IsParseError());
+  EXPECT_TRUE(response->answers[2].ok());
+}
+
+// ------------------------------------------------------ pair removal
+
+TEST_F(CorpusSystemTest, RemovePairDropsDocumentsCacheAndDefault) {
+  auto other = LoadDataset("D1");
+  ASSERT_TRUE(other.ok());
+  Document other_doc = GenerateDocument(
+      *other->source, DocGenOptions{.seed = 5, .target_nodes = 120});
+
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  ASSERT_TRUE(sys.Prepare(other->source.get(), other->target.get()).ok());
+  for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+    ASSERT_TRUE(sys.AddDocument(scenario_->names[i],
+                                scenario_->documents[i].get(),
+                                scenario_->dataset.source.get(),
+                                scenario_->dataset.target.get())
+                    .ok());
+  }
+  ASSERT_TRUE(sys.AddDocument("zz-other", &other_doc).ok());  // D1 default
+  ASSERT_EQ(sys.pair_count(), 2u);
+  ASSERT_EQ(sys.corpus_size(), scenario_->documents.size() + 1);
+
+  // Unknown identity: NotFound, nothing changes.
+  EXPECT_TRUE(sys.RemovePair(scenario_->dataset.source.get(),
+                             other->target.get())
+                  .IsNotFound());
+  EXPECT_EQ(sys.pair_count(), 2u);
+
+  const std::string twig = TableIIIQueries()[0];
+  CorpusQueryOptions opts;
+  opts.top_k = 0;
+  ASSERT_TRUE(sys.QueryCorpus(twig, opts).ok());  // warm both pairs
+
+  // Removing the D1 pair (the default): its document leaves the corpus,
+  // its cache entries are swept, and single-document traffic reverts to
+  // unprepared — but the corpus keeps answering through the surviving
+  // D7 pair (corpus items carry their own pair, not the default).
+  ASSERT_TRUE(sys.RemovePair(other->source.get(), other->target.get()).ok());
+  EXPECT_TRUE(
+      sys.RemovePair(other->source.get(), other->target.get()).IsNotFound());
+  EXPECT_EQ(sys.pair_count(), 1u);
+  EXPECT_EQ(sys.corpus_size(), scenario_->documents.size());
+  EXPECT_FALSE(sys.prepared());
+  EXPECT_EQ(sys.prepared_pair(), nullptr);
+  EXPECT_FALSE(sys.Query(twig).ok());  // no default pair any more
+  EXPECT_GE(sys.result_cache_stats().pair_sweeps, 1u);
+  auto still = sys.QueryCorpus(twig, opts);
+  ASSERT_TRUE(still.ok()) << still.status();
+  ExpectSameAnswers(still->answers, BruteMerge(twig, 0));
+
+  // Re-Preparing the surviving pair restores single-document service
+  // and the corpus answers are unchanged.
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  auto after = sys.QueryCorpus(twig, opts);
+  ASSERT_TRUE(after.ok()) << after.status();
+  ExpectSameAnswers(after->answers, BruteMerge(twig, 0));
+
+  // Removing the last pair empties everything; with no pair registered
+  // at all, even corpus queries are refused.
+  ASSERT_TRUE(sys.RemovePair(scenario_->dataset.source.get(),
+                             scenario_->dataset.target.get())
+                  .ok());
+  EXPECT_EQ(sys.pair_count(), 0u);
+  EXPECT_EQ(sys.corpus_size(), 0u);
+  EXPECT_FALSE(sys.prepared());
+  EXPECT_FALSE(sys.QueryCorpus(twig, opts).ok());
+}
+
 }  // namespace
 }  // namespace uxm

@@ -395,6 +395,112 @@ TEST(MultiSchemaCorpusDifferentialTest, HeterogeneousCorpusEqualsPerPairMerge) {
   EXPECT_GT(cross_pair_merges, 3);
 }
 
+// ------------------------------------ bounded corpus differential
+
+// The bound-driven corpus scheduler must be invisible in the answers:
+// across random multi-pair corpora and k in {1, 3, 10}, the bounded
+// QueryCorpus (Threshold-Algorithm dispatch, pruning, in-flight aborts)
+// must return byte-identical answer sets and scores to (a) the
+// brute-force merge of per-document single-shot queries on single-pair
+// oracle systems and (b) its own exhaustive evaluate-everything path.
+// Random pairs give genuinely skewed relevant masses, so the sweep also
+// asserts that pruning/aborting actually fired somewhere — the equality
+// is not vacuously about unpruned runs. (Debug builds additionally
+// re-evaluate every skipped item via the scheduler's built-in
+// certificate.)
+TEST(BoundedCorpusDifferentialTest, BoundedEqualsBruteForcePerDocumentMerge) {
+  Rng rng(23);
+  constexpr int kTrials = 10;
+  int items_skipped = 0;
+  int compared = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const RandomPair a = MakeRandomPair(&rng, /*max_nodes=*/8,
+                                        /*max_edges=*/12);
+    const RandomPair b = MakeRandomPair(&rng, /*max_nodes=*/8,
+                                        /*max_edges=*/12);
+    SystemOptions opts;
+    opts.top_h.h = 8;
+    UncertainMatchingSystem sys(opts);
+    ASSERT_TRUE(sys.PrepareFromMatching(a.matching).ok());
+    ASSERT_TRUE(sys.PrepareFromMatching(b.matching).ok());
+    UncertainMatchingSystem oracle_a(opts);
+    ASSERT_TRUE(oracle_a.PrepareFromMatching(a.matching).ok());
+    UncertainMatchingSystem oracle_b(opts);
+    ASSERT_TRUE(oracle_b.PrepareFromMatching(b.matching).ok());
+
+    // Two documents per pair, registered under their own pair.
+    std::vector<Document> docs;
+    docs.reserve(4);
+    std::vector<std::string> names;
+    for (int d = 0; d < 4; ++d) {
+      const RandomPair& pair = d < 2 ? a : b;
+      DocGenOptions gen;
+      gen.seed = rng.NextU64();
+      gen.target_nodes = 30;
+      docs.push_back(GenerateDocument(*pair.source, gen));
+      names.push_back((d < 2 ? "a-doc-" : "b-doc-") + std::to_string(d));
+    }
+    for (int d = 0; d < 4; ++d) {
+      const RandomPair& pair = d < 2 ? a : b;
+      ASSERT_TRUE(sys.AddDocument(names[static_cast<size_t>(d)], &docs[d],
+                                  pair.source.get(), pair.target.get())
+                      .ok());
+    }
+
+    std::vector<std::string> twigs = SchemaTwigs(*a.target, &rng, 3);
+    for (std::string& t : SchemaTwigs(*b.target, &rng, 3)) {
+      twigs.push_back(std::move(t));
+    }
+    for (const std::string& twig : twigs) {
+      // Brute force: per-document single-shot queries on the oracles.
+      std::vector<std::vector<CorpusAnswer>> per_document;
+      for (int d = 0; d < 4; ++d) {
+        UncertainMatchingSystem& oracle = d < 2 ? oracle_a : oracle_b;
+        ASSERT_TRUE(oracle.AttachDocument(&docs[d]).ok());
+        auto r = oracle.Query(twig);
+        ASSERT_TRUE(r.ok()) << twig << ": " << r.status();
+        per_document.push_back(
+            CollapseForCorpus(names[static_cast<size_t>(d)], *r));
+      }
+      for (const int k : {1, 3, 10}) {
+        const std::vector<CorpusAnswer> want = MergeTopK(per_document, k);
+        CorpusQueryOptions bounded;
+        bounded.top_k = k;
+        auto got = sys.RunCorpusBatch({twig}, bounded);
+        ASSERT_TRUE(got.ok()) << twig << ": " << got.status();
+        ASSERT_TRUE(got->answers[0].ok()) << twig;
+        items_skipped +=
+            got->corpus.items_pruned + got->corpus.items_aborted;
+        CorpusQueryOptions exhaustive = bounded;
+        exhaustive.bounded = false;
+        auto full = sys.QueryCorpus(twig, exhaustive);
+        ASSERT_TRUE(full.ok()) << twig;
+        const std::vector<CorpusAnswer>& answers =
+            got->answers[0]->answers;
+        ASSERT_EQ(answers.size(), want.size())
+            << twig << " k=" << k << " trial " << trial;
+        ASSERT_EQ(full->answers.size(), want.size()) << twig << " k=" << k;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(answers[i].document, want[i].document)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_DOUBLE_EQ(answers[i].probability, want[i].probability)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_EQ(answers[i].matches, want[i].matches)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_EQ(full->answers[i].document, want[i].document);
+          EXPECT_DOUBLE_EQ(full->answers[i].probability,
+                           want[i].probability);
+          EXPECT_EQ(full->answers[i].matches, want[i].matches);
+          ++compared;
+        }
+      }
+    }
+  }
+  // The sweep must have produced answers AND exercised real pruning.
+  EXPECT_GT(compared, 100);
+  EXPECT_GT(items_skipped, 0);
+}
+
 // Single-shot Query and QueryCorpus must agree answer-for-answer on a
 // one-document corpus, across random schema pairs, generated documents,
 // and schema-derived twigs — the corpus fan-out/merge must be a no-op

@@ -61,6 +61,63 @@ TEST(MappingOrderTest, SortsByProbabilityWithStableTies) {
   EXPECT_NEAR(tail, 1.0, 1e-12);
 }
 
+// ---------------------------------------------------------------- bound
+
+// AnswerUpperBound(k) must be a true upper bound on the probability of
+// EVERY answer an evaluation with top-k selection can enumerate — that
+// soundness is what makes the corpus scheduler's pruning exact. Checked
+// on the paper example with skewed probabilities, for every k, against
+// both the raw per-mapping answers and the collapsed per-match-set view.
+TEST(AnswerUpperBoundTest, BoundsEveryEnumeratedAnswer) {
+  PaperExample ex = WithDescendingProbabilities();
+  auto pair = MakePaperPair(ex);
+  auto ad = AnnotatedDocument::Bind(ex.doc.get(), ex.source.get());
+  ASSERT_TRUE(ad.ok());
+  int bounded_answers = 0;
+  for (const std::string twig :
+       {"//ICN", "ORDER/IP/ICN", "//SP//SCN", "//NOPE"}) {
+    auto compiled = pair->compiler->Compile(twig);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    const QueryPlan& plan = **compiled;
+    double previous = 0.0;
+    for (int k = 0; k <= ex.mappings.size() + 1; ++k) {
+      const double bound = plan.AnswerUpperBound(k);
+      // Monotone in k (k = 0 is the full relevant mass, the largest),
+      // and never above the whole distribution.
+      EXPECT_LE(bound, plan.AnswerUpperBound(0) + kAnswerBoundSlack);
+      if (k > 1) {
+        EXPECT_GE(bound + kAnswerBoundSlack, previous);
+      }
+      if (k > 0) previous = bound;
+      EXPECT_LE(bound, 1.0 + kAnswerBoundSlack);
+
+      DriverRequest request;
+      request.pair = pair.get();
+      request.doc = &*ad;
+      request.twig = &twig;
+      request.options.top_k = k;
+      auto result = ExecutionDriver::Execute(request);
+      ASSERT_TRUE(result.ok()) << result.status();
+      for (const MappingAnswer& a : result->answers) {
+        EXPECT_LE(a.probability, bound + kAnswerBoundSlack)
+            << twig << " k=" << k << " mapping " << a.mapping;
+        ++bounded_answers;
+      }
+      for (const MappingAnswer& a : result->CollapseByMatches()) {
+        EXPECT_LE(a.probability, bound + kAnswerBoundSlack)
+            << twig << " k=" << k << " (collapsed)";
+      }
+    }
+  }
+  EXPECT_GT(bounded_answers, 20);  // the sweep must not be vacuous
+  // A twig with no embeddings in the target can answer nothing anywhere:
+  // its bound must be exactly zero (the scheduler prunes it outright).
+  auto nope = pair->compiler->Compile("//NOPE");
+  ASSERT_TRUE(nope.ok());
+  EXPECT_EQ((*nope)->AnswerUpperBound(0), 0.0);
+  EXPECT_EQ((*nope)->AnswerUpperBound(3), 0.0);
+}
+
 // ------------------------------------------------------------- registry
 
 TEST(SchemaPairRegistryTest, KeysOnSchemaIdentityAndReplaces) {
@@ -91,6 +148,41 @@ TEST(SchemaPairRegistryTest, KeysOnSchemaIdentityAndReplaces) {
 
   registry.Clear();
   EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(SchemaPairRegistryTest, RemoveUnregistersAndSweepsEmbeddings) {
+  PaperExample ex = MakePaperExample();
+  PaperExample other = MakePaperExample();
+  SchemaPairRegistry registry;
+  auto p1 = MakePreparedSchemaPairFromProducts(
+      SchemaMatching(ex.source.get(), ex.target.get()), ex.mappings,
+      BlockTreeBuilder({0.2, 500, 500}).Build(ex.mappings).ValueOrDie(), 256,
+      registry.embedding_cache());
+  auto p2 = MakePreparedSchemaPairFromProducts(
+      SchemaMatching(other.source.get(), other.target.get()), other.mappings,
+      BlockTreeBuilder({0.2, 500, 500}).Build(other.mappings).ValueOrDie(),
+      256, registry.embedding_cache());
+  registry.Install(p1);
+  registry.Install(p2);
+
+  // Removing an unknown identity is a no-op returning null.
+  EXPECT_EQ(registry.Remove(ex.source.get(), other.target.get()), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Populate the shared embedding cache through both pairs' compilers.
+  ASSERT_TRUE(p1->compiler->Compile("//ICN").ok());
+  ASSERT_TRUE(p2->compiler->Compile("//ICN").ok());
+  EXPECT_EQ(registry.embedding_cache()->Stats().entries, 2u);  // 2 targets
+
+  // Removing p1 — the last (only) pair over its target — sweeps that
+  // target's embeddings; p2's survive. The registry shrinks.
+  EXPECT_EQ(registry.Remove(ex.source.get(), ex.target.get()), p1);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Find(ex.source.get(), ex.target.get()), nullptr);
+  EXPECT_EQ(registry.embedding_cache()->Stats().entries, 1u);
+  EXPECT_EQ(registry.Find(other.source.get(), other.target.get()), p2);
+  // The removed pair itself stays fully usable for in-flight holders.
+  EXPECT_TRUE(p1->compiler->Compile("//IP//ICN").ok());
 }
 
 // --------------------------------------------------------------- driver
@@ -179,6 +271,37 @@ TEST_F(DriverTest, TopKTerminatesEarlyAndUsesTheCache) {
   ASSERT_TRUE(third.ok());
   EXPECT_FALSE(miss.result_hit);
   EXPECT_TRUE(miss.result_miss);
+}
+
+TEST_F(DriverTest, CancelsWhenThresholdExceedsBound) {
+  const std::string twig = "//ICN";
+  std::atomic<double> threshold{0.5};
+  DriverRequest request = Request(twig, /*top_k=*/1);
+  request.upper_bound = 0.2;
+  request.cancel_threshold = &threshold;
+  DriverCounters counters;
+  auto cancelled = ExecutionDriver::Execute(request, &counters);
+  EXPECT_TRUE(cancelled.status().IsCancelled());
+  EXPECT_TRUE(counters.cancelled);
+
+  // Threshold at (not above) the bound: ties may still win on the
+  // deterministic tie-break, so the request must run.
+  threshold.store(0.2);
+  auto ran = ExecutionDriver::Execute(request, &counters);
+  ASSERT_TRUE(ran.ok()) << ran.status();
+  EXPECT_FALSE(counters.cancelled);
+
+  // A cached answer is free: it is served even when the threshold would
+  // cancel fresh work.
+  ResultCache cache;
+  request.cache = &cache;
+  request.epoch = 1;
+  ASSERT_TRUE(ExecutionDriver::Execute(request, &counters).ok());
+  threshold.store(0.9);
+  auto hit = ExecutionDriver::Execute(request, &counters);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_TRUE(counters.result_hit);
+  EXPECT_FALSE(counters.cancelled);
 }
 
 TEST_F(DriverTest, ValidatesItsInputs) {

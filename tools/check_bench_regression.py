@@ -14,6 +14,14 @@ Usage:
   [--min-speedup X]  fail if BM_CachedPtq is not at least X times
                          faster than BM_BatchPtq at the same thread count
                          (default 5.0)
+  [--min-bounded-speedup X]  fail if BM_BoundedCorpusTopK is not at
+                         least X times faster than BM_ExhaustiveCorpusTopK
+                         in the same run (default 2.0)
+  [--min-batch-scaling X]  fail if BM_BatchPtq/1 is not at least X times
+                         slower than BM_BatchPtq/4 (multi-core scaling
+                         floor; skipped when the run's host has fewer
+                         than 4 CPUs, so it only bites on CI runners;
+                         default 0 = off)
 
 A second same-run invariant guards the early-termination top-k engine:
 BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
@@ -21,9 +29,15 @@ slower than BM_UnprunedTopK (eager full-relevance scan) beyond a noise
 margin — if pruning ever costs more than the work it skips, the plan
 layer has rotted.
 
+A third same-run invariant guards the bound-driven corpus engine:
+BM_BoundedCorpusTopK (Threshold-Algorithm scheduler on the 64-document
+skewed corpus) must beat BM_ExhaustiveCorpusTopK (same query, pruning
+disabled) by --min-bounded-speedup — if the answer-level bounds stop
+pruning, the whole corpus win is gone.
+
 Updating the baseline (after an intentional perf change, Release build):
   ./build/micro_bench \
-      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus' \
+      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SharedEmbeddingCorpus' \
       --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
 """
 
@@ -34,7 +48,8 @@ import sys
 
 # Only these families gate CI; everything else in the JSON is informational.
 GATED = re.compile(
-    r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus)\b")
+    r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus|"
+    r"BoundedCorpusTopK|SharedEmbeddingCorpus)\b")
 
 # BM_PrunedTopK may be at most this many times slower than BM_UnprunedTopK
 # in the same run (it should be faster; the margin absorbs runner noise).
@@ -49,7 +64,7 @@ def load(path):
         if bench.get("run_type") == "aggregate":
             continue
         out[bench["name"]] = float(bench["real_time"])
-    return out
+    return out, data.get("context", {})
 
 
 def main():
@@ -58,17 +73,20 @@ def main():
     parser.add_argument("baseline", nargs="?", default="BENCH_baseline.json")
     parser.add_argument("--threshold", type=float, default=5.0)
     parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--min-bounded-speedup", type=float, default=2.0)
+    parser.add_argument("--min-batch-scaling", type=float, default=0.0)
     args = parser.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    current, context = load(args.current)
+    baseline, _ = load(args.baseline)
     failures = []
 
     gated = sorted(n for n in current if GATED.match(n))
     if not gated:
         failures.append("no gated benchmark results (BM_BatchPtq/"
                         "BM_CachedPtq/BM_CorpusPtq/BM_PrunedTopK/"
-                        "BM_MultiSchemaCorpus) in %s" % args.current)
+                        "BM_MultiSchemaCorpus/BM_BoundedCorpusTopK/"
+                        "BM_SharedEmbeddingCorpus) in %s" % args.current)
 
     for name in gated:
         base = baseline.get(name)
@@ -117,6 +135,52 @@ def main():
                 "BM_PrunedTopK is %.2fx the cost of BM_UnprunedTopK "
                 "(limit %.1fx)" % (ratio, PRUNED_MAX_RATIO))
         break
+
+    # Same-run invariant: answer-level bounds must actually prune. The
+    # skewed 64-document corpus skips ~7/8 of its items, so anything
+    # below --min-bounded-speedup means the scheduler rotted.
+    for suffix in ("/real_time", ""):
+        bounded = current.get("BM_BoundedCorpusTopK" + suffix)
+        exhaustive = current.get("BM_ExhaustiveCorpusTopK" + suffix)
+        if bounded is None or exhaustive is None:
+            continue
+        speedup = exhaustive / bounded
+        verdict = "FAIL" if speedup < args.min_bounded_speedup else "ok"
+        print("%-5s bounded corpus top-k speedup: %.2fx (need >= %.1fx)"
+              % (verdict, speedup, args.min_bounded_speedup))
+        if speedup < args.min_bounded_speedup:
+            failures.append(
+                "BM_BoundedCorpusTopK is only %.2fx faster than "
+                "BM_ExhaustiveCorpusTopK (need >= %.1fx)"
+                % (speedup, args.min_bounded_speedup))
+        break
+
+    # Multi-core scaling floor for the batch executor. Only meaningful on
+    # hosts with enough cores, so the gate self-disables elsewhere (the
+    # dev container is 1-core; CI runners are 4-core).
+    if args.min_batch_scaling > 0:
+        num_cpus = int(context.get("num_cpus", 0) or 0)
+        if num_cpus < 4:
+            print("NOTE  batch scaling floor skipped (host has %d CPUs)"
+                  % num_cpus)
+        else:
+            for suffix in ("/real_time", ""):
+                one = current.get("BM_BatchPtq/1" + suffix)
+                four = current.get("BM_BatchPtq/4" + suffix)
+                if one is None or four is None:
+                    continue
+                scaling = one / four
+                verdict = ("FAIL" if scaling < args.min_batch_scaling
+                           else "ok")
+                print("%-5s RunBatch scaling at 4 threads: %.2fx "
+                      "(need >= %.1fx)"
+                      % (verdict, scaling, args.min_batch_scaling))
+                if scaling < args.min_batch_scaling:
+                    failures.append(
+                        "BM_BatchPtq/4 is only %.2fx faster than "
+                        "BM_BatchPtq/1 (floor %.1fx)"
+                        % (scaling, args.min_batch_scaling))
+                break
 
     if failures:
         print("\nBenchmark regression check FAILED:", file=sys.stderr)
