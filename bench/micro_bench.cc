@@ -146,6 +146,41 @@ void BM_BatchPtq(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// BM_BatchPtq with the flat SoA kernel switched off: the same workload
+// through the legacy pointer-walking evaluator. Exists only for the
+// same-run flat-vs-legacy comparison (tools/check_bench_regression.py
+// --min-flat-speedup); not itself gated against the baseline (the GATED
+// regex requires a word boundary after "BatchPtq", so the Legacy name
+// does not match). Deleted with the legacy path in the next PR.
+void BM_BatchPtqLegacy(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
+  static auto pair = bench::MakePair(env, 0.2);
+  BatchExecutorOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  opts.use_flat_kernel = false;
+  BatchQueryExecutor exec(opts);
+  std::vector<BatchQueryItem> batch;
+  constexpr int kCopies = 4;
+  for (int c = 0; c < kCopies; ++c) {
+    for (const std::string& q : TableIIIQueries()) {
+      BatchQueryItem item;
+      item.doc = env.annotated.get();
+      item.twig = q;
+      batch.push_back(std::move(item));
+    }
+  }
+  for (auto _ : state) {
+    auto results = exec.Run(batch, pair);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+  state.counters["threads"] = opts.num_threads;
+}
+// One thread only: the flat-vs-legacy floor is a single-threaded kernel
+// property, and multi-thread ratios are too noisy on small CI runners.
+BENCHMARK(BM_BatchPtqLegacy)->Arg(1)->UseRealTime();
+
 // The same repeated-twig workload as BM_BatchPtq but with the sharded
 // result cache bound: after the first (warmup) run every item is a cache
 // hit — a hash probe plus a PtqResult copy instead of a full evaluation.
@@ -290,6 +325,32 @@ void BM_PrunedTopK(benchmark::State& state) {
   state.counters["mappings_pruned"] = pruned;
 }
 BENCHMARK(BM_PrunedTopK)->UseRealTime();
+
+// BM_PrunedTopK through the legacy pointer-walking evaluator — the flat
+// kernel's same-run comparison partner (see BM_BatchPtqLegacy above for
+// why it exists and why it is not baseline-gated).
+void BM_PrunedTopKLegacy(benchmark::State& state) {
+  static bench::Env env = bench::MakeEnv("D7", 500, /*with_doc=*/true);
+  static auto pair = bench::MakePair(env, 0.2);
+  const std::vector<std::string>& twigs = TableIIIQueries();
+  for (auto _ : state) {
+    pair->compiler->Clear();  // cold plans: selection happens per twig
+    for (const std::string& twig : twigs) {
+      DriverRequest request;
+      request.pair = pair.get();
+      request.doc = env.annotated.get();
+      request.twig = &twig;
+      request.options.top_k = 5;
+      request.use_flat_kernel = false;
+      DriverCounters counters;
+      auto result = ExecutionDriver::Execute(request, &counters);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(twigs.size()));
+}
+BENCHMARK(BM_PrunedTopKLegacy)->UseRealTime();
 
 // The eager baseline for BM_PrunedTopK: identical evaluation, but the
 // mapping selection runs FilterRelevantMappings over all 500 mappings

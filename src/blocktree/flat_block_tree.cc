@@ -1,0 +1,49 @@
+#include "blocktree/flat_block_tree.h"
+
+namespace uxm {
+
+FlatBlockTree FlatBlockTree::Build(const BlockTree& tree,
+                                   const Schema& target) {
+  FlatBlockTree flat;
+  const size_t num_targets = static_cast<size_t>(target.size());
+  flat.node_block_begin.reserve(num_targets + 1);
+  flat.self_anchored.reserve(num_targets);
+  flat.corr_begin.push_back(0);
+  flat.map_begin.push_back(0);
+  for (SchemaNodeId t = 0; t < target.size(); ++t) {
+    flat.node_block_begin.push_back(
+        static_cast<uint32_t>(flat.corr_begin.size() - 1));
+    flat.self_anchored.push_back(
+        tree.FindNodeByPath(target.path(t)) == t ? 1 : 0);
+    // HasBlocksAt also bounds-checks, so a default-constructed (empty)
+    // BlockTree flattens to an index with zero blocks.
+    if (!tree.HasBlocksAt(t)) continue;
+    for (const CBlock& block : tree.BlocksAt(t)) {
+      for (const BlockCorr& corr : block.corrs) {
+        flat.corr_target.push_back(corr.target);
+        flat.corr_source.push_back(corr.source);
+      }
+      flat.block_mappings.insert(flat.block_mappings.end(),
+                                 block.mappings.begin(),
+                                 block.mappings.end());
+      flat.corr_begin.push_back(static_cast<uint32_t>(flat.corr_target.size()));
+      flat.map_begin.push_back(
+          static_cast<uint32_t>(flat.block_mappings.size()));
+    }
+  }
+  flat.node_block_begin.push_back(
+      static_cast<uint32_t>(flat.corr_begin.size() - 1));
+  return flat;
+}
+
+FlatPairIndex BuildFlatPairIndex(const PossibleMappingSet& mappings,
+                                 const BlockTree& tree) {
+  FlatPairIndex index;
+  index.mappings = FlatMappingTable::Build(mappings);
+  if (!mappings.empty()) {
+    index.tree = FlatBlockTree::Build(tree, mappings.target());
+  }
+  return index;
+}
+
+}  // namespace uxm

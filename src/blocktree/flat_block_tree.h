@@ -1,0 +1,76 @@
+// Flat structure-of-arrays view of a BlockTree (ROADMAP item 3).
+//
+// The pointer BlockTree stores per-node vectors of CBlock objects, each
+// owning two more heap vectors, and resolves the paper's hash table H by
+// hashing target root-path STRINGS on every query node visit. This view
+// linearizes all of it into uint32_t-indexed parallel arrays:
+//
+//   node_block_begin[t] .. node_block_begin[t+1]   blocks anchored at t
+//     corr_begin[b] .. corr_begin[b+1]             block b's b.C, sorted
+//                                                  by target id, split
+//                                                  into corr_target[] /
+//                                                  corr_source[]
+//     map_begin[b]  .. map_begin[b+1]              block b's b.M
+//
+// and precomputes the H fast-path predicate per target node
+// (self_anchored[t] == "FindNodeByPath(path(t)) resolves to t"), so the
+// hot walk never touches a string or a hash table. The layout is
+// position-independent — ranges, not pointers — which is what the mmap
+// snapshot format of ROADMAP item 1 will serialize verbatim.
+#ifndef UXM_BLOCKTREE_FLAT_BLOCK_TREE_H_
+#define UXM_BLOCKTREE_FLAT_BLOCK_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocktree/block_tree.h"
+#include "mapping/flat_mapping_table.h"
+
+namespace uxm {
+
+/// \brief The block tree + hash table H, flattened. Immutable after
+/// Build; shared read-only by every evaluation thread.
+struct FlatBlockTree {
+  /// Per target node t: its c-blocks are [node_block_begin[t],
+  /// node_block_begin[t+1]) in the per-block arrays, preserving the
+  /// BlocksAt(t) order (block assignment is first-wins, so order is part
+  /// of the bit-identical contract). Size |T| + 1.
+  std::vector<uint32_t> node_block_begin;
+  /// Per target node t: 1 iff the paper's H maps path(t) back to t — the
+  /// precondition of the Algorithm 4 block fast path (a path shared by
+  /// duplicate labels may resolve to a different node; see
+  /// PtqEvaluator::EvalTreeRec). Size |T|.
+  std::vector<uint8_t> self_anchored;
+
+  /// Per block b: b.C as [corr_begin[b], corr_begin[b+1]) into the
+  /// parallel corr_target/corr_source columns (sorted by target id within
+  /// the block), and b.M as [map_begin[b], map_begin[b+1]) into
+  /// block_mappings. Both begin arrays have num_blocks + 1 entries.
+  std::vector<uint32_t> corr_begin;
+  std::vector<uint32_t> map_begin;
+  std::vector<SchemaNodeId> corr_target;
+  std::vector<SchemaNodeId> corr_source;
+  std::vector<MappingId> block_mappings;
+
+  uint32_t num_blocks() const {
+    return corr_begin.empty() ? 0
+                              : static_cast<uint32_t>(corr_begin.size() - 1);
+  }
+
+  static FlatBlockTree Build(const BlockTree& tree, const Schema& target);
+};
+
+/// \brief The flat evaluation index of one prepared schema pair: the
+/// mapping matrix plus the flattened block tree. Built once inside
+/// BuildPreparedSchemaPair, immutable thereafter.
+struct FlatPairIndex {
+  FlatMappingTable mappings;
+  FlatBlockTree tree;
+};
+
+FlatPairIndex BuildFlatPairIndex(const PossibleMappingSet& mappings,
+                                 const BlockTree& tree);
+
+}  // namespace uxm
+
+#endif  // UXM_BLOCKTREE_FLAT_BLOCK_TREE_H_

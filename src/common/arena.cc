@@ -1,0 +1,63 @@
+#include "common/arena.h"
+
+namespace uxm {
+
+MonotonicScratch::MonotonicScratch(size_t initial_bytes)
+    : next_chunk_bytes_(initial_bytes > 0 ? initial_bytes : 1) {}
+
+void* MonotonicScratch::Allocate(size_t bytes, size_t align) {
+  for (;;) {
+    if (chunk_idx_ < chunks_.size()) {
+      Chunk& chunk = chunks_[chunk_idx_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(chunk.data.get());
+      const uintptr_t aligned =
+          (base + offset_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+      const size_t needed = (aligned - base) + bytes;
+      if (needed <= chunk.size) {
+        offset_ = needed;
+        allocated_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // This chunk is exhausted (its tail is abandoned until Reset
+      // coalesces); fall through to the next one.
+      ++chunk_idx_;
+      offset_ = 0;
+      continue;
+    }
+    size_t want = next_chunk_bytes_;
+    if (want < bytes + align) want = bytes + align;
+    Chunk chunk;
+    chunk.data = std::make_unique<unsigned char[]>(want);
+    chunk.size = want;
+    chunks_.push_back(std::move(chunk));
+    next_chunk_bytes_ = want * 2;
+    offset_ = 0;
+  }
+}
+
+void MonotonicScratch::Reset() {
+  if (chunks_.size() > 1) {
+    // Growth spilled past the first chunk: the high-water mark exceeds any
+    // single chunk, so replace them all with one chunk of the combined
+    // capacity. The next cycle of the same workload fits in it entirely.
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    chunks_.clear();
+    Chunk merged;
+    merged.data = std::make_unique<unsigned char[]>(total);
+    merged.size = total;
+    chunks_.push_back(std::move(merged));
+    next_chunk_bytes_ = total * 2;
+  }
+  chunk_idx_ = 0;
+  offset_ = 0;
+  allocated_ = 0;
+}
+
+size_t MonotonicScratch::capacity() const {
+  size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.size;
+  return total;
+}
+
+}  // namespace uxm

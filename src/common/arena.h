@@ -1,0 +1,147 @@
+// Monotonic scratch arena for the flat evaluation kernel (ROADMAP item 3).
+//
+// Evaluation scratch — candidate lists, satisfaction sets, per-mapping
+// projected results — has a strict lifetime: it is dead the moment one
+// driver request finishes. A bump allocator fits exactly: Allocate is a
+// pointer increment, Reset reclaims everything at once, and after the
+// first few requests have grown the arena to the workload's high-water
+// mark the steady-state inner loop performs zero heap allocations.
+//
+// Ownership model: BatchQueryExecutor workers each lease one arena per
+// Run slot (exec/batch_executor.cc); direct Query traffic falls back to a
+// thread_local arena (query/flat_kernel.cc). An arena is single-threaded
+// by construction — it is never shared between concurrently running
+// evaluations.
+#ifndef UXM_COMMON_ARENA_H_
+#define UXM_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace uxm {
+
+/// \brief Chunked bump allocator with whole-arena reclamation.
+///
+/// Memory comes out of geometrically growing chunks; Reset() makes every
+/// byte reusable and coalesces a multi-chunk arena into one chunk of the
+/// combined capacity, so an arena that has seen its peak workload never
+/// touches malloc again.
+class MonotonicScratch {
+ public:
+  static constexpr size_t kDefaultInitialBytes = size_t{1} << 16;
+
+  explicit MonotonicScratch(size_t initial_bytes = kDefaultInitialBytes);
+
+  MonotonicScratch(const MonotonicScratch&) = delete;
+  MonotonicScratch& operator=(const MonotonicScratch&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two). Never
+  /// null; zero-byte requests return a valid, unique-enough pointer.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Typed array allocation. T must be trivially destructible — Reset()
+  /// runs no destructors. The returned array is uninitialized.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Reclaims every allocation at once. If growth spilled into multiple
+  /// chunks, they are coalesced into a single chunk of the combined size,
+  /// so the next cycle of the same workload allocates from one chunk and
+  /// never calls malloc.
+  void Reset();
+
+  /// Total bytes owned across all chunks.
+  size_t capacity() const;
+
+  /// Number of chunks currently owned (1 in steady state).
+  size_t chunk_count() const { return chunks_.size(); }
+
+  /// Bytes handed out since the last Reset (excludes alignment padding).
+  size_t allocated_bytes() const { return allocated_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  size_t chunk_idx_ = 0;       ///< Chunk currently being bumped.
+  size_t offset_ = 0;          ///< Bump offset inside chunks_[chunk_idx_].
+  size_t next_chunk_bytes_;    ///< Size of the next chunk to allocate.
+  size_t allocated_ = 0;
+};
+
+/// \brief Arena-backed growable array of trivially copyable elements.
+///
+/// The growth strategy is the usual doubling, but stale copies are simply
+/// abandoned to the arena (Reset reclaims them), so push_back never
+/// frees. POD-shaped on purpose: arrays of ScratchVec can live in the
+/// arena themselves — zero-initialized memory is a valid empty vector
+/// with no arena bound; call Init() before the first push_back.
+template <typename T>
+class ScratchVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ScratchVec grows by memcpy");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena memory is reclaimed without running destructors");
+
+ public:
+  ScratchVec() = default;
+  explicit ScratchVec(MonotonicScratch* arena) : arena_(arena) {}
+
+  void Init(MonotonicScratch* arena) {
+    arena_ = arena;
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(capacity_ > 0 ? capacity_ * 2 : 8);
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+  void resize_down(size_t n) { size_ = n; }  ///< n must be <= size().
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void Grow(size_t n) {
+    T* fresh = arena_->AllocateArray<T>(n);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = n;
+  }
+
+  MonotonicScratch* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_COMMON_ARENA_H_

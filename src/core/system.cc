@@ -253,6 +253,7 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
   BatchExecutorOptions exec_opts;
   exec_opts.num_threads = want_threads;
   exec_opts.use_block_tree = run->use_block_tree;
+  exec_opts.use_flat_kernel = options_.use_flat_kernel;
   exec_opts.ptq = options_.ptq;
   auto fresh = std::make_shared<BatchQueryExecutor>(exec_opts);
   std::shared_ptr<BatchQueryExecutor> stale;  // destroyed outside the lock
@@ -289,6 +290,7 @@ Result<PtqResult> UncertainMatchingSystem::CachedQuery(
   request.options = options_.ptq;
   if (top_k > 0) request.options.top_k = top_k;
   request.use_block_tree = use_block_tree;
+  request.use_flat_kernel = options_.use_flat_kernel;
   request.cache =
       options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
   request.epoch = session.epoch;

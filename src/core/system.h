@@ -94,6 +94,12 @@ struct SystemOptions {
   BlockTreeOptions block_tree;
   PtqOptions ptq;
   CacheOptions cache;
+  /// Evaluate through the flat SoA kernel with arena scratch
+  /// (query/flat_kernel.h) instead of the legacy pointer structures.
+  /// Differential-tested bit-identical; this escape hatch exists for ONE
+  /// PR only — the pointer path is deleted in the next PR (see README's
+  /// flat-kernel section).
+  bool use_flat_kernel = true;
 };
 
 /// \brief One query of a batch: a twig, optionally against its own

@@ -24,6 +24,44 @@ struct WorkerScratch {
 
 }  // namespace
 
+/// RAII lease of one pooled arena for one worker slot's claim loop. The
+/// arena returns to the pool with its grown capacity intact, so across
+/// Runs the fleet of arenas converges on the workload's high-water mark
+/// and evaluation scratch stops allocating entirely.
+class ScratchLease {
+ public:
+  explicit ScratchLease(const BatchQueryExecutor* owner)
+      : owner_(owner), scratch_(owner->AcquireScratch()) {}
+  ~ScratchLease() { owner_->ReleaseScratch(std::move(scratch_)); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  MonotonicScratch* get() const { return scratch_.get(); }
+
+ private:
+  const BatchQueryExecutor* owner_;
+  std::unique_ptr<MonotonicScratch> scratch_;
+};
+
+std::unique_ptr<MonotonicScratch> BatchQueryExecutor::AcquireScratch() const {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<MonotonicScratch> scratch =
+          std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<MonotonicScratch>();
+}
+
+void BatchQueryExecutor::ReleaseScratch(
+    std::unique_ptr<MonotonicScratch> scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
 BatchQueryExecutor::BatchQueryExecutor(BatchExecutorOptions options)
     : options_(std::move(options)),
       pool_(std::make_unique<ThreadPool>(
@@ -61,6 +99,7 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
 
   auto run_slot = [&](size_t slot) {
     WorkerScratch& ws = scratch[slot];
+    const ScratchLease arena(this);
     for (;;) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
@@ -88,6 +127,8 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
         request.options = options_.ptq;
         if (item.top_k > 0) request.options.top_k = item.top_k;
         request.use_block_tree = options_.use_block_tree;
+        request.use_flat_kernel = options_.use_flat_kernel;
+        request.scratch = arena.get();
         request.cache = result_cache;
         request.epoch = item.epoch != 0 ? item.epoch : epoch;
         if (control != nullptr) {

@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cache/result_cache.h"
+#include "common/arena.h"
 #include "common/status.h"
 #include "plan/driver.h"
 #include "plan/prepared_pair.h"
@@ -84,6 +86,10 @@ struct BatchExecutorOptions {
   int num_threads = 0;
   /// Evaluate with Algorithm 4 (block tree) or Algorithm 3 (basic).
   bool use_block_tree = true;
+  /// Evaluate through the flat SoA kernel (see plan/driver.h). Workers
+  /// lease a per-slot arena from the executor's pool, so a steady-state
+  /// batch performs zero evaluation-scratch allocations.
+  bool use_flat_kernel = true;
   /// Base evaluation options applied to every item.
   PtqOptions ptq;
 };
@@ -164,8 +170,19 @@ class BatchQueryExecutor {
   const BatchExecutorOptions& options() const { return options_; }
 
  private:
+  friend class ScratchLease;
+
+  /// Checks an arena out of the pool (creating one if empty) / back in.
+  /// Leases span one worker slot's whole claim loop, so an arena is only
+  /// ever touched by one thread at a time and its capacity — grown to the
+  /// workload's high-water mark — is recycled across Runs.
+  std::unique_ptr<MonotonicScratch> AcquireScratch() const;
+  void ReleaseScratch(std::unique_ptr<MonotonicScratch> scratch) const;
+
   BatchExecutorOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<MonotonicScratch>> scratch_pool_;
 };
 
 }  // namespace uxm

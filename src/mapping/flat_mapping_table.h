@@ -1,0 +1,45 @@
+// Flat structure-of-arrays view of a PossibleMappingSet (ROADMAP item 3).
+//
+// The pointer representation stores each mapping as its own heap vector;
+// the evaluation hot path dereferences mapping objects per (query node,
+// mapping) probe. This table lays every mapping's target→source column
+// out row-major in ONE contiguous array, with the probability column
+// alongside, so the per-mapping rewrite loop is a stride-indexed scan —
+// and the layout is position-independent (plain integers, [row, column]
+// addressing), which is exactly what the mmap snapshot format of ROADMAP
+// item 1 needs.
+#ifndef UXM_MAPPING_FLAT_MAPPING_TABLE_H_
+#define UXM_MAPPING_FLAT_MAPPING_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/possible_mapping.h"
+
+namespace uxm {
+
+/// \brief Row-major target→source matrix plus the probability column.
+///
+/// Row `mid` spells out mapping `mid` exactly as
+/// PossibleMapping::target_to_source does: entry t is the source element
+/// matched to target element t, or kInvalidSchemaNode. Immutable after
+/// Build; shared read-only by every evaluation thread.
+struct FlatMappingTable {
+  uint32_t num_mappings = 0;
+  uint32_t num_targets = 0;  ///< Row stride == |T|.
+  /// num_mappings * num_targets entries, row-major.
+  std::vector<SchemaNodeId> source_for;
+  /// Per-mapping probability, same values as PossibleMapping::probability.
+  std::vector<double> probability;
+
+  const SchemaNodeId* Row(MappingId mid) const {
+    return source_for.data() +
+           static_cast<size_t>(mid) * static_cast<size_t>(num_targets);
+  }
+
+  static FlatMappingTable Build(const PossibleMappingSet& set);
+};
+
+}  // namespace uxm
+
+#endif  // UXM_MAPPING_FLAT_MAPPING_TABLE_H_

@@ -18,6 +18,8 @@ std::shared_ptr<const PreparedSchemaPair> Finish(
     std::shared_ptr<PreparedSchemaPair> pair, size_t max_embeddings,
     std::shared_ptr<EmbeddingCache> embedding_cache) {
   pair->pair_id = NextPairId();
+  pair->flat = std::make_shared<const FlatPairIndex>(
+      BuildFlatPairIndex(pair->mappings, pair->build.tree));
   pair->order =
       std::make_shared<const MappingOrder>(MappingOrder::Build(pair->mappings));
   pair->compiler = std::make_shared<QueryCompiler>(

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "blocktree/block_tree.h"
+#include "blocktree/flat_block_tree.h"
 #include "cache/embedding_cache.h"
 #include "cache/query_compiler.h"
 #include "common/status.h"
@@ -50,6 +51,12 @@ struct PreparedSchemaPair {
   std::shared_ptr<const MappingOrder> order;
   /// Plan cache over this pair's mappings; shared by every query path.
   std::shared_ptr<QueryCompiler> compiler;
+  /// Flat SoA evaluation index (mapping matrix + flattened block tree),
+  /// derived from `mappings`/`build` at Finish time. The flat kernel
+  /// (query/flat_kernel.h) evaluates over this; the pointer structures
+  /// above remain only for the legacy kernel behind
+  /// SystemOptions::use_flat_kernel, deleted one PR after the flag ships.
+  std::shared_ptr<const FlatPairIndex> flat;
 
   const Schema* source() const { return matching.source_ptr(); }
   const Schema* target() const { return matching.target_ptr(); }

@@ -1,0 +1,65 @@
+// Flat-array PTQ evaluation kernel (ROADMAP item 3).
+//
+// Drop-in replacements for PtqEvaluator::EvaluateTreePrepared /
+// EvaluateBasicPrepared that run entirely over the FlatPairIndex
+// (blocktree/flat_block_tree.h) with every intermediate — candidate
+// lists, satisfaction sets, per-mapping projected results, output
+// accumulators — carved out of a caller-supplied MonotonicScratch. The
+// only heap traffic per call is the returned PtqResult; once the arena
+// has grown to the workload's high-water mark, the steady-state inner
+// loop performs zero allocations.
+//
+// Contract: BIT-IDENTICAL answers to the legacy pointer kernel — same
+// answer sets, same match lists, byte-equal probability doubles, same
+// truncated flag — for any (query, embeddings, relevant) input. The
+// differential suite (FlatVsLegacyKernelTest) pins this; the legacy path
+// is deleted one PR after this flag ships (see README).
+//
+// Arena lifetime: the caller Resets the arena before each evaluation
+// (plan/driver.cc does); everything allocated during the call dies at
+// the next Reset. Arenas are single-threaded — BatchQueryExecutor leases
+// one per worker slot, and ThreadLocalScratch() serves direct Query
+// traffic.
+#ifndef UXM_QUERY_FLAT_KERNEL_H_
+#define UXM_QUERY_FLAT_KERNEL_H_
+
+#include <vector>
+
+#include "blocktree/flat_block_tree.h"
+#include "common/arena.h"
+#include "common/status.h"
+#include "query/annotated_document.h"
+#include "query/ptq.h"
+
+namespace uxm {
+
+/// The per-thread fallback arena used when a caller has no leased one
+/// (direct Query / QueryTopK / QueryBasic traffic). Never shared across
+/// threads; reset by the driver at the start of each evaluation.
+MonotonicScratch* ThreadLocalScratch();
+
+/// Algorithm 3 (query_basic) over the flat index. Mirrors
+/// PtqEvaluator::EvaluateBasicPrepared operation-for-operation.
+Result<PtqResult> EvaluateBasicFlat(
+    const TwigQuery& query,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings,
+    const std::vector<MappingId>& relevant, bool truncated,
+    const FlatPairIndex& index, const AnnotatedDocument& doc,
+    const PtqOptions& options, MonotonicScratch* arena);
+
+/// Algorithm 4 (twig_query_tree) over the flat index. Mirrors
+/// PtqEvaluator::EvaluateTreePrepared operation-for-operation, with the
+/// c-block fast path resolved through the precomputed self_anchored[]
+/// column instead of the string-keyed hash table, and block results
+/// replicated to the block's mappings as arena spans instead of
+/// shared_ptrs.
+Result<PtqResult> EvaluateTreeFlat(
+    const TwigQuery& query,
+    const std::vector<std::vector<SchemaNodeId>>& embeddings,
+    const std::vector<MappingId>& relevant, bool truncated,
+    const FlatPairIndex& index, const AnnotatedDocument& doc,
+    const PtqOptions& options, MonotonicScratch* arena);
+
+}  // namespace uxm
+
+#endif  // UXM_QUERY_FLAT_KERNEL_H_

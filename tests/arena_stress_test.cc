@@ -1,0 +1,144 @@
+// TSan stress for the executor's arena leasing: several caller threads
+// hammer ONE BatchQueryExecutor whose workers check scratch arenas out of
+// a shared pool. If two in-flight items ever leased the same arena — or a
+// lease outlived its Run and aliased a later one mid-write — TSan flags
+// the racing memcpy/bump writes, and the answer comparison below catches
+// the corruption even without instrumentation. Labeled `slow`; the tsan
+// CI job is its reason to exist.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/batch_executor.h"
+#include "query/annotated_document.h"
+#include "tests/test_util.h"
+
+namespace uxm {
+namespace {
+
+class ArenaStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = testutil::MakePaperExample();
+    auto ad = AnnotatedDocument::Bind(ex_.doc.get(), ex_.source.get());
+    ASSERT_TRUE(ad.ok()) << ad.status();
+    annotated_ =
+        std::make_unique<AnnotatedDocument>(std::move(ad).ValueOrDie());
+    pair_ = testutil::MakePaperPair(ex_);
+    ASSERT_NE(pair_, nullptr);
+  }
+
+  std::vector<BatchQueryItem> MakeBatch(int copies) const {
+    const std::vector<std::string> twigs = {"ORDER/IP/ICN", "ORDER/SP/SCN",
+                                            "//ICN", "//SCN", "ORDER//ICN"};
+    std::vector<BatchQueryItem> batch;
+    for (int c = 0; c < copies; ++c) {
+      for (const std::string& t : twigs) {
+        BatchQueryItem item;
+        item.doc = annotated_.get();
+        item.twig = t;
+        batch.push_back(std::move(item));
+      }
+    }
+    return batch;
+  }
+
+  testutil::PaperExample ex_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+  std::shared_ptr<const PreparedSchemaPair> pair_;
+};
+
+TEST_F(ArenaStressTest, ConcurrentRunsOnOneExecutorNeverAliasScratch) {
+  // Reference answers from a throwaway single-threaded executor.
+  BatchExecutorOptions ref_opts;
+  ref_opts.num_threads = 1;
+  const auto batch = MakeBatch(6);
+  const auto expected = BatchQueryExecutor(ref_opts).Run(batch, pair_);
+  ASSERT_EQ(expected.size(), batch.size());
+  for (const auto& r : expected) ASSERT_TRUE(r.ok()) << r.status();
+
+  // One shared executor, several racing callers: concurrent Run calls
+  // drain the same scratch pool, so worker slots across runs compete for
+  // the same arenas, with pool churn forcing fresh leases mid-race.
+  BatchExecutorOptions opts;
+  opts.num_threads = 4;
+  BatchQueryExecutor exec(opts);
+  constexpr int kCallers = 4;
+  constexpr int kRoundsPerCaller = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&]() {
+      for (int round = 0; round < kRoundsPerCaller; ++round) {
+        const auto results = exec.Run(batch, pair_);
+        if (results.size() != expected.size()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok() ||
+              results[i]->answers.size() != expected[i]->answers.size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t j = 0; j < results[i]->answers.size(); ++j) {
+            const auto& got = results[i]->answers[j];
+            const auto& want = expected[i]->answers[j];
+            if (got.mapping != want.mapping ||
+                got.probability != want.probability ||
+                got.matches != want.matches) {
+              ++mismatches;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ArenaStressTest, BasicAndTreeExecutorsRaceIndependently) {
+  // Two executors with different kernels alive at once, each hit from two
+  // threads: their scratch pools are distinct, so any TSan report here
+  // means a thread_local or pool lease escaped its executor.
+  const auto batch = MakeBatch(4);
+  BatchExecutorOptions tree_opts;
+  tree_opts.num_threads = 2;
+  BatchQueryExecutor tree_exec(tree_opts);
+  BatchExecutorOptions basic_opts;
+  basic_opts.num_threads = 2;
+  basic_opts.use_block_tree = false;
+  BatchQueryExecutor basic_exec(basic_opts);
+
+  const auto expected = tree_exec.Run(batch, pair_);
+  std::atomic<int> failures{0};
+  auto hammer = [&](BatchQueryExecutor* exec) {
+    for (int round = 0; round < 6; ++round) {
+      const auto results = exec->Run(batch, pair_);
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok() ||
+            results[i]->answers.size() != expected[i]->answers.size()) {
+          ++failures;
+        }
+      }
+    }
+  };
+  std::thread t1(hammer, &tree_exec);
+  std::thread t2(hammer, &basic_exec);
+  std::thread t3(hammer, &tree_exec);
+  std::thread t4(hammer, &basic_exec);
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace uxm

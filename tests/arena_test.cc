@@ -1,0 +1,153 @@
+// MonotonicScratch / ScratchVec unit tests: alignment, growth across
+// chunks, Reset() reuse and coalescing — the invariants the flat
+// evaluation kernel's zero-allocation steady state rests on. The
+// cross-thread aliasing stress lives in arena_stress_test.cc (slow).
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace uxm {
+namespace {
+
+TEST(MonotonicScratchTest, AllocationsAreAlignedAndDisjoint) {
+  MonotonicScratch arena(128);
+  for (size_t align : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                       size_t{16}, size_t{64}}) {
+    void* p = arena.Allocate(24, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "allocation not aligned to " << align;
+  }
+  // Writes through every allocation must not stomp each other.
+  char* a = static_cast<char*>(arena.Allocate(16, 8));
+  char* b = static_cast<char*>(arena.Allocate(16, 8));
+  std::memset(a, 0xAA, 16);
+  std::memset(b, 0xBB, 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(a[i]), 0xAA);
+    EXPECT_EQ(static_cast<unsigned char>(b[i]), 0xBB);
+  }
+}
+
+TEST(MonotonicScratchTest, GrowsAcrossChunksWhenExhausted) {
+  MonotonicScratch arena(64);
+  EXPECT_EQ(arena.chunk_count(), 0u);  // first chunk is lazy
+  arena.Allocate(8, 8);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  // Far more than the initial chunk, in pieces small enough that each
+  // lands inside some chunk.
+  std::vector<int*> arrays;
+  for (int i = 0; i < 64; ++i) {
+    int* p = arena.AllocateArray<int>(32);
+    std::fill(p, p + 32, i);
+    arrays.push_back(p);
+  }
+  EXPECT_GT(arena.chunk_count(), 1u);
+  EXPECT_GE(arena.allocated_bytes(), 64u * 32u * sizeof(int));
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      ASSERT_EQ(arrays[static_cast<size_t>(i)][j], i);
+    }
+  }
+}
+
+TEST(MonotonicScratchTest, OversizedRequestGetsItsOwnChunk) {
+  MonotonicScratch arena(64);
+  char* big = static_cast<char*>(arena.Allocate(4096, 8));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, 4096);  // must all be writable
+  EXPECT_GE(arena.capacity(), 4096u);
+}
+
+TEST(MonotonicScratchTest, ResetCoalescesToOneChunkAndStopsGrowing) {
+  MonotonicScratch arena(64);
+  for (int i = 0; i < 32; ++i) arena.AllocateArray<double>(64);
+  ASSERT_GT(arena.chunk_count(), 1u);
+  const size_t grown_capacity = arena.capacity();
+
+  arena.Reset();
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_GE(arena.capacity(), grown_capacity);
+
+  // Steady state: replaying the same workload fits the coalesced chunk,
+  // so capacity and chunk count never move again.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const size_t cap = arena.capacity();
+    for (int i = 0; i < 32; ++i) arena.AllocateArray<double>(64);
+    EXPECT_EQ(arena.chunk_count(), 1u);
+    EXPECT_EQ(arena.capacity(), cap);
+    arena.Reset();
+  }
+}
+
+TEST(MonotonicScratchTest, ResetMakesMemoryReusable) {
+  MonotonicScratch arena(1024);
+  int* first = arena.AllocateArray<int>(8);
+  std::fill(first, first + 8, 7);
+  arena.Reset();
+  int* second = arena.AllocateArray<int>(8);
+  // Single chunk, same bump start: Reset hands the same bytes back.
+  EXPECT_EQ(first, second);
+}
+
+TEST(MonotonicScratchTest, ZeroByteAllocationIsValid) {
+  MonotonicScratch arena;
+  EXPECT_NE(arena.Allocate(0, 8), nullptr);
+  EXPECT_NE(arena.AllocateArray<int>(0), nullptr);
+}
+
+TEST(ScratchVecTest, PushBackGrowsAndPreservesContents) {
+  MonotonicScratch arena(64);  // force growth through several chunks
+  ScratchVec<int> v(&arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(ScratchVecTest, ReserveAvoidsReallocation) {
+  MonotonicScratch arena;
+  ScratchVec<int> v(&arena);
+  v.reserve(128);
+  const int* stable = v.data();
+  for (int i = 0; i < 128; ++i) v.push_back(i);
+  EXPECT_EQ(v.data(), stable);
+}
+
+TEST(ScratchVecTest, ClearAndResizeDownKeepStorage) {
+  MonotonicScratch arena;
+  ScratchVec<int> v(&arena);
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  v.resize_down(4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 3);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  const int* stable = v.data();
+  v.push_back(42);
+  EXPECT_EQ(v.data(), stable);  // capacity survives clear
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(ScratchVecTest, ZeroInitializedArrayFormIsEmptyUntilInit) {
+  MonotonicScratch arena;
+  // The kernel allocates ScratchVec arrays inside the arena and relies on
+  // zero bytes being a valid empty vector.
+  auto* vecs = arena.AllocateArray<ScratchVec<int>>(4);
+  std::memset(static_cast<void*>(vecs), 0, 4 * sizeof(ScratchVec<int>));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(vecs[i].empty());
+    EXPECT_EQ(vecs[i].data(), nullptr);
+    vecs[i].Init(&arena);
+    vecs[i].push_back(i);
+    EXPECT_EQ(vecs[i][0], i);
+  }
+}
+
+}  // namespace
+}  // namespace uxm

@@ -11,9 +11,12 @@ Usage:
   tools/check_bench_regression.py CURRENT.json [BASELINE.json]
       [--threshold X]    fail if a benchmark is more than X times slower
                          than the baseline (default 5.0)
-  [--min-speedup X]  fail if BM_CachedPtq is not at least X times
-                         faster than BM_BatchPtq at the same thread count
-                         (default 5.0)
+  [--min-speedup X]  fail if BM_CachedPtq/1 is not at least X times
+                         faster than BM_BatchPtq/1 (default 1.5; single
+                         thread only — multi-thread cache ratios measure
+                         shard contention, not the hit path, and the flat
+                         evaluation kernel closed the gap from ~15x to
+                         ~2x by making the uncached side fast)
   [--min-bounded-speedup X]  fail if BM_BoundedCorpusTopK is not at
                          least X times faster than BM_ExhaustiveCorpusTopK
                          in the same run (default 2.0)
@@ -22,6 +25,12 @@ Usage:
                          floor; skipped when the run's host has fewer
                          than 4 CPUs, so it only bites on CI runners;
                          default 0 = off)
+  [--min-flat-speedup X]  fail if the flat SoA kernel is not at least X
+                         times faster than the legacy pointer kernel in
+                         the same run: BM_BatchPtq/N vs BM_BatchPtqLegacy/N
+                         at every thread count, and BM_PrunedTopK vs
+                         BM_PrunedTopKLegacy (default 0 = off; CI passes
+                         1.3). Goes away with the legacy path next PR.
 
 A second same-run invariant guards the early-termination top-k engine:
 BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
@@ -72,9 +81,10 @@ def main():
     parser.add_argument("current")
     parser.add_argument("baseline", nargs="?", default="BENCH_baseline.json")
     parser.add_argument("--threshold", type=float, default=5.0)
-    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--min-speedup", type=float, default=1.5)
     parser.add_argument("--min-bounded-speedup", type=float, default=2.0)
     parser.add_argument("--min-batch-scaling", type=float, default=0.0)
+    parser.add_argument("--min-flat-speedup", type=float, default=0.0)
     args = parser.parse_args()
 
     current, context = load(args.current)
@@ -101,9 +111,13 @@ def main():
             failures.append("%s is %.2fx slower than baseline (limit %.1fx)"
                             % (name, ratio, args.threshold))
 
-    # Same-run invariant: caching must actually pay.
+    # Same-run invariant: caching must actually pay. Single thread only:
+    # at higher widths the ratio measures result-cache shard contention
+    # against executor scaling, not the hit path — and since the flat
+    # kernel made uncached evaluation ~14x faster, the margin there is
+    # inside runner noise.
     for name, time_ns in sorted(current.items()):
-        m = re.match(r"^BM_BatchPtq/(\d+)(/real_time)?$", name)
+        m = re.match(r"^BM_BatchPtq/(1)(/real_time)?$", name)
         if not m:
             continue
         cached_name = "BM_CachedPtq/%s%s" % (m.group(1), m.group(2) or "")
@@ -181,6 +195,44 @@ def main():
                         "BM_BatchPtq/1 (floor %.1fx)"
                         % (scaling, args.min_batch_scaling))
                 break
+
+    # Same-run invariant: the flat SoA kernel must actually be faster than
+    # the legacy pointer-walking path it replaces. Legacy variants exist
+    # only for this comparison (they are not baseline-gated) and are
+    # deleted together with the legacy path next PR.
+    if args.min_flat_speedup > 0:
+        flat_pairs = []
+        for name in sorted(current):
+            m = re.match(r"^BM_BatchPtqLegacy/(\d+)(/real_time)?$", name)
+            if m:
+                flat_pairs.append(
+                    (name, "BM_BatchPtq/%s%s" % (m.group(1), m.group(2) or ""),
+                     "%s threads" % m.group(1)))
+        for suffix in ("/real_time", ""):
+            legacy_name = "BM_PrunedTopKLegacy" + suffix
+            if legacy_name in current:
+                flat_pairs.append(
+                    (legacy_name, "BM_PrunedTopK" + suffix, "pruned top-k"))
+                break
+        if not flat_pairs:
+            failures.append("--min-flat-speedup set but no legacy kernel "
+                            "benchmarks (BM_BatchPtqLegacy/"
+                            "BM_PrunedTopKLegacy) in %s" % args.current)
+        for legacy_name, flat_name, label in flat_pairs:
+            flat = current.get(flat_name)
+            if flat is None:
+                failures.append("%s has no flat-kernel partner %s"
+                                % (legacy_name, flat_name))
+                continue
+            speedup = current[legacy_name] / flat
+            verdict = "FAIL" if speedup < args.min_flat_speedup else "ok"
+            print("%-5s flat kernel speedup (%s): %.2fx (need >= %.1fx)"
+                  % (verdict, label, speedup, args.min_flat_speedup))
+            if speedup < args.min_flat_speedup:
+                failures.append(
+                    "%s is only %.2fx faster than %s (need >= %.1fx)"
+                    % (flat_name, speedup, legacy_name,
+                       args.min_flat_speedup))
 
     if failures:
         print("\nBenchmark regression check FAILED:", file=sys.stderr)
