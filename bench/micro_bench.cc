@@ -146,41 +146,6 @@ void BM_BatchPtq(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchPtq)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
-// BM_BatchPtq with the flat SoA kernel switched off: the same workload
-// through the legacy pointer-walking evaluator. Exists only for the
-// same-run flat-vs-legacy comparison (tools/check_bench_regression.py
-// --min-flat-speedup); not itself gated against the baseline (the GATED
-// regex requires a word boundary after "BatchPtq", so the Legacy name
-// does not match). Deleted with the legacy path in the next PR.
-void BM_BatchPtqLegacy(benchmark::State& state) {
-  static bench::Env env = bench::MakeEnv("D7", 100, /*with_doc=*/true);
-  static auto pair = bench::MakePair(env, 0.2);
-  BatchExecutorOptions opts;
-  opts.num_threads = static_cast<int>(state.range(0));
-  opts.use_flat_kernel = false;
-  BatchQueryExecutor exec(opts);
-  std::vector<BatchQueryItem> batch;
-  constexpr int kCopies = 4;
-  for (int c = 0; c < kCopies; ++c) {
-    for (const std::string& q : TableIIIQueries()) {
-      BatchQueryItem item;
-      item.doc = env.annotated.get();
-      item.twig = q;
-      batch.push_back(std::move(item));
-    }
-  }
-  for (auto _ : state) {
-    auto results = exec.Run(batch, pair);
-    benchmark::DoNotOptimize(results);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(batch.size()));
-  state.counters["threads"] = opts.num_threads;
-}
-// One thread only: the flat-vs-legacy floor is a single-threaded kernel
-// property, and multi-thread ratios are too noisy on small CI runners.
-BENCHMARK(BM_BatchPtqLegacy)->Arg(1)->UseRealTime();
-
 // The same repeated-twig workload as BM_BatchPtq but with the sharded
 // result cache bound: after the first (warmup) run every item is a cache
 // hit — a hash probe plus a PtqResult copy instead of a full evaluation.
@@ -325,32 +290,6 @@ void BM_PrunedTopK(benchmark::State& state) {
   state.counters["mappings_pruned"] = pruned;
 }
 BENCHMARK(BM_PrunedTopK)->UseRealTime();
-
-// BM_PrunedTopK through the legacy pointer-walking evaluator — the flat
-// kernel's same-run comparison partner (see BM_BatchPtqLegacy above for
-// why it exists and why it is not baseline-gated).
-void BM_PrunedTopKLegacy(benchmark::State& state) {
-  static bench::Env env = bench::MakeEnv("D7", 500, /*with_doc=*/true);
-  static auto pair = bench::MakePair(env, 0.2);
-  const std::vector<std::string>& twigs = TableIIIQueries();
-  for (auto _ : state) {
-    pair->compiler->Clear();  // cold plans: selection happens per twig
-    for (const std::string& twig : twigs) {
-      DriverRequest request;
-      request.pair = pair.get();
-      request.doc = env.annotated.get();
-      request.twig = &twig;
-      request.options.top_k = 5;
-      request.use_flat_kernel = false;
-      DriverCounters counters;
-      auto result = ExecutionDriver::Execute(request, &counters);
-      benchmark::DoNotOptimize(result);
-    }
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(twigs.size()));
-}
-BENCHMARK(BM_PrunedTopKLegacy)->UseRealTime();
 
 // The eager baseline for BM_PrunedTopK: identical evaluation, but the
 // mapping selection runs FilterRelevantMappings over all 500 mappings
@@ -545,6 +484,77 @@ void BM_SharedEmbeddingCorpus(benchmark::State& state) {
           : 0.0;
 }
 BENCHMARK(BM_SharedEmbeddingCorpus)->UseRealTime();
+
+// Cold start to a serving-ready system: BM_PrepareCold runs the full
+// matcher + top-h enumeration + flat-index build + document annotation
+// pipeline from schemas; BM_SnapshotLoad mmaps the snapshot the same
+// state was saved to and validates/reconstructs from it (zero-copy flat
+// arrays, no matcher, no re-prepare). Identical serving state either
+// way — snapshot_roundtrip proves the answers are bit-identical — so
+// the same-run ratio is the restore win, gated >= 5x by
+// tools/check_bench_regression.py --min-snapshot-speedup.
+const CorpusScenario* SnapshotBenchScenario() {
+  static const CorpusScenario* scenario = [] {
+    CorpusGenOptions gen;
+    gen.num_documents = 6;
+    gen.min_target_nodes = 120;
+    gen.max_target_nodes = 240;
+    gen.clone_probability = 0.25;
+    auto made = MakeCorpusScenario("D7", gen);
+    if (!made.ok()) {
+      std::fprintf(stderr, "snapshot bench scenario failed: %s\n",
+                   made.status().ToString().c_str());
+      std::abort();
+    }
+    return new CorpusScenario(std::move(made).ValueOrDie());
+  }();
+  return scenario;
+}
+
+void FillSnapshotBenchSystem(UncertainMatchingSystem* sys) {
+  const CorpusScenario* scenario = SnapshotBenchScenario();
+  if (!sys->Prepare(scenario->dataset.source.get(),
+                    scenario->dataset.target.get())
+           .ok()) {
+    std::abort();
+  }
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    if (!sys->AddDocument(scenario->names[i], scenario->documents[i].get())
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+void BM_PrepareCold(benchmark::State& state) {
+  SnapshotBenchScenario();  // generation cost outside the timed loop
+  for (auto _ : state) {
+    UncertainMatchingSystem sys;
+    FillSnapshotBenchSystem(&sys);
+    benchmark::DoNotOptimize(sys.prepared());
+  }
+}
+BENCHMARK(BM_PrepareCold)->UseRealTime();
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  static const std::string* path = [] {
+    UncertainMatchingSystem sys;
+    FillSnapshotBenchSystem(&sys);
+    auto* p = new std::string("bm_snapshot_load.uxmsnap");
+    if (!sys.SaveSnapshot(*p).ok()) std::abort();
+    return p;
+  }();
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    UncertainMatchingSystem sys;
+    SnapshotStats stats;
+    if (!sys.LoadSnapshot(*path, &stats).ok()) std::abort();
+    benchmark::DoNotOptimize(sys.prepared());
+    bytes = stats.file_bytes;
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SnapshotLoad)->UseRealTime();
 
 // Query compilation: cold (parse + schema embedding, fresh compiler
 // every iteration) vs hot (served from the shared cache). The gap is

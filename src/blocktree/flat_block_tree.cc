@@ -1,48 +1,63 @@
 #include "blocktree/flat_block_tree.h"
 
+#include <utility>
+
 namespace uxm {
 
-FlatBlockTree FlatBlockTree::Build(const BlockTree& tree,
-                                   const Schema& target) {
-  FlatBlockTree flat;
+FlatBlockTree FlatBlockTree::Build(const BlockTree& tree, const Schema& target,
+                                   FlatIndexStorage* s) {
   const size_t num_targets = static_cast<size_t>(target.size());
-  flat.node_block_begin.reserve(num_targets + 1);
-  flat.self_anchored.reserve(num_targets);
-  flat.corr_begin.push_back(0);
-  flat.map_begin.push_back(0);
+  s->node_block_begin.clear();
+  s->node_block_begin.reserve(num_targets + 1);
+  s->self_anchored.clear();
+  s->self_anchored.reserve(num_targets);
+  s->corr_begin.assign(1, 0);
+  s->map_begin.assign(1, 0);
+  s->corr_target.clear();
+  s->corr_source.clear();
+  s->block_mappings.clear();
   for (SchemaNodeId t = 0; t < target.size(); ++t) {
-    flat.node_block_begin.push_back(
-        static_cast<uint32_t>(flat.corr_begin.size() - 1));
-    flat.self_anchored.push_back(
+    s->node_block_begin.push_back(
+        static_cast<uint32_t>(s->corr_begin.size() - 1));
+    s->self_anchored.push_back(
         tree.FindNodeByPath(target.path(t)) == t ? 1 : 0);
     // HasBlocksAt also bounds-checks, so a default-constructed (empty)
     // BlockTree flattens to an index with zero blocks.
     if (!tree.HasBlocksAt(t)) continue;
     for (const CBlock& block : tree.BlocksAt(t)) {
       for (const BlockCorr& corr : block.corrs) {
-        flat.corr_target.push_back(corr.target);
-        flat.corr_source.push_back(corr.source);
+        s->corr_target.push_back(corr.target);
+        s->corr_source.push_back(corr.source);
       }
-      flat.block_mappings.insert(flat.block_mappings.end(),
-                                 block.mappings.begin(),
-                                 block.mappings.end());
-      flat.corr_begin.push_back(static_cast<uint32_t>(flat.corr_target.size()));
-      flat.map_begin.push_back(
-          static_cast<uint32_t>(flat.block_mappings.size()));
+      s->block_mappings.insert(s->block_mappings.end(),
+                               block.mappings.begin(), block.mappings.end());
+      s->corr_begin.push_back(static_cast<uint32_t>(s->corr_target.size()));
+      s->map_begin.push_back(static_cast<uint32_t>(s->block_mappings.size()));
     }
   }
-  flat.node_block_begin.push_back(
-      static_cast<uint32_t>(flat.corr_begin.size() - 1));
+  s->node_block_begin.push_back(
+      static_cast<uint32_t>(s->corr_begin.size() - 1));
+  FlatBlockTree flat;
+  flat.node_block_begin = s->node_block_begin;
+  flat.self_anchored = s->self_anchored;
+  flat.corr_begin = s->corr_begin;
+  flat.map_begin = s->map_begin;
+  flat.corr_target = s->corr_target;
+  flat.corr_source = s->corr_source;
+  flat.block_mappings = s->block_mappings;
   return flat;
 }
 
 FlatPairIndex BuildFlatPairIndex(const PossibleMappingSet& mappings,
-                                 const BlockTree& tree) {
+                                 const BlockTree* tree) {
+  auto storage = std::make_shared<FlatIndexStorage>();
   FlatPairIndex index;
-  index.mappings = FlatMappingTable::Build(mappings);
-  if (!mappings.empty()) {
-    index.tree = FlatBlockTree::Build(tree, mappings.target());
+  index.mappings = FlatMappingTable::Build(mappings, &storage->map_source_for,
+                                           &storage->map_probability);
+  if (tree != nullptr && !mappings.empty()) {
+    index.tree = FlatBlockTree::Build(*tree, mappings.target(), storage.get());
   }
+  index.storage = std::move(storage);
   return index;
 }
 

@@ -14,19 +14,39 @@
 //
 // and precomputes the H fast-path predicate per target node
 // (self_anchored[t] == "FindNodeByPath(path(t)) resolves to t"), so the
-// hot walk never touches a string or a hash table. The layout is
-// position-independent — ranges, not pointers — which is what the mmap
-// snapshot format of ROADMAP item 1 will serialize verbatim.
+// hot walk never touches a string or a hash table. The columns are
+// position-independent ConstSpans — ranges, not pointers — over memory
+// the FlatPairIndex owns: heap vectors for an in-process build, sections
+// of a read-only mmap for a loaded snapshot (src/snapshot/), which is
+// what makes snapshot load zero-copy and zero-re-prepare.
 #ifndef UXM_BLOCKTREE_FLAT_BLOCK_TREE_H_
 #define UXM_BLOCKTREE_FLAT_BLOCK_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "blocktree/block_tree.h"
+#include "common/span.h"
 #include "mapping/flat_mapping_table.h"
 
 namespace uxm {
+
+/// \brief Owned columns backing one in-process flat index build: the
+/// mapping-table columns plus the seven block-tree arrays. FlatPairIndex
+/// holds one behind its type-erased storage pointer; a snapshot load
+/// replaces it with the mmap itself.
+struct FlatIndexStorage {
+  std::vector<SchemaNodeId> map_source_for;
+  std::vector<double> map_probability;
+  std::vector<uint32_t> node_block_begin;
+  std::vector<uint8_t> self_anchored;
+  std::vector<uint32_t> corr_begin;
+  std::vector<uint32_t> map_begin;
+  std::vector<SchemaNodeId> corr_target;
+  std::vector<SchemaNodeId> corr_source;
+  std::vector<MappingId> block_mappings;
+};
 
 /// \brief The block tree + hash table H, flattened. Immutable after
 /// Build; shared read-only by every evaluation thread.
@@ -35,41 +55,50 @@ struct FlatBlockTree {
   /// node_block_begin[t+1]) in the per-block arrays, preserving the
   /// BlocksAt(t) order (block assignment is first-wins, so order is part
   /// of the bit-identical contract). Size |T| + 1.
-  std::vector<uint32_t> node_block_begin;
+  ConstSpan<uint32_t> node_block_begin;
   /// Per target node t: 1 iff the paper's H maps path(t) back to t — the
   /// precondition of the Algorithm 4 block fast path (a path shared by
-  /// duplicate labels may resolve to a different node; see
-  /// PtqEvaluator::EvalTreeRec). Size |T|.
-  std::vector<uint8_t> self_anchored;
+  /// duplicate labels may resolve to a different node). Size |T|.
+  ConstSpan<uint8_t> self_anchored;
 
   /// Per block b: b.C as [corr_begin[b], corr_begin[b+1]) into the
   /// parallel corr_target/corr_source columns (sorted by target id within
   /// the block), and b.M as [map_begin[b], map_begin[b+1]) into
   /// block_mappings. Both begin arrays have num_blocks + 1 entries.
-  std::vector<uint32_t> corr_begin;
-  std::vector<uint32_t> map_begin;
-  std::vector<SchemaNodeId> corr_target;
-  std::vector<SchemaNodeId> corr_source;
-  std::vector<MappingId> block_mappings;
+  ConstSpan<uint32_t> corr_begin;
+  ConstSpan<uint32_t> map_begin;
+  ConstSpan<SchemaNodeId> corr_target;
+  ConstSpan<SchemaNodeId> corr_source;
+  ConstSpan<MappingId> block_mappings;
 
   uint32_t num_blocks() const {
     return corr_begin.empty() ? 0
                               : static_cast<uint32_t>(corr_begin.size() - 1);
   }
 
-  static FlatBlockTree Build(const BlockTree& tree, const Schema& target);
+  /// Fills `storage`'s block-tree columns from `tree` and returns a view
+  /// of them (the mapping-table columns are untouched).
+  static FlatBlockTree Build(const BlockTree& tree, const Schema& target,
+                             FlatIndexStorage* storage);
 };
 
 /// \brief The flat evaluation index of one prepared schema pair: the
-/// mapping matrix plus the flattened block tree. Built once inside
-/// BuildPreparedSchemaPair, immutable thereafter.
+/// mapping matrix plus the flattened block tree, with shared ownership of
+/// whatever memory backs the spans. Built once inside
+/// BuildPreparedSchemaPair (or constructed by the snapshot loader as a
+/// view into its mmap), immutable thereafter.
 struct FlatPairIndex {
   FlatMappingTable mappings;
   FlatBlockTree tree;
+  /// Keeps the spans' backing memory alive: a FlatIndexStorage for
+  /// in-process builds, the MappedFile for snapshot loads.
+  std::shared_ptr<const void> storage;
 };
 
+/// Builds the flat index over owned heap storage. `tree` may be null for
+/// an Algorithm-3-only index (the block-tree spans stay empty).
 FlatPairIndex BuildFlatPairIndex(const PossibleMappingSet& mappings,
-                                 const BlockTree& tree);
+                                 const BlockTree* tree);
 
 }  // namespace uxm
 

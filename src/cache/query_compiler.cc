@@ -3,22 +3,48 @@
 #include <mutex>
 #include <utility>
 
+#include "blocktree/flat_block_tree.h"
 #include "query/ptq.h"
 
 namespace uxm {
+
+QueryCompiler::QueryCompiler(const FlatMappingTable* table,
+                             const Schema* target, size_t max_embeddings,
+                             size_t max_entries,
+                             std::shared_ptr<const MappingOrder> order,
+                             std::shared_ptr<EmbeddingCache> embeddings)
+    : table_(table),
+      target_(target),
+      max_embeddings_(max_embeddings),
+      max_entries_(max_entries),
+      order_(std::move(order)),
+      embeddings_(std::move(embeddings)) {
+  if (order_ == nullptr && table_ != nullptr) {
+    order_ = std::make_shared<const MappingOrder>(MappingOrder::Build(*table_));
+  }
+}
 
 QueryCompiler::QueryCompiler(const PossibleMappingSet* mappings,
                              size_t max_embeddings, size_t max_entries,
                              std::shared_ptr<const MappingOrder> order,
                              std::shared_ptr<EmbeddingCache> embeddings)
-    : mappings_(mappings),
-      max_embeddings_(max_embeddings),
+    : max_embeddings_(max_embeddings),
       max_entries_(max_entries),
       order_(std::move(order)),
       embeddings_(std::move(embeddings)) {
-  if (order_ == nullptr && mappings_ != nullptr) {
-    order_ = std::make_shared<const MappingOrder>(
-        MappingOrder::Build(*mappings_));
+  if (mappings == nullptr) {
+    table_ = nullptr;
+    target_ = nullptr;
+    return;
+  }
+  auto storage = std::make_shared<FlatIndexStorage>();
+  owned_table_ = FlatMappingTable::Build(*mappings, &storage->map_source_for,
+                                         &storage->map_probability);
+  owned_storage_ = std::move(storage);
+  table_ = &owned_table_;
+  target_ = &mappings->target();
+  if (order_ == nullptr) {
+    order_ = std::make_shared<const MappingOrder>(MappingOrder::Build(*table_));
   }
 }
 
@@ -55,8 +81,8 @@ Result<std::shared_ptr<const QueryPlan>> QueryCompiler::Compile(
 
 QueryCompiler::CacheValue QueryCompiler::CompileUncached(
     const std::string& twig) const {
-  if (mappings_ == nullptr) {
-    return CacheValue{Status::InvalidArgument("null mapping set"), nullptr};
+  if (table_ == nullptr || target_ == nullptr) {
+    return CacheValue{Status::InvalidArgument("null mapping table"), nullptr};
   }
   Result<TwigQuery> parsed = TwigQuery::Parse(twig);
   if (!parsed.ok()) return CacheValue{parsed.status(), nullptr};
@@ -66,17 +92,18 @@ QueryCompiler::CacheValue QueryCompiler::CompileUncached(
   // one, compute (and own) them here.
   std::shared_ptr<const QueryEmbeddings> embeddings;
   if (embeddings_ != nullptr) {
-    embeddings = embeddings_->GetOrCompute(twig, &mappings_->target(),
-                                           max_embeddings_, query);
+    embeddings =
+        embeddings_->GetOrCompute(twig, target_, max_embeddings_, query);
   } else {
     auto computed = std::make_shared<QueryEmbeddings>();
     // EmbedQueryInSchema logs the (rate-limited) truncation warning.
-    computed->assignments = EmbedQueryInSchema(
-        query, mappings_->target(), max_embeddings_, &computed->truncated);
+    computed->assignments = EmbedQueryInSchema(query, *target_, max_embeddings_,
+                                               &computed->truncated);
     embeddings = std::move(computed);
   }
-  auto plan = std::make_shared<const QueryPlan>(
-      mappings_, order_, std::move(query), std::move(embeddings));
+  auto plan = std::make_shared<const QueryPlan>(table_, order_,
+                                                std::move(query),
+                                                std::move(embeddings));
   return CacheValue{Status::OK(), std::move(plan)};
 }
 

@@ -20,8 +20,10 @@
 
 #include "cache/embedding_cache.h"
 #include "common/status.h"
+#include "mapping/flat_mapping_table.h"
 #include "mapping/possible_mapping.h"
 #include "plan/query_plan.h"
+#include "xml/schema.h"
 
 namespace uxm {
 
@@ -49,13 +51,28 @@ struct QueryCompilerStats {
 /// (re-)preparation.
 class QueryCompiler {
  public:
-  /// `max_embeddings` caps EmbedQueryInSchema per query (0 = unlimited),
-  /// normally SystemOptions::ptq.max_embeddings. `max_entries` bounds the
-  /// number of cached twigs (0 = unbounded). `order` is the pair's shared
+  /// The production constructor: plans compile over the pair's flat
+  /// mapping `table` (relevance rows + probability column) and embed
+  /// twigs into `target` — the only two inputs planning needs, both
+  /// available whether the pair was built in-process or loaded from a
+  /// snapshot. Both pointers must outlive the compiler. `max_embeddings`
+  /// caps EmbedQueryInSchema per query (0 = unlimited), normally
+  /// SystemOptions::ptq.max_embeddings. `max_entries` bounds the number
+  /// of cached twigs (0 = unbounded). `order` is the pair's shared
   /// descending-probability work-unit order; when null the compiler
-  /// builds (and owns) its own over `mappings`. `embeddings` is the
+  /// builds (and owns) its own over `table`. `embeddings` is the
   /// registry-wide cross-pair embedding cache; when null the compiler
   /// embeds twigs itself (nothing is shared across pairs).
+  QueryCompiler(const FlatMappingTable* table, const Schema* target,
+                size_t max_embeddings = 256, size_t max_entries = 4096,
+                std::shared_ptr<const MappingOrder> order = nullptr,
+                std::shared_ptr<EmbeddingCache> embeddings = nullptr);
+
+  /// Convenience for tests and benches that hold a PossibleMappingSet:
+  /// flattens it into an owned table and delegates to the production
+  /// constructor. The set must outlive the compiler only through this
+  /// call (its contents are copied into the owned table), but its target
+  /// schema must outlive the compiler.
   explicit QueryCompiler(const PossibleMappingSet* mappings,
                          size_t max_embeddings = 256,
                          size_t max_entries = 4096,
@@ -90,7 +107,13 @@ class QueryCompiler {
 
   CacheValue CompileUncached(const std::string& twig) const;
 
-  const PossibleMappingSet* mappings_;
+  /// Set only by the PossibleMappingSet convenience constructor: the
+  /// flattened copy (plus its backing storage) the table_ pointer views.
+  std::shared_ptr<const void> owned_storage_;
+  FlatMappingTable owned_table_;
+
+  const FlatMappingTable* table_;
+  const Schema* target_;
   const size_t max_embeddings_;
   const size_t max_entries_;
   std::shared_ptr<const MappingOrder> order_;

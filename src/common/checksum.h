@@ -1,0 +1,22 @@
+// FNV-1a 64-bit checksums for snapshot sections (src/snapshot/). FNV-1a
+// is not cryptographic; it is an integrity check against torn writes,
+// truncation, and bit rot — cheap enough to verify every section on every
+// load, stable across platforms (byte-oriented, no alignment or
+// endianness dependence).
+#ifndef UXM_COMMON_CHECKSUM_H_
+#define UXM_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uxm {
+
+inline constexpr uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+
+/// FNV-1a over `len` bytes, continuing from `seed` (chain calls to
+/// checksum discontiguous regions as one stream).
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = kFnv1a64Seed);
+
+}  // namespace uxm
+
+#endif  // UXM_COMMON_CHECKSUM_H_

@@ -1,0 +1,41 @@
+// Read-only memory-mapped file (RAII over open/fstat/mmap). The snapshot
+// loader keeps one alive behind FlatPairIndex::storage so the flat
+// evaluation arrays of every loaded pair point straight into the page
+// cache — the map outlives every span cut from it, and no section is
+// ever copied.
+#ifndef UXM_COMMON_MAPPED_FILE_H_
+#define UXM_COMMON_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace uxm {
+
+/// \brief An immutable byte view of a whole file, unmapped on destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. IOError on open/stat/mmap failure; an empty
+  /// file maps successfully with size() == 0.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_COMMON_MAPPED_FILE_H_

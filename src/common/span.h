@@ -1,0 +1,43 @@
+// A minimal read-only span: pointer + length over memory somebody else
+// owns. The flat evaluation structures (FlatMappingTable, FlatBlockTree)
+// hold their columns as ConstSpans so the SAME struct serves two owners:
+// an in-process build views vectors in a FlatIndexStorage, and a loaded
+// snapshot views 64-byte-aligned sections of a read-only mmap — the whole
+// point of the snapshot format (src/snapshot/) being zero-copy. C++17 has
+// no std::span; this subset (index, data, size, iteration) is all the
+// kernel needs.
+#ifndef UXM_COMMON_SPAN_H_
+#define UXM_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace uxm {
+
+/// \brief Non-owning read-only view of `size` contiguous Ts. Whoever
+/// creates the span must keep the backing memory alive and unchanged for
+/// the span's lifetime (FlatPairIndex carries the owner as a shared_ptr).
+template <typename T>
+class ConstSpan {
+ public:
+  ConstSpan() = default;
+  ConstSpan(const T* data, size_t size) : data_(data), size_(size) {}
+  /// Views a vector's contents (implicit, mirroring std::span).
+  ConstSpan(const std::vector<T>& v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), size_(v.size()) {}
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace uxm
+
+#endif  // UXM_COMMON_SPAN_H_

@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

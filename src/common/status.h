@@ -23,6 +23,8 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kCancelled,
+  kIOError,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -63,6 +65,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,8 +81,13 @@ class Status {
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

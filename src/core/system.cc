@@ -1,10 +1,14 @@
 #include "core/system.h"
 
+#include <chrono>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "exec/thread_pool.h"
 #include "plan/driver.h"
+#include "snapshot/snapshot_loader.h"
+#include "snapshot/snapshot_writer.h"
 
 namespace uxm {
 
@@ -253,7 +257,6 @@ UncertainMatchingSystem::Session UncertainMatchingSystem::Snapshot(
   BatchExecutorOptions exec_opts;
   exec_opts.num_threads = want_threads;
   exec_opts.use_block_tree = run->use_block_tree;
-  exec_opts.use_flat_kernel = options_.use_flat_kernel;
   exec_opts.ptq = options_.ptq;
   auto fresh = std::make_shared<BatchQueryExecutor>(exec_opts);
   std::shared_ptr<BatchQueryExecutor> stale;  // destroyed outside the lock
@@ -290,7 +293,6 @@ Result<PtqResult> UncertainMatchingSystem::CachedQuery(
   request.options = options_.ptq;
   if (top_k > 0) request.options.top_k = top_k;
   request.use_block_tree = use_block_tree;
-  request.use_flat_kernel = options_.use_flat_kernel;
   request.cache =
       options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
   request.epoch = session.epoch;
@@ -381,6 +383,139 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
     response.answers[slot] = status;
   }
   return response;
+}
+
+Status UncertainMatchingSystem::SaveSnapshot(const std::string& path,
+                                             SnapshotStats* stats) const {
+  const auto start = std::chrono::steady_clock::now();
+  SnapshotWriteInput input;
+  {
+    // Capture pairs, corpus, and the default-pair choice under one lock
+    // acquisition so the snapshot is a consistent instant of the system.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    input.pairs = registry_.All();
+    for (size_t i = 0; i < input.pairs.size(); ++i) {
+      if (input.pairs[i] == default_pair_) {
+        input.default_pair = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    const std::shared_ptr<const CorpusSnapshot> corpus = store_.Snapshot();
+    for (const CorpusDocument& entry : *corpus) {
+      SnapshotDocInput doc;
+      doc.name = entry.name;
+      doc.doc = entry.doc;
+      doc.annotated = entry.annotated.get();
+      size_t pair_index = input.pairs.size();
+      for (size_t i = 0; i < input.pairs.size(); ++i) {
+        if (input.pairs[i] == entry.pair) {
+          pair_index = i;
+          break;
+        }
+      }
+      if (pair_index == input.pairs.size()) {
+        return Status::Internal("corpus document '" + entry.name +
+                                "' is bound to an unregistered pair");
+      }
+      doc.pair_index = static_cast<uint32_t>(pair_index);
+      input.documents.push_back(std::move(doc));
+    }
+  }
+  SnapshotWriteResult written;
+  UXM_ASSIGN_OR_RETURN(written, WriteSnapshot(path, input));
+  if (stats != nullptr) {
+    stats->file_bytes = written.file_bytes;
+    stats->sections = written.sections;
+    stats->pairs = input.pairs.size();
+    stats->documents = input.documents.size();
+    stats->seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+  return Status::OK();
+}
+
+Status UncertainMatchingSystem::LoadSnapshot(const std::string& path,
+                                             SnapshotStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  LoadedSnapshot loaded;
+  UXM_ASSIGN_OR_RETURN(loaded, ::uxm::LoadSnapshot(path));
+
+  // Assemble everything expensive outside the lock. Each pair gets a
+  // fresh pair_id here, and adopts the serialized work-unit order; its
+  // flat arrays stay views into the snapshot mmap, which the pair keeps
+  // alive through FlatPairIndex::storage.
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs;
+  pairs.reserve(loaded.pairs.size());
+  for (LoadedPair& lp : loaded.pairs) {
+    pairs.push_back(MakePreparedSchemaPairFromFlatIndex(
+        std::move(lp.matching), std::move(lp.flat), std::move(lp.source),
+        std::move(lp.target), options_.ptq.max_embeddings,
+        registry_.embedding_cache(), std::move(lp.order)));
+  }
+
+  // The store holds a raw Document* next to the annotation; a loaded
+  // document is owned by the loader, so park both owners behind the
+  // annotation shared_ptr the entry keeps (aliasing constructor).
+  struct DocKeepAlive {
+    std::shared_ptr<const Document> doc;
+    std::shared_ptr<const AnnotatedDocument> annotated;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    // All-or-nothing: reject name collisions (against the live corpus
+    // and within the snapshot) before mutating any state.
+    std::unordered_set<std::string> taken;
+    for (const std::string& name : store_.Names()) taken.insert(name);
+    for (const LoadedDoc& ld : loaded.documents) {
+      if (!taken.insert(ld.name).second) {
+        return Status::AlreadyExists("corpus document '" + ld.name +
+                                     "' is already registered");
+      }
+    }
+
+    ++epoch_;  // loaded state is a new serving instant; in-flight
+               // inserts keyed on the old epoch become unreachable
+    doc_epoch_ = epoch_;
+    for (const auto& pair : pairs) {
+      // Loaded schemas are fresh heap objects, so these keys can never
+      // collide with an existing registration — Install always adds.
+      registry_.Install(pair);
+    }
+    if (loaded.default_pair >= 0) {
+      default_pair_ = pairs[static_cast<size_t>(loaded.default_pair)];
+      // The attached document (if any) was bound against the previous
+      // default pair's source schema, never the freshly materialized one.
+      annotated_ = nullptr;
+      prepared_.store(true, std::memory_order_release);
+    }
+    for (LoadedDoc& ld : loaded.documents) {
+      auto keep = std::make_shared<DocKeepAlive>();
+      keep->doc = ld.doc;
+      keep->annotated = std::move(ld.annotated);
+      CorpusDocument entry;
+      entry.name = std::move(ld.name);
+      entry.doc = keep->doc.get();
+      entry.annotated = std::shared_ptr<const AnnotatedDocument>(
+          keep, keep->annotated.get());
+      entry.epoch = epoch_ + 1;
+      entry.pair = pairs[ld.pair_index];
+      UXM_RETURN_NOT_OK(store_.Add(std::move(entry)));
+      ++epoch_;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->file_bytes = loaded.file_bytes;
+    stats->sections = loaded.section_count;
+    stats->pairs = pairs.size();
+    stats->documents = loaded.documents.size();
+    stats->seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+  return Status::OK();
 }
 
 void UncertainMatchingSystem::InvalidateResultCache() {

@@ -94,12 +94,15 @@ struct SystemOptions {
   BlockTreeOptions block_tree;
   PtqOptions ptq;
   CacheOptions cache;
-  /// Evaluate through the flat SoA kernel with arena scratch
-  /// (query/flat_kernel.h) instead of the legacy pointer structures.
-  /// Differential-tested bit-identical; this escape hatch exists for ONE
-  /// PR only — the pointer path is deleted in the next PR (see README's
-  /// flat-kernel section).
-  bool use_flat_kernel = true;
+};
+
+/// \brief What one SaveSnapshot/LoadSnapshot call processed.
+struct SnapshotStats {
+  uint64_t file_bytes = 0;
+  size_t sections = 0;
+  size_t pairs = 0;
+  size_t documents = 0;
+  double seconds = 0.0;  ///< Wall time of the save/load.
 };
 
 /// \brief One query of a batch: a twig, optionally against its own
@@ -236,6 +239,27 @@ class UncertainMatchingSystem {
   /// Number of registered corpus documents / their names (sorted).
   size_t corpus_size() const;
   std::vector<std::string> CorpusDocumentNames() const;
+
+  /// Serializes every registered pair and corpus document (plus which
+  /// pair is the default) into one mmap-able snapshot file at `path`
+  /// (src/snapshot/), written atomically via a temp file + rename. A
+  /// later LoadSnapshot — typically in a fresh process — restores the
+  /// same serving state without re-running matching, top-h generation,
+  /// block-tree construction, or document annotation.
+  Status SaveSnapshot(const std::string& path,
+                      SnapshotStats* stats = nullptr) const;
+
+  /// Restores the pairs and corpus documents of a snapshot INTO this
+  /// system: the file is mapped read-only and every loaded pair's flat
+  /// evaluation arrays point straight into the mapping (kept alive by
+  /// the pairs themselves). Loaded state is additive — existing pairs
+  /// and documents stay registered — and gets fresh epochs and pair ids,
+  /// so answers cached by the process that wrote the snapshot can never
+  /// be served. When the snapshot recorded a default pair it becomes
+  /// this system's default. AlreadyExists (before any state changes) if
+  /// a loaded document name is already registered; DataLoss naming the
+  /// damaged section on a corrupt file.
+  Status LoadSnapshot(const std::string& path, SnapshotStats* stats = nullptr);
 
   /// Drops every cached PTQ answer. Needed only when an external
   /// per-request document's storage is mutated or freed (answers are

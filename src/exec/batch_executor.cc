@@ -127,7 +127,6 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
         request.options = options_.ptq;
         if (item.top_k > 0) request.options.top_k = item.top_k;
         request.use_block_tree = options_.use_block_tree;
-        request.use_flat_kernel = options_.use_flat_kernel;
         request.scratch = arena.get();
         request.cache = result_cache;
         request.epoch = item.epoch != 0 ? item.epoch : epoch;

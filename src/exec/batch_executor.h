@@ -86,10 +86,6 @@ struct BatchExecutorOptions {
   int num_threads = 0;
   /// Evaluate with Algorithm 4 (block tree) or Algorithm 3 (basic).
   bool use_block_tree = true;
-  /// Evaluate through the flat SoA kernel (see plan/driver.h). Workers
-  /// lease a per-slot arena from the executor's pool, so a steady-state
-  /// batch performs zero evaluation-scratch allocations.
-  bool use_flat_kernel = true;
   /// Base evaluation options applied to every item.
   PtqOptions ptq;
 };

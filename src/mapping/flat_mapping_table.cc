@@ -2,27 +2,49 @@
 
 namespace uxm {
 
-FlatMappingTable FlatMappingTable::Build(const PossibleMappingSet& set) {
+FlatMappingTable FlatMappingTable::Build(const PossibleMappingSet& set,
+                                         std::vector<SchemaNodeId>* source_for,
+                                         std::vector<double>* probability) {
   FlatMappingTable table;
   table.num_mappings = static_cast<uint32_t>(set.size());
   table.num_targets =
       set.empty() ? 0 : static_cast<uint32_t>(set.target().size());
-  table.source_for.assign(
+  source_for->assign(
       static_cast<size_t>(table.num_mappings) * table.num_targets,
       kInvalidSchemaNode);
-  table.probability.reserve(table.num_mappings);
+  probability->clear();
+  probability->reserve(table.num_mappings);
   for (MappingId mid = 0; mid < set.size(); ++mid) {
     const PossibleMapping& m = set.mapping(mid);
     SchemaNodeId* row =
-        table.source_for.data() +
+        source_for->data() +
         static_cast<size_t>(mid) * static_cast<size_t>(table.num_targets);
     const size_t n = m.target_to_source.size() <= table.num_targets
                          ? m.target_to_source.size()
                          : table.num_targets;
     for (size_t t = 0; t < n; ++t) row[t] = m.target_to_source[t];
-    table.probability.push_back(m.probability);
+    probability->push_back(m.probability);
   }
+  table.source_for = *source_for;
+  table.probability = *probability;
   return table;
+}
+
+bool IsRowRelevant(const FlatMappingTable& table, MappingId mid,
+                   const std::vector<std::vector<SchemaNodeId>>& embeddings) {
+  const SchemaNodeId* row = table.Row(mid);
+  for (const auto& emb : embeddings) {
+    bool all = true;
+    for (SchemaNodeId t : emb) {
+      if (t != kInvalidSchemaNode &&
+          row[static_cast<size_t>(t)] == kInvalidSchemaNode) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
 }
 
 }  // namespace uxm

@@ -4,16 +4,18 @@
 // the evaluation hot path dereferences mapping objects per (query node,
 // mapping) probe. This table lays every mapping's target→source column
 // out row-major in ONE contiguous array, with the probability column
-// alongside, so the per-mapping rewrite loop is a stride-indexed scan —
-// and the layout is position-independent (plain integers, [row, column]
-// addressing), which is exactly what the mmap snapshot format of ROADMAP
-// item 1 needs.
+// alongside, so the per-mapping rewrite loop is a stride-indexed scan.
+// The columns are ConstSpans over memory owned elsewhere (see
+// FlatPairIndex::storage): an in-process build views heap vectors, a
+// loaded snapshot views sections of a read-only mmap — same struct, no
+// copy on load (ROADMAP item 1).
 #ifndef UXM_MAPPING_FLAT_MAPPING_TABLE_H_
 #define UXM_MAPPING_FLAT_MAPPING_TABLE_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "mapping/possible_mapping.h"
 
 namespace uxm {
@@ -28,17 +30,31 @@ struct FlatMappingTable {
   uint32_t num_mappings = 0;
   uint32_t num_targets = 0;  ///< Row stride == |T|.
   /// num_mappings * num_targets entries, row-major.
-  std::vector<SchemaNodeId> source_for;
+  ConstSpan<SchemaNodeId> source_for;
   /// Per-mapping probability, same values as PossibleMapping::probability.
-  std::vector<double> probability;
+  ConstSpan<double> probability;
 
   const SchemaNodeId* Row(MappingId mid) const {
     return source_for.data() +
            static_cast<size_t>(mid) * static_cast<size_t>(num_targets);
   }
 
-  static FlatMappingTable Build(const PossibleMappingSet& set);
+  /// Fills the two owned columns from `set` and returns a table viewing
+  /// them. The vectors must then outlive (and back) the returned table —
+  /// BuildFlatPairIndex parks them in a FlatIndexStorage it shares.
+  static FlatMappingTable Build(const PossibleMappingSet& set,
+                                std::vector<SchemaNodeId>* source_for,
+                                std::vector<double>* probability);
 };
+
+/// \brief The per-mapping relevance predicate over a flat row: true iff
+/// some embedding is fully mapped under mapping `mid`. Must agree exactly
+/// with IsMappingRelevant (query/ptq.h) — rows materialize
+/// target_to_source with kInvalidSchemaNode padding, so the two
+/// predicates read the same values. The plan layer's lazy memo runs on
+/// this one; their agreement keeps early-termination top-k exact.
+bool IsRowRelevant(const FlatMappingTable& table, MappingId mid,
+                   const std::vector<std::vector<SchemaNodeId>>& embeddings);
 
 }  // namespace uxm
 

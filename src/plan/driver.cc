@@ -70,31 +70,19 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
     if (counters != nullptr) counters->cancelled = true;
     return CancelledStatus();
   }
-  Result<PtqResult> answer = Status::Internal("not evaluated");
-  if (request.use_flat_kernel && pair.flat != nullptr) {
-    MonotonicScratch* arena =
-        request.scratch != nullptr ? request.scratch : ThreadLocalScratch();
-    // One Reset per evaluation: everything the previous request carved
-    // out of this arena is reclaimed (and coalesced) here.
-    arena->Reset();
-    answer = request.use_block_tree
-                 ? EvaluateTreeFlat(plan.query(), plan.embeddings(), selected,
-                                    plan.truncated_embeddings(), *pair.flat,
-                                    *request.doc, request.options, arena)
-                 : EvaluateBasicFlat(plan.query(), plan.embeddings(), selected,
-                                     plan.truncated_embeddings(), *pair.flat,
-                                     *request.doc, request.options, arena);
-  } else {
-    PtqEvaluator eval(&pair.mappings, request.doc);
-    answer = request.use_block_tree
-                 ? eval.EvaluateTreePrepared(
-                       plan.query(), plan.embeddings(), selected,
-                       plan.truncated_embeddings(), pair.tree(),
-                       request.options)
-                 : eval.EvaluateBasicPrepared(
-                       plan.query(), plan.embeddings(), selected,
-                       plan.truncated_embeddings(), request.options);
-  }
+  MonotonicScratch* arena =
+      request.scratch != nullptr ? request.scratch : ThreadLocalScratch();
+  // One Reset per evaluation: everything the previous request carved
+  // out of this arena is reclaimed (and coalesced) here.
+  arena->Reset();
+  Result<PtqResult> answer =
+      request.use_block_tree
+          ? EvaluateTreeFlat(plan.query(), plan.embeddings(), selected,
+                             plan.truncated_embeddings(), *pair.flat,
+                             *request.doc, request.options, arena)
+          : EvaluateBasicFlat(plan.query(), plan.embeddings(), selected,
+                              plan.truncated_embeddings(), *pair.flat,
+                              *request.doc, request.options, arena);
   if (answer.ok() && request.cache != nullptr) {
     request.cache->Insert(key,
                           std::make_shared<const PtqResult>(answer.value()));

@@ -55,11 +55,6 @@ struct DriverRequest {
   double upper_bound = 0.0;
   const std::atomic<double>* cancel_threshold = nullptr;
 
-  /// Evaluate through the flat SoA kernel (query/flat_kernel.h) instead
-  /// of the legacy pointer structures. Differential-tested bit-identical;
-  /// the legacy path exists for one PR only (see README) and is NOT part
-  /// of the result-cache key — both kernels produce the same answers.
-  bool use_flat_kernel = true;
   /// Scratch arena for the flat kernel, Reset at the start of each
   /// evaluation. Null = the calling thread's ThreadLocalScratch().
   /// BatchQueryExecutor leases one per worker slot so batch steady state

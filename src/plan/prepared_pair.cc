@@ -14,18 +14,31 @@ uint64_t NextPairId() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+/// Shared tail of every pair-construction path: stamps the id and derives
+/// order + compiler from the flat index (which must already be set).
+/// Built and loaded pairs converge here, so they plan identically.
+std::shared_ptr<const PreparedSchemaPair> FinishFromFlat(
+    std::shared_ptr<PreparedSchemaPair> pair, size_t max_embeddings,
+    std::shared_ptr<EmbeddingCache> embedding_cache,
+    std::shared_ptr<const MappingOrder> order = nullptr) {
+  pair->pair_id = NextPairId();
+  pair->order = order != nullptr
+                    ? std::move(order)
+                    : std::make_shared<const MappingOrder>(
+                          MappingOrder::Build(pair->flat->mappings));
+  pair->compiler = std::make_shared<QueryCompiler>(
+      &pair->flat->mappings, pair->matching.target_ptr(), max_embeddings,
+      /*max_entries=*/4096, pair->order, std::move(embedding_cache));
+  return pair;
+}
+
 std::shared_ptr<const PreparedSchemaPair> Finish(
     std::shared_ptr<PreparedSchemaPair> pair, size_t max_embeddings,
     std::shared_ptr<EmbeddingCache> embedding_cache) {
-  pair->pair_id = NextPairId();
   pair->flat = std::make_shared<const FlatPairIndex>(
-      BuildFlatPairIndex(pair->mappings, pair->build.tree));
-  pair->order =
-      std::make_shared<const MappingOrder>(MappingOrder::Build(pair->mappings));
-  pair->compiler = std::make_shared<QueryCompiler>(
-      &pair->mappings, max_embeddings, /*max_entries=*/4096, pair->order,
-      std::move(embedding_cache));
-  return pair;
+      BuildFlatPairIndex(pair->mappings, &pair->build.tree));
+  return FinishFromFlat(std::move(pair), max_embeddings,
+                        std::move(embedding_cache));
 }
 
 }  // namespace
@@ -54,6 +67,21 @@ std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromProducts(
   pair->mappings = std::move(mappings);
   pair->build = std::move(build);
   return Finish(std::move(pair), max_embeddings, std::move(embedding_cache));
+}
+
+std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromFlatIndex(
+    SchemaMatching matching, std::shared_ptr<const FlatPairIndex> flat,
+    std::shared_ptr<const Schema> owned_source,
+    std::shared_ptr<const Schema> owned_target, size_t max_embeddings,
+    std::shared_ptr<EmbeddingCache> embedding_cache,
+    std::shared_ptr<const MappingOrder> order) {
+  auto pair = std::make_shared<PreparedSchemaPair>();
+  pair->matching = std::move(matching);
+  pair->flat = std::move(flat);
+  pair->owned_source = std::move(owned_source);
+  pair->owned_target = std::move(owned_target);
+  return FinishFromFlat(std::move(pair), max_embeddings,
+                        std::move(embedding_cache), std::move(order));
 }
 
 std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Install(

@@ -45,18 +45,25 @@ struct PreparedSchemaPair {
   /// sharing a document never collide).
   uint64_t pair_id = 0;
   SchemaMatching matching;
+  /// Build-time intermediates, kept for introspection and for the
+  /// snapshot writer. A pair loaded from a snapshot leaves both EMPTY —
+  /// everything evaluation needs lives in `flat`/`order`/`compiler`.
   PossibleMappingSet mappings;
   BlockTreeBuildResult build;
   /// Shared work-unit order (descending probability + residual bounds).
   std::shared_ptr<const MappingOrder> order;
   /// Plan cache over this pair's mappings; shared by every query path.
   std::shared_ptr<QueryCompiler> compiler;
-  /// Flat SoA evaluation index (mapping matrix + flattened block tree),
-  /// derived from `mappings`/`build` at Finish time. The flat kernel
-  /// (query/flat_kernel.h) evaluates over this; the pointer structures
-  /// above remain only for the legacy kernel behind
-  /// SystemOptions::use_flat_kernel, deleted one PR after the flag ships.
+  /// Flat SoA evaluation index (mapping matrix + flattened block tree) —
+  /// the ONLY structure the evaluation kernel reads. Built from
+  /// `mappings`/`build` at Finish time, or viewed zero-copy out of a
+  /// snapshot mmap (src/snapshot/).
   std::shared_ptr<const FlatPairIndex> flat;
+  /// Set only for snapshot-loaded pairs: the schemas the pair references
+  /// were materialized by the loader, so the pair keeps them alive
+  /// (built pairs reference caller-owned schemas and leave these null).
+  std::shared_ptr<const Schema> owned_source;
+  std::shared_ptr<const Schema> owned_target;
 
   const Schema* source() const { return matching.source_ptr(); }
   const Schema* target() const { return matching.target_ptr(); }
@@ -86,6 +93,22 @@ std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromProducts(
     SchemaMatching matching, PossibleMappingSet mappings,
     BlockTreeBuildResult build, size_t max_embeddings = 256,
     std::shared_ptr<EmbeddingCache> embedding_cache = nullptr);
+
+/// Assembles a pair around an already-flat index — the snapshot loader's
+/// entry point (the index's spans view the loader's mmap; no re-prepare).
+/// The pair gets a FRESH process-unique pair_id, so answers cached under
+/// the incarnation that wrote the snapshot can never satisfy lookups
+/// against the loaded one. `owned_source`/`owned_target` are the
+/// materialized schemas `matching` references; the pair keeps them alive.
+/// `order`, if given, is adopted as the pair's work-unit order (the
+/// loader passes the serialized one); otherwise it is rebuilt from the
+/// flat table — the two are identical by construction.
+std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromFlatIndex(
+    SchemaMatching matching, std::shared_ptr<const FlatPairIndex> flat,
+    std::shared_ptr<const Schema> owned_source,
+    std::shared_ptr<const Schema> owned_target, size_t max_embeddings = 256,
+    std::shared_ptr<EmbeddingCache> embedding_cache = nullptr,
+    std::shared_ptr<const MappingOrder> order = nullptr);
 
 /// \brief Registry of the current pair per (source, target) identity.
 ///

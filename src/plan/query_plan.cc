@@ -28,15 +28,38 @@ MappingOrder MappingOrder::Build(const PossibleMappingSet& mappings) {
   return order;
 }
 
-QueryPlan::QueryPlan(const PossibleMappingSet* mappings,
+MappingOrder MappingOrder::Build(const FlatMappingTable& table) {
+  MappingOrder order;
+  const size_t n = table.num_mappings;
+  order.by_probability.resize(n);
+  for (size_t mid = 0; mid < n; ++mid) {
+    order.by_probability[mid] = static_cast<MappingId>(mid);
+  }
+  // Same stable descending sort as the PossibleMappingSet overload, over
+  // the same probability doubles — identical order, identical residuals.
+  std::stable_sort(order.by_probability.begin(), order.by_probability.end(),
+                   [&](MappingId a, MappingId b) {
+                     return table.probability[static_cast<size_t>(a)] >
+                            table.probability[static_cast<size_t>(b)];
+                   });
+  order.residual_after.assign(n, 0.0);
+  double mass = 0.0;
+  for (size_t i = n; i-- > 0;) {
+    order.residual_after[i] = mass;
+    mass += table.probability[static_cast<size_t>(order.by_probability[i])];
+  }
+  return order;
+}
+
+QueryPlan::QueryPlan(const FlatMappingTable* table,
                      std::shared_ptr<const MappingOrder> order,
                      TwigQuery query,
                      std::shared_ptr<const QueryEmbeddings> embeddings)
-    : mappings_(mappings),
+    : table_(table),
       order_(std::move(order)),
       query_(std::move(query)),
       embeddings_(std::move(embeddings)) {
-  const size_t n = static_cast<size_t>(mappings_->size());
+  const size_t n = table_->num_mappings;
   memo_ = std::make_unique<std::atomic<uint8_t>[]>(n);
   for (size_t i = 0; i < n; ++i) {
     memo_[i].store(0, std::memory_order_relaxed);
@@ -46,8 +69,8 @@ QueryPlan::QueryPlan(const PossibleMappingSet* mappings,
 bool QueryPlan::ComputeRelevance(MappingId mid) const {
   relevance_checks_.fetch_add(1, std::memory_order_relaxed);
   // Shared predicate: exact agreement with FilterRelevantMappings is
-  // what makes the early-terminated selection exact.
-  return IsMappingRelevant(mappings_->mapping(mid), embeddings_->assignments);
+  // what makes the early-terminated selection exact (see IsRowRelevant).
+  return IsRowRelevant(*table_, mid, embeddings_->assignments);
 }
 
 bool QueryPlan::IsRelevant(MappingId mid) const {
@@ -61,7 +84,7 @@ bool QueryPlan::IsRelevant(MappingId mid) const {
 
 const std::vector<MappingId>& QueryPlan::AllRelevant() const {
   std::call_once(all_relevant_once_, [this]() {
-    const int n = mappings_->size();
+    const int n = static_cast<int>(table_->num_mappings);
     for (MappingId mid = 0; mid < n; ++mid) {
       if (IsRelevant(mid)) all_relevant_.push_back(mid);
     }
@@ -72,7 +95,7 @@ const std::vector<MappingId>& QueryPlan::AllRelevant() const {
 std::vector<MappingId> QueryPlan::SelectForTopK(int top_k,
                                                 PlanSelectStats* stats) const {
   if (stats != nullptr) *stats = PlanSelectStats{};
-  const int n = mappings_->size();
+  const int n = static_cast<int>(table_->num_mappings);
   if (top_k <= 0) {
     const std::vector<MappingId>& all = AllRelevant();
     if (stats != nullptr) {
@@ -122,7 +145,7 @@ double QueryPlan::AnswerUpperBound(int top_k) const {
   if (top_k <= 0) {
     double mass = 0.0;
     for (const MappingId mid : AllRelevant()) {
-      mass += mappings_->mapping(mid).probability;
+      mass += table_->probability[static_cast<size_t>(mid)];
     }
     return mass;
   }
@@ -131,7 +154,7 @@ double QueryPlan::AnswerUpperBound(int top_k) const {
   for (size_t i = 0; i < order_->by_probability.size(); ++i) {
     const MappingId mid = order_->by_probability[i];
     if (!IsRelevant(mid)) continue;
-    mass += mappings_->mapping(mid).probability;
+    mass += table_->probability[static_cast<size_t>(mid)];
     if (++found == top_k) break;
   }
   return mass;

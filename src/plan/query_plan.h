@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "mapping/flat_mapping_table.h"
 #include "mapping/possible_mapping.h"
 #include "query/twig_query.h"
 
@@ -62,6 +63,11 @@ struct MappingOrder {
   std::vector<double> residual_after;
 
   static MappingOrder Build(const PossibleMappingSet& mappings);
+  /// Same order over the flat probability column (identical output: the
+  /// column holds the same doubles, and both overloads use the one stable
+  /// sort). This is the overload the plan layer uses, so loaded snapshot
+  /// pairs — which have no PossibleMappingSet — plan like built ones.
+  static MappingOrder Build(const FlatMappingTable& table);
 };
 
 /// \brief What one top-k selection did (early-termination accounting).
@@ -78,11 +84,13 @@ struct PlanSelectStats {
 /// shared by every worker thread via shared_ptr<const QueryPlan>.
 class QueryPlan {
  public:
-  /// `mappings` and `order` must describe the same pair and outlive the
-  /// plan (the QueryCompiler that builds plans owns/shares both).
-  /// `embeddings` is shared, not copied — pairs over one target schema
-  /// hand the same QueryEmbeddings to all their plans.
-  QueryPlan(const PossibleMappingSet* mappings,
+  /// `table` (the pair's flat mapping matrix — all the plan layer needs:
+  /// relevance rows + the probability column) and `order` must describe
+  /// the same pair and outlive the plan (the QueryCompiler that builds
+  /// plans owns/shares both). `embeddings` is shared, not copied — pairs
+  /// over one target schema hand the same QueryEmbeddings to all their
+  /// plans.
+  QueryPlan(const FlatMappingTable* table,
             std::shared_ptr<const MappingOrder> order, TwigQuery query,
             std::shared_ptr<const QueryEmbeddings> embeddings);
 
@@ -141,7 +149,7 @@ class QueryPlan {
  private:
   bool ComputeRelevance(MappingId mid) const;
 
-  const PossibleMappingSet* mappings_;
+  const FlatMappingTable* table_;
   std::shared_ptr<const MappingOrder> order_;
   TwigQuery query_;
   std::shared_ptr<const QueryEmbeddings> embeddings_;

@@ -54,6 +54,44 @@ Result<AnnotatedDocument> AnnotatedDocument::Bind(const Document* doc,
   return ad;
 }
 
+Result<AnnotatedDocument> AnnotatedDocument::FromParts(
+    const Document* doc, const Schema* schema,
+    std::vector<SchemaNodeId> node_element) {
+  if (doc == nullptr || schema == nullptr) {
+    return Status::InvalidArgument("doc and schema must be non-null");
+  }
+  if (node_element.size() != static_cast<size_t>(doc->size())) {
+    return Status::InvalidArgument(
+        "node_element has " + std::to_string(node_element.size()) +
+        " entries for a document of " + std::to_string(doc->size()) +
+        " nodes");
+  }
+  for (SchemaNodeId e : node_element) {
+    if (e != kInvalidSchemaNode && (e < 0 || e >= schema->size())) {
+      return Status::InvalidArgument("node_element references element " +
+                                     std::to_string(e) +
+                                     " outside the schema");
+    }
+  }
+  AnnotatedDocument ad;
+  ad.doc_ = doc;
+  ad.schema_ = schema;
+  ad.node_element_ = std::move(node_element);
+  ad.instances_.resize(static_cast<size_t>(schema->size()));
+  for (DocNodeId n = 0; n < doc->size(); ++n) {
+    const SchemaNodeId e = ad.node_element_[static_cast<size_t>(n)];
+    if (e != kInvalidSchemaNode) {
+      ad.instances_[static_cast<size_t>(e)].push_back(n);
+    }
+  }
+  for (auto& list : ad.instances_) {
+    std::sort(list.begin(), list.end(), [&](DocNodeId a, DocNodeId b) {
+      return doc->node(a).start < doc->node(b).start;
+    });
+  }
+  return ad;
+}
+
 int AnnotatedDocument::UnboundCount() const {
   int n = 0;
   for (SchemaNodeId e : node_element_) {

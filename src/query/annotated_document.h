@@ -24,6 +24,15 @@ class AnnotatedDocument {
   static Result<AnnotatedDocument> Bind(const Document* doc,
                                         const Schema* schema);
 
+  /// Reassembles an annotation from a stored per-node element table (the
+  /// snapshot loader). `node_element` must have one entry per document
+  /// node, each kInvalidSchemaNode or a valid element of `schema`; the
+  /// instance lists are rebuilt exactly as Bind builds them, so a loaded
+  /// annotation is indistinguishable from a fresh one.
+  static Result<AnnotatedDocument> FromParts(
+      const Document* doc, const Schema* schema,
+      std::vector<SchemaNodeId> node_element);
+
   const Document& doc() const { return *doc_; }
   const Schema& schema() const { return *schema_; }
 

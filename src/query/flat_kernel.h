@@ -9,11 +9,9 @@
 // has grown to the workload's high-water mark, the steady-state inner
 // loop performs zero allocations.
 //
-// Contract: BIT-IDENTICAL answers to the legacy pointer kernel — same
-// answer sets, same match lists, byte-equal probability doubles, same
-// truncated flag — for any (query, embeddings, relevant) input. The
-// differential suite (FlatVsLegacyKernelTest) pins this; the legacy path
-// is deleted one PR after this flag ships (see README).
+// This is THE evaluation kernel: the execution driver and PtqEvaluator
+// both run through it (the legacy pointer kernel it replaced was
+// differential-tested bit-identical before deletion).
 //
 // Arena lifetime: the caller Resets the arena before each evaluation
 // (plan/driver.cc does); everything allocated during the call dies at
@@ -38,8 +36,8 @@ namespace uxm {
 /// threads; reset by the driver at the start of each evaluation.
 MonotonicScratch* ThreadLocalScratch();
 
-/// Algorithm 3 (query_basic) over the flat index. Mirrors
-/// PtqEvaluator::EvaluateBasicPrepared operation-for-operation.
+/// Algorithm 3 (query_basic) over the flat index: rewrite + match
+/// independently per (mapping, embedding), answers unioned per mapping.
 Result<PtqResult> EvaluateBasicFlat(
     const TwigQuery& query,
     const std::vector<std::vector<SchemaNodeId>>& embeddings,
@@ -47,12 +45,10 @@ Result<PtqResult> EvaluateBasicFlat(
     const FlatPairIndex& index, const AnnotatedDocument& doc,
     const PtqOptions& options, MonotonicScratch* arena);
 
-/// Algorithm 4 (twig_query_tree) over the flat index. Mirrors
-/// PtqEvaluator::EvaluateTreePrepared operation-for-operation, with the
-/// c-block fast path resolved through the precomputed self_anchored[]
-/// column instead of the string-keyed hash table, and block results
-/// replicated to the block's mappings as arena spans instead of
-/// shared_ptrs.
+/// Algorithm 4 (twig_query_tree) over the flat index, with the c-block
+/// fast path resolved through the precomputed self_anchored[] column
+/// instead of the string-keyed hash table, and block results replicated
+/// to the block's mappings as arena spans.
 Result<PtqResult> EvaluateTreeFlat(
     const TwigQuery& query,
     const std::vector<std::vector<SchemaNodeId>>& embeddings,

@@ -1,10 +1,10 @@
 #include "query/ptq.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "blocktree/flat_block_tree.h"
 #include "common/logging.h"
-#include "query/structural_join.h"
+#include "query/flat_kernel.h"
 
 namespace uxm {
 
@@ -120,19 +120,6 @@ std::vector<std::vector<SchemaNodeId>> EmbedQueryInSchema(
   return out;
 }
 
-bool PtqEvaluator::RewriteBinding(const std::vector<SchemaNodeId>& embedding,
-                                  const PossibleMapping& m,
-                                  std::vector<SchemaNodeId>* binding) const {
-  binding->assign(embedding.size(), kInvalidSchemaNode);
-  for (size_t i = 0; i < embedding.size(); ++i) {
-    if (embedding[i] == kInvalidSchemaNode) continue;
-    const SchemaNodeId src = m.SourceFor(embedding[i]);
-    if (src == kInvalidSchemaNode) return false;
-    (*binding)[i] = src;
-  }
-  return true;
-}
-
 bool IsMappingRelevant(
     const PossibleMapping& m,
     const std::vector<std::vector<SchemaNodeId>>& embeddings) {
@@ -186,19 +173,17 @@ std::vector<MappingId> PtqEvaluator::FilterMappings(
   return FilterRelevantMappings(*mappings_, embeddings, top_k);
 }
 
-namespace {
-
-/// Extracts the distinct output bindings from a projected result.
-std::vector<DocNodeId> OutputsOf(const TwigMatcher::ProjectedMatches& pm) {
-  std::vector<DocNodeId> out;
-  out.reserve(pm.outputs.size());
-  for (const auto& [root, o] : pm.outputs) out.push_back(o);
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+std::shared_ptr<const FlatPairIndex> PtqEvaluator::FlatIndexFor(
+    const BlockTree* tree) const {
+  std::lock_guard<std::mutex> lock(flat_mu_);
+  for (const auto& [key, index] : flat_cache_) {
+    if (key == tree) return index;
+  }
+  auto index = std::make_shared<const FlatPairIndex>(
+      BuildFlatPairIndex(*mappings_, tree));
+  flat_cache_.emplace_back(tree, index);
+  return index;
 }
-
-}  // namespace
 
 Result<PtqResult> PtqEvaluator::EvaluateBasic(const TwigQuery& query,
                                               const PtqOptions& options) const {
@@ -218,203 +203,10 @@ Result<PtqResult> PtqEvaluator::EvaluateBasicPrepared(
     const std::vector<MappingId>& relevant, bool truncated,
     const PtqOptions& options) const {
   if (query.size() == 0) return Status::InvalidArgument("empty query");
-  TwigMatcher matcher(doc_, options.match);
-  PtqResult result;
-  result.truncated_embeddings = truncated;
-  std::vector<SchemaNodeId> binding;
-  for (MappingId mid : relevant) {
-    const PossibleMapping& m = mappings_->mapping(mid);
-    std::vector<DocNodeId> all;
-    for (const auto& emb : embeddings) {
-      if (!RewriteBinding(emb, m, &binding)) continue;
-      const auto pm = matcher.MatchProjected(query, binding, 0);
-      const auto outs = OutputsOf(pm);
-      all.insert(all.end(), outs.begin(), outs.end());
-    }
-    std::sort(all.begin(), all.end());
-    all.erase(std::unique(all.begin(), all.end()), all.end());
-    result.answers.push_back(
-        MappingAnswer{mid, m.probability, std::move(all)});
-  }
-  return result;
-}
-
-void PtqEvaluator::EvalTreeRec(
-    const TwigQuery& query, const std::vector<SchemaNodeId>& embedding,
-    const BlockTree& tree, const TwigMatcher& matcher, int q_node,
-    const std::vector<MappingId>& active,
-    std::vector<std::shared_ptr<TwigMatcher::ProjectedMatches>>* out) const {
-  using Projected = TwigMatcher::ProjectedMatches;
-  const Schema& target = mappings_->target();
-  const Document& doc = doc_->doc();
-  const SchemaNodeId t = embedding[static_cast<size_t>(q_node)];
-  const std::vector<int> sub_nodes = query.SubtreeNodes(q_node);
-
-  // find_node(q.root, H): the paper's hash lookup by target path. Two
-  // target nodes may share a label path (duplicate tags), in which case
-  // H resolves the path to ONE of them — whose c-blocks cover a
-  // different subtree than t's. Only take the block fast path when the
-  // hash resolves to this embedding's own node; otherwise fall through
-  // to direct per-mapping evaluation, which is always correct.
-  const SchemaNodeId hashed = tree.FindNodeByPath(target.path(t));
-  if (hashed == t) {
-    // query_subtree (Algorithm 4): evaluate the subquery once per c-block
-    // and replicate the result to every mapping sharing the block.
-    std::vector<uint8_t> assigned(static_cast<size_t>(mappings_->size()), 0);
-    std::vector<uint8_t> is_active(static_cast<size_t>(mappings_->size()), 0);
-    for (MappingId mid : active) is_active[static_cast<size_t>(mid)] = 1;
-
-    for (const CBlock& b : tree.BlocksAt(hashed)) {
-      std::vector<SchemaNodeId> binding(static_cast<size_t>(query.size()),
-                                        kInvalidSchemaNode);
-      for (int qi : sub_nodes) {
-        const SchemaNodeId ty = embedding[static_cast<size_t>(qi)];
-        auto it = std::lower_bound(
-            b.corrs.begin(), b.corrs.end(), ty,
-            [](const BlockCorr& c, SchemaNodeId y) { return c.target < y; });
-        // A c-block covers the anchor's whole subtree, so the
-        // correspondence exists.
-        binding[static_cast<size_t>(qi)] = it->source;
-      }
-      auto y = std::make_shared<Projected>(
-          matcher.MatchProjected(query, binding, q_node));
-      for (MappingId mid : b.mappings) {
-        if (!is_active[static_cast<size_t>(mid)]) continue;
-        if (assigned[static_cast<size_t>(mid)]) continue;
-        (*out)[static_cast<size_t>(mid)] = y;
-        assigned[static_cast<size_t>(mid)] = 1;
-      }
-    }
-    // Mappings not covered by any block: evaluate directly.
-    std::vector<SchemaNodeId> binding;
-    for (MappingId mid : active) {
-      if (assigned[static_cast<size_t>(mid)]) continue;
-      const PossibleMapping& m = mappings_->mapping(mid);
-      binding.assign(static_cast<size_t>(query.size()), kInvalidSchemaNode);
-      bool ok = true;
-      for (int qi : sub_nodes) {
-        const SchemaNodeId src =
-            m.SourceFor(embedding[static_cast<size_t>(qi)]);
-        if (src == kInvalidSchemaNode) {
-          ok = false;
-          break;
-        }
-        binding[static_cast<size_t>(qi)] = src;
-      }
-      auto y = std::make_shared<Projected>();
-      if (ok) *y = matcher.MatchProjected(query, binding, q_node);
-      (*out)[static_cast<size_t>(mid)] = std::move(y);
-    }
-    return;
-  }
-
-  const TwigNode& qn = query.node(q_node);
-  const bool is_output_here = query.output_node() == q_node;
-  if (qn.children.empty()) {
-    // Single-node subquery: candidates per mapping directly.
-    for (MappingId mid : active) {
-      const PossibleMapping& m = mappings_->mapping(mid);
-      auto y = std::make_shared<Projected>();
-      const SchemaNodeId src = m.SourceFor(t);
-      if (src != kInvalidSchemaNode) {
-        y->roots = matcher.Candidates(query, q_node, src);
-      }
-      // Output tracking: is the output node inside this (leaf) subquery?
-      if (is_output_here) {
-        y->has_output = true;
-        for (DocNodeId d : y->roots) y->outputs.emplace_back(d, d);
-      }
-      (*out)[static_cast<size_t>(mid)] = std::move(y);
-    }
-    return;
-  }
-
-  // split_query: q0 = root alone; recurse on children; recombine with
-  // region checks (the stack_join step of Algorithm 4).
-  std::vector<std::vector<std::shared_ptr<Projected>>> child_out;
-  child_out.reserve(qn.children.size());
-  for (int c : qn.children) {
-    std::vector<std::shared_ptr<Projected>> co(
-        static_cast<size_t>(mappings_->size()));
-    EvalTreeRec(query, embedding, tree, matcher, c, active, &co);
-    child_out.push_back(std::move(co));
-  }
-  // Which child subtree contains the output node (if any)?
-  int output_child_idx = -1;
-  if (!is_output_here) {
-    for (size_t j = 0; j < qn.children.size(); ++j) {
-      for (int qi : query.SubtreeNodes(qn.children[j])) {
-        if (qi == query.output_node()) {
-          output_child_idx = static_cast<int>(j);
-          break;
-        }
-      }
-      if (output_child_idx >= 0) break;
-    }
-  }
-
-  const bool relax = matcher.options().relax_child_axis;
-  for (MappingId mid : active) {
-    auto y = std::make_shared<Projected>();
-    const PossibleMapping& m = mappings_->mapping(mid);
-    const SchemaNodeId src = m.SourceFor(t);
-    if (src != kInvalidSchemaNode) {
-      const std::vector<DocNodeId> cands =
-          matcher.Candidates(query, q_node, src);
-      for (DocNodeId d : cands) {
-        const DocNode& dn = doc.node(d);
-        bool ok = true;
-        for (size_t j = 0; j < qn.children.size() && ok; ++j) {
-          const int c = qn.children[j];
-          const TwigNode& cn = query.node(c);
-          const auto& roots =
-              child_out[j][static_cast<size_t>(mid)]->roots;
-          auto lo = std::lower_bound(roots.begin(), roots.end(), dn.start,
-                                     [&](DocNodeId x, int32_t start) {
-                                       return doc.node(x).start <= start;
-                                     });
-          bool found = false;
-          for (auto it = lo; it != roots.end(); ++it) {
-            if (doc.node(*it).start >= dn.end) break;
-            if (cn.axis == Axis::kChild && !relax &&
-                doc.node(*it).parent != d) {
-              continue;
-            }
-            found = true;
-            break;
-          }
-          ok = found;
-        }
-        if (ok) y->roots.push_back(d);
-      }
-    }
-    if (is_output_here) {
-      y->has_output = true;
-      for (DocNodeId d : y->roots) y->outputs.emplace_back(d, d);
-    } else if (output_child_idx >= 0) {
-      y->has_output = true;
-      // Lift (child-root, output) pairs whose child-root lies under one of
-      // our surviving roots.
-      const int c = qn.children[static_cast<size_t>(output_child_idx)];
-      const TwigNode& cn = query.node(c);
-      const auto& pairs = child_out[static_cast<size_t>(output_child_idx)]
-                              [static_cast<size_t>(mid)]
-                                  ->outputs;
-      for (DocNodeId d : y->roots) {
-        const DocNode& dn = doc.node(d);
-        for (const auto& [rc, o] : pairs) {
-          const DocNode& rn = doc.node(rc);
-          if (rn.start <= dn.start || rn.start >= dn.end) continue;
-          if (cn.axis == Axis::kChild && !relax && rn.parent != d) continue;
-          y->outputs.emplace_back(d, o);
-        }
-      }
-      std::sort(y->outputs.begin(), y->outputs.end());
-      y->outputs.erase(std::unique(y->outputs.begin(), y->outputs.end()),
-                       y->outputs.end());
-    }
-    (*out)[static_cast<size_t>(mid)] = std::move(y);
-  }
+  MonotonicScratch* arena = ThreadLocalScratch();
+  arena->Reset();
+  return EvaluateBasicFlat(query, embeddings, relevant, truncated,
+                           *FlatIndexFor(nullptr), *doc_, options, arena);
 }
 
 Result<PtqResult> PtqEvaluator::EvaluateWithBlockTree(
@@ -436,30 +228,10 @@ Result<PtqResult> PtqEvaluator::EvaluateTreePrepared(
     const std::vector<MappingId>& relevant, bool truncated,
     const BlockTree& tree, const PtqOptions& options) const {
   if (query.size() == 0) return Status::InvalidArgument("empty query");
-  TwigMatcher matcher(doc_, options.match);
-  std::vector<std::vector<DocNodeId>> acc(
-      static_cast<size_t>(mappings_->size()));
-  for (const auto& emb : embeddings) {
-    std::vector<std::shared_ptr<TwigMatcher::ProjectedMatches>> out(
-        static_cast<size_t>(mappings_->size()));
-    EvalTreeRec(query, emb, tree, matcher, 0, relevant, &out);
-    for (MappingId mid : relevant) {
-      const auto& part = out[static_cast<size_t>(mid)];
-      if (part == nullptr) continue;
-      auto& dst = acc[static_cast<size_t>(mid)];
-      for (const auto& [root, o] : part->outputs) dst.push_back(o);
-    }
-  }
-  PtqResult result;
-  result.truncated_embeddings = truncated;
-  for (MappingId mid : relevant) {
-    auto& dst = acc[static_cast<size_t>(mid)];
-    std::sort(dst.begin(), dst.end());
-    dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
-    result.answers.push_back(MappingAnswer{
-        mid, mappings_->mapping(mid).probability, std::move(dst)});
-  }
-  return result;
+  MonotonicScratch* arena = ThreadLocalScratch();
+  arena->Reset();
+  return EvaluateTreeFlat(query, embeddings, relevant, truncated,
+                          *FlatIndexFor(&tree), *doc_, options, arena);
 }
 
 }  // namespace uxm

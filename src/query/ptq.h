@@ -24,6 +24,8 @@
 #define UXM_QUERY_PTQ_H_
 
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "blocktree/block_tree.h"
@@ -34,6 +36,8 @@
 #include "query/twig_query.h"
 
 namespace uxm {
+
+struct FlatPairIndex;
 
 /// \brief Answer for one mapping: (R_i, p_i).
 ///
@@ -110,6 +114,13 @@ std::vector<MappingId> FilterRelevantMappings(
     const std::vector<std::vector<SchemaNodeId>>& embeddings, int top_k);
 
 /// \brief PTQ evaluator over a fixed (mapping set, document) pair.
+///
+/// A convenience front-end for callers that hold build-time products
+/// (PossibleMappingSet + BlockTree) rather than a prepared pair: it
+/// flattens them into a FlatPairIndex on first use (memoized per tree)
+/// and evaluates through the one flat kernel (query/flat_kernel.h) that
+/// also serves the execution driver — there is no second evaluation
+/// code path to drift from it.
 class PtqEvaluator {
  public:
   /// `mappings` relates S and T; `doc` must be annotated against S.
@@ -153,25 +164,19 @@ class PtqEvaluator {
       int top_k) const;
 
  private:
-  /// Rewrites one embedding through one mapping: binding[i] = source
-  /// element for query node i, or nullopt if some node is unmapped.
-  bool RewriteBinding(const std::vector<SchemaNodeId>& embedding,
-                      const PossibleMapping& m,
-                      std::vector<SchemaNodeId>* binding) const;
-
-  /// Recursive core of Algorithm 4 for one embedding: evaluates the
-  /// subquery rooted at `q_node` for every mapping in `active`, writing
-  /// per-mapping projected results into `out[mapping]`. Results are
-  /// shared_ptrs so a c-block's single evaluation is replicated to every
-  /// mapping in b.M at O(1) cost.
-  void EvalTreeRec(
-      const TwigQuery& query, const std::vector<SchemaNodeId>& embedding,
-      const BlockTree& tree, const TwigMatcher& matcher, int q_node,
-      const std::vector<MappingId>& active,
-      std::vector<std::shared_ptr<TwigMatcher::ProjectedMatches>>* out) const;
+  /// The memoized flat index for `tree` (null = Algorithm-3-only index),
+  /// built on first use. Benches call Evaluate* in hot loops with one
+  /// evaluator and one tree, so flattening must not recur per call.
+  std::shared_ptr<const FlatPairIndex> FlatIndexFor(
+      const BlockTree* tree) const;
 
   const PossibleMappingSet* mappings_;
   const AnnotatedDocument* doc_;
+
+  mutable std::mutex flat_mu_;
+  mutable std::vector<std::pair<const BlockTree*,
+                                std::shared_ptr<const FlatPairIndex>>>
+      flat_cache_;
 };
 
 }  // namespace uxm

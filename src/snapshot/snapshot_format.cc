@@ -1,0 +1,50 @@
+#include "snapshot/snapshot_format.h"
+
+namespace uxm {
+
+const char* SnapshotSectionKindName(uint32_t kind) {
+  switch (kind) {
+    case kMeta:
+      return "meta";
+    case kPairSourceSchema:
+      return "source_schema";
+    case kPairTargetSchema:
+      return "target_schema";
+    case kPairMatching:
+      return "matching";
+    case kPairTableMeta:
+      return "table_meta";
+    case kPairMapSourceFor:
+      return "map_source_for";
+    case kPairMapProbability:
+      return "map_probability";
+    case kPairTreeNodeBlockBegin:
+      return "tree_node_block_begin";
+    case kPairTreeSelfAnchored:
+      return "tree_self_anchored";
+    case kPairTreeCorrBegin:
+      return "tree_corr_begin";
+    case kPairTreeMapBegin:
+      return "tree_map_begin";
+    case kPairTreeCorrTarget:
+      return "tree_corr_target";
+    case kPairTreeCorrSource:
+      return "tree_corr_source";
+    case kPairTreeBlockMappings:
+      return "tree_block_mappings";
+    case kPairOrderByProbability:
+      return "order_by_probability";
+    case kPairOrderResidual:
+      return "order_residual";
+    case kDocMeta:
+      return "doc_meta";
+    case kDocNodes:
+      return "doc_nodes";
+    case kDocElements:
+      return "doc_elements";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace uxm

@@ -1,0 +1,129 @@
+// On-disk snapshot format (ROADMAP item 1): one relocatable, mmap-able
+// file holding every prepared schema pair's flat evaluation arrays and
+// every corpus document's annotated form, so a process restart restores
+// serving state by mapping the file instead of re-running matching,
+// top-h generation, block-tree construction, and document annotation.
+//
+// Layout (all integers little-endian; the writer refuses to run on a
+// big-endian host rather than emit a byte-swapped file):
+//
+//   [0, 64)                SnapshotHeader (magic, version, section count,
+//                          file size, directory checksum)
+//   [64, 64 + 40 * n)      n SectionEntry records — the section directory
+//   ...                    sections, each 64-byte aligned, zero padding
+//                          between; the file ends exactly at the last
+//                          section's end rounded up to 64 (shrink-to-fit:
+//                          no slack pages are ever written)
+//
+// Every section carries its own FNV-1a 64 checksum in the directory, and
+// the directory itself is checksummed in the header, so the loader can
+// name exactly which section is damaged before touching its bytes.
+//
+// Two classes of section:
+//   - raw array sections (kPairMapSourceFor .. kPairTreeBlockMappings):
+//     fixed-width element arrays the loader never copies — the 64-byte
+//     section alignment guarantees element alignment, and the flat
+//     structs' ConstSpans point straight into the mapping;
+//   - blob sections (schemas, matching, docs, meta): variable-length
+//     records parsed through a bounds-checked reader into ordinary heap
+//     objects (they are small and pointer-rich; zero-copy buys nothing).
+#ifndef UXM_SNAPSHOT_SNAPSHOT_FORMAT_H_
+#define UXM_SNAPSHOT_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+
+namespace uxm {
+
+inline constexpr char kSnapshotMagic[8] = {'U', 'X', 'M', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint64_t kSnapshotAlignment = 64;
+
+/// \brief Fixed 64-byte file header.
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t section_count;
+  uint64_t directory_offset;  ///< Always 64 in version 1.
+  uint64_t file_size;         ///< Total bytes; must equal the real size.
+  /// FNV-1a 64 over the whole directory (section_count * 40 bytes).
+  uint64_t directory_checksum;
+  uint8_t reserved[24];
+};
+static_assert(sizeof(SnapshotHeader) == 64, "header must be 64 bytes");
+
+/// \brief One directory record: where a section lives and what it is.
+/// `owner` scopes per-pair sections to a pair index and per-document
+/// sections to a document index (0 for the singleton kMeta).
+struct SectionEntry {
+  uint32_t kind;
+  uint32_t owner;
+  uint64_t offset;
+  uint64_t length;    ///< Payload bytes (excludes alignment padding).
+  uint64_t checksum;  ///< FNV-1a 64 over the payload.
+  uint64_t reserved;
+};
+static_assert(sizeof(SectionEntry) == 40, "directory entry must be 40 bytes");
+
+/// Section kinds. Per-pair kinds repeat once per pair (owner = pair
+/// index); per-document kinds once per corpus document (owner = doc
+/// index).
+enum SnapshotSectionKind : uint32_t {
+  /// Singleton: u32 pair_count, u32 doc_count, i32 default_pair (-1 =
+  /// none), u32 reserved.
+  kMeta = 1,
+
+  /// Schema blob: u32 name_len + bytes; u32 node_count; per node in id
+  /// order: i32 parent (-1 for root), u8 flags (bit0 repeatable, bit1
+  /// optional, bit2 leaf_has_text), u32 name_len + bytes.
+  kPairSourceSchema = 2,
+  kPairTargetSchema = 3,
+  /// Matching blob: u32 count; per correspondence: i32 source,
+  /// i32 target, f64 score.
+  kPairMatching = 4,
+  /// u32 num_mappings, u32 num_targets.
+  kPairTableMeta = 5,
+
+  // Raw array sections (zero-copy; element type in parentheses).
+  kPairMapSourceFor = 6,       ///< (i32) num_mappings * num_targets
+  kPairMapProbability = 7,     ///< (f64) num_mappings
+  kPairTreeNodeBlockBegin = 8,  ///< (u32) num_targets + 1
+  kPairTreeSelfAnchored = 9,    ///< (u8)  num_targets
+  kPairTreeCorrBegin = 10,      ///< (u32) num_blocks + 1
+  kPairTreeMapBegin = 11,       ///< (u32) num_blocks + 1
+  kPairTreeCorrTarget = 12,     ///< (i32) total block correspondences
+  kPairTreeCorrSource = 13,     ///< (i32) total block correspondences
+  kPairTreeBlockMappings = 14,  ///< (i32) total block mapping refs
+
+  // The pair's shared work-unit order. Copied on load (MappingOrder
+  // holds plain vectors — the arrays are tiny next to the mapping
+  // matrix), kept in the file so a snapshot is a complete record of the
+  // preparation.
+  kPairOrderByProbability = 15,  ///< (i32) num_mappings
+  kPairOrderResidual = 16,       ///< (f64) num_mappings
+
+  /// Doc blob: u32 pair_index, u32 name_len + bytes.
+  kDocMeta = 17,
+  /// Doc nodes blob: u32 node_count; per node in id (pre-)order:
+  /// i32 parent (-1 for root), u32 label_len + bytes, u32 text_len +
+  /// bytes.
+  kDocNodes = 18,
+  /// (i32) doc node count: the annotated form — the schema element each
+  /// document node instantiates (-1 = unbound), exactly
+  /// AnnotatedDocument::ElementOf.
+  kDocElements = 19,
+};
+
+/// Human-readable section-kind name ("map_source_for", "doc_nodes", ...)
+/// used in damage reports and the uxm_snapshot CLI; "unknown" for
+/// unrecognized kinds.
+const char* SnapshotSectionKindName(uint32_t kind);
+
+/// `offset` rounded up to the next multiple of kSnapshotAlignment.
+inline uint64_t AlignSnapshotOffset(uint64_t offset) {
+  return (offset + kSnapshotAlignment - 1) & ~(kSnapshotAlignment - 1);
+}
+
+}  // namespace uxm
+
+#endif  // UXM_SNAPSHOT_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,97 @@
+// Snapshot loader: validates and materializes a snapshot file written by
+// WriteSnapshot. The raw flat-array sections are NOT copied — every
+// loaded pair's FlatPairIndex spans point straight into the read-only
+// mmap, which the LoadedSnapshot (and each pair, via
+// FlatPairIndex::storage) keeps alive. Blob sections (schemas, matching,
+// documents, order) are parsed into ordinary heap objects through a
+// bounds-checked reader.
+//
+// Every failure is a clean Status — DataLoss naming the damaged section
+// for corruption, InvalidArgument/IOError otherwise — never a crash or
+// an out-of-bounds read: header, directory, per-section checksums, and
+// the structural invariants the evaluation kernel relies on (monotone
+// begin arrays, in-range element/mapping ids) are all verified before a
+// loaded pair can reach a query.
+#ifndef UXM_SNAPSHOT_SNAPSHOT_LOADER_H_
+#define UXM_SNAPSHOT_SNAPSHOT_LOADER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocktree/flat_block_tree.h"
+#include "common/mapped_file.h"
+#include "common/status.h"
+#include "matching/matching.h"
+#include "plan/query_plan.h"
+#include "query/annotated_document.h"
+#include "xml/document.h"
+#include "xml/schema.h"
+
+namespace uxm {
+
+/// \brief One restored schema pair, ready for
+/// MakePreparedSchemaPairFromFlatIndex. `matching` references the two
+/// materialized schemas; `flat`'s spans view the snapshot mmap.
+struct LoadedPair {
+  SchemaMatching matching;
+  std::shared_ptr<const Schema> source;
+  std::shared_ptr<const Schema> target;
+  std::shared_ptr<const FlatPairIndex> flat;
+  std::shared_ptr<const MappingOrder> order;
+};
+
+/// \brief One restored corpus document with its annotation (bound against
+/// the source schema of pairs[pair_index]).
+struct LoadedDoc {
+  std::string name;
+  uint32_t pair_index = 0;
+  std::shared_ptr<const Document> doc;
+  std::shared_ptr<const AnnotatedDocument> annotated;
+};
+
+/// \brief A fully validated snapshot. Destroying it (and every pair
+/// handed out of it) unmaps the file.
+struct LoadedSnapshot {
+  std::vector<LoadedPair> pairs;
+  std::vector<LoadedDoc> documents;
+  int32_t default_pair = -1;  ///< Index into `pairs`, or -1.
+  std::shared_ptr<const MappedFile> file;
+  uint64_t file_bytes = 0;
+  size_t section_count = 0;
+};
+
+/// Maps, validates, and materializes the snapshot at `path`.
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path);
+
+/// \brief One directory row as reported by InspectSnapshot.
+struct SnapshotSectionInfo {
+  uint32_t kind = 0;
+  uint32_t owner = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+  bool checksum_ok = false;
+};
+
+/// \brief Header + directory summary for the uxm_snapshot CLI.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t file_size = 0;
+  bool directory_ok = false;  ///< Directory checksum matched.
+  uint32_t pair_count = 0;    ///< From kMeta (0 if meta is damaged).
+  uint32_t doc_count = 0;
+  int32_t default_pair = -1;
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+/// Reads the header and section directory and recomputes every section
+/// checksum, without materializing any payload. Fails only when the
+/// header or directory is too damaged to enumerate sections; per-section
+/// damage is reported via SnapshotSectionInfo::checksum_ok.
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+}  // namespace uxm
+
+#endif  // UXM_SNAPSHOT_SNAPSHOT_LOADER_H_

@@ -1,0 +1,55 @@
+// Snapshot writer: serializes prepared pairs + corpus documents into the
+// versioned, checksummed, mmap-able format of snapshot_format.h. The
+// writer reads only load-surviving products (matching, flat index,
+// work-unit order, annotated documents) — never the build-time
+// PossibleMappingSet/BlockTree — so a pair that was itself loaded from a
+// snapshot re-saves losslessly.
+#ifndef UXM_SNAPSHOT_SNAPSHOT_WRITER_H_
+#define UXM_SNAPSHOT_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/prepared_pair.h"
+#include "query/annotated_document.h"
+#include "xml/document.h"
+
+namespace uxm {
+
+/// \brief One corpus document to serialize: its tree, its annotated form,
+/// and the index (into SnapshotWriteInput::pairs) of the pair it is
+/// registered under.
+struct SnapshotDocInput {
+  std::string name;
+  uint32_t pair_index = 0;
+  const Document* doc = nullptr;
+  const AnnotatedDocument* annotated = nullptr;
+};
+
+/// \brief Everything one snapshot records.
+struct SnapshotWriteInput {
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs;
+  std::vector<SnapshotDocInput> documents;
+  /// Index into `pairs` of the facade's default pair, or -1.
+  int32_t default_pair = -1;
+};
+
+/// \brief What a write produced (for SnapshotStats).
+struct SnapshotWriteResult {
+  uint64_t file_bytes = 0;
+  size_t sections = 0;
+};
+
+/// Serializes `input` to `path` (atomically: written to "<path>.tmp" and
+/// renamed over). IOError on filesystem failure; InvalidArgument on
+/// malformed input (null pointers, out-of-range pair_index, a pair with
+/// no flat index).
+Result<SnapshotWriteResult> WriteSnapshot(const std::string& path,
+                                          const SnapshotWriteInput& input);
+
+}  // namespace uxm
+
+#endif  // UXM_SNAPSHOT_SNAPSHOT_WRITER_H_

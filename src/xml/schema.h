@@ -55,6 +55,13 @@ class Schema {
   SchemaNodeId AddChild(SchemaNodeId parent, std::string_view name,
                         bool repeatable = false, bool optional = false);
 
+  /// Overrides the text-content hint on an existing node (the snapshot
+  /// loader restoring a serialized flag; AddChild defaults it to true).
+  /// Affects no derived index, so it is safe before or after Finalize().
+  void set_leaf_has_text(SchemaNodeId id, bool v) {
+    nodes_[static_cast<size_t>(id)].leaf_has_text = v;
+  }
+
   /// Computes derived indexes. Must be called once after construction.
   void Finalize();
 

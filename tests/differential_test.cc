@@ -501,78 +501,6 @@ TEST(BoundedCorpusDifferentialTest, BoundedEqualsBruteForcePerDocumentMerge) {
   EXPECT_GT(items_skipped, 0);
 }
 
-// ------------------------------------ flat-vs-legacy kernel sweep
-
-// The flat SoA kernel (query/flat_kernel.cc) must be bit-identical to the
-// legacy pointer-walking evaluator it replaces — same answers, same order,
-// same probabilities, same truncation flags — across 500 random schema
-// pairs × both algorithms (block tree and basic) × untruncated and
-// k ∈ {1, 3, 10} top-k queries. Two systems differing ONLY in
-// SystemOptions::use_flat_kernel run the same traffic; any divergence is
-// a kernel bug, not noise. This sweep is the license to delete the legacy
-// path next PR.
-TEST(FlatVsLegacyKernelTest, FlatKernelIsBitIdenticalToLegacy) {
-  Rng rng(47);
-  constexpr int kTrials = 500;
-  int compared = 0;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    const RandomPair pair = MakeRandomPair(&rng, /*max_nodes=*/8,
-                                           /*max_edges=*/12);
-    DocGenOptions doc_opts;
-    doc_opts.seed = rng.NextU64();
-    doc_opts.target_nodes = 30;
-    const Document doc = GenerateDocument(*pair.source, doc_opts);
-
-    SystemOptions flat_opts;
-    flat_opts.top_h.h = 8;
-    flat_opts.use_flat_kernel = true;
-    SystemOptions legacy_opts = flat_opts;
-    legacy_opts.use_flat_kernel = false;
-    UncertainMatchingSystem flat(flat_opts);
-    UncertainMatchingSystem legacy(legacy_opts);
-    ASSERT_TRUE(flat.PrepareFromMatching(pair.matching).ok())
-        << "trial " << trial;
-    ASSERT_TRUE(legacy.PrepareFromMatching(pair.matching).ok())
-        << "trial " << trial;
-    ASSERT_TRUE(flat.AttachDocument(&doc).ok()) << "trial " << trial;
-    ASSERT_TRUE(legacy.AttachDocument(&doc).ok()) << "trial " << trial;
-
-    for (const std::string& twig : SchemaTwigs(*pair.target, &rng, 2)) {
-      // (query runner, label): Algorithm 4, Algorithm 3, and pruned
-      // top-k for each k. Each runs once per kernel.
-      const auto check =
-          [&](const Result<PtqResult>& f, const Result<PtqResult>& l,
-              const char* label) {
-            ASSERT_EQ(f.ok(), l.ok())
-                << label << " " << twig << " trial " << trial;
-            if (!f.ok()) return;
-            EXPECT_EQ(f->truncated_embeddings, l->truncated_embeddings)
-                << label << " " << twig;
-            ASSERT_EQ(f->answers.size(), l->answers.size())
-                << label << " " << twig << " trial " << trial;
-            for (size_t i = 0; i < f->answers.size(); ++i) {
-              EXPECT_EQ(f->answers[i].mapping, l->answers[i].mapping)
-                  << label << " " << twig << " answer " << i;
-              // Bit-identical, not just close: both kernels read the
-              // mapping's probability off the same table, no arithmetic.
-              EXPECT_EQ(f->answers[i].probability, l->answers[i].probability)
-                  << label << " " << twig << " answer " << i;
-              EXPECT_EQ(f->answers[i].matches, l->answers[i].matches)
-                  << label << " " << twig << " answer " << i;
-              ++compared;
-            }
-          };
-      check(flat.Query(twig), legacy.Query(twig), "tree");
-      check(flat.QueryBasic(twig), legacy.QueryBasic(twig), "basic");
-      for (const int k : {1, 3, 10}) {
-        check(flat.QueryTopK(twig, k), legacy.QueryTopK(twig, k), "topk");
-      }
-    }
-  }
-  // The sweep must compare real answers, or the equality is vacuous.
-  EXPECT_GT(compared, 1000);
-}
-
 // Single-shot Query and QueryCorpus must agree answer-for-answer on a
 // one-document corpus, across random schema pairs, generated documents,
 // and schema-derived twigs — the corpus fan-out/merge must be a no-op

@@ -1,0 +1,258 @@
+// Snapshot subsystem tests (tier-1): the facade SaveSnapshot/LoadSnapshot
+// round trip must restore a heterogeneous two-pair corpus into a FRESH
+// system whose answers are bit-identical to the system that wrote the
+// file, a loaded system must re-save losslessly, and the loader must turn
+// malformed inputs into clean errors without touching live state. The
+// adversarial corruption sweep lives in snapshot_fuzz_test.cc (slow).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "snapshot/snapshot_format.h"
+#include "snapshot/snapshot_loader.h"
+#include "test_util.h"
+#include "workload/corpus_generator.h"
+#include "workload/datasets.h"
+
+namespace uxm {
+namespace {
+
+using testutil::MakePaperExample;
+using testutil::PaperExample;
+
+/// A per-test temp path under the build dir, removed on teardown.
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("snapshot_test_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".uxmsnap";
+    std::remove(path_.c_str());
+
+    CorpusGenOptions gen;
+    gen.num_documents = 4;
+    gen.min_target_nodes = 80;
+    gen.max_target_nodes = 160;
+    gen.clone_probability = 0.5;
+    auto scenario = MakeCorpusScenario("D7", gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ =
+        std::make_unique<CorpusScenario>(std::move(scenario).ValueOrDie());
+    paper_ = MakePaperExample();
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static SystemOptions Options() {
+    SystemOptions opts;
+    opts.top_h.h = 25;
+    return opts;
+  }
+
+  /// Two pairs (paper example + D7, D7 the default), the four D7
+  /// documents under the default pair, and the paper document under the
+  /// paper pair.
+  void FillSystem(UncertainMatchingSystem* sys) const {
+    ASSERT_TRUE(sys->Prepare(paper_.source.get(), paper_.target.get()).ok());
+    ASSERT_TRUE(sys->Prepare(scenario_->dataset.source.get(),
+                             scenario_->dataset.target.get())
+                    .ok());
+    for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+      ASSERT_TRUE(
+          sys->AddDocument(scenario_->names[i], scenario_->documents[i].get())
+              .ok());
+    }
+    ASSERT_TRUE(sys->AddDocument("paper-doc", paper_.doc.get(),
+                                 paper_.source.get(), paper_.target.get())
+                    .ok());
+  }
+
+  /// Bit-identical comparison: corpus answers must agree in provenance,
+  /// probability BITS (plain ==, not near), and match sets.
+  static void ExpectIdenticalAnswers(const CorpusQueryResult& got,
+                                     const CorpusQueryResult& want) {
+    ASSERT_EQ(got.answers.size(), want.answers.size());
+    for (size_t i = 0; i < got.answers.size(); ++i) {
+      EXPECT_EQ(got.answers[i].document, want.answers[i].document)
+          << "answer " << i;
+      EXPECT_EQ(got.answers[i].probability, want.answers[i].probability)
+          << "answer " << i;
+      EXPECT_EQ(got.answers[i].matches, want.answers[i].matches)
+          << "answer " << i;
+    }
+  }
+
+  std::string path_;
+  std::unique_ptr<CorpusScenario> scenario_;
+  PaperExample paper_;
+};
+
+TEST_F(SnapshotTest, SaveReportsStatsAndInspectValidates) {
+  UncertainMatchingSystem sys(Options());
+  FillSystem(&sys);
+
+  SnapshotStats stats;
+  ASSERT_TRUE(sys.SaveSnapshot(path_, &stats).ok());
+  EXPECT_EQ(stats.pairs, 2u);
+  EXPECT_EQ(stats.documents, 5u);
+  // 1 meta + 15 per pair + 3 per document.
+  EXPECT_EQ(stats.sections, 1u + 2 * 15 + 5 * 3);
+  EXPECT_GT(stats.file_bytes, 0u);
+  EXPECT_EQ(stats.file_bytes % kSnapshotAlignment, 0u);
+
+  auto info = InspectSnapshot(path_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->version, kSnapshotVersion);
+  EXPECT_EQ(info->file_size, stats.file_bytes);
+  EXPECT_TRUE(info->directory_ok);
+  EXPECT_EQ(info->pair_count, 2u);
+  EXPECT_EQ(info->doc_count, 5u);
+  ASSERT_EQ(info->sections.size(), stats.sections);
+  for (const SnapshotSectionInfo& s : info->sections) {
+    EXPECT_TRUE(s.checksum_ok)
+        << "section " << SnapshotSectionKindName(s.kind) << " owner "
+        << s.owner;
+    EXPECT_EQ(s.offset % kSnapshotAlignment, 0u);
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripIsBitIdentical) {
+  UncertainMatchingSystem original(Options());
+  FillSystem(&original);
+  ASSERT_TRUE(original.SaveSnapshot(path_).ok());
+
+  UncertainMatchingSystem loaded(Options());
+  SnapshotStats stats;
+  ASSERT_TRUE(loaded.LoadSnapshot(path_, &stats).ok());
+  EXPECT_EQ(stats.pairs, 2u);
+  EXPECT_EQ(stats.documents, 5u);
+  EXPECT_TRUE(loaded.prepared());
+  EXPECT_EQ(loaded.pair_count(), 2u);
+  EXPECT_EQ(loaded.CorpusDocumentNames(), original.CorpusDocumentNames());
+  // The loaded default pair relates the same schemas, materialized fresh.
+  ASSERT_NE(loaded.prepared_pair(), nullptr);
+  EXPECT_EQ(loaded.prepared_pair()->source()->schema_name(),
+            original.prepared_pair()->source()->schema_name());
+  EXPECT_NE(loaded.prepared_pair()->pair_id,
+            original.prepared_pair()->pair_id);
+
+  CorpusQueryOptions top10;
+  top10.top_k = 10;
+  CorpusQueryOptions all;
+  all.top_k = 0;
+  for (const std::string& twig : TableIIIQueries()) {
+    auto want10 = original.QueryCorpus(twig, top10);
+    auto got10 = loaded.QueryCorpus(twig, top10);
+    ASSERT_TRUE(want10.ok()) << want10.status();
+    ASSERT_TRUE(got10.ok()) << got10.status();
+    ExpectIdenticalAnswers(*got10, *want10);
+    auto want_all = original.QueryCorpus(twig, all);
+    auto got_all = loaded.QueryCorpus(twig, all);
+    ASSERT_TRUE(want_all.ok() && got_all.ok());
+    ExpectIdenticalAnswers(*got_all, *want_all);
+  }
+
+  // Single-document traffic against the loaded default pair: same
+  // answers, mapping by mapping, bit for bit.
+  ASSERT_TRUE(original.AttachDocument(scenario_->documents[0].get()).ok());
+  ASSERT_TRUE(loaded.AttachDocument(scenario_->documents[0].get()).ok());
+  for (const std::string& twig : TableIIIQueries()) {
+    auto want = original.Query(twig);
+    auto got = loaded.Query(twig);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->answers.size(), want->answers.size());
+    for (size_t i = 0; i < got->answers.size(); ++i) {
+      EXPECT_EQ(got->answers[i].mapping, want->answers[i].mapping);
+      EXPECT_EQ(got->answers[i].probability, want->answers[i].probability);
+      EXPECT_EQ(got->answers[i].matches, want->answers[i].matches);
+    }
+  }
+}
+
+TEST_F(SnapshotTest, LoadedSystemResavesLosslessly) {
+  UncertainMatchingSystem original(Options());
+  FillSystem(&original);
+  ASSERT_TRUE(original.SaveSnapshot(path_).ok());
+
+  UncertainMatchingSystem loaded(Options());
+  ASSERT_TRUE(loaded.LoadSnapshot(path_).ok());
+  const std::string resaved = path_ + ".resave";
+  SnapshotStats stats;
+  ASSERT_TRUE(loaded.SaveSnapshot(resaved, &stats).ok());
+  EXPECT_EQ(stats.pairs, 2u);
+  EXPECT_EQ(stats.documents, 5u);
+
+  UncertainMatchingSystem reloaded(Options());
+  ASSERT_TRUE(reloaded.LoadSnapshot(resaved).ok());
+  std::remove(resaved.c_str());
+
+  CorpusQueryOptions opts;
+  opts.top_k = 10;
+  for (const std::string& twig : TableIIIQueries()) {
+    auto want = original.QueryCorpus(twig, opts);
+    auto got = reloaded.QueryCorpus(twig, opts);
+    ASSERT_TRUE(want.ok() && got.ok());
+    ExpectIdenticalAnswers(*got, *want);
+  }
+}
+
+TEST_F(SnapshotTest, EmptySystemRoundTrips) {
+  UncertainMatchingSystem empty(Options());
+  SnapshotStats stats;
+  ASSERT_TRUE(empty.SaveSnapshot(path_, &stats).ok());
+  EXPECT_EQ(stats.pairs, 0u);
+  EXPECT_EQ(stats.documents, 0u);
+
+  UncertainMatchingSystem loaded(Options());
+  ASSERT_TRUE(loaded.LoadSnapshot(path_).ok());
+  EXPECT_FALSE(loaded.prepared());
+  EXPECT_EQ(loaded.pair_count(), 0u);
+  EXPECT_EQ(loaded.corpus_size(), 0u);
+}
+
+TEST_F(SnapshotTest, LoadFailsCleanlyAndAtomically) {
+  EXPECT_TRUE(UncertainMatchingSystem(Options())
+                  .LoadSnapshot("no/such/snapshot.uxmsnap")
+                  .IsIOError());
+
+  UncertainMatchingSystem sys(Options());
+  FillSystem(&sys);
+  ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
+
+  // Loading into the system that already holds these document names must
+  // fail BEFORE any state changes: same pair count, same corpus.
+  const size_t pairs_before = sys.pair_count();
+  const auto names_before = sys.CorpusDocumentNames();
+  EXPECT_TRUE(sys.LoadSnapshot(path_).IsAlreadyExists());
+  EXPECT_EQ(sys.pair_count(), pairs_before);
+  EXPECT_EQ(sys.CorpusDocumentNames(), names_before);
+
+  // A fresh system loads the same file fine twice in a row... into two
+  // distinct systems (names collide only within one corpus).
+  UncertainMatchingSystem a(Options());
+  UncertainMatchingSystem b(Options());
+  EXPECT_TRUE(a.LoadSnapshot(path_).ok());
+  EXPECT_TRUE(b.LoadSnapshot(path_).ok());
+}
+
+TEST_F(SnapshotTest, SaveIsAtomicOverwrite) {
+  UncertainMatchingSystem sys(Options());
+  FillSystem(&sys);
+  ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
+  // Overwriting an existing snapshot goes through the temp file + rename
+  // path; the result must still load, and no temp file may linger.
+  ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
+  std::FILE* tmp = std::fopen((path_ + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  UncertainMatchingSystem loaded(Options());
+  EXPECT_TRUE(loaded.LoadSnapshot(path_).ok());
+}
+
+}  // namespace
+}  // namespace uxm

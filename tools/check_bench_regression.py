@@ -25,12 +25,13 @@ Usage:
                          floor; skipped when the run's host has fewer
                          than 4 CPUs, so it only bites on CI runners;
                          default 0 = off)
-  [--min-flat-speedup X]  fail if the flat SoA kernel is not at least X
-                         times faster than the legacy pointer kernel in
-                         the same run: BM_BatchPtq/N vs BM_BatchPtqLegacy/N
-                         at every thread count, and BM_PrunedTopK vs
-                         BM_PrunedTopKLegacy (default 0 = off; CI passes
-                         1.3). Goes away with the legacy path next PR.
+  [--min-snapshot-speedup X]  fail if restoring a serving-ready system
+                         from a snapshot (BM_SnapshotLoad) is not at
+                         least X times faster than the full cold
+                         preparation pipeline (BM_PrepareCold) in the
+                         same run (default 0 = off; CI passes 5.0).
+                         snapshot_roundtrip separately proves the two
+                         states serve bit-identical answers.
 
 A second same-run invariant guards the early-termination top-k engine:
 BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
@@ -46,7 +47,7 @@ pruning, the whole corpus win is gone.
 
 Updating the baseline (after an intentional perf change, Release build):
   ./build/micro_bench \
-      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SharedEmbeddingCorpus' \
+      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SharedEmbeddingCorpus|BM_PrepareCold|BM_SnapshotLoad' \
       --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
 """
 
@@ -58,7 +59,7 @@ import sys
 # Only these families gate CI; everything else in the JSON is informational.
 GATED = re.compile(
     r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus|"
-    r"BoundedCorpusTopK|SharedEmbeddingCorpus)\b")
+    r"BoundedCorpusTopK|SharedEmbeddingCorpus|PrepareCold|SnapshotLoad)\b")
 
 # BM_PrunedTopK may be at most this many times slower than BM_UnprunedTopK
 # in the same run (it should be faster; the margin absorbs runner noise).
@@ -84,7 +85,7 @@ def main():
     parser.add_argument("--min-speedup", type=float, default=1.5)
     parser.add_argument("--min-bounded-speedup", type=float, default=2.0)
     parser.add_argument("--min-batch-scaling", type=float, default=0.0)
-    parser.add_argument("--min-flat-speedup", type=float, default=0.0)
+    parser.add_argument("--min-snapshot-speedup", type=float, default=0.0)
     args = parser.parse_args()
 
     current, context = load(args.current)
@@ -196,43 +197,33 @@ def main():
                         % (scaling, args.min_batch_scaling))
                 break
 
-    # Same-run invariant: the flat SoA kernel must actually be faster than
-    # the legacy pointer-walking path it replaces. Legacy variants exist
-    # only for this comparison (they are not baseline-gated) and are
-    # deleted together with the legacy path next PR.
-    if args.min_flat_speedup > 0:
-        flat_pairs = []
-        for name in sorted(current):
-            m = re.match(r"^BM_BatchPtqLegacy/(\d+)(/real_time)?$", name)
-            if m:
-                flat_pairs.append(
-                    (name, "BM_BatchPtq/%s%s" % (m.group(1), m.group(2) or ""),
-                     "%s threads" % m.group(1)))
+    # Same-run invariant: restoring from a snapshot must beat re-running
+    # the whole preparation pipeline by a wide margin — the snapshot
+    # exists to skip the matcher, the top-h enumeration, the flat-index
+    # build and per-document annotation, so anything near 1x means the
+    # loader started re-deriving state.
+    if args.min_snapshot_speedup > 0:
+        found = False
         for suffix in ("/real_time", ""):
-            legacy_name = "BM_PrunedTopKLegacy" + suffix
-            if legacy_name in current:
-                flat_pairs.append(
-                    (legacy_name, "BM_PrunedTopK" + suffix, "pruned top-k"))
-                break
-        if not flat_pairs:
-            failures.append("--min-flat-speedup set but no legacy kernel "
-                            "benchmarks (BM_BatchPtqLegacy/"
-                            "BM_PrunedTopKLegacy) in %s" % args.current)
-        for legacy_name, flat_name, label in flat_pairs:
-            flat = current.get(flat_name)
-            if flat is None:
-                failures.append("%s has no flat-kernel partner %s"
-                                % (legacy_name, flat_name))
+            cold = current.get("BM_PrepareCold" + suffix)
+            load_ns = current.get("BM_SnapshotLoad" + suffix)
+            if cold is None or load_ns is None:
                 continue
-            speedup = current[legacy_name] / flat
-            verdict = "FAIL" if speedup < args.min_flat_speedup else "ok"
-            print("%-5s flat kernel speedup (%s): %.2fx (need >= %.1fx)"
-                  % (verdict, label, speedup, args.min_flat_speedup))
-            if speedup < args.min_flat_speedup:
+            found = True
+            speedup = cold / load_ns
+            verdict = "FAIL" if speedup < args.min_snapshot_speedup else "ok"
+            print("%-5s snapshot restore speedup: %.2fx (need >= %.1fx)"
+                  % (verdict, speedup, args.min_snapshot_speedup))
+            if speedup < args.min_snapshot_speedup:
                 failures.append(
-                    "%s is only %.2fx faster than %s (need >= %.1fx)"
-                    % (flat_name, speedup, legacy_name,
-                       args.min_flat_speedup))
+                    "BM_SnapshotLoad is only %.2fx faster than "
+                    "BM_PrepareCold (need >= %.1fx)"
+                    % (speedup, args.min_snapshot_speedup))
+            break
+        if not found:
+            failures.append("--min-snapshot-speedup set but "
+                            "BM_PrepareCold/BM_SnapshotLoad missing from %s"
+                            % args.current)
 
     if failures:
         print("\nBenchmark regression check FAILED:", file=sys.stderr)

@@ -1,0 +1,232 @@
+// snapshot_roundtrip: the cross-process snapshot restore gate.
+//
+//   snapshot_roundtrip save  <snapshot> <answers>
+//     Builds a deterministic serving state (two prepared schema pairs,
+//     an 8-document heterogeneous corpus), evaluates a fixed query
+//     workload (QueryCorpus + RunBatch), writes the snapshot file and
+//     the canonical answer transcript (probabilities at %.17g — double
+//     round-trip precision).
+//
+//   snapshot_roundtrip check <snapshot> <answers>
+//     In a CLEAN process: loads the snapshot, re-runs the workload, and
+//     asserts the transcript is bit-identical to (a) the saved one and
+//     (b) a from-scratch re-preparation in this process. Exit 0 only on
+//     both matches.
+//
+// CI runs `save` and `check` as separate steps/processes, so the gate
+// proves a restored system serves the exact answers of the system that
+// wrote the file — no re-prepare, no drift.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "workload/corpus_generator.h"
+#include "workload/datasets.h"
+
+namespace {
+
+using uxm::BatchQueryRequest;
+using uxm::CorpusGenOptions;
+using uxm::CorpusQueryOptions;
+using uxm::CorpusScenario;
+using uxm::MakeCorpusScenario;
+using uxm::SnapshotStats;
+using uxm::Status;
+using uxm::SystemOptions;
+using uxm::TableIIIQueries;
+using uxm::UncertainMatchingSystem;
+
+struct Scenarios {
+  std::unique_ptr<CorpusScenario> primary;    // D7, the default pair
+  std::unique_ptr<CorpusScenario> secondary;  // D2, heterogeneous pair
+};
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "snapshot_roundtrip: %s\n", what.c_str());
+  return 1;
+}
+
+SystemOptions Options() {
+  SystemOptions opts;
+  opts.top_h.h = 25;
+  return opts;
+}
+
+bool BuildScenarios(Scenarios* out) {
+  CorpusGenOptions gen;
+  gen.num_documents = 4;
+  gen.min_target_nodes = 80;
+  gen.max_target_nodes = 160;
+  gen.clone_probability = 0.25;
+  auto primary = MakeCorpusScenario("D7", gen);
+  gen.seed = 4047;
+  auto secondary = MakeCorpusScenario("D2", gen);
+  if (!primary.ok() || !secondary.ok()) return false;
+  out->primary = std::make_unique<CorpusScenario>(
+      std::move(primary).ValueOrDie());
+  out->secondary = std::make_unique<CorpusScenario>(
+      std::move(secondary).ValueOrDie());
+  return true;
+}
+
+/// Prepares both pairs (D7 last, so it is the default) and registers the
+/// 8 documents (4 per pair).
+Status FillSystem(const Scenarios& sc, UncertainMatchingSystem* sys) {
+  const auto& d2 = sc.secondary->dataset;
+  const auto& d7 = sc.primary->dataset;
+  Status st = sys->Prepare(d2.source.get(), d2.target.get());
+  if (!st.ok()) return st;
+  st = sys->Prepare(d7.source.get(), d7.target.get());
+  if (!st.ok()) return st;
+  for (size_t i = 0; i < sc.primary->documents.size(); ++i) {
+    st = sys->AddDocument("d7-" + sc.primary->names[i],
+                          sc.primary->documents[i].get());
+    if (!st.ok()) return st;
+  }
+  for (size_t i = 0; i < sc.secondary->documents.size(); ++i) {
+    st = sys->AddDocument("d2-" + sc.secondary->names[i],
+                          sc.secondary->documents[i].get(), d2.source.get(),
+                          d2.target.get());
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void AppendDouble(std::ostringstream* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out << buf;
+}
+
+/// The canonical transcript: every answer of the fixed workload, in a
+/// stable text form. Two systems serve identical answers iff their
+/// transcripts are byte-identical.
+Status CollectTranscript(const Scenarios& sc, UncertainMatchingSystem* sys,
+                         std::string* out) {
+  std::ostringstream text;
+  CorpusQueryOptions top10;
+  top10.top_k = 10;
+  for (const std::string& twig : TableIIIQueries()) {
+    auto r = sys->QueryCorpus(twig, top10);
+    if (!r.ok()) return r.status();
+    text << "corpus " << twig << "\n";
+    for (const auto& a : r->answers) {
+      text << "  " << a.document << " ";
+      AppendDouble(&text, a.probability);
+      for (auto m : a.matches) text << " " << m;
+      text << "\n";
+    }
+  }
+  // Batch path: every Table III twig against the first primary document,
+  // handed to RunBatch as an external per-request document.
+  std::vector<BatchQueryRequest> requests;
+  for (const std::string& twig : TableIIIQueries()) {
+    BatchQueryRequest req;
+    req.doc = sc.primary->documents[0].get();
+    req.twig = twig;
+    req.top_k = 5;
+    requests.push_back(std::move(req));
+  }
+  auto batch = sys->RunBatch(requests);
+  if (!batch.ok()) return batch.status();
+  for (size_t i = 0; i < batch->answers.size(); ++i) {
+    text << "batch " << requests[i].twig << "\n";
+    const auto& answer = batch->answers[i];
+    if (!answer.ok()) return answer.status();
+    for (const auto& a : answer->answers) {
+      text << "  " << a.mapping << " ";
+      AppendDouble(&text, a.probability);
+      for (auto m : a.matches) text << " " << m;
+      text << "\n";
+    }
+  }
+  *out = text.str();
+  return Status::OK();
+}
+
+int Save(const std::string& snapshot_path, const std::string& answers_path) {
+  Scenarios sc;
+  if (!BuildScenarios(&sc)) return Fail("scenario generation failed");
+  UncertainMatchingSystem sys(Options());
+  Status st = FillSystem(sc, &sys);
+  if (!st.ok()) return Fail("fill: " + st.ToString());
+
+  std::string transcript;
+  st = CollectTranscript(sc, &sys, &transcript);
+  if (!st.ok()) return Fail("workload: " + st.ToString());
+
+  SnapshotStats stats;
+  st = sys.SaveSnapshot(snapshot_path, &stats);
+  if (!st.ok()) return Fail("save: " + st.ToString());
+  std::ofstream answers(answers_path, std::ios::binary | std::ios::trunc);
+  answers << transcript;
+  if (!answers.good()) return Fail("cannot write " + answers_path);
+  std::printf(
+      "saved %zu pairs, %zu documents, %zu sections, %llu bytes in %.3fs\n",
+      stats.pairs, stats.documents, stats.sections,
+      static_cast<unsigned long long>(stats.file_bytes), stats.seconds);
+  return 0;
+}
+
+int Check(const std::string& snapshot_path, const std::string& answers_path) {
+  std::ifstream in(answers_path, std::ios::binary);
+  if (!in.good()) return Fail("cannot read " + answers_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  Scenarios sc;
+  if (!BuildScenarios(&sc)) return Fail("scenario generation failed");
+
+  UncertainMatchingSystem loaded(Options());
+  SnapshotStats stats;
+  Status st = loaded.LoadSnapshot(snapshot_path, &stats);
+  if (!st.ok()) return Fail("load: " + st.ToString());
+  std::printf("loaded %zu pairs, %zu documents in %.3fs\n", stats.pairs,
+              stats.documents, stats.seconds);
+
+  std::string from_snapshot;
+  st = CollectTranscript(sc, &loaded, &from_snapshot);
+  if (!st.ok()) return Fail("workload on loaded system: " + st.ToString());
+  if (from_snapshot != expected) {
+    return Fail(
+        "answers from the LOADED system differ from the saved transcript");
+  }
+
+  // Belt and suspenders: a from-scratch preparation in THIS process must
+  // also reproduce the transcript, proving the gate compares real
+  // answers, not two copies of the same serialization bug.
+  UncertainMatchingSystem fresh(Options());
+  st = FillSystem(sc, &fresh);
+  if (!st.ok()) return Fail("fresh fill: " + st.ToString());
+  std::string from_fresh;
+  st = CollectTranscript(sc, &fresh, &from_fresh);
+  if (!st.ok()) return Fail("workload on fresh system: " + st.ToString());
+  if (from_fresh != expected) {
+    return Fail(
+        "answers from a FRESH preparation differ from the saved transcript");
+  }
+
+  std::printf("check: OK — loaded and fresh answers are bit-identical\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: snapshot_roundtrip <save|check> <snapshot> "
+                 "<answers>\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "save") return Save(argv[2], argv[3]);
+  if (mode == "check") return Check(argv[2], argv[3]);
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 2;
+}
