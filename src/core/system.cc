@@ -389,6 +389,12 @@ Status UncertainMatchingSystem::SaveSnapshot(const std::string& path,
                                              SnapshotStats* stats) const {
   const auto start = std::chrono::steady_clock::now();
   SnapshotWriteInput input;
+  // The doc inputs below carry raw Document*/AnnotatedDocument* pointers
+  // into this snapshot's entries, so it must outlive the unlocked
+  // WriteSnapshot call: a concurrent RemoveDocument/RemovePair publishes
+  // a new corpus vector, and this reference is then the only thing
+  // keeping the removed entries' owners alive.
+  std::shared_ptr<const CorpusSnapshot> corpus;
   {
     // Capture pairs, corpus, and the default-pair choice under one lock
     // acquisition so the snapshot is a consistent instant of the system.
@@ -400,7 +406,7 @@ Status UncertainMatchingSystem::SaveSnapshot(const std::string& path,
         break;
       }
     }
-    const std::shared_ptr<const CorpusSnapshot> corpus = store_.Snapshot();
+    corpus = store_.Snapshot();
     for (const CorpusDocument& entry : *corpus) {
       SnapshotDocInput doc;
       doc.name = entry.name;

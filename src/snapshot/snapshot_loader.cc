@@ -515,6 +515,11 @@ Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
           !r.AtEnd()) {
         return Damaged(*e, "malformed doc meta record");
       }
+      // DocumentStore rejects empty names; catch it here so the facade's
+      // all-or-nothing load never fails mid-install.
+      if (doc.name.empty()) {
+        return Damaged(*e, "has an empty document name");
+      }
       if (doc.pair_index >= pair_count) {
         return Damaged(*e, "references pair " +
                                std::to_string(doc.pair_index) +

@@ -1,9 +1,13 @@
 #include "snapshot/snapshot_writer.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <utility>
 
 #include "blocktree/flat_block_tree.h"
@@ -109,7 +113,8 @@ Result<SnapshotWriteResult> WriteSnapshot(const std::string& path,
         "snapshot format is little-endian; refusing to write byte-swapped "
         "sections on a big-endian host");
   }
-  if (input.default_pair >= static_cast<int32_t>(input.pairs.size())) {
+  if (input.default_pair < -1 ||
+      input.default_pair >= static_cast<int32_t>(input.pairs.size())) {
     return Status::InvalidArgument("default_pair index out of range");
   }
 
@@ -189,6 +194,12 @@ Result<SnapshotWriteResult> WriteSnapshot(const std::string& path,
       return Status::InvalidArgument("document " + std::to_string(i) +
                                      " has null doc/annotation");
     }
+    if (doc.name.empty()) {
+      // The loader (and DocumentStore) reject empty names; refuse to
+      // emit a file that can never load.
+      return Status::InvalidArgument("document " + std::to_string(i) +
+                                     " has an empty name");
+    }
     if (doc.pair_index >= input.pairs.size()) {
       return Status::InvalidArgument("document '" + doc.name +
                                      "' references pair index " +
@@ -245,43 +256,89 @@ Result<SnapshotWriteResult> WriteSnapshot(const std::string& path,
   header.directory_checksum =
       Fnv1a64(directory.data(), directory.size() * sizeof(SectionEntry));
 
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IOError("cannot open '" + tmp_path + "' for writing");
-    }
-    const auto write_bytes = [&out](const void* data, size_t len) {
-      out.write(static_cast<const char*>(data),
-                static_cast<std::streamsize>(len));
-    };
-    const auto pad_to = [&](uint64_t offset) {
-      static const char zeros[kSnapshotAlignment] = {};
-      uint64_t at = static_cast<uint64_t>(out.tellp());
-      while (at < offset) {
-        const uint64_t n = std::min<uint64_t>(offset - at, sizeof(zeros));
-        write_bytes(zeros, n);
-        at += n;
-      }
-    };
-    write_bytes(&header, sizeof(header));
-    write_bytes(directory.data(), directory.size() * sizeof(SectionEntry));
-    for (size_t i = 0; i < sections.size(); ++i) {
-      pad_to(directory[i].offset);
-      write_bytes(sections[i].payload.data(), sections[i].payload.size());
-    }
-    pad_to(header.file_size);
-    out.flush();
-    if (!out) {
-      std::remove(tmp_path.c_str());
-      return Status::IOError("write to '" + tmp_path + "' failed");
-    }
+  // A unique temp name per write (mkstemp in the target directory, so
+  // the rename below never crosses a filesystem) keeps concurrent
+  // writers to the same path from interleaving into one temp file.
+  std::string tmp_path = path + ".tmp.XXXXXX";
+  int fd = ::mkstemp(tmp_path.data());
+  if (fd < 0) {
+    const int err = errno;
+    return Status::IOError("cannot create temp file for '" + path +
+                           "': " + std::strerror(err));
   }
+  ::fchmod(fd, 0644);  // mkstemp's 0600 is stingier than a plain create
+  const auto fail = [&](const std::string& what) {
+    const int err = errno;
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp_path.c_str());
+    return Status::IOError(what + " '" + tmp_path +
+                           "' failed: " + std::strerror(err));
+  };
+  uint64_t at = 0;
+  const auto write_bytes = [&](const void* data, size_t len) -> bool {
+    const char* p = static_cast<const char*>(data);
+    size_t left = len;
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    at += len;
+    return true;
+  };
+  const auto pad_to = [&](uint64_t offset) -> bool {
+    static const char zeros[kSnapshotAlignment] = {};
+    while (at < offset) {
+      const uint64_t n = std::min<uint64_t>(offset - at, sizeof(zeros));
+      if (!write_bytes(zeros, n)) return false;
+    }
+    return true;
+  };
+  bool ok = write_bytes(&header, sizeof(header)) &&
+            write_bytes(directory.data(),
+                        directory.size() * sizeof(SectionEntry));
+  for (size_t i = 0; ok && i < sections.size(); ++i) {
+    ok = pad_to(directory[i].offset) &&
+         write_bytes(sections[i].payload.data(), sections[i].payload.size());
+  }
+  ok = ok && pad_to(header.file_size);
+  if (!ok) return fail("write to");
+  // Flush the data to stable storage before the rename: rename is atomic
+  // in the namespace but unordered against writeback, so a crash could
+  // otherwise land an empty file over a previously good snapshot.
+  if (::fsync(fd) != 0) return fail("fsync of");
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail("close of");
+  }
+  fd = -1;
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     const int err = errno;
     std::remove(tmp_path.c_str());
     return Status::IOError("rename '" + tmp_path + "' -> '" + path +
                            "' failed: " + std::strerror(err));
+  }
+  {
+    // Persist the rename itself: without a directory fsync the new
+    // directory entry can be lost in a crash even though the data is on
+    // disk.
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos
+            ? std::string(".")
+            : (slash == 0 ? std::string("/") : path.substr(0, slash));
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0 || ::fsync(dfd) != 0) {
+      const int err = errno;
+      if (dfd >= 0) ::close(dfd);
+      return Status::IOError("fsync of directory '" + dir +
+                             "' failed: " + std::strerror(err));
+    }
+    ::close(dfd);
   }
 
   SnapshotWriteResult result;

@@ -43,10 +43,13 @@ struct SnapshotWriteResult {
   size_t sections = 0;
 };
 
-/// Serializes `input` to `path` (atomically: written to "<path>.tmp" and
-/// renamed over). IOError on filesystem failure; InvalidArgument on
-/// malformed input (null pointers, out-of-range pair_index, a pair with
-/// no flat index).
+/// Serializes `input` to `path` (atomically: written to a unique
+/// "<path>.tmp.*" temp file in the same directory, fsync'd, renamed
+/// over, and the directory fsync'd — a crash leaves either the old
+/// snapshot or the new one, never a partial file). IOError on
+/// filesystem failure; InvalidArgument on malformed input (null
+/// pointers, out-of-range pair_index or default_pair, a pair with no
+/// flat index).
 Result<SnapshotWriteResult> WriteSnapshot(const std::string& path,
                                           const SnapshotWriteInput& input);
 

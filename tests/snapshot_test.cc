@@ -4,16 +4,24 @@
 // file, a loaded system must re-save losslessly, and the loader must turn
 // malformed inputs into clean errors without touching live state. The
 // adversarial corruption sweep lives in snapshot_fuzz_test.cc (slow).
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/checksum.h"
 #include "core/system.h"
 #include "snapshot/snapshot_format.h"
 #include "snapshot/snapshot_loader.h"
+#include "snapshot/snapshot_writer.h"
 #include "test_util.h"
 #include "workload/corpus_generator.h"
 #include "workload/datasets.h"
@@ -244,12 +252,104 @@ TEST_F(SnapshotTest, SaveIsAtomicOverwrite) {
   UncertainMatchingSystem sys(Options());
   FillSystem(&sys);
   ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
-  // Overwriting an existing snapshot goes through the temp file + rename
-  // path; the result must still load, and no temp file may linger.
+  // Overwriting an existing snapshot goes through the unique temp file +
+  // rename path; the result must still load, and no "<path>.tmp.*" file
+  // may linger.
   ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
-  std::FILE* tmp = std::fopen((path_ + ".tmp").c_str(), "rb");
-  EXPECT_EQ(tmp, nullptr);
-  if (tmp != nullptr) std::fclose(tmp);
+  for (const auto& entry : std::filesystem::directory_iterator(".")) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_NE(name.rfind(path_ + ".tmp", 0), 0u) << "leftover temp: " << name;
+  }
+  UncertainMatchingSystem loaded(Options());
+  EXPECT_TRUE(loaded.LoadSnapshot(path_).ok());
+}
+
+TEST_F(SnapshotTest, WriterRejectsOutOfRangeDefaultPair) {
+  // Both bounds: an index past the pair list AND anything below -1 must
+  // be refused up front — the loader rejects default_pair < -1, so the
+  // writer must never emit such a file.
+  SnapshotWriteInput input;
+  input.default_pair = 0;
+  EXPECT_TRUE(WriteSnapshot(path_, input).status().IsInvalidArgument());
+  input.default_pair = -5;
+  EXPECT_TRUE(WriteSnapshot(path_, input).status().IsInvalidArgument());
+  input.default_pair = -1;
+  EXPECT_TRUE(WriteSnapshot(path_, input).ok());
+}
+
+TEST_F(SnapshotTest, LoaderRejectsEmptyDocName) {
+  // DocumentStore::Add rejects empty names; the loader must catch one
+  // during validation (before any system state is touched), not let the
+  // facade fail mid-install and violate the all-or-nothing contract.
+  UncertainMatchingSystem sys(Options());
+  FillSystem(&sys);
+  ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
+
+  // Shrink doc 0's meta record to an empty name and restamp the section
+  // + directory checksums, so the name check is the only thing failing.
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+  SnapshotHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  auto* directory =
+      reinterpret_cast<SectionEntry*>(bytes.data() + header.directory_offset);
+  bool patched = false;
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry& e = directory[i];
+    if (e.kind != kDocMeta || e.owner != 0) continue;
+    uint8_t* payload = bytes.data() + e.offset;
+    const uint32_t zero = 0;
+    std::memcpy(payload + sizeof(uint32_t), &zero, sizeof(zero));
+    e.length = 2 * sizeof(uint32_t);  // pair_index + zero-length name
+    e.checksum = Fnv1a64(payload, e.length);
+    patched = true;
+    break;
+  }
+  ASSERT_TRUE(patched);
+  const uint64_t dir_sum =
+      Fnv1a64(bytes.data() + header.directory_offset,
+              header.section_count * sizeof(SectionEntry));
+  std::memcpy(bytes.data() + offsetof(SnapshotHeader, directory_checksum),
+              &dir_sum, sizeof(dir_sum));
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+  out.close();
+
+  UncertainMatchingSystem fresh(Options());
+  const Status status = fresh.LoadSnapshot(path_);
+  EXPECT_TRUE(status.IsDataLoss()) << status;
+  EXPECT_NE(status.message().find("empty document name"), std::string::npos)
+      << status;
+  EXPECT_EQ(fresh.pair_count(), 0u);
+  EXPECT_TRUE(fresh.CorpusDocumentNames().empty());
+}
+
+TEST_F(SnapshotTest, SaveRacesCorpusMutationSafely) {
+  // Regression: SaveSnapshot captures raw doc/annotation pointers into
+  // the write input, so it must keep the corpus snapshot alive for the
+  // whole (unlocked) write — a concurrent RemoveDocument dropping the
+  // last owner of a removed entry mid-serialization was a
+  // use-after-free (visible under ASan/TSan).
+  UncertainMatchingSystem sys(Options());
+  FillSystem(&sys);
+  std::atomic<bool> done{false};
+  std::thread mutator([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+        sys.RemoveDocument(scenario_->names[i]);
+        sys.AddDocument(scenario_->names[i], scenario_->documents[i].get());
+      }
+    }
+  });
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(sys.SaveSnapshot(path_).ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  mutator.join();
   UncertainMatchingSystem loaded(Options());
   EXPECT_TRUE(loaded.LoadSnapshot(path_).ok());
 }
