@@ -448,6 +448,108 @@ void BM_ExhaustiveCorpusTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveCorpusTopK)->UseRealTime();
 
+// Document-sensitive bounds on a HOMOGENEOUS corpus: all 64 documents
+// conform to ONE schema pair, so the pair-level answer bound is the same
+// for every one of them and the pre-PR scheduler could not prune at all.
+// The registry's document bound cache (realized answer masses plus the
+// match-existence probe that notices cold documents carry no `gold`
+// element) collapses the 56 cold bounds to the dust-route mass, and a
+// top-5 query retires them unevaluated. BM_SinglePairCorpusExhaustive is
+// the same query down the evaluate-everything path; the same-run ratio
+// is gated >= 2x by tools/check_bench_regression.py
+// (--min-docbound-speedup), and the answers are bit-identical
+// (differential-tested).
+UncertainMatchingSystem* SinglePairCorpusSystem() {
+  static UncertainMatchingSystem* sys = [] {
+    auto made = MakeSinglePairCorpusScenario({});
+    if (!made.ok()) {
+      std::fprintf(stderr, "single-pair corpus scenario failed: %s\n",
+                   made.status().ToString().c_str());
+      std::abort();
+    }
+    auto* scenario =
+        new SinglePairCorpusScenario(std::move(made).ValueOrDie());
+    SystemOptions options;
+    options.top_h.h = 16;  // the pair's mapping space, fully enumerated
+    options.cache.enable_result_cache = false;
+    auto* s = new UncertainMatchingSystem(options);
+    if (!s->PrepareFromMatching(scenario->matching).ok()) std::abort();
+    for (size_t i = 0; i < scenario->documents.size(); ++i) {
+      if (!s->AddDocument(scenario->names[i], scenario->documents[i].get())
+               .ok()) {
+        std::abort();
+      }
+    }
+    return s;
+  }();
+  return sys;
+}
+
+void RunSinglePairCorpusBench(benchmark::State& state, bool bounded) {
+  UncertainMatchingSystem* sys = SinglePairCorpusSystem();
+  CorpusQueryOptions opts;
+  opts.top_k = 5;
+  opts.bounded = bounded;
+  BatchRunOptions run;
+  int evaluated = 0;
+  int pruned = 0;
+  int aborted = 0;
+  for (auto _ : state) {
+    auto response = sys->RunCorpusBatch({"//PROBE"}, opts, run);
+    if (!response.ok() || !response->answers[0].ok()) std::abort();
+    benchmark::DoNotOptimize(response);
+    evaluated = response->corpus.items_evaluated;
+    pruned = response->corpus.items_pruned;
+    aborted = response->corpus.items_aborted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sys->corpus_size()));
+  state.counters["items_evaluated"] = evaluated;
+  state.counters["items_pruned"] = pruned;
+  state.counters["items_aborted"] = aborted;
+}
+
+void BM_SinglePairCorpusTopK(benchmark::State& state) {
+  RunSinglePairCorpusBench(state, /*bounded=*/true);
+}
+BENCHMARK(BM_SinglePairCorpusTopK)->UseRealTime();
+
+void BM_SinglePairCorpusExhaustive(benchmark::State& state) {
+  RunSinglePairCorpusBench(state, /*bounded=*/false);
+}
+BENCHMARK(BM_SinglePairCorpusExhaustive)->UseRealTime();
+
+// Cross-twig scheduling: five twigs over the skewed corpus submitted as
+// ONE batch, so the bounded scheduler runs one shared dispatch pool with
+// per-twig thresholds and best-bound-first interleaving instead of five
+// sequential per-twig passes. Gated against BENCH_baseline.json.
+void BM_ManyTwigCorpusBatch(benchmark::State& state) {
+  UncertainMatchingSystem* sys = SkewedCorpusSystem();
+  const std::vector<std::string> twigs = {"//PROBE", "//BIG", "//F1",
+                                          "//F2", "//F3"};
+  CorpusQueryOptions opts;
+  opts.top_k = 5;
+  BatchRunOptions run;
+  int evaluated = 0;
+  int pruned = 0;
+  for (auto _ : state) {
+    auto response = sys->RunCorpusBatch(twigs, opts, run);
+    if (!response.ok()) std::abort();
+    for (const auto& answer : response->answers) {
+      if (!answer.ok()) std::abort();
+    }
+    benchmark::DoNotOptimize(response);
+    evaluated = response->corpus.items_evaluated;
+    pruned = response->corpus.items_pruned;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sys->corpus_size()) *
+                          static_cast<int64_t>(twigs.size()));
+  state.counters["items_evaluated"] = evaluated;
+  state.counters["items_pruned"] = pruned;
+}
+BENCHMARK(BM_ManyTwigCorpusBatch)->UseRealTime();
+
 // Cross-pair embedding sharing: four compilers (four pairs' plan caches)
 // over one target schema, plan caches cold every iteration — the twig
 // re-plans everywhere, but with the shared EmbeddingCache the schema

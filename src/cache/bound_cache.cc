@@ -1,0 +1,67 @@
+#include "cache/bound_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+
+namespace uxm {
+
+size_t BoundCache::KeyHash::operator()(const BoundCacheKey& k) const {
+  size_t h = std::hash<std::string>()(k.twig);
+  h ^= std::hash<const void*>()(k.doc) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<uint64_t>()(k.epoch) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<int>()(k.top_k) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<bool>()(k.block_tree) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= std::hash<uint64_t>()(k.pair) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+std::optional<double> BoundCache::Lookup(const BoundCacheKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void BoundCache::Insert(const BoundCacheKey& key, double bound) {
+  bound = std::max(bound, 0.0);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second = std::min(it->second, bound);
+    return;
+  }
+  if (max_entries_ > 0 && cache_.size() >= max_entries_) {
+    cache_.clear();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cache_.emplace(key, bound);
+}
+
+void BoundCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cache_.clear();
+}
+
+BoundCacheStats BoundCache::Stats() const {
+  BoundCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.flushes = flushes_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats.entries = cache_.size();
+  return stats;
+}
+
+}  // namespace uxm

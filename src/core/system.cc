@@ -219,7 +219,10 @@ Result<CorpusBatchResponse> UncertainMatchingSystem::RunCorpusBatch(
   cache_ctx.results =
       options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
   cache_ctx.epoch = session.epoch;  // items carry per-document epochs
-  CorpusExecutor corpus_exec(session.executor.get());
+  CorpusExecutor corpus_exec(session.executor.get(),
+                             options_.cache.enable_bound_cache
+                                 ? registry_.bound_cache().get()
+                                 : nullptr);
   return corpus_exec.Run(*session.corpus, twigs, options, &cache_ctx);
 }
 
@@ -535,6 +538,9 @@ void UncertainMatchingSystem::InvalidateResultCache() {
     store_.Restamp(epoch_);
   }
   result_cache_->Clear();
+  // The restamp already made every cached bound structurally unreachable
+  // (keys carry epochs); clearing reclaims the memory immediately.
+  registry_.bound_cache()->Clear();
 }
 
 ResultCacheStats UncertainMatchingSystem::result_cache_stats() const {
@@ -548,6 +554,10 @@ QueryCompilerStats UncertainMatchingSystem::compiler_stats() const {
 
 EmbeddingCacheStats UncertainMatchingSystem::embedding_cache_stats() const {
   return registry_.embedding_cache()->Stats();
+}
+
+BoundCacheStats UncertainMatchingSystem::bound_cache_stats() const {
+  return registry_.bound_cache()->Stats();
 }
 
 std::shared_ptr<const PreparedSchemaPair>

@@ -85,6 +85,12 @@ struct CacheOptions {
   size_t max_result_bytes = size_t{64} << 20;
   /// Mutex stripes of the result cache (clamped to >= 1).
   int result_shards = 16;
+  /// Master switch for the per-(twig, document) answer-bound cache the
+  /// bounded corpus scheduler consults (cache/bound_cache.h). Off, every
+  /// bounded run recomputes its probe bounds and forgets its realized
+  /// bounds. Invalidation rides the same epoch/pair-id discipline as the
+  /// result cache.
+  bool enable_bound_cache = true;
 };
 
 /// \brief End-to-end configuration.
@@ -278,6 +284,10 @@ class UncertainMatchingSystem {
   /// cache (twigs embedded once per target schema, shared by every pair
   /// over it).
   EmbeddingCacheStats embedding_cache_stats() const;
+
+  /// Cumulative counters of the registry-wide per-(twig, document)
+  /// answer-bound cache the bounded corpus scheduler consults.
+  BoundCacheStats bound_cache_stats() const;
 
   /// Snapshot of the default prepared pair (matching, mappings, block
   /// tree, compiler), or null before the first Prepare. The returned

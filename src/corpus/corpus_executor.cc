@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <memory>
 #include <mutex>
-#include <numeric>
 #include <queue>
 #include <unordered_map>
 #include <utility>
@@ -14,52 +14,18 @@
 
 namespace uxm {
 
-namespace {
-
-/// Global answer order: probability descending, then document name, then
-/// match list (both ascending) so equal-probability answers have one
-/// canonical ranking.
 bool AnswerBefore(const CorpusAnswer& a, const CorpusAnswer& b) {
   if (a.probability != b.probability) return a.probability > b.probability;
   if (a.document != b.document) return a.document < b.document;
   return a.matches < b.matches;
 }
 
+namespace {
+
 /// Smallest wave: below this the per-dispatch pool overhead dominates
 /// any pruning win. The effective wave is max(threads, kMinWaveItems) so
 /// every worker has an item even on wide pools.
 constexpr size_t kMinWaveItems = 8;
-
-/// The k best answers seen so far for one twig. With AnswerBefore as the
-/// priority_queue "less", top() is the element that ranks before nothing
-/// else — the current k-th best — whose probability is the pruning
-/// threshold once k answers are in hand.
-class TopKTracker {
- public:
-  explicit TopKTracker(int k) : k_(k) {}
-
-  void Push(const CorpusAnswer& answer) {
-    if (static_cast<int>(heap_.size()) < k_) {
-      heap_.push(answer);
-    } else if (AnswerBefore(answer, heap_.top())) {
-      heap_.pop();
-      heap_.push(answer);
-    }
-  }
-
-  bool full() const { return static_cast<int>(heap_.size()) >= k_; }
-  double kth_probability() const { return heap_.top().probability; }
-
- private:
-  struct WorseLast {
-    bool operator()(const CorpusAnswer& a, const CorpusAnswer& b) const {
-      return AnswerBefore(a, b);
-    }
-  };
-  int k_;
-  std::priority_queue<CorpusAnswer, std::vector<CorpusAnswer>, WorseLast>
-      heap_;
-};
 
 /// Monotone max on the shared threshold (raised by workers as answers
 /// land; read by the driver's cancellation checks and the scheduler).
@@ -88,6 +54,7 @@ void AccumulateReport(const BatchRunReport& wave, BatchRunReport* total) {
   total->result_cache_misses += wave.result_cache_misses;
   total->mappings_pruned += wave.mappings_pruned;
   total->items_aborted += wave.items_aborted;
+  total->items_aborted_in_kernel += wave.items_aborted_in_kernel;
   total->compiler = wave.compiler;
   total->result_cache = wave.result_cache;
 }
@@ -278,6 +245,7 @@ Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
     const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
     const BatchCacheContext* cache) const {
   const size_t num_docs = selected.size();
+  const size_t num_twigs = twigs.size();
   const BatchExecutorOptions& exec_options = executor_->options();
   // Corpus items carry no per-item top_k, so every evaluation runs under
   // the executor's base PtqOptions — the k the per-item bound must match.
@@ -290,138 +258,234 @@ Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
   response.report.num_threads = executor_->num_threads();
   response.report.items_per_thread.assign(
       static_cast<size_t>(executor_->num_threads()), 0);
-  response.answers.reserve(twigs.size());
+  response.corpus.items_total = static_cast<int>(num_twigs * num_docs);
 
-  for (const std::string& twig : twigs) {
-    response.corpus.items_total += static_cast<int>(num_docs);
-
-    // ---- bound phase: one compile + AnswerUpperBound per distinct pair,
-    // shared by all of its documents (schema-level work, document-free).
-    std::unordered_map<uint64_t, double> pair_bound;
-    std::vector<double> bounds(num_docs, 0.0);
+  // Per-twig race state: each twig keeps its OWN top-k and threshold
+  // even though all twigs share one dispatch pool below — an item only
+  // ever prunes/cancels against its own twig's k-th best answer.
+  struct TwigState {
     Status failed = Status::OK();
-    for (size_t d = 0; d < num_docs && failed.ok(); ++d) {
-      const PreparedSchemaPair& pair = *selected[d]->pair;
-      auto it = pair_bound.find(pair.pair_id);
-      if (it == pair_bound.end()) {
-        auto compiled = pair.compiler->Compile(twig);
-        if (!compiled.ok()) {
-          // A compile failure (parse error) is the first failing
-          // (twig, document) status in name order — document d.
-          failed = compiled.status();
-          break;
-        }
-        it = pair_bound.emplace(pair.pair_id,
-                                (*compiled)->AnswerUpperBound(item_k)).first;
-      }
-      bounds[d] = it->second;
-    }
-    if (!failed.ok()) {
-      response.answers.push_back(std::move(failed));
-      continue;
-    }
-
-    // ---- schedule phase: highest bound first; name order breaks ties
-    // (selected is name-sorted, stable_sort keeps it).
-    std::vector<size_t> order(num_docs);
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::stable_sort(order.begin(), order.end(),
-                     [&bounds](size_t a, size_t b) {
-                       return bounds[a] > bounds[b];
-                     });
-
-    std::mutex mu;
-    TopKTracker tracker(options.top_k);
+    size_t failed_doc;  ///< min selected index with a non-cancel failure
+    TopKTracker tracker;
     std::atomic<double> threshold{-1.0};  // answers have probability >= 0
-    std::vector<std::vector<CorpusAnswer>> collapsed(num_docs);
-    std::vector<char> have(num_docs, 0);  // collapsed[d] is populated
-
+    std::mutex mu;
+    std::vector<std::vector<CorpusAnswer>> collapsed;
+    std::vector<char> have;  ///< collapsed[d] is populated
+    std::vector<double> bounds;
     CorpusQueryResult merged;
-    merged.documents_evaluated = static_cast<int>(num_docs);
-    size_t failed_doc = num_docs;  // min index with a non-cancel failure
+    TwigState(int k, size_t n)
+        : failed_doc(n), tracker(k), collapsed(n), have(n, 0), bounds(n, 0.0) {
+      merged.documents_evaluated = static_cast<int>(n);
+    }
+  };
+  std::vector<std::unique_ptr<TwigState>> states;
+  states.reserve(num_twigs);
+  for (size_t t = 0; t < num_twigs; ++t) {
+    states.push_back(std::make_unique<TwigState>(options.top_k, num_docs));
+  }
 
-    size_t pos = 0;
-    while (pos < num_docs && failed.ok()) {
-      // Stop dispatching: with items sorted descending, once the best
-      // remaining bound cannot beat the k-th answer, none can.
-      const double current = threshold.load(std::memory_order_acquire);
-      std::vector<BatchQueryItem> items;
-      std::vector<size_t> item_doc;  // wave index -> selected index
-      while (pos < num_docs && items.size() < wave_size) {
-        const size_t d = order[pos];
-        if (tracker.full() && bounds[d] + kAnswerBoundSlack < current) {
-          // Everything from here on is provably outside the top-k.
-          merged.documents_pruned +=
-              static_cast<int>(num_docs - pos);
-          pos = num_docs;
-          break;
+  // ---- bound phase, per twig: compile once per distinct pair (the
+  // schema-level bound is document-free and shared by all of the pair's
+  // documents), then refine each document with min(pair bound, cached or
+  // probed document bound).
+  for (size_t t = 0; t < num_twigs; ++t) {
+    TwigState& st = *states[t];
+    struct PairInfo {
+      Status status = Status::OK();
+      std::shared_ptr<const QueryPlan> plan;
+      double bound = 0.0;
+    };
+    std::unordered_map<uint64_t, PairInfo> pairs;
+    for (size_t d = 0; d < num_docs; ++d) {
+      const CorpusDocument& entry = *selected[d];
+      auto it = pairs.find(entry.pair->pair_id);
+      if (it == pairs.end()) {
+        PairInfo info;
+        auto compiled = entry.pair->compiler->Compile(twigs[t]);
+        if (compiled.ok()) {
+          info.plan = *compiled;
+          info.bound = info.plan->AnswerUpperBound(item_k);
+        } else {
+          info.status = compiled.status();
         }
-        BatchQueryItem item;
-        item.doc = selected[d]->annotated.get();
-        item.twig = twig;
-        item.epoch = selected[d]->epoch;
-        item.pair = selected[d]->pair;
-        item.priority = bounds[d];
-        items.push_back(std::move(item));
-        item_doc.push_back(d);
-        ++pos;
+        it = pairs.emplace(entry.pair->pair_id, std::move(info)).first;
       }
-      if (items.empty()) break;
-
-      // Workers fold each finished item into the tracker immediately, so
-      // the threshold rises mid-wave and later items of this very wave
-      // can abort at the driver's cancellation checks.
-      BatchRunControl control;
-      control.cancel_threshold = &threshold;
-      control.on_item_done = [&](size_t i, const Result<PtqResult>& r) {
-        if (!r.ok()) return;
-        std::vector<CorpusAnswer> answers =
-            CollapseForCorpus(selected[item_doc[i]]->name, *r);
-        std::lock_guard<std::mutex> lock(mu);
-        for (const CorpusAnswer& a : answers) tracker.Push(a);
-        if (tracker.full()) {
-          RaiseThreshold(&threshold, tracker.kth_probability());
+      const PairInfo& info = it->second;
+      if (!info.status.ok()) {
+        // A compile failure fails EVERY document of its pair, so the
+        // first name-order document of the first failing pair is exactly
+        // the exhaustive path's first failure — deterministic regardless
+        // of which document first triggered the compile (the old code's
+        // memoization-order dependence).
+        st.failed = info.status;
+        st.failed_doc = d;
+        break;
+      }
+      double bound = info.bound;
+      if (bound_cache_ != nullptr) {
+        const BoundCacheKey key{twigs[t],
+                                entry.doc,
+                                entry.epoch,
+                                item_k,
+                                exec_options.use_block_tree,
+                                entry.pair->pair_id};
+        if (const auto cached = bound_cache_->Lookup(key)) {
+          bound = std::min(bound, *cached);
+        } else if (options.probe_bounds && entry.annotated != nullptr) {
+          const double probe =
+              info.plan->DocumentAnswerUpperBound(item_k, *entry.annotated);
+          bound_cache_->Insert(key, probe);
+          bound = std::min(bound, probe);
         }
-        collapsed[item_doc[i]] = std::move(answers);
-        have[item_doc[i]] = 1;
-      };
+      } else if (options.probe_bounds && entry.annotated != nullptr) {
+        bound = std::min(
+            bound, info.plan->DocumentAnswerUpperBound(item_k, *entry.annotated));
+      }
+      st.bounds[d] = bound;
+    }
+    if (!st.failed.ok()) {
+      // The twig never enters the pool: its whole document count is
+      // charged to items_failed, keeping the run-report invariant.
+      response.corpus.items_failed += static_cast<int>(num_docs);
+    }
+  }
 
-      BatchRunReport wave_report;
-      const std::vector<Result<PtqResult>> results =
-          executor_->Run(items, /*default_pair=*/nullptr, &wave_report, cache,
-                         &control);
-      AccumulateReport(wave_report, &response.report);
-      ++response.corpus.dispatches;
+  // ---- schedule phase: ONE pool over all (twig, document) items of the
+  // batch, highest bound first. stable_sort keeps (twig order, name
+  // order) for equal bounds, so a single-twig batch dispatches in
+  // exactly the order the per-twig scheduler used.
+  struct PoolItem {
+    uint32_t twig;
+    uint32_t doc;
+    double bound;
+  };
+  std::vector<PoolItem> pool;
+  pool.reserve(num_twigs * num_docs);
+  for (size_t t = 0; t < num_twigs; ++t) {
+    if (!states[t]->failed.ok()) continue;
+    for (size_t d = 0; d < num_docs; ++d) {
+      pool.push_back(PoolItem{static_cast<uint32_t>(t),
+                              static_cast<uint32_t>(d),
+                              states[t]->bounds[d]});
+    }
+  }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const PoolItem& a, const PoolItem& b) {
+                     return a.bound > b.bound;
+                   });
 
-      for (size_t i = 0; i < results.size(); ++i) {
-        const Result<PtqResult>& r = results[i];
-        if (r.ok()) {
-          merged.truncated_embeddings |= r->truncated_embeddings;
-          ++response.corpus.items_evaluated;
-        } else if (r.status().IsCancelled()) {
-          ++merged.documents_aborted;
-        } else if (item_doc[i] < failed_doc) {
-          failed_doc = item_doc[i];
-          failed = r.status();
+  size_t pos = 0;
+  while (pos < pool.size()) {
+    // Collect the next wave. Between waves no worker is running, so the
+    // trackers/thresholds are quiescent and read without locks.
+    std::vector<BatchQueryItem> items;
+    std::vector<PoolItem> wave;  // wave index -> pool item
+    while (pos < pool.size() && items.size() < wave_size) {
+      const PoolItem pi = pool[pos++];
+      TwigState& st = *states[pi.twig];
+      if (!st.failed.ok()) {
+        // The twig failed in an earlier wave; its leftover items are
+        // never dispatched, but still accounted.
+        ++response.corpus.items_failed;
+        continue;
+      }
+      if (st.tracker.full() &&
+          pi.bound + kAnswerBoundSlack <
+              st.threshold.load(std::memory_order_acquire)) {
+        // Provably outside this twig's top-k. (Unlike the single-twig
+        // scheduler there is no tail cut here: a later pool item may
+        // belong to a different twig whose threshold it still beats.)
+        ++st.merged.documents_pruned;
+        ++response.corpus.items_pruned;
+        continue;
+      }
+      const CorpusDocument& entry = *selected[pi.doc];
+      BatchQueryItem item;
+      item.doc = entry.annotated.get();
+      item.twig = twigs[pi.twig];
+      item.epoch = entry.epoch;
+      item.pair = entry.pair;
+      item.priority = pi.bound;
+      item.cancel_threshold = &st.threshold;  // races its own twig only
+      items.push_back(std::move(item));
+      wave.push_back(pi);
+    }
+    if (items.empty()) continue;
+
+    // Workers fold each finished item into its twig's tracker
+    // immediately, so thresholds rise mid-wave and later items of this
+    // very wave can abort — at the driver's checks or inside the kernel.
+    BatchRunControl control;
+    control.on_item_done = [&](size_t i, const Result<PtqResult>& r) {
+      if (!r.ok()) return;
+      const PoolItem pi = wave[i];
+      TwigState& st = *states[pi.twig];
+      const CorpusDocument& entry = *selected[pi.doc];
+      std::vector<CorpusAnswer> answers = CollapseForCorpus(entry.name, *r);
+      if (bound_cache_ != nullptr) {
+        // Realized bound: evaluation is deterministic in this key, so
+        // the best collapsed answer (0 when there is none) is an exact
+        // bound for any later run under the same key — usually far
+        // tighter than the probe it refines (Insert keeps the min).
+        bound_cache_->Insert(
+            BoundCacheKey{twigs[pi.twig], entry.doc, entry.epoch, item_k,
+                          exec_options.use_block_tree, entry.pair->pair_id},
+            answers.empty() ? 0.0 : answers.front().probability);
+      }
+      std::lock_guard<std::mutex> lock(st.mu);
+      for (const CorpusAnswer& a : answers) st.tracker.Push(a);
+      if (st.tracker.full()) {
+        RaiseThreshold(&st.threshold, st.tracker.kth_probability());
+      }
+      st.collapsed[pi.doc] = std::move(answers);
+      st.have[pi.doc] = 1;
+    };
+
+    BatchRunReport wave_report;
+    const std::vector<Result<PtqResult>> results = executor_->Run(
+        items, /*default_pair=*/nullptr, &wave_report, cache, &control);
+    AccumulateReport(wave_report, &response.report);
+    ++response.corpus.dispatches;
+
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PoolItem pi = wave[i];
+      TwigState& st = *states[pi.twig];
+      const Result<PtqResult>& r = results[i];
+      if (r.ok()) {
+        st.merged.truncated_embeddings |= r->truncated_embeddings;
+        ++response.corpus.items_evaluated;
+      } else if (r.status().IsCancelled()) {
+        ++st.merged.documents_aborted;
+        ++response.corpus.items_aborted;
+      } else {
+        ++response.corpus.items_failed;
+        if (pi.doc < st.failed_doc) {
+          st.failed_doc = pi.doc;
+          st.failed = r.status();
         }
       }
     }
+  }
+  response.corpus.items_aborted_in_kernel =
+      response.report.items_aborted_in_kernel;
 
-    if (!failed.ok()) {
-      response.answers.push_back(std::move(failed));
+  // ---- finalize in input-twig order.
+  response.answers.reserve(num_twigs);
+  for (size_t t = 0; t < num_twigs; ++t) {
+    TwigState& st = *states[t];
+    if (!st.failed.ok()) {
+      response.answers.push_back(std::move(st.failed));
       continue;
     }
-    response.corpus.items_pruned += merged.documents_pruned;
-    response.corpus.items_aborted += merged.documents_aborted;
     // Skipped documents left empty lists in `collapsed`; MergeTopK
     // ignores empty lists, and their absence is exactly what the bounds
     // proved sound.
-    merged.answers = MergeTopK(collapsed, options.top_k);
+    st.merged.answers = MergeTopK(st.collapsed, options.top_k);
 #ifndef NDEBUG
-    CertifyBoundedTopK(selected, twig, options.top_k, exec_options,
-                       std::move(collapsed), have, merged.answers);
+    CertifyBoundedTopK(selected, twigs[t], options.top_k, exec_options,
+                       std::move(st.collapsed), st.have, st.merged.answers);
 #endif
-    response.answers.push_back(std::move(merged));
+    response.answers.push_back(std::move(st.merged));
   }
   return response;
 }

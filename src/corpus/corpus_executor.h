@@ -11,26 +11,41 @@
 //
 // Bound-driven scheduling (Threshold Algorithm over §IV-C bounds): when a
 // global top-k budget is set, the executor does NOT evaluate every
-// (twig, document) item. Each item's pair yields a cheap document-
-// independent upper bound on any answer it can produce
-// (QueryPlan::AnswerUpperBound — the mass of the mappings its selection
-// may consume, derived from the pair's shared descending-probability
-// work-unit order). Items are dispatched in descending-bound waves while
-// a tracker keeps the k best answers found so far; the k-th best
-// probability is published as a shared atomic threshold that (a) stops
-// dispatching — once the best remaining bound falls below it, every
-// remaining item is pruned unevaluated — and (b) aborts already-
-// dispatched items in flight (the ExecutionDriver rechecks the threshold
-// before its expensive phases and returns Status::Cancelled). This is
-// EXACT, not approximate: an item is only skipped when every answer it
-// could produce provably ranks below the current k-th best (strict
-// inequality with kAnswerBoundSlack guarding float noise), so the merged
-// top-k is bit-identical to the exhaustive fan-out — debug builds
-// re-evaluate every skipped item and certify it, and
-// tests/differential_test.cc sweeps bounded vs brute force. Within one
-// pair the bound equals the twig's relevant mass, which no answer can
-// exceed, so homogeneous corpora never prune; the win is heterogeneous
-// corpora where most pairs' bounds are dominated by a few hot pairs.
+// (twig, document) item. Each item gets an answer upper bound from two
+// sources, and the scheduler uses their min:
+//
+//   * the pair-level bound (QueryPlan::AnswerUpperBound — the mass of
+//     the mappings the item's selection may consume, derived from the
+//     pair's shared descending-probability work-unit order), shared by
+//     every document prepared under one pair; and
+//   * a per-(twig, document) refinement from the registry's BoundCache
+//     (cache/bound_cache.h): the realized best answer of a prior
+//     evaluation under the same key, seeded on first contact by a cheap
+//     match-existence probe over the document's annotation
+//     (QueryPlan::DocumentAnswerUpperBound). This is what lets a
+//     HOMOGENEOUS single-pair corpus prune: under one pair every item
+//     shares one pair bound, but skewed documents get strictly smaller
+//     document bounds.
+//
+// All (twig, document) items of the batch enter ONE shared dispatch
+// pool, interleaved best-bound-first across twigs (many-twig batches
+// keep wide pools saturated instead of draining one twig at a time).
+// Each twig races its own top-k: a per-twig tracker keeps the k best
+// answers found so far, and the twig's k-th best probability is
+// published as its own atomic threshold that (a) stops dispatching —
+// an item whose bound falls below its twig's threshold is pruned
+// unevaluated — and (b) aborts already-dispatched items in flight (the
+// ExecutionDriver rechecks the threshold before its expensive phases,
+// and the flat kernel polls it every few dozen inner-loop steps, so
+// even a long evaluation the threshold overtakes mid-flight stops
+// within microseconds and returns Status::Cancelled). This is EXACT,
+// not approximate: an item is only skipped when every answer it could
+// produce provably ranks below its twig's current k-th best (strict
+// inequality with kAnswerBoundSlack guarding float noise; realized
+// bounds are exact because evaluation is deterministic in the cache
+// key), so the merged top-k is bit-identical to the exhaustive fan-out
+// — debug builds re-evaluate every skipped item and certify it, and
+// tests/differential_test.cc sweeps bounded vs brute force.
 //
 // Merge semantics: each document's PtqResult is first collapsed by match
 // set via PtqResult::CollapseByMatches (answers over different mappings
@@ -45,9 +60,11 @@
 #ifndef UXM_CORPUS_CORPUS_EXECUTOR_H_
 #define UXM_CORPUS_CORPUS_EXECUTOR_H_
 
+#include <queue>
 #include <string>
 #include <vector>
 
+#include "cache/bound_cache.h"
 #include "common/status.h"
 #include "corpus/document_store.h"
 #include "exec/batch_executor.h"
@@ -80,6 +97,13 @@ struct CorpusQueryOptions {
   /// also means an evaluation failure inside a document the scheduler
   /// skipped is never observed (see CorpusExecutor::Run).
   bool bounded = true;
+  /// Seed unknown (twig, document) bounds with the cheap match-existence
+  /// probe over the document's annotation
+  /// (QueryPlan::DocumentAnswerUpperBound) during the bound phase.
+  /// Realized bounds recorded by prior bounded runs are consulted either
+  /// way (through the BoundCache the executor was built with). Only
+  /// meaningful for the bounded scheduler.
+  bool probe_bounds = true;
 };
 
 /// \brief Merged answers for one twig over the corpus.
@@ -101,12 +125,22 @@ struct CorpusQueryResult {
 
 /// \brief Bound-driven scheduling statistics for one corpus run, summed
 /// over every twig of the batch. items are (twig, document) units.
+/// Invariant (pinned by tests): items_total == items_evaluated +
+/// items_pruned + items_aborted + items_failed — every considered item
+/// lands in exactly one bucket, failures included.
 struct CorpusRunReport {
   int items_total = 0;      ///< twig x document units considered
   int items_evaluated = 0;  ///< dispatched and evaluated (or cache hits)
   int items_pruned = 0;     ///< never dispatched (bound below threshold)
   int items_aborted = 0;    ///< cancelled in flight by the threshold
-  int dispatches = 0;       ///< executor waves issued
+  /// Of items_aborted, those whose abort happened INSIDE the evaluation
+  /// kernel rather than at the driver's cheap pre-evaluation checks.
+  int items_aborted_in_kernel = 0;
+  /// Items that failed (their twig's answer slot holds the status) plus
+  /// items never dispatched because their twig had already failed — a
+  /// compile failure charges the twig's whole document count here.
+  int items_failed = 0;
+  int dispatches = 0;  ///< executor waves issued
 };
 
 /// \brief Batch answers, one slot per input twig (input order), plus the
@@ -116,6 +150,57 @@ struct CorpusBatchResponse {
   std::vector<Result<CorpusQueryResult>> answers;
   BatchRunReport report;
   CorpusRunReport corpus;
+};
+
+/// Global answer order: probability descending, then document name, then
+/// match list (both ascending) so equal-probability answers have one
+/// canonical ranking. Exposed for testing (CollapseForCorpus, MergeTopK
+/// and TopKTracker all rank by it).
+bool AnswerBefore(const CorpusAnswer& a, const CorpusAnswer& b);
+
+/// \brief The k best answers seen so far for one twig. With AnswerBefore
+/// as the priority_queue "less", top() is the element that ranks before
+/// nothing else — the current k-th best — whose probability is the
+/// pruning threshold once k answers are in hand.
+///
+/// k <= 0 means "no budget": the tracker holds nothing, full() is never
+/// true and kth_probability() is 0.0, so a caller that prunes only
+/// against a full tracker (the scheduler's contract) prunes nothing.
+/// This used to be undefined behavior guarded solely by a check in
+/// CorpusExecutor::Run; the tracker now defends itself so new call
+/// sites (cross-twig pool, sharded serving) cannot reintroduce it.
+class TopKTracker {
+ public:
+  explicit TopKTracker(int k) : k_(k) {}
+
+  void Push(const CorpusAnswer& answer) {
+    if (k_ <= 0) return;
+    if (static_cast<int>(heap_.size()) < k_) {
+      heap_.push(answer);
+    } else if (AnswerBefore(answer, heap_.top())) {
+      heap_.pop();
+      heap_.push(answer);
+    }
+  }
+
+  /// True iff k answers are in hand (never for k <= 0).
+  bool full() const { return k_ > 0 && static_cast<int>(heap_.size()) >= k_; }
+
+  /// The current k-th best probability; 0.0 while empty (a threshold no
+  /// bound can strictly fall below, so it never prunes).
+  double kth_probability() const {
+    return heap_.empty() ? 0.0 : heap_.top().probability;
+  }
+
+ private:
+  struct WorseLast {
+    bool operator()(const CorpusAnswer& a, const CorpusAnswer& b) const {
+      return AnswerBefore(a, b);
+    }
+  };
+  int k_;
+  std::priority_queue<CorpusAnswer, std::vector<CorpusAnswer>, WorseLast>
+      heap_;
 };
 
 /// Collapses one document's PtqResult into per-match-set corpus answers
@@ -138,8 +223,14 @@ std::vector<CorpusAnswer> MergeTopK(
 /// single-document traffic share one thread pool and one set of caches.
 class CorpusExecutor {
  public:
-  explicit CorpusExecutor(const BatchQueryExecutor* executor)
-      : executor_(executor) {}
+  /// `bound_cache` (optional, borrowed — normally the registry's, see
+  /// SchemaPairRegistry::bound_cache) supplies and receives the
+  /// per-(twig, document) bounds of the bounded scheduler; null disables
+  /// document-sensitive bound caching (probe bounds are then computed
+  /// per run and realized bounds are not remembered).
+  explicit CorpusExecutor(const BatchQueryExecutor* executor,
+                          BoundCache* bound_cache = nullptr)
+      : executor_(executor), bound_cache_(bound_cache) {}
 
   /// Evaluates every twig against the corpus (or the options.documents
   /// subset) — through the bound-driven scheduler when options.bounded
@@ -166,14 +257,18 @@ class CorpusExecutor {
       const std::vector<std::string>& twigs,
       const CorpusQueryOptions& options, const BatchCacheContext* cache) const;
 
-  /// The Threshold-Algorithm scheduler (see file comment), one twig at a
-  /// time: bound -> sort -> dispatch waves -> prune/abort -> merge.
+  /// The Threshold-Algorithm scheduler (see file comment): per-twig
+  /// bound phase (pair bound min'd with the cached/probed document
+  /// bound) -> ONE cross-twig pool sorted best-bound-first -> dispatch
+  /// waves with per-twig trackers/thresholds -> prune/abort/fail
+  /// accounting -> per-twig merge + debug certificate.
   Result<CorpusBatchResponse> RunBounded(
       const std::vector<const CorpusDocument*>& selected,
       const std::vector<std::string>& twigs,
       const CorpusQueryOptions& options, const BatchCacheContext* cache) const;
 
   const BatchQueryExecutor* executor_;
+  BoundCache* bound_cache_;
 };
 
 }  // namespace uxm

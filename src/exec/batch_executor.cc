@@ -20,6 +20,7 @@ struct WorkerScratch {
   int result_misses = 0;
   int mappings_pruned = 0;
   int aborted = 0;
+  int aborted_in_kernel = 0;
 };
 
 }  // namespace
@@ -132,7 +133,9 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
         request.epoch = item.epoch != 0 ? item.epoch : epoch;
         if (control != nullptr) {
           request.upper_bound = item.priority;
-          request.cancel_threshold = control->cancel_threshold;
+          request.cancel_threshold = item.cancel_threshold != nullptr
+                                         ? item.cancel_threshold
+                                         : control->cancel_threshold;
         }
         DriverCounters counters;
         results[i] = ExecutionDriver::Execute(request, &counters);
@@ -141,6 +144,7 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
         ws.result_misses += counters.result_miss ? 1 : 0;
         ws.mappings_pruned += counters.select.skipped;
         ws.aborted += counters.cancelled ? 1 : 0;
+        ws.aborted_in_kernel += counters.cancelled_in_kernel ? 1 : 0;
         if (control != nullptr && control->on_item_done) {
           control->on_item_done(i, results[i]);
         }
@@ -166,6 +170,7 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
       report->result_cache_misses += ws.result_misses;
       report->mappings_pruned += ws.mappings_pruned;
       report->items_aborted += ws.aborted;
+      report->items_aborted_in_kernel += ws.aborted_in_kernel;
     }
     // Sample compiler stats from the default pair, or — for pair-carried
     // runs like corpus fan-outs — from the first item's pair, so corpus

@@ -62,6 +62,12 @@ struct BatchQueryItem {
   /// does); with a BatchRunControl threshold bound, it is also the bound
   /// the driver cancels against. Ignored without a control.
   double priority = 0.0;
+  /// Per-item cancel threshold override; null inherits the run's
+  /// BatchRunControl threshold. The cross-twig corpus scheduler mixes
+  /// items of several twigs into one dispatch and each twig races its
+  /// OWN top-k, so each item must cancel against its own twig's
+  /// threshold. Ignored without a control.
+  const std::atomic<double>* cancel_threshold = nullptr;
 };
 
 /// \brief Optional per-Run hooks for bound-driven scheduling (the corpus
@@ -118,6 +124,11 @@ struct BatchRunReport {
   /// Items aborted in flight by a BatchRunControl cancel threshold
   /// (their result slots hold Status::Cancelled).
   int items_aborted = 0;
+  /// The subset of items_aborted whose abort happened INSIDE the
+  /// evaluation kernel (the threshold overtook the item after its
+  /// evaluation had started), as opposed to the driver's cheap
+  /// pre-evaluation checks.
+  int items_aborted_in_kernel = 0;
   /// Cumulative cache state sampled at the end of the run: the default
   /// pair's compiler, or the first item's pair when the run had no
   /// default (e.g. corpus fan-outs). Zero-valued only for empty

@@ -75,14 +75,23 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
   // One Reset per evaluation: everything the previous request carved
   // out of this arena is reclaimed (and coalesced) here.
   arena->Reset();
+  // Same predicate as ShouldCancel, pre-reduced to one double so the
+  // kernel's periodic ticks are a load and a compare.
+  KernelCancelContext cancel;
+  cancel.threshold = request.cancel_threshold;
+  cancel.cancel_above = request.upper_bound + kAnswerBoundSlack;
   Result<PtqResult> answer =
       request.use_block_tree
           ? EvaluateTreeFlat(plan.query(), plan.embeddings(), selected,
                              plan.truncated_embeddings(), *pair.flat,
-                             *request.doc, request.options, arena)
+                             *request.doc, request.options, arena, &cancel)
           : EvaluateBasicFlat(plan.query(), plan.embeddings(), selected,
                               plan.truncated_embeddings(), *pair.flat,
-                              *request.doc, request.options, arena);
+                              *request.doc, request.options, arena, &cancel);
+  if (!answer.ok() && answer.status().IsCancelled() && counters != nullptr) {
+    counters->cancelled = true;
+    counters->cancelled_in_kernel = true;
+  }
   if (answer.ok() && request.cache != nullptr) {
     request.cache->Insert(key,
                           std::make_shared<const PtqResult>(answer.value()));

@@ -50,8 +50,11 @@ struct DriverRequest {
   /// the current k-th best answer probability. Whenever threshold >
   /// upper_bound + kAnswerBoundSlack, no answer of this request can
   /// enter the global top-k, so Execute aborts with Status::Cancelled
-  /// (checked on entry after the result-cache probe, and again between
-  /// mapping selection and evaluation). Null threshold = never cancel.
+  /// (checked on entry after the result-cache probe, again between
+  /// mapping selection and evaluation, and periodically INSIDE the
+  /// evaluation kernel — see KernelCancelContext — so a long evaluation
+  /// the threshold passes mid-flight stops within microseconds instead
+  /// of running to completion). Null threshold = never cancel.
   double upper_bound = 0.0;
   const std::atomic<double>* cancel_threshold = nullptr;
 
@@ -68,6 +71,10 @@ struct DriverCounters {
   bool result_hit = false;
   bool result_miss = false;  ///< looked up but absent (false if no cache)
   bool cancelled = false;    ///< aborted by the shared cancel threshold
+  /// Set (along with `cancelled`) when the abort happened INSIDE the
+  /// evaluation kernel — the threshold passed this item after evaluation
+  /// had already started — as opposed to the cheap pre-evaluation checks.
+  bool cancelled_in_kernel = false;
   /// Early-termination accounting of the mapping selection (zero on a
   /// result-cache hit — nothing was selected).
   PlanSelectStats select;

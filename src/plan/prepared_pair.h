@@ -25,6 +25,7 @@
 
 #include "blocktree/block_tree.h"
 #include "blocktree/flat_block_tree.h"
+#include "cache/bound_cache.h"
 #include "cache/embedding_cache.h"
 #include "cache/query_compiler.h"
 #include "common/status.h"
@@ -155,11 +156,18 @@ class SchemaPairRegistry {
     return embeddings_;
   }
 
+  /// The registry-wide document-sensitive answer-bound cache consulted by
+  /// the corpus scheduler (cache/bound_cache.h). Keys carry epochs and
+  /// pair ids, so the facade's invalidation discipline covers it the same
+  /// way it covers the result cache. Never null.
+  const std::shared_ptr<BoundCache>& bound_cache() const { return bounds_; }
+
  private:
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs_;
   std::shared_ptr<EmbeddingCache> embeddings_ =
       std::make_shared<EmbeddingCache>();
+  std::shared_ptr<BoundCache> bounds_ = std::make_shared<BoundCache>();
 };
 
 }  // namespace uxm

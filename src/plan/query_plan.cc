@@ -1,8 +1,11 @@
 #include "plan/query_plan.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 
+#include "query/annotated_document.h"
 #include "query/ptq.h"
 
 namespace uxm {
@@ -156,6 +159,74 @@ double QueryPlan::AnswerUpperBound(int top_k) const {
     if (!IsRelevant(mid)) continue;
     mass += table_->probability[static_cast<size_t>(mid)];
     if (++found == top_k) break;
+  }
+  return mass;
+}
+
+double QueryPlan::DocumentAnswerUpperBound(
+    int top_k, const AnnotatedDocument& doc) const {
+  const std::vector<std::vector<SchemaNodeId>>& assignments =
+      embeddings_->assignments;
+  if (assignments.empty()) return 0.0;
+  const int width = query_.size();
+  // Per-(query node, source element) existence memo for this call: the
+  // same binding recurs across mappings and embeddings, and the value
+  // predicate scan should run once per distinct binding.
+  std::unordered_map<uint64_t, bool> exists;
+  auto has_instance = [&](int q, SchemaNodeId src) {
+    const uint64_t key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(q)) << 32) |
+        static_cast<uint32_t>(src);
+    const auto it = exists.find(key);
+    if (it != exists.end()) return it->second;
+    const std::vector<DocNodeId>& inst = doc.InstancesOf(src);
+    const TwigNode& qn = query_.node(q);
+    bool found;
+    if (!qn.value_eq.has_value()) {
+      found = !inst.empty();
+    } else {
+      found = false;
+      const Document& d = doc.doc();
+      for (DocNodeId n : inst) {
+        if (d.text(n) == *qn.value_eq) {
+          found = true;
+          break;
+        }
+      }
+    }
+    exists.emplace(key, found);
+    return found;
+  };
+  // A mapping may produce an output only if SOME embedding binds every
+  // query node to a source element with a satisfying instance: an
+  // invalid binding or an empty candidate list empties that node's
+  // satisfaction set, and the kernels' child-containment joins carry the
+  // emptiness to the root.
+  auto may_match = [&](MappingId mid) {
+    const SchemaNodeId* row = table_->Row(mid);
+    for (const std::vector<SchemaNodeId>& emb : assignments) {
+      bool ok = true;
+      for (int q = 0; q < width && ok; ++q) {
+        const SchemaNodeId t = emb[static_cast<size_t>(q)];
+        const SchemaNodeId src =
+            t == kInvalidSchemaNode ? kInvalidSchemaNode : row[t];
+        ok = src != kInvalidSchemaNode && has_instance(q, src);
+      }
+      if (ok) return true;
+    }
+    return false;
+  };
+  // Same selection prefix as AnswerUpperBound (the first top_k relevant
+  // units, or all of them), restricted to mappings that may match.
+  double mass = 0.0;
+  int found = 0;
+  for (size_t i = 0; i < order_->by_probability.size(); ++i) {
+    const MappingId mid = order_->by_probability[i];
+    if (!IsRelevant(mid)) continue;
+    if (may_match(mid)) {
+      mass += table_->probability[static_cast<size_t>(mid)];
+    }
+    if (top_k > 0 && ++found == top_k) break;
   }
   return mass;
 }

@@ -29,6 +29,8 @@
 
 namespace uxm {
 
+class AnnotatedDocument;
+
 /// \brief The schema embeddings of one twig: every assignment of target
 /// elements to query nodes (EmbedQueryInSchema), plus whether the
 /// max_embeddings cap truncated the enumeration. Embeddings depend only
@@ -139,6 +141,30 @@ class QueryPlan {
   /// one pair share one bound computation. Callers comparing answers
   /// against the bound must allow kAnswerBoundSlack for float noise.
   double AnswerUpperBound(int top_k) const;
+
+  /// \brief Document-sensitive refinement of AnswerUpperBound: an upper
+  /// bound on the probability of any single answer an evaluation of this
+  /// plan with `top_k` can produce AGAINST `doc` specifically.
+  ///
+  /// Walks the same selection prefix AnswerUpperBound walks (the first
+  /// top_k relevant mappings in descending-probability order; all of
+  /// them for top_k <= 0) but only sums mappings that MAY match the
+  /// document: a mapping counts iff some embedding binds every query
+  /// node to a mapped source element with at least one instance in the
+  /// document's annotation satisfying the node's value predicate. For
+  /// any other mapping, some query node's candidate list is empty under
+  /// every embedding, the emptiness propagates to the twig root through
+  /// the kernels' child-containment checks, and the mapping contributes
+  /// no output — so dropping its mass keeps the bound sound. This is a
+  /// cheap existence probe over the annotation's per-element instance
+  /// lists (no region joins, no match enumeration); the corpus
+  /// scheduler uses min(AnswerUpperBound, this) per (twig, document)
+  /// and caches it registry-wide (cache/bound_cache.h), which is what
+  /// lets homogeneous single-pair corpora prune at all. Always
+  /// <= AnswerUpperBound(top_k) up to float noise; callers must allow
+  /// kAnswerBoundSlack as usual.
+  double DocumentAnswerUpperBound(int top_k,
+                                  const AnnotatedDocument& doc) const;
 
   /// Full relevance computations performed so far (test/bench probe:
   /// early-terminated selections keep this below |M|).

@@ -51,13 +51,15 @@ class FlatEvaluator {
   FlatEvaluator(const TwigQuery& query, const FlatPairIndex& index,
                 const AnnotatedDocument& doc, const PtqOptions& options,
                 const std::vector<MappingId>& relevant,
-                MonotonicScratch* arena)
+                MonotonicScratch* arena, const KernelCancelContext* cancel)
       : query_(query),
         index_(index),
         doc_(doc),
         options_(options),
         relevant_(relevant),
         arena_(arena),
+        cancel_(cancel != nullptr && cancel->threshold != nullptr ? cancel
+                                                                  : nullptr),
         width_(query.size()) {
     // Twig nodes are stored in pre-order, so subtree(i) == the contiguous
     // id range [i, i + sub_size_[i]).
@@ -97,6 +99,27 @@ class FlatEvaluator {
     is_active_ = arena_->AllocateArray<uint8_t>(m);
     std::memset(is_active_, 0, m);
     for (MappingId mid : relevant_) is_active_[static_cast<size_t>(mid)] = 1;
+  }
+
+  /// True once a cancellation tick observed the shared threshold above
+  /// this evaluation's bound. Sticky: the evaluation is abandoned, its
+  /// partial state is never read, and the caller discards the result.
+  bool Cancelled() const { return cancelled_; }
+
+  /// Periodic cancellation check, called from the kernel's inner loops.
+  /// The first call and every kCancelStride-th thereafter perform one
+  /// relaxed load of the shared threshold; in between it is a counter
+  /// bump — cheap enough for per-candidate placement without disturbing
+  /// the hot path. Polling on the first call makes an evaluation whose
+  /// bound is already beaten abort at its first poll site instead of
+  /// only after a full stride of work.
+  bool Tick() {
+    if (cancelled_) return true;
+    if (cancel_ == nullptr) return false;
+    if (cancel_tick_++ % kCancelStride != 0) return false;
+    cancelled_ = cancel_->threshold->load(std::memory_order_relaxed) >
+                 cancel_->cancel_above;
+    return cancelled_;
   }
 
   /// Mirror of TwigMatcher::Candidates. Without a value predicate the
@@ -141,6 +164,9 @@ class FlatEvaluator {
       }
       ScratchVec<DocNodeId> out(arena_);
       for (DocNodeId d : cands) {
+        // Per-candidate cancellation tick; on cancel the remaining spans
+        // stay valid-but-truncated, and the whole result is discarded.
+        if (Tick()) break;
         const DocNode& dn = doc.node(d);
         bool ok = true;
         for (int c : qn.children) {
@@ -182,6 +208,7 @@ class FlatEvaluator {
       if (q == q_root) break;
     }
     if (chain.empty() || chain[chain.size() - 1] != q_root) return result;
+    if (cancelled_) return result;
     std::reverse(chain.begin(), chain.end());
     result.has_output = true;
 
@@ -194,6 +221,7 @@ class FlatEvaluator {
       const Span& cs = sat[static_cast<size_t>(q)];
       ScratchVec<OutPair> next(arena_);
       for (size_t pi = 0; pi < pairs.size(); ++pi) {
+        if (Tick()) break;
         const OutPair p = pairs[pi];
         const DocNode& dn = doc.node(p.out);
         const DocNodeId* lo = std::lower_bound(
@@ -248,6 +276,11 @@ class FlatEvaluator {
     FlatProjected** outs =
         arena_->AllocateArray<FlatProjected*>(static_cast<size_t>(width_));
     for (size_t vi = visit.size(); vi-- > 0;) {
+      // A cancelled EvalNode may leave its per-mapping array partially
+      // written; bailing here — before any PARENT node would read those
+      // slots — is what keeps cancellation memory-safe (the arrays are
+      // not zero-filled).
+      if (cancelled_) break;
       const int q = visit[vi];
       // Not zero-filled: EvalNode writes every relevant mapping's slot in
       // all three of its cases (block-assigned + residual covers the
@@ -284,6 +317,7 @@ class FlatEvaluator {
       const SchemaNodeId* cs = tree.corr_source.data();
       for (uint32_t b = tree.node_block_begin[static_cast<size_t>(t)];
            b < tree.node_block_begin[static_cast<size_t>(t) + 1]; ++b) {
+        if (Tick()) return;
         std::fill(binding, binding + width_, kInvalidSchemaNode);
         const uint32_t cb = tree.corr_begin[b];
         const uint32_t ce = tree.corr_begin[b + 1];
@@ -311,6 +345,7 @@ class FlatEvaluator {
       }
       // Mappings not covered by any block: evaluate directly.
       for (MappingId mid : relevant_) {
+        if (Tick()) return;
         if (assigned[static_cast<size_t>(mid)]) continue;
         const SchemaNodeId* row = maps.Row(mid);
         std::fill(binding, binding + width_, kInvalidSchemaNode);
@@ -369,6 +404,7 @@ class FlatEvaluator {
       return c != 0 ? c < 0 : a < b;
     });
     for (size_t g = 0; g < n_rel;) {
+      if (Tick()) return;
       size_t h = g + 1;
       while (h < n_rel &&
              std::memcmp(tup + order[g] * static_cast<size_t>(w),
@@ -471,12 +507,20 @@ class FlatEvaluator {
     return y;
   }
 
+  /// Inner-loop steps between threshold loads (see Tick). Small enough
+  /// that a passed-over item stops within microseconds, large enough that
+  /// the check is invisible next to the region joins it gates.
+  static constexpr uint32_t kCancelStride = 64;
+
   const TwigQuery& query_;
   const FlatPairIndex& index_;
   const AnnotatedDocument& doc_;
   const PtqOptions& options_;
   const std::vector<MappingId>& relevant_;
   MonotonicScratch* arena_;
+  const KernelCancelContext* cancel_;
+  uint32_t cancel_tick_ = 0;
+  bool cancelled_ = false;
   const int width_;
   int* sub_size_ = nullptr;
   int* post_ = nullptr;
@@ -486,23 +530,35 @@ class FlatEvaluator {
 
 }  // namespace
 
+namespace {
+
+Status KernelCancelledStatus() {
+  return Status::Cancelled(
+      "evaluation abandoned mid-kernel by the corpus top-k threshold");
+}
+
+}  // namespace
+
 Result<PtqResult> EvaluateBasicFlat(
     const TwigQuery& query,
     const std::vector<std::vector<SchemaNodeId>>& embeddings,
     const std::vector<MappingId>& relevant, bool truncated,
     const FlatPairIndex& index, const AnnotatedDocument& doc,
-    const PtqOptions& options, MonotonicScratch* arena) {
+    const PtqOptions& options, MonotonicScratch* arena,
+    const KernelCancelContext* cancel) {
   if (query.size() == 0) return Status::InvalidArgument("empty query");
   PtqResult result;
   result.truncated_embeddings = truncated;
   if (relevant.empty()) return result;
-  FlatEvaluator ev(query, index, doc, options, relevant, arena);
+  FlatEvaluator ev(query, index, doc, options, relevant, arena, cancel);
   SchemaNodeId* binding =
       arena->AllocateArray<SchemaNodeId>(static_cast<size_t>(query.size()));
   for (MappingId mid : relevant) {
+    if (ev.Cancelled()) return KernelCancelledStatus();
     const SchemaNodeId* row = index.mappings.Row(mid);
     ScratchVec<DocNodeId> all(arena);
     for (const auto& emb : embeddings) {
+      if (ev.Cancelled()) return KernelCancelledStatus();
       // RewriteBinding: unmapped node => this embedding yields nothing
       // under this mapping.
       bool ok = true;
@@ -544,12 +600,13 @@ Result<PtqResult> EvaluateTreeFlat(
     const std::vector<std::vector<SchemaNodeId>>& embeddings,
     const std::vector<MappingId>& relevant, bool truncated,
     const FlatPairIndex& index, const AnnotatedDocument& doc,
-    const PtqOptions& options, MonotonicScratch* arena) {
+    const PtqOptions& options, MonotonicScratch* arena,
+    const KernelCancelContext* cancel) {
   if (query.size() == 0) return Status::InvalidArgument("empty query");
   PtqResult result;
   result.truncated_embeddings = truncated;
   if (relevant.empty()) return result;
-  FlatEvaluator ev(query, index, doc, options, relevant, arena);
+  FlatEvaluator ev(query, index, doc, options, relevant, arena, cancel);
   const size_t m = index.mappings.num_mappings;
   const size_t n_rel = relevant.size();
   const size_t n_emb = embeddings.size();
@@ -562,6 +619,9 @@ Result<PtqResult> EvaluateTreeFlat(
   MappingId* fp = arena->AllocateArray<MappingId>(n_rel * n_emb);
   for (size_t e = 0; e < n_emb; ++e) {
     per_emb[e] = ev.EvalEmbedding(embeddings[e], rep);
+    // A cancelled EvalEmbedding leaves rep (and the projected arrays)
+    // partially written — bail before reading either.
+    if (ev.Cancelled()) return KernelCancelledStatus();
     for (size_t r = 0; r < n_rel; ++r) {
       fp[r * n_emb + e] = rep[static_cast<size_t>(relevant[r])];
     }

@@ -21,6 +21,7 @@
 #ifndef UXM_QUERY_FLAT_KERNEL_H_
 #define UXM_QUERY_FLAT_KERNEL_H_
 
+#include <atomic>
 #include <vector>
 
 #include "blocktree/flat_block_tree.h"
@@ -36,6 +37,23 @@ namespace uxm {
 /// threads; reset by the driver at the start of each evaluation.
 MonotonicScratch* ThreadLocalScratch();
 
+/// \brief In-kernel cancellation hook for bound-driven corpus runs.
+///
+/// The kernel periodically (every few dozen inner-loop steps, to keep the
+/// hot path branch-cheap) performs a relaxed load of `*threshold` and
+/// abandons the evaluation with Status::Cancelled the moment the loaded
+/// value exceeds `cancel_above` — the caller's answer upper bound plus
+/// kAnswerBoundSlack, precomputed so the kernel compares two doubles and
+/// nothing else. Cancellation is a pure early-out: no partially-built
+/// answer escapes (the result is discarded with the arena), so it cannot
+/// perturb exactness — the scheduler only cancels items it has already
+/// proven unable to affect the top-k. Null `threshold` (or a null
+/// context) disables the checks entirely.
+struct KernelCancelContext {
+  const std::atomic<double>* threshold = nullptr;
+  double cancel_above = 0.0;
+};
+
 /// Algorithm 3 (query_basic) over the flat index: rewrite + match
 /// independently per (mapping, embedding), answers unioned per mapping.
 Result<PtqResult> EvaluateBasicFlat(
@@ -43,7 +61,8 @@ Result<PtqResult> EvaluateBasicFlat(
     const std::vector<std::vector<SchemaNodeId>>& embeddings,
     const std::vector<MappingId>& relevant, bool truncated,
     const FlatPairIndex& index, const AnnotatedDocument& doc,
-    const PtqOptions& options, MonotonicScratch* arena);
+    const PtqOptions& options, MonotonicScratch* arena,
+    const KernelCancelContext* cancel = nullptr);
 
 /// Algorithm 4 (twig_query_tree) over the flat index, with the c-block
 /// fast path resolved through the precomputed self_anchored[] column
@@ -54,7 +73,8 @@ Result<PtqResult> EvaluateTreeFlat(
     const std::vector<std::vector<SchemaNodeId>>& embeddings,
     const std::vector<MappingId>& relevant, bool truncated,
     const FlatPairIndex& index, const AnnotatedDocument& doc,
-    const PtqOptions& options, MonotonicScratch* arena);
+    const PtqOptions& options, MonotonicScratch* arena,
+    const KernelCancelContext* cancel = nullptr);
 
 }  // namespace uxm
 

@@ -147,4 +147,76 @@ Result<SkewedCorpusScenario> MakeSkewedCorpusScenario(
   return scenario;
 }
 
+Result<SinglePairCorpusScenario> MakeSinglePairCorpusScenario(
+    const SinglePairCorpusOptions& options) {
+  if (options.hot_documents <= 0 || options.cold_documents < 0 ||
+      options.doc_target_nodes <= 0) {
+    return Status::InvalidArgument("single-pair corpus options must be positive");
+  }
+  SinglePairCorpusScenario scenario;
+
+  // Target: the probe sits one level below the root so a two-node twig
+  // (//Bin//PROBE) has real structural work to do per embedding.
+  scenario.target = std::make_shared<Schema>("single-target");
+  const SchemaNodeId t_root = scenario.target->AddRoot("Shelf");
+  const SchemaNodeId t_bin =
+      scenario.target->AddChild(t_root, "Bin", /*repeatable=*/true, false);
+  const SchemaNodeId t_probe =
+      scenario.target->AddChild(t_bin, "PROBE", /*repeatable=*/true, false);
+  scenario.target->AddChild(t_bin, "F1", false, false);
+  const SchemaNodeId t_f2 =
+      scenario.target->AddChild(t_root, "F2", false, false);
+  scenario.target->Finalize();
+  scenario.probe_twig = "//PROBE";
+  scenario.deep_probe_twig = "//Bin//PROBE";
+
+  // Source: `gold` is the only optional element — its presence is the
+  // single per-document degree of freedom that separates hot from cold.
+  scenario.source = std::make_shared<Schema>("single-source");
+  const SchemaNodeId s_root = scenario.source->AddRoot("Doc");
+  const SchemaNodeId s_box =
+      scenario.source->AddChild(s_root, "box", /*repeatable=*/true, false);
+  const SchemaNodeId s_gold = scenario.source->AddChild(
+      s_box, "gold", /*repeatable=*/true, /*optional=*/true);
+  const SchemaNodeId s_dust =
+      scenario.source->AddChild(s_box, "dust", /*repeatable=*/true, false);
+  const SchemaNodeId s_s2 =
+      scenario.source->AddChild(s_root, "s2", false, false);
+  scenario.source->Finalize();
+
+  // The probe is reachable through gold (dominant, score 1.0) or dust
+  // (trickle, score 0.1). In a cold document gold never occurs, so the
+  // dominant route is dead there and the document-sensitive bound drops
+  // to the dust-route mass — while the pair-level bound (which cannot
+  // see the documents) stays at the gold-route mass for everyone.
+  scenario.matching =
+      SchemaMatching(scenario.source.get(), scenario.target.get());
+  UXM_RETURN_NOT_OK(scenario.matching.Add(s_box, t_bin, 1.0));
+  UXM_RETURN_NOT_OK(scenario.matching.Add(s_gold, t_probe, 1.0));
+  UXM_RETURN_NOT_OK(scenario.matching.Add(s_dust, t_probe, 0.1));
+  UXM_RETURN_NOT_OK(scenario.matching.Add(s_s2, t_f2, 0.2));
+
+  Rng rng(options.seed);
+  auto add_doc = [&](const std::string& name, bool is_hot) {
+    DocGenOptions gen;
+    gen.seed = rng.NextU64();
+    gen.target_nodes = options.doc_target_nodes;
+    gen.optional_prob = is_hot ? 1.0 : 0.0;  // gold everywhere vs nowhere
+    scenario.names.push_back(name);
+    scenario.hot.push_back(is_hot ? 1 : 0);
+    scenario.documents.push_back(std::make_shared<const Document>(
+        GenerateDocument(*scenario.source, gen)));
+  };
+  char name[48];
+  for (int i = 0; i < options.hot_documents; ++i) {
+    std::snprintf(name, sizeof(name), "hot-%02d", i);
+    add_doc(name, true);
+  }
+  for (int i = 0; i < options.cold_documents; ++i) {
+    std::snprintf(name, sizeof(name), "cold-%02d", i);
+    add_doc(name, false);
+  }
+  return scenario;
+}
+
 }  // namespace uxm

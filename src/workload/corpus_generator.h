@@ -96,6 +96,46 @@ struct SkewedCorpusScenario {
 Result<SkewedCorpusScenario> MakeSkewedCorpusScenario(
     const SkewedCorpusOptions& options = {});
 
+/// \brief Knobs for the homogeneous single-pair corpus (document-sensitive
+/// bound scenarios; see MakeSinglePairCorpusScenario).
+struct SinglePairCorpusOptions {
+  uint64_t seed = 11;
+  int hot_documents = 8;
+  int cold_documents = 56;
+  /// Approximate generated-document size (see DocGenOptions).
+  int doc_target_nodes = 240;
+};
+
+/// \brief A corpus where every document conforms to ONE schema pair, so
+/// the pair-level answer bound is identical for all of them and only a
+/// document-sensitive bound can separate the wheat from the chaff. The
+/// probe element is reachable through two correspondences: gold -> PROBE
+/// (score 1.0) and dust -> PROBE (score 0.1) — but `gold` is OPTIONAL in
+/// the source schema, and cold documents are generated with
+/// optional_prob = 0 so they contain no gold element at all. A
+/// document-sensitive probe sees that every high-mass mapping (the ones
+/// routing PROBE through gold) cannot produce an answer in a cold
+/// document, collapsing its bound to the dust mass; the pair-level bound
+/// alone prunes nothing. Prepare with top_h.h >= 16 so the mapping space
+/// is fully enumerated and the analytic masses hold exactly.
+struct SinglePairCorpusScenario {
+  std::shared_ptr<Schema> source;
+  std::shared_ptr<Schema> target;
+  SchemaMatching matching;
+  std::vector<std::string> names;  ///< per document, registration order
+  std::vector<std::shared_ptr<const Document>> documents;
+  std::vector<int> hot;            ///< hot[i] == 1 iff documents[i] is hot
+  std::string probe_twig;          ///< "//PROBE"
+  /// A two-node variant of the probe ("//Bin//PROBE"); same answers,
+  /// but the evaluation does per-embedding structural work — enough for
+  /// the kernel's periodic cancellation checks to actually fire.
+  std::string deep_probe_twig;
+};
+
+/// Builds the scenario above. Deterministic in `options`.
+Result<SinglePairCorpusScenario> MakeSinglePairCorpusScenario(
+    const SinglePairCorpusOptions& options = {});
+
 }  // namespace uxm
 
 #endif  // UXM_WORKLOAD_CORPUS_GENERATOR_H_

@@ -3,6 +3,7 @@
 // acceptance property that QueryCorpus over N generated documents equals
 // the brute-force merge of per-document Query results.
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
@@ -526,6 +527,39 @@ TEST_F(CorpusSystemTest, MultiSchemaCorpusEqualsBruteForcePerPairMerge) {
   EXPECT_GT(nonempty, 0u);
 }
 
+// ------------------------------------------------- tracker guards
+
+// k <= 0 used to be undefined behavior (full() true over an empty heap);
+// the tracker now defends itself: it holds nothing, is never full, and
+// its threshold is 0.0 — which never prunes, because pruning requires a
+// bound strictly below threshold - slack and bounds are >= 0.
+TEST(TopKTrackerTest, NonPositiveKHoldsNothingAndNeverPrunes) {
+  for (const int k : {0, -1, -100}) {
+    TopKTracker tracker(k);
+    EXPECT_FALSE(tracker.full()) << "k=" << k;
+    EXPECT_EQ(tracker.kth_probability(), 0.0) << "k=" << k;
+    tracker.Push(CorpusAnswer{"d", 0.9, {1}});
+    tracker.Push(CorpusAnswer{"d", 0.5, {2}});
+    EXPECT_FALSE(tracker.full()) << "k=" << k;
+    EXPECT_EQ(tracker.kth_probability(), 0.0) << "k=" << k;
+  }
+}
+
+TEST(TopKTrackerTest, TracksTheKthBestProbability) {
+  TopKTracker tracker(2);
+  EXPECT_FALSE(tracker.full());
+  EXPECT_EQ(tracker.kth_probability(), 0.0);  // empty: threshold floor
+  tracker.Push(CorpusAnswer{"d", 0.25, {1}});
+  EXPECT_FALSE(tracker.full());
+  tracker.Push(CorpusAnswer{"d", 0.75, {2}});
+  EXPECT_TRUE(tracker.full());
+  EXPECT_DOUBLE_EQ(tracker.kth_probability(), 0.25);
+  tracker.Push(CorpusAnswer{"d", 0.5, {3}});  // displaces the 0.25
+  EXPECT_DOUBLE_EQ(tracker.kth_probability(), 0.5);
+  tracker.Push(CorpusAnswer{"d", 0.1, {4}});  // below the 2nd best: ignored
+  EXPECT_DOUBLE_EQ(tracker.kth_probability(), 0.5);
+}
+
 // ------------------------------------------------- bounded scheduling
 
 // The deterministic bound-driven pruning scenario: a skewed multi-pair
@@ -665,6 +699,275 @@ TEST(BoundedCorpusTest, ParseErrorsFailOnlyTheirSlot) {
   EXPECT_TRUE(response->answers[0].ok());
   EXPECT_TRUE(response->answers[1].status().IsParseError());
   EXPECT_TRUE(response->answers[2].ok());
+}
+
+// ---------------------------------------- document-sensitive bounds
+
+/// The run-report invariant every bounded run must satisfy: each
+/// (twig, document) item lands in exactly one disposition bucket.
+void ExpectItemInvariant(const CorpusRunReport& r) {
+  EXPECT_EQ(r.items_total, r.items_evaluated + r.items_pruned +
+                               r.items_aborted + r.items_failed);
+  EXPECT_LE(r.items_aborted_in_kernel, r.items_aborted);
+  EXPECT_GE(r.items_evaluated, 0);
+  EXPECT_GE(r.items_pruned, 0);
+  EXPECT_GE(r.items_aborted, 0);
+  EXPECT_GE(r.items_failed, 0);
+}
+
+class SinglePairCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SinglePairCorpusOptions gen;
+    gen.hot_documents = 8;  // exactly one wave on a single worker
+    gen.cold_documents = 24;
+    gen.doc_target_nodes = 120;
+    auto scenario = MakeSinglePairCorpusScenario(gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ = std::make_unique<SinglePairCorpusScenario>(
+        std::move(scenario).ValueOrDie());
+  }
+
+  static SystemOptions Options(bool bound_cache) {
+    SystemOptions opts;
+    opts.top_h.h = 16;  // the pair's 12-mapping space, fully enumerated
+    opts.cache.enable_result_cache = false;  // measure scheduling, not hits
+    opts.cache.enable_bound_cache = bound_cache;
+    return opts;
+  }
+
+  std::unique_ptr<UncertainMatchingSystem> MakeSystem(bool bound_cache) {
+    auto sys =
+        std::make_unique<UncertainMatchingSystem>(Options(bound_cache));
+    EXPECT_TRUE(sys->PrepareFromMatching(scenario_->matching).ok());
+    for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+      EXPECT_TRUE(sys->AddDocument(scenario_->names[i],
+                                   scenario_->documents[i].get())
+                      .ok());
+    }
+    return sys;
+  }
+
+  static BatchRunOptions OneThread() {
+    BatchRunOptions run;
+    run.num_threads = 1;  // sequential claims => deterministic accounting
+    return run;
+  }
+
+  static void ExpectSameAnswers(const std::vector<CorpusAnswer>& got,
+                                const std::vector<CorpusAnswer>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].document, want[i].document) << "answer " << i;
+      EXPECT_DOUBLE_EQ(got[i].probability, want[i].probability)
+          << "answer " << i;
+      EXPECT_EQ(got[i].matches, want[i].matches) << "answer " << i;
+    }
+  }
+
+  std::unique_ptr<SinglePairCorpusScenario> scenario_;
+};
+
+// The headline property of this PR: a HOMOGENEOUS corpus (every document
+// under one pair, hence one shared pair-level bound) prunes, because the
+// document-sensitive probe sees that cold documents contain no `gold`
+// element and collapses their bounds to the dust-route mass. With one
+// worker the accounting is deterministic: wave 1 is exactly the 8 hot
+// documents, their answers raise the threshold above every cold bound,
+// and all 24 cold items are pruned undispatched.
+TEST_F(SinglePairCorpusTest, DocumentBoundsPruneAHomogeneousCorpus) {
+  auto sys = MakeSystem(/*bound_cache=*/true);
+  CorpusQueryOptions bounded;
+  bounded.top_k = 5;
+  auto b = sys->RunCorpusBatch({scenario_->probe_twig}, bounded, OneThread());
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_TRUE(b->answers[0].ok()) << b->answers[0].status();
+  ExpectItemInvariant(b->corpus);
+  EXPECT_EQ(b->corpus.items_total, 32);
+  EXPECT_EQ(b->corpus.items_evaluated, 8);
+  EXPECT_EQ(b->corpus.items_pruned, 24);
+  EXPECT_EQ(b->corpus.items_aborted, 0);
+  EXPECT_EQ(b->corpus.items_failed, 0);
+  const CorpusQueryResult& result = *b->answers[0];
+  EXPECT_EQ(result.documents_evaluated, 32);
+  EXPECT_EQ(result.documents_pruned, 24);
+  ASSERT_EQ(result.answers.size(), 5u);
+  for (const CorpusAnswer& a : result.answers) {
+    EXPECT_EQ(a.document.substr(0, 4), "hot-") << a.document;
+  }
+
+  // The bound cache saw one miss (and one probe insert) per item, plus a
+  // realized-bound insert per evaluated item.
+  const BoundCacheStats cold_stats = sys->bound_cache_stats();
+  EXPECT_EQ(cold_stats.hits, 0u);
+  EXPECT_EQ(cold_stats.misses, 32u);
+  EXPECT_EQ(cold_stats.entries, 32u);
+
+  // Exhaustive oracle: identical answers, zero skipping.
+  CorpusQueryOptions exhaustive = bounded;
+  exhaustive.bounded = false;
+  auto e = sys->RunCorpusBatch({scenario_->probe_twig}, exhaustive,
+                               OneThread());
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(e->answers[0].ok());
+  EXPECT_EQ(e->corpus.items_evaluated, 32);
+  EXPECT_EQ(e->corpus.items_pruned, 0);
+  ExpectSameAnswers(e->answers[0]->answers, result.answers);
+
+  // A second bounded run consults the cached bounds (all 32 keys hit) and
+  // schedules identically: the realized hot bounds tie the threshold, so
+  // nothing more can be pruned, and the answers stay bit-identical.
+  auto again =
+      sys->RunCorpusBatch({scenario_->probe_twig}, bounded, OneThread());
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(again->answers[0].ok());
+  ExpectItemInvariant(again->corpus);
+  EXPECT_EQ(again->corpus.items_evaluated, 8);
+  EXPECT_EQ(again->corpus.items_pruned, 24);
+  ExpectSameAnswers(again->answers[0]->answers, result.answers);
+  EXPECT_GE(sys->bound_cache_stats().hits, 32u);
+}
+
+// The pre-PR baseline, reproduced on demand: with the bound cache off and
+// the probe disabled, every document shares the one pair-level bound and
+// the scheduler provably cannot prune a homogeneous corpus.
+TEST_F(SinglePairCorpusTest, PairLevelBoundsAloneNeverPruneHomogeneous) {
+  auto sys = MakeSystem(/*bound_cache=*/false);
+  CorpusQueryOptions bounded;
+  bounded.top_k = 5;
+  bounded.probe_bounds = false;
+  auto b = sys->RunCorpusBatch({scenario_->probe_twig}, bounded, OneThread());
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_TRUE(b->answers[0].ok());
+  ExpectItemInvariant(b->corpus);
+  EXPECT_EQ(b->corpus.items_total, 32);
+  EXPECT_EQ(b->corpus.items_evaluated, 32);
+  EXPECT_EQ(b->corpus.items_pruned, 0);
+  EXPECT_EQ(b->corpus.items_aborted, 0);
+}
+
+// A twig that fails to parse charges its whole document count to
+// items_failed and the counter invariant still holds for the batch —
+// while the healthy twigs of the same shared pool run to completion.
+TEST_F(SinglePairCorpusTest, FailedTwigChargesItsItemsAndKeepsInvariant) {
+  auto sys = MakeSystem(/*bound_cache=*/true);
+  CorpusQueryOptions bounded;
+  bounded.top_k = 5;
+  auto b = sys->RunCorpusBatch(
+      {scenario_->probe_twig, "[[[not a twig", scenario_->deep_probe_twig},
+      bounded, OneThread());
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(b->answers.size(), 3u);
+  EXPECT_TRUE(b->answers[0].ok());
+  EXPECT_TRUE(b->answers[1].status().IsParseError());
+  EXPECT_TRUE(b->answers[2].ok());
+  ExpectItemInvariant(b->corpus);
+  EXPECT_EQ(b->corpus.items_total, 96);
+  EXPECT_EQ(b->corpus.items_failed, 32);  // the failed twig's documents
+  EXPECT_EQ(b->corpus.items_evaluated, 16);
+  EXPECT_EQ(b->corpus.items_pruned, 48);
+  // Both healthy twigs answered from hot documents (their answer masses
+  // differ: the two-node twig restricts relevance to mappings that also
+  // map Bin).
+  ASSERT_EQ(b->answers[2]->answers.size(), 5u);
+  for (const CorpusAnswer& a : b->answers[2]->answers) {
+    EXPECT_EQ(a.document.substr(0, 4), "hot-") << a.document;
+  }
+}
+
+// A mid-wave evaluation failure (not a parse error: the document itself
+// is broken) fails the twig with that document's status, and the twig's
+// undispatched leftovers are counted items_failed — the imbalance this
+// PR fixes left them in no bucket at all.
+TEST(BoundedCorpusTest, MidWaveFailureChargesRemainingItemsAsFailed) {
+  PaperExample example = MakePaperExample();
+  auto bound =
+      AnnotatedDocument::Bind(example.doc.get(), example.source.get());
+  ASSERT_TRUE(bound.ok());
+  auto annotated = std::make_shared<const AnnotatedDocument>(
+      std::move(bound).ValueOrDie());
+  auto pair = testutil::MakePaperPair(example);
+
+  // Ten registrations of the one paper document; the name-first one has
+  // no annotation, so its item fails inside wave 1 with InvalidArgument.
+  CorpusSnapshot corpus;
+  corpus.push_back(
+      CorpusDocument{"00-bad", example.doc.get(), nullptr, 1, pair});
+  for (int i = 1; i < 10; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "doc-%02d", i);
+    corpus.push_back(
+        CorpusDocument{name, example.doc.get(), annotated, 1, pair});
+  }
+
+  BatchExecutorOptions exec_opts;
+  exec_opts.num_threads = 1;
+  BatchQueryExecutor executor(exec_opts);
+  CorpusExecutor corpus_exec(&executor);
+  CorpusQueryOptions bounded;
+  bounded.top_k = 1;
+  auto response =
+      corpus_exec.Run(corpus, {"//IP//ICN"}, bounded, /*cache=*/nullptr);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_EQ(response->answers.size(), 1u);
+  EXPECT_TRUE(response->answers[0].status().IsInvalidArgument());
+  ExpectItemInvariant(response->corpus);
+  EXPECT_EQ(response->corpus.items_total, 10);
+  // Wave 1 (8 items) held the broken document plus 7 healthy ones; the 2
+  // leftovers were never dispatched once their twig had failed.
+  EXPECT_EQ(response->corpus.items_evaluated, 7);
+  EXPECT_EQ(response->corpus.items_failed, 3);
+  EXPECT_EQ(response->corpus.items_pruned, 0);
+  EXPECT_EQ(response->corpus.items_aborted, 0);
+}
+
+// Bound-phase compile failures must be attributed deterministically:
+// bounded and exhaustive report the same status for the same bad twig on
+// a TWO-pair corpus, where the old memoization-order attribution could
+// name whichever pair compiled first.
+TEST(BoundedCorpusTest, CompileFailureReportingMatchesExhaustive) {
+  SkewedCorpusOptions gen;
+  gen.hot_documents = 2;
+  gen.cold_pairs = 1;
+  gen.cold_documents_per_pair = 2;
+  gen.doc_target_nodes = 40;
+  auto scenario = MakeSkewedCorpusScenario(gen);
+  ASSERT_TRUE(scenario.ok());
+  SystemOptions opts;
+  opts.top_h.h = 30;
+  UncertainMatchingSystem sys(opts);
+  for (const SkewedPair& pair : scenario->pairs) {
+    ASSERT_TRUE(sys.PrepareFromMatching(pair.matching).ok());
+  }
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    const SkewedPair& pair =
+        scenario->pairs[static_cast<size_t>(scenario->doc_pair[i])];
+    ASSERT_TRUE(sys.AddDocument(scenario->names[i],
+                                scenario->documents[i].get(),
+                                pair.source.get(), scenario->target.get())
+                    .ok());
+  }
+  const std::vector<std::string> twigs = {scenario->probe_twig,
+                                          "[[[not a twig"};
+  CorpusQueryOptions bounded;
+  bounded.top_k = 1;
+  BatchRunOptions run;
+  run.num_threads = 1;
+  auto b = sys.RunCorpusBatch(twigs, bounded, run);
+  CorpusQueryOptions exhaustive = bounded;
+  exhaustive.bounded = false;
+  auto e = sys.RunCorpusBatch(twigs, exhaustive, run);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(b->answers[0].ok());
+  EXPECT_TRUE(e->answers[0].ok());
+  const Status& bs = b->answers[1].status();
+  const Status& es = e->answers[1].status();
+  EXPECT_TRUE(bs.IsParseError());
+  EXPECT_EQ(bs.code(), es.code());
+  EXPECT_EQ(bs.message(), es.message());
+  ExpectItemInvariant(b->corpus);
+  EXPECT_EQ(b->corpus.items_failed, 4);  // the bad twig's whole corpus
 }
 
 // ------------------------------------------------------ pair removal

@@ -22,6 +22,7 @@
 #include "core/system.h"
 #include "corpus/corpus_executor.h"
 #include "mapping/top_h.h"
+#include "workload/corpus_generator.h"
 #include "workload/document_generator.h"
 #include "xml/schema.h"
 
@@ -498,6 +499,90 @@ TEST(BoundedCorpusDifferentialTest, BoundedEqualsBruteForcePerDocumentMerge) {
   }
   // The sweep must have produced answers AND exercised real pruning.
   EXPECT_GT(compared, 100);
+  EXPECT_GT(items_skipped, 0);
+}
+
+// The homogeneous single-pair corpus: every document shares ONE pair-level
+// bound, so the document-sensitive bound (probe + realized cache) is the
+// only pruning lever — this sweep pins that document-level pruning is
+// answer-invisible. Both twig shapes, k in {1, 3, 5}, bounded vs its own
+// exhaustive path vs the brute-force per-document merge; run twice so the
+// second pass schedules off realized cached bounds. (Debug builds
+// additionally re-evaluate every skipped item via the scheduler's
+// built-in certificate.)
+TEST(BoundedCorpusDifferentialTest, SinglePairDocumentBoundsAreInvisible) {
+  SinglePairCorpusOptions gen;
+  gen.hot_documents = 4;
+  gen.cold_documents = 12;
+  gen.doc_target_nodes = 100;
+  auto scenario = MakeSinglePairCorpusScenario(gen);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+
+  SystemOptions opts;
+  opts.top_h.h = 16;
+  UncertainMatchingSystem sys(opts);
+  ASSERT_TRUE(sys.PrepareFromMatching(scenario->matching).ok());
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    ASSERT_TRUE(
+        sys.AddDocument(scenario->names[i], scenario->documents[i].get())
+            .ok());
+  }
+  SystemOptions oracle_opts = opts;
+  oracle_opts.cache.enable_result_cache = false;
+  UncertainMatchingSystem oracle(oracle_opts);
+  ASSERT_TRUE(oracle.PrepareFromMatching(scenario->matching).ok());
+
+  int items_skipped = 0;
+  for (const std::string& twig :
+       {scenario->probe_twig, scenario->deep_probe_twig}) {
+    std::vector<std::vector<CorpusAnswer>> per_document;
+    for (size_t d = 0; d < scenario->documents.size(); ++d) {
+      ASSERT_TRUE(oracle.AttachDocument(scenario->documents[d].get()).ok());
+      auto r = oracle.Query(twig);
+      ASSERT_TRUE(r.ok()) << twig << ": " << r.status();
+      per_document.push_back(CollapseForCorpus(scenario->names[d], *r));
+    }
+    for (const int k : {1, 3, 5}) {
+      const std::vector<CorpusAnswer> want = MergeTopK(per_document, k);
+      for (int pass = 0; pass < 2; ++pass) {
+        CorpusQueryOptions bounded;
+        bounded.top_k = k;
+        auto got = sys.RunCorpusBatch({twig}, bounded);
+        ASSERT_TRUE(got.ok()) << twig << ": " << got.status();
+        ASSERT_TRUE(got->answers[0].ok()) << twig;
+        items_skipped +=
+            got->corpus.items_pruned + got->corpus.items_aborted;
+        EXPECT_EQ(got->corpus.items_total,
+                  got->corpus.items_evaluated + got->corpus.items_pruned +
+                      got->corpus.items_aborted + got->corpus.items_failed)
+            << twig << " k=" << k;
+        const std::vector<CorpusAnswer>& answers = got->answers[0]->answers;
+        ASSERT_EQ(answers.size(), want.size())
+            << twig << " k=" << k << " pass " << pass;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(answers[i].document, want[i].document)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_DOUBLE_EQ(answers[i].probability, want[i].probability)
+              << twig << " k=" << k << " answer " << i;
+          EXPECT_EQ(answers[i].matches, want[i].matches)
+              << twig << " k=" << k << " answer " << i;
+        }
+        CorpusQueryOptions exhaustive = bounded;
+        exhaustive.bounded = false;
+        auto full = sys.QueryCorpus(twig, exhaustive);
+        ASSERT_TRUE(full.ok()) << twig;
+        ASSERT_EQ(full->answers.size(), want.size()) << twig << " k=" << k;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(full->answers[i].document, want[i].document);
+          EXPECT_DOUBLE_EQ(full->answers[i].probability,
+                           want[i].probability);
+          EXPECT_EQ(full->answers[i].matches, want[i].matches);
+        }
+      }
+    }
+  }
+  // Document-level pruning must actually have fired — the property that
+  // was impossible before document-sensitive bounds existed.
   EXPECT_GT(items_skipped, 0);
 }
 

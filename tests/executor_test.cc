@@ -12,9 +12,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/system.h"
 #include "exec/thread_pool.h"
+#include "plan/driver.h"
+#include "query/flat_kernel.h"
 #include "tests/test_util.h"
+#include "workload/corpus_generator.h"
 #include "workload/datasets.h"
 #include "workload/document_generator.h"
 
@@ -478,6 +482,123 @@ TEST_F(RunBatchTest, RequiresAttachedDocumentForNullDocRequests) {
       {BatchQueryRequest{doc_.get(), TableIIIQueries()[0], 0}});
   ASSERT_TRUE(r2.ok()) << r2.status();
   EXPECT_TRUE(r2->answers[0].ok());
+}
+
+// ---------------------------------------------- in-kernel cancellation
+
+// Drives the flat kernels directly with a threshold that already exceeds
+// the caller's answer bound: the kernel's periodic polls must abandon the
+// evaluation with Status::Cancelled instead of running to completion —
+// and with a threshold below the bound the same call must be a no-op
+// passthrough with bit-identical answers.
+class KernelCancelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SinglePairCorpusOptions gen;
+    gen.hot_documents = 1;
+    gen.cold_documents = 0;
+    gen.doc_target_nodes = 300;  // plenty of inner-loop steps per call
+    auto scenario = MakeSinglePairCorpusScenario(gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ = std::make_unique<SinglePairCorpusScenario>(
+        std::move(scenario).ValueOrDie());
+    SystemOptions opts;
+    opts.top_h.h = 16;
+    sys_ = std::make_unique<UncertainMatchingSystem>(opts);
+    ASSERT_TRUE(sys_->PrepareFromMatching(scenario_->matching).ok());
+    pair_ = sys_->prepared_pair();
+    ASSERT_NE(pair_, nullptr);
+    auto bound = AnnotatedDocument::Bind(scenario_->documents[0].get(),
+                                         scenario_->source.get());
+    ASSERT_TRUE(bound.ok()) << bound.status();
+    annotated_ = std::make_unique<AnnotatedDocument>(
+        std::move(bound).ValueOrDie());
+    auto compiled = pair_->compiler->Compile(scenario_->deep_probe_twig);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    plan_ = *compiled;
+    selected_ = plan_->SelectForTopK(0);
+    ASSERT_FALSE(selected_.empty());
+  }
+
+  Result<PtqResult> Evaluate(bool tree, const KernelCancelContext* cancel) {
+    MonotonicScratch arena;
+    const PtqOptions options;
+    return tree ? EvaluateTreeFlat(plan_->query(), plan_->embeddings(),
+                                   selected_, plan_->truncated_embeddings(),
+                                   *pair_->flat, *annotated_, options, &arena,
+                                   cancel)
+                : EvaluateBasicFlat(plan_->query(), plan_->embeddings(),
+                                    selected_, plan_->truncated_embeddings(),
+                                    *pair_->flat, *annotated_, options,
+                                    &arena, cancel);
+  }
+
+  std::unique_ptr<SinglePairCorpusScenario> scenario_;
+  std::unique_ptr<UncertainMatchingSystem> sys_;
+  std::shared_ptr<const PreparedSchemaPair> pair_;
+  std::unique_ptr<AnnotatedDocument> annotated_;
+  std::shared_ptr<const QueryPlan> plan_;
+  std::vector<MappingId> selected_;
+};
+
+TEST_F(KernelCancelTest, KernelsAbortWhenThresholdExceedsTheBound) {
+  std::atomic<double> threshold{1.0};
+  KernelCancelContext cancel;
+  cancel.threshold = &threshold;
+  cancel.cancel_above = 0.5;  // threshold already past the bound
+  for (const bool tree : {true, false}) {
+    auto r = Evaluate(tree, &cancel);
+    EXPECT_FALSE(r.ok()) << (tree ? "tree" : "basic");
+    EXPECT_TRUE(r.status().IsCancelled()) << r.status();
+  }
+}
+
+TEST_F(KernelCancelTest, DormantThresholdLeavesAnswersBitIdentical) {
+  std::atomic<double> threshold{1.0};
+  KernelCancelContext cancel;
+  cancel.threshold = &threshold;
+  cancel.cancel_above = 2.0;  // threshold can never exceed this
+  for (const bool tree : {true, false}) {
+    auto plain = Evaluate(tree, nullptr);
+    auto polled = Evaluate(tree, &cancel);
+    ASSERT_TRUE(plain.ok()) << plain.status();
+    ASSERT_TRUE(polled.ok()) << polled.status();
+    ASSERT_EQ(plain->answers.size(), polled->answers.size());
+    for (size_t i = 0; i < plain->answers.size(); ++i) {
+      EXPECT_EQ(plain->answers[i].mapping, polled->answers[i].mapping);
+      EXPECT_DOUBLE_EQ(plain->answers[i].probability,
+                       polled->answers[i].probability);
+      EXPECT_EQ(plain->answers[i].matches, polled->answers[i].matches);
+    }
+  }
+}
+
+// The driver distinguishes the two abort sites: its own cheap checks
+// before evaluation (cancelled, not in-kernel) versus the kernel's
+// periodic polls. A stationary threshold is always caught by the
+// pre-evaluation checks — the in-kernel flavor needs a concurrent raise
+// (covered by the corpus stress test) or a direct kernel call (above).
+TEST_F(KernelCancelTest, DriverCountsPreEvaluationAbortsAsNotInKernel) {
+  std::atomic<double> threshold{1.0};
+  DriverRequest request;
+  request.pair = pair_.get();
+  request.doc = annotated_.get();
+  const std::string twig = scenario_->deep_probe_twig;
+  request.twig = &twig;
+  request.upper_bound = 0.25;  // below the threshold: provably pointless
+  request.cancel_threshold = &threshold;
+  DriverCounters counters;
+  auto r = ExecutionDriver::Execute(request, &counters);
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status();
+  EXPECT_TRUE(counters.cancelled);
+  EXPECT_FALSE(counters.cancelled_in_kernel);
+
+  // An unthreatened request runs to completion with both flags clear.
+  request.upper_bound = 5.0;
+  auto ok = ExecutionDriver::Execute(request, &counters);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_FALSE(counters.cancelled);
+  EXPECT_FALSE(counters.cancelled_in_kernel);
 }
 
 }  // namespace

@@ -32,6 +32,14 @@ Usage:
                          same run (default 0 = off; CI passes 5.0).
                          snapshot_roundtrip separately proves the two
                          states serve bit-identical answers.
+  [--min-docbound-speedup X]  fail if BM_SinglePairCorpusTopK is not at
+                         least X times faster than
+                         BM_SinglePairCorpusExhaustive in the same run
+                         (default 0 = off; CI passes 2.0). The corpus is
+                         HOMOGENEOUS — one schema pair, one shared
+                         pair-level bound — so this speedup exists only
+                         while the document-sensitive bound cache
+                         separates cold documents from hot ones.
 
 A second same-run invariant guards the early-termination top-k engine:
 BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
@@ -47,7 +55,7 @@ pruning, the whole corpus win is gone.
 
 Updating the baseline (after an intentional perf change, Release build):
   ./build/micro_bench \
-      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SharedEmbeddingCorpus|BM_PrepareCold|BM_SnapshotLoad' \
+      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SinglePairCorpus|BM_ManyTwigCorpusBatch|BM_SharedEmbeddingCorpus|BM_PrepareCold|BM_SnapshotLoad' \
       --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
 """
 
@@ -59,7 +67,8 @@ import sys
 # Only these families gate CI; everything else in the JSON is informational.
 GATED = re.compile(
     r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus|"
-    r"BoundedCorpusTopK|SharedEmbeddingCorpus|PrepareCold|SnapshotLoad)\b")
+    r"BoundedCorpusTopK|SinglePairCorpusTopK|ManyTwigCorpusBatch|"
+    r"SharedEmbeddingCorpus|PrepareCold|SnapshotLoad)\b")
 
 # BM_PrunedTopK may be at most this many times slower than BM_UnprunedTopK
 # in the same run (it should be faster; the margin absorbs runner noise).
@@ -86,6 +95,7 @@ def main():
     parser.add_argument("--min-bounded-speedup", type=float, default=2.0)
     parser.add_argument("--min-batch-scaling", type=float, default=0.0)
     parser.add_argument("--min-snapshot-speedup", type=float, default=0.0)
+    parser.add_argument("--min-docbound-speedup", type=float, default=0.0)
     args = parser.parse_args()
 
     current, context = load(args.current)
@@ -223,6 +233,35 @@ def main():
         if not found:
             failures.append("--min-snapshot-speedup set but "
                             "BM_PrepareCold/BM_SnapshotLoad missing from %s"
+                            % args.current)
+
+    # Same-run invariant: the document-sensitive bound cache must prune a
+    # HOMOGENEOUS corpus. Every document of the single-pair corpus shares
+    # one pair-level bound, so the bounded/exhaustive gap there is owed
+    # entirely to the per-document realized bounds + match-existence
+    # probes — anything near 1x means document sensitivity rotted away.
+    if args.min_docbound_speedup > 0:
+        found = False
+        for suffix in ("/real_time", ""):
+            bounded = current.get("BM_SinglePairCorpusTopK" + suffix)
+            exhaustive = current.get("BM_SinglePairCorpusExhaustive" + suffix)
+            if bounded is None or exhaustive is None:
+                continue
+            found = True
+            speedup = exhaustive / bounded
+            verdict = "FAIL" if speedup < args.min_docbound_speedup else "ok"
+            print("%-5s document-bound corpus speedup: %.2fx (need >= %.1fx)"
+                  % (verdict, speedup, args.min_docbound_speedup))
+            if speedup < args.min_docbound_speedup:
+                failures.append(
+                    "BM_SinglePairCorpusTopK is only %.2fx faster than "
+                    "BM_SinglePairCorpusExhaustive (need >= %.1fx)"
+                    % (speedup, args.min_docbound_speedup))
+            break
+        if not found:
+            failures.append("--min-docbound-speedup set but "
+                            "BM_SinglePairCorpusTopK/"
+                            "BM_SinglePairCorpusExhaustive missing from %s"
                             % args.current)
 
     if failures:
