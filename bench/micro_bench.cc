@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -549,6 +550,114 @@ void BM_ManyTwigCorpusBatch(benchmark::State& state) {
   state.counters["items_pruned"] = pruned;
 }
 BENCHMARK(BM_ManyTwigCorpusBatch)->UseRealTime();
+
+// In-process sharded corpus serving: the same bounded top-k query over
+// a LARGE skewed multi-pair corpus (8 hot + 224 cold documents), with
+// the corpus partitioned into S per-shard bounded schedulers racing the
+// shared global thresholds. Caches are off so evaluation work is
+// actually measured, and the executor pool is pinned to ONE worker: a
+// pool worker and the calling thread race for each wave's single claim
+// slot, so with S=1 the whole corpus retires on one thread while with
+// S=8 each shard's dedicated driver carries its own waves — the ratio
+// isolates the scatter-gather parallelism itself with total work held
+// fixed (the gated twig prunes nothing, so every S evaluates the same
+// items; answers are bit-identical at every S, see
+// tests/sharded_differential_test.cc). The same-run
+// BM_ShardedCorpusTopK/1 vs /8 ratio is gated >= 1.5x on multi-core CI
+// by tools/check_bench_regression.py --min-shard-speedup (self-skipped
+// below 4 CPUs, where the shard drivers have no cores to spread over).
+// The corpus is sized so every shard's slice spans several scheduler
+// waves (a wave is at least 8 items) — with a slice inside one wave
+// everything dispatches before any threshold rises and the racing
+// schedulers degenerate to eager fan-out.
+UncertainMatchingSystem* ShardedSkewedSystem(int shards) {
+  static auto* systems = new std::map<int, UncertainMatchingSystem*>();
+  const auto it = systems->find(shards);
+  if (it != systems->end()) return it->second;
+  static const SkewedCorpusScenario* scenario = [] {
+    SkewedCorpusOptions gen;
+    gen.cold_documents_per_pair = 32;  // 8 hot + 7 * 32 cold = 232 docs
+    gen.doc_target_nodes = 220;  // enough per-item work that the fixed
+                                 // per-batch driver spawn cost is noise
+    auto made = MakeSkewedCorpusScenario(gen);
+    if (!made.ok()) {
+      std::fprintf(stderr, "sharded corpus scenario failed: %s\n",
+                   made.status().ToString().c_str());
+      std::abort();
+    }
+    return new SkewedCorpusScenario(std::move(made).ValueOrDie());
+  }();
+  SystemOptions options;
+  options.top_h.h = 30;
+  options.corpus_shards = shards;
+  options.cache.enable_result_cache = false;
+  options.cache.enable_bound_cache = false;
+  auto* s = new UncertainMatchingSystem(options);
+  for (const SkewedPair& pair : scenario->pairs) {
+    if (!s->PrepareFromMatching(pair.matching).ok()) std::abort();
+  }
+  for (size_t i = 0; i < scenario->documents.size(); ++i) {
+    const SkewedPair& pair =
+        scenario->pairs[static_cast<size_t>(scenario->doc_pair[i])];
+    if (!s->AddDocument(scenario->names[i], scenario->documents[i].get(),
+                        pair.source.get(), scenario->target.get())
+             .ok()) {
+      std::abort();
+    }
+  }
+  (*systems)[shards] = s;
+  return s;
+}
+
+void RunShardedCorpusBench(benchmark::State& state,
+                           const std::vector<std::string>& twigs) {
+  UncertainMatchingSystem* sys =
+      ShardedSkewedSystem(static_cast<int>(state.range(0)));
+  CorpusQueryOptions opts;
+  opts.top_k = 5;
+  BatchRunOptions run;
+  run.num_threads = 1;  // shard drivers carry the waves (see above)
+  int evaluated = 0;
+  int pruned = 0;
+  int aborted = 0;
+  for (auto _ : state) {
+    auto response = sys->RunCorpusBatch(twigs, opts, run);
+    if (!response.ok()) std::abort();
+    for (const auto& answer : response->answers) {
+      if (!answer.ok()) std::abort();
+    }
+    benchmark::DoNotOptimize(response);
+    evaluated = response->corpus.items_evaluated;
+    pruned = response->corpus.items_pruned;
+    aborted = response->corpus.items_aborted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sys->corpus_size()) *
+                          static_cast<int64_t>(twigs.size()));
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["items_evaluated"] = evaluated;
+  state.counters["items_pruned"] = pruned;
+  state.counters["items_aborted"] = aborted;
+}
+
+void BM_ShardedCorpusTopK(benchmark::State& state) {
+  // "//BIG" answers with comparable probability from every document, so
+  // no bound ever falls below the rising threshold: all 232 items are
+  // evaluated at every S, and the /1 vs /8 ratio is pure scheduler
+  // parallelism (the pruning engine has its own benchmarks above).
+  RunShardedCorpusBench(state, {"//BIG"});
+}
+BENCHMARK(BM_ShardedCorpusTopK)->Arg(1)->Arg(8)->UseRealTime();
+
+// The five-twig batch over the same sharded corpus: per-twig thresholds
+// race across shards AND across twigs in one dispatch, and the skewed
+// "//PROBE" twig prunes its cold items across shard boundaries mid-
+// flight. Tracked against BENCH_baseline.json; the /1 vs /8 ratio is
+// informational here (the gate pins the single-twig benchmark above).
+void BM_ShardedCorpusBatch(benchmark::State& state) {
+  RunShardedCorpusBench(state, {"//PROBE", "//BIG", "//F1", "//F2", "//F3"});
+}
+BENCHMARK(BM_ShardedCorpusBatch)->Arg(1)->Arg(8)->UseRealTime();
 
 // Cross-pair embedding sharing: four compilers (four pairs' plan caches)
 // over one target schema, plan caches cold every iteration — the twig

@@ -7,6 +7,7 @@
 
 #include "exec/thread_pool.h"
 #include "plan/driver.h"
+#include "shard/sharded_corpus_executor.h"
 #include "snapshot/snapshot_loader.h"
 #include "snapshot/snapshot_writer.h"
 
@@ -15,7 +16,8 @@ namespace uxm {
 UncertainMatchingSystem::UncertainMatchingSystem(SystemOptions options)
     : options_(std::move(options)),
       result_cache_(std::make_shared<ResultCache>(ResultCacheOptions{
-          options_.cache.max_result_bytes, options_.cache.result_shards})) {}
+          options_.cache.max_result_bytes, options_.cache.result_shards})),
+      store_(options_.corpus_shards) {}
 
 Status UncertainMatchingSystem::Prepare(const Schema* source,
                                         const Schema* target) {
@@ -48,6 +50,7 @@ Status UncertainMatchingSystem::PrepareFromMatching(SchemaMatching matching) {
 void UncertainMatchingSystem::InstallPair(
     std::shared_ptr<const PreparedSchemaPair> pair) {
   std::shared_ptr<const PreparedSchemaPair> replaced;
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> evicted;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++epoch_;  // before the swap: in-flight inserts keyed on the old
@@ -67,6 +70,10 @@ void UncertainMatchingSystem::InstallPair(
     replaced = registry_.Install(pair);
     store_.RebindPair(pair, epoch_);
     default_pair_ = std::move(pair);
+    // The new pair is the default, so EvictPairsOverCap's default
+    // exclusion protects it; victims are the least-recently-queried
+    // OTHER pairs.
+    EvictPairsOverCap(nullptr, &evicted);
   }
   prepared_.store(true, std::memory_order_release);
   // Reclaim only the replaced incarnation's entries: answers of other
@@ -76,6 +83,9 @@ void UncertainMatchingSystem::InstallPair(
   // unreachable, so the sweep is memory hygiene, not correctness.
   if (replaced != nullptr) {
     result_cache_->ErasePair(replaced->pair_id);
+  }
+  for (const auto& victim : evicted) {
+    result_cache_->ErasePair(victim->pair_id);
   }
 }
 
@@ -108,6 +118,25 @@ Status UncertainMatchingSystem::RemovePair(const Schema* source,
   return Status::OK();
 }
 
+void UncertainMatchingSystem::EvictPairsOverCap(
+    const PreparedSchemaPair* keep,
+    std::vector<std::shared_ptr<const PreparedSchemaPair>>* evicted) {
+  const size_t cap = options_.cache.max_pairs;
+  if (cap == 0) return;
+  // Caller holds state_mu_. Each round removes exactly one pair through
+  // the same internals as RemovePair (registry + its corpus documents);
+  // the caller sweeps the victims' cached answers outside the lock.
+  while (registry_.size() > cap) {
+    std::shared_ptr<const PreparedSchemaPair> victim =
+        registry_.LeastRecentlyUsed(default_pair_.get(), keep);
+    if (victim == nullptr) break;  // only protected pairs remain
+    registry_.Remove(victim->source(), victim->target());
+    store_.RemovePairDocuments(victim->source(), victim->target());
+    pair_evictions_.fetch_add(1, std::memory_order_relaxed);
+    evicted->push_back(std::move(victim));
+  }
+}
+
 Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
   std::shared_ptr<const PreparedSchemaPair> pair = prepared_pair();
   if (pair == nullptr) {
@@ -137,11 +166,54 @@ Status UncertainMatchingSystem::AttachDocument(const Document* doc) {
 
 Status UncertainMatchingSystem::AddDocument(const std::string& name,
                                             const Document* doc) {
-  std::shared_ptr<const PreparedSchemaPair> pair = prepared_pair();
-  if (pair == nullptr) {
+  if (doc == nullptr) {
+    return Status::InvalidArgument("document must be non-null");
+  }
+  const std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs =
+      registry_.All();
+  if (pairs.empty()) {
     return Status::Internal("call Prepare before AddDocument");
   }
-  return AddDocument(name, doc, pair->source(), pair->target());
+  // Infer the pair from the document: bind against every registered
+  // source schema and rank full conformance (every node labeled by the
+  // schema) above partial. Binding only hard-fails on a root-label
+  // mismatch, so partial matches are common — a full match is the
+  // stronger signal of which schema the document was authored against.
+  const std::shared_ptr<const PreparedSchemaPair> def = prepared_pair();
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> full, partial;
+  for (const auto& pair : pairs) {
+    Result<AnnotatedDocument> bound =
+        AnnotatedDocument::Bind(doc, pair->source());
+    if (!bound.ok()) continue;
+    (bound->UnboundCount() == 0 ? full : partial).push_back(pair);
+  }
+  const std::vector<std::shared_ptr<const PreparedSchemaPair>>& tier =
+      !full.empty() ? full : partial;
+  if (tier.empty()) {
+    return Status::NotFound(
+        "document conforms to no registered pair's source schema; use "
+        "AddDocument(name, doc, source, target) after Prepare");
+  }
+  // Within a tier the default pair wins outright (ties are expected when
+  // schemas overlap; the default is the declared intent).
+  for (const auto& pair : tier) {
+    if (def != nullptr && pair == def) {
+      return AddDocument(name, doc, pair->source(), pair->target());
+    }
+  }
+  if (tier.size() > 1) {
+    std::string candidates;
+    for (const auto& pair : tier) {
+      if (!candidates.empty()) candidates += ", ";
+      candidates += pair->source()->schema_name() + " -> " +
+                    pair->target()->schema_name();
+    }
+    return Status::InvalidArgument(
+        "document conforms to several registered pairs' source schemas (" +
+        candidates + "); disambiguate with AddDocument(name, doc, source, "
+        "target)");
+  }
+  return AddDocument(name, doc, tier[0]->source(), tier[0]->target());
 }
 
 Status UncertainMatchingSystem::AddDocument(const std::string& name,
@@ -169,6 +241,7 @@ Status UncertainMatchingSystem::AddDocument(const std::string& name,
         "a concurrent Prepare replaced the schema pair during AddDocument; "
         "re-add against the new preparation");
   }
+  const uint64_t pair_id = pair->pair_id;
   CorpusDocument entry;
   entry.name = name;
   entry.doc = doc;
@@ -181,6 +254,7 @@ Status UncertainMatchingSystem::AddDocument(const std::string& name,
   // invalidate the attached document's (or external batch documents')
   // cached answers.
   ++epoch_;
+  registry_.Touch(pair_id);  // targeting a pair counts as use (max_pairs LRU)
   return Status::OK();
 }
 
@@ -193,6 +267,14 @@ Status UncertainMatchingSystem::RemoveDocument(const std::string& name) {
 }
 
 size_t UncertainMatchingSystem::corpus_size() const { return store_.size(); }
+
+size_t UncertainMatchingSystem::corpus_shard_count() const {
+  return store_.num_shards();
+}
+
+size_t UncertainMatchingSystem::CorpusShardOf(const std::string& name) const {
+  return store_.ShardOf(name);
+}
 
 std::vector<std::string> UncertainMatchingSystem::CorpusDocumentNames() const {
   return store_.Names();
@@ -215,14 +297,23 @@ Result<CorpusBatchResponse> UncertainMatchingSystem::RunCorpusBatch(
   if (session.pair == nullptr && !session.has_pairs) {
     return Status::Internal("call Prepare before RunCorpusBatch");
   }
+  // A corpus batch uses every pair its documents carry: touch each
+  // distinct one so the max_pairs LRU never evicts a pair that is still
+  // serving corpus traffic.
+  std::unordered_set<uint64_t> touched;
+  for (const CorpusDocument& entry : *session.corpus->all) {
+    if (entry.pair != nullptr && touched.insert(entry.pair->pair_id).second) {
+      registry_.Touch(entry.pair->pair_id);
+    }
+  }
   BatchCacheContext cache_ctx;
   cache_ctx.results =
       options_.cache.enable_result_cache ? result_cache_.get() : nullptr;
   cache_ctx.epoch = session.epoch;  // items carry per-document epochs
-  CorpusExecutor corpus_exec(session.executor.get(),
-                             options_.cache.enable_bound_cache
-                                 ? registry_.bound_cache().get()
-                                 : nullptr);
+  ShardedCorpusExecutor corpus_exec(session.executor.get(),
+                                    options_.cache.enable_bound_cache
+                                        ? registry_.bound_cache().get()
+                                        : nullptr);
   return corpus_exec.Run(*session.corpus, twigs, options, &cache_ctx);
 }
 
@@ -289,6 +380,7 @@ Result<PtqResult> UncertainMatchingSystem::CachedQuery(
   if (session.annotated == nullptr) {
     return Status::Internal("no document attached");
   }
+  registry_.Touch(session.pair->pair_id);  // default-pair use (max_pairs LRU)
   DriverRequest request;
   request.pair = session.pair.get();
   request.doc = session.annotated.get();
@@ -325,6 +417,7 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
   if (session.pair == nullptr) {
     return Status::Internal("call Prepare before RunBatch");
   }
+  registry_.Touch(session.pair->pair_id);  // default-pair use (max_pairs LRU)
 
   // Annotate each distinct external document exactly once; requests with
   // doc == nullptr reuse the AttachDocument annotation. A document that
@@ -390,6 +483,23 @@ Result<BatchQueryResponse> UncertainMatchingSystem::RunBatch(
 
 Status UncertainMatchingSystem::SaveSnapshot(const std::string& path,
                                              SnapshotStats* stats) const {
+  return SaveSnapshotView(/*shard=*/-1, path, stats);
+}
+
+Status UncertainMatchingSystem::SaveShardSnapshot(size_t shard,
+                                                  const std::string& path,
+                                                  SnapshotStats* stats) const {
+  if (shard >= store_.num_shards()) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " out of range (corpus has " +
+        std::to_string(store_.num_shards()) + " shards)");
+  }
+  return SaveSnapshotView(static_cast<int>(shard), path, stats);
+}
+
+Status UncertainMatchingSystem::SaveSnapshotView(int shard,
+                                                 const std::string& path,
+                                                 SnapshotStats* stats) const {
   const auto start = std::chrono::steady_clock::now();
   SnapshotWriteInput input;
   // The doc inputs below carry raw Document*/AnnotatedDocument* pointers
@@ -397,7 +507,7 @@ Status UncertainMatchingSystem::SaveSnapshot(const std::string& path,
   // WriteSnapshot call: a concurrent RemoveDocument/RemovePair publishes
   // a new corpus vector, and this reference is then the only thing
   // keeping the removed entries' owners alive.
-  std::shared_ptr<const CorpusSnapshot> corpus;
+  std::shared_ptr<const ShardedCorpusSnapshot> corpus;
   {
     // Capture pairs, corpus, and the default-pair choice under one lock
     // acquisition so the snapshot is a consistent instant of the system.
@@ -410,7 +520,11 @@ Status UncertainMatchingSystem::SaveSnapshot(const std::string& path,
       }
     }
     corpus = store_.Snapshot();
-    for (const CorpusDocument& entry : *corpus) {
+    // Every pair is always written (replicas must evaluate any shard's
+    // documents); `shard` only narrows which documents go along.
+    const CorpusSnapshot& view =
+        shard < 0 ? *corpus->all : *corpus->shards[static_cast<size_t>(shard)];
+    for (const CorpusDocument& entry : view) {
       SnapshotDocInput doc;
       doc.name = entry.name;
       doc.doc = entry.doc;
@@ -471,6 +585,7 @@ Status UncertainMatchingSystem::LoadSnapshot(const std::string& path,
     std::shared_ptr<const AnnotatedDocument> annotated;
   };
 
+  std::vector<std::shared_ptr<const PreparedSchemaPair>> evicted;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     // All-or-nothing: reject name collisions (against the live corpus
@@ -513,6 +628,13 @@ Status UncertainMatchingSystem::LoadSnapshot(const std::string& path,
       UXM_RETURN_NOT_OK(store_.Add(std::move(entry)));
       ++epoch_;
     }
+    // Loading is an install burst: enforce the max_pairs cap after the
+    // documents land so a victim's corpus entries are dropped with it
+    // (loaded pairs are most-recently-used, so standing pairs go first).
+    EvictPairsOverCap(nullptr, &evicted);
+  }
+  for (const auto& victim : evicted) {
+    result_cache_->ErasePair(victim->pair_id);
   }
 
   if (stats != nullptr) {

@@ -66,6 +66,7 @@
 #include "corpus/corpus_executor.h"
 #include "corpus/document_store.h"
 #include "exec/batch_executor.h"
+#include "shard/sharded_store.h"
 #include "mapping/top_h.h"
 #include "matching/matcher.h"
 #include "plan/prepared_pair.h"
@@ -91,6 +92,18 @@ struct CacheOptions {
   /// bounds. Invalidation rides the same epoch/pair-id discipline as the
   /// result cache.
   bool enable_bound_cache = true;
+  /// Cap on registered schema pairs for multi-tenant serving; 0 = no
+  /// cap. When an install (Prepare/PrepareFromMatching/LoadSnapshot)
+  /// pushes the registry past the cap, the least-recently-QUERIED pairs
+  /// are evicted through the RemovePair path until the cap holds — their
+  /// corpus documents are dropped and their cached answers swept, so
+  /// size this to the working set, not the tenant count. The current
+  /// default pair and the pair just installed are never evicted (the
+  /// registry may exceed the cap by their presence). "Queried" means:
+  /// chosen as a call's default pair, carried by a corpus batch's
+  /// documents, or targeted by AddDocument. Eviction count:
+  /// pair_evictions().
+  size_t max_pairs = 0;
 };
 
 /// \brief End-to-end configuration.
@@ -100,6 +113,13 @@ struct SystemOptions {
   BlockTreeOptions block_tree;
   PtqOptions ptq;
   CacheOptions cache;
+  /// Corpus shard count for in-process scatter-gather corpus serving
+  /// (src/shard/): documents partition across this many per-shard
+  /// stores by stable name hash, and bounded corpus batches run one TA
+  /// scheduler per shard against shared per-twig thresholds. <= 0
+  /// selects min(hardware threads, 8). 1 disables sharding (the
+  /// single-scheduler path). Answers are bit-identical for every value.
+  int corpus_shards = 0;
 };
 
 /// \brief What one SaveSnapshot/LoadSnapshot call processed.
@@ -203,12 +223,19 @@ class UncertainMatchingSystem {
       const std::vector<BatchQueryRequest>& requests,
       const BatchRunOptions& run = {}) const;
 
-  /// Registers `doc` in the corpus under `name`, bound to the DEFAULT
-  /// pair. The document must conform to that pair's source schema and
-  /// outlive its registration (it is annotated once, here). Every
-  /// registration gets a fresh epoch, so answers cached for a prior
-  /// registration of the same document are never served. AlreadyExists if
-  /// the name is taken; requires Prepare.
+  /// Registers `doc` in the corpus under `name`, bound to the REGISTERED
+  /// pair whose source schema the document conforms to (pair inference).
+  /// Preference order: full conformance (every node binds) beats partial
+  /// (root matches, some nodes unbound), and within a tier the default
+  /// pair wins — so the historical "bind to the default pair" behavior
+  /// is unchanged whenever the document conforms to it. When several
+  /// non-default pairs tie, the call fails with InvalidArgument naming
+  /// the candidate pairs (use the four-argument overload to pick one);
+  /// when no registered pair's source schema matches, NotFound. The
+  /// document must outlive its registration (it is annotated once,
+  /// here). Every registration gets a fresh epoch, so answers cached for
+  /// a prior registration of the same document are never served.
+  /// AlreadyExists if the name is taken; requires Prepare.
   Status AddDocument(const std::string& name, const Document* doc);
 
   /// Heterogeneous-corpus registration: binds `doc` to the REGISTERED
@@ -246,6 +273,13 @@ class UncertainMatchingSystem {
   size_t corpus_size() const;
   std::vector<std::string> CorpusDocumentNames() const;
 
+  /// Corpus shard layout (see SystemOptions::corpus_shards): the shard
+  /// count this system partitions with, and the shard a given document
+  /// name is (or would be) routed to — deterministic, exposed for tests
+  /// and for clients that co-locate requests with shards.
+  size_t corpus_shard_count() const;
+  size_t CorpusShardOf(const std::string& name) const;
+
   /// Serializes every registered pair and corpus document (plus which
   /// pair is the default) into one mmap-able snapshot file at `path`
   /// (src/snapshot/), written atomically via a temp file + rename. A
@@ -254,6 +288,16 @@ class UncertainMatchingSystem {
   /// block-tree construction, or document annotation.
   Status SaveSnapshot(const std::string& path,
                       SnapshotStats* stats = nullptr) const;
+
+  /// Serializes every registered pair but only shard `shard`'s corpus
+  /// documents — the replica-bootstrap path of sharded serving: a
+  /// replica that LoadSnapshot's shard s's file holds exactly the
+  /// documents a coordinator routes to shard s (shard assignment is a
+  /// pure function of the document name, so it survives the round
+  /// trip). The file is an ordinary snapshot: any system can load it,
+  /// sharded or not. InvalidArgument if `shard` >= corpus_shard_count().
+  Status SaveShardSnapshot(size_t shard, const std::string& path,
+                           SnapshotStats* stats = nullptr) const;
 
   /// Restores the pairs and corpus documents of a snapshot INTO this
   /// system: the file is mapped read-only and every loaded pair's flat
@@ -303,6 +347,11 @@ class UncertainMatchingSystem {
   /// Number of registered schema pairs.
   size_t pair_count() const;
 
+  /// Pairs evicted so far by the CacheOptions::max_pairs LRU cap.
+  uint64_t pair_evictions() const {
+    return pair_evictions_.load(std::memory_order_relaxed);
+  }
+
   bool prepared() const { return prepared_.load(std::memory_order_acquire); }
 
  private:
@@ -314,7 +363,7 @@ class UncertainMatchingSystem {
   struct Session {
     std::shared_ptr<const PreparedSchemaPair> pair;
     std::shared_ptr<const AnnotatedDocument> annotated;
-    std::shared_ptr<const CorpusSnapshot> corpus;
+    std::shared_ptr<const ShardedCorpusSnapshot> corpus;
     uint64_t epoch = 0;
     std::shared_ptr<BatchQueryExecutor> executor;
     /// Any pair registered at capture time (corpus queries only need
@@ -334,6 +383,19 @@ class UncertainMatchingSystem {
   /// default, rebinds its corpus documents, and invalidates.
   void InstallPair(std::shared_ptr<const PreparedSchemaPair> pair);
 
+  /// Enforces CacheOptions::max_pairs under state_mu_: evicts
+  /// least-recently-queried pairs (never the default, never `keep`)
+  /// through the RemovePair internals and appends them to `evicted` so
+  /// the caller can sweep their cached answers outside the lock.
+  void EvictPairsOverCap(
+      const PreparedSchemaPair* keep,
+      std::vector<std::shared_ptr<const PreparedSchemaPair>>* evicted);
+
+  /// Shared body of SaveSnapshot (shard < 0: the merged corpus) and
+  /// SaveShardSnapshot (shard s's slice only; always every pair).
+  Status SaveSnapshotView(int shard, const std::string& path,
+                          SnapshotStats* stats) const;
+
   /// Shared single-document path behind Query/QueryTopK/QueryBasic —
   /// a thin adapter onto ExecutionDriver::Execute.
   Result<PtqResult> CachedQuery(const std::string& twig, int top_k,
@@ -352,10 +414,12 @@ class UncertainMatchingSystem {
   std::shared_ptr<const PreparedSchemaPair> default_pair_;  // null until
                                                             // Prepare
   std::shared_ptr<const AnnotatedDocument> annotated_;  // null until Attach
-  /// Named corpus documents. Internally synchronized, but every mutation
-  /// additionally happens under state_mu_ so registration epochs and
-  /// schema checks stay atomic with Prepare/AttachDocument.
-  DocumentStore store_;
+  /// Named corpus documents, partitioned across
+  /// SystemOptions::corpus_shards per-shard stores by stable name hash
+  /// (src/shard/sharded_store.h). Internally synchronized, but every
+  /// mutation additionally happens under state_mu_ so registration
+  /// epochs and schema checks stay atomic with Prepare/AttachDocument.
+  ShardedDocumentStore store_;
   /// One monotone counter hands out every epoch value, so no two cache
   /// stamps ever collide: epoch_ advances on every swap AND every corpus
   /// registration. The single-document session epoch (doc_epoch_, used
@@ -368,6 +432,8 @@ class UncertainMatchingSystem {
   /// carry their pair, so the pool survives re-preparation.
   mutable std::shared_ptr<BatchQueryExecutor> executor_;
   mutable bool executor_use_block_tree_ = true;
+  /// Pairs evicted by the max_pairs LRU cap (monotone).
+  std::atomic<uint64_t> pair_evictions_{0};
 };
 
 }  // namespace uxm

@@ -1,15 +1,11 @@
 #include "corpus/corpus_executor.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cassert>
-#include <cstdio>
 #include <memory>
-#include <mutex>
-#include <queue>
-#include <unordered_map>
+#include <numeric>
 #include <utility>
 
+#include "corpus/bounded_scheduler.h"
 #include "plan/driver.h"
 
 namespace uxm {
@@ -19,87 +15,6 @@ bool AnswerBefore(const CorpusAnswer& a, const CorpusAnswer& b) {
   if (a.document != b.document) return a.document < b.document;
   return a.matches < b.matches;
 }
-
-namespace {
-
-/// Smallest wave: below this the per-dispatch pool overhead dominates
-/// any pruning win. The effective wave is max(threads, kMinWaveItems) so
-/// every worker has an item even on wide pools.
-constexpr size_t kMinWaveItems = 8;
-
-/// Monotone max on the shared threshold (raised by workers as answers
-/// land; read by the driver's cancellation checks and the scheduler).
-void RaiseThreshold(std::atomic<double>* threshold, double value) {
-  double current = threshold->load(std::memory_order_relaxed);
-  while (value > current &&
-         !threshold->compare_exchange_weak(current, value,
-                                           std::memory_order_release,
-                                           std::memory_order_relaxed)) {
-  }
-}
-
-/// Folds one wave's executor report into the run-wide totals. The
-/// cumulative compiler/result-cache snapshots take the latest sample
-/// (they are already cumulative), everything else sums.
-void AccumulateReport(const BatchRunReport& wave, BatchRunReport* total) {
-  total->num_threads = wave.num_threads;
-  if (total->items_per_thread.size() != wave.items_per_thread.size()) {
-    total->items_per_thread.assign(wave.items_per_thread.size(), 0);
-  }
-  for (size_t i = 0; i < wave.items_per_thread.size(); ++i) {
-    total->items_per_thread[i] += wave.items_per_thread[i];
-  }
-  total->query_cache_hits += wave.query_cache_hits;
-  total->result_cache_hits += wave.result_cache_hits;
-  total->result_cache_misses += wave.result_cache_misses;
-  total->mappings_pruned += wave.mappings_pruned;
-  total->items_aborted += wave.items_aborted;
-  total->items_aborted_in_kernel += wave.items_aborted_in_kernel;
-  total->compiler = wave.compiler;
-  total->result_cache = wave.result_cache;
-}
-
-#ifndef NDEBUG
-/// Debug-build exactness certificate: evaluate every document the
-/// scheduler skipped (no caches, no cancellation), merge over ALL
-/// documents, and require the result to be identical to what the bounded
-/// run returned. Pruning must never be observable in the answers.
-void CertifyBoundedTopK(const std::vector<const CorpusDocument*>& docs,
-                        const std::string& twig, int merge_k,
-                        const BatchExecutorOptions& exec_options,
-                        std::vector<std::vector<CorpusAnswer>> collapsed,
-                        const std::vector<char>& have,
-                        const std::vector<CorpusAnswer>& got) {
-  for (size_t d = 0; d < docs.size(); ++d) {
-    if (have[d]) continue;
-    DriverRequest request;
-    request.pair = docs[d]->pair.get();
-    request.doc = docs[d]->annotated.get();
-    request.twig = &twig;
-    request.options = exec_options.ptq;
-    request.use_block_tree = exec_options.use_block_tree;
-    auto result = ExecutionDriver::Execute(request);
-    assert(result.ok() && "certificate evaluation of a pruned item failed");
-    collapsed[d] = CollapseForCorpus(docs[d]->name, *result);
-  }
-  const std::vector<CorpusAnswer> want = MergeTopK(collapsed, merge_k);
-  bool equal = want.size() == got.size();
-  for (size_t i = 0; equal && i < want.size(); ++i) {
-    equal = want[i].document == got[i].document &&
-            want[i].probability == got[i].probability &&
-            want[i].matches == got[i].matches;
-  }
-  if (!equal) {
-    std::fprintf(stderr,
-                 "bounded corpus top-k certificate FAILED for twig '%s': "
-                 "bounded run returned %zu answers, exhaustive merge %zu\n",
-                 twig.c_str(), got.size(), want.size());
-  }
-  assert(equal && "bound-driven pruning changed the corpus top-k");
-}
-#endif  // NDEBUG
-
-}  // namespace
 
 std::vector<CorpusAnswer> CollapseForCorpus(const std::string& name,
                                             const PtqResult& result) {
@@ -149,38 +64,45 @@ std::vector<CorpusAnswer> MergeTopK(
   return merged;
 }
 
+Result<std::vector<const CorpusDocument*>> ResolveCorpusSelection(
+    const CorpusSnapshot& corpus, const std::vector<std::string>& documents) {
+  // The snapshot is name-sorted, so the fan-out (and the merge tie
+  // order) is independent of filter order.
+  std::vector<const CorpusDocument*> selected;
+  if (documents.empty()) {
+    selected.reserve(corpus.size());
+    for (const CorpusDocument& entry : corpus) selected.push_back(&entry);
+    return selected;
+  }
+  for (const std::string& name : documents) {
+    const auto it = std::lower_bound(
+        corpus.begin(), corpus.end(), name,
+        [](const CorpusDocument& e, const std::string& n) {
+          return e.name < n;
+        });
+    if (it == corpus.end() || it->name != name) {
+      return Status::NotFound("no corpus document named '" + name + "'");
+    }
+    if (std::find(selected.begin(), selected.end(), &*it) == selected.end()) {
+      selected.push_back(&*it);
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const CorpusDocument* a, const CorpusDocument* b) {
+              return a->name < b->name;
+            });
+  return selected;
+}
+
 Result<CorpusBatchResponse> CorpusExecutor::Run(
     const CorpusSnapshot& corpus, const std::vector<std::string>& twigs,
     const CorpusQueryOptions& options, const BatchCacheContext* cache) const {
   if (executor_ == nullptr) {
     return Status::Internal("corpus executor has no batch executor");
   }
-  // Resolve the document subset. The snapshot is name-sorted, so the
-  // fan-out (and the merge tie order) is independent of filter order.
   std::vector<const CorpusDocument*> selected;
-  if (options.documents.empty()) {
-    selected.reserve(corpus.size());
-    for (const CorpusDocument& entry : corpus) selected.push_back(&entry);
-  } else {
-    for (const std::string& name : options.documents) {
-      const auto it = std::lower_bound(
-          corpus.begin(), corpus.end(), name,
-          [](const CorpusDocument& e, const std::string& n) {
-            return e.name < n;
-          });
-      if (it == corpus.end() || it->name != name) {
-        return Status::NotFound("no corpus document named '" + name + "'");
-      }
-      if (std::find(selected.begin(), selected.end(), &*it) ==
-          selected.end()) {
-        selected.push_back(&*it);
-      }
-    }
-    std::sort(selected.begin(), selected.end(),
-              [](const CorpusDocument* a, const CorpusDocument* b) {
-                return a->name < b->name;
-              });
-  }
+  UXM_ASSIGN_OR_RETURN(selected,
+                       ResolveCorpusSelection(corpus, options.documents));
   // Bounding needs a finite answer budget to beat: with top_k <= 0 every
   // answer is part of the result and nothing can ever be pruned.
   if (options.bounded && options.top_k > 0) {
@@ -246,247 +168,45 @@ Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
     const BatchCacheContext* cache) const {
   const size_t num_docs = selected.size();
   const size_t num_twigs = twigs.size();
-  const BatchExecutorOptions& exec_options = executor_->options();
-  // Corpus items carry no per-item top_k, so every evaluation runs under
-  // the executor's base PtqOptions — the k the per-item bound must match.
-  const int item_k = exec_options.ptq.top_k;
-  const size_t wave_size =
-      std::max<size_t>(static_cast<size_t>(executor_->num_threads()),
-                       kMinWaveItems);
-
-  CorpusBatchResponse response;
-  response.report.num_threads = executor_->num_threads();
-  response.report.items_per_thread.assign(
-      static_cast<size_t>(executor_->num_threads()), 0);
-  response.corpus.items_total = static_cast<int>(num_twigs * num_docs);
 
   // Per-twig race state: each twig keeps its OWN top-k and threshold
-  // even though all twigs share one dispatch pool below — an item only
-  // ever prunes/cancels against its own twig's k-th best answer.
-  struct TwigState {
-    Status failed = Status::OK();
-    size_t failed_doc;  ///< min selected index with a non-cancel failure
-    TopKTracker tracker;
-    std::atomic<double> threshold{-1.0};  // answers have probability >= 0
-    std::mutex mu;
-    std::vector<std::vector<CorpusAnswer>> collapsed;
-    std::vector<char> have;  ///< collapsed[d] is populated
-    std::vector<double> bounds;
-    CorpusQueryResult merged;
-    TwigState(int k, size_t n)
-        : failed_doc(n), tracker(k), collapsed(n), have(n, 0), bounds(n, 0.0) {
-      merged.documents_evaluated = static_cast<int>(n);
-    }
-  };
-  std::vector<std::unique_ptr<TwigState>> states;
-  states.reserve(num_twigs);
+  // even though all twigs share one dispatch pool — an item only ever
+  // prunes/cancels against its own twig's k-th best answer.
+  std::vector<std::unique_ptr<TwigRace>> races;
+  races.reserve(num_twigs);
   for (size_t t = 0; t < num_twigs; ++t) {
-    states.push_back(std::make_unique<TwigState>(options.top_k, num_docs));
+    races.push_back(std::make_unique<TwigRace>(options.top_k, num_docs));
   }
 
-  // ---- bound phase, per twig: compile once per distinct pair (the
-  // schema-level bound is document-free and shared by all of the pair's
-  // documents), then refine each document with min(pair bound, cached or
-  // probed document bound).
-  for (size_t t = 0; t < num_twigs; ++t) {
-    TwigState& st = *states[t];
-    struct PairInfo {
-      Status status = Status::OK();
-      std::shared_ptr<const QueryPlan> plan;
-      double bound = 0.0;
-    };
-    std::unordered_map<uint64_t, PairInfo> pairs;
-    for (size_t d = 0; d < num_docs; ++d) {
-      const CorpusDocument& entry = *selected[d];
-      auto it = pairs.find(entry.pair->pair_id);
-      if (it == pairs.end()) {
-        PairInfo info;
-        auto compiled = entry.pair->compiler->Compile(twigs[t]);
-        if (compiled.ok()) {
-          info.plan = *compiled;
-          info.bound = info.plan->AnswerUpperBound(item_k);
-        } else {
-          info.status = compiled.status();
-        }
-        it = pairs.emplace(entry.pair->pair_id, std::move(info)).first;
-      }
-      const PairInfo& info = it->second;
-      if (!info.status.ok()) {
-        // A compile failure fails EVERY document of its pair, so the
-        // first name-order document of the first failing pair is exactly
-        // the exhaustive path's first failure — deterministic regardless
-        // of which document first triggered the compile (the old code's
-        // memoization-order dependence).
-        st.failed = info.status;
-        st.failed_doc = d;
-        break;
-      }
-      double bound = info.bound;
-      if (bound_cache_ != nullptr) {
-        const BoundCacheKey key{twigs[t],
-                                entry.doc,
-                                entry.epoch,
-                                item_k,
-                                exec_options.use_block_tree,
-                                entry.pair->pair_id};
-        if (const auto cached = bound_cache_->Lookup(key)) {
-          bound = std::min(bound, *cached);
-        } else if (options.probe_bounds && entry.annotated != nullptr) {
-          const double probe =
-              info.plan->DocumentAnswerUpperBound(item_k, *entry.annotated);
-          bound_cache_->Insert(key, probe);
-          bound = std::min(bound, probe);
-        }
-      } else if (options.probe_bounds && entry.annotated != nullptr) {
-        bound = std::min(
-            bound, info.plan->DocumentAnswerUpperBound(item_k, *entry.annotated));
-      }
-      st.bounds[d] = bound;
-    }
-    if (!st.failed.ok()) {
-      // The twig never enters the pool: its whole document count is
-      // charged to items_failed, keeping the run-report invariant.
-      response.corpus.items_failed += static_cast<int>(num_docs);
-    }
-  }
+  BoundedRunContext ctx;
+  ctx.executor = executor_;
+  ctx.bound_cache = bound_cache_;
+  ctx.selected = &selected;
+  ctx.twigs = &twigs;
+  ctx.cache = cache;
+  ctx.probe_bounds = options.probe_bounds;
+  // Corpus items carry no per-item top_k, so every evaluation runs under
+  // the executor's base PtqOptions — the k the per-item bound must match.
+  ctx.item_k = executor_->options().ptq.top_k;
+  ctx.races = &races;
 
-  // ---- schedule phase: ONE pool over all (twig, document) items of the
-  // batch, highest bound first. stable_sort keeps (twig order, name
-  // order) for equal bounds, so a single-twig batch dispatches in
-  // exactly the order the per-twig scheduler used.
-  struct PoolItem {
-    uint32_t twig;
-    uint32_t doc;
-    double bound;
-  };
-  std::vector<PoolItem> pool;
+  // ONE scheduler over the whole selection: bound phase, then the wave
+  // loop (the sharded path runs the same two calls once per shard, over
+  // disjoint slices, against shared races).
+  std::vector<uint32_t> docs(num_docs);
+  std::iota(docs.begin(), docs.end(), 0u);
+  std::vector<BoundedPoolItem> pool;
   pool.reserve(num_twigs * num_docs);
-  for (size_t t = 0; t < num_twigs; ++t) {
-    if (!states[t]->failed.ok()) continue;
-    for (size_t d = 0; d < num_docs; ++d) {
-      pool.push_back(PoolItem{static_cast<uint32_t>(t),
-                              static_cast<uint32_t>(d),
-                              states[t]->bounds[d]});
-    }
-  }
-  std::stable_sort(pool.begin(), pool.end(),
-                   [](const PoolItem& a, const PoolItem& b) {
-                     return a.bound > b.bound;
-                   });
+  BoundedScheduleResult sched;
+  BuildBoundedPool(ctx, docs, &pool, &sched);
+  RunBoundedWaves(ctx, std::move(pool), &sched);
 
-  size_t pos = 0;
-  while (pos < pool.size()) {
-    // Collect the next wave. Between waves no worker is running, so the
-    // trackers/thresholds are quiescent and read without locks.
-    std::vector<BatchQueryItem> items;
-    std::vector<PoolItem> wave;  // wave index -> pool item
-    while (pos < pool.size() && items.size() < wave_size) {
-      const PoolItem pi = pool[pos++];
-      TwigState& st = *states[pi.twig];
-      if (!st.failed.ok()) {
-        // The twig failed in an earlier wave; its leftover items are
-        // never dispatched, but still accounted.
-        ++response.corpus.items_failed;
-        continue;
-      }
-      if (st.tracker.full() &&
-          pi.bound + kAnswerBoundSlack <
-              st.threshold.load(std::memory_order_acquire)) {
-        // Provably outside this twig's top-k. (Unlike the single-twig
-        // scheduler there is no tail cut here: a later pool item may
-        // belong to a different twig whose threshold it still beats.)
-        ++st.merged.documents_pruned;
-        ++response.corpus.items_pruned;
-        continue;
-      }
-      const CorpusDocument& entry = *selected[pi.doc];
-      BatchQueryItem item;
-      item.doc = entry.annotated.get();
-      item.twig = twigs[pi.twig];
-      item.epoch = entry.epoch;
-      item.pair = entry.pair;
-      item.priority = pi.bound;
-      item.cancel_threshold = &st.threshold;  // races its own twig only
-      items.push_back(std::move(item));
-      wave.push_back(pi);
-    }
-    if (items.empty()) continue;
-
-    // Workers fold each finished item into its twig's tracker
-    // immediately, so thresholds rise mid-wave and later items of this
-    // very wave can abort — at the driver's checks or inside the kernel.
-    BatchRunControl control;
-    control.on_item_done = [&](size_t i, const Result<PtqResult>& r) {
-      if (!r.ok()) return;
-      const PoolItem pi = wave[i];
-      TwigState& st = *states[pi.twig];
-      const CorpusDocument& entry = *selected[pi.doc];
-      std::vector<CorpusAnswer> answers = CollapseForCorpus(entry.name, *r);
-      if (bound_cache_ != nullptr) {
-        // Realized bound: evaluation is deterministic in this key, so
-        // the best collapsed answer (0 when there is none) is an exact
-        // bound for any later run under the same key — usually far
-        // tighter than the probe it refines (Insert keeps the min).
-        bound_cache_->Insert(
-            BoundCacheKey{twigs[pi.twig], entry.doc, entry.epoch, item_k,
-                          exec_options.use_block_tree, entry.pair->pair_id},
-            answers.empty() ? 0.0 : answers.front().probability);
-      }
-      std::lock_guard<std::mutex> lock(st.mu);
-      for (const CorpusAnswer& a : answers) st.tracker.Push(a);
-      if (st.tracker.full()) {
-        RaiseThreshold(&st.threshold, st.tracker.kth_probability());
-      }
-      st.collapsed[pi.doc] = std::move(answers);
-      st.have[pi.doc] = 1;
-    };
-
-    BatchRunReport wave_report;
-    const std::vector<Result<PtqResult>> results = executor_->Run(
-        items, /*default_pair=*/nullptr, &wave_report, cache, &control);
-    AccumulateReport(wave_report, &response.report);
-    ++response.corpus.dispatches;
-
-    for (size_t i = 0; i < results.size(); ++i) {
-      const PoolItem pi = wave[i];
-      TwigState& st = *states[pi.twig];
-      const Result<PtqResult>& r = results[i];
-      if (r.ok()) {
-        st.merged.truncated_embeddings |= r->truncated_embeddings;
-        ++response.corpus.items_evaluated;
-      } else if (r.status().IsCancelled()) {
-        ++st.merged.documents_aborted;
-        ++response.corpus.items_aborted;
-      } else {
-        ++response.corpus.items_failed;
-        if (pi.doc < st.failed_doc) {
-          st.failed_doc = pi.doc;
-          st.failed = r.status();
-        }
-      }
-    }
-  }
-  response.corpus.items_aborted_in_kernel =
-      response.report.items_aborted_in_kernel;
-
-  // ---- finalize in input-twig order.
-  response.answers.reserve(num_twigs);
-  for (size_t t = 0; t < num_twigs; ++t) {
-    TwigState& st = *states[t];
-    if (!st.failed.ok()) {
-      response.answers.push_back(std::move(st.failed));
-      continue;
-    }
-    // Skipped documents left empty lists in `collapsed`; MergeTopK
-    // ignores empty lists, and their absence is exactly what the bounds
-    // proved sound.
-    st.merged.answers = MergeTopK(st.collapsed, options.top_k);
-#ifndef NDEBUG
-    CertifyBoundedTopK(selected, twigs[t], options.top_k, exec_options,
-                       std::move(st.collapsed), st.have, st.merged.answers);
-#endif
-    response.answers.push_back(std::move(st.merged));
-  }
+  CorpusBatchResponse response;
+  response.report = std::move(sched.report);
+  response.corpus = sched.corpus;
+  response.corpus.items_total = static_cast<int>(num_twigs * num_docs);
+  FinalizeBoundedAnswers(ctx, options.top_k, /*gathered=*/nullptr,
+                         &response.answers);
   return response;
 }
 

@@ -150,6 +150,12 @@ struct CorpusBatchResponse {
   std::vector<Result<CorpusQueryResult>> answers;
   BatchRunReport report;
   CorpusRunReport corpus;
+  /// Per-shard scheduler reports when the batch ran through the sharded
+  /// scatter-gather path (shard/sharded_corpus_executor.h), in shard
+  /// index order — each shard's own evaluated/pruned/aborted/failed
+  /// split, summing field-by-field to `corpus`. Empty on the
+  /// single-scheduler path.
+  std::vector<CorpusRunReport> shard_reports;
 };
 
 /// Global answer order: probability descending, then document name, then
@@ -215,6 +221,14 @@ std::vector<CorpusAnswer> CollapseForCorpus(const std::string& name,
 /// per-document Query results equals QueryCorpus.
 std::vector<CorpusAnswer> MergeTopK(
     const std::vector<std::vector<CorpusAnswer>>& per_document, int k);
+
+/// Resolves a CorpusQueryOptions::documents filter against a name-sorted
+/// corpus snapshot: empty selects the whole corpus, unknown names fail
+/// with NotFound, duplicates collapse, and the result is name-sorted.
+/// Shared by the single-scheduler and sharded paths so both reject the
+/// same requests and fan out in the same canonical order.
+Result<std::vector<const CorpusDocument*>> ResolveCorpusSelection(
+    const CorpusSnapshot& corpus, const std::vector<std::string>& documents);
 
 /// \brief Fans twigs across a corpus on a BatchQueryExecutor.
 ///

@@ -83,6 +83,44 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// \brief A handful of dedicated threads joined on scope exit.
+///
+/// For short-lived coordinator/driver threads that themselves DISPATCH
+/// into a ThreadPool and block on the result — the sharded corpus
+/// coordinator's per-shard schedulers (shard/sharded_corpus_executor.h)
+/// are the motivating case. Such drivers must NOT run as pool tasks: a
+/// driver occupying a pool worker while its nested ParallelFor waits for
+/// slot tasks queued behind OTHER blocked drivers is a deadlock cycle.
+/// Dedicated threads keep the pool's workers free for actual work, and
+/// join-on-destruction keeps an exception on the spawning path from
+/// leaking a running thread.
+class ScopedThreads {
+ public:
+  ScopedThreads() = default;
+  ~ScopedThreads() { JoinAll(); }
+
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+  /// Spawns a thread running `fn`. The callable must not throw — there
+  /// is no future to carry the exception; marshal failures through
+  /// captured state instead.
+  template <typename F>
+  void Spawn(F&& fn) {
+    threads_.emplace_back(std::forward<F>(fn));
+  }
+
+  /// Joins every spawned thread. Idempotent.
+  void JoinAll() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
 }  // namespace uxm
 
 #endif  // UXM_EXEC_THREAD_POOL_H_

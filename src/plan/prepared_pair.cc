@@ -87,16 +87,44 @@ std::shared_ptr<const PreparedSchemaPair> MakePreparedSchemaPairFromFlatIndex(
 std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Install(
     std::shared_ptr<const PreparedSchemaPair> pair) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& existing : pairs_) {
-    if (existing->source() == pair->source() &&
-        existing->target() == pair->target()) {
-      std::shared_ptr<const PreparedSchemaPair> replaced = existing;
-      existing = std::move(pair);
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (pairs_[i]->source() == pair->source() &&
+        pairs_[i]->target() == pair->target()) {
+      std::shared_ptr<const PreparedSchemaPair> replaced = pairs_[i];
+      pairs_[i] = std::move(pair);
+      last_used_[i] = ++use_clock_;  // installation counts as a use
       return replaced;
     }
   }
   pairs_.push_back(std::move(pair));
+  last_used_.push_back(++use_clock_);
   return nullptr;
+}
+
+void SchemaPairRegistry::Touch(uint64_t pair_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (pairs_[i]->pair_id == pair_id) {
+      last_used_[i] = ++use_clock_;
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::LeastRecentlyUsed(
+    const PreparedSchemaPair* exclude1,
+    const PreparedSchemaPair* exclude2) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const PreparedSchemaPair> oldest;
+  uint64_t oldest_stamp = 0;
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    if (pairs_[i].get() == exclude1 || pairs_[i].get() == exclude2) continue;
+    if (oldest == nullptr || last_used_[i] < oldest_stamp) {
+      oldest = pairs_[i];
+      oldest_stamp = last_used_[i];
+    }
+  }
+  return oldest;
 }
 
 std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Find(
@@ -114,6 +142,7 @@ std::shared_ptr<const PreparedSchemaPair> SchemaPairRegistry::Remove(
   for (auto it = pairs_.begin(); it != pairs_.end(); ++it) {
     if ((*it)->source() != source || (*it)->target() != target) continue;
     std::shared_ptr<const PreparedSchemaPair> removed = std::move(*it);
+    last_used_.erase(last_used_.begin() + (it - pairs_.begin()));
     pairs_.erase(it);
     bool target_still_used = false;
     for (const auto& pair : pairs_) {
@@ -142,6 +171,7 @@ size_t SchemaPairRegistry::size() const {
 void SchemaPairRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   pairs_.clear();
+  last_used_.clear();
   embeddings_->Clear();
 }
 

@@ -148,6 +148,22 @@ class SchemaPairRegistry {
   size_t size() const;
   void Clear();
 
+  /// Marks the pair with `pair_id` as just-queried (recency for the
+  /// facade's CacheOptions::max_pairs LRU eviction). Unknown ids are
+  /// ignored — the pair may have been removed by a concurrent eviction,
+  /// which is exactly when its recency no longer matters.
+  void Touch(uint64_t pair_id) const;
+
+  /// The registered pair least recently Touch'd (installation counts as
+  /// a touch), skipping the excluded pairs (either may be null). Null
+  /// when every registered pair is excluded. The facade picks eviction
+  /// victims with this under its state lock — excluding the default pair
+  /// and the pair being installed — so victim choice is atomic with the
+  /// install that overflowed the cap.
+  std::shared_ptr<const PreparedSchemaPair> LeastRecentlyUsed(
+      const PreparedSchemaPair* exclude1,
+      const PreparedSchemaPair* exclude2 = nullptr) const;
+
   /// The registry-wide cross-pair embedding cache. Pairs built for this
   /// registry should be given this cache (PairBuildOptions), so every
   /// pair over one target schema shares one embedding enumeration per
@@ -165,6 +181,10 @@ class SchemaPairRegistry {
  private:
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<const PreparedSchemaPair>> pairs_;
+  /// last_used_[i] is the use stamp of pairs_[i] (parallel vectors);
+  /// stamps come from the monotone use_clock_. Both mutated under mu_.
+  mutable std::vector<uint64_t> last_used_;
+  mutable uint64_t use_clock_ = 0;
   std::shared_ptr<EmbeddingCache> embeddings_ =
       std::make_shared<EmbeddingCache>();
   std::shared_ptr<BoundCache> bounds_ = std::make_shared<BoundCache>();

@@ -548,5 +548,129 @@ TEST(SharedEmbeddingCacheTest, PairsOverOneTargetShareEmbeddings) {
   EXPECT_EQ(&(*hot_plan)->embeddings(), &(*cold_plan)->embeddings());
 }
 
+// ----------------------------------------------------- pair LRU cap
+
+// CacheOptions::max_pairs: installs beyond the cap evict the least-
+// recently-QUERIED pair through the RemovePair internals — the victim's
+// corpus documents go with it, the default pair is never the victim, and
+// pair_evictions() counts every eviction.
+class PairLruTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* id : {"D7", "D1", "D6"}) {
+      auto d = LoadDataset(id);
+      ASSERT_TRUE(d.ok()) << id << ": " << d.status();
+      datasets_.push_back(std::make_unique<Dataset>(std::move(d).ValueOrDie()));
+    }
+    doc7_ = std::make_unique<Document>(GenerateDocument(
+        *datasets_[0]->source, DocGenOptions{.seed = 3, .target_nodes = 100}));
+  }
+
+  SystemOptions Options(size_t max_pairs) const {
+    SystemOptions opts;
+    opts.top_h.h = 12;
+    opts.cache.max_pairs = max_pairs;
+    return opts;
+  }
+
+  Status Prepare(UncertainMatchingSystem* sys, size_t i) {
+    return sys->PrepareFromMatching(datasets_[i]->matching);
+  }
+
+  bool Registered(const UncertainMatchingSystem& sys, size_t i) const {
+    return sys.prepared_pair(datasets_[i]->source.get(),
+                             datasets_[i]->target.get()) != nullptr;
+  }
+
+  std::vector<std::unique_ptr<Dataset>> datasets_;
+  std::unique_ptr<Document> doc7_;
+};
+
+TEST_F(PairLruTest, CapEvictsLeastRecentlyQueriedAndDropsItsDocuments) {
+  UncertainMatchingSystem sys(Options(2));
+  ASSERT_TRUE(Prepare(&sys, 0).ok());  // D7
+  ASSERT_TRUE(Prepare(&sys, 1).ok());  // D1 (default)
+  EXPECT_EQ(sys.pair_count(), 2u);
+  EXPECT_EQ(sys.pair_evictions(), 0u);
+  // Register a document under D7 — AddDocument targeting a pair counts
+  // as a query, so D7 is now more recently used than... nothing yet:
+  // both touches happened after D7's install, so without them D7 (the
+  // older install) would be the victim.
+  ASSERT_TRUE(sys.AddDocument("a7", doc7_.get(), datasets_[0]->source.get(),
+                              datasets_[0]->target.get())
+                  .ok());
+  EXPECT_EQ(sys.corpus_size(), 1u);
+
+  // Third install overflows the cap. D1 is the LEAST recently queried —
+  // but it is the default until the new install lands; the new pair
+  // becomes the default, so D1 is evictable and D7 (just touched by
+  // AddDocument) survives.
+  ASSERT_TRUE(Prepare(&sys, 2).ok());  // D6 (new default)
+  EXPECT_EQ(sys.pair_count(), 2u);
+  EXPECT_EQ(sys.pair_evictions(), 1u);
+  EXPECT_TRUE(Registered(sys, 0));   // D7: recently queried, retained
+  EXPECT_FALSE(Registered(sys, 1));  // D1: evicted
+  EXPECT_TRUE(Registered(sys, 2));   // D6: the default
+  // D7's document is untouched by D1's eviction.
+  EXPECT_EQ(sys.corpus_size(), 1u);
+}
+
+TEST_F(PairLruTest, EvictionFollowsRecencyNotInstallOrder) {
+  UncertainMatchingSystem sys(Options(2));
+  ASSERT_TRUE(Prepare(&sys, 0).ok());  // D7 — oldest install
+  ASSERT_TRUE(Prepare(&sys, 1).ok());  // D1 (default)
+  // No touches in between: install order IS recency order, so the
+  // victim is D7 this time.
+  ASSERT_TRUE(Prepare(&sys, 2).ok());
+  EXPECT_FALSE(Registered(sys, 0));
+  EXPECT_TRUE(Registered(sys, 1));
+  EXPECT_TRUE(Registered(sys, 2));
+  EXPECT_EQ(sys.pair_evictions(), 1u);
+}
+
+TEST_F(PairLruTest, DefaultPairIsNeverEvictedEvenAtCapOne) {
+  UncertainMatchingSystem sys(Options(1));
+  ASSERT_TRUE(Prepare(&sys, 0).ok());
+  ASSERT_TRUE(Prepare(&sys, 1).ok());  // overflow: D7 evicted, D1 stays
+  EXPECT_EQ(sys.pair_count(), 1u);
+  EXPECT_FALSE(Registered(sys, 0));
+  EXPECT_TRUE(Registered(sys, 1));  // the default survives the cap
+  EXPECT_EQ(sys.pair_evictions(), 1u);
+  // An evicted pair's documents cannot be added any more (NotFound), and
+  // the evicted pair's schemas can be re-prepared cleanly.
+  EXPECT_TRUE(sys.AddDocument("a7", doc7_.get(), datasets_[0]->source.get(),
+                              datasets_[0]->target.get())
+                  .IsNotFound());
+  ASSERT_TRUE(Prepare(&sys, 0).ok());  // D7 back (default), D1 evicted
+  EXPECT_EQ(sys.pair_count(), 1u);
+  EXPECT_EQ(sys.pair_evictions(), 2u);
+}
+
+TEST_F(PairLruTest, CorpusBatchesTouchTheirDocumentsPairs) {
+  UncertainMatchingSystem sys(Options(2));
+  ASSERT_TRUE(Prepare(&sys, 0).ok());  // D7 — oldest install
+  ASSERT_TRUE(sys.AddDocument("a7", doc7_.get(), datasets_[0]->source.get(),
+                              datasets_[0]->target.get())
+                  .ok());
+  ASSERT_TRUE(Prepare(&sys, 1).ok());  // D1 (default) — D7 is now LRU
+  // A corpus batch carries the D7 document, touching the D7 pair PAST
+  // D1's install stamp — so the next overflow evicts D1, not D7, even
+  // though D7 lost on install order.
+  ASSERT_TRUE(sys.QueryCorpus(TableIIIQueries()[0], {}).ok());
+  ASSERT_TRUE(Prepare(&sys, 2).ok());  // D6 (default)
+  EXPECT_TRUE(Registered(sys, 0));
+  EXPECT_FALSE(Registered(sys, 1));
+  EXPECT_EQ(sys.pair_evictions(), 1u);
+}
+
+TEST_F(PairLruTest, ZeroCapMeansUnlimited) {
+  UncertainMatchingSystem sys(Options(0));
+  for (size_t i = 0; i < datasets_.size(); ++i) {
+    ASSERT_TRUE(Prepare(&sys, i).ok());
+  }
+  EXPECT_EQ(sys.pair_count(), datasets_.size());
+  EXPECT_EQ(sys.pair_evictions(), 0u);
+}
+
 }  // namespace
 }  // namespace uxm

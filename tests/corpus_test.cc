@@ -480,8 +480,11 @@ TEST_F(CorpusSystemTest, MultiSchemaCorpusEqualsBruteForcePerPairMerge) {
   }
   ASSERT_TRUE(sys.AddDocument("zz-other", &other_doc).ok());  // default pair
   ASSERT_EQ(sys.corpus_size(), scenario_->documents.size() + 1);
-  // A document that conforms to neither registered source is rejected.
-  EXPECT_FALSE(sys.AddDocument("bad", scenario_->documents[0].get()).ok());
+  // Pair inference: the 2-arg overload routes a D7-sourced document to
+  // the registered D7 pair even though the default pair is now D1
+  // (removed again so the oracle comparison below stays exact).
+  ASSERT_TRUE(sys.AddDocument("inferred", scenario_->documents[0].get()).ok());
+  ASSERT_TRUE(sys.RemoveDocument("inferred").ok());
   EXPECT_TRUE(sys.AddDocument("bad", &other_doc,
                               scenario_->dataset.source.get(),
                               other->target.get())
@@ -525,6 +528,62 @@ TEST_F(CorpusSystemTest, MultiSchemaCorpusEqualsBruteForcePerPairMerge) {
   }
   // The comparison must not be vacuous.
   EXPECT_GT(nonempty, 0u);
+}
+
+// The 2-arg AddDocument inference contract (core/system.h): full source-
+// schema conformance beats partial, the default pair wins ties within a
+// tier, a non-default tie is InvalidArgument naming the candidates, and
+// a document conforming to no registered source is NotFound.
+TEST_F(CorpusSystemTest, TwoArgAddDocumentInfersPairFromDocument) {
+  auto d1 = LoadDataset("D1");
+  ASSERT_TRUE(d1.ok());
+  Document d1_doc = GenerateDocument(
+      *d1->source, DocGenOptions{.seed = 11, .target_nodes = 80});
+
+  UncertainMatchingSystem sys(Options());
+  ASSERT_TRUE(sys.Prepare(scenario_->dataset.source.get(),
+                          scenario_->dataset.target.get())
+                  .ok());
+  ASSERT_TRUE(sys.Prepare(d1->source.get(), d1->target.get()).ok());
+  // Default pair is D1, yet a D7-sourced document infers the D7 pair and
+  // a D1-sourced one keeps resolving to the default.
+  ASSERT_TRUE(sys.AddDocument("d7-doc", scenario_->documents[0].get()).ok());
+  ASSERT_TRUE(sys.AddDocument("d1-doc", &d1_doc).ok());
+  EXPECT_EQ(sys.corpus_size(), 2u);
+
+  // A document whose root label no registered source knows binds to
+  // nothing: NotFound, and the corpus is untouched.
+  Document alien;
+  alien.AddChild(alien.AddRoot("no-such-label-anywhere"), "child");
+  alien.Finalize();
+  EXPECT_TRUE(sys.AddDocument("alien", &alien).IsNotFound());
+  EXPECT_EQ(sys.corpus_size(), 2u);
+
+  // Two pairs share D7's source schema and neither is the default (D1 is
+  // re-prepared last): a D7 document now fully conforms to both, and the
+  // tie is InvalidArgument naming both candidates. The second target is a
+  // node-by-node clone of D7's target — identical labels (so the matcher
+  // finds the same correspondences) but a distinct Schema object, hence a
+  // distinct (source, target) pair key.
+  const Schema& d7_target = *scenario_->dataset.target;
+  auto target_clone = std::make_shared<Schema>("d7-target-clone");
+  target_clone->AddRoot(d7_target.name(0));
+  for (SchemaNodeId id = 1; id < d7_target.size(); ++id) {
+    target_clone->AddChild(d7_target.node(id).parent, d7_target.name(id));
+  }
+  target_clone->Finalize();
+  ASSERT_TRUE(
+      sys.Prepare(scenario_->dataset.source.get(), target_clone.get()).ok());
+  ASSERT_TRUE(sys.Prepare(d1->source.get(), d1->target.get()).ok());
+  EXPECT_EQ(sys.pair_count(), 3u);
+  const Status ambiguous =
+      sys.AddDocument("d7-doc-2", scenario_->documents[1].get());
+  EXPECT_TRUE(ambiguous.IsInvalidArgument()) << ambiguous;
+  // Disambiguation through the 4-arg overload still works.
+  EXPECT_TRUE(sys.AddDocument("d7-doc-2", scenario_->documents[1].get(),
+                              scenario_->dataset.source.get(),
+                              scenario_->dataset.target.get())
+                  .ok());
 }
 
 // ------------------------------------------------- tracker guards

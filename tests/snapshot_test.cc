@@ -4,6 +4,7 @@
 // file, a loaded system must re-save losslessly, and the loader must turn
 // malformed inputs into clean errors without touching live state. The
 // adversarial corruption sweep lives in snapshot_fuzz_test.cc (slow).
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdio>
@@ -326,6 +327,78 @@ TEST_F(SnapshotTest, LoaderRejectsEmptyDocName) {
       << status;
   EXPECT_EQ(fresh.pair_count(), 0u);
   EXPECT_TRUE(fresh.CorpusDocumentNames().empty());
+}
+
+TEST_F(SnapshotTest, ShardSnapshotsPartitionTheCorpusAndRoundTrip) {
+  SystemOptions opts = Options();
+  opts.corpus_shards = 3;
+  UncertainMatchingSystem sys(opts);
+  FillSystem(&sys);
+  const std::vector<std::string> all_names = sys.CorpusDocumentNames();
+
+  std::vector<std::string> shard_paths;
+  std::vector<std::string> seen;  // union of the per-shard corpora
+  size_t docs_total = 0;
+  for (size_t s = 0; s < sys.corpus_shard_count(); ++s) {
+    shard_paths.push_back(path_ + ".shard" + std::to_string(s));
+    SnapshotStats stats;
+    ASSERT_TRUE(sys.SaveShardSnapshot(s, shard_paths[s], &stats).ok());
+    EXPECT_EQ(stats.pairs, 2u);  // every pair rides in every shard file
+    docs_total += stats.documents;
+
+    // A shard file is an ordinary snapshot: an UNsharded replica loads
+    // it and holds exactly the documents that route to shard s.
+    UncertainMatchingSystem replica(Options());
+    ASSERT_TRUE(replica.LoadSnapshot(shard_paths[s]).ok());
+    EXPECT_EQ(replica.pair_count(), 2u);
+    for (const std::string& name : replica.CorpusDocumentNames()) {
+      EXPECT_EQ(sys.CorpusShardOf(name), s) << name;
+      seen.push_back(name);
+    }
+
+    // Shard assignment is a pure function of the document name, so a
+    // SHARDED replica with the same shard count routes every restored
+    // document straight back to shard s — the property a coordinator
+    // relies on when it rehydrates one shard replica from its file.
+    UncertainMatchingSystem sharded_replica(opts);
+    ASSERT_TRUE(sharded_replica.LoadSnapshot(shard_paths[s]).ok());
+    for (const std::string& name : sharded_replica.CorpusDocumentNames()) {
+      EXPECT_EQ(sharded_replica.CorpusShardOf(name), s) << name;
+    }
+  }
+  // The shard files partition the corpus: disjoint (each name routed to
+  // exactly one shard above) and jointly exhaustive.
+  EXPECT_EQ(docs_total, all_names.size());
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, all_names);
+  for (const std::string& p : shard_paths) std::remove(p.c_str());
+}
+
+TEST_F(SnapshotTest, ShardedAndUnshardedSystemsExchangeFullSnapshots) {
+  // A full snapshot written by a sharded system is the MERGED corpus:
+  // a single-scheduler system loads it and answers bit-identically.
+  SystemOptions sharded = Options();
+  sharded.corpus_shards = 3;
+  UncertainMatchingSystem original(sharded);
+  FillSystem(&original);
+  ASSERT_TRUE(original.SaveSnapshot(path_).ok());
+
+  SystemOptions unsharded = Options();
+  unsharded.corpus_shards = 1;
+  UncertainMatchingSystem loaded(unsharded);
+  ASSERT_TRUE(loaded.LoadSnapshot(path_).ok());
+  EXPECT_EQ(loaded.corpus_shard_count(), 1u);
+  EXPECT_EQ(loaded.CorpusDocumentNames(), original.CorpusDocumentNames());
+
+  CorpusQueryOptions top10;
+  top10.top_k = 10;
+  for (const std::string& twig : TableIIIQueries()) {
+    auto want = original.QueryCorpus(twig, top10);
+    auto got = loaded.QueryCorpus(twig, top10);
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_TRUE(got.ok()) << got.status();
+    ExpectIdenticalAnswers(*got, *want);
+  }
 }
 
 TEST_F(SnapshotTest, SaveRacesCorpusMutationSafely) {

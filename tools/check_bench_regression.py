@@ -40,6 +40,16 @@ Usage:
                          pair-level bound — so this speedup exists only
                          while the document-sensitive bound cache
                          separates cold documents from hot ones.
+  [--min-shard-speedup X]  fail if BM_ShardedCorpusTopK/8 is not at
+                         least X times faster than BM_ShardedCorpusTopK/1
+                         in the same run (default 0 = off; CI passes
+                         1.5). Both runs evaluate the identical item set
+                         with a one-worker executor pool, so the ratio
+                         is purely the per-shard schedulers carrying
+                         their waves on dedicated driver threads —
+                         skipped when the host has fewer than 4 CPUs,
+                         where there is nothing for the drivers to
+                         spread over.
 
 A second same-run invariant guards the early-termination top-k engine:
 BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
@@ -55,7 +65,7 @@ pruning, the whole corpus win is gone.
 
 Updating the baseline (after an intentional perf change, Release build):
   ./build/micro_bench \
-      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SinglePairCorpus|BM_ManyTwigCorpusBatch|BM_SharedEmbeddingCorpus|BM_PrepareCold|BM_SnapshotLoad' \
+      --benchmark_filter='BM_BatchPtq|BM_CachedPtq|BM_CorpusPtq|BM_PrunedTopK|BM_UnprunedTopK|BM_MultiSchemaCorpus|BM_BoundedCorpusTopK|BM_ExhaustiveCorpusTopK|BM_SinglePairCorpus|BM_ManyTwigCorpusBatch|BM_ShardedCorpus|BM_SharedEmbeddingCorpus|BM_PrepareCold|BM_SnapshotLoad' \
       --benchmark_min_time=0.05 --benchmark_format=json > BENCH_baseline.json
 """
 
@@ -68,6 +78,7 @@ import sys
 GATED = re.compile(
     r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus|"
     r"BoundedCorpusTopK|SinglePairCorpusTopK|ManyTwigCorpusBatch|"
+    r"ShardedCorpusTopK|ShardedCorpusBatch|"
     r"SharedEmbeddingCorpus|PrepareCold|SnapshotLoad)\b")
 
 # BM_PrunedTopK may be at most this many times slower than BM_UnprunedTopK
@@ -96,6 +107,7 @@ def main():
     parser.add_argument("--min-batch-scaling", type=float, default=0.0)
     parser.add_argument("--min-snapshot-speedup", type=float, default=0.0)
     parser.add_argument("--min-docbound-speedup", type=float, default=0.0)
+    parser.add_argument("--min-shard-speedup", type=float, default=0.0)
     args = parser.parse_args()
 
     current, context = load(args.current)
@@ -263,6 +275,42 @@ def main():
                             "BM_SinglePairCorpusTopK/"
                             "BM_SinglePairCorpusExhaustive missing from %s"
                             % args.current)
+
+    # Same-run invariant: the sharded scatter-gather executor must turn
+    # its per-shard driver threads into wall-clock speedup. Both shard
+    # counts evaluate the identical item set on a one-worker pool, so the
+    # /1 vs /8 ratio is pure scheduler parallelism. Like the batch
+    # scaling floor, this is only observable with cores to spread over,
+    # so it self-disables on small hosts (the dev container is 1-core).
+    if args.min_shard_speedup > 0:
+        num_cpus = int(context.get("num_cpus", 0) or 0)
+        if num_cpus < 4:
+            print("NOTE  shard speedup floor skipped (host has %d CPUs)"
+                  % num_cpus)
+        else:
+            found = False
+            for suffix in ("/real_time", ""):
+                one = current.get("BM_ShardedCorpusTopK/1" + suffix)
+                eight = current.get("BM_ShardedCorpusTopK/8" + suffix)
+                if one is None or eight is None:
+                    continue
+                found = True
+                speedup = one / eight
+                verdict = ("FAIL" if speedup < args.min_shard_speedup
+                           else "ok")
+                print("%-5s sharded corpus speedup at 8 shards: %.2fx "
+                      "(need >= %.1fx)"
+                      % (verdict, speedup, args.min_shard_speedup))
+                if speedup < args.min_shard_speedup:
+                    failures.append(
+                        "BM_ShardedCorpusTopK/8 is only %.2fx faster than "
+                        "BM_ShardedCorpusTopK/1 (need >= %.1fx)"
+                        % (speedup, args.min_shard_speedup))
+                break
+            if not found:
+                failures.append("--min-shard-speedup set but "
+                                "BM_ShardedCorpusTopK/1//8 missing from %s"
+                                % args.current)
 
     if failures:
         print("\nBenchmark regression check FAILED:", file=sys.stderr)

@@ -16,6 +16,14 @@
 // CI runs `save` and `check` as separate steps/processes, so the gate
 // proves a restored system serves the exact answers of the system that
 // wrote the file — no re-prepare, no drift.
+//
+// The two processes deliberately disagree about sharding: `save` runs a
+// single bounded corpus scheduler (corpus_shards = 1) while `check`
+// loads into — and freshly prepares — 4-shard systems whose corpus
+// queries run through the scatter-gather executor. A byte-identical
+// transcript therefore also proves the sharded serving path is exact
+// across process AND topology boundaries, not merely within one run
+// (the in-process sweep lives in tests/sharded_differential_test.cc).
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -50,9 +58,10 @@ int Fail(const std::string& what) {
   return 1;
 }
 
-SystemOptions Options() {
+SystemOptions Options(int corpus_shards) {
   SystemOptions opts;
   opts.top_h.h = 25;
+  opts.corpus_shards = corpus_shards;
   return opts;
 }
 
@@ -151,7 +160,7 @@ Status CollectTranscript(const Scenarios& sc, UncertainMatchingSystem* sys,
 int Save(const std::string& snapshot_path, const std::string& answers_path) {
   Scenarios sc;
   if (!BuildScenarios(&sc)) return Fail("scenario generation failed");
-  UncertainMatchingSystem sys(Options());
+  UncertainMatchingSystem sys(Options(/*corpus_shards=*/1));
   Status st = FillSystem(sc, &sys);
   if (!st.ok()) return Fail("fill: " + st.ToString());
 
@@ -182,12 +191,16 @@ int Check(const std::string& snapshot_path, const std::string& answers_path) {
   Scenarios sc;
   if (!BuildScenarios(&sc)) return Fail("scenario generation failed");
 
-  UncertainMatchingSystem loaded(Options());
+  // The loader side is SHARDED: the transcript was written by a
+  // single-scheduler process, so matching it proves the 4-shard
+  // scatter-gather path is exact across the process boundary.
+  UncertainMatchingSystem loaded(Options(/*corpus_shards=*/4));
   SnapshotStats stats;
   Status st = loaded.LoadSnapshot(snapshot_path, &stats);
   if (!st.ok()) return Fail("load: " + st.ToString());
-  std::printf("loaded %zu pairs, %zu documents in %.3fs\n", stats.pairs,
-              stats.documents, stats.seconds);
+  std::printf("loaded %zu pairs, %zu documents into %zu shards in %.3fs\n",
+              stats.pairs, stats.documents, loaded.corpus_shard_count(),
+              stats.seconds);
 
   std::string from_snapshot;
   st = CollectTranscript(sc, &loaded, &from_snapshot);
@@ -200,7 +213,7 @@ int Check(const std::string& snapshot_path, const std::string& answers_path) {
   // Belt and suspenders: a from-scratch preparation in THIS process must
   // also reproduce the transcript, proving the gate compares real
   // answers, not two copies of the same serialization bug.
-  UncertainMatchingSystem fresh(Options());
+  UncertainMatchingSystem fresh(Options(/*corpus_shards=*/4));
   st = FillSystem(sc, &fresh);
   if (!st.ok()) return Fail("fresh fill: " + st.ToString());
   std::string from_fresh;
@@ -211,7 +224,8 @@ int Check(const std::string& snapshot_path, const std::string& answers_path) {
         "answers from a FRESH preparation differ from the saved transcript");
   }
 
-  std::printf("check: OK — loaded and fresh answers are bit-identical\n");
+  std::printf(
+      "check: OK — sharded loaded and fresh answers are bit-identical\n");
   return 0;
 }
 
