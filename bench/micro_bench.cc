@@ -1,7 +1,9 @@
 // Google-benchmark microbenchmarks for the library's primitives.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -658,6 +660,40 @@ void BM_ShardedCorpusBatch(benchmark::State& state) {
   RunShardedCorpusBench(state, {"//PROBE", "//BIG", "//F1", "//F2", "//F3"});
 }
 BENCHMARK(BM_ShardedCorpusBatch)->Arg(1)->Arg(8)->UseRealTime();
+
+// Anytime serving latency: the same 232-document sharded corpus under a
+// per-run deadline of Arg microseconds, on the evaluate-everything
+// "//BIG" twig (no pruning shortcut, so tight budgets genuinely truncate
+// the run). What's measured is the DEADLINE PROTOCOL: the run must come
+// back as soon as the budget expires, so the per-iteration real time is
+// gated <= budget + one kernel poll interval of grace by
+// tools/check_bench_regression.py --max-deadline-overshoot (self-skipped
+// below 4 CPUs). The exact_share / items_deadline_skipped counters show
+// how much of the corpus each budget bought.
+void BM_AnytimeCorpusTopK(benchmark::State& state) {
+  UncertainMatchingSystem* sys = ShardedSkewedSystem(8);
+  const auto budget = std::chrono::microseconds(state.range(0));
+  BatchRunOptions run;
+  run.num_threads = 1;  // shard drivers carry the waves (see above)
+  int64_t exact_runs = 0;
+  int deadline_skipped = 0;
+  for (auto _ : state) {
+    CorpusQueryOptions opts;
+    opts.top_k = 5;
+    opts.deadline = std::chrono::steady_clock::now() + budget;
+    auto response = sys->RunCorpusBatch({"//BIG"}, opts, run);
+    if (!response.ok() || !response->answers[0].ok()) std::abort();
+    benchmark::DoNotOptimize(response);
+    exact_runs += response->exact ? 1 : 0;
+    deadline_skipped = response->corpus.items_deadline_skipped;
+  }
+  state.counters["budget_us"] = static_cast<double>(state.range(0));
+  state.counters["exact_share"] =
+      static_cast<double>(exact_runs) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters["items_deadline_skipped"] = deadline_skipped;
+}
+BENCHMARK(BM_AnytimeCorpusTopK)->Arg(500)->Arg(2000)->Arg(10000)->UseRealTime();
 
 // Cross-pair embedding sharing: four compilers (four pairs' plan caches)
 // over one target schema, plan caches cold every iteration — the twig

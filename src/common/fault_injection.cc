@@ -1,0 +1,93 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace uxm {
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed hash so consecutive hit
+// numbers under one seed produce independent-looking decisions.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kKernelEval:
+      return "kernel-eval";
+    case FaultSite::kDriverDispatch:
+      return "driver-dispatch";
+    case FaultSite::kSnapshotSection:
+      return "snapshot-section";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultSite site, const FaultPlan& plan) {
+  SiteState& s = sites_[static_cast<int>(site)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.plan = plan;
+  s.hits.store(0, std::memory_order_relaxed);
+  s.fires.store(0, std::memory_order_relaxed);
+  s.armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(FaultSite site) {
+  sites_[static_cast<int>(site)].armed.store(false,
+                                             std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  for (SiteState& s : sites_) {
+    s.armed.store(false, std::memory_order_release);
+  }
+}
+
+uint64_t FaultInjector::hits(FaultSite site) const {
+  return sites_[static_cast<int>(site)].hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::fires(FaultSite site) const {
+  return sites_[static_cast<int>(site)].fires.load(std::memory_order_relaxed);
+}
+
+Status FaultInjector::Poke(FaultSite site) {
+  SiteState& s = sites_[static_cast<int>(site)];
+  if (!s.armed.load(std::memory_order_acquire)) return Status::OK();
+  const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+  FaultPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    plan = s.plan;
+    if (plan.period > 1 && SplitMix64(plan.seed ^ hit) % plan.period != 0) {
+      return Status::OK();
+    }
+    if (plan.max_fires > 0 &&
+        s.fires.load(std::memory_order_relaxed) >= plan.max_fires) {
+      return Status::OK();
+    }
+    s.fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (plan.delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan.delay_micros));
+  }
+  if (plan.code == StatusCode::kOk) return Status::OK();
+  return Status::WithCode(plan.code,
+                          std::string("injected fault at ") +
+                              FaultSiteName(site) + " (hit " +
+                              std::to_string(hit) + ")");
+}
+
+}  // namespace uxm

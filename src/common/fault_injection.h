@@ -1,0 +1,131 @@
+// Deterministic, seedable failpoints for robustness testing.
+//
+// Instrumented sites call UXM_INJECT_FAULT(FaultSite::k...) at their
+// entry; when the site is armed with a FaultPlan whose deterministic
+// decision fires for that hit, the macro returns the injected Status (or
+// just sleeps, for delay-only plans) from the enclosing function. Firing
+// is a pure function of (plan.seed, site hit number), so a sweep with a
+// fixed seed injects the same SET of failures on every run — the ORDER
+// hits are observed under concurrency is not deterministic, but which hit
+// numbers fire is.
+//
+// The failpoints are compiled out of Release hot paths: the macro is a
+// no-op unless UXM_FAULT_INJECTION is defined (CMake option of the same
+// name; default ON for Debug builds and for the sanitizer CI jobs). The
+// FaultInjector class itself always exists so its unit tests run in every
+// configuration; only the in-tree call sites disappear. Tests that need
+// the sites wired skip when !FaultInjector::CompiledIn().
+//
+// Everything is process-global (one injector, shared by every system in
+// the process) — tests must DisarmAll() when done.
+#ifndef UXM_COMMON_FAULT_INJECTION_H_
+#define UXM_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace uxm {
+
+/// Instrumented site classes. Each is a chokepoint every item of its kind
+/// funnels through, so arming one covers a whole layer.
+enum class FaultSite : int {
+  /// Entry of the flat evaluation kernels (EvaluateBasicFlat /
+  /// EvaluateTreeFlat) — every kernel evaluation.
+  kKernelEval = 0,
+  /// Entry of ExecutionDriver::Execute — every dispatched item, before
+  /// the cache probe.
+  kDriverDispatch,
+  /// Per-section validation loop of LoadSnapshot — every snapshot
+  /// section read.
+  kSnapshotSection,
+};
+inline constexpr int kNumFaultSites = 3;
+
+/// Returns a human-readable site name, e.g. "kernel-eval".
+const char* FaultSiteName(FaultSite site);
+
+/// \brief What an armed site does when its deterministic decision fires.
+struct FaultPlan {
+  /// Decision seed: hit number h fires iff SplitMix64(seed ^ h) % period
+  /// == 0 (period <= 1 fires every hit).
+  uint64_t seed = 1;
+  uint64_t period = 1;
+  /// Stop firing after this many fires; 0 = unlimited.
+  uint64_t max_fires = 0;
+  /// Status code injected on fire. kCancelled exercises the abort paths,
+  /// kInternal the failure paths, kDataLoss the snapshot paths; kOk
+  /// injects nothing (useful with delay_micros to stall without failing).
+  StatusCode code = StatusCode::kInternal;
+  /// Sleep this long on fire before returning — simulates a stuck
+  /// evaluation or a slow read.
+  uint32_t delay_micros = 0;
+};
+
+/// \brief The process-global registry of armed failpoints.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// True when UXM_INJECT_FAULT is compiled into the library (the CMake
+  /// UXM_FAULT_INJECTION option). Site-wiring tests skip otherwise.
+  static constexpr bool CompiledIn() {
+#if defined(UXM_FAULT_INJECTION)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Arms `site` with `plan`, resetting its hit/fire counters so the
+  /// deterministic decision sequence starts from hit 0.
+  void Arm(FaultSite site, const FaultPlan& plan);
+  void Disarm(FaultSite site);
+  void DisarmAll();
+
+  /// Site traversals since the last Arm (counted while armed only — the
+  /// disarmed fast path is a single relaxed load).
+  uint64_t hits(FaultSite site) const;
+  /// Fires since the last Arm.
+  uint64_t fires(FaultSite site) const;
+
+  /// The instrumented-code entry, via UXM_INJECT_FAULT. Returns the
+  /// injected error when the site is armed and this hit fires; OK
+  /// otherwise.
+  Status Poke(FaultSite site);
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    std::atomic<bool> armed{false};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+    mutable std::mutex mu;  // guards plan
+    FaultPlan plan;
+  };
+
+  SiteState sites_[kNumFaultSites];
+};
+
+}  // namespace uxm
+
+#if defined(UXM_FAULT_INJECTION)
+/// Failpoint: returns the injected error Status from the enclosing
+/// function (implicitly converting into Result<T>) when this site is
+/// armed and fires for this hit.
+#define UXM_INJECT_FAULT(site)                                          \
+  do {                                                                  \
+    ::uxm::Status _uxm_injected_fault =                                 \
+        ::uxm::FaultInjector::Instance().Poke(site);                    \
+    if (!_uxm_injected_fault.ok()) return _uxm_injected_fault;          \
+  } while (0)
+#else
+#define UXM_INJECT_FAULT(site) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // UXM_COMMON_FAULT_INJECTION_H_

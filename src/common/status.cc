@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kCancelled,
   kIOError,
   kDataLoss,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -71,6 +72,16 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Constructs a status with an arbitrary non-OK code — for tooling that
+  /// carries codes as data (the fault-injection harness). Prefer the named
+  /// factories everywhere else.
+  static Status WithCode(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk && "WithCode requires a non-OK code");
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -88,6 +99,9 @@ class Status {
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,8 +1,10 @@
-// Wall-clock stopwatch used by the benchmark harness.
+// Wall-clock stopwatch used by the benchmark harness and the corpus
+// schedulers' elapsed_ns accounting.
 #ifndef UXM_COMMON_TIMER_H_
 #define UXM_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace uxm {
 
@@ -21,6 +23,13 @@ class Timer {
 
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Whole nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

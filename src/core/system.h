@@ -257,6 +257,10 @@ class UncertainMatchingSystem {
   /// corpus/corpus_executor.h for the merge semantics). Documents
   /// registered under different pairs are each evaluated under their own
   /// pair. Requires Prepare; an empty corpus yields an empty answer list.
+  /// Under a latency SLO set options.deadline / max_evaluations: the run
+  /// then degrades gracefully, returning the top-k found so far plus a
+  /// certified residual error bound instead of blowing the budget (see
+  /// CorpusQueryOptions and README "Deadlines and anytime answers").
   Result<CorpusQueryResult> QueryCorpus(
       const std::string& twig, const CorpusQueryOptions& options = {}) const;
 
@@ -264,6 +268,9 @@ class UncertainMatchingSystem {
   /// same thread pool RunBatch uses; per-twig failures error only their
   /// own slot. Every (twig, document) evaluation goes through the shared
   /// caches, keyed under the document's registration epoch and pair.
+  /// Deadline/budget options apply to the whole batch as ONE budget (all
+  /// twigs, all shards), and response.exact reports whether any slot was
+  /// budget-truncated.
   Result<CorpusBatchResponse> RunCorpusBatch(
       const std::vector<std::string>& twigs,
       const CorpusQueryOptions& options = {},

@@ -18,6 +18,30 @@ namespace {
 constexpr size_t kMinWaveItems = 8;
 
 #ifndef NDEBUG
+/// Re-evaluates every document the scheduler skipped into `collapsed` and
+/// returns true; false when any re-evaluation errors (e.g. an armed
+/// fault-injection site — certification needs ground truth it then cannot
+/// establish, which is not a scheduling bug).
+bool FillSkippedForCertificate(const std::vector<const CorpusDocument*>& docs,
+                               const std::string& twig,
+                               const BatchExecutorOptions& exec_options,
+                               std::vector<std::vector<CorpusAnswer>>* collapsed,
+                               const std::vector<char>& have) {
+  for (size_t d = 0; d < docs.size(); ++d) {
+    if (have[d]) continue;
+    DriverRequest request;
+    request.pair = docs[d]->pair.get();
+    request.doc = docs[d]->annotated.get();
+    request.twig = &twig;
+    request.options = exec_options.ptq;
+    request.use_block_tree = exec_options.use_block_tree;
+    auto result = ExecutionDriver::Execute(request);
+    if (!result.ok()) return false;
+    (*collapsed)[d] = CollapseForCorpus(docs[d]->name, *result);
+  }
+  return true;
+}
+
 /// Debug-build exactness certificate: evaluate every document the
 /// scheduler skipped (no caches, no cancellation), merge over ALL
 /// documents, and require the result to be identical to what the bounded
@@ -28,17 +52,8 @@ void CertifyBoundedTopK(const std::vector<const CorpusDocument*>& docs,
                         std::vector<std::vector<CorpusAnswer>> collapsed,
                         const std::vector<char>& have,
                         const std::vector<CorpusAnswer>& got) {
-  for (size_t d = 0; d < docs.size(); ++d) {
-    if (have[d]) continue;
-    DriverRequest request;
-    request.pair = docs[d]->pair.get();
-    request.doc = docs[d]->annotated.get();
-    request.twig = &twig;
-    request.options = exec_options.ptq;
-    request.use_block_tree = exec_options.use_block_tree;
-    auto result = ExecutionDriver::Execute(request);
-    assert(result.ok() && "certificate evaluation of a pruned item failed");
-    collapsed[d] = CollapseForCorpus(docs[d]->name, *result);
+  if (!FillSkippedForCertificate(docs, twig, exec_options, &collapsed, have)) {
+    return;
   }
   const std::vector<CorpusAnswer> want = MergeTopK(collapsed, merge_k);
   bool equal = want.size() == got.size();
@@ -54,6 +69,65 @@ void CertifyBoundedTopK(const std::vector<const CorpusDocument*>& docs,
                  twig.c_str(), got.size(), want.size());
   }
   assert(equal && "bound-driven pruning changed the corpus top-k");
+}
+
+/// Debug-build ANYTIME certificate for a budget-truncated twig: every
+/// answer the exhaustive merge ranks in the true top-k but missing from
+/// the partial result must have probability <= the reported residual
+/// bound, and every answer present must be a real answer with its exact
+/// probability.
+void CertifyAnytimeTopK(const std::vector<const CorpusDocument*>& docs,
+                        const std::string& twig, int merge_k,
+                        const BatchExecutorOptions& exec_options,
+                        std::vector<std::vector<CorpusAnswer>> collapsed,
+                        const std::vector<char>& have,
+                        const std::vector<CorpusAnswer>& got,
+                        double residual_bound) {
+  if (!FillSkippedForCertificate(docs, twig, exec_options, &collapsed, have)) {
+    return;
+  }
+  const std::vector<CorpusAnswer> want = MergeTopK(collapsed, merge_k);
+  bool sound = true;
+  for (const CorpusAnswer& w : want) {
+    bool present = false;
+    for (const CorpusAnswer& g : got) {
+      if (g.document == w.document && g.probability == w.probability &&
+          g.matches == w.matches) {
+        present = true;
+        break;
+      }
+    }
+    if (!present && w.probability > residual_bound + kAnswerBoundSlack) {
+      sound = false;
+      break;
+    }
+  }
+  // Presence check: partial answers come from fully evaluated documents,
+  // so each must appear verbatim in the exhaustive merge over ALL
+  // answers (merge with no k cap to see past the true top-k).
+  const std::vector<CorpusAnswer> all = MergeTopK(collapsed, /*k=*/0);
+  for (const CorpusAnswer& g : got) {
+    bool real = false;
+    for (const CorpusAnswer& a : all) {
+      if (g.document == a.document && g.probability == a.probability &&
+          g.matches == a.matches) {
+        real = true;
+        break;
+      }
+    }
+    if (!real) {
+      sound = false;
+      break;
+    }
+  }
+  if (!sound) {
+    std::fprintf(stderr,
+                 "anytime corpus top-k certificate FAILED for twig '%s': "
+                 "partial result (%zu answers, residual %.17g) does not "
+                 "cover the true top-%d\n",
+                 twig.c_str(), got.size(), residual_bound, merge_k);
+  }
+  assert(sound && "budget truncation broke the anytime certificate");
 }
 #endif  // NDEBUG
 
@@ -144,6 +218,13 @@ void BuildBoundedPool(const BoundedRunContext& ctx,
         break;
       }
       double bound = info.bound;
+      // Once the budget expires the bound phase stops doing real work
+      // too: no probes (they walk the document's annotation), just the
+      // free pair/cached bounds — the pool still gets every item so the
+      // drain can classify and certify all of them.
+      const bool probe =
+          ctx.probe_bounds &&
+          (ctx.budget == nullptr || !ctx.budget->ExpiredNow());
       if (ctx.bound_cache != nullptr) {
         const BoundCacheKey key{(*ctx.twigs)[t],
                                 entry.doc,
@@ -153,13 +234,13 @@ void BuildBoundedPool(const BoundedRunContext& ctx,
                                 entry.pair->pair_id};
         if (const auto cached = ctx.bound_cache->Lookup(key)) {
           bound = std::min(bound, *cached);
-        } else if (ctx.probe_bounds && entry.annotated != nullptr) {
-          const double probe =
+        } else if (probe && entry.annotated != nullptr) {
+          const double probed =
               info.plan->DocumentAnswerUpperBound(ctx.item_k, *entry.annotated);
-          ctx.bound_cache->Insert(key, probe);
-          bound = std::min(bound, probe);
+          ctx.bound_cache->Insert(key, probed);
+          bound = std::min(bound, probed);
         }
-      } else if (ctx.probe_bounds && entry.annotated != nullptr) {
+      } else if (probe && entry.annotated != nullptr) {
         bound = std::min(bound, info.plan->DocumentAnswerUpperBound(
                                     ctx.item_k, *entry.annotated));
       }
@@ -194,12 +275,18 @@ void RunBoundedWaves(const BoundedRunContext& ctx,
 
   size_t pos = 0;
   while (pos < pool.size()) {
+    // Budget poll between waves: once the run expires, nothing further
+    // is dispatched — the leftover pool drains into the residual
+    // classification below, and items already in flight are cancelled by
+    // the driver/kernel polls of the same shared budget.
+    if (ctx.budget != nullptr && ctx.budget->ExpiredNow()) break;
     // Collect the next wave. The threshold is read lock-free: it only
     // ever rises (and starts below every bound), so a prune decision
     // made against a concurrently rising value stays sound.
     std::vector<BatchQueryItem> items;
     std::vector<BoundedPoolItem> wave;  // wave index -> pool item
     while (pos < pool.size() && items.size() < wave_size) {
+      if (ctx.budget != nullptr && ctx.budget->expired()) break;
       const BoundedPoolItem pi = pool[pos++];
       TwigRace& race = *(*ctx.races)[pi.twig];
       if (race.failed.load(std::memory_order_acquire)) {
@@ -235,6 +322,7 @@ void RunBoundedWaves(const BoundedRunContext& ctx,
     // very wave — or of any concurrent scheduler's wave — can abort, at
     // the driver's checks or inside the kernel.
     BatchRunControl control;
+    control.budget = ctx.budget;
     control.on_item_done = [&](size_t i, const Result<PtqResult>& r) {
       if (!r.ok()) return;
       const BoundedPoolItem pi = wave[i];
@@ -279,6 +367,19 @@ void RunBoundedWaves(const BoundedRunContext& ctx,
       } else if (r.status().IsCancelled()) {
         race.docs_aborted.fetch_add(1, std::memory_order_relaxed);
         ++out->corpus.items_aborted;
+        // Classify the abort. A threshold abort is exact: the (monotone)
+        // threshold proves the item's every answer out of the top-k, now
+        // and forever. ANY other cancellation — budget expiry, an
+        // injected fault — leaves the item's contribution unknown, so
+        // its bound is charged to the twig's certified residual and the
+        // twig's result becomes a partial. Checking the threshold here
+        // (instead of trusting why the driver cancelled) keeps the
+        // certificate sound even under spurious cancels.
+        if (!(pi.bound + kAnswerBoundSlack <
+              race.threshold.load(std::memory_order_acquire))) {
+          RaiseThreshold(&race.residual_bound, pi.bound);
+          race.inexact.store(true, std::memory_order_release);
+        }
       } else {
         ++out->corpus.items_failed;
         {
@@ -291,6 +392,30 @@ void RunBoundedWaves(const BoundedRunContext& ctx,
         race.failed.store(true, std::memory_order_release);
       }
     }
+  }
+  // Budget expiry drain: everything still in the pool was never
+  // dispatched. Items the (final, monotone) threshold already proves out
+  // of the top-k are exact prunes as usual; the rest are the budget's
+  // casualties — counted as aborted + deadline-skipped, their bounds
+  // charged to the certified residual.
+  for (; pos < pool.size(); ++pos) {
+    const BoundedPoolItem pi = pool[pos];
+    TwigRace& race = *(*ctx.races)[pi.twig];
+    if (race.failed.load(std::memory_order_acquire)) {
+      ++out->corpus.items_failed;
+      continue;
+    }
+    if (pi.bound + kAnswerBoundSlack <
+        race.threshold.load(std::memory_order_acquire)) {
+      race.docs_pruned.fetch_add(1, std::memory_order_relaxed);
+      ++out->corpus.items_pruned;
+      continue;
+    }
+    race.docs_aborted.fetch_add(1, std::memory_order_relaxed);
+    ++out->corpus.items_aborted;
+    ++out->corpus.items_deadline_skipped;
+    RaiseThreshold(&race.residual_bound, pi.bound);
+    race.inexact.store(true, std::memory_order_release);
   }
   out->corpus.items_aborted_in_kernel = out->report.items_aborted_in_kernel;
 }
@@ -314,7 +439,20 @@ void FinalizeBoundedAnswers(
       answers->push_back(race.eval_status);
       continue;
     }
+    const bool inexact = race.inexact.load(std::memory_order_acquire);
+    const double residual =
+        race.residual_bound.load(std::memory_order_relaxed);
+    if (inexact && ctx.on_deadline == OnDeadline::kFail) {
+      answers->push_back(Status::DeadlineExceeded(
+          "corpus run budget expired before twig '" + (*ctx.twigs)[t] +
+          "' finished (a certified partial top-k with residual bound " +
+          std::to_string(residual) +
+          " is available under OnDeadline::kReturnPartialCertified)"));
+      continue;
+    }
     CorpusQueryResult merged;
+    merged.exact = !inexact;
+    merged.max_residual_bound = inexact ? residual : 0.0;
     merged.documents_evaluated = static_cast<int>(race.num_docs);
     merged.documents_pruned = race.docs_pruned.load(std::memory_order_relaxed);
     merged.documents_aborted =
@@ -331,9 +469,16 @@ void FinalizeBoundedAnswers(
                          ? MergeTopK((*gathered)[t], merge_k)
                          : MergeTopK(race.collapsed, merge_k);
 #ifndef NDEBUG
-    CertifyBoundedTopK(*ctx.selected, (*ctx.twigs)[t], merge_k,
-                       ctx.executor->options(), std::move(race.collapsed),
-                       race.have, merged.answers);
+    if (merged.exact) {
+      CertifyBoundedTopK(*ctx.selected, (*ctx.twigs)[t], merge_k,
+                         ctx.executor->options(), std::move(race.collapsed),
+                         race.have, merged.answers);
+    } else {
+      CertifyAnytimeTopK(*ctx.selected, (*ctx.twigs)[t], merge_k,
+                         ctx.executor->options(), std::move(race.collapsed),
+                         race.have, merged.answers,
+                         merged.max_residual_bound);
+    }
 #endif
     answers->push_back(std::move(merged));
   }

@@ -48,6 +48,7 @@
 
 #include "cache/bound_cache.h"
 #include "corpus/corpus_executor.h"
+#include "corpus/run_budget.h"
 #include "exec/batch_executor.h"
 
 namespace uxm {
@@ -77,6 +78,16 @@ struct TwigRace {
   std::atomic<int> docs_pruned{0};
   std::atomic<int> docs_aborted{0};
   std::atomic<bool> truncated{false};
+  /// Anytime serving: the max answer upper bound over this twig's items
+  /// the run's budget left unfinished — never dispatched, or aborted
+  /// without the threshold proving them prunable (monotone max via
+  /// RaiseThreshold; stays 0.0 while the twig is exact). This is the
+  /// twig's certified error: any answer of the true top-k missing from
+  /// the partial result has probability <= residual_bound.
+  std::atomic<double> residual_bound{0.0};
+  /// Set whenever an unfinished item was charged to residual_bound — the
+  /// twig's merged result is a certified partial, not the exact answer.
+  std::atomic<bool> inexact{false};
 
   std::mutex mu;  ///< guards everything below
   TopKTracker tracker;
@@ -119,6 +130,14 @@ struct BoundedRunContext {
   /// and bound-cache key must match.
   int item_k = 0;
   std::vector<std::unique_ptr<TwigRace>>* races = nullptr;
+  /// The run's shared deadline/evaluation budget (corpus/run_budget.h);
+  /// null = unbudgeted. Every scheduler of a run shares ONE budget — the
+  /// wave loop polls it between waves, the driver between phases, the
+  /// kernels at their tick sites — so the merged certificate is global.
+  RunBudget* budget = nullptr;
+  /// What FinalizeBoundedAnswers does with a budget-truncated twig
+  /// (CorpusQueryOptions::on_deadline).
+  OnDeadline on_deadline = OnDeadline::kReturnPartialCertified;
 };
 
 /// \brief One scheduler's accounting: the executor waves it issued and

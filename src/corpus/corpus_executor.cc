@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <utility>
 
+#include "common/timer.h"
 #include "corpus/bounded_scheduler.h"
+#include "corpus/run_budget.h"
 #include "plan/driver.h"
 
 namespace uxm {
+
+void StampResponseExact(CorpusBatchResponse* response) {
+  response->exact = true;
+  for (const Result<CorpusQueryResult>& slot : response->answers) {
+    const bool truncated =
+        slot.ok() ? !slot->exact : slot.status().IsDeadlineExceeded();
+    if (truncated) {
+      response->exact = false;
+      return;
+    }
+  }
+}
 
 bool AnswerBefore(const CorpusAnswer& a, const CorpusAnswer& b) {
   if (a.probability != b.probability) return a.probability > b.probability;
@@ -115,6 +130,9 @@ Result<CorpusBatchResponse> CorpusExecutor::RunExhaustive(
     const std::vector<const CorpusDocument*>& selected,
     const std::vector<std::string>& twigs, const CorpusQueryOptions& options,
     const BatchCacheContext* cache) const {
+  // The exhaustive path ignores budgets by design: it is the oracle the
+  // differential/certificate tests compare budgeted runs against.
+  Timer timer;
   const size_t num_docs = selected.size();
   std::vector<BatchQueryItem> items;
   items.reserve(twigs.size() * num_docs);
@@ -159,6 +177,7 @@ Result<CorpusBatchResponse> CorpusExecutor::RunExhaustive(
     merged.answers = MergeTopK(per_document, options.top_k);
     response.answers.push_back(std::move(merged));
   }
+  response.corpus.elapsed_ns = timer.ElapsedNanos();
   return response;
 }
 
@@ -189,10 +208,19 @@ Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
   // the executor's base PtqOptions — the k the per-item bound must match.
   ctx.item_k = executor_->options().ptq.top_k;
   ctx.races = &races;
+  // A budget exists only when the caller set one: a null ctx.budget IS
+  // the unbudgeted exact path, byte for byte.
+  std::optional<RunBudget> budget;
+  if (RunBudget::Limited(options.deadline, options.max_evaluations)) {
+    budget.emplace(options.deadline, options.max_evaluations);
+    ctx.budget = &*budget;
+  }
+  ctx.on_deadline = options.on_deadline;
 
   // ONE scheduler over the whole selection: bound phase, then the wave
   // loop (the sharded path runs the same two calls once per shard, over
   // disjoint slices, against shared races).
+  Timer timer;
   std::vector<uint32_t> docs(num_docs);
   std::iota(docs.begin(), docs.end(), 0u);
   std::vector<BoundedPoolItem> pool;
@@ -200,6 +228,7 @@ Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
   BoundedScheduleResult sched;
   BuildBoundedPool(ctx, docs, &pool, &sched);
   RunBoundedWaves(ctx, std::move(pool), &sched);
+  sched.corpus.elapsed_ns = timer.ElapsedNanos();
 
   CorpusBatchResponse response;
   response.report = std::move(sched.report);
@@ -207,6 +236,7 @@ Result<CorpusBatchResponse> CorpusExecutor::RunBounded(
   response.corpus.items_total = static_cast<int>(num_twigs * num_docs);
   FinalizeBoundedAnswers(ctx, options.top_k, /*gathered=*/nullptr,
                          &response.answers);
+  StampResponseExact(&response);
   return response;
 }
 

@@ -60,6 +60,8 @@
 #ifndef UXM_CORPUS_CORPUS_EXECUTOR_H_
 #define UXM_CORPUS_CORPUS_EXECUTOR_H_
 
+#include <chrono>
+#include <cstdint>
 #include <queue>
 #include <string>
 #include <vector>
@@ -79,6 +81,21 @@ struct CorpusAnswer {
   std::string document;  ///< provenance: DocumentStore name
   double probability = 0.0;
   std::vector<DocNodeId> matches;  ///< non-empty, sorted, distinct
+};
+
+/// \brief Policy for a corpus run whose budget (deadline /
+/// max_evaluations) expired before the run finished.
+enum class OnDeadline {
+  /// Return the current top-k plus a certified error bound: the affected
+  /// answer slots come back OK with `exact == false` and
+  /// `max_residual_bound` set — every answer present is a real answer
+  /// with its exact probability, and any answer of the true top-k that
+  /// is missing has probability <= max_residual_bound.
+  kReturnPartialCertified = 0,
+  /// Fail every budget-truncated twig's answer slot with
+  /// StatusCode::kDeadlineExceeded (twigs the budget did not touch still
+  /// return their exact answers).
+  kFail,
 };
 
 /// \brief Knobs for one corpus query / batch.
@@ -104,6 +121,30 @@ struct CorpusQueryOptions {
   /// way (through the BoundCache the executor was built with). Only
   /// meaningful for the bounded scheduler.
   bool probe_bounds = true;
+
+  // ---- Anytime / budgeted serving (ROADMAP item 5) ----
+  //
+  // A run with any budget set degrades gracefully instead of blowing a
+  // latency SLO: when the budget expires the scheduler stops dispatching,
+  // cancels in-flight items (the driver and the kernels poll the shared
+  // expiry; see corpus/run_budget.h), and — under kReturnPartialCertified
+  // — returns the top-k found so far with a certified per-twig residual
+  // bound. Budgets apply to the bounded scheduler only (bounded == true
+  // and top_k > 0); the exhaustive path is the differential oracle and
+  // ignores them. A budgeted run never inserts into the ResultCache, and
+  // aborted items never record realized masses into the BoundCache, so a
+  // truncated run can never poison later exact runs.
+
+  /// Absolute steady-clock deadline for the whole run (all twigs, all
+  /// shards — one global budget). max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// At most this many (twig, document) kernel evaluations may start;
+  /// 0 = unlimited. Result-cache hits, pruned items and budget-skipped
+  /// items are free.
+  int64_t max_evaluations = 0;
+  /// What a budget expiry returns (ignored while the budget holds).
+  OnDeadline on_deadline = OnDeadline::kReturnPartialCertified;
 };
 
 /// \brief Merged answers for one twig over the corpus.
@@ -121,6 +162,18 @@ struct CorpusQueryResult {
   int documents_aborted = 0;
   /// True if any contributing evaluation hit the max_embeddings cap.
   bool truncated_embeddings = false;
+  /// False when the run's budget (CorpusQueryOptions::deadline /
+  /// max_evaluations) expired before this twig finished: `answers` is
+  /// then a certified PARTIAL top-k — every answer present is a real
+  /// answer with its exact probability, and any answer of the true top-k
+  /// that is missing has probability <= max_residual_bound. Unbudgeted
+  /// runs are always exact (their pruning is, see file comment).
+  bool exact = true;
+  /// The certified error of a partial result: the max answer upper bound
+  /// over this twig's unfinished items (never dispatched, or aborted by
+  /// the budget without the threshold proving them prunable). 0 when
+  /// exact.
+  double max_residual_bound = 0.0;
 };
 
 /// \brief Bound-driven scheduling statistics for one corpus run, summed
@@ -141,6 +194,16 @@ struct CorpusRunReport {
   /// compile failure charges the twig's whole document count here.
   int items_failed = 0;
   int dispatches = 0;  ///< executor waves issued
+  /// Of items_aborted, items never dispatched at all because the run's
+  /// budget (deadline / max_evaluations) expired first. Budget aborts of
+  /// items already in flight land in items_aborted(_in_kernel) like
+  /// threshold aborts.
+  int items_deadline_skipped = 0;
+  /// Wall-clock nanoseconds this scheduler spent (bound phase + dispatch
+  /// waves). On the sharded path each shard_reports entry carries its own
+  /// scheduler's time and the aggregate is their SUM — total scheduler
+  /// nanoseconds, not the batch's wall-clock latency.
+  int64_t elapsed_ns = 0;
 };
 
 /// \brief Batch answers, one slot per input twig (input order), plus the
@@ -156,7 +219,16 @@ struct CorpusBatchResponse {
   /// split, summing field-by-field to `corpus`. Empty on the
   /// single-scheduler path.
   std::vector<CorpusRunReport> shard_reports;
+  /// False iff any answer slot was budget-truncated — an OK slot with
+  /// `exact == false`, or a kDeadlineExceeded failure under
+  /// OnDeadline::kFail. A quick "was this batch the exact answer?" bit.
+  bool exact = true;
 };
+
+/// Recomputes response->exact from its answer slots (see
+/// CorpusBatchResponse::exact). Shared by the single-scheduler and
+/// sharded paths.
+void StampResponseExact(CorpusBatchResponse* response);
 
 /// Global answer order: probability descending, then document name, then
 /// match list (both ascending) so equal-probability answers have one

@@ -1,0 +1,24 @@
+#include "corpus/run_budget.h"
+
+namespace uxm {
+
+bool RunBudget::ExpiredNow() {
+  if (expired_.load(std::memory_order_relaxed)) return true;
+  if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_) {
+    expired_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool RunBudget::TryConsumeEvaluation() {
+  // An expired budget grants nothing, whatever exhausted it first.
+  if (expired_.load(std::memory_order_relaxed)) return false;
+  if (unlimited_evaluations_) return true;
+  const int64_t before = remaining_.fetch_sub(1, std::memory_order_relaxed);
+  if (before > 0) return true;
+  expired_.store(true, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace uxm

@@ -136,6 +136,7 @@ std::vector<Result<PtqResult>> BatchQueryExecutor::Run(
           request.cancel_threshold = item.cancel_threshold != nullptr
                                          ? item.cancel_threshold
                                          : control->cancel_threshold;
+          request.budget = control->budget;
         }
         DriverCounters counters;
         results[i] = ExecutionDriver::Execute(request, &counters);

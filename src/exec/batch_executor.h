@@ -84,6 +84,11 @@ struct BatchRunControl {
   /// later items of the same dispatch abort in flight. Must be
   /// thread-safe; must not call back into this executor.
   std::function<void(size_t, const Result<PtqResult>&)> on_item_done;
+  /// Shared deadline/evaluation budget of an anytime corpus run
+  /// (corpus/run_budget.h); copied into every item's DriverRequest. Null
+  /// = unbudgeted. See DriverRequest::budget for the polling and
+  /// cache-poisoning rules it triggers.
+  RunBudget* budget = nullptr;
 };
 
 /// \brief Executor configuration.

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "corpus/run_budget.h"
 #include "query/flat_kernel.h"
 
 namespace uxm {
@@ -23,6 +25,10 @@ Status CancelledStatus() {
       "answer upper bound fell below the corpus top-k threshold");
 }
 
+Status BudgetExpiredStatus() {
+  return Status::Cancelled("corpus run budget expired before evaluation");
+}
+
 }  // namespace
 
 Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
@@ -37,6 +43,7 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
   if (request.twig == nullptr) {
     return Status::InvalidArgument("request has no twig");
   }
+  UXM_INJECT_FAULT(FaultSite::kDriverDispatch);
   const PreparedSchemaPair& pair = *request.pair;
   ResultCacheKey key;
   if (request.cache != nullptr) {
@@ -50,10 +57,15 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
     if (counters != nullptr) counters->result_miss = true;
   }
   // Past the (free) cache probe, this request is about to do real work;
-  // abort if the scheduler's threshold already proves it pointless.
+  // abort if the scheduler's threshold already proves it pointless or the
+  // run's budget has expired.
   if (ShouldCancel(request)) {
     if (counters != nullptr) counters->cancelled = true;
     return CancelledStatus();
+  }
+  if (request.budget != nullptr && request.budget->ExpiredNow()) {
+    if (counters != nullptr) counters->cancelled = true;
+    return BudgetExpiredStatus();
   }
   bool compile_hit = false;
   auto compiled = pair.compiler->Compile(*request.twig, &compile_hit);
@@ -70,6 +82,14 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
     if (counters != nullptr) counters->cancelled = true;
     return CancelledStatus();
   }
+  // Evaluation is where the budget's credits are spent: one per kernel
+  // entered. An expired budget (or a denied credit, which publishes
+  // expiry) aborts exactly like a threshold cancel.
+  if (request.budget != nullptr && (request.budget->ExpiredNow() ||
+                                    !request.budget->TryConsumeEvaluation())) {
+    if (counters != nullptr) counters->cancelled = true;
+    return BudgetExpiredStatus();
+  }
   MonotonicScratch* arena =
       request.scratch != nullptr ? request.scratch : ThreadLocalScratch();
   // One Reset per evaluation: everything the previous request carved
@@ -80,6 +100,10 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
   KernelCancelContext cancel;
   cancel.threshold = request.cancel_threshold;
   cancel.cancel_above = request.upper_bound + kAnswerBoundSlack;
+  if (request.budget != nullptr) {
+    cancel.expired = request.budget->expired_flag();
+    cancel.deadline = request.budget->deadline();
+  }
   Result<PtqResult> answer =
       request.use_block_tree
           ? EvaluateTreeFlat(plan.query(), plan.embeddings(), selected,
@@ -92,7 +116,10 @@ Result<PtqResult> ExecutionDriver::Execute(const DriverRequest& request,
     counters->cancelled = true;
     counters->cancelled_in_kernel = true;
   }
-  if (answer.ok() && request.cache != nullptr) {
+  // Budgeted runs never populate the result cache (see
+  // DriverRequest::budget): a truncated run's artifacts must not be
+  // served to later exact callers.
+  if (answer.ok() && request.cache != nullptr && request.budget == nullptr) {
     request.cache->Insert(key,
                           std::make_shared<const PtqResult>(answer.value()));
   }

@@ -28,6 +28,8 @@
 
 namespace uxm {
 
+class RunBudget;  // corpus/run_budget.h
+
 /// \brief One driver request: a twig against one document prepared under
 /// one schema pair. Pointers are borrowed and must outlive the call.
 struct DriverRequest {
@@ -57,6 +59,21 @@ struct DriverRequest {
   /// of running to completion). Null threshold = never cancel.
   double upper_bound = 0.0;
   const std::atomic<double>* cancel_threshold = nullptr;
+
+  /// Deadline/evaluation budget of an anytime corpus run
+  /// (corpus/run_budget.h), shared by every request of the run; null =
+  /// unbudgeted. Execute polls it at the same spots it polls the cancel
+  /// threshold, charges one evaluation credit before entering the kernel
+  /// (result-cache hits are free), and hands the kernel the expiry flag +
+  /// deadline so a long evaluation aborts mid-flight. A budget-expired
+  /// request aborts with Status::Cancelled like a threshold cancel — the
+  /// scheduler tells the two apart by re-checking the threshold.
+  ///
+  /// Cache-poisoning rule: a non-null budget also DISABLES the
+  /// result-cache insert (lookups still serve). A budgeted run can be
+  /// truncated at any moment, and nothing it produced may outlive it into
+  /// answers served to unbudgeted callers.
+  RunBudget* budget = nullptr;
 
   /// Scratch arena for the flat kernel, Reset at the start of each
   /// evaluation. Null = the calling thread's ThreadLocalScratch().

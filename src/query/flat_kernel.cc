@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace uxm {
 
 MonotonicScratch* ThreadLocalScratch() {
@@ -58,8 +60,10 @@ class FlatEvaluator {
         options_(options),
         relevant_(relevant),
         arena_(arena),
-        cancel_(cancel != nullptr && cancel->threshold != nullptr ? cancel
-                                                                  : nullptr),
+        cancel_(cancel != nullptr && (cancel->threshold != nullptr ||
+                                      cancel->expired != nullptr)
+                    ? cancel
+                    : nullptr),
         width_(query.size()) {
     // Twig nodes are stored in pre-order, so subtree(i) == the contiguous
     // id range [i, i + sub_size_[i]).
@@ -117,8 +121,26 @@ class FlatEvaluator {
     if (cancelled_) return true;
     if (cancel_ == nullptr) return false;
     if (cancel_tick_++ % kCancelStride != 0) return false;
-    cancelled_ = cancel_->threshold->load(std::memory_order_relaxed) >
-                 cancel_->cancel_above;
+    if (cancel_->threshold != nullptr &&
+        cancel_->threshold->load(std::memory_order_relaxed) >
+            cancel_->cancel_above) {
+      cancelled_ = true;
+      return true;
+    }
+    if (cancel_->expired != nullptr) {
+      if (cancel_->expired->load(std::memory_order_relaxed)) {
+        cancelled_ = true;
+      } else if (cancel_->deadline !=
+                     std::chrono::steady_clock::time_point::max() &&
+                 std::chrono::steady_clock::now() >= cancel_->deadline) {
+        // First poll past the deadline: publish the expiry so every other
+        // in-flight kernel and both scheduler layers stop at their next
+        // check — a stuck evaluation takes the whole run down with it
+        // instead of blowing the deadline alone.
+        cancel_->expired->store(true, std::memory_order_relaxed);
+        cancelled_ = true;
+      }
+    }
     return cancelled_;
   }
 
@@ -546,6 +568,7 @@ Result<PtqResult> EvaluateBasicFlat(
     const FlatPairIndex& index, const AnnotatedDocument& doc,
     const PtqOptions& options, MonotonicScratch* arena,
     const KernelCancelContext* cancel) {
+  UXM_INJECT_FAULT(FaultSite::kKernelEval);
   if (query.size() == 0) return Status::InvalidArgument("empty query");
   PtqResult result;
   result.truncated_embeddings = truncated;
@@ -602,6 +625,7 @@ Result<PtqResult> EvaluateTreeFlat(
     const FlatPairIndex& index, const AnnotatedDocument& doc,
     const PtqOptions& options, MonotonicScratch* arena,
     const KernelCancelContext* cancel) {
+  UXM_INJECT_FAULT(FaultSite::kKernelEval);
   if (query.size() == 0) return Status::InvalidArgument("empty query");
   PtqResult result;
   result.truncated_embeddings = truncated;

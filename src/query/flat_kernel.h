@@ -22,6 +22,7 @@
 #define UXM_QUERY_FLAT_KERNEL_H_
 
 #include <atomic>
+#include <chrono>
 #include <vector>
 
 #include "blocktree/flat_block_tree.h"
@@ -48,10 +49,23 @@ MonotonicScratch* ThreadLocalScratch();
 /// answer escapes (the result is discarded with the arena), so it cannot
 /// perturb exactness — the scheduler only cancels items it has already
 /// proven unable to affect the top-k. Null `threshold` (or a null
-/// context) disables the checks entirely.
+/// context) disables the threshold checks.
+///
+/// Budgeted corpus runs (corpus/run_budget.h) additionally set `expired`
+/// — the run's sticky expiry flag — and `deadline`. The same poll sites
+/// then also abandon the evaluation once the flag is set, and the kernel
+/// reads the clock itself against `deadline` so even a single stuck
+/// evaluation expires the whole run (publishing the flag for everyone
+/// else) within one poll interval instead of at the next wave boundary.
+/// Unlike a threshold cancel, a budget cancel is NOT exactness-preserving:
+/// the scheduler charges the item's bound to the twig's certified
+/// residual (see CorpusQueryResult::max_residual_bound).
 struct KernelCancelContext {
   const std::atomic<double>* threshold = nullptr;
   double cancel_above = 0.0;
+  std::atomic<bool>* expired = nullptr;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Algorithm 3 (query_basic) over the flat index: rewrite + match

@@ -1,9 +1,12 @@
 #include "shard/sharded_corpus_executor.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "common/timer.h"
 #include "corpus/bounded_scheduler.h"
+#include "corpus/run_budget.h"
 #include "exec/thread_pool.h"
 
 namespace uxm {
@@ -21,6 +24,11 @@ void AccumulateCorpusReport(const CorpusRunReport& shard,
   total->items_aborted_in_kernel += shard.items_aborted_in_kernel;
   total->items_failed += shard.items_failed;
   total->dispatches += shard.dispatches;
+  total->items_deadline_skipped += shard.items_deadline_skipped;
+  // Summed too: the aggregate is total scheduler-nanoseconds across
+  // shards (see CorpusRunReport::elapsed_ns), keeping "shard reports sum
+  // to the aggregate" true for every field.
+  total->elapsed_ns += shard.elapsed_ns;
 }
 
 }  // namespace
@@ -71,6 +79,16 @@ Result<CorpusBatchResponse> ShardedCorpusExecutor::Run(
   ctx.probe_bounds = options.probe_bounds;
   ctx.item_k = executor_->options().ptq.top_k;
   ctx.races = &races;
+  // ONE budget for the whole scatter-gather: every shard scheduler (and
+  // every driver/kernel poll under it) observes the same expiry, so the
+  // merged result's certificate is global — no shard can keep burning
+  // the deadline after another shard exhausted it.
+  std::optional<RunBudget> budget;
+  if (RunBudget::Limited(options.deadline, options.max_evaluations)) {
+    budget.emplace(options.deadline, options.max_evaluations);
+    ctx.budget = &*budget;
+  }
+  ctx.on_deadline = options.on_deadline;
 
   // Per-shard scheduler results and per-(twig, shard) gathered top-k
   // lists. Each driver writes only its own slots, so no locks.
@@ -82,6 +100,7 @@ Result<CorpusBatchResponse> ShardedCorpusExecutor::Run(
     for (size_t s = 0; s < num_shards; ++s) {
       if (slices[s].empty()) continue;
       drivers.Spawn([&, s] {
+        Timer shard_timer;
         const std::vector<uint32_t>& slice = slices[s];
         BoundedScheduleResult& result = shard_results[s];
         result.corpus.items_total =
@@ -90,6 +109,7 @@ Result<CorpusBatchResponse> ShardedCorpusExecutor::Run(
         pool.reserve(num_twigs * slice.size());
         BuildBoundedPool(ctx, slice, &pool, &result);
         RunBoundedWaves(ctx, std::move(pool), &result);
+        result.corpus.elapsed_ns = shard_timer.ElapsedNanos();
         // Gather: this shard's per-twig top-k (what a remote shard
         // would ship back). Our own slots of collapsed/have are
         // quiescent — every wave of ours has joined — and no other
@@ -123,6 +143,7 @@ Result<CorpusBatchResponse> ShardedCorpusExecutor::Run(
     response.shard_reports.push_back(shard_results[s].corpus);
   }
   FinalizeBoundedAnswers(ctx, options.top_k, &gathered, &response.answers);
+  StampResponseExact(&response);
   return response;
 }
 

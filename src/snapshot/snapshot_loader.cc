@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/checksum.h"
+#include "common/fault_injection.h"
 #include "snapshot/snapshot_format.h"
 
 namespace uxm {
@@ -279,6 +280,7 @@ Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
   // (kind, owner): all subsequent lookups are against verified bytes.
   std::map<std::pair<uint32_t, uint32_t>, const SectionEntry*> index;
   for (const SectionEntry& e : opened.directory) {
+    UXM_INJECT_FAULT(FaultSite::kSnapshotSection);
     UXM_RETURN_NOT_OK(CheckSectionRange(file, e));
     if (Fnv1a64(file.data() + e.offset, e.length) != e.checksum) {
       return Damaged(e, "checksum mismatch");

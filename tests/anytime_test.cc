@@ -1,0 +1,430 @@
+// Deadline-aware anytime corpus serving: RunBudget unit semantics, the
+// certified-partial-answer contract of budgeted runs (every answer
+// present is a real answer; every true-top-k answer missing has
+// probability <= max_residual_bound), bit-identity of generous budgets
+// with the unbudgeted exact path, the OnDeadline::kFail policy, and the
+// cache-poisoning guards (a truncated run must never seed the
+// ResultCache or corrupt later exact runs).
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "corpus/corpus_executor.h"
+#include "corpus/run_budget.h"
+#include "plan/query_plan.h"
+#include "workload/corpus_generator.h"
+
+namespace uxm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------- RunBudget
+
+TEST(RunBudgetTest, LimitedDetectsAnyBudget) {
+  EXPECT_FALSE(RunBudget::Limited(Clock::time_point::max(), 0));
+  EXPECT_TRUE(RunBudget::Limited(Clock::now(), 0));
+  EXPECT_TRUE(RunBudget::Limited(Clock::time_point::max(), 1));
+}
+
+TEST(RunBudgetTest, EvaluationCountdownGrantsExactlyMaxEvaluations) {
+  RunBudget budget(Clock::time_point::max(), 3);
+  EXPECT_FALSE(budget.expired());
+  EXPECT_TRUE(budget.TryConsumeEvaluation());
+  EXPECT_TRUE(budget.TryConsumeEvaluation());
+  EXPECT_TRUE(budget.TryConsumeEvaluation());
+  EXPECT_FALSE(budget.expired());  // the 3rd credit is still usable
+  EXPECT_FALSE(budget.TryConsumeEvaluation());
+  EXPECT_TRUE(budget.expired());  // denial publishes the sticky flag
+  EXPECT_FALSE(budget.TryConsumeEvaluation());
+}
+
+TEST(RunBudgetTest, UnlimitedEvaluationsNeverConsume) {
+  RunBudget budget(Clock::now() + std::chrono::hours(1), 0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(budget.TryConsumeEvaluation());
+  EXPECT_FALSE(budget.expired());
+  EXPECT_FALSE(budget.ExpiredNow());
+}
+
+TEST(RunBudgetTest, DeadlineExpiryIsSticky) {
+  RunBudget budget(Clock::now() - std::chrono::milliseconds(1), 0);
+  EXPECT_FALSE(budget.expired());  // cheap poll: not yet published
+  EXPECT_TRUE(budget.ExpiredNow());  // full poll reads the clock
+  EXPECT_TRUE(budget.expired());  // ...and publishes the flag
+  EXPECT_FALSE(budget.TryConsumeEvaluation());
+}
+
+// ------------------------------------------------------------ fixture
+
+/// The run-report invariant every corpus run must satisfy, including the
+/// new budget fields and, on the sharded path, the field-by-field
+/// shard-sums-to-aggregate property.
+void ExpectReportInvariant(const CorpusBatchResponse& response) {
+  const CorpusRunReport& r = response.corpus;
+  EXPECT_EQ(r.items_total, r.items_evaluated + r.items_pruned +
+                               r.items_aborted + r.items_failed);
+  EXPECT_LE(r.items_aborted_in_kernel, r.items_aborted);
+  EXPECT_LE(r.items_deadline_skipped, r.items_aborted);
+  EXPECT_GE(r.elapsed_ns, 0);
+  if (response.shard_reports.empty()) return;
+  CorpusRunReport sum;
+  for (const CorpusRunReport& shard : response.shard_reports) {
+    EXPECT_EQ(shard.items_total, shard.items_evaluated + shard.items_pruned +
+                                     shard.items_aborted + shard.items_failed);
+    EXPECT_LE(shard.items_deadline_skipped, shard.items_aborted);
+    sum.items_total += shard.items_total;
+    sum.items_evaluated += shard.items_evaluated;
+    sum.items_pruned += shard.items_pruned;
+    sum.items_aborted += shard.items_aborted;
+    sum.items_aborted_in_kernel += shard.items_aborted_in_kernel;
+    sum.items_failed += shard.items_failed;
+    sum.dispatches += shard.dispatches;
+    sum.items_deadline_skipped += shard.items_deadline_skipped;
+    sum.elapsed_ns += shard.elapsed_ns;
+  }
+  EXPECT_EQ(r.items_total, sum.items_total);
+  EXPECT_EQ(r.items_evaluated, sum.items_evaluated);
+  EXPECT_EQ(r.items_pruned, sum.items_pruned);
+  EXPECT_EQ(r.items_aborted, sum.items_aborted);
+  EXPECT_EQ(r.items_aborted_in_kernel, sum.items_aborted_in_kernel);
+  EXPECT_EQ(r.items_failed, sum.items_failed);
+  EXPECT_EQ(r.dispatches, sum.dispatches);
+  EXPECT_EQ(r.items_deadline_skipped, sum.items_deadline_skipped);
+  EXPECT_EQ(r.elapsed_ns, sum.elapsed_ns);
+}
+
+bool SameAnswer(const CorpusAnswer& a, const CorpusAnswer& b) {
+  return a.document == b.document && a.matches == b.matches;
+}
+
+/// Bit-identity: same answers in the same order, doubles compared with
+/// operator== (no tolerance).
+void ExpectIdenticalAnswers(const std::vector<CorpusAnswer>& got,
+                            const std::vector<CorpusAnswer>& want,
+                            const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].document, want[i].document) << label << " answer " << i;
+    EXPECT_EQ(got[i].probability, want[i].probability)
+        << label << " answer " << i;
+    EXPECT_EQ(got[i].matches, want[i].matches) << label << " answer " << i;
+  }
+}
+
+/// The anytime certificate, checked against the exhaustive oracle's FULL
+/// answer list: (a) every answer of the partial result is a real answer
+/// with its exact probability, and (b) every answer of the true top-k
+/// that the partial result misses has probability <= the twig's
+/// max_residual_bound. An exact result must equal the true top-k.
+void ExpectCertifiedPartial(const CorpusQueryResult& got,
+                            const std::vector<CorpusAnswer>& oracle_full,
+                            int k, const std::string& label) {
+  for (const CorpusAnswer& a : got.answers) {
+    bool found = false;
+    for (const CorpusAnswer& w : oracle_full) {
+      if (SameAnswer(a, w)) {
+        EXPECT_EQ(a.probability, w.probability) << label;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << label << ": partial answer in document '"
+                       << a.document << "' is not a real corpus answer";
+  }
+  const size_t want =
+      std::min<size_t>(static_cast<size_t>(k), oracle_full.size());
+  for (size_t i = 0; i < want; ++i) {
+    const CorpusAnswer& w = oracle_full[i];
+    bool present = false;
+    for (const CorpusAnswer& a : got.answers) {
+      if (SameAnswer(a, w)) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      EXPECT_FALSE(got.exact)
+          << label << ": an exact result may not miss a true top-" << k
+          << " answer";
+      EXPECT_LE(w.probability, got.max_residual_bound + kAnswerBoundSlack)
+          << label << ": missing true top-" << k
+          << " answer above the certified residual bound";
+    }
+  }
+  if (got.exact) {
+    EXPECT_EQ(got.max_residual_bound, 0.0) << label;
+    ASSERT_EQ(got.answers.size(), want) << label;
+    for (size_t i = 0; i < want; ++i) {
+      EXPECT_TRUE(SameAnswer(got.answers[i], oracle_full[i])) << label;
+      EXPECT_EQ(got.answers[i].probability, oracle_full[i].probability)
+          << label;
+    }
+  } else {
+    EXPECT_GT(got.max_residual_bound, 0.0) << label;
+  }
+}
+
+class AnytimeCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SkewedCorpusOptions gen;
+    gen.hot_documents = 2;
+    gen.cold_pairs = 2;
+    gen.cold_documents_per_pair = 5;
+    gen.doc_target_nodes = 60;
+    auto scenario = MakeSkewedCorpusScenario(gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ = std::make_unique<SkewedCorpusScenario>(
+        std::move(scenario).ValueOrDie());
+  }
+
+  std::unique_ptr<UncertainMatchingSystem> MakeSystem(
+      int shards, bool result_cache = false) const {
+    SystemOptions opts;
+    opts.top_h.h = 30;  // cover the cold pairs' 24-mapping spaces
+    opts.cache.enable_result_cache = result_cache;
+    opts.corpus_shards = shards;
+    auto sys = std::make_unique<UncertainMatchingSystem>(opts);
+    for (const SkewedPair& pair : scenario_->pairs) {
+      EXPECT_TRUE(sys->PrepareFromMatching(pair.matching).ok());
+    }
+    for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+      const SkewedPair& pair =
+          scenario_->pairs[static_cast<size_t>(scenario_->doc_pair[i])];
+      EXPECT_TRUE(sys->AddDocument(scenario_->names[i],
+                                   scenario_->documents[i].get(),
+                                   pair.source.get(), scenario_->target.get())
+                      .ok());
+    }
+    return sys;
+  }
+
+  /// The exhaustive oracle: every answer of every document, globally
+  /// ranked (top_k = 0 keeps the full list for subset checks).
+  std::vector<CorpusAnswer> OracleFull(
+      const UncertainMatchingSystem& sys) const {
+    CorpusQueryOptions exhaustive;
+    exhaustive.bounded = false;
+    exhaustive.top_k = 0;
+    auto oracle = sys.QueryCorpus(scenario_->probe_twig, exhaustive);
+    EXPECT_TRUE(oracle.ok()) << oracle.status();
+    return oracle.ok() ? oracle->answers : std::vector<CorpusAnswer>{};
+  }
+
+  static BatchRunOptions OneThread() {
+    BatchRunOptions run;
+    run.num_threads = 1;
+    return run;
+  }
+
+  std::unique_ptr<SkewedCorpusScenario> scenario_;
+};
+
+// ------------------------------------------------- generous = exact
+
+// A budget generous enough to never expire must leave the run
+// bit-identical to the unbudgeted exact path — the budget plumbing may
+// not perturb answers, probabilities (compared with ==), or exactness —
+// on both the single-scheduler and sharded paths.
+TEST_F(AnytimeCorpusTest, GenerousBudgetIsBitIdenticalToExact) {
+  for (const int shards : {1, 4}) {
+    auto sys = MakeSystem(shards);
+    CorpusQueryOptions bounded;
+    bounded.top_k = 3;
+    auto exact = sys->RunCorpusBatch({scenario_->probe_twig}, bounded);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    ASSERT_TRUE(exact->answers[0].ok()) << exact->answers[0].status();
+    EXPECT_TRUE(exact->exact);
+    EXPECT_TRUE(exact->answers[0]->exact);
+
+    CorpusQueryOptions budgeted = bounded;
+    budgeted.deadline = Clock::now() + std::chrono::minutes(10);
+    budgeted.max_evaluations = 1 << 20;
+    auto got = sys->RunCorpusBatch({scenario_->probe_twig}, budgeted);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(got->answers[0].ok()) << got->answers[0].status();
+    EXPECT_TRUE(got->exact);
+    EXPECT_TRUE(got->answers[0]->exact);
+    EXPECT_EQ(got->answers[0]->max_residual_bound, 0.0);
+    EXPECT_EQ(got->corpus.items_deadline_skipped, 0);
+    ExpectReportInvariant(*got);
+    ExpectIdenticalAnswers(got->answers[0]->answers, exact->answers[0]->answers,
+                           "generous budget, shards=" + std::to_string(shards));
+  }
+}
+
+// ---------------------------------------------- budget-truncated runs
+
+// One evaluation credit: the run must stop after at most one kernel
+// evaluation, classify everything it never touched, and certify what it
+// returns against the exhaustive oracle.
+TEST_F(AnytimeCorpusTest, MaxEvaluationsOneReturnsCertifiedPartial) {
+  auto sys = MakeSystem(1);
+  const std::vector<CorpusAnswer> oracle = OracleFull(*sys);
+  CorpusQueryOptions budgeted;
+  budgeted.top_k = 3;
+  budgeted.max_evaluations = 1;
+  auto got =
+      sys->RunCorpusBatch({scenario_->probe_twig}, budgeted, OneThread());
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(got->answers[0].ok()) << got->answers[0].status();
+  ExpectReportInvariant(*got);
+  EXPECT_LE(got->corpus.items_evaluated, 1);
+  EXPECT_FALSE(got->exact);
+  EXPECT_FALSE(got->answers[0]->exact);
+  EXPECT_GT(got->corpus.items_deadline_skipped, 0);
+  ExpectCertifiedPartial(*got->answers[0], oracle, budgeted.top_k,
+                         "max_evaluations=1");
+}
+
+// A deadline already in the past: nothing may evaluate, every item is a
+// budget abort, and the (empty) answer is still certified.
+TEST_F(AnytimeCorpusTest, PreExpiredDeadlineEvaluatesNothing) {
+  auto sys = MakeSystem(1);
+  const std::vector<CorpusAnswer> oracle = OracleFull(*sys);
+  CorpusQueryOptions budgeted;
+  budgeted.top_k = 3;
+  budgeted.deadline = Clock::now() - std::chrono::seconds(1);
+  auto got =
+      sys->RunCorpusBatch({scenario_->probe_twig}, budgeted, OneThread());
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(got->answers[0].ok()) << got->answers[0].status();
+  ExpectReportInvariant(*got);
+  EXPECT_EQ(got->corpus.items_evaluated, 0);
+  EXPECT_EQ(got->corpus.items_aborted, got->corpus.items_total);
+  EXPECT_EQ(got->corpus.items_deadline_skipped, got->corpus.items_total);
+  EXPECT_FALSE(got->exact);
+  EXPECT_FALSE(got->answers[0]->exact);
+  EXPECT_TRUE(got->answers[0]->answers.empty());
+  ExpectCertifiedPartial(*got->answers[0], oracle, budgeted.top_k,
+                         "pre-expired deadline");
+}
+
+// OnDeadline::kFail turns the truncated slots into kDeadlineExceeded
+// failures instead of certified partials.
+TEST_F(AnytimeCorpusTest, OnDeadlineFailFailsTruncatedSlots) {
+  auto sys = MakeSystem(1);
+  CorpusQueryOptions budgeted;
+  budgeted.top_k = 3;
+  budgeted.deadline = Clock::now() - std::chrono::seconds(1);
+  budgeted.on_deadline = OnDeadline::kFail;
+  auto got =
+      sys->RunCorpusBatch({scenario_->probe_twig}, budgeted, OneThread());
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_FALSE(got->answers[0].ok());
+  EXPECT_TRUE(got->answers[0].status().IsDeadlineExceeded())
+      << got->answers[0].status();
+  EXPECT_FALSE(got->exact);
+  ExpectReportInvariant(*got);
+}
+
+// The facade single-twig path carries the same contract.
+TEST_F(AnytimeCorpusTest, QueryCorpusSurfacesTheCertificate) {
+  auto sys = MakeSystem(1);
+  const std::vector<CorpusAnswer> oracle = OracleFull(*sys);
+  CorpusQueryOptions budgeted;
+  budgeted.top_k = 3;
+  budgeted.deadline = Clock::now() - std::chrono::seconds(1);
+  auto got = sys->QueryCorpus(scenario_->probe_twig, budgeted);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_FALSE(got->exact);
+  EXPECT_GT(got->max_residual_bound, 0.0);
+  ExpectCertifiedPartial(*got, oracle, budgeted.top_k, "QueryCorpus");
+}
+
+// -------------------------------------------- differential certificate
+
+// The acceptance sweep: budgets x k x shard counts, every combination
+// certified against the exhaustive oracle. max_evaluations budgets are
+// deterministic (credits, not clocks), so this is reproducible anywhere.
+TEST_F(AnytimeCorpusTest, DifferentialCertificateSweep) {
+  for (const int shards : {1, 4}) {
+    auto sys = MakeSystem(shards);
+    const std::vector<CorpusAnswer> oracle = OracleFull(*sys);
+    ASSERT_FALSE(oracle.empty());
+    for (const int64_t max_evaluations : {int64_t{1}, int64_t{2}, int64_t{5}}) {
+      for (const int k : {1, 3, 10}) {
+        CorpusQueryOptions budgeted;
+        budgeted.top_k = k;
+        budgeted.max_evaluations = max_evaluations;
+        const std::string label = "shards=" + std::to_string(shards) +
+                                  " max_evals=" +
+                                  std::to_string(max_evaluations) +
+                                  " k=" + std::to_string(k);
+        auto got = sys->RunCorpusBatch({scenario_->probe_twig}, budgeted);
+        ASSERT_TRUE(got.ok()) << label << ": " << got.status();
+        ASSERT_TRUE(got->answers[0].ok())
+            << label << ": " << got->answers[0].status();
+        ExpectReportInvariant(*got);
+        EXPECT_LE(got->corpus.items_evaluated, max_evaluations) << label;
+        ExpectCertifiedPartial(*got->answers[0], oracle, k, label);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ cache poisoning
+
+// A budget-truncated run must never poison the caches: no ResultCache
+// inserts at all, and nothing that makes a later unbudgeted run on the
+// same system differ from a cold system's exact run.
+TEST_F(AnytimeCorpusTest, TruncatedRunsNeverPoisonTheCaches) {
+  auto sys = MakeSystem(1, /*result_cache=*/true);
+  CorpusQueryOptions budgeted;
+  budgeted.top_k = 3;
+  budgeted.max_evaluations = 1;
+  budgeted.probe_bounds = false;
+  auto truncated =
+      sys->RunCorpusBatch({scenario_->probe_twig}, budgeted, OneThread());
+  ASSERT_TRUE(truncated.ok()) << truncated.status();
+  ASSERT_TRUE(truncated->answers[0].ok());
+  EXPECT_FALSE(truncated->answers[0]->exact);
+  // Rule 1: a budgeted run never inserts into the ResultCache.
+  EXPECT_EQ(sys->result_cache_stats().insertions, 0u);
+  // Rule 2: only fully evaluated items may record realized masses into
+  // the BoundCache (probing is off, so realized inserts are all there is).
+  EXPECT_LE(sys->bound_cache_stats().insertions,
+            static_cast<uint64_t>(truncated->corpus.items_evaluated));
+
+  // The warm system's unbudgeted run must be bit-identical to a cold
+  // system that never saw the truncated run.
+  CorpusQueryOptions exact;
+  exact.top_k = 3;
+  auto warm = sys->RunCorpusBatch({scenario_->probe_twig}, exact, OneThread());
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_TRUE(warm->answers[0].ok());
+  EXPECT_TRUE(warm->answers[0]->exact);
+  EXPECT_GT(sys->result_cache_stats().insertions, 0u);  // exact runs do cache
+
+  auto cold_sys = MakeSystem(1, /*result_cache=*/true);
+  auto cold =
+      cold_sys->RunCorpusBatch({scenario_->probe_twig}, exact, OneThread());
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  ASSERT_TRUE(cold->answers[0].ok());
+  ExpectIdenticalAnswers(warm->answers[0]->answers, cold->answers[0]->answers,
+                         "warm-after-truncated vs cold");
+}
+
+// ------------------------------------------------------- elapsed_ns
+
+TEST_F(AnytimeCorpusTest, ReportsCarryElapsedTime) {
+  auto sys = MakeSystem(1);
+  CorpusQueryOptions bounded;
+  bounded.top_k = 3;
+  auto b = sys->RunCorpusBatch({scenario_->probe_twig}, bounded);
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_GT(b->corpus.elapsed_ns, 0);
+  CorpusQueryOptions exhaustive;
+  exhaustive.bounded = false;
+  auto e = sys->RunCorpusBatch({scenario_->probe_twig}, exhaustive);
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_GT(e->corpus.elapsed_ns, 0);
+}
+
+}  // namespace
+}  // namespace uxm

@@ -1,0 +1,235 @@
+// The deterministic fault-injection harness: the FaultInjector's own
+// semantics (always compiled, so these run in every configuration) and
+// the wiring of each in-tree failpoint site (skipped unless the build
+// compiled the sites in; see UXM_FAULT_INJECTION in CMakeLists.txt).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "core/system.h"
+#include "corpus/corpus_executor.h"
+#include "workload/corpus_generator.h"
+
+namespace uxm {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedSitesInjectNothingAndCountNothing) {
+  FaultInjector& injector = FaultInjector::Instance();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.Poke(FaultSite::kKernelEval).ok());
+  }
+  EXPECT_EQ(injector.hits(FaultSite::kKernelEval), 0u);
+  EXPECT_EQ(injector.fires(FaultSite::kKernelEval), 0u);
+}
+
+TEST_F(FaultInjectorTest, PeriodOneFiresEveryHitWithTheInjectedCode) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPlan plan;
+  plan.period = 1;
+  plan.code = StatusCode::kInternal;
+  injector.Arm(FaultSite::kDriverDispatch, plan);
+  for (int i = 0; i < 5; ++i) {
+    const Status s = injector.Poke(FaultSite::kDriverDispatch);
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_NE(s.message().find("driver-dispatch"), std::string::npos)
+        << s.message();
+  }
+  EXPECT_EQ(injector.hits(FaultSite::kDriverDispatch), 5u);
+  EXPECT_EQ(injector.fires(FaultSite::kDriverDispatch), 5u);
+  // Other sites are untouched.
+  EXPECT_TRUE(injector.Poke(FaultSite::kKernelEval).ok());
+}
+
+TEST_F(FaultInjectorTest, FiringSetIsAPureFunctionOfSeedAndHit) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.period = 3;
+  auto record = [&] {
+    injector.Arm(FaultSite::kSnapshotSection, plan);  // resets hit counter
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!injector.Poke(FaultSite::kSnapshotSection).ok());
+    }
+    return fired;
+  };
+  const std::vector<bool> first = record();
+  const std::vector<bool> second = record();
+  EXPECT_EQ(first, second);
+  // Roughly one in `period` hits fires — and at least one does.
+  int fires = 0;
+  for (const bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+  // A different seed picks a different firing set (overwhelmingly).
+  plan.seed = 43;
+  EXPECT_NE(record(), first);
+}
+
+TEST_F(FaultInjectorTest, MaxFiresCapsTheInjectionThenPassesThrough) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPlan plan;
+  plan.period = 1;
+  plan.max_fires = 2;
+  injector.Arm(FaultSite::kKernelEval, plan);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    failures += injector.Poke(FaultSite::kKernelEval).ok() ? 0 : 1;
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(injector.fires(FaultSite::kKernelEval), 2u);
+  EXPECT_EQ(injector.hits(FaultSite::kKernelEval), 10u);
+}
+
+TEST_F(FaultInjectorTest, OkPlansDelayWithoutFailing) {
+  FaultInjector& injector = FaultInjector::Instance();
+  FaultPlan plan;
+  plan.period = 1;
+  plan.code = StatusCode::kOk;  // delay-only plan
+  injector.Arm(FaultSite::kKernelEval, plan);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(injector.Poke(FaultSite::kKernelEval).ok());
+  }
+  EXPECT_EQ(injector.fires(FaultSite::kKernelEval), 3u);
+  injector.Disarm(FaultSite::kKernelEval);
+  EXPECT_TRUE(injector.Poke(FaultSite::kKernelEval).ok());
+}
+
+// ------------------------------------------------------- site wiring
+
+// A small heterogeneous corpus system shared by the wiring tests.
+class FaultSiteWiringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FaultInjector::CompiledIn()) {
+      GTEST_SKIP() << "failpoints not compiled in (UXM_FAULT_INJECTION off)";
+    }
+    SkewedCorpusOptions gen;
+    gen.hot_documents = 2;
+    gen.cold_pairs = 2;
+    gen.cold_documents_per_pair = 5;
+    gen.doc_target_nodes = 60;
+    auto scenario = MakeSkewedCorpusScenario(gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ = std::make_unique<SkewedCorpusScenario>(
+        std::move(scenario).ValueOrDie());
+    SystemOptions opts;
+    opts.top_h.h = 30;
+    opts.cache.enable_result_cache = false;
+    opts.corpus_shards = 1;
+    sys_ = std::make_unique<UncertainMatchingSystem>(opts);
+    for (const SkewedPair& pair : scenario_->pairs) {
+      ASSERT_TRUE(sys_->PrepareFromMatching(pair.matching).ok());
+    }
+    for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+      const SkewedPair& pair =
+          scenario_->pairs[static_cast<size_t>(scenario_->doc_pair[i])];
+      ASSERT_TRUE(sys_->AddDocument(scenario_->names[i],
+                                    scenario_->documents[i].get(),
+                                    pair.source.get(), scenario_->target.get())
+                      .ok());
+    }
+  }
+
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+
+  std::unique_ptr<SkewedCorpusScenario> scenario_;
+  std::unique_ptr<UncertainMatchingSystem> sys_;
+};
+
+TEST_F(FaultSiteWiringTest, DriverDispatchFaultFailsTheTwigSlot) {
+  FaultPlan plan;
+  plan.period = 1;
+  plan.code = StatusCode::kInternal;
+  FaultInjector::Instance().Arm(FaultSite::kDriverDispatch, plan);
+  CorpusQueryOptions exhaustive;
+  exhaustive.bounded = false;
+  auto got = sys_->RunCorpusBatch({scenario_->probe_twig}, exhaustive);
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(got.ok()) << got.status();  // the call survives
+  ASSERT_FALSE(got->answers[0].ok());
+  EXPECT_EQ(got->answers[0].status().code(), StatusCode::kInternal);
+  EXPECT_GT(FaultInjector::Instance().hits(FaultSite::kDriverDispatch), 0u);
+}
+
+TEST_F(FaultSiteWiringTest, InjectedKernelCancelsKeepTheCertificateSound) {
+  // Spurious Cancelled results on an UNBUDGETED bounded run: the
+  // scheduler cannot tell them from budget aborts, so it must charge
+  // them to the residual bound and drop the exact claim — never return
+  // a silently wrong "exact" answer.
+  CorpusQueryOptions exhaustive;
+  exhaustive.bounded = false;
+  exhaustive.top_k = 0;
+  auto oracle = sys_->QueryCorpus(scenario_->probe_twig, exhaustive);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.period = 2;
+  plan.code = StatusCode::kCancelled;
+  FaultInjector::Instance().Arm(FaultSite::kKernelEval, plan);
+  CorpusQueryOptions bounded;
+  bounded.top_k = 3;
+  auto got = sys_->QueryCorpus(scenario_->probe_twig, bounded);
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(got.ok()) << got.status();
+  if (!got->exact) {
+    EXPECT_GT(got->max_residual_bound, 0.0);
+  }
+  // Every returned answer is real, and every missing true-top-k answer
+  // is covered by the residual bound.
+  for (const CorpusAnswer& a : got->answers) {
+    bool found = false;
+    for (const CorpusAnswer& w : oracle->answers) {
+      if (a.document == w.document && a.matches == w.matches) {
+        EXPECT_EQ(a.probability, w.probability);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << a.document;
+  }
+  const size_t want = std::min<size_t>(3, oracle->answers.size());
+  for (size_t i = 0; i < want; ++i) {
+    const CorpusAnswer& w = oracle->answers[i];
+    bool present = false;
+    for (const CorpusAnswer& a : got->answers) {
+      if (a.document == w.document && a.matches == w.matches) present = true;
+    }
+    if (!present) {
+      EXPECT_FALSE(got->exact);
+      EXPECT_LE(w.probability, got->max_residual_bound + 1e-9);
+    }
+  }
+}
+
+TEST_F(FaultSiteWiringTest, SnapshotSectionFaultFailsTheLoadCleanly) {
+  const std::string path =
+      ::testing::TempDir() + "/fault_injection_snapshot.uxmsnap";
+  ASSERT_TRUE(sys_->SaveSnapshot(path).ok());
+  FaultPlan plan;
+  plan.period = 1;
+  plan.code = StatusCode::kDataLoss;
+  FaultInjector::Instance().Arm(FaultSite::kSnapshotSection, plan);
+  UncertainMatchingSystem fresh;
+  const Status load = fresh.LoadSnapshot(path);
+  FaultInjector::Instance().DisarmAll();
+  EXPECT_TRUE(load.IsDataLoss()) << load;
+  // Disarmed, the same file loads fine — the failure was the injection.
+  UncertainMatchingSystem retry;
+  EXPECT_TRUE(retry.LoadSnapshot(path).ok());
+  EXPECT_EQ(retry.corpus_size(), sys_->corpus_size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uxm

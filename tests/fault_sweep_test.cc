@@ -1,0 +1,268 @@
+// The fault-injection sweep (slow label): every failpoint site class x
+// injected status x firing period x shard count x run budget, asserting
+// on EVERY run that (a) the call never crashes and either succeeds or
+// fails with a clean named error, (b) the disposition invariant
+// items_total == evaluated + pruned + aborted + failed holds, (c)
+// per-shard reports sum field-by-field to the aggregate, and (d) any OK
+// answer slot satisfies the anytime certificate against the fault-free
+// exhaustive oracle. Runs under ASan and TSan in CI with the failpoints
+// compiled in.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "core/system.h"
+#include "corpus/corpus_executor.h"
+#include "workload/corpus_generator.h"
+
+namespace uxm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void ExpectReportInvariant(const CorpusBatchResponse& response,
+                           const std::string& label) {
+  const CorpusRunReport& r = response.corpus;
+  EXPECT_EQ(r.items_total, r.items_evaluated + r.items_pruned +
+                               r.items_aborted + r.items_failed)
+      << label;
+  EXPECT_LE(r.items_aborted_in_kernel, r.items_aborted) << label;
+  EXPECT_LE(r.items_deadline_skipped, r.items_aborted) << label;
+  if (response.shard_reports.empty()) return;
+  CorpusRunReport sum;
+  for (const CorpusRunReport& shard : response.shard_reports) {
+    EXPECT_EQ(shard.items_total, shard.items_evaluated + shard.items_pruned +
+                                     shard.items_aborted + shard.items_failed)
+        << label;
+    sum.items_total += shard.items_total;
+    sum.items_evaluated += shard.items_evaluated;
+    sum.items_pruned += shard.items_pruned;
+    sum.items_aborted += shard.items_aborted;
+    sum.items_aborted_in_kernel += shard.items_aborted_in_kernel;
+    sum.items_failed += shard.items_failed;
+    sum.dispatches += shard.dispatches;
+    sum.items_deadline_skipped += shard.items_deadline_skipped;
+    sum.elapsed_ns += shard.elapsed_ns;
+  }
+  EXPECT_EQ(r.items_total, sum.items_total) << label;
+  EXPECT_EQ(r.items_evaluated, sum.items_evaluated) << label;
+  EXPECT_EQ(r.items_pruned, sum.items_pruned) << label;
+  EXPECT_EQ(r.items_aborted, sum.items_aborted) << label;
+  EXPECT_EQ(r.items_aborted_in_kernel, sum.items_aborted_in_kernel) << label;
+  EXPECT_EQ(r.items_failed, sum.items_failed) << label;
+  EXPECT_EQ(r.dispatches, sum.dispatches) << label;
+  EXPECT_EQ(r.items_deadline_skipped, sum.items_deadline_skipped) << label;
+  EXPECT_EQ(r.elapsed_ns, sum.elapsed_ns) << label;
+}
+
+/// OK slots must satisfy the anytime certificate against the fault-free
+/// oracle's full answer list (see tests/anytime_test.cc for the fast,
+/// assertion-dense version of this check).
+void ExpectCertified(const CorpusQueryResult& got,
+                     const std::vector<CorpusAnswer>& oracle_full, int k,
+                     const std::string& label) {
+  for (const CorpusAnswer& a : got.answers) {
+    bool found = false;
+    for (const CorpusAnswer& w : oracle_full) {
+      if (a.document == w.document && a.matches == w.matches) {
+        EXPECT_EQ(a.probability, w.probability) << label;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << label << ": fabricated answer in " << a.document;
+  }
+  const size_t want =
+      std::min<size_t>(static_cast<size_t>(k), oracle_full.size());
+  for (size_t i = 0; i < want; ++i) {
+    const CorpusAnswer& w = oracle_full[i];
+    bool present = false;
+    for (const CorpusAnswer& a : got.answers) {
+      if (a.document == w.document && a.matches == w.matches) present = true;
+    }
+    if (!present) {
+      EXPECT_FALSE(got.exact) << label;
+      EXPECT_LE(w.probability, got.max_residual_bound + 1e-9) << label;
+    }
+  }
+}
+
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FaultInjector::CompiledIn()) {
+      GTEST_SKIP() << "failpoints not compiled in (UXM_FAULT_INJECTION off)";
+    }
+    SkewedCorpusOptions gen;
+    gen.hot_documents = 2;
+    gen.cold_pairs = 2;
+    gen.cold_documents_per_pair = 5;
+    gen.doc_target_nodes = 60;
+    auto scenario = MakeSkewedCorpusScenario(gen);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    scenario_ = std::make_unique<SkewedCorpusScenario>(
+        std::move(scenario).ValueOrDie());
+  }
+
+  void TearDown() override { FaultInjector::Instance().DisarmAll(); }
+
+  std::unique_ptr<UncertainMatchingSystem> MakeSystem(int shards) const {
+    SystemOptions opts;
+    opts.top_h.h = 30;
+    opts.cache.enable_result_cache = false;
+    opts.corpus_shards = shards;
+    auto sys = std::make_unique<UncertainMatchingSystem>(opts);
+    for (const SkewedPair& pair : scenario_->pairs) {
+      EXPECT_TRUE(sys->PrepareFromMatching(pair.matching).ok());
+    }
+    for (size_t i = 0; i < scenario_->documents.size(); ++i) {
+      const SkewedPair& pair =
+          scenario_->pairs[static_cast<size_t>(scenario_->doc_pair[i])];
+      EXPECT_TRUE(sys->AddDocument(scenario_->names[i],
+                                   scenario_->documents[i].get(),
+                                   pair.source.get(), scenario_->target.get())
+                      .ok());
+    }
+    return sys;
+  }
+
+  std::unique_ptr<SkewedCorpusScenario> scenario_;
+};
+
+TEST_F(FaultSweepTest, CorpusRunsSurviveEveryFaultConfiguration) {
+  struct Budget {
+    const char* name;
+    int64_t max_evaluations;
+    bool pre_expired_deadline;
+  };
+  const Budget kBudgets[] = {
+      {"unlimited", 0, false},
+      {"max_evals=2", 2, false},
+      {"expired-deadline", 0, true},
+  };
+  const FaultSite kSites[] = {FaultSite::kKernelEval,
+                              FaultSite::kDriverDispatch};
+  const StatusCode kCodes[] = {StatusCode::kInternal, StatusCode::kCancelled};
+
+  for (const int shards : {1, 4}) {
+    auto sys = MakeSystem(shards);
+    CorpusQueryOptions exhaustive;
+    exhaustive.bounded = false;
+    exhaustive.top_k = 0;
+    auto oracle = sys->QueryCorpus(scenario_->probe_twig, exhaustive);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+    for (const FaultSite site : kSites) {
+      for (const StatusCode code : kCodes) {
+        for (const uint64_t period : {uint64_t{1}, uint64_t{3}}) {
+          for (const Budget& budget : kBudgets) {
+            const std::string label =
+                std::string("shards=") + std::to_string(shards) + " site=" +
+                FaultSiteName(site) + " code=" + StatusCodeName(code) +
+                " period=" + std::to_string(period) + " " + budget.name;
+            FaultPlan plan;
+            plan.seed = 2026;
+            plan.period = period;
+            plan.code = code;
+            FaultInjector::Instance().Arm(site, plan);
+
+            CorpusQueryOptions options;
+            options.top_k = 3;
+            options.max_evaluations = budget.max_evaluations;
+            if (budget.pre_expired_deadline) {
+              options.deadline = Clock::now() - std::chrono::seconds(1);
+            }
+            auto got = sys->RunCorpusBatch({scenario_->probe_twig}, options);
+            FaultInjector::Instance().DisarmAll();
+
+            ASSERT_TRUE(got.ok()) << label << ": " << got.status();
+            ExpectReportInvariant(*got, label);
+            ASSERT_EQ(got->answers.size(), 1u) << label;
+            if (got->answers[0].ok()) {
+              ExpectCertified(*got->answers[0], oracle->answers,
+                              options.top_k, label);
+            } else {
+              // A clean named error: the injected code, or the deadline
+              // policy's — never anything mangled.
+              const StatusCode observed = got->answers[0].status().code();
+              EXPECT_TRUE(observed == code ||
+                          observed == StatusCode::kDeadlineExceeded)
+                  << label << ": " << got->answers[0].status();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// A stuck kernel under a real (near-future) deadline: the injected delay
+// stalls evaluations, the deadline expires mid-run, and the run must
+// still come back certified instead of hanging.
+TEST_F(FaultSweepTest, StuckEvaluationsUnderADeadlineStayCertified) {
+  auto sys = MakeSystem(4);
+  CorpusQueryOptions exhaustive;
+  exhaustive.bounded = false;
+  exhaustive.top_k = 0;
+  auto oracle = sys->QueryCorpus(scenario_->probe_twig, exhaustive);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+  FaultPlan plan;
+  plan.period = 1;
+  plan.code = StatusCode::kOk;  // delay-only: stall, don't fail
+  plan.delay_micros = 2000;
+  FaultInjector::Instance().Arm(FaultSite::kKernelEval, plan);
+  CorpusQueryOptions options;
+  options.top_k = 3;
+  options.deadline = Clock::now() + std::chrono::milliseconds(5);
+  auto got = sys->RunCorpusBatch({scenario_->probe_twig}, options);
+  FaultInjector::Instance().DisarmAll();
+  ASSERT_TRUE(got.ok()) << got.status();
+  ExpectReportInvariant(*got, "stuck-under-deadline");
+  ASSERT_TRUE(got->answers[0].ok()) << got->answers[0].status();
+  ExpectCertified(*got->answers[0], oracle->answers, options.top_k,
+                  "stuck-under-deadline");
+}
+
+// Snapshot loads with the per-section failpoint armed: every period
+// either loads cleanly or fails with the injected named error; a
+// post-sweep disarmed load always succeeds (the file is never damaged).
+TEST_F(FaultSweepTest, SnapshotSectionSweepFailsCleanlyOrLoads) {
+  auto sys = MakeSystem(1);
+  const std::string path = ::testing::TempDir() + "/fault_sweep.uxmsnap";
+  ASSERT_TRUE(sys->SaveSnapshot(path).ok());
+
+  for (const StatusCode code :
+       {StatusCode::kDataLoss, StatusCode::kInternal}) {
+    for (const uint64_t period : {uint64_t{1}, uint64_t{2}, uint64_t{5}}) {
+      const std::string label = std::string("code=") + StatusCodeName(code) +
+                                " period=" + std::to_string(period);
+      FaultPlan plan;
+      plan.seed = 99;
+      plan.period = period;
+      plan.code = code;
+      FaultInjector::Instance().Arm(FaultSite::kSnapshotSection, plan);
+      UncertainMatchingSystem fresh;
+      const Status load = fresh.LoadSnapshot(path);
+      FaultInjector::Instance().DisarmAll();
+      if (load.ok()) {
+        EXPECT_EQ(fresh.corpus_size(), sys->corpus_size()) << label;
+      } else {
+        EXPECT_EQ(load.code(), code) << label << ": " << load;
+      }
+    }
+  }
+  UncertainMatchingSystem fresh;
+  ASSERT_TRUE(fresh.LoadSnapshot(path).ok());
+  EXPECT_EQ(fresh.corpus_size(), sys->corpus_size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace uxm

@@ -236,6 +236,8 @@ TEST_F(ShardedFacadeTest, ShardedBatchReportsPerShardAndSumsToGlobal) {
     sum.items_aborted_in_kernel += shard.items_aborted_in_kernel;
     sum.items_failed += shard.items_failed;
     sum.dispatches += shard.dispatches;
+    sum.items_deadline_skipped += shard.items_deadline_skipped;
+    sum.elapsed_ns += shard.elapsed_ns;
   }
   EXPECT_GT(populated, 1);  // 11 names over 4 shards: several non-empty
   EXPECT_EQ(got->corpus.items_total, sum.items_total);
@@ -245,6 +247,10 @@ TEST_F(ShardedFacadeTest, ShardedBatchReportsPerShardAndSumsToGlobal) {
   EXPECT_EQ(got->corpus.items_aborted_in_kernel, sum.items_aborted_in_kernel);
   EXPECT_EQ(got->corpus.items_failed, sum.items_failed);
   EXPECT_EQ(got->corpus.dispatches, sum.dispatches);
+  EXPECT_EQ(got->corpus.items_deadline_skipped, sum.items_deadline_skipped);
+  // elapsed_ns aggregates as total scheduler-nanoseconds across shards.
+  EXPECT_EQ(got->corpus.elapsed_ns, sum.elapsed_ns);
+  EXPECT_GT(got->corpus.elapsed_ns, 0);
   EXPECT_EQ(got->corpus.items_total,
             static_cast<int>(twigs.size() * scenario_->names.size()));
 

@@ -61,6 +61,8 @@ void ExpectReportInvariant(const CorpusBatchResponse& response,
     sum.items_pruned += shard.items_pruned;
     sum.items_aborted += shard.items_aborted;
     sum.items_failed += shard.items_failed;
+    sum.items_deadline_skipped += shard.items_deadline_skipped;
+    sum.elapsed_ns += shard.elapsed_ns;
   }
   if (!response.shard_reports.empty()) {
     EXPECT_EQ(sum.items_total, r.items_total) << label;
@@ -68,6 +70,8 @@ void ExpectReportInvariant(const CorpusBatchResponse& response,
     EXPECT_EQ(sum.items_pruned, r.items_pruned) << label;
     EXPECT_EQ(sum.items_aborted, r.items_aborted) << label;
     EXPECT_EQ(sum.items_failed, r.items_failed) << label;
+    EXPECT_EQ(sum.items_deadline_skipped, r.items_deadline_skipped) << label;
+    EXPECT_EQ(sum.elapsed_ns, r.elapsed_ns) << label;
   }
 }
 

@@ -50,6 +50,17 @@ Usage:
                          skipped when the host has fewer than 4 CPUs,
                          where there is nothing for the drivers to
                          spread over.
+  [--max-deadline-overshoot US]  fail if any BM_AnytimeCorpusTopK/N run
+                         (N = the per-run deadline budget in
+                         microseconds) took longer than N + US
+                         microseconds per iteration — the anytime
+                         protocol's promise is that an expired budget
+                         comes back within roughly one kernel poll
+                         interval, not eventually (default 0 = off; CI
+                         passes 5000). Skipped when the host has fewer
+                         than 4 CPUs, where the shard drivers oversubscribe
+                         the core and a stalled driver thread can overshoot
+                         through no fault of the protocol.
 
 A second same-run invariant guards the early-termination top-k engine:
 BM_PrunedTopK (driver, stops at the k-th relevant mapping) must not be
@@ -78,7 +89,7 @@ import sys
 GATED = re.compile(
     r"^BM_(BatchPtq|CachedPtq|CorpusPtq|PrunedTopK|MultiSchemaCorpus|"
     r"BoundedCorpusTopK|SinglePairCorpusTopK|ManyTwigCorpusBatch|"
-    r"ShardedCorpusTopK|ShardedCorpusBatch|"
+    r"ShardedCorpusTopK|ShardedCorpusBatch|AnytimeCorpusTopK|"
     r"SharedEmbeddingCorpus|PrepareCold|SnapshotLoad)\b")
 
 # BM_PrunedTopK may be at most this many times slower than BM_UnprunedTopK
@@ -108,6 +119,7 @@ def main():
     parser.add_argument("--min-snapshot-speedup", type=float, default=0.0)
     parser.add_argument("--min-docbound-speedup", type=float, default=0.0)
     parser.add_argument("--min-shard-speedup", type=float, default=0.0)
+    parser.add_argument("--max-deadline-overshoot", type=float, default=0.0)
     args = parser.parse_args()
 
     current, context = load(args.current)
@@ -310,6 +322,44 @@ def main():
             if not found:
                 failures.append("--min-shard-speedup set but "
                                 "BM_ShardedCorpusTopK/1//8 missing from %s"
+                                % args.current)
+
+    # Deadline-protocol invariant: an anytime run must come back within
+    # its budget plus a small grace (one kernel poll interval plus merge
+    # tail), whatever the corpus size. The budget is parsed from the
+    # benchmark name (BM_AnytimeCorpusTopK/N = N microseconds); real_time
+    # is per-iteration nanoseconds, so the bound is absolute, not a
+    # baseline ratio. Self-disables on small hosts, where the shard
+    # driver threads oversubscribe the core and the scheduler can stall
+    # them past any deadline through no fault of the protocol.
+    if args.max_deadline_overshoot > 0:
+        num_cpus = int(context.get("num_cpus", 0) or 0)
+        if num_cpus < 4:
+            print("NOTE  deadline overshoot check skipped (host has %d CPUs)"
+                  % num_cpus)
+        else:
+            found = False
+            for name, time_ns in sorted(current.items()):
+                m = re.match(r"^BM_AnytimeCorpusTopK/(\d+)(/real_time)?$",
+                             name)
+                if not m:
+                    continue
+                found = True
+                budget_us = float(m.group(1))
+                limit_ns = (budget_us + args.max_deadline_overshoot) * 1000.0
+                verdict = "FAIL" if time_ns > limit_ns else "ok"
+                print("%-5s %-40s %12.0f ns vs deadline %8.0f us + %.0f us"
+                      % (verdict, name, time_ns, budget_us,
+                         args.max_deadline_overshoot))
+                if time_ns > limit_ns:
+                    failures.append(
+                        "%s overshot its %.0f us deadline: %.0f us per "
+                        "iteration (grace %.0f us)"
+                        % (name, budget_us, time_ns / 1000.0,
+                           args.max_deadline_overshoot))
+            if not found:
+                failures.append("--max-deadline-overshoot set but no "
+                                "BM_AnytimeCorpusTopK results in %s"
                                 % args.current)
 
     if failures:

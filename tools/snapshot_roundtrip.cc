@@ -24,6 +24,7 @@
 // transcript therefore also proves the sharded serving path is exact
 // across process AND topology boundaries, not merely within one run
 // (the in-process sweep lives in tests/sharded_differential_test.cc).
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -113,16 +114,23 @@ void AppendDouble(std::ostringstream* out, double v) {
 
 /// The canonical transcript: every answer of the fixed workload, in a
 /// stable text form. Two systems serve identical answers iff their
-/// transcripts are byte-identical.
+/// transcripts are byte-identical. The corpus half runs as one
+/// RunCorpusBatch so the scheduler report comes back too; its
+/// elapsed_ns lands in *corpus_elapsed_ns (scheduler wall-clock, summed
+/// across shards) for the save/check logs.
 Status CollectTranscript(const Scenarios& sc, UncertainMatchingSystem* sys,
-                         std::string* out) {
+                         std::string* out, int64_t* corpus_elapsed_ns) {
   std::ostringstream text;
   CorpusQueryOptions top10;
   top10.top_k = 10;
-  for (const std::string& twig : TableIIIQueries()) {
-    auto r = sys->QueryCorpus(twig, top10);
+  const std::vector<std::string> corpus_twigs = TableIIIQueries();
+  auto corpus = sys->RunCorpusBatch(corpus_twigs, top10);
+  if (!corpus.ok()) return corpus.status();
+  *corpus_elapsed_ns = corpus->corpus.elapsed_ns;
+  for (size_t i = 0; i < corpus_twigs.size(); ++i) {
+    const auto& r = corpus->answers[i];
     if (!r.ok()) return r.status();
-    text << "corpus " << twig << "\n";
+    text << "corpus " << corpus_twigs[i] << "\n";
     for (const auto& a : r->answers) {
       text << "  " << a.document << " ";
       AppendDouble(&text, a.probability);
@@ -165,8 +173,11 @@ int Save(const std::string& snapshot_path, const std::string& answers_path) {
   if (!st.ok()) return Fail("fill: " + st.ToString());
 
   std::string transcript;
-  st = CollectTranscript(sc, &sys, &transcript);
+  int64_t corpus_elapsed_ns = 0;
+  st = CollectTranscript(sc, &sys, &transcript, &corpus_elapsed_ns);
   if (!st.ok()) return Fail("workload: " + st.ToString());
+  std::printf("corpus workload: scheduler spent %.3f ms\n",
+              corpus_elapsed_ns / 1e6);
 
   SnapshotStats stats;
   st = sys.SaveSnapshot(snapshot_path, &stats);
@@ -203,8 +214,11 @@ int Check(const std::string& snapshot_path, const std::string& answers_path) {
               stats.seconds);
 
   std::string from_snapshot;
-  st = CollectTranscript(sc, &loaded, &from_snapshot);
+  int64_t loaded_elapsed_ns = 0;
+  st = CollectTranscript(sc, &loaded, &from_snapshot, &loaded_elapsed_ns);
   if (!st.ok()) return Fail("workload on loaded system: " + st.ToString());
+  std::printf("corpus workload on loaded system: scheduler spent %.3f ms\n",
+              loaded_elapsed_ns / 1e6);
   if (from_snapshot != expected) {
     return Fail(
         "answers from the LOADED system differ from the saved transcript");
@@ -217,7 +231,8 @@ int Check(const std::string& snapshot_path, const std::string& answers_path) {
   st = FillSystem(sc, &fresh);
   if (!st.ok()) return Fail("fresh fill: " + st.ToString());
   std::string from_fresh;
-  st = CollectTranscript(sc, &fresh, &from_fresh);
+  int64_t fresh_elapsed_ns = 0;
+  st = CollectTranscript(sc, &fresh, &from_fresh, &fresh_elapsed_ns);
   if (!st.ok()) return Fail("workload on fresh system: " + st.ToString());
   if (from_fresh != expected) {
     return Fail(
